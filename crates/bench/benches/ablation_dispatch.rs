@@ -1,0 +1,46 @@
+//! Ablation: dispatch hoisting (DESIGN.md) — "generality does not come
+//! at the expense of performance".
+//!
+//! Three SpMV execution tiers on the same matrix:
+//!   1. the hand-written per-format kernel (what the paper's generated
+//!      C corresponds to),
+//!   2. the compiled engine with plan-shape specialisation (this
+//!      library's default — should match tier 1),
+//!   3. the general plan interpreter (dispatch *inside* the loops).
+
+use bernoulli::engines::SpmvEngine;
+use bernoulli_bench::table1::TABLE1_FORMATS;
+use bernoulli_formats::gen::fem_grid_3d;
+use bernoulli_formats::SparseMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let t = fem_grid_3d(6, 6, 4, 3);
+    let n = t.nrows();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut y = vec![0.0; n];
+
+    let mut group = c.benchmark_group("ablation_dispatch");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in TABLE1_FORMATS {
+        let a = SparseMatrix::from_triplets(kind, &t);
+        group.bench_function(format!("{}/hand", kind.paper_name()), |b| {
+            b.iter(|| a.spmv_acc(black_box(&x), black_box(&mut y)))
+        });
+        let fast = SpmvEngine::compile(&a).unwrap();
+        group.bench_function(format!("{}/specialized", kind.paper_name()), |b| {
+            b.iter(|| fast.run(&a, black_box(&x), black_box(&mut y)).unwrap())
+        });
+        let slow = SpmvEngine::compile_with(&a, false).unwrap();
+        group.bench_function(format!("{}/interpreted", kind.paper_name()), |b| {
+            b.iter(|| slow.run(&a, black_box(&x), black_box(&mut y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

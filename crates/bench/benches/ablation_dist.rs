@@ -1,0 +1,72 @@
+//! Ablation: structure in distribution relations (the Table 3 claim
+//! isolated) — the same inspector over progressively less structured
+//! index translations: closed-form Block, replicated GeneralizedBlock,
+//! replicated ContiguousRuns (BlockSolve), replicated Indirect (MAP),
+//! and the Chaos distributed translation table.
+
+use bernoulli_spmd::chaos::ChaosTable;
+use bernoulli_spmd::dist::{
+    BlockDist, ContiguousRunsDist, Distribution, GeneralizedBlockDist, IndirectDist,
+};
+use bernoulli_spmd::inspector::CommSchedule;
+use bernoulli_spmd::machine::Machine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 8000;
+const P: usize = 4;
+
+/// Each processor needs a band of 64 indices past its block.
+fn used_for(dist: &dyn Distribution, me: usize) -> Vec<usize> {
+    let base = dist.to_global(me, dist.local_len(me) - 1);
+    (1..=64).map(|k| (base + k) % N).filter(|&g| dist.owner(g).0 != me).collect()
+}
+
+fn bench_dist(c: &mut Criterion) {
+    let block = BlockDist::new(N, P);
+    let sizes: Vec<usize> = vec![N / P; P];
+    let genblock = GeneralizedBlockDist::new(&sizes);
+    let runs: Vec<(usize, usize, usize)> = (0..2 * P)
+        .map(|k| (k * (N / (2 * P)), N / (2 * P), k % P))
+        .collect();
+    let contig = ContiguousRunsDist::new(P, runs);
+    let map: Vec<usize> = (0..N).map(|g| (g / (N / P)).min(P - 1)).collect();
+    let indirect = IndirectDist::new(P, map);
+
+    let dists: Vec<(&str, &dyn Distribution)> = vec![
+        ("block", &block),
+        ("generalized-block", &genblock),
+        ("contiguous-runs", &contig),
+        ("indirect-replicated", &indirect),
+    ];
+
+    let mut group = c.benchmark_group("ablation_dist");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, dist) in dists {
+        group.bench_function(format!("replicated/{name}"), |b| {
+            b.iter(|| {
+                let out = Machine::run(P, |ctx| {
+                    let used = used_for(dist, ctx.rank());
+                    CommSchedule::build_replicated(ctx, dist, &used).recv_volume()
+                });
+                black_box(out.results)
+            })
+        });
+    }
+    group.bench_function("chaos-table/block", |b| {
+        b.iter(|| {
+            let out = Machine::run(P, |ctx| {
+                let me = ctx.rank();
+                let table = ChaosTable::build(ctx, N, &block.owned_globals(me));
+                let used = used_for(&block, me);
+                CommSchedule::build_with_chaos(ctx, &table, &used).recv_volume()
+            });
+            black_box(out.results)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

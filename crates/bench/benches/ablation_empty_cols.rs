@@ -1,0 +1,49 @@
+//! Ablation: the CCCS column-compression level (Fig. 1's motivation).
+//!
+//! "If a matrix has many zero columns, then the zero columns are not
+//! stored" — CCCS adds the COLIND indirection so SpMV touches only the
+//! stored columns, while CCS walks every COLP slot. This bench sweeps
+//! the fraction of empty columns and compares the two compiled kernels
+//! (plus CRS as the row-major control).
+
+use bernoulli::engines::SpmvEngine;
+use bernoulli_formats::{FormatKind, SparseMatrix, Triplets};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A matrix over `n` columns where only every `stride`-th column holds
+/// entries (a banded pattern over the occupied columns).
+fn sparse_columns(n: usize, stride: usize) -> Triplets {
+    let mut t = Triplets::new(n, n);
+    for c in (0..n).step_by(stride) {
+        for dr in 0..3usize {
+            let r = (c + dr * 7) % n;
+            t.push(r, c, 1.0 + dr as f64);
+        }
+    }
+    t
+}
+
+fn bench_empty_cols(c: &mut Criterion) {
+    let n = 20_000;
+    let mut group = c.benchmark_group("ablation_empty_cols");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (label, stride) in [("0%-empty", 1usize), ("90%-empty", 10), ("99%-empty", 100)] {
+        let t = sparse_columns(n, stride);
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut y = vec![0.0; n];
+        for kind in [FormatKind::Ccs, FormatKind::Cccs, FormatKind::Csr] {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let eng = SpmvEngine::compile(&a).expect("compiles");
+            group.bench_function(format!("{label}/{}", kind.paper_name()), |b| {
+                b.iter(|| eng.run(black_box(&a), black_box(&x), black_box(&mut y)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_empty_cols);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Ablation: join-implementation choice (DESIGN.md).
+//!
+//! The paper's claim: picking the join implementation from declared
+//! access-method properties matters. We force the two implementations
+//! of the `X(j)` join in a sparse-`A` × sparse-`x` matvec — merge-join
+//! (co-traversal of the sorted sparse vector) vs. search-join (binary
+//! probe per stored entry) — across `x` densities, and also time the
+//! planner-chosen plan, which should track the better of the two as the
+//! crossover moves.
+
+use bernoulli_formats::gen::grid2d_9pt;
+use bernoulli_formats::{Csr, SparseMatrix};
+use bernoulli_relational::exec::{execute, Bindings};
+use bernoulli_relational::plan::{Driver, JoinMethod, LoopNode, Lookup, Plan, PlanNode, ProbeKind};
+use bernoulli_relational::planner::{Planner, QueryMeta};
+use bernoulli_relational::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A sorted sparse vector backing the `X(j, x)` relation.
+struct SparseVec {
+    len: usize,
+    idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl VectorAccess for SparseVec {
+    fn meta(&self) -> VecMeta {
+        VecMeta::sparse_sorted(self.len, self.idx.len())
+    }
+
+    fn enumerate(&self) -> InnerIter<'_> {
+        InnerIter::Pairs { idx: &self.idx, vals: &self.vals, pos: 0 }
+    }
+
+    fn search(&self, index: usize) -> Option<f64> {
+        self.idx.binary_search(&index).ok().map(|k| self.vals[k])
+    }
+}
+
+/// The CSR matvec plan with the X join forced to `method`.
+fn forced_plan(method: JoinMethod) -> Plan {
+    Plan {
+        nodes: vec![
+            PlanNode::Loop(LoopNode {
+                var: VAR_I,
+                driver: Driver::MatOuter(MAT_A),
+                derived: vec![],
+                lookups: vec![],
+            }),
+            PlanNode::Loop(LoopNode {
+                var: VAR_J,
+                driver: Driver::MatInner(MAT_A),
+                derived: vec![],
+                lookups: vec![Lookup {
+                    rel: VEC_X,
+                    kind: ProbeKind::VecAt(VAR_J),
+                    method,
+                    in_predicate: true,
+                }],
+            }),
+        ],
+        est_cost: 0.0,
+    }
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let t = grid2d_9pt(40, 40);
+    let n = t.nrows();
+    let a = Csr::from_triplets(&t);
+    let am = SparseMatrix::Csr(a);
+
+    let mut query = QueryBuilder::mat_vec_product().build();
+    query.infer_predicate(&|r| r == MAT_A || r == VEC_X);
+
+    let mut group = c.benchmark_group("ablation_joins");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for density_pct in [1usize, 10, 50] {
+        let stride = 100 / density_pct;
+        let idx: Vec<usize> = (0..n).step_by(stride).collect();
+        let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 3) as f64).collect();
+        let x = SparseVec { len: n, idx, vals };
+        let mut y = vec![0.0; n];
+
+        let planner_plan = Planner::new()
+            .plan(
+                &query,
+                &QueryMeta::new()
+                    .mat(MAT_A, am.meta())
+                    .vec(VEC_X, x.meta()),
+            )
+            .unwrap();
+
+        for (label, plan) in [
+            ("merge", forced_plan(JoinMethod::Merge)),
+            ("search", forced_plan(JoinMethod::Search)),
+            ("planner", planner_plan),
+        ] {
+            group.bench_function(format!("density{density_pct}%/{label}"), |b| {
+                b.iter(|| {
+                    let mut binds = Bindings::new();
+                    binds.bind_mat(MAT_A, &am).bind_vec(VEC_X, &x).bind_vec_mut(VEC_Y, &mut y);
+                    execute(black_box(&plan), &query, &mut binds).unwrap();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

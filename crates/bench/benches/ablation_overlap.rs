@@ -1,0 +1,43 @@
+//! Ablation: communication/computation overlap in the BlockSolve
+//! matvec — the source of the hand-written code's 2–4% edge over
+//! Bernoulli-Mixed in Table 2.
+
+use bernoulli_bench::workload::build_workload;
+use bernoulli_blocksolve::matvec::BsParallelMatvec;
+use bernoulli_spmd::machine::Machine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_overlap");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for p in [2, 4] {
+        let w = build_workload(p);
+        let dist = w.layout.dist.clone();
+        for overlap in [false, true] {
+            let label = if overlap { "overlapped" } else { "gather-first" };
+            group.bench_function(format!("P{p}/{label}"), |b| {
+                b.iter(|| {
+                    let out = Machine::run(p, |ctx| {
+                        let me = ctx.rank();
+                        let local = &w.bs_locals[me];
+                        let mut pm = BsParallelMatvec::inspect(ctx, local, &dist);
+                        let x = vec![1.0; local.n_local];
+                        let mut y = vec![0.0; local.n_local];
+                        // 20 matvecs amortise the inspector.
+                        for _ in 0..20 {
+                            pm.execute(ctx, local, &x, &mut y, overlap);
+                        }
+                        y[0]
+                    });
+                    black_box(out.results)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap);
+criterion_main!(benches);

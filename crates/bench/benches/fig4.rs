@@ -1,0 +1,57 @@
+//! Criterion bench regenerating Figure 4's inputs: one combined
+//! measurement of the Indirect-Mixed vs. Bernoulli-Mixed overheads at
+//! P = 8 (the paper's lower curve), plus the curve evaluation itself.
+//! The rendered series is printed once so `cargo bench` output contains
+//! the figure data.
+
+use bernoulli_bench::fig4::{fig4_series, Fig4Curve};
+use bernoulli_bench::table2::run_table2_3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn measured_curves() -> &'static Vec<Fig4Curve> {
+    static CURVES: OnceLock<Vec<Fig4Curve>> = OnceLock::new();
+    CURVES.get_or_init(|| {
+        let t = run_table2_3(&[8]);
+        let curves = fig4_series(&t);
+        for c in &curves {
+            println!("{}", c.render());
+            if let Some(k) = c.iterations_to_within(0.10) {
+                println!("# P={}: within 10% after {k} iterations", c.nprocs);
+            }
+        }
+        curves
+    })
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    // The expensive part: measuring the two overheads that feed the
+    // curve (one phase-timed solver run per implementation).
+    let w = bernoulli_bench::workload::build_workload(8);
+    group.bench_function("measure_overheads_P8", |b| {
+        b.iter(|| {
+            use bernoulli_bench::workload::{run_solver_reps, Impl};
+            black_box((
+                run_solver_reps(&w, Impl::BernoulliMixed, 1),
+                run_solver_reps(&w, Impl::IndirectMixed, 1),
+            ))
+        })
+    });
+    // The cheap part: evaluating the ratio curve from measured data.
+    let curves = measured_curves();
+    group.bench_function("evaluate_curve", |b| {
+        b.iter(|| {
+            for c in curves.iter() {
+                black_box(Fig4Curve::from_overheads(c.nprocs, c.r_indirect, c.r_bernoulli));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Table 1: SpMV across the six paper
+//! formats × the eight test-matrix twins (small scale for bench-time
+//! sanity; the `tables` binary runs the full scale).
+
+use bernoulli::engines::SpmvEngine;
+use bernoulli_bench::table1::TABLE1_FORMATS;
+use bernoulli_formats::gen::{table1_suite, Scale};
+use bernoulli_formats::SparseMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_spmv");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for m in table1_suite(Scale::Small) {
+        let n = m.triplets.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let mut y = vec![0.0; n];
+        for kind in TABLE1_FORMATS {
+            let a = SparseMatrix::from_triplets(kind, &m.triplets);
+            let eng = SpmvEngine::compile(&a).expect("compiles");
+            group.bench_function(format!("{}/{}", m.name, kind.paper_name()), |b| {
+                b.iter(|| {
+                    eng.run(black_box(&a), black_box(&x), black_box(&mut y)).unwrap();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Table 2: the 10-iteration CG executor
+//! for the three implementations at small processor counts (the full
+//! P = 2..64 sweep runs in the `tables` binary).
+
+use bernoulli_bench::workload::{build_workload, run_solver_reps, Impl};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cg_executor");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for p in [2, 4, 8] {
+        let w = build_workload(p);
+        for imp in Impl::TABLE2 {
+            group.bench_function(format!("P{p}/{}", imp.paper_name()), |b| {
+                b.iter(|| black_box(run_solver_reps(&w, imp, 1)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

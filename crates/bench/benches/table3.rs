@@ -1,0 +1,66 @@
+//! Criterion bench regenerating Table 3: the five inspectors
+//! (replicated vs. Chaos-table index translation, mixed vs. naive
+//! specification) at small processor counts.
+
+use bernoulli::spmd::{CompiledMixed, CompiledNaive};
+use bernoulli_bench::workload::{build_workload, Impl};
+use bernoulli_spmd::chaos::ChaosTable;
+use bernoulli_spmd::dist::Distribution;
+use bernoulli_spmd::machine::Machine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_inspectors");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for p in [2, 4, 8] {
+        let w = build_workload(p);
+        let dist = w.layout.dist.clone();
+        let n = w.reordered.nrows();
+        for imp in Impl::TABLE3 {
+            if imp == Impl::BlockSolve {
+                continue; // its inspector is Bernoulli-Mixed's (same path)
+            }
+            group.bench_function(format!("P{p}/{}", imp.paper_name()), |b| {
+                b.iter(|| {
+                    let out = Machine::run(p, |ctx| {
+                        let me = ctx.rank();
+                        match imp {
+                            Impl::BernoulliMixed => {
+                                black_box(CompiledMixed::inspect(ctx, &w.mixed_specs[me], &dist));
+                            }
+                            Impl::Bernoulli => {
+                                black_box(CompiledNaive::inspect(ctx, &w.full_frags[me], &dist));
+                            }
+                            Impl::IndirectMixed => {
+                                let table =
+                                    ChaosTable::build(ctx, n, &dist.owned_globals(me));
+                                black_box(CompiledMixed::inspect_chaos(
+                                    ctx,
+                                    &w.mixed_specs[me],
+                                    &table,
+                                ));
+                            }
+                            Impl::Indirect => {
+                                let table =
+                                    ChaosTable::build(ctx, n, &dist.owned_globals(me));
+                                black_box(CompiledNaive::inspect_chaos(
+                                    ctx,
+                                    &w.full_frags[me],
+                                    &table,
+                                ));
+                            }
+                            Impl::BlockSolve => unreachable!(),
+                        }
+                    });
+                    black_box(out.total_traffic())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

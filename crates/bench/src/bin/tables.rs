@@ -1,0 +1,77 @@
+//! The paper-table harness: prints every table and figure series of
+//! the SC'97 evaluation.
+//!
+//! ```text
+//! cargo run --release -p bernoulli-bench --bin tables            # everything
+//! cargo run --release -p bernoulli-bench --bin tables table1
+//! cargo run --release -p bernoulli-bench --bin tables table2 table3 fig4
+//! cargo run --release -p bernoulli-bench --bin tables -- --small # quick pass
+//! ```
+
+use bernoulli_bench::fig4::fig4_series;
+use bernoulli_bench::table1::run_table1;
+use bernoulli_bench::table2::run_table2_3;
+use bernoulli_formats::gen::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    let scale = if small { Scale::Small } else { Scale::Full };
+    let proc_counts: &[usize] =
+        if small { &[2, 4, 8] } else { &[2, 4, 8, 16, 32, 64] };
+
+    if want("table1") {
+        println!("=== Table 1: SpMV MFlops per format per matrix ===");
+        println!("(compiler-generated kernels; boxed = best in row)\n");
+        println!("{}", run_table1(scale));
+    }
+
+    if want("table2") || want("table3") || want("fig4") {
+        eprintln!("running parallel CG sweep over P = {proc_counts:?} ...");
+        let t23 = run_table2_3(proc_counts);
+        if want("table2") {
+            println!("=== Table 2: CG executor time, 10 iterations ===\n");
+            println!("{}", t23.table2());
+        }
+        if want("table3") {
+            println!("=== Table 3: inspector overhead (inspector / executor iteration) ===\n");
+            println!("{}", t23.table3());
+            println!("--- machine-independent traffic companion ---\n");
+            println!("{}", t23.traffic());
+        }
+        if want("fig4") {
+            println!("=== Figure 4: (k + r_I)/(k + r_B) vs iteration count ===\n");
+            println!("--- from wall-clock overheads (simulator-compressed; see EXPERIMENTS.md) ---");
+            for c in fig4_series(&t23) {
+                if c.nprocs == 8 || c.nprocs == 64 || proc_counts.len() <= 3 {
+                    println!("{}", c.render());
+                    if let Some(k10) = c.iterations_to_within(0.10) {
+                        println!("# within 10% of Bernoulli-Mixed after {k10} iterations");
+                    }
+                    if let Some(k20) = c.iterations_to_within(0.20) {
+                        println!("# within 20% of Bernoulli-Mixed after {k20} iterations\n");
+                    }
+                }
+            }
+            println!("--- from traffic counters (machine-independent) ---");
+            for c in bernoulli_bench::fig4::fig4_traffic_series(&t23) {
+                if c.nprocs == 8 || c.nprocs == 64 || proc_counts.len() <= 3 {
+                    println!("{}", c.render());
+                    if let Some(k10) = c.iterations_to_within(0.10) {
+                        println!("# within 10% of Bernoulli-Mixed after {k10} iterations");
+                    }
+                    if let Some(k20) = c.iterations_to_within(0.20) {
+                        println!("# within 20% of Bernoulli-Mixed after {k20} iterations\n");
+                    }
+                }
+            }
+        }
+    }
+}

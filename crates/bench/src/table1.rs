@@ -1,0 +1,155 @@
+//! Table 1: SpMV MFlops per storage format per matrix.
+//!
+//! "Performance (in Mflops) of sparse matrix-vector product … for a
+//! variety of matrices and storage formats. Boxed numbers indicate the
+//! highest performance for a given matrix. It is clear … that there is
+//! no single format that is appropriate for all kinds of problems."
+//!
+//! Formats, in the paper's column order: Diagonal, Coordinate, CRS,
+//! ITPACK, JDiag, BS95 (i-node storage). Kernels are the
+//! compiler-generated engines (plan-shape specialised), matching the
+//! paper's use of generated code.
+
+use crate::workload::median_time;
+use bernoulli::engines::SpmvEngine;
+use bernoulli_formats::gen::{table1_suite, Scale};
+use bernoulli_formats::{FormatKind, SparseMatrix};
+use std::fmt;
+
+/// The Table 1 format columns.
+pub const TABLE1_FORMATS: [FormatKind; 6] = [
+    FormatKind::Diagonal,
+    FormatKind::Coordinate,
+    FormatKind::Csr,
+    FormatKind::Itpack,
+    FormatKind::JDiag,
+    FormatKind::Inode,
+];
+
+/// One measured cell.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    pub mflops: f64,
+    pub best_in_row: bool,
+}
+
+/// The full table.
+pub struct Table1 {
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+/// Measure one (matrix, format) cell: median-of-runs MFlops of
+/// `y += A·x` through the compiled engine.
+pub fn measure_cell(a: &SparseMatrix, x: &[f64], y: &mut [f64], min_reps: usize) -> f64 {
+    let eng = SpmvEngine::compile(a).expect("spmv compiles for every format");
+    let nnz = a.to_triplets().canonicalize().len();
+    let secs = median_time(5, || {
+        for _ in 0..min_reps {
+            eng.run(a, x, y).expect("spmv runs");
+        }
+    }) / min_reps as f64;
+    2.0 * nnz as f64 / secs / 1e6
+}
+
+/// Run the whole table at a given scale.
+pub fn run_table1(scale: Scale) -> Table1 {
+    let reps = match scale {
+        Scale::Small => 3,
+        Scale::Full => 10,
+    };
+    let mut rows = Vec::new();
+    for m in table1_suite(scale) {
+        let n = m.triplets.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+        let mut y = vec![0.0; n];
+        let mut cells: Vec<Cell> = TABLE1_FORMATS
+            .iter()
+            .map(|&kind| {
+                let a = SparseMatrix::from_triplets(kind, &m.triplets);
+                Cell { mflops: measure_cell(&a, &x, &mut y, reps), best_in_row: false }
+            })
+            .collect();
+        let best = cells
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.mflops.total_cmp(&b.1.mflops))
+            .map(|(k, _)| k)
+            .expect("nonempty row");
+        cells[best].best_in_row = true;
+        rows.push((m.name.to_string(), cells));
+    }
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<12}", "Name")?;
+        for k in TABLE1_FORMATS {
+            write!(f, "{:>12}", k.paper_name())?;
+        }
+        writeln!(f)?;
+        for (name, cells) in &self.rows {
+            write!(f, "{name:<12}")?;
+            for c in cells {
+                let s = if c.best_in_row {
+                    format!("[{:.1}]", c.mflops)
+                } else {
+                    format!("{:.1}", c.mflops)
+                };
+                write!(f, "{s:>12}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::Triplets;
+
+    #[test]
+    fn cell_measures_positive_mflops() {
+        let t = bernoulli_formats::gen::grid2d_5pt(8, 8);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let n = t.nrows();
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        let mf = measure_cell(&a, &x, &mut y, 2);
+        assert!(mf > 0.0 && mf.is_finite());
+    }
+
+    #[test]
+    fn table_has_paper_shape() {
+        // Tiny stand-in suite shape check without running the full
+        // suite: one row, all six formats.
+        let t = Triplets::from_entries(4, 4, &[(0, 0, 1.0), (1, 1, 2.0), (2, 3, 3.0)]);
+        let x = vec![1.0; 4];
+        let mut y = vec![0.0; 4];
+        let cells: Vec<Cell> = TABLE1_FORMATS
+            .iter()
+            .map(|&k| Cell {
+                mflops: measure_cell(&SparseMatrix::from_triplets(k, &t), &x, &mut y, 1),
+                best_in_row: false,
+            })
+            .collect();
+        assert_eq!(cells.len(), 6);
+    }
+
+    #[test]
+    fn display_boxes_best() {
+        let t1 = Table1 {
+            rows: vec![(
+                "demo".into(),
+                vec![
+                    Cell { mflops: 1.0, best_in_row: false },
+                    Cell { mflops: 2.0, best_in_row: true },
+                ],
+            )],
+        };
+        let s = format!("{t1}");
+        assert!(s.contains("[2.0]"));
+        assert!(s.contains("demo"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Clique partition of the point graph (Fig. 2(a)'s dashed rectangles).
+//!
+//! BlockSolve partitions the points into cliques — sets of mutually
+//! adjacent points — so that each clique's rows form a *dense* diagonal
+//! block after reordering (the black triangles of Fig. 2(b)). We use a
+//! greedy partition: sweep the points, growing each clique among
+//! unassigned mutual neighbours up to `max_size` points.
+
+use crate::graph::PointGraph;
+
+/// A partition of the points into cliques.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliquePartition {
+    /// `cliques[c]` = sorted member points of clique `c`.
+    pub cliques: Vec<Vec<usize>>,
+    /// `clique_of[p]` = clique index of point `p`.
+    pub clique_of: Vec<usize>,
+}
+
+impl CliquePartition {
+    /// Greedy partition with cliques of at most `max_size` points.
+    /// `max_size = 1` gives the trivial partition (every point its own
+    /// clique, i.e. plain i-node storage without clique blocks).
+    pub fn greedy(g: &PointGraph, max_size: usize) -> CliquePartition {
+        assert!(max_size >= 1);
+        let n = g.nverts();
+        let mut clique_of = vec![usize::MAX; n];
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            if clique_of[v] != usize::MAX {
+                continue;
+            }
+            let mut members = vec![v];
+            clique_of[v] = cliques.len();
+            if max_size > 1 {
+                for &u in g.neighbors(v) {
+                    if members.len() >= max_size {
+                        break;
+                    }
+                    if clique_of[u] != usize::MAX {
+                        continue;
+                    }
+                    // `u` must be adjacent to every current member.
+                    if members.iter().all(|&m| g.are_adjacent(u, m)) {
+                        clique_of[u] = cliques.len();
+                        members.push(u);
+                    }
+                }
+            }
+            members.sort_unstable();
+            cliques.push(members);
+        }
+        CliquePartition { cliques, clique_of }
+    }
+
+    pub fn num_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// The contracted graph: one vertex per clique, edges between
+    /// cliques containing adjacent points.
+    pub fn contracted_graph(&self, g: &PointGraph) -> PointGraph {
+        let mut edges = Vec::new();
+        for v in 0..g.nverts() {
+            for &u in g.neighbors(v) {
+                let (cv, cu) = (self.clique_of[v], self.clique_of[u]);
+                if cv != cu {
+                    edges.push((cv, cu));
+                }
+            }
+        }
+        PointGraph::from_edges(self.num_cliques(), &edges)
+    }
+
+    /// Check the partition: every point in exactly one clique, and all
+    /// clique members mutually adjacent.
+    pub fn validate(&self, g: &PointGraph) -> Result<(), String> {
+        let mut seen = vec![false; g.nverts()];
+        for (c, members) in self.cliques.iter().enumerate() {
+            for (k, &a) in members.iter().enumerate() {
+                if seen[a] {
+                    return Err(format!("point {a} in two cliques"));
+                }
+                seen[a] = true;
+                if self.clique_of[a] != c {
+                    return Err(format!("clique_of[{a}] inconsistent"));
+                }
+                for &b in &members[k + 1..] {
+                    if !g.are_adjacent(a, b) {
+                        return Err(format!("clique {c}: {a} and {b} not adjacent"));
+                    }
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("point not covered by any clique".into());
+        }
+        Ok(())
+    }
+
+    /// Average points per clique.
+    pub fn avg_size(&self) -> f64 {
+        if self.cliques.is_empty() {
+            0.0
+        } else {
+            self.clique_of.len() as f64 / self.cliques.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::gen::fem_grid_2d;
+
+    fn grid_graph(nx: usize, ny: usize) -> PointGraph {
+        PointGraph::from_matrix(&fem_grid_2d(nx, ny, 1), 1)
+    }
+
+    #[test]
+    fn trivial_partition() {
+        let g = grid_graph(3, 3);
+        let p = CliquePartition::greedy(&g, 1);
+        assert_eq!(p.num_cliques(), 9);
+        p.validate(&g).unwrap();
+        assert!((p.avg_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairing_partition_on_grid() {
+        let g = grid_graph(4, 4);
+        let p = CliquePartition::greedy(&g, 2);
+        p.validate(&g).unwrap();
+        // A 4×4 grid pairs perfectly: 8 cliques of 2.
+        assert_eq!(p.num_cliques(), 8);
+        assert!((p.avg_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_has_no_triangles() {
+        // On a bipartite grid graph, cliques can never exceed 2 points,
+        // whatever max_size asks for.
+        let g = grid_graph(3, 3);
+        let p = CliquePartition::greedy(&g, 4);
+        p.validate(&g).unwrap();
+        assert!(p.cliques.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn contracted_graph_shrinks() {
+        let g = grid_graph(4, 4);
+        let p = CliquePartition::greedy(&g, 2);
+        let cg = p.contracted_graph(&g);
+        assert_eq!(cg.nverts(), p.num_cliques());
+        assert!(cg.nedges() > 0);
+        assert!(cg.nedges() < g.nedges());
+    }
+
+    #[test]
+    fn triangle_graph_forms_3clique() {
+        let g = PointGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let p = CliquePartition::greedy(&g, 3);
+        p.validate(&g).unwrap();
+        assert_eq!(p.num_cliques(), 1);
+        assert_eq!(p.cliques[0], vec![0, 1, 2]);
+        let cg = p.contracted_graph(&g);
+        assert_eq!(cg.nedges(), 0);
+    }
+}

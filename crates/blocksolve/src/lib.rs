@@ -1,0 +1,33 @@
+//! # bernoulli-blocksolve
+//!
+//! A re-implementation of the BlockSolve95 library machinery the paper
+//! uses as its hand-written baseline (§1 Fig. 2, §3.3, §4):
+//!
+//! 1. [`graph`] — the point-adjacency graph of a multi-DOF FEM matrix;
+//! 2. [`clique`] — partition of the points into cliques (Fig. 2(a)'s
+//!    dashed rectangles);
+//! 3. [`color`] — greedy coloring of the clique-contracted graph;
+//! 4. [`reorder`] — the color/clique reordering of Fig. 2(b): rows laid
+//!    out color-major, each color divided among the processors, giving
+//!    each processor a few blocks of contiguous rows — exactly the
+//!    [`ContiguousRunsDist`](bernoulli_spmd::ContiguousRunsDist)
+//!    distribution relation;
+//! 5. [`split`] — the per-processor decomposition `A = A_D + A_SL +
+//!    A_SNL` (dense clique-diagonal blocks / sparse-local /
+//!    sparse-nonlocal);
+//! 6. [`matvec`] — the hand-written parallel matvec with
+//!    communication/computation overlap, the `BlockSolve` rows of
+//!    Tables 2 and 3.
+
+pub mod clique;
+pub mod color;
+pub mod graph;
+pub mod matvec;
+pub mod reorder;
+pub mod split;
+
+pub use clique::CliquePartition;
+pub use color::greedy_coloring;
+pub use graph::PointGraph;
+pub use reorder::{BlockSolveLayout, build_layout};
+pub use split::{BsLocal, DiagBlock, split_matrix};

@@ -1,0 +1,313 @@
+//! The dense DO-ANY loop-nest description — the compiler's input
+//! language (§2 of the paper).
+//!
+//! The user writes the *dense* loop nest exactly as in the paper's
+//! running example:
+//!
+//! ```text
+//! DO i = 1, N
+//!   DO j = 1, N
+//!     Y(i) = Y(i) + A(i,j) * X(j)
+//! ```
+//!
+//! plus a declaration per array saying whether it is stored sparsely.
+//! Loop bounds are implicit in the array shapes (the iteration-space
+//! relation `I(i,j)` is never stored); index expressions are loop
+//! variables (the identity-affine fragment covering the paper's
+//! kernels — permuted indexing is handled by permutation terms, see
+//! [`LoopNest::with_row_permutation`]).
+
+use bernoulli_relational::ids::{RelId, Var};
+use bernoulli_relational::scalar::UpdateOp;
+
+/// Declaration of one array in the nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayDecl {
+    pub id: RelId,
+    pub name: String,
+    /// Number of subscripts (1 = vector, 2 = matrix).
+    pub rank: usize,
+    /// Whether the storage omits zeros (drives the sparsity predicate:
+    /// dense arrays have `NZ ≡ true`).
+    pub sparse: bool,
+}
+
+/// A subscripted array reference `A(i, j)` (identity-affine indices).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessRef {
+    pub array: RelId,
+    pub indices: Vec<Var>,
+}
+
+impl AccessRef {
+    pub fn vec(array: RelId, i: Var) -> Self {
+        AccessRef { array, indices: vec![i] }
+    }
+
+    pub fn mat(array: RelId, i: Var, j: Var) -> Self {
+        AccessRef { array, indices: vec![i, j] }
+    }
+}
+
+/// Right-hand-side expression of the loop body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprAst {
+    Access(AccessRef),
+    Const(f64),
+    Add(Box<ExprAst>, Box<ExprAst>),
+    Sub(Box<ExprAst>, Box<ExprAst>),
+    Mul(Box<ExprAst>, Box<ExprAst>),
+    Neg(Box<ExprAst>),
+}
+
+#[allow(clippy::should_implement_trait)] // fluent DSL builders, not arithmetic ops
+impl ExprAst {
+    pub fn access(r: AccessRef) -> Self {
+        ExprAst::Access(r)
+    }
+
+    pub fn constant(c: f64) -> Self {
+        ExprAst::Const(c)
+    }
+
+    pub fn add(self, rhs: ExprAst) -> Self {
+        ExprAst::Add(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn sub(self, rhs: ExprAst) -> Self {
+        ExprAst::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn mul(self, rhs: ExprAst) -> Self {
+        ExprAst::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn neg(self) -> Self {
+        ExprAst::Neg(Box::new(self))
+    }
+
+    /// All array references in the expression.
+    pub fn accesses(&self) -> Vec<&AccessRef> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a AccessRef>) {
+        match self {
+            ExprAst::Access(a) => out.push(a),
+            ExprAst::Const(_) => {}
+            ExprAst::Add(a, b) | ExprAst::Sub(a, b) | ExprAst::Mul(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+            ExprAst::Neg(a) => a.collect(out),
+        }
+    }
+}
+
+/// A row-permutation annotation: array `array`'s first subscript is the
+/// permuted index `stored = P(global)` (§2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PermDecl {
+    pub id: RelId,
+    /// The global-index variable.
+    pub from: Var,
+    /// The permuted (stored) index variable.
+    pub to: Var,
+}
+
+/// The full DO-ANY loop nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopNest {
+    /// Loop variables, outermost first (advisory order — DO-ANY).
+    pub vars: Vec<Var>,
+    pub arrays: Vec<ArrayDecl>,
+    /// Permutation relations joining pairs of index variables.
+    pub perms: Vec<PermDecl>,
+    pub target: AccessRef,
+    pub op: UpdateOp,
+    pub rhs: ExprAst,
+}
+
+impl LoopNest {
+    pub fn new(
+        vars: Vec<Var>,
+        arrays: Vec<ArrayDecl>,
+        target: AccessRef,
+        op: UpdateOp,
+        rhs: ExprAst,
+    ) -> Self {
+        LoopNest { vars, arrays, perms: Vec::new(), target, op, rhs }
+    }
+
+    /// Add a permutation relation (jagged-diagonal style row
+    /// permutations, §2.2).
+    pub fn with_row_permutation(mut self, perm: PermDecl) -> Self {
+        self.perms.push(perm);
+        self
+    }
+
+    pub fn array(&self, id: RelId) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.id == id)
+    }
+}
+
+/// Canned loop nests for the paper's kernels.
+pub mod programs {
+    use super::*;
+    use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, PERM_P, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};
+
+    fn decl(id: RelId, name: &str, rank: usize, sparse: bool) -> ArrayDecl {
+        ArrayDecl { id, name: name.into(), rank, sparse }
+    }
+
+    /// `Y(i) += A(i,j) · X(j)` — sparse `A`, dense `x`, dense `y`.
+    pub fn matvec() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(VEC_X, "X", 1, false),
+                decl(VEC_Y, "Y", 1, false),
+            ],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_J))),
+        )
+    }
+
+    /// `Y(j) += A(i,j) · X(i)` — transposed product.
+    pub fn matvec_transposed() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(VEC_X, "X", 1, false),
+                decl(VEC_Y, "Y", 1, false),
+            ],
+            AccessRef::vec(VEC_Y, VAR_J),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_I))),
+        )
+    }
+
+    /// `C(i,j) += A(i,k) · B(k,j)` — sparse × sparse, dense result.
+    pub fn matmat() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_K, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(MAT_B, "B", 2, true),
+                decl(MAT_C, "C", 2, false),
+            ],
+            AccessRef::mat(MAT_C, VAR_I, VAR_J),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_K))
+                .mul(ExprAst::access(AccessRef::mat(MAT_B, VAR_K, VAR_J))),
+        )
+    }
+
+    /// `Y(i,k) += A(i,j) · X(j,k)` — sparse matrix × skinny dense
+    /// matrix, "the core operation in such solvers … or the product of
+    /// a sparse matrix and a skinny dense matrix" (§6).
+    pub fn matvec_multi() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_J, VAR_K],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(MAT_B, "X", 2, false), // the skinny dense multivector
+                decl(MAT_C, "Y", 2, false),
+            ],
+            AccessRef::mat(MAT_C, VAR_I, VAR_K),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                .mul(ExprAst::access(AccessRef::mat(MAT_B, VAR_J, VAR_K))),
+        )
+    }
+
+    /// `s += A(i,j) · B(i,j)` — Frobenius inner product.
+    pub fn mat_dot() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(MAT_B, "B", 2, true),
+                decl(MAT_C, "s", 0, false),
+            ],
+            AccessRef { array: MAT_C, indices: vec![] },
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                .mul(ExprAst::access(AccessRef::mat(MAT_B, VAR_I, VAR_J))),
+        )
+    }
+
+    /// `s += X(i) · Z(i)` — a one-variable reduction over two vectors
+    /// (`Z` is declared under the id `VEC_Y`). With both vectors
+    /// sparse, the sparsity predicate is two-sided and the planner
+    /// merge-joins the sorted streams.
+    pub fn vec_dot(x_sparse: bool, z_sparse: bool) -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I],
+            vec![
+                decl(VEC_X, "X", 1, x_sparse),
+                decl(VEC_Y, "Z", 1, z_sparse),
+                decl(MAT_C, "s", 0, false),
+            ],
+            AccessRef { array: MAT_C, indices: vec![] },
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(VEC_X, VAR_I))
+                .mul(ExprAst::access(AccessRef::vec(VEC_Y, VAR_I))),
+        )
+    }
+
+    /// `Y(i) += A(i', j) · X(j)` with stored rows permuted by
+    /// `P(i → i')` — the §2.2 example.
+    pub fn matvec_row_permuted() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_K, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(VEC_X, "X", 1, false),
+                decl(VEC_Y, "Y", 1, false),
+            ],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_K, VAR_J))
+                .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_J))),
+        )
+        .with_row_permutation(PermDecl { id: PERM_P, from: VAR_I, to: VAR_K })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::programs;
+    use super::*;
+    use bernoulli_relational::ids::{MAT_A, VAR_I, VAR_J, VEC_X};
+
+    #[test]
+    fn expr_accesses_collected() {
+        let e = ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+            .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_J)))
+            .add(ExprAst::constant(1.0));
+        assert_eq!(e.accesses().len(), 2);
+    }
+
+    #[test]
+    fn canned_programs_shape() {
+        let mv = programs::matvec();
+        assert_eq!(mv.vars.len(), 2);
+        assert_eq!(mv.arrays.len(), 3);
+        assert!(mv.array(MAT_A).unwrap().sparse);
+        assert!(!mv.array(VEC_X).unwrap().sparse);
+
+        let mm = programs::matmat();
+        assert_eq!(mm.vars.len(), 3);
+
+        let perm = programs::matvec_row_permuted();
+        assert_eq!(perm.perms.len(), 1);
+    }
+}

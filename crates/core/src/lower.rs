@@ -1,0 +1,180 @@
+//! Query extraction: dense loop nest → relational query (§2).
+//!
+//! Reads of each array become join terms over the loop variables; the
+//! body becomes the per-tuple statement; and the sparsity predicate is
+//! inferred with the Bik–Wijshoff rule already encoded in
+//! [`Query::infer_predicate`]: a sparse array enters `P` exactly when a
+//! zero of it annihilates the (reduction) update.
+
+use crate::ast::{AccessRef, ExprAst, LoopNest};
+use bernoulli_relational::error::{RelError, RelResult};
+use bernoulli_relational::ids::RelId;
+use bernoulli_relational::query::{Query, Term};
+use bernoulli_relational::scalar::{Expr, Stmt, Target};
+
+/// Lower a loop nest to a validated relational query.
+pub fn extract_query(nest: &LoopNest) -> RelResult<Query> {
+    // Build join terms from the distinct read references.
+    let mut terms: Vec<Term> = Vec::new();
+    let mut seen: Vec<RelId> = Vec::new();
+    for acc in nest.rhs.accesses() {
+        if seen.contains(&acc.array) {
+            // The engine joins each relation once; repeated identical
+            // references are fine (same term), differing ones are not.
+            let existing = terms.iter().find(|t| t.rel() == acc.array).expect("seen term");
+            let matches = match (existing, acc.indices.len()) {
+                (Term::Vec { idx, .. }, 1) => *idx == acc.indices[0],
+                (Term::Mat { row, col, .. }, 2) => {
+                    *row == acc.indices[0] && *col == acc.indices[1]
+                }
+                _ => false,
+            };
+            if !matches {
+                return Err(RelError::MalformedQuery(format!(
+                    "array {} referenced with two different subscript lists",
+                    acc.array
+                )));
+            }
+            continue;
+        }
+        seen.push(acc.array);
+        terms.push(term_for(nest, acc)?);
+    }
+    for p in &nest.perms {
+        terms.push(Term::Perm { rel: p.id, from: p.from, to: p.to });
+    }
+
+    let target = target_for(nest, &nest.target)?;
+    let stmt = Stmt::new(target, nest.op, lower_expr(&nest.rhs));
+    let mut query = Query { vars: nest.vars.clone(), terms, predicate: Vec::new(), stmt };
+    let sparse = |r: RelId| nest.array(r).is_some_and(|a| a.sparse);
+    query.infer_predicate(&sparse);
+    query.validate()?;
+    Ok(query)
+}
+
+fn term_for(nest: &LoopNest, acc: &AccessRef) -> RelResult<Term> {
+    let decl = nest
+        .array(acc.array)
+        .ok_or_else(|| RelError::MalformedQuery(format!("undeclared array {}", acc.array)))?;
+    if decl.rank != acc.indices.len() {
+        return Err(RelError::MalformedQuery(format!(
+            "array {} declared rank {} but subscripted with {} indices",
+            decl.name,
+            decl.rank,
+            acc.indices.len()
+        )));
+    }
+    match acc.indices.len() {
+        1 => Ok(Term::Vec { rel: acc.array, idx: acc.indices[0] }),
+        2 => Ok(Term::Mat { rel: acc.array, row: acc.indices[0], col: acc.indices[1] }),
+        n => Err(RelError::MalformedQuery(format!("rank-{n} arrays unsupported"))),
+    }
+}
+
+fn target_for(nest: &LoopNest, acc: &AccessRef) -> RelResult<Target> {
+    let decl = nest
+        .array(acc.array)
+        .ok_or_else(|| RelError::MalformedQuery(format!("undeclared target {}", acc.array)))?;
+    if decl.sparse {
+        return Err(RelError::MalformedQuery(format!(
+            "target {} must be dense (DO-ANY reductions assemble into dense storage)",
+            decl.name
+        )));
+    }
+    match acc.indices.len() {
+        0 => Ok(Target::Scalar { rel: acc.array }),
+        1 => Ok(Target::VecElem { rel: acc.array, var: acc.indices[0] }),
+        2 => Ok(Target::MatElem { rel: acc.array, row: acc.indices[0], col: acc.indices[1] }),
+        n => Err(RelError::MalformedQuery(format!("rank-{n} targets unsupported"))),
+    }
+}
+
+fn lower_expr(e: &ExprAst) -> Expr {
+    match e {
+        ExprAst::Access(a) => Expr::Value(a.array),
+        ExprAst::Const(c) => Expr::Const(*c),
+        ExprAst::Add(a, b) => lower_expr(a).add(lower_expr(b)),
+        ExprAst::Sub(a, b) => lower_expr(a).sub(lower_expr(b)),
+        ExprAst::Mul(a, b) => lower_expr(a).mul(lower_expr(b)),
+        ExprAst::Neg(a) => lower_expr(a).neg(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::programs;
+    use crate::ast::{ArrayDecl, PermDecl};
+    use bernoulli_relational::ids::{MAT_A, PERM_P, VAR_I, VAR_J, VEC_X, VEC_Y};
+    use bernoulli_relational::query::QueryBuilder;
+    use bernoulli_relational::scalar::UpdateOp;
+
+    #[test]
+    fn matvec_lowers_to_paper_query() {
+        let q = extract_query(&programs::matvec()).unwrap();
+        let want = QueryBuilder::mat_vec_product().build();
+        assert_eq!(q.terms, want.terms);
+        assert_eq!(q.predicate, vec![MAT_A]); // x dense: NZ(x) ≡ true
+        assert_eq!(q.stmt, want.stmt);
+    }
+
+    #[test]
+    fn sparse_x_joins_predicate() {
+        let mut nest = programs::matvec();
+        nest.arrays.iter_mut().find(|a| a.id == VEC_X).unwrap().sparse = true;
+        let q = extract_query(&nest).unwrap();
+        assert_eq!(q.predicate, vec![MAT_A, VEC_X]);
+    }
+
+    #[test]
+    fn all_canned_programs_lower() {
+        for nest in [
+            programs::matvec(),
+            programs::matvec_transposed(),
+            programs::matmat(),
+            programs::mat_dot(),
+            programs::matvec_row_permuted(),
+        ] {
+            extract_query(&nest).unwrap();
+        }
+    }
+
+    #[test]
+    fn permutation_becomes_perm_term(){
+        let q = extract_query(&programs::matvec_row_permuted()).unwrap();
+        assert!(q.terms.iter().any(|t| matches!(t, Term::Perm { rel, .. } if *rel == PERM_P)));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut nest = programs::matvec();
+        nest.arrays.iter_mut().find(|a| a.id == MAT_A).unwrap().rank = 1;
+        assert!(extract_query(&nest).is_err());
+    }
+
+    #[test]
+    fn sparse_target_rejected() {
+        let mut nest = programs::matvec();
+        nest.arrays.iter_mut().find(|a| a.id == VEC_Y).unwrap().sparse = true;
+        assert!(extract_query(&nest).is_err());
+    }
+
+    #[test]
+    fn conflicting_subscripts_rejected() {
+        use crate::ast::{AccessRef, ExprAst, LoopNest};
+        let nest = LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![
+                ArrayDecl { id: VEC_X, name: "X".into(), rank: 1, sparse: false },
+                ArrayDecl { id: VEC_Y, name: "Y".into(), rank: 1, sparse: false },
+            ],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(VEC_X, VAR_I))
+                .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_J))),
+        );
+        assert!(extract_query(&nest).is_err());
+        let _ = PermDecl { id: PERM_P, from: VAR_I, to: VAR_J };
+    }
+}

@@ -1,0 +1,97 @@
+//! Direct format-to-format conversions.
+//!
+//! Every pair converts through [`Triplets`] (exact and simple); the
+//! hot CSR ↔ CCS pair additionally has direct transposition-style
+//! conversions that avoid the intermediate `BTreeMap`.
+
+use crate::{Ccs, Csr, FormatKind, SparseMatrix, Triplets};
+
+/// Direct CSR → CCS conversion (counting sort on columns).
+pub fn csr_to_ccs(a: &Csr) -> Ccs {
+    // Count entries per column.
+    let ncols = a.ncols();
+    let mut colp = vec![0usize; ncols + 1];
+    for &c in a.colind() {
+        colp[c + 1] += 1;
+    }
+    for j in 0..ncols {
+        colp[j + 1] += colp[j];
+    }
+    let nnz = a.nnz();
+    let mut rowind = vec![0usize; nnz];
+    let mut vals = vec![0.0; nnz];
+    let mut next = colp.clone();
+    for r in 0..a.nrows() {
+        for (k, &c) in a.row_cols(r).iter().enumerate() {
+            let at = next[c];
+            next[c] += 1;
+            rowind[at] = r;
+            vals[at] = a.row_vals(r)[k];
+        }
+    }
+    // Row-major traversal writes each column's rows in ascending order,
+    // so the CCS invariant (sorted rows within a column) holds directly.
+    let mut t = Triplets::with_capacity(a.nrows(), ncols, nnz);
+    for j in 0..ncols {
+        for k in colp[j]..colp[j + 1] {
+            t.push(rowind[k], j, vals[k]);
+        }
+    }
+    // Assemble via the validated constructor to keep one code path for
+    // invariants; the counting sort above already ordered everything.
+    Ccs::from_triplets(&t)
+}
+
+/// Direct CCS → CSR conversion.
+pub fn ccs_to_csr(a: &Ccs) -> Csr {
+    Csr::from_triplets(&a.to_triplets())
+}
+
+/// Convert any matrix to every format, returning the full palette
+/// (used by the Table 1 harness).
+pub fn all_formats(t: &Triplets) -> Vec<SparseMatrix> {
+    FormatKind::ALL
+        .iter()
+        .map(|&k| SparseMatrix::from_triplets(k, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triplets {
+        Triplets::from_entries(
+            3,
+            4,
+            &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0), (2, 1, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn csr_ccs_roundtrip() {
+        let a = Csr::from_triplets(&sample());
+        let c = csr_to_ccs(&a);
+        assert_eq!(c.to_triplets().canonicalize(), sample().canonicalize());
+        let back = ccs_to_csr(&c);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn direct_matches_indirect() {
+        let a = Csr::from_triplets(&sample());
+        let direct = csr_to_ccs(&a);
+        let indirect = Ccs::from_triplets(&a.to_triplets());
+        assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn all_formats_palette() {
+        let palette = all_formats(&sample());
+        assert_eq!(palette.len(), FormatKind::ALL.len());
+        let want = sample().canonicalize();
+        for m in &palette {
+            assert_eq!(m.to_triplets().canonicalize(), want, "format {}", m.kind());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Coordinate (COO) storage: three parallel arrays of row indices,
+//! column indices and values (Appendix A of the paper).
+//!
+//! COO has no usable index hierarchy — the relational view is
+//! [`Orientation::Flat`]: an efficient whole-relation enumeration of
+//! `⟨i, j, v⟩` tuples, unsorted, with only linear-scan random probes.
+//! This is exactly the property record that steers the planner toward
+//! flat-enumeration plans (scatter-style SpMV).
+
+use crate::triplet::Triplets;
+use bernoulli_relational::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
+};
+use bernoulli_relational::props::LevelProps;
+
+/// Coordinate-format sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Build from triplets (canonicalised: duplicates summed, zeros
+    /// dropped, row-major sorted — sortedness is *not* advertised to
+    /// the planner, matching classical COO which makes no such promise).
+    pub fn from_triplets(t: &Triplets) -> Self {
+        let c = t.canonicalize();
+        let mut rows = Vec::with_capacity(c.len());
+        let mut cols = Vec::with_capacity(c.len());
+        let mut vals = Vec::with_capacity(c.len());
+        for &(r, cc, v) in c.entries() {
+            rows.push(r);
+            cols.push(cc);
+            vals.push(v);
+        }
+        Coo { nrows: t.nrows(), ncols: t.ncols(), rows, cols, vals }
+    }
+
+    pub fn to_triplets(&self) -> Triplets {
+        let mut t = Triplets::with_capacity(self.nrows, self.ncols, self.nnz());
+        for k in 0..self.nnz() {
+            t.push(self.rows[k], self.cols[k], self.vals[k]);
+        }
+        t
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The parallel index/value arrays.
+    pub fn arrays(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+}
+
+impl MatrixAccess for Coo {
+    fn meta(&self) -> MatMeta {
+        MatMeta {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz(),
+            orientation: Orientation::Flat,
+            outer: LevelProps::enumerate_only(),
+            inner: LevelProps::enumerate_only(),
+            flat: LevelProps::sparse_unsorted(),
+            pair_search_cheap: false,
+        }
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        Box::new(std::iter::empty())
+    }
+
+    fn search_outer(&self, _index: usize) -> Option<OuterCursor> {
+        None
+    }
+
+    fn enum_inner(&self, _outer: &OuterCursor) -> InnerIter<'_> {
+        InnerIter::Empty
+    }
+
+    fn search_inner(&self, _outer: &OuterCursor, _index: usize) -> Option<f64> {
+        None
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        Box::new((0..self.nnz()).map(move |k| (self.rows[k], self.cols[k], self.vals[k])))
+    }
+
+    fn search_pair(&self, i: usize, j: usize) -> Option<f64> {
+        (0..self.nnz())
+            .find(|&k| self.rows[k] == i && self.cols[k] == j)
+            .map(|k| self.vals[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo {
+        Coo::from_triplets(&Triplets::from_entries(
+            3,
+            3,
+            &[(2, 0, 3.0), (0, 1, 1.0), (1, 2, 2.0), (0, 1, 1.0)],
+        ))
+    }
+
+    #[test]
+    fn builder_canonicalises() {
+        let m = sample();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.search_pair(0, 1), Some(2.0)); // duplicates summed
+    }
+
+    #[test]
+    fn flat_enumeration_covers_all() {
+        let m = sample();
+        let mut tuples: Vec<_> = m.enum_flat().collect();
+        tuples.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(tuples, vec![(0, 1, 2.0), (1, 2, 2.0), (2, 0, 3.0)]);
+    }
+
+    #[test]
+    fn hierarchy_absent() {
+        let m = sample();
+        assert_eq!(m.meta().orientation, Orientation::Flat);
+        assert_eq!(m.enum_outer().count(), 0);
+        assert!(m.search_outer(0).is_none());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let back = Coo::from_triplets(&m.to_triplets());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn pair_search_linear() {
+        let m = sample();
+        assert_eq!(m.search_pair(1, 2), Some(2.0));
+        assert_eq!(m.search_pair(1, 1), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Compressed Row Storage (CRS).
+//!
+//! The paper's Appendix A defines CRS as "the transpose of the matrix
+//! using the CCS format": rows are compressed, with `ROWPTR` giving each
+//! row's extent into parallel `COLIND`/`VALS` arrays. The relational
+//! view is the hierarchy `I ≻ (J, V)`: a dense, directly indexable
+//! outer row level over sorted, binary-searchable column entries.
+
+use crate::triplet::Triplets;
+use bernoulli_relational::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
+};
+use bernoulli_relational::props::LevelProps;
+
+/// CRS sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colind: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from triplets (canonicalised).
+    pub fn from_triplets(t: &Triplets) -> Self {
+        let c = t.canonicalize();
+        let nrows = t.nrows();
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in c.entries() {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colind = Vec::with_capacity(c.len());
+        let mut vals = Vec::with_capacity(c.len());
+        for &(_, cc, v) in c.entries() {
+            colind.push(cc);
+            vals.push(v);
+        }
+        Csr { nrows, ncols: t.ncols(), rowptr, colind, vals }
+    }
+
+    /// Build from raw arrays (must satisfy the CRS invariants: monotone
+    /// `rowptr`, sorted duplicate-free columns within each row).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1, "rowptr length");
+        assert_eq!(colind.len(), vals.len(), "parallel array lengths");
+        assert_eq!(*rowptr.last().unwrap(), vals.len(), "rowptr end");
+        for i in 0..nrows {
+            assert!(rowptr[i] <= rowptr[i + 1], "rowptr monotone");
+            let cols = &colind[rowptr[i]..rowptr[i + 1]];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "row {i} columns not strictly sorted");
+            }
+            for &c in cols {
+                assert!(c < ncols, "column {c} out of range");
+            }
+        }
+        Csr { nrows, ncols, rowptr, colind, vals }
+    }
+
+    /// Fast constructor for entries known to be duplicate-free: a
+    /// counting sort by row plus a per-row column sort, with no
+    /// `BTreeMap` canonicalisation. Used on inspector-critical paths
+    /// where construction cost is part of the measured phase (a
+    /// duplicate-free guarantee comes from the fragmenting code).
+    pub fn from_entries_nodup(
+        nrows: usize,
+        ncols: usize,
+        entries: &[(usize, usize, f64)],
+    ) -> Self {
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &(r, _, _) in entries {
+            debug_assert!(r < nrows);
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let nnz = entries.len();
+        let mut colind = vec![0usize; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = rowptr.clone();
+        for &(r, c, v) in entries {
+            debug_assert!(c < ncols, "column {c} out of {ncols}");
+            let at = next[r];
+            next[r] += 1;
+            colind[at] = c;
+            vals[at] = v;
+        }
+        // Sort within each row (rows are typically short).
+        let mut perm: Vec<usize> = Vec::new();
+        for r in 0..nrows {
+            let (s, e) = (rowptr[r], rowptr[r + 1]);
+            if e - s > 1 && !colind[s..e].windows(2).all(|w| w[0] < w[1]) {
+                perm.clear();
+                perm.extend(s..e);
+                perm.sort_by_key(|&k| colind[k]);
+                let cs: Vec<usize> = perm.iter().map(|&k| colind[k]).collect();
+                let vs: Vec<f64> = perm.iter().map(|&k| vals[k]).collect();
+                debug_assert!(cs.windows(2).all(|w| w[0] < w[1]), "duplicate column in row {r}");
+                colind[s..e].copy_from_slice(&cs);
+                vals[s..e].copy_from_slice(&vs);
+            }
+        }
+        Csr { nrows, ncols, rowptr, colind, vals }
+    }
+
+    pub fn to_triplets(&self) -> Triplets {
+        let mut t = Triplets::with_capacity(self.nrows, self.ncols, self.nnz());
+        for r in 0..self.nrows {
+            for k in self.rowptr[r]..self.rowptr[r + 1] {
+                t.push(r, self.colind[k], self.vals[k]);
+            }
+        }
+        t
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    pub fn colind(&self) -> &[usize] {
+        &self.colind
+    }
+
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Column indices of one row.
+    pub fn row_cols(&self, r: usize) -> &[usize] {
+        &self.colind[self.rowptr[r]..self.rowptr[r + 1]]
+    }
+
+    /// Values of one row.
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.vals[self.rowptr[r]..self.rowptr[r + 1]]
+    }
+
+    /// Stored length of one row.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.rowptr[r + 1] - self.rowptr[r]
+    }
+
+    /// The transpose, also in CRS (equivalently: this matrix in CCS).
+    pub fn transposed(&self) -> Csr {
+        Csr::from_triplets(&self.to_triplets().transposed())
+    }
+}
+
+impl MatrixAccess for Csr {
+    fn meta(&self) -> MatMeta {
+        MatMeta {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz(),
+            orientation: Orientation::RowMajor,
+            outer: LevelProps::dense(),
+            inner: LevelProps::sparse_sorted(),
+            flat: LevelProps::sparse_sorted(),
+            pair_search_cheap: true,
+        }
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        Box::new((0..self.nrows).map(move |r| OuterCursor {
+            index: r,
+            a: self.rowptr[r],
+            b: self.rowptr[r + 1],
+        }))
+    }
+
+    fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+        (index < self.nrows).then(|| OuterCursor {
+            index,
+            a: self.rowptr[index],
+            b: self.rowptr[index + 1],
+        })
+    }
+
+    fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+        InnerIter::Pairs {
+            idx: &self.colind[outer.a..outer.b],
+            vals: &self.vals[outer.a..outer.b],
+            pos: 0,
+        }
+    }
+
+    fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+        self.colind[outer.a..outer.b]
+            .binary_search(&index)
+            .ok()
+            .map(|k| self.vals[outer.a + k])
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        Box::new((0..self.nrows).flat_map(move |r| {
+            (self.rowptr[r]..self.rowptr[r + 1]).map(move |k| (r, self.colind[k], self.vals[k]))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_triplets(&Triplets::from_entries(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 3, 2.0), (2, 1, 3.0), (2, 2, 4.0)],
+        ))
+    }
+
+    #[test]
+    fn layout_arrays() {
+        let m = sample();
+        assert_eq!(m.rowptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.colind(), &[0, 3, 1, 2]);
+        assert_eq!(m.vals(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row_len(1), 0);
+        assert_eq!(m.row_cols(2), &[1, 2]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(Csr::from_triplets(&m.to_triplets()), m);
+    }
+
+    #[test]
+    fn hierarchy_and_flat_agree() {
+        let m = sample();
+        let mut hier = Vec::new();
+        for c in m.enum_outer() {
+            for (j, v) in m.enum_inner(&c) {
+                hier.push((c.index, j, v));
+            }
+        }
+        assert_eq!(hier, m.enum_flat().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn searches() {
+        let m = sample();
+        assert_eq!(m.search_pair(0, 3), Some(2.0));
+        assert_eq!(m.search_pair(1, 0), None);
+        let c = m.search_outer(2).unwrap();
+        assert_eq!(m.search_inner(&c, 2), Some(4.0));
+    }
+
+    #[test]
+    fn transpose() {
+        let m = sample();
+        let t = m.transposed();
+        assert_eq!(t.nrows(), 4);
+        assert_eq!(t.search_pair(3, 0), Some(2.0));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let m = Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_unsorted_row() {
+        Csr::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_entries_nodup_matches_canonical() {
+        // Unsorted, duplicate-free input in arbitrary order.
+        let entries = vec![
+            (2usize, 3usize, 1.0),
+            (0, 1, 2.0),
+            (2, 0, 3.0),
+            (0, 0, 4.0),
+            (1, 2, 5.0),
+        ];
+        let fast = Csr::from_entries_nodup(3, 4, &entries);
+        let slow = Csr::from_triplets(&Triplets::from_entries(3, 4, &entries));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn from_entries_nodup_empty() {
+        let m = Csr::from_entries_nodup(2, 2, &[]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.rowptr(), &[0, 0, 0]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic matrix generators.
+//!
+//! The paper's experiments use PETSc test matrices (`small`, `medium`,
+//! `cfd.1.10`) and Matrix Market matrices (`685_bus`, `bcsstm27`,
+//! `gr_30_30`, `memplus`, `sherman1`), plus synthetic 3-D grid problems
+//! for the parallel CG runs. The originals are not redistributable
+//! here, so this module generates *structural twins*: matrices matching
+//! the originals' dimension, nonzero count and — crucially — structure
+//! class (bandedness, row-length distribution, i-node richness), which
+//! is what determines the per-format performance ranking in Table 1.
+//! Real Matrix Market files can be substituted via [`crate::io`].
+
+pub mod grid;
+pub mod random;
+pub mod suite;
+
+pub use grid::{fem_grid_2d, fem_grid_3d, grid2d_5pt, grid2d_9pt, grid3d_7pt, shuffle_points};
+pub use random::{block_diagonal_mass, circuit, power_network, random_sparse};
+pub use suite::{table1_suite, Scale, SuiteMatrix};

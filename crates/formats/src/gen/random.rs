@@ -1,0 +1,188 @@
+//! Irregular synthetic matrices: power networks, circuits, mass
+//! matrices and plain random sparsity.
+//!
+//! All generators are deterministic given their seed (xoshiro-style
+//! `SmallRng`), so benchmark workloads are reproducible run to run.
+
+use crate::triplet::Triplets;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Electrical-network admittance-style matrix: the structural twin of
+/// `685_bus`. Buses connect mostly to nearby buses (index locality,
+/// like the original's node numbering), degree 1–4, symmetric,
+/// diagonally dominant.
+pub fn power_network(n: usize, seed: u64) -> Triplets {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Triplets::with_capacity(n, n, 6 * n);
+    let mut degree = vec![0.0f64; n];
+    let mut seen = std::collections::HashSet::new();
+    for i in 1..n {
+        // Tree backbone keeps the network connected.
+        let span = 1 + rng.gen_range(0..16.min(i));
+        let j = i - span;
+        let w = 1.0 + rng.gen_range(0.0..2.0);
+        if seen.insert((j, i)) {
+            t.push_sym(i, j, -w);
+            degree[i] += w;
+            degree[j] += w;
+        }
+        // Occasional extra branches (loops in the grid).
+        if rng.gen_bool(0.35) && i > 2 {
+            let far = rng.gen_range(0..i);
+            if far != j && seen.insert((far.min(i), far.max(i))) {
+                let w = 0.5 + rng.gen_range(0.0..1.5);
+                t.push_sym(i, far, -w);
+                degree[i] += w;
+                degree[far] += w;
+            }
+        }
+    }
+    for (i, d) in degree.iter().enumerate() {
+        t.push(i, i, d + 1.0); // shunt term keeps it positive definite
+    }
+    t
+}
+
+/// Circuit-simulation-style matrix: the structural twin of `memplus`
+/// (memory circuit, 17758 unknowns). Mostly very short rows plus a few
+/// extremely long ones (supply rails touching thousands of nodes) —
+/// the row-length skew that makes ITPACK padding catastrophic and
+/// JDIAG attractive.
+pub fn circuit(n: usize, seed: u64) -> Triplets {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Triplets::with_capacity(n, n, 8 * n);
+    let rails = (n / 2000).max(2); // a handful of rail nodes
+    for i in 0..n {
+        t.push(i, i, 4.0 + rng.gen_range(0.0..1.0));
+    }
+    // Ordinary nodes: 1–4 local couplings.
+    for i in 1..n {
+        let k = rng.gen_range(1..=4usize);
+        for _ in 0..k {
+            let span = 1 + rng.gen_range(0..32.min(i));
+            let j = i - span;
+            let w = rng.gen_range(0.05..1.0);
+            t.push(i, j, -w);
+            t.push(j, i, -w * rng.gen_range(0.5..1.5)); // mildly unsymmetric values
+        }
+    }
+    // Rail nodes couple to a large random subset.
+    for rail in 0..rails {
+        let r = rail * (n / rails);
+        let fanout = n / 20;
+        for _ in 0..fanout {
+            let j = rng.gen_range(0..n);
+            if j != r {
+                t.push(r, j, -0.01);
+                t.push(j, r, -0.01);
+            }
+        }
+    }
+    t
+}
+
+/// Generalised-mass-matrix twin of `bcsstm27` (BCS structural
+/// engineering mass matrix): dense symmetric blocks along the diagonal
+/// (one per element group) with light inter-block coupling.
+pub fn block_diagonal_mass(nblocks: usize, block: usize, seed: u64) -> Triplets {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nblocks * block;
+    let mut t = Triplets::with_capacity(n, n, n * block + 2 * n);
+    for bk in 0..nblocks {
+        let base = bk * block;
+        // SPD block: M = small random symmetric + dominant diagonal.
+        for i in 0..block {
+            for j in 0..=i {
+                let v = if i == j {
+                    (block as f64) + rng.gen_range(0.0..1.0)
+                } else {
+                    rng.gen_range(-0.4..0.4)
+                };
+                t.push_sym(base + i, base + j, v);
+            }
+        }
+        // Light coupling to the next block's first row.
+        if bk + 1 < nblocks {
+            t.push_sym(base + block - 1, base + block, -0.1);
+        }
+    }
+    t
+}
+
+/// Uniform random sparse matrix with ~`nnz` stored entries.
+pub fn random_sparse(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Triplets {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Triplets::with_capacity(nrows, ncols, nnz);
+    for _ in 0..nnz {
+        let r = rng.gen_range(0..nrows);
+        let c = rng.gen_range(0..ncols);
+        let v = rng.gen_range(-1.0..1.0f64);
+        if v != 0.0 {
+            t.push(r, c, v);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::analyze;
+
+    #[test]
+    fn power_network_is_spd_style() {
+        let t = power_network(200, 7);
+        let s = analyze(&t);
+        assert_eq!(s.nrows, 200);
+        assert!(s.symmetric);
+        assert!(s.avg_row_len < 8.0, "bus matrices are very sparse");
+        // Diagonal dominance.
+        let c = t.canonicalize();
+        let mut diag = vec![0.0; 200];
+        let mut off = vec![0.0; 200];
+        for &(r, cc, v) in c.entries() {
+            if r == cc {
+                diag[r] = v;
+            } else {
+                off[r] += v.abs();
+            }
+        }
+        for r in 0..200 {
+            assert!(diag[r] > off[r]);
+        }
+    }
+
+    #[test]
+    fn circuit_has_skewed_row_lengths() {
+        let t = circuit(4000, 11);
+        let s = analyze(&t);
+        assert!(s.max_row_len > 20 * s.avg_row_len as usize,
+            "rails must dominate: max {} vs avg {}", s.max_row_len, s.avg_row_len);
+        assert!(s.itpack_waste() > 0.8, "ITPACK padding should be huge");
+    }
+
+    #[test]
+    fn mass_matrix_is_block_banded() {
+        let t = block_diagonal_mass(10, 6, 3);
+        let s = analyze(&t);
+        assert_eq!(s.nrows, 60);
+        assert!(s.symmetric);
+        assert!(s.bandwidth <= 6);
+    }
+
+    #[test]
+    fn random_sparse_dims() {
+        let t = random_sparse(50, 70, 300, 5);
+        let s = analyze(&t.canonicalize());
+        assert_eq!(s.nrows, 50);
+        assert_eq!(s.ncols, 70);
+        assert!(s.nnz > 250 && s.nnz <= 300); // collisions merge a few
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(power_network(100, 42).canonicalize(), power_network(100, 42).canonicalize());
+        assert_ne!(power_network(100, 42).canonicalize(), power_network(100, 43).canonicalize());
+    }
+}

@@ -1,0 +1,144 @@
+//! The Table 1 matrix suite: synthetic structural twins of the paper's
+//! eight test matrices (Appendix A), in the paper's row order.
+//!
+//! | Paper matrix | Origin | Twin here |
+//! |---|---|---|
+//! | `small` | PETSc test, 36 unknowns | 6×6 grid, 5-point |
+//! | `medium` | PETSc test | 6×6 grid, 5-point, 5 DOF (i-node rich) |
+//! | `cfd.1.10` | PETSc CFD test | 10×10×5 grid, 7-point, 4 DOF |
+//! | `685_bus` | MM power network | [`power_network`] (685 buses) |
+//! | `bcsstm27` | MM mass matrix | [`block_diagonal_mass`] (204×6) |
+//! | `gr_30_30` | MM 9-point grid | [`grid2d_9pt`] (30×30) |
+//! | `memplus` | MM memory circuit | [`circuit`] (17758 nodes) |
+//! | `sherman1` | MM oil reservoir | [`grid3d_7pt`] (10×10×10) |
+
+use super::grid::{fem_grid_2d, fem_grid_3d, grid2d_5pt, grid2d_9pt, grid3d_7pt, shuffle_points};
+use super::random::{block_diagonal_mass, circuit, power_network};
+use crate::stats::{analyze, MatrixStats};
+use crate::triplet::Triplets;
+
+/// Workload scale: `Full` matches the paper's dimensions; `Small`
+/// shrinks the large matrices for fast test runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Full,
+    Small,
+}
+
+/// One suite entry.
+pub struct SuiteMatrix {
+    /// The paper's matrix name (Table 1 row label).
+    pub name: &'static str,
+    /// What the twin is and why it preserves the original's structure.
+    pub description: &'static str,
+    pub triplets: Triplets,
+}
+
+impl SuiteMatrix {
+    pub fn stats(&self) -> MatrixStats {
+        analyze(&self.triplets)
+    }
+}
+
+/// Generate the full Table 1 suite.
+pub fn table1_suite(scale: Scale) -> Vec<SuiteMatrix> {
+    let small = scale == Scale::Small;
+    vec![
+        SuiteMatrix {
+            name: "small",
+            description: "6x6 grid, 5-point Laplacian (PETSc 'small', 36 unknowns)",
+            triplets: grid2d_5pt(6, 6),
+        },
+        SuiteMatrix {
+            name: "medium",
+            description: "6x6 grid, 5-point, 5 DOF/point, mesh-shuffled (PETSc 'medium'; i-node rich, unbanded)",
+            triplets: shuffle_points(&fem_grid_2d(6, 6, 5), 5, 0x6d65),
+        },
+        SuiteMatrix {
+            name: "cfd.1.10",
+            description: "10x10x5 grid, 7-point, 4 DOF/point (PETSc CFD; i-node rich)",
+            triplets: if small {
+                shuffle_points(&fem_grid_3d(5, 5, 3, 4), 4, 0xcfd)
+            } else {
+                shuffle_points(&fem_grid_3d(10, 10, 5, 4), 4, 0xcfd)
+            },
+        },
+        SuiteMatrix {
+            name: "685_bus",
+            description: "685-bus power network (irregular, very sparse, symmetric)",
+            triplets: power_network(if small { 171 } else { 685 }, 0x685),
+        },
+        SuiteMatrix {
+            name: "bcsstm27",
+            description: "block-diagonal mass matrix, 204 blocks of 6 (banded)",
+            triplets: block_diagonal_mass(if small { 51 } else { 204 }, 6, 0x27),
+        },
+        SuiteMatrix {
+            name: "gr_30_30",
+            description: "30x30 grid, 9-point operator (900 unknowns, 5 diag bands)",
+            triplets: if small { grid2d_9pt(15, 15) } else { grid2d_9pt(30, 30) },
+        },
+        SuiteMatrix {
+            name: "memplus",
+            description: "memory-circuit matrix, 17758 nodes, extreme row-length skew",
+            triplets: circuit(if small { 2219 } else { 17758 }, 0x3e),
+        },
+        SuiteMatrix {
+            name: "sherman1",
+            description: "10x10x10 grid, 7-point (oil reservoir, 1000 unknowns)",
+            triplets: grid3d_7pt(10, 10, 10),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_rows_in_order() {
+        let suite = table1_suite(Scale::Small);
+        let names: Vec<&str> = suite.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["small", "medium", "cfd.1.10", "685_bus", "bcsstm27", "gr_30_30", "memplus", "sherman1"]
+        );
+    }
+
+    #[test]
+    fn full_scale_dimensions_match_paper() {
+        let suite = table1_suite(Scale::Full);
+        let dim = |name: &str| {
+            suite.iter().find(|s| s.name == name).unwrap().triplets.nrows()
+        };
+        assert_eq!(dim("small"), 36);
+        assert_eq!(dim("685_bus"), 685);
+        assert_eq!(dim("bcsstm27"), 1224);
+        assert_eq!(dim("gr_30_30"), 900);
+        assert_eq!(dim("memplus"), 17758);
+        assert_eq!(dim("sherman1"), 1000);
+    }
+
+    #[test]
+    fn structure_classes_differ() {
+        let suite = table1_suite(Scale::Small);
+        let stats: std::collections::HashMap<&str, MatrixStats> =
+            suite.iter().map(|s| (s.name, s.stats())).collect();
+        // The twins must preserve what makes each matrix favour a
+        // different format (the "no single winner" premise).
+        assert!(stats["medium"].avg_inode_rows() >= 4.0, "medium is i-node rich");
+        assert!(stats["gr_30_30"].row_len_stddev < 2.0, "gr_30_30 near-uniform rows");
+        assert!(stats["memplus"].itpack_waste() > 0.8, "memplus punishes ITPACK");
+        assert!(stats["bcsstm27"].bandwidth <= 6, "bcsstm27 tightly banded");
+        assert!(stats["685_bus"].avg_row_len < 8.0, "685_bus very sparse");
+    }
+
+    #[test]
+    fn all_square_and_nonempty() {
+        for s in table1_suite(Scale::Small) {
+            let st = s.stats();
+            assert_eq!(st.nrows, st.ncols, "{}", s.name);
+            assert!(st.nnz > 0, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Matrix Market exchange-format I/O (Boisvert et al., the paper's
+//! source for its Appendix-A test matrices).
+//!
+//! Supports the coordinate format with `real`, `integer` and `pattern`
+//! fields and `general`/`symmetric`/`skew-symmetric` symmetry, which
+//! covers the matrices the paper used (`685_bus`, `bcsstm27`,
+//! `gr_30_30`, `memplus`, `sherman1`). If real Matrix Market files are
+//! available they can be dropped in; otherwise the synthetic twins from
+//! [`crate::gen`] stand in (documented in DESIGN.md).
+
+use crate::triplet::Triplets;
+use std::io::{BufRead, Write};
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(s) => write!(f, "Matrix Market parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Read a Matrix Market coordinate file into triplets.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Triplets, MmError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let head: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(parse_err(format!("bad header line: {header}")));
+    }
+    if head[2] != "coordinate" {
+        return Err(parse_err(format!("unsupported representation {}", head[2])));
+    }
+    let field = match head[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        f => return Err(parse_err(format!("unsupported field type {f}"))),
+    };
+    let sym = match head[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        s => return Err(parse_err(format!("unsupported symmetry {s}"))),
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>().map_err(|e| parse_err(format!("size line: {e}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(format!("size line needs 3 fields: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = Triplets::with_capacity(nrows, ncols, nnz * 2);
+    let mut count = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("row index: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(format!("column index: {e}")))?;
+        let v: f64 = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|e| parse_err(format!("value: {e}")))?,
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("index ({i},{j}) out of 1..{nrows} x 1..{ncols}")));
+        }
+        // Matrix Market is 1-based.
+        let (r, c) = (i - 1, j - 1);
+        t.push(r, c, v);
+        match sym {
+            Symmetry::General => {}
+            Symmetry::Symmetric => {
+                if r != c {
+                    t.push(c, r, v);
+                }
+            }
+            Symmetry::SkewSymmetric => {
+                if r != c {
+                    t.push(c, r, -v);
+                }
+            }
+        }
+        count += 1;
+    }
+    if count != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {count}")));
+    }
+    Ok(t)
+}
+
+/// Write triplets as a general real coordinate Matrix Market file.
+pub fn write_matrix_market<W: Write>(t: &Triplets, mut w: W) -> Result<(), MmError> {
+    let c = t.canonicalize();
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by bernoulli-formats")?;
+    writeln!(w, "{} {} {}", c.nrows(), c.ncols(), c.len())?;
+    for &(r, cc, v) in c.entries() {
+        writeln!(w, "{} {} {:.17e}", r + 1, cc + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 2\n\
+                    1 1 2.5\n\
+                    3 2 -1.0\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(t.canonicalize().entries(), &[(0, 0, 2.5), (2, 1, -1.0)]);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 3.0\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        let c = t.canonicalize();
+        assert_eq!(c.entries(), &[(0, 0, 1.0), (0, 1, 3.0), (1, 0, 3.0)]);
+        assert!(t.is_symmetric());
+    }
+
+    #[test]
+    fn parse_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 4.0\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(t.canonicalize().entries(), &[(0, 1, -4.0), (1, 0, 4.0)]);
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 3 2\n\
+                    1 3\n\
+                    2 1\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(t.canonicalize().entries(), &[(0, 2, 1.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let t = Triplets::from_entries(3, 2, &[(0, 0, 1.25), (2, 1, -0.5)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&t, &mut buf).unwrap();
+        let back = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.canonicalize(), t.canonicalize());
+    }
+
+    #[test]
+    fn errors_reported() {
+        let bad_header = "%%NotMM matrix coordinate real general\n1 1 0\n";
+        assert!(read_matrix_market(BufReader::new(bad_header.as_bytes())).is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(bad_count.as_bytes())).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(BufReader::new(oob.as_bytes())).is_err());
+        let dense_repr = "%%MatrixMarket matrix array real general\n2 2 4\n";
+        assert!(read_matrix_market(BufReader::new(dense_repr.as_bytes())).is_err());
+    }
+}

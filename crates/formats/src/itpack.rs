@@ -1,0 +1,231 @@
+//! ITPACK/ELLPACK storage (Kincaid et al., "Algorithm 586 ITPACK 2C";
+//! Appendix A of the paper).
+//!
+//! Every row is padded to the same width `W` (the maximum stored row
+//! length); column indices and values are stored in `nrows × W` arrays
+//! laid out **column-major** so that consecutive rows' k-th entries are
+//! adjacent — the vectorisation-friendly layout ITPACK was designed
+//! around. Padding slots repeat the row's last real column index with a
+//! zero value (the classical convention), but the relational view skips
+//! them via the per-row length array, so the relation contains exactly
+//! the nonzeros.
+
+use crate::triplet::Triplets;
+use bernoulli_relational::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
+};
+use bernoulli_relational::props::{LevelProps, SearchCost};
+
+/// ITPACK/ELLPACK sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Itpack {
+    nrows: usize,
+    ncols: usize,
+    /// Padded row width (max stored row length).
+    width: usize,
+    /// Column indices, `nrows × width`, column-major: slot `k` of row
+    /// `r` lives at `k * nrows + r`.
+    colind: Vec<usize>,
+    /// Values, same layout.
+    vals: Vec<f64>,
+    /// Real (unpadded) length of each row.
+    rowlen: Vec<usize>,
+    nnz: usize,
+}
+
+impl Itpack {
+    pub fn from_triplets(t: &Triplets) -> Self {
+        let c = t.canonicalize();
+        let nrows = t.nrows();
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nrows];
+        for &(r, cc, v) in c.entries() {
+            rows[r].push((cc, v));
+        }
+        let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut colind = vec![0usize; nrows * width];
+        let mut vals = vec![0.0; nrows * width];
+        let mut rowlen = vec![0usize; nrows];
+        for (r, entries) in rows.iter().enumerate() {
+            rowlen[r] = entries.len();
+            let pad_col = entries.last().map_or(0, |&(cc, _)| cc);
+            for k in 0..width {
+                let at = k * nrows + r;
+                if k < entries.len() {
+                    colind[at] = entries[k].0;
+                    vals[at] = entries[k].1;
+                } else {
+                    colind[at] = pad_col;
+                    vals[at] = 0.0;
+                }
+            }
+        }
+        Itpack { nrows, ncols: t.ncols(), width, colind, vals, rowlen, nnz: c.len() }
+    }
+
+    pub fn to_triplets(&self) -> Triplets {
+        let mut t = Triplets::with_capacity(self.nrows, self.ncols, self.nnz);
+        for r in 0..self.nrows {
+            for k in 0..self.rowlen[r] {
+                let at = k * self.nrows + r;
+                t.push(r, self.colind[at], self.vals[at]);
+            }
+        }
+        t
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// The padded row width `W`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Real length of row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.rowlen[r]
+    }
+
+    /// Total stored slots including padding — the format's footprint.
+    pub fn stored_len(&self) -> usize {
+        self.nrows * self.width
+    }
+
+    /// Raw column-major arrays (for the hand-written kernel).
+    pub fn arrays(&self) -> (&[usize], &[f64]) {
+        (&self.colind, &self.vals)
+    }
+}
+
+impl MatrixAccess for Itpack {
+    fn meta(&self) -> MatMeta {
+        MatMeta {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz,
+            orientation: Orientation::RowMajor,
+            outer: LevelProps::dense(),
+            // Rows are short and strided: linear search within a row.
+            inner: LevelProps::sparse_sorted().with_search(SearchCost::Linear),
+            flat: LevelProps::sparse_unsorted(),
+            pair_search_cheap: true,
+        }
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        Box::new((0..self.nrows).map(move |r| OuterCursor {
+            index: r,
+            a: r,
+            b: self.rowlen[r],
+        }))
+    }
+
+    fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+        (index < self.nrows).then(|| OuterCursor {
+            index,
+            a: index,
+            b: self.rowlen[index],
+        })
+    }
+
+    fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+        InnerIter::Strided {
+            idx: &self.colind,
+            vals: &self.vals,
+            base: outer.a,
+            stride: self.nrows,
+            count: outer.b,
+            pos: 0,
+        }
+    }
+
+    fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+        let r = outer.a;
+        for k in 0..outer.b {
+            let at = k * self.nrows + r;
+            if self.colind[at] == index {
+                return Some(self.vals[at]);
+            }
+        }
+        None
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        Box::new((0..self.nrows).flat_map(move |r| {
+            (0..self.rowlen[r]).map(move |k| {
+                let at = k * self.nrows + r;
+                (r, self.colind[at], self.vals[at])
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triplets {
+        Triplets::from_entries(
+            3,
+            4,
+            &[(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 0, 5.0), (2, 3, 6.0)],
+        )
+    }
+
+    #[test]
+    fn width_is_max_row_length() {
+        let m = Itpack::from_triplets(&sample());
+        assert_eq!(m.width(), 3);
+        assert_eq!(m.row_len(0), 3);
+        assert_eq!(m.row_len(1), 1);
+        assert_eq!(m.stored_len(), 9);
+        assert_eq!(m.nnz(), 6);
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let m = Itpack::from_triplets(&sample());
+        let (colind, vals) = m.arrays();
+        // Slot 0 of rows 0,1,2 first, then slot 1, then slot 2.
+        assert_eq!(&colind[0..3], &[0, 1, 0]);
+        assert_eq!(&vals[0..3], &[1.0, 4.0, 5.0]);
+        // Row 1's padding repeats its last real column (1) with 0.0.
+        assert_eq!(colind[3 + 1], 1); // slot 1 of row 1
+        assert_eq!(vals[3 + 1], 0.0);
+    }
+
+    #[test]
+    fn relation_view_skips_padding() {
+        let m = Itpack::from_triplets(&sample());
+        assert_eq!(m.enum_flat().count(), 6);
+        let c = m.search_outer(1).unwrap();
+        assert_eq!(m.enum_inner(&c).collect::<Vec<_>>(), vec![(1, 4.0)]);
+        // The padded slot must not surface through search either.
+        assert_eq!(m.search_pair(1, 1), Some(4.0));
+        assert_eq!(m.search_pair(1, 2), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let m = Itpack::from_triplets(&t);
+        assert_eq!(m.to_triplets().canonicalize(), t.canonicalize());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Itpack::from_triplets(&Triplets::new(3, 3));
+        assert_eq!(m.width(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.enum_flat().count(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # bernoulli-formats
+//!
+//! Sparse matrix storage formats for the Bernoulli reproduction —
+//! every format evaluated in Table 1 of *"Compiling Parallel Code for
+//! Sparse Matrix Applications"* (SC'97), each described to the compiler
+//! through the access-method traits of [`bernoulli_relational`]:
+//!
+//! | Format | Module | Paper reference |
+//! |---|---|---|
+//! | Dense (row-major) | [`dense`] | baseline |
+//! | Coordinate | [`coo`] | Appendix A |
+//! | Compressed Row Storage (CRS) | [`csr`] | Appendix A |
+//! | Compressed Column Storage (CCS) | [`ccs`] | §1, Fig. 1(b) |
+//! | Compressed Compressed Column Storage (CCCS) | [`cccs`] | §1, Fig. 1(c) |
+//! | Sparse Diagonal | [`diag`] | Appendix A (skyline re-oriented along diagonals) |
+//! | ITPACK/ELLPACK | [`itpack`] | Appendix A |
+//! | Jagged Diagonal | [`jdiag`] | Appendix A (row permutation, §2.2) |
+//! | I-node (identical nodes) | [`inode`] | §1, Fig. 2(c) (BlockSolve) |
+//!
+//! Additional substrates:
+//!
+//! * [`triplet`] — the assembly builder every format constructs from;
+//! * [`matrix`] — the `SparseMatrix` enum
+//!   unifying all formats behind one type;
+//! * [`kernels`] — hand-written SpMV/SpMM per format (the "hand-written
+//!   library code" baselines of the paper's experiments);
+//! * [`io`] — Matrix Market exchange-format reader/writer;
+//! * [`gen`] — synthetic matrix generators (grid stencils with degrees
+//!   of freedom, power networks, banded and circuit-like matrices) used
+//!   as structural twins of the paper's test matrices;
+//! * [`stats`] — structural statistics used to pick formats and to
+//!   document the generated workloads.
+
+pub mod bsr;
+pub mod ccs;
+pub mod cccs;
+pub mod convert;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod gen;
+pub mod inode;
+pub mod io;
+pub mod itpack;
+pub mod jdiag;
+pub mod kernels;
+pub mod matrix;
+pub mod msr;
+pub mod diag;
+pub mod skyline;
+pub mod sparsevec;
+pub mod stats;
+pub mod triplet;
+
+pub use bsr::Bsr;
+pub use ccs::Ccs;
+pub use cccs::Cccs;
+pub use coo::Coo;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use diag::DiagonalMatrix;
+pub use inode::InodeMatrix;
+pub use itpack::Itpack;
+pub use jdiag::JDiag;
+pub use matrix::{FormatKind, SparseMatrix};
+pub use msr::Msr;
+pub use skyline::Skyline;
+pub use sparsevec::SparseVec;
+pub use triplet::Triplets;

@@ -1,0 +1,297 @@
+//! The [`SparseMatrix`] sum type: every storage format behind one
+//! value, with uniform construction, conversion and access-method
+//! delegation. This is what user-facing APIs (the compiler driver, the
+//! benchmark harness) traffic in.
+
+use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag, Triplets};
+use bernoulli_relational::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, OuterCursor, OuterIter,
+};
+
+/// The storage formats of the paper's Table 1 (plus dense).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    Dense,
+    Coordinate,
+    Csr,
+    Ccs,
+    Cccs,
+    Diagonal,
+    Itpack,
+    JDiag,
+    Inode,
+}
+
+impl FormatKind {
+    /// Every supported format, in Table 1 column order (with the two
+    /// extra column-compressed formats appended).
+    pub const ALL: [FormatKind; 9] = [
+        FormatKind::Diagonal,
+        FormatKind::Coordinate,
+        FormatKind::Csr,
+        FormatKind::Itpack,
+        FormatKind::JDiag,
+        FormatKind::Inode,
+        FormatKind::Ccs,
+        FormatKind::Cccs,
+        FormatKind::Dense,
+    ];
+
+    /// The paper's name for the format (Table 1 headers).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            FormatKind::Dense => "Dense",
+            FormatKind::Coordinate => "Coordinate",
+            FormatKind::Csr => "CRS",
+            FormatKind::Ccs => "CCS",
+            FormatKind::Cccs => "CCCS",
+            FormatKind::Diagonal => "Diagonal",
+            FormatKind::Itpack => "ITPACK",
+            FormatKind::JDiag => "JDiag",
+            FormatKind::Inode => "BS95", // i-node storage is the BlockSolve building block
+        }
+    }
+}
+
+impl std::fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A sparse matrix in any supported storage format.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SparseMatrix {
+    Dense(DenseMatrix),
+    Coordinate(Coo),
+    Csr(Csr),
+    Ccs(Ccs),
+    Cccs(Cccs),
+    Diagonal(DiagonalMatrix),
+    Itpack(Itpack),
+    JDiag(JDiag),
+    Inode(InodeMatrix),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $m:ident => $e:expr) => {
+        match $self {
+            SparseMatrix::Dense($m) => $e,
+            SparseMatrix::Coordinate($m) => $e,
+            SparseMatrix::Csr($m) => $e,
+            SparseMatrix::Ccs($m) => $e,
+            SparseMatrix::Cccs($m) => $e,
+            SparseMatrix::Diagonal($m) => $e,
+            SparseMatrix::Itpack($m) => $e,
+            SparseMatrix::JDiag($m) => $e,
+            SparseMatrix::Inode($m) => $e,
+        }
+    };
+}
+
+impl SparseMatrix {
+    /// Materialise triplets into the requested format.
+    pub fn from_triplets(kind: FormatKind, t: &Triplets) -> SparseMatrix {
+        match kind {
+            FormatKind::Dense => SparseMatrix::Dense(DenseMatrix::from_triplets(t)),
+            FormatKind::Coordinate => SparseMatrix::Coordinate(Coo::from_triplets(t)),
+            FormatKind::Csr => SparseMatrix::Csr(Csr::from_triplets(t)),
+            FormatKind::Ccs => SparseMatrix::Ccs(Ccs::from_triplets(t)),
+            FormatKind::Cccs => SparseMatrix::Cccs(Cccs::from_triplets(t)),
+            FormatKind::Diagonal => SparseMatrix::Diagonal(DiagonalMatrix::from_triplets(t)),
+            FormatKind::Itpack => SparseMatrix::Itpack(Itpack::from_triplets(t)),
+            FormatKind::JDiag => SparseMatrix::JDiag(JDiag::from_triplets(t)),
+            FormatKind::Inode => SparseMatrix::Inode(InodeMatrix::from_triplets(t)),
+        }
+    }
+
+    pub fn kind(&self) -> FormatKind {
+        match self {
+            SparseMatrix::Dense(_) => FormatKind::Dense,
+            SparseMatrix::Coordinate(_) => FormatKind::Coordinate,
+            SparseMatrix::Csr(_) => FormatKind::Csr,
+            SparseMatrix::Ccs(_) => FormatKind::Ccs,
+            SparseMatrix::Cccs(_) => FormatKind::Cccs,
+            SparseMatrix::Diagonal(_) => FormatKind::Diagonal,
+            SparseMatrix::Itpack(_) => FormatKind::Itpack,
+            SparseMatrix::JDiag(_) => FormatKind::JDiag,
+            SparseMatrix::Inode(_) => FormatKind::Inode,
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.meta().nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.meta().ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.meta().nnz
+    }
+
+    /// Back to assembly form (exact for every format).
+    pub fn to_triplets(&self) -> Triplets {
+        match self {
+            SparseMatrix::Dense(m) => m.to_triplets(),
+            SparseMatrix::Coordinate(m) => m.to_triplets(),
+            SparseMatrix::Csr(m) => m.to_triplets(),
+            SparseMatrix::Ccs(m) => m.to_triplets(),
+            SparseMatrix::Cccs(m) => m.to_triplets(),
+            SparseMatrix::Diagonal(m) => m.to_triplets(),
+            SparseMatrix::Itpack(m) => m.to_triplets(),
+            SparseMatrix::JDiag(m) => m.to_triplets(),
+            SparseMatrix::Inode(m) => m.to_triplets(),
+        }
+    }
+
+    /// Convert to another format (through triplets).
+    pub fn convert(&self, kind: FormatKind) -> SparseMatrix {
+        SparseMatrix::from_triplets(kind, &self.to_triplets())
+    }
+
+    /// Hand-written SpMV (`y += A·x`) dispatching to the per-format
+    /// kernels of [`crate::kernels`].
+    pub fn spmv_acc(&self, x: &[f64], y: &mut [f64]) {
+        use crate::kernels;
+        match self {
+            SparseMatrix::Dense(m) => m.matvec_acc(x, y),
+            SparseMatrix::Coordinate(m) => kernels::spmv_coo(m, x, y),
+            SparseMatrix::Csr(m) => kernels::spmv_csr(m, x, y),
+            SparseMatrix::Ccs(m) => kernels::spmv_ccs(m, x, y),
+            SparseMatrix::Cccs(m) => kernels::spmv_cccs(m, x, y),
+            SparseMatrix::Diagonal(m) => kernels::spmv_diag(m, x, y),
+            SparseMatrix::Itpack(m) => kernels::spmv_itpack(m, x, y),
+            SparseMatrix::JDiag(m) => kernels::spmv_jdiag(m, x, y),
+            SparseMatrix::Inode(m) => kernels::spmv_inode(m, x, y),
+        }
+    }
+}
+
+impl MatrixAccess for SparseMatrix {
+    fn meta(&self) -> MatMeta {
+        dispatch!(self, m => m.meta())
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        dispatch!(self, m => m.enum_outer())
+    }
+
+    fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+        dispatch!(self, m => m.search_outer(index))
+    }
+
+    fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+        dispatch!(self, m => m.enum_inner(outer))
+    }
+
+    fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+        dispatch!(self, m => m.search_inner(outer, index))
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        dispatch!(self, m => m.enum_flat())
+    }
+
+    fn search_pair(&self, i: usize, j: usize) -> Option<f64> {
+        dispatch!(self, m => m.search_pair(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Triplets {
+        Triplets::from_entries(
+            4,
+            4,
+            &[(0, 0, 2.0), (0, 3, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0), (3, 3, 6.0)],
+        )
+    }
+
+    #[test]
+    fn every_format_roundtrips() {
+        let t = sample().canonicalize();
+        for kind in FormatKind::ALL {
+            let m = SparseMatrix::from_triplets(kind, &t);
+            assert_eq!(m.kind(), kind);
+            assert_eq!(m.to_triplets().canonicalize(), t, "format {kind}");
+        }
+    }
+
+    #[test]
+    fn every_format_same_spmv() {
+        let t = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut want = vec![0.0; 4];
+        t.matvec_acc(&x, &mut want);
+        for kind in FormatKind::ALL {
+            let m = SparseMatrix::from_triplets(kind, &t);
+            let mut y = vec![0.0; 4];
+            m.spmv_acc(&x, &mut y);
+            assert_eq!(y, want, "format {kind}");
+        }
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let t = sample();
+        let csr = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let jd = csr.convert(FormatKind::JDiag);
+        assert_eq!(jd.kind(), FormatKind::JDiag);
+        assert_eq!(jd.nnz(), csr.nnz());
+        assert_eq!(jd.to_triplets().canonicalize(), t.canonicalize());
+    }
+
+    #[test]
+    fn access_delegation() {
+        let m = SparseMatrix::from_triplets(FormatKind::Csr, &sample());
+        assert_eq!(m.search_pair(2, 2), Some(5.0));
+        assert_eq!(m.enum_flat().count(), 6);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 4);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(FormatKind::Inode.paper_name(), "BS95");
+        assert_eq!(format!("{}", FormatKind::Csr), "CRS");
+    }
+}
+
+#[cfg(test)]
+mod conformance {
+    use super::*;
+    use bernoulli_relational::access_check::check_matrix_access;
+
+    /// Every format in the enum honours the access-method contract on
+    /// structurally varied inputs.
+    #[test]
+    fn all_formats_conform_to_the_access_contract() {
+        let inputs = [
+            crate::gen::grid2d_5pt(5, 4),
+            crate::gen::fem_grid_2d(3, 3, 3),
+            crate::gen::random_sparse(9, 13, 40, 77),
+            Triplets::new(4, 4), // empty
+            Triplets::from_entries(1, 1, &[(0, 0, 1.0)]),
+        ];
+        for (k, t) in inputs.iter().enumerate() {
+            for kind in FormatKind::ALL {
+                let m = SparseMatrix::from_triplets(kind, t);
+                check_matrix_access(&m)
+                    .unwrap_or_else(|e| panic!("input {k}, format {kind}: {e}"));
+            }
+        }
+    }
+
+    /// The standalone formats (outside the enum) conform too.
+    #[test]
+    fn standalone_formats_conform() {
+        let t = crate::gen::fem_grid_2d(4, 3, 2);
+        check_matrix_access(&crate::Bsr::from_triplets(&t, 2)).unwrap();
+        check_matrix_access(&crate::Msr::from_triplets(&t)).unwrap();
+        check_matrix_access(&crate::Skyline::from_triplets(&t)).unwrap();
+    }
+}

@@ -1,0 +1,324 @@
+//! Skyline (profile / envelope) storage — George & Liu, the paper's
+//! reference \[10\], and the format its Appendix A describes Diagonal
+//! storage as a re-orientation of.
+//!
+//! For a symmetric matrix, row `i` stores the contiguous run from its
+//! first nonzero column `first[i]` through the diagonal; the upper
+//! triangle is implied by symmetry. Fill-in during Cholesky
+//! factorisation stays inside the profile, which is why direct solvers
+//! (the paper's §6 "ongoing work") use it. Zeros inside the envelope
+//! are stored explicitly — the format's space/time trade-off.
+//!
+//! The relational view is row-major with a **dense-range** inner level
+//! for the lower part (O(1) search, stride-1 enumeration); upper-part
+//! entries are recovered through symmetry in the flat view.
+
+use crate::triplet::Triplets;
+use bernoulli_relational::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
+};
+use bernoulli_relational::props::LevelProps;
+
+/// Symmetric skyline matrix: lower-profile rows plus the diagonal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Skyline {
+    n: usize,
+    /// `first[i]` = first stored column of row `i` (≤ i).
+    first: Vec<usize>,
+    /// `rowptr[i]..rowptr[i+1]` = the run `first[i]..=i` in `vals`.
+    rowptr: Vec<usize>,
+    vals: Vec<f64>,
+    /// Stored nonzeros (both triangles, envelope zeros excluded).
+    nnz: usize,
+}
+
+impl Skyline {
+    /// Build from a symmetric matrix (asserts symmetry).
+    pub fn from_triplets(t: &Triplets) -> Self {
+        assert_eq!(t.nrows(), t.ncols(), "skyline needs a square matrix");
+        assert!(t.is_symmetric(), "skyline storage requires symmetry");
+        let c = t.canonicalize();
+        let n = t.nrows();
+        let mut first: Vec<usize> = (0..n).collect();
+        for &(r, cc, _) in c.entries() {
+            if cc < r {
+                first[r] = first[r].min(cc);
+            }
+        }
+        let mut rowptr = vec![0usize; n + 1];
+        for i in 0..n {
+            rowptr[i + 1] = rowptr[i] + (i - first[i] + 1);
+        }
+        let mut vals = vec![0.0; rowptr[n]];
+        let mut nnz = 0usize;
+        for &(r, cc, v) in c.entries() {
+            if cc <= r {
+                vals[rowptr[r] + (cc - first[r])] = v;
+                nnz += if cc == r { 1 } else { 2 }; // symmetric pair
+            }
+        }
+        Skyline { n, first, rowptr, vals, nnz }
+    }
+
+    pub fn to_triplets(&self) -> Triplets {
+        let mut t = Triplets::with_capacity(self.n, self.n, self.nnz);
+        for (i, j, v) in self.enum_flat() {
+            t.push(i, j, v);
+        }
+        t
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Total envelope slots (the storage footprint).
+    pub fn envelope(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// First stored column of row `i`.
+    pub fn first_col(&self, i: usize) -> usize {
+        self.first[i]
+    }
+
+    /// The stored lower-profile run of row `i` (columns
+    /// `first(i) ..= i`).
+    pub fn row_run(&self, i: usize) -> &[f64] {
+        &self.vals[self.rowptr[i]..self.rowptr[i + 1]]
+    }
+
+    fn lower_at(&self, i: usize, j: usize) -> Option<f64> {
+        debug_assert!(j <= i);
+        if j < self.first[i] {
+            None
+        } else {
+            let v = self.vals[self.rowptr[i] + (j - self.first[i])];
+            (v != 0.0).then_some(v)
+        }
+    }
+
+    /// Solve `L y = b` where `L` is the lower-profile part of this
+    /// matrix including its diagonal (forward substitution over the
+    /// envelope — the direct-solver kernel skyline storage exists for).
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let run = self.row_run(i);
+            let f = self.first[i];
+            let mut acc = b[i];
+            for (k, &lv) in run[..run.len() - 1].iter().enumerate() {
+                acc -= lv * y[f + k];
+            }
+            let d = run[run.len() - 1];
+            assert!(d != 0.0, "zero diagonal at row {i}");
+            y[i] = acc / d;
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` with the same lower-profile `L` (backward
+    /// substitution).
+    pub fn backward_solve(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.n);
+        let mut x = y.to_vec();
+        for i in (0..self.n).rev() {
+            let run = self.row_run(i);
+            let f = self.first[i];
+            let d = run[run.len() - 1];
+            assert!(d != 0.0, "zero diagonal at row {i}");
+            x[i] /= d;
+            let xi = x[i];
+            for (k, &lv) in run[..run.len() - 1].iter().enumerate() {
+                x[f + k] -= lv * xi;
+            }
+        }
+        x
+    }
+}
+
+impl MatrixAccess for Skyline {
+    fn meta(&self) -> MatMeta {
+        MatMeta {
+            nrows: self.n,
+            ncols: self.n,
+            nnz: self.nnz,
+            orientation: Orientation::RowMajor,
+            outer: LevelProps::dense(),
+            // Inner level: a dense run plus symmetric tail — sorted,
+            // constant-time search, but sparse density (not every
+            // column present).
+            inner: LevelProps::sparse_sorted()
+                .with_search(bernoulli_relational::props::SearchCost::Constant),
+            flat: LevelProps::sparse_unsorted(),
+            pair_search_cheap: true,
+        }
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        Box::new((0..self.n).map(move |i| OuterCursor {
+            index: i,
+            a: self.rowptr[i],
+            b: self.rowptr[i + 1],
+        }))
+    }
+
+    fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+        (index < self.n).then(|| OuterCursor {
+            index,
+            a: self.rowptr[index],
+            b: self.rowptr[index + 1],
+        })
+    }
+
+    fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+        let i = outer.index;
+        let f = self.first[i];
+        let lower = self.vals[outer.a..outer.b]
+            .iter()
+            .enumerate()
+            .filter_map(move |(k, &v)| (v != 0.0).then_some((f + k, v)));
+        // Upper part of row i: entries (i, j) with j > i, stored at
+        // (j, i) in the lower profile by symmetry.
+        let n = self.n;
+        let upper = ((i + 1)..n).filter_map(move |j| self.lower_at(j, i).map(|v| (j, v)));
+        InnerIter::Boxed(Box::new(lower.chain(upper)))
+    }
+
+    fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+        let i = outer.index;
+        if index <= i {
+            self.lower_at(i, index)
+        } else {
+            self.lower_at(index, i)
+        }
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        Box::new((0..self.n).flat_map(move |i| {
+            let f = self.first[i];
+            self.vals[self.rowptr[i]..self.rowptr[i + 1]]
+                .iter()
+                .enumerate()
+                .filter_map(move |(k, &v)| (v != 0.0).then_some((i, f + k, v)))
+                .flat_map(move |(i, j, v)| {
+                    if i == j {
+                        vec![(i, j, v)]
+                    } else {
+                        vec![(i, j, v), (j, i, v)]
+                    }
+                })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::grid2d_5pt;
+
+    fn sample() -> Triplets {
+        // Symmetric with a ragged profile.
+        let mut t = Triplets::new(4, 4);
+        t.push(0, 0, 4.0);
+        t.push(1, 1, 5.0);
+        t.push(2, 2, 6.0);
+        t.push(3, 3, 7.0);
+        t.push_sym(2, 0, 1.0);
+        t.push_sym(3, 2, 2.0);
+        t
+    }
+
+    #[test]
+    fn profile_structure() {
+        let s = Skyline::from_triplets(&sample());
+        assert_eq!(s.first_col(0), 0);
+        assert_eq!(s.first_col(1), 1);
+        assert_eq!(s.first_col(2), 0); // reaches back to column 0
+        assert_eq!(s.first_col(3), 2);
+        // Envelope: 1 + 1 + 3 + 2 = 7 slots; row 2 stores an explicit
+        // zero at column 1.
+        assert_eq!(s.envelope(), 7);
+        assert_eq!(s.nnz(), 4 + 2 + 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let s = Skyline::from_triplets(&t);
+        assert_eq!(s.to_triplets().canonicalize(), t.canonicalize());
+    }
+
+    #[test]
+    fn access_and_symmetry() {
+        let s = Skyline::from_triplets(&sample());
+        assert_eq!(s.search_pair(2, 0), Some(1.0));
+        assert_eq!(s.search_pair(0, 2), Some(1.0)); // implied upper
+        assert_eq!(s.search_pair(2, 1), None); // envelope zero not a tuple
+        let c = s.search_outer(2).unwrap();
+        let row: Vec<_> = s.enum_inner(&c).collect();
+        assert_eq!(row, vec![(0, 1.0), (2, 6.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn spmv_through_relation_matches_reference() {
+        let t = grid2d_5pt(5, 4);
+        let s = Skyline::from_triplets(&t);
+        let n = t.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i % 4) as f64 - 1.0).collect();
+        let mut want = vec![0.0; n];
+        t.matvec_acc(&x, &mut want);
+        let mut y = vec![0.0; n];
+        for (i, j, v) in s.enum_flat() {
+            y[i] += v * x[j];
+        }
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangular_solves_invert_each_other() {
+        // Use the envelope's lower part as L (diagonally dominant).
+        let t = grid2d_5pt(4, 4);
+        let s = Skyline::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let y = s.forward_solve(&b);
+        // Check L y = b by explicit multiplication.
+        for i in 0..n {
+            let run = s.row_run(i);
+            let f = s.first_col(i);
+            let mut acc = 0.0;
+            for (k, &lv) in run.iter().enumerate() {
+                acc += lv * y[f + k];
+            }
+            assert!((acc - b[i]).abs() < 1e-9, "row {i}");
+        }
+        // And Lᵀ (backward_solve(y')) = y' round-trips similarly.
+        let x = s.backward_solve(&b);
+        let mut acc = vec![0.0; n];
+        for i in 0..n {
+            let run = s.row_run(i);
+            let f = s.first_col(i);
+            for (k, &lv) in run.iter().enumerate() {
+                acc[f + k] += lv * x[i];
+            }
+        }
+        for (a, bb) in acc.iter().zip(&b) {
+            assert!((a - bb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsymmetric_rejected() {
+        let t = Triplets::from_entries(2, 2, &[(0, 1, 1.0), (0, 0, 1.0), (1, 1, 1.0)]);
+        Skyline::from_triplets(&t);
+    }
+}

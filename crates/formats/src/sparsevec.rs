@@ -1,0 +1,173 @@
+//! Sorted sparse vectors.
+//!
+//! The paper's running example makes `x` sparse too (`P = NZ(A) ∧
+//! NZ(X)`), which is what exercises two-sided sparsity predicates and
+//! merge joins in the planner. `SparseVec` is the vector-relation
+//! counterpart of the matrix formats: a sorted index array plus values,
+//! advertising `sorted / logarithmic-search / sparse` level properties.
+
+use bernoulli_relational::access::{InnerIter, VecMeta, VectorAccess};
+
+/// A sorted sparse vector `X(i, x)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec {
+    len: usize,
+    idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Build from (index, value) pairs: sorted, duplicates summed,
+    /// exact zeros dropped.
+    pub fn from_pairs(len: usize, pairs: &[(usize, f64)]) -> Self {
+        let mut p: Vec<(usize, f64)> = pairs.to_vec();
+        p.sort_by_key(|&(i, _)| i);
+        let mut idx: Vec<usize> = Vec::with_capacity(p.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(p.len());
+        for (i, v) in p {
+            assert!(i < len, "index {i} out of 0..{len}");
+            if idx.last() == Some(&i) {
+                *vals.last_mut().expect("parallel") += v;
+            } else {
+                idx.push(i);
+                vals.push(v);
+            }
+        }
+        let keep: Vec<bool> = vals.iter().map(|&v| v != 0.0).collect();
+        let idx = idx.into_iter().zip(&keep).filter(|(_, &k)| k).map(|(x, _)| x).collect();
+        let vals = vals.into_iter().zip(&keep).filter(|(_, &k)| k).map(|(v, _)| v).collect();
+        SparseVec { len, idx, vals }
+    }
+
+    /// Densify a dense slice, dropping zeros.
+    pub fn from_dense(x: &[f64]) -> Self {
+        let pairs: Vec<(usize, f64)> =
+            x.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(i, &v)| (i, v)).collect();
+        SparseVec::from_pairs(x.len(), &pairs)
+    }
+
+    /// Back to a dense vector.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.len];
+        for (&i, &v) in self.idx.iter().zip(&self.vals) {
+            out[i] = v;
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Density of stored entries.
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.len as f64
+        }
+    }
+
+    /// The sorted index/value arrays.
+    pub fn arrays(&self) -> (&[usize], &[f64]) {
+        (&self.idx, &self.vals)
+    }
+
+    /// Sparse dot product with a dense vector.
+    pub fn dot_dense(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.len);
+        self.idx.iter().zip(&self.vals).map(|(&i, &v)| v * x[i]).sum()
+    }
+
+    /// Sparse dot product with another sparse vector (merge join).
+    pub fn dot_sparse(&self, other: &SparseVec) -> f64 {
+        assert_eq!(self.len, other.len);
+        let (mut a, mut b) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while a < self.idx.len() && b < other.idx.len() {
+            match self.idx[a].cmp(&other.idx[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.vals[a] * other.vals[b];
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl VectorAccess for SparseVec {
+    fn meta(&self) -> VecMeta {
+        VecMeta::sparse_sorted(self.len, self.nnz())
+    }
+
+    fn enumerate(&self) -> InnerIter<'_> {
+        InnerIter::Pairs { idx: &self.idx, vals: &self.vals, pos: 0 }
+    }
+
+    fn search(&self, index: usize) -> Option<f64> {
+        self.idx.binary_search(&index).ok().map(|k| self.vals[k])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_sums_drops() {
+        let v = SparseVec::from_pairs(10, &[(7, 1.0), (2, 3.0), (7, -1.0), (4, 2.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.arrays().0, &[2, 4]);
+        assert_eq!(v.search(7), None); // cancelled
+        assert_eq!(v.search(2), Some(3.0));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let x = vec![0.0, 1.5, 0.0, -2.0, 0.0];
+        let v = SparseVec::from_dense(&x);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), x);
+        assert!((v.density() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dots() {
+        let a = SparseVec::from_pairs(6, &[(0, 1.0), (3, 2.0), (5, 3.0)]);
+        let b = SparseVec::from_pairs(6, &[(3, 4.0), (4, 9.0), (5, -1.0)]);
+        assert_eq!(a.dot_sparse(&b), 8.0 - 3.0);
+        assert_eq!(b.dot_sparse(&a), 5.0);
+        let dense = vec![1.0; 6];
+        assert_eq!(a.dot_dense(&dense), 6.0);
+    }
+
+    #[test]
+    fn vector_access_view() {
+        let v = SparseVec::from_pairs(8, &[(1, 5.0), (6, 7.0)]);
+        let m = v.meta();
+        assert_eq!(m.len, 8);
+        assert_eq!(m.nnz, 2);
+        assert!(!m.props.is_dense());
+        assert_eq!(v.enumerate().collect::<Vec<_>>(), vec![(1, 5.0), (6, 7.0)]);
+        assert_eq!(v.search(6), Some(7.0));
+        assert_eq!(v.search(0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rejected() {
+        SparseVec::from_pairs(3, &[(3, 1.0)]);
+    }
+}

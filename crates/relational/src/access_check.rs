@@ -1,0 +1,227 @@
+//! Conformance checking for [`MatrixAccess`] implementations.
+//!
+//! The paper's extensibility story rests on formats honouring the
+//! access-method contract; [`check_matrix_access`] verifies it
+//! mechanically, so every new format gets the same scrutiny with one
+//! test line. Checks:
+//!
+//! 1. the hierarchical view (if any) and the flat view present the
+//!    same multiset of `⟨i, j, v⟩` tuples;
+//! 2. enumeration respects the declared [`LevelProps`] sortedness;
+//! 3. `search_outer`/`search_inner`/`search_pair` agree with
+//!    enumeration (hits return the enumerated value; misses are
+//!    indices the enumeration doesn't produce);
+//! 4. `meta()` dimensions bound every enumerated index, and `nnz`
+//!    equals the flat tuple count.
+
+use crate::access::{MatrixAccess, Orientation};
+
+/// Verify a `MatrixAccess` implementation; returns a description of the
+/// first violation found.
+pub fn check_matrix_access(m: &dyn MatrixAccess) -> Result<(), String> {
+    let meta = m.meta();
+    let mut flat: Vec<(usize, usize, f64)> = m.enum_flat().collect();
+    if flat.len() != meta.nnz {
+        return Err(format!("meta.nnz = {} but flat view has {} tuples", meta.nnz, flat.len()));
+    }
+    for &(i, j, _) in &flat {
+        if i >= meta.nrows || j >= meta.ncols {
+            return Err(format!(
+                "flat tuple ({i},{j}) outside {}x{}",
+                meta.nrows, meta.ncols
+            ));
+        }
+    }
+    {
+        let mut sorted = flat.clone();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        for w in sorted.windows(2) {
+            if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
+                return Err(format!("duplicate tuple at ({}, {})", w[0].0, w[0].1));
+            }
+        }
+    }
+
+    // Hierarchical view, when present.
+    if meta.orientation != Orientation::Flat {
+        let mut hier: Vec<(usize, usize, f64)> = Vec::new();
+        let mut last_outer: Option<usize> = None;
+        for cursor in m.enum_outer() {
+            if meta.outer.sortedness.is_sorted() {
+                if let Some(lo) = last_outer {
+                    if cursor.index <= lo {
+                        return Err(format!(
+                            "outer enumeration not ascending: {} after {lo}",
+                            cursor.index
+                        ));
+                    }
+                }
+            }
+            last_outer = Some(cursor.index);
+            let mut last_inner: Option<usize> = None;
+            for (inner, v) in m.enum_inner(&cursor) {
+                if meta.inner.sortedness.is_sorted() {
+                    if let Some(li) = last_inner {
+                        if inner <= li {
+                            return Err(format!(
+                                "inner enumeration of outer {} not ascending: {inner} after {li}",
+                                cursor.index
+                            ));
+                        }
+                    }
+                }
+                last_inner = Some(inner);
+                let (i, j) = match meta.orientation {
+                    Orientation::RowMajor => (cursor.index, inner),
+                    Orientation::ColMajor => (inner, cursor.index),
+                    Orientation::Flat => unreachable!(),
+                };
+                hier.push((i, j, v));
+                // Inner search must find this entry.
+                if meta.inner.search.supported() {
+                    match m.search_inner(&cursor, inner) {
+                        Some(got) if got == v => {}
+                        other => {
+                            return Err(format!(
+                                "search_inner({}, {inner}) = {other:?}, enumeration says {v}",
+                                cursor.index
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        let key = |t: &(usize, usize, f64)| (t.0, t.1);
+        let mut a = hier.clone();
+        a.sort_by(|x, y| key(x).cmp(&key(y)));
+        flat.sort_by(|x, y| key(x).cmp(&key(y)));
+        if a.len() != flat.len() {
+            return Err(format!(
+                "hierarchical view has {} tuples, flat view {}",
+                a.len(),
+                flat.len()
+            ));
+        }
+        for (h, f) in a.iter().zip(&flat) {
+            if key(h) != key(f) || h.2 != f.2 {
+                return Err(format!("views disagree: hierarchical {h:?} vs flat {f:?}"));
+            }
+        }
+    }
+
+    // Pair probes agree with the tuple set.
+    for &(i, j, v) in flat.iter().take(200) {
+        match m.search_pair(i, j) {
+            Some(got) if got == v => {}
+            other => return Err(format!("search_pair({i},{j}) = {other:?}, expected {v}")),
+        }
+    }
+    // A handful of definite misses.
+    let present: std::collections::HashSet<(usize, usize)> =
+        flat.iter().map(|&(i, j, _)| (i, j)).collect();
+    let mut misses = 0;
+    'probe: for i in 0..meta.nrows.min(20) {
+        for j in 0..meta.ncols.min(20) {
+            if !present.contains(&(i, j)) {
+                if let Some(v) = m.search_pair(i, j) {
+                    return Err(format!("search_pair({i},{j}) = Some({v}) for an absent tuple"));
+                }
+                misses += 1;
+                if misses >= 20 {
+                    break 'probe;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{FlatIter, InnerIter, MatMeta, OuterCursor, OuterIter};
+    use crate::props::LevelProps;
+    use crate::testmat::DokMatrix;
+
+    #[test]
+    fn dok_matrix_conforms() {
+        let m = DokMatrix::from_triplets(
+            5,
+            6,
+            &[(0, 1, 1.0), (0, 4, 2.0), (2, 0, 3.0), (4, 5, 4.0), (4, 0, 5.0)],
+        );
+        check_matrix_access(&m).unwrap();
+    }
+
+    /// A deliberately broken format: claims sorted inner enumeration
+    /// but yields descending columns.
+    struct LyingFormat {
+        inner: DokMatrix,
+    }
+
+    impl crate::access::MatrixAccess for LyingFormat {
+        fn meta(&self) -> MatMeta {
+            self.inner.meta()
+        }
+        fn enum_outer(&self) -> OuterIter<'_> {
+            self.inner.enum_outer()
+        }
+        fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+            self.inner.search_outer(index)
+        }
+        fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+            let mut v: Vec<(usize, f64)> = self.inner.enum_inner(outer).collect();
+            v.reverse(); // violates the declared sortedness
+            InnerIter::Boxed(Box::new(v.into_iter()))
+        }
+        fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+            self.inner.search_inner(outer, index)
+        }
+        fn enum_flat(&self) -> FlatIter<'_> {
+            self.inner.enum_flat()
+        }
+    }
+
+    #[test]
+    fn lying_sortedness_detected() {
+        let m = LyingFormat {
+            inner: DokMatrix::from_triplets(2, 4, &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0)]),
+        };
+        let err = check_matrix_access(&m).unwrap_err();
+        assert!(err.contains("not ascending"), "{err}");
+    }
+
+    /// A format whose nnz lies.
+    struct WrongNnz {
+        inner: DokMatrix,
+    }
+
+    impl crate::access::MatrixAccess for WrongNnz {
+        fn meta(&self) -> MatMeta {
+            MatMeta { nnz: self.inner.nnz() + 1, ..self.inner.meta() }
+        }
+        fn enum_outer(&self) -> OuterIter<'_> {
+            self.inner.enum_outer()
+        }
+        fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+            self.inner.search_outer(index)
+        }
+        fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+            self.inner.enum_inner(outer)
+        }
+        fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+            self.inner.search_inner(outer, index)
+        }
+        fn enum_flat(&self) -> FlatIter<'_> {
+            self.inner.enum_flat()
+        }
+    }
+
+    #[test]
+    fn wrong_nnz_detected() {
+        let m = WrongNnz { inner: DokMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]) };
+        let err = check_matrix_access(&m).unwrap_err();
+        assert!(err.contains("meta.nnz"), "{err}");
+        let _ = LevelProps::dense();
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared across the relational engine.
+
+use crate::ids::{RelId, Var};
+use std::fmt;
+
+/// Errors raised during planning or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// No join order satisfying all hierarchy constraints exists
+    /// (e.g. two column-major drivers forced into conflicting orders).
+    NoFeasiblePlan(String),
+    /// A relation referenced by the query has no metadata registered.
+    MissingMeta(RelId),
+    /// A relation referenced by the plan has no binding registered.
+    MissingBinding(RelId),
+    /// A binding's shape disagrees with the query (e.g. vector length
+    /// vs. loop bound).
+    ShapeMismatch { rel: RelId, detail: String },
+    /// The statement writes a relation that was bound immutably.
+    NotWritable(RelId),
+    /// The query references a variable the plan does not produce.
+    UnboundVar(Var),
+    /// A plan node demands an operation the bound relation's access
+    /// method does not support (guards against planner/metadata skew).
+    UnsupportedAccess { rel: RelId, detail: String },
+    /// Malformed query (duplicate terms, empty variable list, ...).
+    MalformedQuery(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::NoFeasiblePlan(s) => write!(f, "no feasible plan: {s}"),
+            RelError::MissingMeta(r) => write!(f, "no metadata registered for relation {r}"),
+            RelError::MissingBinding(r) => write!(f, "no binding registered for relation {r}"),
+            RelError::ShapeMismatch { rel, detail } => {
+                write!(f, "shape mismatch for relation {rel}: {detail}")
+            }
+            RelError::NotWritable(r) => write!(f, "relation {r} is not bound mutably"),
+            RelError::UnboundVar(v) => write!(f, "variable {v} is not produced by the plan"),
+            RelError::UnsupportedAccess { rel, detail } => {
+                write!(f, "unsupported access on relation {rel}: {detail}")
+            }
+            RelError::MalformedQuery(s) => write!(f, "malformed query: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Result alias used throughout the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MAT_A, VAR_I};
+
+    #[test]
+    fn errors_display() {
+        let cases: Vec<RelError> = vec![
+            RelError::NoFeasiblePlan("x".into()),
+            RelError::MissingMeta(MAT_A),
+            RelError::MissingBinding(MAT_A),
+            RelError::ShapeMismatch { rel: MAT_A, detail: "len".into() },
+            RelError::NotWritable(MAT_A),
+            RelError::UnboundVar(VAR_I),
+            RelError::UnsupportedAccess { rel: MAT_A, detail: "search".into() },
+            RelError::MalformedQuery("dup".into()),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Identifiers for loop variables and relations.
+//!
+//! Queries refer to relations by small opaque [`RelId`]s and to loop
+//! index variables by [`Var`]s. The executor later binds each `RelId`
+//! to an actual access method via [`crate::exec::Bindings`]; the planner
+//! only ever sees metadata keyed by these ids.
+
+use std::fmt;
+
+/// A loop index variable appearing in a query (e.g. `i`, `j`, `k`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// The canonical first loop variable, conventionally the row index `i`.
+pub const VAR_I: Var = Var(0);
+/// The canonical second loop variable, conventionally the column index `j`.
+pub const VAR_J: Var = Var(1);
+/// The canonical third loop variable, used by matrix-matrix product.
+pub const VAR_K: Var = Var(2);
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "i"),
+            1 => write!(f, "j"),
+            2 => write!(f, "k"),
+            n => write!(f, "v{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An opaque identifier naming one relation (array) in a query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// Conventional id for the primary matrix operand `A`.
+pub const MAT_A: RelId = RelId(0);
+/// Conventional id for the secondary matrix operand `B`.
+pub const MAT_B: RelId = RelId(1);
+/// Conventional id for a result matrix `C`.
+pub const MAT_C: RelId = RelId(2);
+/// Conventional id for the input vector `x`.
+pub const VEC_X: RelId = RelId(8);
+/// Conventional id for the output vector `y`.
+pub const VEC_Y: RelId = RelId(9);
+/// Conventional id for a permutation relation `P`.
+pub const PERM_P: RelId = RelId(16);
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "A"),
+            1 => write!(f, "B"),
+            2 => write!(f, "C"),
+            8 => write!(f, "X"),
+            9 => write!(f, "Y"),
+            16 => write!(f, "P"),
+            n => write!(f, "R{n}"),
+        }
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_display_names() {
+        assert_eq!(format!("{VAR_I}"), "i");
+        assert_eq!(format!("{VAR_J}"), "j");
+        assert_eq!(format!("{VAR_K}"), "k");
+        assert_eq!(format!("{}", Var(7)), "v7");
+    }
+
+    #[test]
+    fn relid_display_names() {
+        assert_eq!(format!("{MAT_A}"), "A");
+        assert_eq!(format!("{VEC_Y}"), "Y");
+        assert_eq!(format!("{}", RelId(42)), "R42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(MAT_A);
+        s.insert(MAT_B);
+        assert!(s.contains(&MAT_A));
+        assert!(VAR_I < VAR_J && VAR_J < VAR_K);
+    }
+}

@@ -1,0 +1,273 @@
+//! Scalar expressions and update statements evaluated per query tuple.
+//!
+//! A DO-ANY loop body like `Y(i) = Y(i) + A(i,j) * X(j)` becomes, after
+//! query extraction, an [`Stmt`] executed once per tuple of the query
+//! result: target `Y` indexed by variable `i`, update operator `+=`, and
+//! right-hand side `Value(A) * Value(X)` — where `Value(r)` denotes the
+//! value field of relation `r` in the current tuple.
+
+use crate::error::{RelError, RelResult};
+use crate::ids::{RelId, Var};
+use std::fmt;
+
+/// A scalar expression over the value fields of the current tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// The value field of a relation in the current tuple (e.g. `a` in
+    /// `A(i, j, a)`). Relations absent from a tuple (possible only for
+    /// non-predicate relations) contribute 0.0.
+    Value(RelId),
+    /// A literal constant.
+    Const(f64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // fluent DSL builders, not arithmetic ops
+impl Expr {
+    pub fn value(r: RelId) -> Expr {
+        Expr::Value(r)
+    }
+
+    pub fn constant(c: f64) -> Expr {
+        Expr::Const(c)
+    }
+
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// Evaluate against a tuple environment: `lookup(r)` yields the
+    /// value field of relation `r` in the current tuple.
+    #[inline]
+    pub fn eval(&self, lookup: &dyn Fn(RelId) -> f64) -> f64 {
+        match self {
+            Expr::Value(r) => lookup(*r),
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval(lookup) + b.eval(lookup),
+            Expr::Sub(a, b) => a.eval(lookup) - b.eval(lookup),
+            Expr::Mul(a, b) => a.eval(lookup) * b.eval(lookup),
+            Expr::Neg(a) => -a.eval(lookup),
+        }
+    }
+
+    /// All relations whose value field the expression reads.
+    pub fn reads(&self) -> Vec<RelId> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<RelId>) {
+        match self {
+            Expr::Value(r) => out.push(*r),
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Neg(a) => a.collect_reads(out),
+        }
+    }
+
+    /// True when the expression is a product (possibly scaled) so that a
+    /// zero in any multiplicand annihilates it — the property underlying
+    /// Bik–Wijshoff sparsity-predicate inference.
+    pub fn is_multiplicative_in(&self, r: RelId) -> bool {
+        match self {
+            Expr::Value(v) => *v == r,
+            Expr::Const(_) => false,
+            Expr::Mul(a, b) => a.is_multiplicative_in(r) || b.is_multiplicative_in(r),
+            Expr::Neg(a) => a.is_multiplicative_in(r),
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                a.is_multiplicative_in(r) && b.is_multiplicative_in(r)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Value(r) => write!(f, "val({r})"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// What the statement writes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// A vector element `R(var)`.
+    VecElem { rel: RelId, var: Var },
+    /// A dense matrix element `R(row_var, col_var)`.
+    MatElem { rel: RelId, row: Var, col: Var },
+    /// A scalar accumulator (dot products, norms).
+    Scalar { rel: RelId },
+}
+
+impl Target {
+    pub fn rel(&self) -> RelId {
+        match self {
+            Target::VecElem { rel, .. } | Target::MatElem { rel, .. } | Target::Scalar { rel } => {
+                *rel
+            }
+        }
+    }
+
+    /// Variables the target is indexed by.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Target::VecElem { var, .. } => vec![*var],
+            Target::MatElem { row, col, .. } => vec![*row, *col],
+            Target::Scalar { .. } => vec![],
+        }
+    }
+}
+
+/// The update operator applied at the target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `target = rhs` — requires each target element be produced by at
+    /// most one tuple (checked by the caller, DO-ALL semantics).
+    Assign,
+    /// `target += rhs` — a reduction; tuples may arrive in any order
+    /// (DO-ANY semantics, the class of loops the paper compiles).
+    AddAssign,
+}
+
+/// The loop-body statement executed per query tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    pub target: Target,
+    pub op: UpdateOp,
+    pub rhs: Expr,
+}
+
+impl Stmt {
+    pub fn new(target: Target, op: UpdateOp, rhs: Expr) -> Self {
+        Stmt { target, op, rhs }
+    }
+
+    /// Sanity-check: the target relation must not also be read unless
+    /// the op is a reduction (reading the old value of an `Assign`
+    /// target under an arbitrary tuple order would be nondeterministic).
+    pub fn validate(&self) -> RelResult<()> {
+        if self.op == UpdateOp::Assign && self.rhs.reads().contains(&self.target.rel()) {
+            return Err(RelError::MalformedQuery(format!(
+                "assign statement reads its own target {}",
+                self.target.rel()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{MAT_A, VAR_I, VAR_J, VEC_X, VEC_Y};
+
+    fn lookup2(a: f64, x: f64) -> impl Fn(RelId) -> f64 {
+        move |r| match r {
+            MAT_A => a,
+            VEC_X => x,
+            _ => 0.0,
+        }
+    }
+
+    #[test]
+    fn eval_product() {
+        let e = Expr::value(MAT_A).mul(Expr::value(VEC_X));
+        assert_eq!(e.eval(&lookup2(3.0, 4.0)), 12.0);
+    }
+
+    #[test]
+    fn eval_affine() {
+        let e = Expr::constant(2.0)
+            .mul(Expr::value(MAT_A))
+            .add(Expr::value(VEC_X).neg())
+            .sub(Expr::constant(1.0));
+        // 2*3 - 4 - 1 = 1
+        assert_eq!(e.eval(&lookup2(3.0, 4.0)), 1.0);
+    }
+
+    #[test]
+    fn reads_deduplicated_sorted() {
+        let e = Expr::value(VEC_X).mul(Expr::value(MAT_A)).add(Expr::value(MAT_A));
+        assert_eq!(e.reads(), vec![MAT_A, VEC_X]);
+    }
+
+    #[test]
+    fn multiplicative_detection() {
+        // A * X is multiplicative in both A and X.
+        let e = Expr::value(MAT_A).mul(Expr::value(VEC_X));
+        assert!(e.is_multiplicative_in(MAT_A));
+        assert!(e.is_multiplicative_in(VEC_X));
+        // A + X is multiplicative in neither.
+        let e = Expr::value(MAT_A).add(Expr::value(VEC_X));
+        assert!(!e.is_multiplicative_in(MAT_A));
+        assert!(!e.is_multiplicative_in(VEC_X));
+        // 2*A is multiplicative in A.
+        let e = Expr::constant(2.0).mul(Expr::value(MAT_A));
+        assert!(e.is_multiplicative_in(MAT_A));
+        // A*X + A is multiplicative in A but not X.
+        let e = Expr::value(MAT_A)
+            .mul(Expr::value(VEC_X))
+            .add(Expr::value(MAT_A));
+        assert!(e.is_multiplicative_in(MAT_A));
+        assert!(!e.is_multiplicative_in(VEC_X));
+    }
+
+    #[test]
+    fn target_vars() {
+        assert_eq!(Target::VecElem { rel: VEC_Y, var: VAR_I }.vars(), vec![VAR_I]);
+        assert_eq!(
+            Target::MatElem { rel: MAT_A, row: VAR_I, col: VAR_J }.vars(),
+            vec![VAR_I, VAR_J]
+        );
+        assert!(Target::Scalar { rel: VEC_Y }.vars().is_empty());
+    }
+
+    #[test]
+    fn assign_reading_target_rejected() {
+        let s = Stmt::new(
+            Target::VecElem { rel: VEC_Y, var: VAR_I },
+            UpdateOp::Assign,
+            Expr::value(VEC_Y).add(Expr::constant(1.0)),
+        );
+        assert!(s.validate().is_err());
+        let s = Stmt::new(
+            Target::VecElem { rel: VEC_Y, var: VAR_I },
+            UpdateOp::AddAssign,
+            Expr::value(MAT_A),
+        );
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn display_expr() {
+        let e = Expr::value(MAT_A).mul(Expr::value(VEC_X));
+        assert_eq!(format!("{e}"), "(val(A) * val(X))");
+    }
+}

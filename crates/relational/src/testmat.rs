@@ -1,0 +1,207 @@
+//! A simple sorted dictionary-of-keys matrix used as the reference
+//! [`MatrixAccess`] implementation for this crate's own tests and docs.
+//!
+//! Real storage formats live in `bernoulli-formats`; `DokMatrix` exists
+//! so the relational engine can be tested (and documented) without a
+//! dependency cycle. It is deliberately naive: a sorted `Vec` of
+//! `(row, col, value)` triplets exposing a row-major hierarchy.
+
+use crate::access::{
+    FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
+};
+use crate::props::LevelProps;
+
+/// Sorted triplet matrix with a row-major two-level access hierarchy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DokMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+    /// `rowptr[i]..rowptr[i+1]` is the triplet range of row `i`.
+    rowptr: Vec<usize>,
+}
+
+impl DokMatrix {
+    /// Build from (row, col, value) triplets; duplicates are summed and
+    /// explicit zeros dropped.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut t: Vec<(usize, usize, f64)> = triplets.to_vec();
+        for &(r, c, _) in &t {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of {nrows}x{ncols}");
+        }
+        t.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rows = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for (r, c, v) in t {
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("parallel arrays") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        // Drop entries that summed to exactly zero.
+        let keep: Vec<bool> = vals.iter().map(|&v| v != 0.0).collect();
+        let filt = |xs: Vec<usize>| -> Vec<usize> {
+            xs.into_iter().zip(&keep).filter(|(_, &k)| k).map(|(x, _)| x).collect()
+        };
+        let rows = filt(rows);
+        let cols = filt(cols);
+        let vals: Vec<f64> = vals.into_iter().zip(&keep).filter(|(_, &k)| k).map(|(v, _)| v).collect();
+
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &r in &rows {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        DokMatrix { nrows, ncols, rows, cols, vals, rowptr }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// All stored triplets in (row, col) order.
+    pub fn triplets(&self) -> Vec<(usize, usize, f64)> {
+        (0..self.nnz()).map(|k| (self.rows[k], self.cols[k], self.vals[k])).collect()
+    }
+
+    /// Dense matvec reference: `y += self * x`.
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for k in 0..self.nnz() {
+            y[self.rows[k]] += self.vals[k] * x[self.cols[k]];
+        }
+    }
+}
+
+impl MatrixAccess for DokMatrix {
+    fn meta(&self) -> MatMeta {
+        MatMeta {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            nnz: self.nnz(),
+            orientation: Orientation::RowMajor,
+            outer: LevelProps::dense(),
+            inner: LevelProps::sparse_sorted(),
+            flat: LevelProps::sparse_sorted(),
+            pair_search_cheap: true,
+        }
+    }
+
+    fn enum_outer(&self) -> OuterIter<'_> {
+        Box::new((0..self.nrows).map(move |i| OuterCursor {
+            index: i,
+            a: self.rowptr[i],
+            b: self.rowptr[i + 1],
+        }))
+    }
+
+    fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+        if index < self.nrows {
+            Some(OuterCursor { index, a: self.rowptr[index], b: self.rowptr[index + 1] })
+        } else {
+            None
+        }
+    }
+
+    fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+        InnerIter::Pairs {
+            idx: &self.cols[outer.a..outer.b],
+            vals: &self.vals[outer.a..outer.b],
+            pos: 0,
+        }
+    }
+
+    fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+        let cols = &self.cols[outer.a..outer.b];
+        cols.binary_search(&index).ok().map(|k| self.vals[outer.a + k])
+    }
+
+    fn enum_flat(&self) -> FlatIter<'_> {
+        Box::new((0..self.nnz()).map(move |k| (self.rows[k], self.cols[k], self.vals[k])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DokMatrix {
+        DokMatrix::from_triplets(
+            3,
+            4,
+            &[(0, 1, 1.0), (0, 3, 2.0), (2, 0, 3.0), (2, 2, 4.0), (2, 3, 5.0)],
+        )
+    }
+
+    #[test]
+    fn builder_sorts_and_sums_duplicates() {
+        let m = DokMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 1.0), (1, 1, 3.0)]);
+        assert_eq!(m.triplets(), vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn builder_drops_cancelled_entries() {
+        let m = DokMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0), (1, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.triplets(), vec![(1, 0, 2.0)]);
+    }
+
+    #[test]
+    fn hierarchical_enumeration_matches_flat() {
+        let m = sample();
+        let mut via_hier = Vec::new();
+        for c in m.enum_outer() {
+            for (j, v) in m.enum_inner(&c) {
+                via_hier.push((c.index, j, v));
+            }
+        }
+        let via_flat: Vec<_> = m.enum_flat().collect();
+        assert_eq!(via_hier, via_flat);
+        assert_eq!(via_flat.len(), 5);
+    }
+
+    #[test]
+    fn search_paths() {
+        let m = sample();
+        assert_eq!(m.search_pair(2, 2), Some(4.0));
+        assert_eq!(m.search_pair(1, 1), None);
+        let c = m.search_outer(0).unwrap();
+        assert_eq!(m.search_inner(&c, 3), Some(2.0));
+        assert_eq!(m.search_inner(&c, 2), None);
+        assert!(m.search_outer(9).is_none());
+    }
+
+    #[test]
+    fn matvec_reference() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 3];
+        m.matvec_acc(&x, &mut y);
+        assert_eq!(y, vec![1.0 * 2.0 + 2.0 * 4.0, 0.0, 3.0 * 1.0 + 4.0 * 3.0 + 5.0 * 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_triplet_panics() {
+        DokMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # bernoulli-solvers
+//!
+//! Iterative solvers over the Bernoulli substrates — the application
+//! layer of the paper's §4 experiments: a preconditioned Conjugate
+//! Gradient solver ("parallel CG with diagonal preconditioning"), in
+//! both sequential and SPMD form, generic over the matvec so it runs
+//! identically on hand-written BlockSolve kernels, compiler-generated
+//! executors, or any storage format.
+//!
+//! * [`vecops`] — dense vector primitives and their distributed
+//!   counterparts (local part + all-reduce);
+//! * [`precond`] — the diagonal (Jacobi) preconditioner;
+//! * [`cg`] — preconditioned CG, sequential and parallel;
+//! * [`stationary`] — Jacobi and Chebyshev iterations (extensions
+//!   beyond the paper's experiments, same substrate);
+//! * [`ic0`] — incomplete Cholesky IC(0) with sparse triangular
+//!   solves, the paper's §6 "ongoing work" substrate;
+//! * `gmres` — restarted GMRES(m) for the unsymmetric matrices of
+//!   the Table-1 suite.
+
+pub mod cg;
+pub mod gmres;
+pub mod ic0;
+pub mod precond;
+pub mod stationary;
+pub mod vecops;
+
+pub use cg::{cg_parallel, cg_sequential, CgOptions, CgResult};
+pub use gmres::{gmres, gmres_parallel, GmresOptions, GmresResult};
+pub use ic0::Ic0;
+pub use precond::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};

@@ -1,0 +1,201 @@
+//! Stationary and semi-iterative methods: Jacobi and Chebyshev.
+//!
+//! Not part of the paper's measurements, but natural extensions on the
+//! same substrate (the paper's §6 points at the broader family of
+//! iterative solvers); they reuse the identical matvec plumbing, so
+//! they exercise the compiled kernels from another angle.
+
+use crate::precond::Preconditioner;
+use crate::vecops::norm2;
+
+/// Result of a stationary iteration.
+#[derive(Clone, Debug)]
+pub struct StationaryResult {
+    pub iters: usize,
+    pub final_residual: f64,
+    pub converged: bool,
+}
+
+/// Damped Jacobi: `x ← x + ω D⁻¹ (b − A x)`.
+pub fn jacobi(
+    mut matvec: impl FnMut(&[f64], &mut [f64]),
+    precond: &impl Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    omega: f64,
+    max_iters: usize,
+    rel_tol: f64,
+) -> StationaryResult {
+    let n = b.len();
+    let mut ax = vec![0.0; n];
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut r0 = None;
+    for k in 0..max_iters {
+        matvec(x, &mut ax);
+        for i in 0..n {
+            r[i] = b[i] - ax[i];
+        }
+        let rn = norm2(&r);
+        let r0v = *r0.get_or_insert(rn);
+        if rn <= rel_tol * r0v {
+            return StationaryResult { iters: k, final_residual: rn, converged: true };
+        }
+        precond.precondition(&r, &mut z);
+        for i in 0..n {
+            x[i] += omega * z[i];
+        }
+    }
+    matvec(x, &mut ax);
+    for i in 0..n {
+        r[i] = b[i] - ax[i];
+    }
+    let rn = norm2(&r);
+    StationaryResult {
+        iters: max_iters,
+        final_residual: rn,
+        converged: rn <= rel_tol * r0.unwrap_or(rn),
+    }
+}
+
+/// Chebyshev semi-iteration for SPD `A` with spectrum in
+/// `[lambda_min, lambda_max]` (no inner products — attractive exactly
+/// where the paper's all-reduce costs hurt).
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev(
+    mut matvec: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    x: &mut [f64],
+    lambda_min: f64,
+    lambda_max: f64,
+    max_iters: usize,
+    rel_tol: f64,
+) -> StationaryResult {
+    assert!(lambda_min > 0.0 && lambda_max > lambda_min, "need 0 < λmin < λmax");
+    let n = b.len();
+    let theta = (lambda_max + lambda_min) / 2.0;
+    let delta = (lambda_max - lambda_min) / 2.0;
+    let sigma1 = theta / delta;
+    let mut r = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+
+    matvec(x, &mut ax);
+    for i in 0..n {
+        r[i] = b[i] - ax[i];
+    }
+    let r0 = norm2(&r);
+    let mut rho_old = 1.0 / sigma1;
+    for k in 0..max_iters {
+        let rn = norm2(&r);
+        if rn <= rel_tol * r0 {
+            return StationaryResult { iters: k, final_residual: rn, converged: true };
+        }
+        if k == 0 {
+            for i in 0..n {
+                d[i] = r[i] / theta;
+            }
+        } else {
+            let rho = 1.0 / (2.0 * sigma1 - rho_old);
+            let c1 = rho * rho_old;
+            let c2 = 2.0 * rho / delta;
+            for i in 0..n {
+                d[i] = c1 * d[i] + c2 * r[i];
+            }
+            rho_old = rho;
+        }
+        for i in 0..n {
+            x[i] += d[i];
+        }
+        matvec(&d, &mut ax);
+        for i in 0..n {
+            r[i] -= ax[i];
+        }
+    }
+    let rn = norm2(&r);
+    StationaryResult { iters: max_iters, final_residual: rn, converged: rn <= rel_tol * r0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::DiagonalPreconditioner;
+    use bernoulli_formats::gen::grid2d_5pt;
+    use bernoulli_formats::Csr;
+
+    fn setup(n: usize) -> (Csr, Vec<f64>, usize) {
+        let t = grid2d_5pt(n, n);
+        let a = Csr::from_triplets(&t);
+        let rows = t.nrows();
+        let b: Vec<f64> = (0..rows).map(|i| ((i % 5) as f64) - 2.0).collect();
+        (a, b, rows)
+    }
+
+    #[test]
+    fn jacobi_converges_on_laplacian() {
+        let (a, b, n) = setup(6);
+        let pc = DiagonalPreconditioner::from_diagonal(
+            &a.to_triplets().diagonal(),
+        );
+        let mut x = vec![0.0; n];
+        let res = jacobi(
+            |v, out| {
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(&a, v, out);
+            },
+            &pc,
+            &b,
+            &mut x,
+            0.9,
+            5000,
+            1e-8,
+        );
+        assert!(res.converged, "residual {}", res.final_residual);
+    }
+
+    #[test]
+    fn chebyshev_beats_jacobi_iteration_count() {
+        let (a, b, n) = setup(6);
+        let pc = DiagonalPreconditioner::from_diagonal(&a.to_triplets().diagonal());
+        fn mv(a: &Csr) -> impl FnMut(&[f64], &mut [f64]) + '_ {
+            move |v, out| {
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(a, v, out);
+            }
+        }
+        let mut xj = vec![0.0; n];
+        let rj = jacobi(mv(&a), &pc, &b, &mut xj, 0.9, 20000, 1e-8);
+        // Gershgorin bounds for the generator's 2·(Laplacian + I): the
+        // interior row has diagonal 10 and off-row sum 8 → [2, 18].
+        let mut xc = vec![0.0; n];
+        let rc = chebyshev(mv(&a), &b, &mut xc, 2.0, 18.0, 20000, 1e-8);
+        assert!(
+            rc.converged && rj.converged,
+            "chebyshev: conv={} iters={} res={}; jacobi: conv={} iters={} res={}",
+            rc.converged, rc.iters, rc.final_residual,
+            rj.converged, rj.iters, rj.final_residual
+        );
+        assert!(rc.iters < rj.iters, "chebyshev {} vs jacobi {}", rc.iters, rj.iters);
+    }
+
+    #[test]
+    fn diverging_setup_reports_not_converged() {
+        let (a, b, n) = setup(4);
+        let pc = DiagonalPreconditioner::from_diagonal(&a.to_triplets().diagonal());
+        let mut x = vec![0.0; n];
+        // Overdamped far past stability: ω = 2.5.
+        let res = jacobi(
+            |v, out| {
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(&a, v, out);
+            },
+            &pc,
+            &b,
+            &mut x,
+            2.5,
+            50,
+            1e-8,
+        );
+        assert!(!res.converged);
+    }
+}

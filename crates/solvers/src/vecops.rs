@@ -1,0 +1,103 @@
+//! Dense vector primitives, sequential and distributed.
+//!
+//! The distributed variants operate on each processor's local fragment
+//! and reduce across the machine — the vector side of the paper's CG
+//! experiments, where vectors are distributed exactly like the matrix
+//! rows.
+
+use bernoulli_spmd::machine::Ctx;
+
+/// `Σ aᵢ·bᵢ`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `y ← x + beta·y` (the CG direction update).
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv = xv + beta * *yv;
+    }
+}
+
+/// `y ← alpha·y`.
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yv in y.iter_mut() {
+        *yv *= alpha;
+    }
+}
+
+/// Distributed dot product: local part + all-reduce.
+pub fn dot_dist(ctx: &mut Ctx, a_local: &[f64], b_local: &[f64]) -> f64 {
+    ctx.all_reduce_sum(dot(a_local, b_local))
+}
+
+/// Distributed Euclidean norm.
+pub fn norm2_dist(ctx: &mut Ctx, a_local: &[f64]) -> f64 {
+    ctx.all_reduce_sum(dot(a_local, a_local)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_spmd::machine::Machine;
+
+    #[test]
+    fn sequential_ops() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, -1.0, 0.5];
+        assert_eq!(dot(&a, &b), 4.0 - 2.0 + 1.5);
+        assert!((norm2(&a) - 14.0f64.sqrt()).abs() < 1e-15);
+        let mut y = b.clone();
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, vec![6.0, 3.0, 6.5]);
+        let mut y = b.clone();
+        xpby(&a, 0.5, &mut y);
+        assert_eq!(y, vec![3.0, 1.5, 3.25]);
+        let mut y = b;
+        scale(-2.0, &mut y);
+        assert_eq!(y, vec![-8.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn distributed_dot_matches_sequential() {
+        let n = 10;
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let want = dot(&a, &b);
+        let out = Machine::run(3, |ctx| {
+            // Block partition: rank r owns indices r*4..min(n,(r+1)*4)-ish.
+            let lo = (ctx.rank() * n) / 3;
+            let hi = ((ctx.rank() + 1) * n) / 3;
+            dot_dist(ctx, &a[lo..hi], &b[lo..hi])
+        });
+        for got in out.results {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distributed_norm() {
+        let out = Machine::run(2, |ctx| {
+            let local = vec![3.0 * (ctx.rank() as f64 + 1.0)]; // 3 and 6
+            norm2_dist(ctx, &local)
+        });
+        for got in out.results {
+            assert!((got - 45.0f64.sqrt()).abs() < 1e-12);
+        }
+    }
+}

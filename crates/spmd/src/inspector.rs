@@ -1,0 +1,249 @@
+//! The inspector: communication-set computation (§3.2.3, §4).
+//!
+//! Given the set of global indices a processor's local computation
+//! *uses* (the query `Used^(p)(j) = π_j σ_NZ(A^(p)) …` of eq. (21)),
+//! the inspector joins it with the index-translation relation `IND`
+//! (eq. (22): `RecvInd = Used ⋈ IND`) to learn **where** each value
+//! lives, then exchanges request lists so every processor also knows
+//! what to **send**. The result is a [`CommSchedule`] the executor
+//! replays every iteration.
+//!
+//! Two paths, matching the paper's Table 3 comparison:
+//!
+//! * [`CommSchedule::build_replicated`] — `IND` is replicated
+//!   ([`Distribution`]), so the join is a local lookup; communication
+//!   is one exchange of request lists, volume ∝ boundary size
+//!   (the `BlockSolve` / `Bernoulli-*` inspectors);
+//! * [`CommSchedule::build_with_chaos`] — `IND` is a distributed
+//!   translation table, so the join itself requires all-to-all rounds
+//!   with volume ∝ number of used indices (the `Indirect-*`
+//!   inspectors).
+
+use crate::chaos::ChaosTable;
+use crate::dist::Distribution;
+use crate::machine::{Ctx, Payload};
+use std::collections::HashMap;
+
+/// Tag used by the inspector's request exchange.
+const TAG_REQUESTS: u32 = 0x0100;
+
+/// A gather/scatter schedule for one distributed array.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommSchedule {
+    /// Peers we receive ghost values from, ascending.
+    pub recv_peers: Vec<usize>,
+    /// Per recv peer: the global indices received, in wire order.
+    pub recv_globals: Vec<Vec<usize>>,
+    /// Peers we send values to, ascending.
+    pub send_peers: Vec<usize>,
+    /// Per send peer: local offsets of the values to send, in the wire
+    /// order the peer expects.
+    pub send_locals: Vec<Vec<usize>>,
+    /// Ghost slot of each nonlocal global index.
+    pub ghost_of_global: HashMap<usize, usize>,
+    /// Total ghost slots.
+    pub num_ghosts: usize,
+}
+
+impl CommSchedule {
+    /// Total values received per executor iteration (boundary size).
+    pub fn recv_volume(&self) -> usize {
+        self.recv_globals.iter().map(Vec::len).sum()
+    }
+
+    /// Total values sent per executor iteration.
+    pub fn send_volume(&self) -> usize {
+        self.send_locals.iter().map(Vec::len).sum()
+    }
+
+    /// Assemble from per-peer `(peer, globals, peer_locals)` needs and
+    /// run the request exchange. `needs` must be grouped by peer.
+    fn finish(
+        ctx: &mut Ctx,
+        needs: Vec<(usize, Vec<usize>, Vec<usize>)>,
+    ) -> CommSchedule {
+        let nprocs = ctx.nprocs();
+        let mut sched = CommSchedule::default();
+        // Ghost slots in (peer, wire-order) order.
+        let mut requests: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+        for (peer, globals, peer_locals) in needs {
+            for &g in &globals {
+                let slot = sched.num_ghosts;
+                sched.ghost_of_global.insert(g, slot);
+                sched.num_ghosts += 1;
+            }
+            requests[peer] = peer_locals;
+            sched.recv_peers.push(peer);
+            sched.recv_globals.push(globals);
+        }
+        // Tell each owner which of its locals we need. A full exchange
+        // (empty payloads to non-neighbours) doubles as the "who sends
+        // to me" discovery.
+        let send_requests: Vec<Payload> = requests
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    Payload::Empty
+                } else {
+                    Payload::Usize(r.clone())
+                }
+            })
+            .collect();
+        let _ = TAG_REQUESTS; // pattern kept for the sparse-exchange variant below
+        let inbox = ctx.all_to_all(send_requests);
+        for (peer, pl) in inbox.into_iter().enumerate() {
+            let locals = pl.into_usize();
+            if !locals.is_empty() {
+                sched.send_peers.push(peer);
+                sched.send_locals.push(locals);
+            }
+        }
+        sched
+    }
+
+    /// Inspector over a **replicated** index-translation relation:
+    /// ownership is a local lookup (`dist.owner`), so the only
+    /// communication is the request exchange (volume ∝ boundary).
+    ///
+    /// `used_nonlocal` is this processor's set of used global indices
+    /// that it does not own (any order; duplicates not allowed).
+    pub fn build_replicated(
+        ctx: &mut Ctx,
+        dist: &dyn Distribution,
+        used_nonlocal: &[usize],
+    ) -> CommSchedule {
+        let me = ctx.rank();
+        // Group by owner (the RecvInd query, eq. (22), evaluated locally).
+        let mut by_owner: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+        for &g in used_nonlocal {
+            let (p, l) = dist.owner(g);
+            assert_ne!(p, me, "used index {g} is local, not a ghost");
+            let e = by_owner.entry(p).or_default();
+            e.0.push(g);
+            e.1.push(l);
+        }
+        let mut needs: Vec<(usize, Vec<usize>, Vec<usize>)> =
+            by_owner.into_iter().map(|(p, (gs, ls))| (p, gs, ls)).collect();
+        needs.sort_by_key(|&(p, _, _)| p);
+        Self::finish(ctx, needs)
+    }
+
+    /// Inspector over a **distributed** translation table: resolving
+    /// ownership requires dereferencing every used index through the
+    /// table (two all-to-all rounds, volume ∝ `used.len()`), before the
+    /// request exchange.
+    ///
+    /// `used` may include indices that turn out to be local — the whole
+    /// point of the paper's `Indirect` (non-mixed) row is that the
+    /// naive data-parallel version pays to discover locality.
+    pub fn build_with_chaos(
+        ctx: &mut Ctx,
+        table: &ChaosTable,
+        used: &[usize],
+    ) -> CommSchedule {
+        let me = ctx.rank();
+        let owners = table.dereference(ctx, used);
+        let mut by_owner: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+        for (&g, (p, l)) in used.iter().zip(owners) {
+            if p == me {
+                continue; // discovered to be local after all
+            }
+            let e = by_owner.entry(p).or_default();
+            e.0.push(g);
+            e.1.push(l);
+        }
+        let mut needs: Vec<(usize, Vec<usize>, Vec<usize>)> =
+            by_owner.into_iter().map(|(p, (gs, ls))| (p, gs, ls)).collect();
+        needs.sort_by_key(|&(p, _, _)| p);
+        Self::finish(ctx, needs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::BlockDist;
+    use crate::machine::Machine;
+
+    /// 8 indices over 2 procs, block: p0 owns 0..4, p1 owns 4..8.
+    /// p0 uses {5, 6}; p1 uses {0}.
+    #[test]
+    fn replicated_schedule_shapes() {
+        let d = BlockDist::new(8, 2);
+        let out = Machine::run(2, |ctx| {
+            let used: Vec<usize> = if ctx.rank() == 0 { vec![5, 6] } else { vec![0] };
+            CommSchedule::build_replicated(ctx, &d, &used)
+        });
+        let s0 = &out.results[0];
+        assert_eq!(s0.recv_peers, vec![1]);
+        assert_eq!(s0.recv_globals, vec![vec![5, 6]]);
+        assert_eq!(s0.num_ghosts, 2);
+        assert_eq!(s0.send_peers, vec![1]);
+        assert_eq!(s0.send_locals, vec![vec![0]]); // p1 wants global 0 = p0 local 0
+        let s1 = &out.results[1];
+        assert_eq!(s1.recv_volume(), 1);
+        assert_eq!(s1.send_volume(), 2);
+        assert_eq!(s1.send_locals, vec![vec![1, 2]]); // globals 5,6 = p1 locals 1,2
+        assert_eq!(s1.ghost_of_global[&0], 0);
+    }
+
+    #[test]
+    fn chaos_schedule_matches_replicated() {
+        let n = 40;
+        let d = BlockDist::new(n, 4);
+        // Each proc uses the 3 indices just past its block end (wrapped).
+        let used_of = |p: usize| -> Vec<usize> {
+            let end = (p + 1) * 10;
+            (0..3).map(|k| (end + k) % n).collect()
+        };
+        let rep = Machine::run(4, |ctx| {
+            CommSchedule::build_replicated(ctx, &d, &used_of(ctx.rank()))
+        });
+        let chaos = Machine::run(4, |ctx| {
+            let owned = d.owned_globals(ctx.rank());
+            let table = ChaosTable::build(ctx, n, &owned);
+            CommSchedule::build_with_chaos(ctx, &table, &used_of(ctx.rank()))
+        });
+        for p in 0..4 {
+            assert_eq!(rep.results[p], chaos.results[p], "proc {p}");
+        }
+        // But the chaos inspector moves strictly more bytes.
+        let rep_bytes = rep.total_traffic().bytes_sent;
+        let chaos_bytes = chaos.total_traffic().bytes_sent;
+        assert!(
+            chaos_bytes > 2 * rep_bytes,
+            "chaos {chaos_bytes} vs replicated {rep_bytes}"
+        );
+    }
+
+    #[test]
+    fn chaos_tolerates_local_entries_in_used() {
+        let n = 20;
+        let d = BlockDist::new(n, 2);
+        let out = Machine::run(2, |ctx| {
+            let owned = d.owned_globals(ctx.rank());
+            let table = ChaosTable::build(ctx, n, &owned);
+            // Naive used-set: everything, local included.
+            let used: Vec<usize> = (0..n).collect();
+            CommSchedule::build_with_chaos(ctx, &table, &used)
+        });
+        // Each proc ends up needing exactly the other's 10 values.
+        for p in 0..2 {
+            assert_eq!(out.results[p].recv_volume(), 10, "proc {p}");
+            assert_eq!(out.results[p].send_volume(), 10, "proc {p}");
+        }
+    }
+
+    #[test]
+    fn no_ghosts_needed() {
+        let d = BlockDist::new(6, 3);
+        let out = Machine::run(3, |ctx| {
+            CommSchedule::build_replicated(ctx, &d, &[])
+        });
+        for s in &out.results {
+            assert_eq!(s.num_ghosts, 0);
+            assert!(s.recv_peers.is_empty());
+            assert!(s.send_peers.is_empty());
+        }
+    }
+}

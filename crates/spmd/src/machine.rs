@@ -1,0 +1,690 @@
+//! The simulated SPMD machine: processors, messages, collectives and
+//! traffic accounting.
+//!
+//! [`Machine::run`] spawns one thread per simulated processor and hands
+//! each a [`Ctx`]. Point-to-point messages are typed payloads over
+//! unbounded channels (sends never block, so no artificial deadlocks);
+//! `recv` matches on `(source, tag)` with a pending buffer so that
+//! out-of-order arrivals from different sources are handled like a real
+//! message-passing runtime's envelope matching.
+//!
+//! Every byte moved is counted in [`TrafficStats`] — the simulator's
+//! substitute for the paper's SP-2 timings when distinguishing
+//! communication-light from communication-heavy algorithms.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// A typed message payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    Empty,
+    F64(Vec<f64>),
+    Usize(Vec<usize>),
+    /// Pairs of indices (e.g. `⟨proc, local⟩` translation answers).
+    Pairs(Vec<(usize, usize)>),
+}
+
+impl Payload {
+    /// Wire size in bytes (8 bytes per word, as on the SP-2).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::Usize(v) => 8 * v.len() as u64,
+            Payload::Pairs(v) => 16 * v.len() as u64,
+        }
+    }
+
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            Payload::Empty => Vec::new(),
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    pub fn into_usize(self) -> Vec<usize> {
+        match self {
+            Payload::Usize(v) => v,
+            Payload::Empty => Vec::new(),
+            other => panic!("expected Usize payload, got {other:?}"),
+        }
+    }
+
+    pub fn into_pairs(self) -> Vec<(usize, usize)> {
+        match self {
+            Payload::Pairs(v) => v,
+            Payload::Empty => Vec::new(),
+            other => panic!("expected Pairs payload, got {other:?}"),
+        }
+    }
+}
+
+/// A simple latency/bandwidth network cost model (LogGP-flavoured):
+/// a message of `b` payload bytes becomes visible to its receiver
+/// `latency + b / bandwidth` after the send. [`Machine::run`] uses the
+/// ideal (zero-cost) network; [`Machine::run_model`] applies a model,
+/// which is what makes communication-volume differences (e.g. the
+/// Chaos translation table's all-to-all rounds) visible in *time* and
+/// makes communication/computation overlap worth something.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Per-message latency, seconds.
+    pub latency_s: f64,
+    /// Bandwidth, bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl NetworkModel {
+    /// No communication cost (pure shared-memory channels).
+    pub fn ideal() -> Option<NetworkModel> {
+        None
+    }
+
+    /// A modern-cluster-flavoured interconnect: 10 µs latency, 1 GB/s.
+    pub fn cluster() -> NetworkModel {
+        NetworkModel { latency_s: 10e-6, bytes_per_s: 1e9 }
+    }
+
+    /// An SP-2-flavoured interconnect scaled toward today's CPUs:
+    /// 20 µs latency, 100 MB/s. Slower than [`NetworkModel::cluster`],
+    /// it keeps the communication/computation balance in the regime the
+    /// paper measured — in particular, inspector communication volume
+    /// (the Chaos translation-table rounds) costs real time.
+    pub fn sp2_scaled() -> NetworkModel {
+        NetworkModel { latency_s: 20e-6, bytes_per_s: 100e6 }
+    }
+
+    fn delay(&self, bytes: u64) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.latency_s + bytes as f64 / self.bytes_per_s)
+    }
+}
+
+#[derive(Debug)]
+struct Envelope {
+    from: usize,
+    tag: u32,
+    payload: Payload,
+    /// Earliest instant the receiver may observe this message.
+    ready_at: Option<std::time::Instant>,
+}
+
+/// Per-processor communication counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Point-to-point messages sent (collectives included).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Barrier participations.
+    pub barriers: u64,
+    /// All-reduce participations.
+    pub allreduces: u64,
+    /// All-to-all participations.
+    pub alltoalls: u64,
+}
+
+impl TrafficStats {
+    /// Counter-wise difference (for phase measurement: snapshot before,
+    /// subtract after).
+    pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
+        TrafficStats {
+            msgs_sent: self.msgs_sent - earlier.msgs_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            barriers: self.barriers - earlier.barriers,
+            allreduces: self.allreduces - earlier.allreduces,
+            alltoalls: self.alltoalls - earlier.alltoalls,
+        }
+    }
+
+    /// Counter-wise sum, for aggregating across processors.
+    pub fn merged(stats: &[TrafficStats]) -> TrafficStats {
+        let mut out = TrafficStats::default();
+        for s in stats {
+            out.msgs_sent += s.msgs_sent;
+            out.bytes_sent += s.bytes_sent;
+            out.barriers += s.barriers;
+            out.allreduces += s.allreduces;
+            out.alltoalls += s.alltoalls;
+        }
+        out
+    }
+}
+
+/// The per-processor handle: rank, messaging, collectives, counters.
+pub struct Ctx {
+    rank: usize,
+    nprocs: usize,
+    txs: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    pending: Vec<Envelope>,
+    barrier: Arc<Barrier>,
+    stats: TrafficStats,
+    coll_seq: u32,
+    network: Option<NetworkModel>,
+}
+
+/// Tag space reserved for collectives (user tags must stay below).
+const COLL_TAG_BASE: u32 = 0x4000_0000;
+
+impl Ctx {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current traffic counters (snapshot; use
+    /// [`TrafficStats::since`] for phase deltas).
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Send `payload` to processor `to` with a user `tag`
+    /// (< `0x4000_0000`). Sending to self is allowed.
+    pub fn send(&mut self, to: usize, tag: u32, payload: Payload) {
+        assert!(tag < COLL_TAG_BASE, "user tags must be < {COLL_TAG_BASE:#x}");
+        self.send_raw(to, tag, payload);
+    }
+
+    fn send_raw(&mut self, to: usize, tag: u32, payload: Payload) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.bytes();
+        let ready_at = self
+            .network
+            .map(|m| std::time::Instant::now() + m.delay(payload.bytes()));
+        self.txs[to]
+            .send(Envelope { from: self.rank, tag, payload, ready_at })
+            .expect("peer mailbox closed");
+    }
+
+    fn deliver(env: Envelope) -> Payload {
+        if let Some(ready) = env.ready_at {
+            // Model the wire: the message is not visible before `ready`.
+            // Sleep through long remainders (frees the core when many
+            // simulated processors oversubscribe the host), then spin
+            // out the tail for accuracy.
+            loop {
+                let now = std::time::Instant::now();
+                if now >= ready {
+                    break;
+                }
+                let remainder = ready - now;
+                if remainder > std::time::Duration::from_micros(200) {
+                    std::thread::sleep(remainder - std::time::Duration::from_micros(100));
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        env.payload
+    }
+
+    /// Blocking receive matching `(from, tag)`.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Payload {
+        if let Some(k) = self.pending.iter().position(|e| e.from == from && e.tag == tag) {
+            return Self::deliver(self.pending.swap_remove(k));
+        }
+        loop {
+            let env = self.rx.recv().expect("machine shut down while receiving");
+            if env.from == from && env.tag == tag {
+                return Self::deliver(env);
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Synchronise all processors.
+    pub fn barrier(&mut self) {
+        self.stats.barriers += 1;
+        self.barrier.wait();
+    }
+
+    fn next_coll_tag(&mut self) -> u32 {
+        let t = COLL_TAG_BASE + self.coll_seq;
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        t
+    }
+
+    /// Generic all-reduce over a binomial tree: ⌈log₂P⌉ reduce rounds
+    /// up to rank 0 and the mirrored broadcast back down — the
+    /// O(log P) critical path a real MPI implementation has, which is
+    /// what keeps the modelled all-reduce latency honest at P = 64
+    /// (a star would serialize P−1 receives at the root).
+    fn all_reduce_with(&mut self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        self.stats.allreduces += 1;
+        let reduce_tag = self.next_coll_tag();
+        let bcast_tag = self.next_coll_tag();
+        let p = self.nprocs;
+        let me = self.rank;
+        let mut acc = x;
+        // Reduce toward rank 0.
+        let mut step = 1;
+        while step < p {
+            if me % (2 * step) == step {
+                self.send_raw(me - step, reduce_tag, Payload::F64(vec![acc]));
+                break;
+            }
+            if me.is_multiple_of(2 * step) {
+                let src = me + step;
+                if src < p {
+                    acc = op(acc, self.recv(src, reduce_tag).into_f64()[0]);
+                }
+            }
+            step *= 2;
+        }
+        // Broadcast back down the mirrored tree.
+        let mut top = 1;
+        while top < p {
+            top *= 2;
+        }
+        let mut step = top / 2;
+        while step >= 1 {
+            if me.is_multiple_of(2 * step) {
+                let dst = me + step;
+                if dst < p {
+                    self.send_raw(dst, bcast_tag, Payload::F64(vec![acc]));
+                }
+            } else if me % (2 * step) == step {
+                acc = self.recv(me - step, bcast_tag).into_f64()[0];
+            }
+            if step == 1 {
+                break;
+            }
+            step /= 2;
+        }
+        acc
+    }
+
+    /// Global sum reduction.
+    pub fn all_reduce_sum(&mut self, x: f64) -> f64 {
+        self.all_reduce_with(x, |a, b| a + b)
+    }
+
+    /// Global max reduction.
+    pub fn all_reduce_max(&mut self, x: f64) -> f64 {
+        self.all_reduce_with(x, f64::max)
+    }
+
+    /// Full exchange: `out[p]` goes to processor `p`; returns what each
+    /// processor sent here (`in[p]` from processor `p`). The self slot
+    /// is moved without touching the wire.
+    pub fn all_to_all(&mut self, mut out: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(out.len(), self.nprocs, "one payload per destination");
+        self.stats.alltoalls += 1;
+        let tag = self.next_coll_tag();
+        let mine = std::mem::replace(&mut out[self.rank], Payload::Empty);
+        for p in 0..self.nprocs {
+            if p != self.rank {
+                let pl = std::mem::replace(&mut out[p], Payload::Empty);
+                self.send_raw(p, tag, pl);
+            }
+        }
+        let mut inbox: Vec<Payload> = (0..self.nprocs).map(|_| Payload::Empty).collect();
+        inbox[self.rank] = mine;
+        for p in 0..self.nprocs {
+            if p != self.rank {
+                inbox[p] = self.recv(p, tag);
+            }
+        }
+        inbox
+    }
+
+    /// Gather one `usize` list from every processor onto all of them.
+    pub fn all_gather_usize(&mut self, mine: Vec<usize>) -> Vec<Vec<usize>> {
+        let out: Vec<Payload> =
+            (0..self.nprocs).map(|_| Payload::Usize(mine.clone())).collect();
+        self.all_to_all(out).into_iter().map(Payload::into_usize).collect()
+    }
+
+    /// Point-to-point exchange along a known sparse pattern: send
+    /// `sends[k] = (peer, payload)`, receive one payload from each peer
+    /// in `recv_from`. Unlike [`Ctx::all_to_all`], only real neighbour
+    /// messages touch the wire — the "nearest-neighbour connectivity"
+    /// the paper contrasts with all-to-all inspector traffic.
+    pub fn exchange(
+        &mut self,
+        tag: u32,
+        sends: Vec<(usize, Payload)>,
+        recv_from: &[usize],
+    ) -> Vec<(usize, Payload)> {
+        for (peer, pl) in sends {
+            self.send(peer, tag, pl);
+        }
+        recv_from.iter().map(|&p| (p, self.recv(p, tag))).collect()
+    }
+}
+
+/// The simulated machine.
+pub struct Machine;
+
+/// Results of one SPMD run: per-processor return values and traffic.
+pub struct RunOutput<T> {
+    pub results: Vec<T>,
+    pub traffic: Vec<TrafficStats>,
+}
+
+impl<T> RunOutput<T> {
+    /// Total traffic across all processors.
+    pub fn total_traffic(&self) -> TrafficStats {
+        TrafficStats::merged(&self.traffic)
+    }
+}
+
+impl Machine {
+    /// Run `f` on `nprocs` simulated processors over an ideal (free)
+    /// network; returns each processor's result and final traffic
+    /// counters, indexed by rank.
+    pub fn run<T, F>(nprocs: usize, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        Self::run_model(nprocs, None, f)
+    }
+
+    /// As [`Machine::run`] with a [`NetworkModel`] charging every
+    /// message latency and bandwidth.
+    pub fn run_model<T, F>(nprocs: usize, network: Option<NetworkModel>, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        assert!(nprocs >= 1, "need at least one processor");
+        let mut txs = Vec::with_capacity(nprocs);
+        let mut rxs = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = unbounded::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(nprocs));
+        let slots: Vec<Mutex<Option<(T, TrafficStats)>>> =
+            (0..nprocs).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for (rank, rx) in rxs.into_iter().enumerate() {
+                let txs = txs.clone();
+                let barrier = barrier.clone();
+                let f = &f;
+                let slot = &slots[rank];
+                scope.spawn(move || {
+                    let mut ctx = Ctx {
+                        rank,
+                        nprocs,
+                        txs,
+                        rx,
+                        pending: Vec::new(),
+                        barrier,
+                        stats: TrafficStats::default(),
+                        coll_seq: 0,
+                        network,
+                    };
+                    let out = f(&mut ctx);
+                    *slot.lock() = Some((out, ctx.stats));
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(nprocs);
+        let mut traffic = Vec::with_capacity(nprocs);
+        for slot in slots {
+            let (r, s) = slot.into_inner().expect("processor thread panicked");
+            results.push(r);
+            traffic.push(s);
+        }
+        RunOutput { results, traffic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_results_in_order() {
+        let out = Machine::run(4, |ctx| ctx.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = Machine::run(4, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.nprocs();
+            let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+            ctx.send(next, 7, Payload::Usize(vec![ctx.rank()]));
+            ctx.recv(prev, 7).into_usize()[0]
+        });
+        assert_eq!(out.results, vec![3, 0, 1, 2]);
+        // Each rank sent exactly one message of one word.
+        for s in &out.traffic {
+            assert_eq!(s.msgs_sent, 1);
+            assert_eq!(s.bytes_sent, 8);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let out = Machine::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::F64(vec![1.0]));
+                ctx.send(1, 2, Payload::F64(vec![2.0]));
+                0.0
+            } else {
+                // Receive tag 2 first although tag 1 arrives first.
+                let b = ctx.recv(0, 2).into_f64()[0];
+                let a = ctx.recv(0, 1).into_f64()[0];
+                a + 10.0 * b
+            }
+        });
+        assert_eq!(out.results[1], 21.0);
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = Machine::run(5, |ctx| {
+            let s = ctx.all_reduce_sum(ctx.rank() as f64);
+            let m = ctx.all_reduce_max(ctx.rank() as f64);
+            (s, m)
+        });
+        for &(s, m) in &out.results {
+            assert_eq!(s, 10.0);
+            assert_eq!(m, 4.0);
+        }
+        // Stats recorded.
+        assert!(out.traffic.iter().all(|t| t.allreduces == 2));
+    }
+
+    #[test]
+    fn all_to_all_exchanges() {
+        let out = Machine::run(3, |ctx| {
+            let payloads: Vec<Payload> = (0..3)
+                .map(|p| Payload::Usize(vec![ctx.rank() * 100 + p]))
+                .collect();
+            let got = ctx.all_to_all(payloads);
+            got.into_iter().map(|pl| pl.into_usize()[0]).collect::<Vec<_>>()
+        });
+        // Processor q receives rank*100 + q from each rank.
+        assert_eq!(out.results[1], vec![1, 101, 201]);
+        assert_eq!(out.results[2], vec![2, 102, 202]);
+    }
+
+    #[test]
+    fn all_gather() {
+        let out = Machine::run(3, |ctx| ctx.all_gather_usize(vec![ctx.rank(); ctx.rank()]));
+        for r in &out.results {
+            assert_eq!(r[0], Vec::<usize>::new());
+            assert_eq!(r[1], vec![1]);
+            assert_eq!(r[2], vec![2, 2]);
+        }
+    }
+
+    #[test]
+    fn exchange_sparse_pattern() {
+        // 0 ↔ 1 only; 2 silent.
+        let out = Machine::run(3, |ctx| match ctx.rank() {
+            0 => {
+                let got = ctx.exchange(
+                    9,
+                    vec![(1, Payload::F64(vec![5.0]))],
+                    &[1],
+                );
+                got[0].1.clone().into_f64()[0]
+            }
+            1 => {
+                let got = ctx.exchange(
+                    9,
+                    vec![(0, Payload::F64(vec![6.0]))],
+                    &[0],
+                );
+                got[0].1.clone().into_f64()[0]
+            }
+            _ => {
+                ctx.exchange(9, vec![], &[]);
+                0.0
+            }
+        });
+        assert_eq!(out.results, vec![6.0, 5.0, 0.0]);
+        assert_eq!(out.traffic[2].msgs_sent, 0);
+    }
+
+    #[test]
+    fn stats_since_and_merged() {
+        let out = Machine::run(2, |ctx| {
+            let before = ctx.stats();
+            ctx.send(1 - ctx.rank(), 3, Payload::Usize(vec![1, 2, 3]));
+            let _ = ctx.recv(1 - ctx.rank(), 3);
+            ctx.stats().since(&before)
+        });
+        for d in &out.results {
+            assert_eq!(d.msgs_sent, 1);
+            assert_eq!(d.bytes_sent, 24);
+        }
+        let total = out.total_traffic();
+        assert_eq!(total.msgs_sent, 2);
+    }
+
+    #[test]
+    fn single_processor_machine() {
+        let out = Machine::run(1, |ctx| {
+            // Self-send must work.
+            ctx.send(0, 5, Payload::Usize(vec![42]));
+            let v = ctx.recv(0, 5).into_usize();
+            ctx.barrier();
+            assert_eq!(ctx.all_reduce_sum(3.0), 3.0);
+            v[0]
+        });
+        assert_eq!(out.results, vec![42]);
+    }
+
+    #[test]
+    fn barrier_counts() {
+        let out = Machine::run(3, |ctx| {
+            ctx.barrier();
+            ctx.barrier();
+        });
+        assert!(out.traffic.iter().all(|t| t.barriers == 2));
+    }
+}
+
+#[cfg(test)]
+mod network_model_tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn modeled_latency_delays_delivery() {
+        let model = NetworkModel { latency_s: 2e-3, bytes_per_s: 1e9 };
+        let out = Machine::run_model(2, Some(model), |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.barrier();
+            let t = Instant::now();
+            ctx.send(peer, 1, Payload::F64(vec![1.0]));
+            let _ = ctx.recv(peer, 1);
+            t.elapsed().as_secs_f64()
+        });
+        for &dt in &out.results {
+            // The peer's send may predate our timer by a scheduling
+            // sliver; demand most of the modelled latency.
+            assert!(dt >= 1.5e-3, "message arrived after {dt}s, model demands ~2ms");
+        }
+    }
+
+    #[test]
+    fn modeled_bandwidth_charges_volume() {
+        // 1 MB at 100 MB/s = 10 ms on the wire.
+        let model = NetworkModel { latency_s: 0.0, bytes_per_s: 100e6 };
+        let out = Machine::run_model(2, Some(model), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::F64(vec![0.0; 125_000]));
+                0.0
+            } else {
+                let t = Instant::now();
+                let _ = ctx.recv(0, 1);
+                t.elapsed().as_secs_f64()
+            }
+        });
+        assert!(out.results[1] >= 9e-3, "1MB took only {}s", out.results[1]);
+    }
+
+    #[test]
+    fn ideal_network_is_fast() {
+        let out = Machine::run(2, |ctx| {
+            let peer = 1 - ctx.rank();
+            let t = Instant::now();
+            ctx.send(peer, 1, Payload::F64(vec![1.0]));
+            let _ = ctx.recv(peer, 1);
+            t.elapsed().as_secs_f64()
+        });
+        for &dt in &out.results {
+            assert!(dt < 0.5, "ideal network unexpectedly slow: {dt}s");
+        }
+    }
+
+    #[test]
+    fn cluster_model_parameters() {
+        let m = NetworkModel::cluster();
+        assert!(m.latency_s > 0.0 && m.bytes_per_s > 0.0);
+        assert!(NetworkModel::ideal().is_none());
+        let d = m.delay(1_000_000);
+        assert!(d.as_secs_f64() > 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod tree_allreduce_tests {
+    use super::*;
+
+    #[test]
+    fn sums_correct_for_all_processor_counts() {
+        for p in 1..=9usize {
+            let out = Machine::run(p, |ctx| {
+                let got = ctx.all_reduce_sum((ctx.rank() + 1) as f64);
+                let want = (p * (p + 1) / 2) as f64;
+                assert_eq!(got, want, "P={p} rank {}", ctx.rank());
+                // Interleave a second reduction to check tag isolation.
+                ctx.all_reduce_max(ctx.rank() as f64)
+            });
+            for &m in &out.results {
+                assert_eq!(m, (p - 1) as f64, "max at P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_depth_bounds_root_messages() {
+        // Rank 0 of a 16-proc machine must receive/send only log2(16)=4
+        // messages per direction per all-reduce, not 15.
+        let out = Machine::run(16, |ctx| {
+            let before = ctx.stats();
+            let _ = ctx.all_reduce_sum(1.0);
+            ctx.stats().since(&before).msgs_sent
+        });
+        // Root sends exactly 4 broadcast messages.
+        assert_eq!(out.results[0], 4);
+        // A leaf (odd rank) sends exactly 1 reduce message.
+        assert_eq!(out.results[1], 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Run-time distribution consistency checking — the "debugging
+//! version" of §3.1.
+//!
+//! "By mistake, the user may specify inconsistent distribution
+//! relations IND. These inconsistencies, in general, can only be
+//! detected at runtime … It is possible to generate a 'debugging'
+//! version of the code, that will check the consistency of the
+//! distributions." This module is that debugging version: a collective
+//! check that every global index is owned exactly once and that the
+//! local views (`owned_globals`) agree with the replicated relation.
+
+use crate::dist::Distribution;
+use crate::machine::{Ctx, Payload};
+
+/// Collectively verify a distribution against each processor's own
+/// view. Every processor passes the list of globals it *believes* it
+/// owns (e.g. the indices its fragment actually came with);
+/// the check asserts:
+///
+/// 1. the union covers `0..dist.len()` exactly once (1–1 and onto);
+/// 2. each claimed global is owned by the claiming processor under
+///    `dist.owner`, at the claimed local offset.
+///
+/// Returns `Ok(())` on every processor, or the first inconsistency
+/// found (same result on every processor — the verdict is reduced).
+pub fn check_distribution_collective(
+    ctx: &mut Ctx,
+    dist: &dyn Distribution,
+    my_claimed_globals: &[usize],
+) -> Result<(), String> {
+    let me = ctx.rank();
+    let n = dist.len();
+    // Local checks first.
+    let mut local_err: Option<String> = None;
+    for (l, &g) in my_claimed_globals.iter().enumerate() {
+        if g >= n {
+            local_err = Some(format!("proc {me}: claimed global {g} out of range {n}"));
+            break;
+        }
+        let (p, off) = dist.owner(g);
+        if p != me || off != l {
+            local_err = Some(format!(
+                "proc {me}: claims global {g} at local {l}, but IND says ({p}, {off})"
+            ));
+            break;
+        }
+    }
+    // Coverage check: rank 0 collects every claim (volume ∝ n — this
+    // is a *debugging* mode, exactly as the paper frames it).
+    let mut out: Vec<Payload> = (0..ctx.nprocs()).map(|_| Payload::Empty).collect();
+    out[0] = Payload::Usize(my_claimed_globals.to_vec());
+    let inbox = ctx.all_to_all(out);
+    let mut verdict: f64 = match local_err {
+        Some(_) => 1.0,
+        None => 0.0,
+    };
+    let mut coverage_err: Option<String> = None;
+    if me == 0 && verdict == 0.0 {
+        let mut seen = vec![false; n];
+        let mut total = 0usize;
+        'outer: for (src, pl) in inbox.into_iter().enumerate() {
+            for g in pl.into_usize() {
+                if g >= n || seen[g] {
+                    coverage_err =
+                        Some(format!("global {g} claimed twice (second claim by proc {src})"));
+                    break 'outer;
+                }
+                seen[g] = true;
+                total += 1;
+            }
+        }
+        if coverage_err.is_none() && total != n {
+            coverage_err = Some(format!("{total} of {n} globals claimed"));
+        }
+        if coverage_err.is_some() {
+            verdict = 1.0;
+        }
+    }
+    // Share the verdict so all processors agree.
+    let bad = ctx.all_reduce_max(verdict) > 0.0;
+    if bad {
+        Err(local_err
+            .or(coverage_err)
+            .unwrap_or_else(|| "distribution inconsistency detected on another processor".into()))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{BlockDist, Distribution};
+    use crate::machine::Machine;
+
+    #[test]
+    fn consistent_distribution_passes() {
+        let d = BlockDist::new(20, 4);
+        let out = Machine::run(4, |ctx| {
+            let owned = d.owned_globals(ctx.rank());
+            check_distribution_collective(ctx, &d, &owned).is_ok()
+        });
+        assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn missing_claim_detected_everywhere() {
+        let d = BlockDist::new(12, 3);
+        let out = Machine::run(3, |ctx| {
+            let mut owned = d.owned_globals(ctx.rank());
+            if ctx.rank() == 1 {
+                owned.pop(); // proc 1 "loses" one of its rows
+            }
+            check_distribution_collective(ctx, &d, &owned)
+        });
+        // Everyone learns about the problem, not just rank 0 / rank 1.
+        for r in &out.results {
+            assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn double_claim_detected() {
+        let d = BlockDist::new(12, 3);
+        let out = Machine::run(3, |ctx| {
+            let mut owned = d.owned_globals(ctx.rank());
+            if ctx.rank() == 2 {
+                owned = d.owned_globals(1); // claims proc 1's rows
+            }
+            check_distribution_collective(ctx, &d, &owned)
+        });
+        for r in &out.results {
+            assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_local_order_detected() {
+        let d = BlockDist::new(8, 2);
+        let out = Machine::run(2, |ctx| {
+            let mut owned = d.owned_globals(ctx.rank());
+            if ctx.rank() == 0 {
+                owned.swap(0, 1); // local offsets disagree with IND
+            }
+            check_distribution_collective(ctx, &d, &owned)
+        });
+        for r in &out.results {
+            assert!(r.is_err());
+        }
+    }
+}

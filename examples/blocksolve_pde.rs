@@ -1,0 +1,105 @@
+//! The BlockSolve pipeline on a multi-component PDE — Figure 2, live.
+//!
+//! ```text
+//! cargo run --release --example blocksolve_pde
+//! ```
+//!
+//! Builds the paper's Fig. 2 scenario (a 2-D linear multi-component
+//! finite-element model with 3 degrees of freedom per point), runs the
+//! clique partition, contracted-graph coloring, and color/clique
+//! reordering, splits the matrix into `A_D + A_SL + A_SNL` per
+//! processor, and solves a system with parallel CG over the hand-written
+//! overlapped matvec.
+
+use bernoulli_blocksolve::matvec::BsParallelMatvec;
+use bernoulli_blocksolve::reorder::build_layout;
+use bernoulli_blocksolve::split::split_matrix;
+use bernoulli_formats::gen::fem_grid_2d;
+use bernoulli_solvers::cg::{cg_parallel, CgOptions};
+use bernoulli_solvers::precond::DiagonalPreconditioner;
+use bernoulli_spmd::dist::Distribution;
+use bernoulli_spmd::machine::Machine;
+
+fn main() {
+    const DOF: usize = 3; // Fig. 2: three degrees of freedom per point
+    const NPROCS: usize = 3; // Fig. 2 shows p0, p1, p2
+    let t = fem_grid_2d(8, 6, DOF);
+    let n = t.nrows();
+    println!("stiffness matrix: {n} rows ({} points x {DOF} dof)\n", n / DOF);
+
+    // 1. Cliques and colors (Fig. 2(a)/(b)).
+    let layout = build_layout(&t, DOF, NPROCS, 2);
+    println!(
+        "cliques: {} (avg {:.1} points each); colors: {}",
+        layout.cliques.num_cliques(),
+        layout.cliques.avg_size(),
+        layout.num_colors
+    );
+    println!(
+        "distribution: {} contiguous runs over {NPROCS} processors (replicated table)",
+        layout.dist.num_runs()
+    );
+    for p in 0..NPROCS {
+        println!("  p{p}: {} rows", layout.dist.local_len(p));
+    }
+
+    // 2. The A_D / A_SL / A_SNL split (§3.3).
+    let reordered = layout.permute_matrix(&t);
+    let locals = split_matrix(&layout, &reordered);
+    println!("\nper-processor split:");
+    for l in &locals {
+        let d: usize = l.diag.iter().map(|b| b.size * b.size).sum();
+        println!(
+            "  p{}: A_D {} dense-block entries, A_SL {} entries, A_SNL {} entries ({} ghost cols)",
+            l.rank,
+            d,
+            l.a_sl.nnz(),
+            l.a_snl.len(),
+            l.used_nonlocal().len()
+        );
+    }
+
+    // 3. Parallel CG with the hand-written overlapped matvec.
+    let b_global: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let pc = DiagonalPreconditioner::from_matrix(&reordered);
+    let dist = layout.dist.clone();
+    let out = Machine::run(NPROCS, |ctx| {
+        let me = ctx.rank();
+        let local = &locals[me];
+        let owned = dist.owned_globals(me);
+        let b_local: Vec<f64> = owned.iter().map(|&g| b_global[g]).collect();
+        let pc_local = pc.restrict(&owned);
+        let mut pm = BsParallelMatvec::inspect(ctx, local, &dist);
+        let mut x_local = vec![0.0; local.n_local];
+        let res = cg_parallel(
+            ctx,
+            |ctx, p, out| pm.execute(ctx, local, p, out, true),
+            &pc_local,
+            &b_local,
+            &mut x_local,
+            CgOptions { max_iters: 200, rel_tol: 1e-10 },
+        );
+        (x_local, res.iters, res.final_residual)
+    });
+
+    let (_, iters, resid) = &out.results[0];
+    println!("\nparallel CG: converged in {iters} iterations, |r| = {resid:.3e}");
+
+    // 4. Verify against a sequential solve.
+    let mut x = vec![0.0; n];
+    for (p, (xl, _, _)) in out.results.iter().enumerate() {
+        for (l, &g) in dist.owned_globals(p).iter().enumerate() {
+            x[g] = xl[l];
+        }
+    }
+    let mut ax = vec![0.0; n];
+    reordered.matvec_acc(&x, &mut ax);
+    let err = ax.iter().zip(&b_global).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    println!("residual check against assembled matrix: max |Ax - b| = {err:.3e}");
+    let total = out.total_traffic();
+    println!(
+        "traffic: {} messages, {} bytes across {NPROCS} processors",
+        total.msgs_sent, total.bytes_sent
+    );
+    assert!(err < 1e-6);
+}

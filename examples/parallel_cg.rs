@@ -1,0 +1,97 @@
+//! Parallel CG across distribution relations and compilation styles.
+//!
+//! ```text
+//! cargo run --release --example parallel_cg
+//! ```
+//!
+//! The same dense DO-ANY program — `y(i) += A(i,j)·x(j)` inside a CG
+//! loop — compiled for SPMD execution in two ways (the paper's §4):
+//! naive fully data-parallel (eq. 23) vs. mixed local/global (eq. 24),
+//! over several distribution relations. Prints inspector/executor
+//! communication so the structural differences are visible.
+
+use bernoulli::spmd::{fragment_matrix, to_mixed_spec, CompiledMixed, CompiledNaive};
+use bernoulli_formats::gen::fem_grid_3d;
+use bernoulli_solvers::cg::{cg_parallel, CgOptions};
+use bernoulli_solvers::precond::DiagonalPreconditioner;
+use bernoulli_spmd::dist::{BlockCyclicDist, BlockDist, Distribution, GeneralizedBlockDist};
+use bernoulli_spmd::machine::Machine;
+
+fn main() {
+    const P: usize = 4;
+    let t = fem_grid_3d(6, 6, 6, 3);
+    let n = t.nrows();
+    let b_global: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+    let pc = DiagonalPreconditioner::from_matrix(&t);
+    println!("problem: {n} unknowns, {} nonzeros, P = {P}\n", t.canonicalize().len());
+
+    let sizes: Vec<usize> = (0..P).map(|p| n / P + usize::from(p < n % P)).collect();
+    let dists: Vec<(&str, Box<dyn Distribution>)> = vec![
+        ("block", Box::new(BlockDist::new(n, P))),
+        ("generalized-block", Box::new(GeneralizedBlockDist::new(&sizes))),
+        ("block-cyclic(90)", Box::new(BlockCyclicDist::new(n, P, 90))),
+    ];
+
+    println!(
+        "{:<20} {:<8} {:>6} {:>12} {:>14} {:>14}",
+        "distribution", "spec", "iters", "residual", "insp bytes", "exec bytes"
+    );
+    for (dname, dist) in &dists {
+        let frags = fragment_matrix(&t, dist.as_ref());
+        for mixed in [true, false] {
+            let out = Machine::run(P, |ctx| {
+                let me = ctx.rank();
+                let owned = dist.owned_globals(me);
+                let b_local: Vec<f64> = owned.iter().map(|&g| b_global[g]).collect();
+                let pc_local = pc.restrict(&owned);
+                let mut x_local = vec![0.0; owned.len()];
+
+                let s0 = ctx.stats();
+                enum E {
+                    M(CompiledMixed),
+                    N(CompiledNaive),
+                }
+                let mut eng = if mixed {
+                    let spec = to_mixed_spec(&frags[me], |g| {
+                        let (p, l) = dist.owner(g);
+                        (p == me).then_some(l)
+                    });
+                    E::M(CompiledMixed::inspect(ctx, &spec, dist.as_ref()))
+                } else {
+                    E::N(CompiledNaive::inspect(ctx, &frags[me], dist.as_ref()))
+                };
+                let insp = ctx.stats().since(&s0).bytes_sent;
+
+                let s1 = ctx.stats();
+                let res = cg_parallel(
+                    ctx,
+                    |ctx, p, out| match &mut eng {
+                        E::M(e) => e.execute(ctx, p, out),
+                        E::N(e) => e.execute(ctx, p, out),
+                    },
+                    &pc_local,
+                    &b_local,
+                    &mut x_local,
+                    CgOptions { max_iters: 300, rel_tol: 1e-10 },
+                );
+                let exec = ctx.stats().since(&s1).bytes_sent;
+                (res.iters, res.final_residual, insp, exec)
+            });
+            let (iters, resid, _, _) = out.results[0];
+            let insp: u64 = out.results.iter().map(|r| r.2).sum();
+            let exec: u64 = out.results.iter().map(|r| r.3).sum();
+            println!(
+                "{:<20} {:<8} {:>6} {:>12.3e} {:>14} {:>14}",
+                dname,
+                if mixed { "mixed" } else { "naive" },
+                iters,
+                resid,
+                insp,
+                exec
+            );
+        }
+    }
+    println!("\nboth specifications converge identically; the mixed one inspects");
+    println!("only the boundary, while block-cyclic distributions inflate the");
+    println!("boundary itself — distribution structure matters twice.");
+}

@@ -1,0 +1,53 @@
+//! Inside the planner: every candidate plan the cost model weighed.
+//!
+//! ```text
+//! cargo run --release --example planner_explain
+//! ```
+//!
+//! For the running example `y(i) += A(i,j)·x(j)` with sparse `A` *and*
+//! sparse `x` (so the sparsity predicate is `NZ(A) ∧ NZ(X)` and join
+//! implementation really matters), print the full candidate list with
+//! estimated costs, then the generated pseudocode of the winner.
+
+use bernoulli::ast::programs;
+use bernoulli::codegen::emit_pseudocode;
+use bernoulli::compile::CompiledKernel;
+use bernoulli_formats::gen::grid2d_9pt;
+use bernoulli_formats::{FormatKind, SparseMatrix, SparseVec};
+use bernoulli_relational::access::{MatrixAccess, VectorAccess};
+use bernoulli_relational::ids::{MAT_A, VEC_X, VEC_Y};
+use bernoulli_relational::planner::{Planner, QueryMeta};
+
+fn main() {
+    let t = grid2d_9pt(40, 40);
+    let n = t.nrows();
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    // A 5%-dense sparse x.
+    let x = SparseVec::from_pairs(
+        n,
+        &(0..n).step_by(20).map(|i| (i, 1.0)).collect::<Vec<_>>(),
+    );
+
+    let mut nest = programs::matvec();
+    nest.arrays.iter_mut().find(|d| d.id == VEC_X).unwrap().sparse = true;
+    let query = bernoulli::lower::extract_query(&nest).expect("lowers");
+    println!("query predicate: NZ over {:?}\n", query.predicate);
+
+    let meta = QueryMeta::new()
+        .mat(MAT_A, a.meta())
+        .vec(VEC_X, x.meta())
+        .vec(VEC_Y, bernoulli_relational::access::VecMeta::dense(n));
+    let candidates = Planner::new().plan_all(&query, &meta).expect("feasible");
+
+    println!("{} candidate plans (cheapest first):", candidates.len());
+    for (k, p) in candidates.iter().enumerate() {
+        println!("  {k:>2}. cost {:>12.1}  {}", p.est_cost, p.shape());
+    }
+
+    let winner = CompiledKernel { query, plan: candidates[0].clone() };
+    println!("\n-- generated code of the winner --");
+    print!("{}", emit_pseudocode(&winner));
+
+    println!("\nnotation: `[R~]` merge join, `[R?]` search probe;");
+    println!("the predicate makes X a filter — a miss skips the tuple.");
+}

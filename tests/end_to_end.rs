@@ -1,0 +1,145 @@
+//! End-to-end integration: the compiler pipeline (loop nest → query →
+//! plan → executor) against every storage format and workload class.
+
+use bernoulli::engines::{SpmmEngine, SpmvEngine};
+use bernoulli_formats::gen::{table1_suite, Scale};
+use bernoulli_formats::{DenseMatrix, FormatKind, SparseMatrix, Triplets};
+
+fn reference_matvec(t: &Triplets, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; t.nrows()];
+    t.matvec_acc(x, &mut y);
+    y
+}
+
+#[test]
+fn compiled_spmv_matches_reference_on_whole_suite() {
+    for m in table1_suite(Scale::Small) {
+        let n = m.triplets.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 31) as f64) - 15.0).collect();
+        let want = reference_matvec(&m.triplets, &x);
+        for kind in FormatKind::ALL {
+            let a = SparseMatrix::from_triplets(kind, &m.triplets);
+            let eng = SpmvEngine::compile(&a).unwrap();
+            let mut y = vec![0.0; n];
+            eng.run(&a, &x, &mut y).unwrap();
+            for (g, w) in y.iter().zip(&want) {
+                assert!(
+                    (g - w).abs() < 1e-6 * w.abs().max(1.0),
+                    "{} in {kind}: {g} vs {w}",
+                    m.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interpreted_path_matches_specialized_on_suite() {
+    for m in table1_suite(Scale::Small).into_iter().take(4) {
+        let n = m.triplets.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        for kind in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Diagonal, FormatKind::Inode] {
+            let a = SparseMatrix::from_triplets(kind, &m.triplets);
+            let fast = SpmvEngine::compile(&a).unwrap();
+            let slow = SpmvEngine::compile_with(&a, false).unwrap();
+            let mut y1 = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            fast.run(&a, &x, &mut y1).unwrap();
+            slow.run(&a, &x, &mut y2).unwrap();
+            for (a1, a2) in y1.iter().zip(&y2) {
+                assert!((a1 - a2).abs() < 1e-9, "{} in {kind}", m.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn spmm_every_pairing_of_core_formats() {
+    let ta = bernoulli_formats::gen::random_sparse(25, 30, 120, 21);
+    let tb = bernoulli_formats::gen::random_sparse(30, 20, 110, 22);
+    // Dense reference.
+    let da = DenseMatrix::from_triplets(&ta);
+    let db = DenseMatrix::from_triplets(&tb);
+    let mut want = vec![0.0; 25 * 20];
+    for i in 0..25 {
+        for k in 0..30 {
+            let av = da[(i, k)];
+            if av != 0.0 {
+                for j in 0..20 {
+                    want[i * 20 + j] += av * db[(k, j)];
+                }
+            }
+        }
+    }
+    for ka in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Coordinate, FormatKind::Itpack] {
+        for kb in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Cccs, FormatKind::JDiag] {
+            let a = SparseMatrix::from_triplets(ka, &ta);
+            let b = SparseMatrix::from_triplets(kb, &tb);
+            let eng = SpmmEngine::compile(&a, &b).unwrap();
+            let mut c = vec![0.0; 25 * 20];
+            eng.run(&a, &b, &mut c).unwrap();
+            for (g, w) in c.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "({ka:?},{kb:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn format_conversion_graph_is_lossless() {
+    let t = table1_suite(Scale::Small)
+        .into_iter()
+        .find(|m| m.name == "medium")
+        .unwrap()
+        .triplets
+        .canonicalize();
+    // Chain conversions through several formats and come back.
+    let m = SparseMatrix::from_triplets(FormatKind::Csr, &t)
+        .convert(FormatKind::JDiag)
+        .convert(FormatKind::Cccs)
+        .convert(FormatKind::Diagonal)
+        .convert(FormatKind::Inode)
+        .convert(FormatKind::Coordinate);
+    assert_eq!(m.to_triplets().canonicalize(), t);
+}
+
+#[test]
+fn matrix_market_roundtrip_on_generated_suite() {
+    for m in table1_suite(Scale::Small).into_iter().take(5) {
+        let mut buf = Vec::new();
+        bernoulli_formats::io::write_matrix_market(&m.triplets, &mut buf).unwrap();
+        let back =
+            bernoulli_formats::io::read_matrix_market(std::io::BufReader::new(buf.as_slice()))
+                .unwrap();
+        assert_eq!(back.canonicalize(), m.triplets.canonicalize(), "{}", m.name);
+    }
+}
+
+#[test]
+fn sequential_cg_solves_every_suite_spd_matrix() {
+    use bernoulli_solvers::cg::{cg_sequential, CgOptions};
+    use bernoulli_solvers::precond::DiagonalPreconditioner;
+    for m in table1_suite(Scale::Small) {
+        let s = m.stats();
+        if !s.symmetric {
+            continue; // memplus/circuit twins are unsymmetric
+        }
+        let n = s.nrows;
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &m.triplets);
+        let eng = SpmvEngine::compile(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let mut x = vec![0.0; n];
+        let pc = DiagonalPreconditioner::from_matrix(&m.triplets);
+        let res = cg_sequential(
+            |v, out| {
+                out.fill(0.0);
+                eng.run(&a, v, out).unwrap();
+            },
+            &pc,
+            &b,
+            &mut x,
+            CgOptions { max_iters: 2000, rel_tol: 1e-9 },
+        );
+        assert!(res.converged, "{} residual {}", m.name, res.final_residual);
+    }
+}

@@ -1,0 +1,230 @@
+//! Parallel integration: SPMD compilation paths against the sequential
+//! reference, across distribution relations and processor counts.
+
+use bernoulli::spmd::{fragment_matrix, to_mixed_spec, CompiledMixed, CompiledNaive};
+use bernoulli_blocksolve::matvec::BsParallelMatvec;
+use bernoulli_blocksolve::reorder::build_layout;
+use bernoulli_blocksolve::split::split_matrix;
+use bernoulli_formats::gen::{fem_grid_2d, fem_grid_3d};
+use bernoulli_formats::Triplets;
+use bernoulli_solvers::cg::{cg_parallel, cg_sequential, CgOptions};
+use bernoulli_solvers::precond::DiagonalPreconditioner;
+use bernoulli_spmd::chaos::ChaosTable;
+use bernoulli_spmd::dist::{
+    BlockCyclicDist, BlockDist, CyclicDist, Distribution, GeneralizedBlockDist, IndirectDist,
+};
+use bernoulli_spmd::machine::Machine;
+
+fn sequential_solution(t: &Triplets, b: &[f64], iters: usize) -> Vec<f64> {
+    let a = bernoulli_formats::Csr::from_triplets(t);
+    let pc = DiagonalPreconditioner::from_matrix(t);
+    let mut x = vec![0.0; t.nrows()];
+    cg_sequential(
+        |v, out| {
+            out.fill(0.0);
+            bernoulli_formats::kernels::spmv_csr(&a, v, out);
+        },
+        &pc,
+        b,
+        &mut x,
+        CgOptions { max_iters: iters, rel_tol: 0.0 },
+    );
+    x
+}
+
+fn parallel_solution(
+    t: &Triplets,
+    b: &[f64],
+    dist: &dyn Distribution,
+    iters: usize,
+    mixed: bool,
+    chaos: bool,
+) -> Vec<f64> {
+    let n = t.nrows();
+    let frags = fragment_matrix(t, dist);
+    let pc = DiagonalPreconditioner::from_matrix(t);
+    let out = Machine::run(dist.nprocs(), |ctx| {
+        let me = ctx.rank();
+        let owned = dist.owned_globals(me);
+        let b_local: Vec<f64> = owned.iter().map(|&g| b[g]).collect();
+        let pc_local = pc.restrict(&owned);
+        let mut x_local = vec![0.0; owned.len()];
+        let table = chaos.then(|| ChaosTable::build(ctx, n, &owned));
+        enum E {
+            M(CompiledMixed),
+            N(CompiledNaive),
+        }
+        let mut eng = if mixed {
+            let spec = to_mixed_spec(&frags[me], |g| {
+                let (p, l) = dist.owner(g);
+                (p == me).then_some(l)
+            });
+            E::M(match &table {
+                Some(tab) => CompiledMixed::inspect_chaos(ctx, &spec, tab),
+                None => CompiledMixed::inspect(ctx, &spec, dist),
+            })
+        } else {
+            E::N(match &table {
+                Some(tab) => CompiledNaive::inspect_chaos(ctx, &frags[me], tab),
+                None => CompiledNaive::inspect(ctx, &frags[me], dist),
+            })
+        };
+        cg_parallel(
+            ctx,
+            |ctx, p, out| match &mut eng {
+                E::M(e) => e.execute(ctx, p, out),
+                E::N(e) => e.execute(ctx, p, out),
+            },
+            &pc_local,
+            &b_local,
+            &mut x_local,
+            CgOptions { max_iters: iters, rel_tol: 0.0 },
+        );
+        x_local
+    });
+    let mut x = vec![0.0; n];
+    for (p, xl) in out.results.iter().enumerate() {
+        for (l, &g) in dist.owned_globals(p).iter().enumerate() {
+            x[g] = xl[l];
+        }
+    }
+    x
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() < tol * y.abs().max(1.0), "{what}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn parallel_cg_matches_sequential_across_distributions() {
+    let t = fem_grid_3d(4, 4, 4, 2);
+    let n = t.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 6) as f64 * 0.5).collect();
+    let want = sequential_solution(&t, &b, 15);
+    let p = 4;
+    let sizes: Vec<usize> = (0..p).map(|q| n / p + usize::from(q < n % p)).collect();
+    let map: Vec<usize> = (0..n).map(|g| (g * 7 + 3) % p).collect();
+    let dists: Vec<(&str, Box<dyn Distribution>)> = vec![
+        ("block", Box::new(BlockDist::new(n, p))),
+        ("cyclic", Box::new(CyclicDist::new(n, p))),
+        ("block-cyclic", Box::new(BlockCyclicDist::new(n, p, 8))),
+        ("generalized-block", Box::new(GeneralizedBlockDist::new(&sizes))),
+        ("indirect", Box::new(IndirectDist::new(p, map))),
+    ];
+    for (name, dist) in &dists {
+        dist.validate().unwrap();
+        for mixed in [true, false] {
+            let got = parallel_solution(&t, &b, dist.as_ref(), 15, mixed, false);
+            assert_close(&got, &want, 1e-8, &format!("{name}/mixed={mixed}"));
+        }
+    }
+}
+
+#[test]
+fn chaos_translation_gives_identical_solutions() {
+    let t = fem_grid_2d(6, 6, 3);
+    let n = t.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let want = sequential_solution(&t, &b, 12);
+    let dist = BlockDist::new(n, 3);
+    for mixed in [true, false] {
+        let got = parallel_solution(&t, &b, &dist, 12, mixed, true);
+        assert_close(&got, &want, 1e-8, &format!("chaos/mixed={mixed}"));
+    }
+}
+
+#[test]
+fn parallel_cg_matches_across_processor_counts() {
+    let t = fem_grid_3d(4, 4, 6, 2);
+    let n = t.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64 * 0.25).collect();
+    let want = sequential_solution(&t, &b, 20);
+    for p in [1, 2, 4, 8] {
+        let dist = BlockDist::new(n, p);
+        let got = parallel_solution(&t, &b, &dist, 20, true, false);
+        assert_close(&got, &want, 1e-8, &format!("P={p}"));
+    }
+}
+
+#[test]
+fn blocksolve_pipeline_cg_matches_sequential() {
+    let t = fem_grid_3d(4, 4, 3, 5);
+    let n = t.nrows();
+    let layout = build_layout(&t, 5, 4, 2);
+    let rt = layout.permute_matrix(&t);
+    let b_orig: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let b_re = layout.permute_vec(&b_orig);
+    let want = sequential_solution(&rt, &b_re, 15);
+
+    let locals = split_matrix(&layout, &rt);
+    let pc = DiagonalPreconditioner::from_matrix(&rt);
+    let dist = layout.dist.clone();
+    let out = Machine::run(4, |ctx| {
+        let me = ctx.rank();
+        let local = &locals[me];
+        let owned = dist.owned_globals(me);
+        let b_local: Vec<f64> = owned.iter().map(|&g| b_re[g]).collect();
+        let pc_local = pc.restrict(&owned);
+        let mut pm = BsParallelMatvec::inspect(ctx, local, &dist);
+        let mut x_local = vec![0.0; local.n_local];
+        cg_parallel(
+            ctx,
+            |ctx, p, out| pm.execute(ctx, local, p, out, true),
+            &pc_local,
+            &b_local,
+            &mut x_local,
+            CgOptions { max_iters: 15, rel_tol: 0.0 },
+        );
+        x_local
+    });
+    let mut got = vec![0.0; n];
+    for (p, xl) in out.results.iter().enumerate() {
+        for (l, &g) in dist.owned_globals(p).iter().enumerate() {
+            got[g] = xl[l];
+        }
+    }
+    assert_close(&got, &want, 1e-8, "blocksolve CG");
+}
+
+#[test]
+fn executor_traffic_independent_of_spec_but_inspector_is_not() {
+    let t = fem_grid_3d(4, 4, 4, 3);
+    let n = t.nrows();
+    let dist = BlockDist::new(n, 4);
+    let frags = fragment_matrix(&t, &dist);
+    let measure = |mixed: bool| {
+        Machine::run(4, |ctx| {
+            let me = ctx.rank();
+            let s0 = ctx.stats();
+            enum E {
+                M(CompiledMixed),
+                N(CompiledNaive),
+            }
+            let mut eng = if mixed {
+                let spec = to_mixed_spec(&frags[me], |g| {
+                    let (p, l) = dist.owner(g);
+                    (p == me).then_some(l)
+                });
+                E::M(CompiledMixed::inspect(ctx, &spec, &dist))
+            } else {
+                E::N(CompiledNaive::inspect(ctx, &frags[me], &dist))
+            };
+            let insp = ctx.stats().since(&s0).bytes_sent;
+            let x = vec![1.0; dist.local_len(me)];
+            let mut y = vec![0.0; dist.local_len(me)];
+            let s1 = ctx.stats();
+            match &mut eng {
+                E::M(e) => e.execute(ctx, &x, &mut y),
+                E::N(e) => e.execute(ctx, &x, &mut y),
+            }
+            (insp, ctx.stats().since(&s1).bytes_sent)
+        })
+    };
+    let m = measure(true);
+    let nv = measure(false);
+    let exec_m: u64 = m.results.iter().map(|r| r.1).sum();
+    let exec_n: u64 = nv.results.iter().map(|r| r.1).sum();
+    assert_eq!(exec_m, exec_n, "executors move the same boundary values");
+}

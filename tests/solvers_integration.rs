@@ -1,0 +1,145 @@
+//! Cross-crate solver integration: every iterative method over the
+//! compiled engines, agreeing on the same solutions.
+
+use bernoulli::engines::SpmvEngine;
+use bernoulli_formats::gen::{fem_grid_2d, table1_suite, Scale};
+use bernoulli_formats::{FormatKind, SparseMatrix, Triplets};
+use bernoulli_solvers::cg::{cg_sequential, CgOptions};
+use bernoulli_solvers::gmres::{gmres, GmresOptions};
+use bernoulli_solvers::ic0::Ic0;
+use bernoulli_solvers::precond::DiagonalPreconditioner;
+use bernoulli_solvers::stationary::{chebyshev, jacobi};
+
+fn engine_matvec<'a>(
+    eng: &'a SpmvEngine,
+    a: &'a SparseMatrix,
+) -> impl FnMut(&[f64], &mut [f64]) + 'a {
+    move |v, out| {
+        out.fill(0.0);
+        eng.run(a, v, out).unwrap();
+    }
+}
+
+fn residual(t: &Triplets, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; b.len()];
+    t.matvec_acc(x, &mut ax);
+    ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+}
+
+#[test]
+fn all_krylov_methods_agree_through_compiled_engines() {
+    let t = fem_grid_2d(7, 6, 2);
+    let n = t.nrows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 5 % 13) as f64) * 0.3).collect();
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    let eng = SpmvEngine::compile(&a).unwrap();
+    let diag = DiagonalPreconditioner::from_matrix(&t);
+
+    // CG (SPD) with diagonal preconditioning.
+    let mut x_cg = vec![0.0; n];
+    let r = cg_sequential(
+        engine_matvec(&eng, &a),
+        &diag,
+        &b,
+        &mut x_cg,
+        CgOptions { max_iters: 2000, rel_tol: 1e-11 },
+    );
+    assert!(r.converged);
+
+    // CG with IC(0).
+    let ic = Ic0::factor(&t).unwrap();
+    let mut x_ic = vec![0.0; n];
+    let r_ic = cg_sequential(
+        engine_matvec(&eng, &a),
+        &ic,
+        &b,
+        &mut x_ic,
+        CgOptions { max_iters: 2000, rel_tol: 1e-11 },
+    );
+    assert!(r_ic.converged);
+    assert!(r_ic.iters <= r.iters, "IC(0) must not be slower in iterations");
+
+    // GMRES.
+    let mut x_gm = vec![0.0; n];
+    let r_gm = gmres(
+        engine_matvec(&eng, &a),
+        &diag,
+        &b,
+        &mut x_gm,
+        GmresOptions { restart: 30, max_iters: 3000, rel_tol: 1e-11 },
+    );
+    assert!(r_gm.converged);
+
+    // All three solutions agree.
+    for i in 0..n {
+        assert!((x_cg[i] - x_ic[i]).abs() < 1e-6, "CG vs IC0-PCG at {i}");
+        assert!((x_cg[i] - x_gm[i]).abs() < 1e-6, "CG vs GMRES at {i}");
+    }
+    assert!(residual(&t, &x_cg, &b) < 1e-7);
+}
+
+#[test]
+fn stationary_methods_converge_through_compiled_engines() {
+    let t = fem_grid_2d(6, 6, 1);
+    let n = t.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i % 4) as f64 - 1.5).collect();
+    let a = SparseMatrix::from_triplets(FormatKind::Ccs, &t); // column-major engine
+    let eng = SpmvEngine::compile(&a).unwrap();
+    let diag = DiagonalPreconditioner::from_matrix(&t);
+
+    let mut x_j = vec![0.0; n];
+    let rj = jacobi(engine_matvec(&eng, &a), &diag, &b, &mut x_j, 0.9, 20000, 1e-8);
+    assert!(rj.converged, "jacobi residual {}", rj.final_residual);
+
+    // Gershgorin bounds of the generator's 2·(Laplacian + I) on a 2-D
+    // grid: [2, 18].
+    let mut x_c = vec![0.0; n];
+    let rc = chebyshev(engine_matvec(&eng, &a), &b, &mut x_c, 2.0, 18.0, 20000, 1e-8);
+    assert!(rc.converged, "chebyshev residual {}", rc.final_residual);
+
+    for i in 0..n {
+        assert!((x_j[i] - x_c[i]).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn gmres_solves_every_suite_matrix_through_engines() {
+    // Including the unsymmetric circuit twin, where CG is inapplicable.
+    for m in table1_suite(Scale::Small) {
+        let s = m.stats();
+        if s.nrows > 3000 {
+            continue; // keep the test fast (memplus runs in benches)
+        }
+        let n = s.nrows;
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &m.triplets);
+        let eng = SpmvEngine::compile(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let diag = DiagonalPreconditioner::from_matrix(&m.triplets);
+        let mut x = vec![0.0; n];
+        let r = gmres(
+            engine_matvec(&eng, &a),
+            &diag,
+            &b,
+            &mut x,
+            GmresOptions { restart: 50, max_iters: 6000, rel_tol: 1e-8 },
+        );
+        assert!(
+            r.converged,
+            "{}: residual {} after {} matvecs",
+            m.name, r.final_residual, r.iters
+        );
+    }
+}
+
+#[test]
+fn ic0_handles_every_spd_suite_matrix() {
+    for m in table1_suite(Scale::Small) {
+        let s = m.stats();
+        if !s.symmetric || s.nrows > 3000 {
+            continue;
+        }
+        // Shifted factorisation always succeeds on these.
+        let ic = Ic0::factor_shifted(&m.triplets, 8);
+        assert!(ic.is_ok(), "{}: {:?}", m.name, ic.err());
+    }
+}
