@@ -1,0 +1,93 @@
+//! Serial-vs-parallel SpMV speedup per format at 1/2/4/8 workers.
+//!
+//! Not a criterion bench: the deliverable is a machine-readable
+//! `BENCH_parallel.json` at the repository root recording, for every
+//! format, the serial kernel time and the parallel kernel time at each
+//! worker count, plus enough host metadata to interpret the numbers
+//! (on a single-hardware-thread host the "parallel" rows measure pure
+//! fork/join overhead — speedup ≈ 1 is the honest ceiling there).
+
+use bernoulli_formats::gen::grid3d_7pt;
+use bernoulli_formats::{ExecConfig, FormatKind, SparseMatrix};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 7;
+
+/// Min-of-N wall time for one `y += A·x`, in seconds.
+fn time_spmv(mut run: impl FnMut(&mut [f64]), n: usize) -> f64 {
+    let mut y = vec![0.0; n];
+    // Warm-up (page in the matrix and vectors).
+    run(&mut y);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        y.fill(0.0);
+        let t0 = Instant::now();
+        run(black_box(&mut y));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    // ~157k rows / ~1.08M stored nonzeros: far above the dispatch
+    // threshold, small enough to bench every format in seconds.
+    let t = grid3d_7pt(54, 54, 54);
+    let n = t.nrows();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+
+    let host_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"parallel_spmv_speedup\",").unwrap();
+    writeln!(json, "  \"matrix\": \"grid3d_7pt(54,54,54)\",").unwrap();
+    writeln!(json, "  \"nrows\": {n},").unwrap();
+    writeln!(json, "  \"nnz\": {},", t.canonicalize().entries().len()).unwrap();
+    writeln!(json, "  \"host_threads\": {host_threads},").unwrap();
+    writeln!(json, "  \"reps\": {REPS},").unwrap();
+    writeln!(json, "  \"note\": \"times are min-of-reps seconds for one y += A*x; speedup = serial/parallel; on a host with host_threads=1 the parallel rows measure fork/join overhead, not speedup\",").unwrap();
+    writeln!(json, "  \"formats\": [").unwrap();
+
+    let kinds = [
+        FormatKind::Csr,
+        FormatKind::Itpack,
+        FormatKind::JDiag,
+        FormatKind::Inode,
+        FormatKind::Diagonal,
+        FormatKind::Ccs,
+        FormatKind::Cccs,
+        FormatKind::Coordinate,
+    ];
+    for (fi, kind) in kinds.iter().enumerate() {
+        let a = SparseMatrix::from_triplets(*kind, &t);
+        let serial = time_spmv(|y| a.spmv_acc(&x, y), n);
+        eprintln!("{kind}: serial {:.3} ms", serial * 1e3);
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"format\": \"{kind}\",").unwrap();
+        writeln!(json, "      \"serial_s\": {serial:.6e},").unwrap();
+        writeln!(json, "      \"parallel\": [").unwrap();
+        for (ti, &threads) in THREAD_COUNTS.iter().enumerate() {
+            let exec = ExecConfig::with_threads(threads).threshold(1);
+            let par = time_spmv(|y| a.par_spmv_acc(&x, y, &exec), n);
+            let speedup = serial / par;
+            eprintln!("  {threads} threads: {:.3} ms  (speedup {speedup:.2}x)", par * 1e3);
+            let comma = if ti + 1 < THREAD_COUNTS.len() { "," } else { "" };
+            writeln!(
+                json,
+                "        {{\"threads\": {threads}, \"time_s\": {par:.6e}, \"speedup\": {speedup:.4}}}{comma}"
+            )
+            .unwrap();
+        }
+        writeln!(json, "      ]").unwrap();
+        let comma = if fi + 1 < kinds.len() { "," } else { "" };
+        writeln!(json, "    }}{comma}").unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(out, &json).expect("write BENCH_parallel.json");
+    eprintln!("wrote {out}");
+}

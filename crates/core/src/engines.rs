@@ -13,7 +13,7 @@
 
 use crate::ast::programs;
 use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{kernels, SparseMatrix};
+use bernoulli_formats::{kernels, par_kernels, ExecConfig, SparseMatrix};
 use bernoulli_relational::access::{MatrixAccess, VecMeta};
 use bernoulli_relational::error::RelResult;
 use bernoulli_relational::exec::Bindings;
@@ -26,6 +26,13 @@ pub enum Strategy {
     /// The plan matched the format's natural traversal: dispatch to the
     /// monomorphised kernel (the "generated code" path).
     Specialized,
+    /// The plan matched the natural traversal *and* the operand is
+    /// large enough to clear the [`ExecConfig`] work threshold:
+    /// dispatch to the shared-memory parallel kernel of
+    /// [`bernoulli_formats::par_kernels`]. Below the threshold an
+    /// engine compiles to [`Strategy::Specialized`] with the identical
+    /// plan, so small operands keep byte-identical serial behaviour.
+    Parallel,
     /// General plan interpretation.
     Interpreted,
 }
@@ -44,11 +51,14 @@ fn natural_spmv_shape(a: &SparseMatrix) -> &'static str {
 pub struct SpmvEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
+    exec: ExecConfig,
 }
 
 impl SpmvEngine {
     /// Compile for a matrix (dense `x`/`y`), choosing the execution
-    /// strategy from the plan shape.
+    /// strategy from the plan shape. Serial execution (the original
+    /// library behaviour); use [`SpmvEngine::compile_with_exec`] for
+    /// thresholded parallel dispatch.
     pub fn compile(a: &SparseMatrix) -> RelResult<SpmvEngine> {
         Self::compile_with(a, true)
     }
@@ -56,6 +66,20 @@ impl SpmvEngine {
     /// As [`SpmvEngine::compile`], optionally forbidding specialisation
     /// (the ablation's interpreter-only mode).
     pub fn compile_with(a: &SparseMatrix, allow_specialization: bool) -> RelResult<SpmvEngine> {
+        Self::compile_with_exec(a, allow_specialization, ExecConfig::serial())
+    }
+
+    /// Full-control compilation: the plan and specialisation decision
+    /// are exactly as in [`SpmvEngine::compile_with`]; on top of that,
+    /// a specialisable plan whose matrix clears `exec`'s work threshold
+    /// compiles to [`Strategy::Parallel`]. Below the threshold (or with
+    /// `ExecConfig::serial()`) the result is byte-identical to the
+    /// serial engine — same plan shape, same kernel, same strategy.
+    pub fn compile_with_exec(
+        a: &SparseMatrix,
+        allow_specialization: bool,
+        exec: ExecConfig,
+    ) -> RelResult<SpmvEngine> {
         let m = a.meta();
         let meta = QueryMeta::new()
             .mat(MAT_A, m)
@@ -70,11 +94,15 @@ impl SpmvEngine {
         let specializable =
             shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]";
         let strategy = if allow_specialization && specializable {
-            Strategy::Specialized
+            if exec.should_parallelize(m.nnz) {
+                Strategy::Parallel
+            } else {
+                Strategy::Specialized
+            }
         } else {
             Strategy::Interpreted
         };
-        Ok(SpmvEngine { kernel, strategy })
+        Ok(SpmvEngine { kernel, strategy, exec })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -94,6 +122,10 @@ impl SpmvEngine {
                 a.spmv_acc(x, y);
                 Ok(())
             }
+            Strategy::Parallel => {
+                a.par_spmv_acc(x, y, &self.exec);
+                Ok(())
+            }
             Strategy::Interpreted => {
                 let mut b = Bindings::new();
                 b.bind_mat(MAT_A, a).bind_vec(VEC_X, &x).bind_vec_mut(VEC_Y, y);
@@ -107,6 +139,7 @@ impl SpmvEngine {
 pub struct SpmmEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
+    exec: ExecConfig,
 }
 
 impl SpmmEngine {
@@ -119,18 +152,32 @@ impl SpmmEngine {
         b: &SparseMatrix,
         allow_specialization: bool,
     ) -> RelResult<SpmmEngine> {
+        Self::compile_with_exec(a, b, allow_specialization, ExecConfig::serial())
+    }
+
+    pub fn compile_with_exec(
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        allow_specialization: bool,
+        exec: ExecConfig,
+    ) -> RelResult<SpmmEngine> {
         let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
         let kernel = Compiler::new().compile(&programs::matmat(), &meta)?;
         // Gustavson's traversal over two CSR operands is the one shape
-        // with a hand-tuned kernel.
+        // with a hand-tuned kernel. Work estimate for the parallel gate:
+        // the driver operand's nonzeros (each expands into a B-row scan).
         let gustavson = "i:outer(A)>k:inner(A)[B?]>j:inner(B)";
         let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
         let strategy = if allow_specialization && both_csr && kernel.shape() == gustavson {
-            Strategy::Specialized
+            if exec.should_parallelize(a.meta().nnz) {
+                Strategy::Parallel
+            } else {
+                Strategy::Specialized
+            }
         } else {
             Strategy::Interpreted
         };
-        Ok(SpmmEngine { kernel, strategy })
+        Ok(SpmmEngine { kernel, strategy, exec })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -146,11 +193,15 @@ impl SpmmEngine {
         c: &mut [f64],
     ) -> RelResult<()> {
         match self.strategy {
-            Strategy::Specialized => {
+            Strategy::Specialized | Strategy::Parallel => {
                 let (SparseMatrix::Csr(ca), SparseMatrix::Csr(cb)) = (a, b) else {
                     unreachable!("specialised only for CSR×CSR")
                 };
-                let prod = kernels::spmm_csr_csr(ca, cb);
+                let prod = if self.strategy == Strategy::Parallel {
+                    par_kernels::par_spmm_csr_csr(ca, cb, &self.exec)
+                } else {
+                    kernels::spmm_csr_csr(ca, cb)
+                };
                 let ncols = cb.ncols();
                 for (i, j, v) in prod.to_triplets().canonicalize().entries().iter().copied() {
                     c[i * ncols + j] += v;
@@ -179,6 +230,7 @@ pub struct SpmvMultiEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
     k: usize,
+    exec: ExecConfig,
 }
 
 impl SpmvMultiEngine {
@@ -191,6 +243,15 @@ impl SpmvMultiEngine {
         k: usize,
         allow_specialization: bool,
     ) -> RelResult<SpmvMultiEngine> {
+        Self::compile_with_exec(a, k, allow_specialization, ExecConfig::serial())
+    }
+
+    pub fn compile_with_exec(
+        a: &SparseMatrix,
+        k: usize,
+        allow_specialization: bool,
+        exec: ExecConfig,
+    ) -> RelResult<SpmvMultiEngine> {
         let m = a.meta();
         // The multivector's metadata: a dense ncols × k matrix.
         let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
@@ -198,14 +259,19 @@ impl SpmvMultiEngine {
         let kernel = Compiler::new().compile(&programs::matvec_multi(), &meta)?;
         // The natural shape: rows of A, then A's entries, then the
         // dense multivector row — CSR dispatches to the blocked kernel.
+        // Work estimate: nnz·k fused multiply-adds.
         let natural = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
         let is_csr = matches!(a, SparseMatrix::Csr(_));
         let strategy = if allow_specialization && is_csr && kernel.shape() == natural {
-            Strategy::Specialized
+            if exec.should_parallelize(m.nnz.saturating_mul(k.max(1))) {
+                Strategy::Parallel
+            } else {
+                Strategy::Specialized
+            }
         } else {
             Strategy::Interpreted
         };
-        Ok(SpmvMultiEngine { kernel, strategy, k })
+        Ok(SpmvMultiEngine { kernel, strategy, k, exec })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -225,6 +291,13 @@ impl SpmvMultiEngine {
                     unreachable!("specialised only for CSR");
                 };
                 kernels::spmm_csr_dense(ca, x, self.k, y);
+                Ok(())
+            }
+            Strategy::Parallel => {
+                let SparseMatrix::Csr(ca) = a else {
+                    unreachable!("specialised only for CSR");
+                };
+                par_kernels::par_spmm_csr_dense(ca, x, self.k, y, &self.exec);
                 Ok(())
             }
             Strategy::Interpreted => {
@@ -378,6 +451,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spmv_parallel_only_above_threshold() {
+        // The ISSUE acceptance criterion: the engine selects Parallel
+        // only when nnz clears the ExecConfig threshold, and below the
+        // threshold it is byte-identical to the plain serial engine —
+        // same strategy, same plan shape, same results.
+        let t = sample(64, 11);
+        for kind in FormatKind::ALL {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            // Each format's own work measure (Dense reports nrows·ncols).
+            let nnz = a.meta().nnz;
+            let serial = SpmvEngine::compile(&a).unwrap();
+
+            // Threshold above nnz: parallel config degrades to the
+            // exact serial engine.
+            let below =
+                SpmvEngine::compile_with_exec(&a, true, ExecConfig::with_threads(4).threshold(nnz + 1))
+                    .unwrap();
+            assert_eq!(below.strategy(), Strategy::Specialized, "format {kind}");
+            assert_eq!(below.strategy(), serial.strategy(), "format {kind}");
+            assert_eq!(below.plan_shape(), serial.plan_shape(), "format {kind}");
+
+            // Threshold at/below nnz: Parallel, same plan shape.
+            let above =
+                SpmvEngine::compile_with_exec(&a, true, ExecConfig::with_threads(4).threshold(1))
+                    .unwrap();
+            assert_eq!(above.strategy(), Strategy::Parallel, "format {kind}");
+            assert_eq!(above.plan_shape(), serial.plan_shape(), "format {kind}");
+
+            // All three paths agree (row-family formats bit-for-bit;
+            // everything in FormatKind::ALL here is deterministic, so
+            // compare within reduction tolerance to stay format-generic).
+            let n = a.meta().ncols;
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+            let mut y_ser = vec![0.0; a.meta().nrows];
+            let mut y_bel = y_ser.clone();
+            let mut y_par = y_ser.clone();
+            serial.run(&a, &x, &mut y_ser).unwrap();
+            below.run(&a, &x, &mut y_bel).unwrap();
+            above.run(&a, &x, &mut y_par).unwrap();
+            assert_eq!(y_ser, y_bel, "below-threshold engine must be bitwise serial ({kind})");
+            for (p, s) in y_par.iter().zip(&y_ser) {
+                assert!((p - s).abs() <= 1e-12 * s.abs().max(1.0), "format {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_serial_exec_config_never_parallelizes() {
+        let t = sample(64, 12);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let eng = SpmvEngine::compile_with_exec(&a, true, ExecConfig::serial()).unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+    }
+
+    #[test]
+    fn spmm_and_multivector_parallel_above_threshold_agree() {
+        let ta = sample(40, 13);
+        let tb = sample(40, 14);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
+        let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
+        let par = SpmmEngine::compile_with_exec(&a, &b, true, ExecConfig::with_threads(4).threshold(1))
+            .unwrap();
+        assert_eq!(par.strategy(), Strategy::Parallel);
+        let ser = SpmmEngine::compile(&a, &b).unwrap();
+        assert_eq!(ser.strategy(), Strategy::Specialized);
+        let mut c1 = vec![0.0; 1600];
+        let mut c2 = vec![0.0; 1600];
+        par.run(&a, &b, &mut c1).unwrap();
+        ser.run(&a, &b, &mut c2).unwrap();
+        for (x1, x2) in c1.iter().zip(&c2) {
+            assert!((x1 - x2).abs() <= 1e-12 * x2.abs().max(1.0));
+        }
+
+        let k = 3;
+        let mpar =
+            SpmvMultiEngine::compile_with_exec(&a, k, true, ExecConfig::with_threads(4).threshold(1))
+                .unwrap();
+        assert_eq!(mpar.strategy(), Strategy::Parallel);
+        let mser = SpmvMultiEngine::compile(&a, k).unwrap();
+        let x: Vec<f64> = (0..40 * k).map(|i| (i as f64 * 0.17).cos()).collect();
+        let mut y1 = vec![0.0; 40 * k];
+        let mut y2 = vec![0.0; 40 * k];
+        mpar.run(&a, &x, &mut y1).unwrap();
+        mser.run(&a, &x, &mut y2).unwrap();
+        // Row-partitioned multivector kernel is bit-identical to serial.
+        assert_eq!(y1, y2);
     }
 
     #[test]

@@ -39,4 +39,5 @@ pub mod spmd;
 pub use ast::{ArrayDecl, ExprAst, LoopNest};
 pub use codegen::emit_pseudocode;
 pub use compile::{CompiledKernel, Compiler};
-pub use engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
+pub use engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine, Strategy};
+pub use bernoulli_formats::ExecConfig;

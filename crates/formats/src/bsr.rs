@@ -132,6 +132,43 @@ impl Bsr {
         }
     }
 
+    /// Parallel `y += A·x` over block-row chunks (chunks are whole
+    /// block rows, so each `y[i]` has one writer and the per-element
+    /// operation order matches [`Bsr::spmv_acc`] bit for bit). Falls
+    /// back to the serial kernel below `exec`'s worker/threshold gate.
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+        use rayon::prelude::*;
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let t = exec.threads_hint();
+        if t <= 1 || !exec.should_parallelize(self.nnz) || y.is_empty() {
+            return self.spmv_acc(x, y);
+        }
+        let b = self.b;
+        let nbrows = self.nrows / b;
+        let chunk_brows = nbrows.div_ceil(t).max(1);
+        exec.install(|| {
+            y.par_chunks_mut(chunk_brows * b).enumerate().for_each(|(ci, yc)| {
+                let br0 = ci * chunk_brows;
+                for (dbr, yrow) in yc.chunks_mut(b).enumerate() {
+                    let br = br0 + dbr;
+                    for k in self.browptr[br]..self.browptr[br + 1] {
+                        let bc = self.bcolind[k];
+                        let xs = &x[bc * b..(bc + 1) * b];
+                        let blk = &self.blocks[k * b * b..(k + 1) * b * b];
+                        for (r, yv) in yrow.iter_mut().enumerate() {
+                            let mut acc = 0.0;
+                            for (cidx, &xv) in xs.iter().enumerate() {
+                                acc += blk[r * b + cidx] * xv;
+                            }
+                            *yv += acc;
+                        }
+                    }
+                }
+            });
+        });
+    }
+
     /// Block-row range of matrix row `r`.
     fn brange(&self, r: usize) -> (usize, usize) {
         let br = r / self.b;

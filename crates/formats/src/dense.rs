@@ -104,12 +104,12 @@ impl DenseMatrix {
     pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, &xv) in x.iter().enumerate() {
                 acc += self.data[r * self.ncols + c] * xv;
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 

@@ -1,0 +1,131 @@
+//! Shared-memory execution configuration.
+//!
+//! [`ExecConfig`] is the one knob every layer of the stack consults
+//! before going parallel: the kernels in [`crate::par_kernels`], the
+//! engines in `bernoulli` (which add a `Strategy::Parallel` dispatch
+//! tier above it), and the solver vector operations in
+//! `bernoulli-solvers`. It lives here, at the bottom of the crate
+//! graph, so all of them share one type without a dependency cycle.
+//!
+//! Two things are configured:
+//!
+//! * **`threads`** — how many workers a parallel region may use
+//!   (`0` = the rayon default, `1` = stay serial);
+//! * **`par_threshold_nnz`** — the work size (stored nonzeros, or the
+//!   equivalent flop count for vector ops) below which parallel
+//!   dispatch is refused. Small operands lose more to fork/join and
+//!   cache-line ping-pong than they gain, and — just as important for
+//!   this reproduction — staying serial below the threshold keeps the
+//!   specialized kernels *byte-identical* to the pre-parallel library,
+//!   which the engine tests assert.
+
+/// Default minimum stored-nonzero count before a kernel goes parallel.
+///
+/// ~32k multiply-adds is a few microseconds of serial work — roughly
+/// where fork/join overhead (thread wake-up plus one pass of cache
+/// warm-up per worker) stops dominating on commodity hardware.
+pub const DEFAULT_PAR_THRESHOLD_NNZ: usize = 32_768;
+
+/// How (and whether) an operation may execute in parallel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for parallel regions: `0` = rayon's default for
+    /// this machine, `1` = serial, `n` = exactly `n`.
+    pub threads: usize,
+    /// Operations with less work (stored nonzeros) than this stay on
+    /// the serial kernels.
+    pub par_threshold_nnz: usize,
+}
+
+impl ExecConfig {
+    /// Never parallelize: serial kernels only, whatever the size.
+    pub fn serial() -> ExecConfig {
+        ExecConfig { threads: 1, par_threshold_nnz: usize::MAX }
+    }
+
+    /// Parallelize large operations on the machine's default worker
+    /// count; small ones stay serial.
+    pub fn parallel() -> ExecConfig {
+        ExecConfig { threads: 0, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ }
+    }
+
+    /// Parallelize large operations on exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig { threads, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ }
+    }
+
+    /// Replace the parallel-dispatch work threshold.
+    pub fn threshold(mut self, nnz: usize) -> ExecConfig {
+        self.par_threshold_nnz = nnz;
+        self
+    }
+
+    /// The concrete worker count this config resolves to (`threads`,
+    /// with `0` resolved to rayon's default).
+    pub fn threads_hint(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads().max(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Should an operation of `work` stored nonzeros run parallel?
+    pub fn should_parallelize(&self, work: usize) -> bool {
+        self.threads_hint() > 1 && work >= self.par_threshold_nnz
+    }
+
+    /// Run `f` with this config's worker count in effect for nested
+    /// rayon calls (no-op for the `0` = default setting).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.threads == 0 {
+            f()
+        } else {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("thread pool build")
+                .install(f)
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    /// The default is [`ExecConfig::parallel`]: thresholded parallel
+    /// dispatch on the machine's worker count.
+    fn default() -> ExecConfig {
+        ExecConfig::parallel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_never_parallelizes() {
+        let e = ExecConfig::serial();
+        assert_eq!(e.threads_hint(), 1);
+        assert!(!e.should_parallelize(usize::MAX - 1));
+    }
+
+    #[test]
+    fn threshold_gates_dispatch() {
+        let e = ExecConfig::with_threads(4).threshold(1000);
+        assert!(!e.should_parallelize(999));
+        assert!(e.should_parallelize(1000));
+    }
+
+    #[test]
+    fn install_sets_worker_count() {
+        let e = ExecConfig::with_threads(3);
+        assert_eq!(e.install(rayon::current_num_threads), 3);
+        assert_eq!(e.threads_hint(), 3);
+    }
+
+    #[test]
+    fn zero_resolves_to_rayon_default() {
+        let e = ExecConfig::parallel();
+        assert_eq!(e.threads_hint(), rayon::current_num_threads().max(1));
+    }
+}

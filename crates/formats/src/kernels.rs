@@ -36,10 +36,13 @@ pub fn spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64]) {
     let rowind = a.rowind();
     let vals = a.vals();
     for (j, &xj) in x.iter().enumerate() {
-        if xj == 0.0 {
+        let (s, e) = (colp[j], colp[j + 1]);
+        // Skipping a zero x[j] is only sound when the column is all
+        // finite: NaN·0 and ±Inf·0 are NaN and must reach y.
+        if xj == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
             continue;
         }
-        for k in colp[j]..colp[j + 1] {
+        for k in s..e {
             y[rowind[k]] += vals[k] * xj;
         }
     }
@@ -153,10 +156,12 @@ pub fn spmv_csr_transposed(a: &Csr, x: &[f64], y: &mut [f64]) {
     let colind = a.colind();
     let vals = a.vals();
     for (r, &xr) in x.iter().enumerate() {
-        if xr == 0.0 {
+        let (s, e) = (rowptr[r], rowptr[r + 1]);
+        // Same finiteness gate as spmv_ccs: NaN/Inf times zero is NaN.
+        if xr == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
             continue;
         }
-        for k in rowptr[r]..rowptr[r + 1] {
+        for k in s..e {
             y[colind[k]] += vals[k] * xr;
         }
     }

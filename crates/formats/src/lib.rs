@@ -38,6 +38,7 @@ pub mod convert;
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod exec;
 pub mod gen;
 pub mod inode;
 pub mod io;
@@ -46,6 +47,7 @@ pub mod jdiag;
 pub mod kernels;
 pub mod matrix;
 pub mod msr;
+pub mod par_kernels;
 pub mod diag;
 pub mod skyline;
 pub mod sparsevec;
@@ -59,6 +61,7 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use diag::DiagonalMatrix;
+pub use exec::ExecConfig;
 pub use inode::InodeMatrix;
 pub use itpack::Itpack;
 pub use jdiag::JDiag;

@@ -167,6 +167,34 @@ impl SparseMatrix {
             SparseMatrix::Inode(m) => kernels::spmv_inode(m, x, y),
         }
     }
+
+    /// Parallel SpMV (`y += A·x`) dispatching to the per-format
+    /// kernels of [`crate::par_kernels`]. Matrices below `exec`'s work
+    /// threshold (and any run with one worker) use the serial kernels
+    /// unchanged; see the family-by-family determinism contract on the
+    /// [`crate::par_kernels`] module.
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+        use crate::par_kernels as pk;
+        // Dense stores every element; its "work" is the full product.
+        let work = match self {
+            SparseMatrix::Dense(m) => m.nrows() * m.ncols(),
+            _ => self.nnz(),
+        };
+        if !exec.should_parallelize(work) {
+            return self.spmv_acc(x, y);
+        }
+        match self {
+            SparseMatrix::Dense(m) => pk::par_matvec_dense(m, x, y, exec),
+            SparseMatrix::Coordinate(m) => pk::par_spmv_coo(m, x, y, exec),
+            SparseMatrix::Csr(m) => pk::par_spmv_csr(m, x, y, exec),
+            SparseMatrix::Ccs(m) => pk::par_spmv_ccs(m, x, y, exec),
+            SparseMatrix::Cccs(m) => pk::par_spmv_cccs(m, x, y, exec),
+            SparseMatrix::Diagonal(m) => pk::par_spmv_diag(m, x, y, exec),
+            SparseMatrix::Itpack(m) => pk::par_spmv_itpack(m, x, y, exec),
+            SparseMatrix::JDiag(m) => pk::par_spmv_jdiag(m, x, y, exec),
+            SparseMatrix::Inode(m) => pk::par_spmv_inode(m, x, y, exec),
+        }
+    }
 }
 
 impl MatrixAccess for SparseMatrix {

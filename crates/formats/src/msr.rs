@@ -117,6 +117,38 @@ impl Msr {
         }
     }
 
+    /// Parallel `y += A·x` over row chunks. Each row applies its
+    /// diagonal entry first, then its off-diagonal dot product — the
+    /// same per-element order as the serial two-pass kernel, so the
+    /// result matches [`Msr::spmv_acc`] bit for bit. Falls back to the
+    /// serial kernel below `exec`'s worker/threshold gate.
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+        use rayon::prelude::*;
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let t = exec.threads_hint();
+        if t <= 1 || !exec.should_parallelize(self.nnz) || y.is_empty() {
+            return self.spmv_acc(x, y);
+        }
+        let chunk = self.nrows.div_ceil(t).max(1);
+        exec.install(|| {
+            y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+                let r0 = ci * chunk;
+                for (dr, yr) in yc.iter_mut().enumerate() {
+                    let r = r0 + dr;
+                    if r < self.diag.len() {
+                        *yr += self.diag[r] * x[r];
+                    }
+                    let mut acc = 0.0;
+                    for k in self.rowptr[r]..self.rowptr[r + 1] {
+                        acc += self.vals[k] * x[self.colind[k]];
+                    }
+                    *yr += acc;
+                }
+            });
+        });
+    }
+
     fn offdiag_row(&self, r: usize) -> (&[usize], &[f64]) {
         let (s, e) = (self.rowptr[r], self.rowptr[r + 1]);
         (&self.colind[s..e], &self.vals[s..e])

@@ -1,0 +1,581 @@
+//! Shared-memory parallel sparse kernels, one per storage format.
+//!
+//! Parallel counterparts of [`crate::kernels`], in two families with
+//! different determinism guarantees:
+//!
+//! **Row-major family** (CRS, ITPACK, JDIAG, Diagonal, i-node, Dense —
+//! plus the standalone BSR/MSR methods): the output vector is split
+//! into contiguous row blocks handed to workers via `par_chunks_mut`.
+//! Each `y[i]` is written by exactly one worker, with the *same
+//! per-element operation order* as the serial kernel — so the result
+//! is **bit-for-bit identical** to serial, for any worker count, with
+//! no atomics and no extra memory.
+//!
+//! **Column-major / scatter family** (CCS, CCCS, COO): the stored
+//! entries are split into `threads` chunks, each accumulated into a
+//! thread-local vector, and the partials are merged into `y` in fixed
+//! chunk order (itself parallelized over row blocks). The merge order
+//! is deterministic for a given worker count, but partial sums
+//! re-associate floating-point addition, so results agree with serial
+//! only to rounding (≤ 1e-12 relative for reasonable inputs) — the
+//! usual contract for parallel reductions.
+//!
+//! Every kernel takes an [`ExecConfig`]; below its worker/threshold
+//! gate the serial kernel runs unchanged, so small operands keep the
+//! exact serial semantics (and its performance).
+
+use crate::exec::ExecConfig;
+use crate::kernels;
+use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag};
+use rayon::prelude::*;
+
+/// Rows per worker chunk: one contiguous block per worker (row order
+/// inside a block matches serial, so chunking never changes results
+/// for the row family).
+fn chunk_rows(nrows: usize, threads: usize) -> usize {
+    nrows.div_ceil(threads.max(1)).max(1)
+}
+
+/// `y += A·x` for CRS, parallel over row blocks. Bit-identical to
+/// [`kernels::spmv_csr`].
+pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return kernels::spmv_csr(a, x, y);
+    }
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    let chunk = chunk_rows(y.len(), t);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk;
+            for (dr, yr) in yc.iter_mut().enumerate() {
+                let r = r0 + dr;
+                let mut acc = 0.0;
+                for k in rowptr[r]..rowptr[r + 1] {
+                    acc += vals[k] * x[colind[k]];
+                }
+                *yr += acc;
+            }
+        });
+    });
+}
+
+/// `y += A·x` for ITPACK, parallel over row blocks. Each row applies
+/// its padded slots in the same k-ascending order as the serial
+/// column-major sweep, so the result is bit-identical to
+/// [`kernels::spmv_itpack`].
+pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return kernels::spmv_itpack(a, x, y);
+    }
+    let n = a.nrows();
+    let width = a.width();
+    let (colind, vals) = a.arrays();
+    let chunk = chunk_rows(n, t);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk;
+            for (dr, yr) in yc.iter_mut().enumerate() {
+                let r = r0 + dr;
+                for k in 0..width {
+                    let s = k * n + r;
+                    *yr += vals[s] * x[colind[s]];
+                }
+            }
+        });
+    });
+}
+
+/// `y += A·x` for JDIAG: the permuted workspace is filled in parallel
+/// over position blocks (each position accumulates its jagged
+/// diagonals in the same d-ascending order as serial), then scattered
+/// through `IPERM`. Bit-identical to [`kernels::spmv_jdiag`].
+pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return kernels::spmv_jdiag(a, x, y);
+    }
+    let (jd_ptr, colind, vals) = a.arrays();
+    let ndiags = a.num_jdiags();
+    let mut work = vec![0.0; a.nrows()];
+    let chunk = chunk_rows(work.len(), t);
+    exec.install(|| {
+        work.par_chunks_mut(chunk).enumerate().for_each(|(ci, wc)| {
+            let p0 = ci * chunk;
+            for d in 0..ndiags {
+                let (s, e) = (jd_ptr[d], jd_ptr[d + 1]);
+                let len = e - s;
+                // Jagged diagonals are non-increasing in length; once
+                // one ends before this block, all later ones do too.
+                if len <= p0 {
+                    break;
+                }
+                let hi = len.min(p0 + wc.len());
+                for p in p0..hi {
+                    wc[p - p0] += vals[s + p] * x[colind[s + p]];
+                }
+            }
+        });
+    });
+    let perm = a.permutation();
+    for (p, &w) in work.iter().enumerate() {
+        y[perm.backward(p)] += w;
+    }
+}
+
+/// `y += A·x` for Diagonal storage, parallel over row blocks. Each row
+/// applies its diagonals in the same storage order as the serial
+/// per-diagonal axpys, so the result is bit-identical to
+/// [`kernels::spmv_diag`].
+pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return kernels::spmv_diag(a, x, y);
+    }
+    let diags = a.diagonals();
+    let chunk = chunk_rows(y.len(), t);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk;
+            let r1 = r0 + yc.len();
+            for d in diags {
+                let lo = d.first_row.max(r0);
+                let hi = (d.first_row + d.vals.len()).min(r1);
+                for r in lo..hi {
+                    let j = (r as isize + d.offset) as usize;
+                    yc[r - r0] += d.vals[r - d.first_row] * x[j];
+                }
+            }
+        });
+    });
+}
+
+/// `y += A·x` for i-node storage, parallel over row blocks (an i-node
+/// straddling a block boundary is computed partly by each side; the
+/// gather of `x` through the shared column list is redone per side).
+/// Bit-identical to [`kernels::spmv_inode`].
+pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return kernels::spmv_inode(a, x, y);
+    }
+    let chunk = chunk_rows(y.len(), t);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk;
+            let r1 = r0 + yc.len();
+            let mut gx: Vec<f64> = Vec::new();
+            for g in a.inodes() {
+                let lo = g.first_row.max(r0);
+                let hi = (g.first_row + g.rows).min(r1);
+                if lo >= hi {
+                    continue;
+                }
+                let w = g.cols.len();
+                gx.clear();
+                gx.extend(g.cols.iter().map(|&c| x[c]));
+                for r in lo..hi {
+                    let gr = r - g.first_row;
+                    let row = &g.vals[gr * w..(gr + 1) * w];
+                    let mut acc = 0.0;
+                    for (a_rv, &xv) in row.iter().zip(&gx) {
+                        acc += a_rv * xv;
+                    }
+                    yc[r - r0] += acc;
+                }
+            }
+        });
+    });
+}
+
+/// `y += A·x` for dense row-major storage, parallel over row blocks.
+/// Bit-identical to [`DenseMatrix::matvec_acc`].
+pub fn par_matvec_dense(a: &DenseMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() {
+        return a.matvec_acc(x, y);
+    }
+    let chunk = chunk_rows(y.len(), t);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk;
+            for (dr, yr) in yc.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (c, &xv) in x.iter().enumerate() {
+                    acc += a.row(r0 + dr)[c] * xv;
+                }
+                *yr += acc;
+            }
+        });
+    });
+}
+
+/// Accumulate columns `j0..j1` of a CCS matrix into `part`, with the
+/// serial kernel's exact per-column skip rule (see
+/// [`kernels::spmv_ccs`] on why the zero-skip is gated on finiteness).
+fn ccs_columns_into(a: &Ccs, x: &[f64], j0: usize, j1: usize, part: &mut [f64]) {
+    let colp = a.colp();
+    let rowind = a.rowind();
+    let vals = a.vals();
+    for j in j0..j1 {
+        let xj = x[j];
+        let (s, e) = (colp[j], colp[j + 1]);
+        if xj == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
+            continue;
+        }
+        for k in s..e {
+            part[rowind[k]] += vals[k] * xj;
+        }
+    }
+}
+
+/// Merge per-chunk partial vectors into `y`, parallel over row blocks.
+/// Partials are added in fixed chunk order for every element, so the
+/// merge is deterministic for a given chunk count.
+fn merge_partials(y: &mut [f64], partials: &[Vec<f64>], threads: usize) {
+    let chunk = chunk_rows(y.len(), threads);
+    y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+        let r0 = ci * chunk;
+        for part in partials {
+            for (dr, yv) in yc.iter_mut().enumerate() {
+                *yv += part[r0 + dr];
+            }
+        }
+    });
+}
+
+/// `y += A·x` for CCS, parallel over column chunks with thread-local
+/// accumulators. Matches [`kernels::spmv_ccs`] to rounding (partial
+/// sums re-associate addition).
+pub fn par_spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() || a.ncols() < 2 {
+        return kernels::spmv_ccs(a, x, y);
+    }
+    let nchunks = t.min(a.ncols());
+    let per = a.ncols().div_ceil(nchunks);
+    exec.install(|| {
+        let partials: Vec<Vec<f64>> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let j0 = c * per;
+                let j1 = (j0 + per).min(a.ncols());
+                let mut part = vec![0.0; a.nrows()];
+                ccs_columns_into(a, x, j0, j1, &mut part);
+                part
+            })
+            .collect();
+        merge_partials(y, &partials, t);
+    });
+}
+
+/// `y += A·x` for CCCS, parallel over stored-column chunks with
+/// thread-local accumulators. Matches [`kernels::spmv_cccs`] to
+/// rounding.
+pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    let stored = a.colind().len();
+    if t <= 1 || y.is_empty() || stored < 2 {
+        return kernels::spmv_cccs(a, x, y);
+    }
+    let colind = a.colind();
+    let colp = a.colp();
+    let rowind = a.rowind();
+    let vals = a.vals();
+    let nchunks = t.min(stored);
+    let per = stored.div_ceil(nchunks);
+    exec.install(|| {
+        let partials: Vec<Vec<f64>> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let q0 = c * per;
+                let q1 = (q0 + per).min(stored);
+                let mut part = vec![0.0; a.nrows()];
+                for q in q0..q1 {
+                    let xj = x[colind[q]];
+                    for k in colp[q]..colp[q + 1] {
+                        part[rowind[k]] += vals[k] * xj;
+                    }
+                }
+                part
+            })
+            .collect();
+        merge_partials(y, &partials, t);
+    });
+}
+
+/// `y += A·x` for COO, parallel over entry chunks with thread-local
+/// accumulators. Matches [`kernels::spmv_coo`] to rounding.
+pub fn par_spmv_coo(a: &Coo, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let t = exec.threads_hint();
+    let nnz = a.nnz();
+    if t <= 1 || y.is_empty() || nnz < 2 {
+        return kernels::spmv_coo(a, x, y);
+    }
+    let (rows, cols, vals) = a.arrays();
+    let nchunks = t.min(nnz);
+    let per = nnz.div_ceil(nchunks);
+    exec.install(|| {
+        let partials: Vec<Vec<f64>> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let k0 = c * per;
+                let k1 = (k0 + per).min(nnz);
+                let mut part = vec![0.0; a.nrows()];
+                for k in k0..k1 {
+                    part[rows[k]] += vals[k] * x[cols[k]];
+                }
+                part
+            })
+            .collect();
+        merge_partials(y, &partials, t);
+    });
+}
+
+/// Multi-vector SpMV `Y += A·X` (CRS × skinny row-major dense),
+/// parallel over row blocks of `Y`. Bit-identical to
+/// [`kernels::spmm_csr_dense`].
+pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), a.ncols() * k);
+    assert_eq!(y.len(), a.nrows() * k);
+    let t = exec.threads_hint();
+    if t <= 1 || y.is_empty() || k == 0 {
+        return kernels::spmm_csr_dense(a, x, k, y);
+    }
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    // Chunk in whole rows of Y (k elements each).
+    let chunk = chunk_rows(a.nrows(), t) * k;
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let r0 = ci * chunk / k;
+            for (dr, yrow) in yc.chunks_mut(k).enumerate() {
+                let r = r0 + dr;
+                for p in rowptr[r]..rowptr[r + 1] {
+                    let av = vals[p];
+                    let xrow = &x[colind[p] * k..(colind[p] + 1) * k];
+                    for (yv, &xv) in yrow.iter_mut().zip(xrow) {
+                        *yv += av * xv;
+                    }
+                }
+            }
+        });
+    });
+}
+
+/// Sparse × sparse product in CRS (Gustavson), parallel over row
+/// blocks of `A`: each worker runs the serial per-row SPA over its
+/// block, and the per-block triplet lists are concatenated in block
+/// (= row) order. Bit-identical to [`kernels::spmm_csr_csr`].
+pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecConfig) -> Csr {
+    assert_eq!(a.ncols(), b.nrows(), "inner dimensions");
+    let t = exec.threads_hint();
+    if t <= 1 || a.nrows() == 0 {
+        return kernels::spmm_csr_csr(a, b);
+    }
+    let chunk = chunk_rows(a.nrows(), t);
+    let nchunks = a.nrows().div_ceil(chunk);
+    let blocks: Vec<Vec<(usize, usize, f64)>> = exec.install(|| {
+        (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let i0 = c * chunk;
+                let i1 = (i0 + chunk).min(a.nrows());
+                let mut out: Vec<(usize, usize, f64)> = Vec::new();
+                let mut marker = vec![usize::MAX; b.ncols()];
+                let mut acc = vec![0.0f64; b.ncols()];
+                let mut touched: Vec<usize> = Vec::new();
+                for i in i0..i1 {
+                    touched.clear();
+                    for (p, &kcol) in a.row_cols(i).iter().enumerate() {
+                        let av = a.row_vals(i)[p];
+                        for (q, &j) in b.row_cols(kcol).iter().enumerate() {
+                            let bv = b.row_vals(kcol)[q];
+                            if marker[j] != i {
+                                marker[j] = i;
+                                acc[j] = 0.0;
+                                touched.push(j);
+                            }
+                            acc[j] += av * bv;
+                        }
+                    }
+                    for &j in &touched {
+                        if acc[j] != 0.0 {
+                            out.push((i, j, acc[j]));
+                        }
+                    }
+                }
+                out
+            })
+            .collect()
+    });
+    let mut trip = crate::Triplets::with_capacity(
+        a.nrows(),
+        b.ncols(),
+        blocks.iter().map(Vec::len).sum(),
+    );
+    for block in &blocks {
+        for &(i, j, v) in block {
+            trip.push(i, j, v);
+        }
+    }
+    Csr::from_triplets(&trip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{FormatKind, SparseMatrix};
+    use crate::Triplets;
+
+    fn grid() -> Triplets {
+        crate::gen::grid2d_5pt(17, 13)
+    }
+
+    fn x_for(t: &Triplets) -> Vec<f64> {
+        (0..t.ncols()).map(|i| ((i * 7 + 3) % 11) as f64 - 4.5).collect()
+    }
+
+    /// Row-family parallel kernels are bit-for-bit the serial kernels,
+    /// for several worker counts (including a straddling chunk split).
+    #[test]
+    fn row_family_bit_identical() {
+        let t = grid();
+        let x = x_for(&t);
+        for kind in [
+            FormatKind::Csr,
+            FormatKind::Itpack,
+            FormatKind::JDiag,
+            FormatKind::Diagonal,
+            FormatKind::Inode,
+            FormatKind::Dense,
+        ] {
+            let m = SparseMatrix::from_triplets(kind, &t);
+            let mut want = vec![0.1; t.nrows()];
+            m.spmv_acc(&x, &mut want);
+            for threads in [2, 3, 8] {
+                let exec = ExecConfig::with_threads(threads).threshold(0);
+                let mut got = vec![0.1; t.nrows()];
+                m.par_spmv_acc(&x, &mut got, &exec);
+                assert_eq!(got, want, "format {kind}, {threads} threads");
+            }
+        }
+    }
+
+    /// Reduction-family parallel kernels agree with serial to rounding.
+    #[test]
+    fn reduction_family_close_to_serial() {
+        let t = grid();
+        let x = x_for(&t);
+        for kind in [FormatKind::Ccs, FormatKind::Cccs, FormatKind::Coordinate] {
+            let m = SparseMatrix::from_triplets(kind, &t);
+            let mut want = vec![0.0; t.nrows()];
+            m.spmv_acc(&x, &mut want);
+            for threads in [2, 5] {
+                let exec = ExecConfig::with_threads(threads).threshold(0);
+                let mut got = vec![0.0; t.nrows()];
+                m.par_spmv_acc(&x, &mut got, &exec);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!(
+                        (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                        "format {kind}, {threads} threads: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Below the work threshold the dispatcher stays serial (observable
+    /// through bit-identity even for the reduction family).
+    #[test]
+    fn threshold_keeps_small_matrices_serial() {
+        let t = grid();
+        let x = x_for(&t);
+        let m = SparseMatrix::from_triplets(FormatKind::Ccs, &t);
+        let exec = ExecConfig::with_threads(4); // default threshold ≫ grid nnz
+        let mut want = vec![0.0; t.nrows()];
+        m.spmv_acc(&x, &mut want);
+        let mut got = vec![0.0; t.nrows()];
+        m.par_spmv_acc(&x, &mut got, &exec);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_spmm_dense_matches_serial() {
+        let t = grid();
+        let a = crate::Csr::from_triplets(&t);
+        let k = 4;
+        let x: Vec<f64> = (0..t.ncols() * k).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
+        let mut want = vec![0.0; t.nrows() * k];
+        kernels::spmm_csr_dense(&a, &x, k, &mut want);
+        let exec = ExecConfig::with_threads(3).threshold(0);
+        let mut got = vec![0.0; t.nrows() * k];
+        par_spmm_csr_dense(&a, &x, k, &mut got, &exec);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_spmm_csr_csr_matches_serial() {
+        let t = grid();
+        let a = crate::Csr::from_triplets(&t);
+        let b = crate::Csr::from_triplets(&t.transposed());
+        let want = kernels::spmm_csr_csr(&a, &b);
+        let exec = ExecConfig::with_threads(4).threshold(0);
+        let got = par_spmm_csr_csr(&a, &b, &exec);
+        assert_eq!(got.to_triplets().canonicalize(), want.to_triplets().canonicalize());
+    }
+
+    /// NaN/Inf in a column must propagate even when `x[j] == 0`, in
+    /// both the serial and parallel CCS kernels.
+    #[test]
+    fn ccs_nan_propagates_under_zero_x() {
+        let t = Triplets::from_entries(
+            3,
+            3,
+            &[(0, 0, f64::NAN), (1, 0, 2.0), (1, 1, 3.0), (2, 2, f64::INFINITY)],
+        );
+        let ccs = crate::Ccs::from_triplets(&t);
+        let x = vec![0.0, 1.0, 0.0];
+        let mut ys = vec![0.0; 3];
+        kernels::spmv_ccs(&ccs, &x, &mut ys);
+        assert!(ys[0].is_nan(), "NaN·0 dropped by serial CCS kernel");
+        assert!(ys[2].is_nan(), "Inf·0 dropped by serial CCS kernel");
+        let exec = ExecConfig::with_threads(3).threshold(0);
+        let mut yp = vec![0.0; 3];
+        par_spmv_ccs(&ccs, &x, &mut yp, &exec);
+        assert!(yp[0].is_nan() && yp[2].is_nan(), "parallel CCS differs from serial");
+        assert_eq!(ys[1], yp[1]);
+    }
+
+    /// Empty matrices and empty rows/cols go through every parallel
+    /// kernel without panicking and produce zeros.
+    #[test]
+    fn degenerate_shapes() {
+        let empty = Triplets::new(6, 4);
+        let x = vec![1.0; 4];
+        for kind in FormatKind::ALL {
+            let m = SparseMatrix::from_triplets(kind, &empty);
+            let mut y = vec![0.0; 6];
+            m.par_spmv_acc(&x, &mut y, &ExecConfig::with_threads(4).threshold(0));
+            assert_eq!(y, vec![0.0; 6], "format {kind}");
+        }
+    }
+}

@@ -291,6 +291,7 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let y = s.forward_solve(&b);
         // Check L y = b by explicit multiplication.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let run = s.row_run(i);
             let f = s.first_col(i);
@@ -303,6 +304,7 @@ mod tests {
         // And Lᵀ (backward_solve(y')) = y' round-trips similarly.
         let x = s.backward_solve(&b);
         let mut acc = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let run = s.row_run(i);
             let f = s.first_col(i);

@@ -34,7 +34,7 @@ pub fn check_matrix_access(m: &dyn MatrixAccess) -> Result<(), String> {
     }
     {
         let mut sorted = flat.clone();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|t| (t.0, t.1));
         for w in sorted.windows(2) {
             if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
                 return Err(format!("duplicate tuple at ({}, {})", w[0].0, w[0].1));
@@ -93,8 +93,8 @@ pub fn check_matrix_access(m: &dyn MatrixAccess) -> Result<(), String> {
         }
         let key = |t: &(usize, usize, f64)| (t.0, t.1);
         let mut a = hier.clone();
-        a.sort_by(|x, y| key(x).cmp(&key(y)));
-        flat.sort_by(|x, y| key(x).cmp(&key(y)));
+        a.sort_by_key(key);
+        flat.sort_by_key(key);
         if a.len() != flat.len() {
             return Err(format!(
                 "hierarchical view has {} tuples, flat view {}",

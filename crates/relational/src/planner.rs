@@ -282,6 +282,7 @@ impl Planner {
 
     /// Same, with `prefix_bound` vars already bound by a flat node for
     /// relation `flat_rel` (which cannot be used again as a driver).
+    #[allow(clippy::too_many_arguments)]
     fn driver_options_with_prefix(
         &self,
         query: &Query,

@@ -1,0 +1,208 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Implements the subset this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`measurement_time`/
+//! `warm_up_time`/`bench_function`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! wall-clock loop: each sample runs the closure repeatedly for at
+//! least ~1ms, and the harness prints min/mean/max per-iteration time.
+//! There is no statistical analysis, outlier rejection, plotting, or
+//! baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Older-API convenience kept for compatibility: `configure_from_args`
+    /// is a no-op in this shim (there is no CLI to parse).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Top-level single benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher { samples: Vec::new(), batch: 1 };
+
+        // Warm-up: run without recording until the warm-up budget is
+        // spent, and calibrate the per-sample batch size so one sample
+        // takes roughly a millisecond (keeps Instant overhead small
+        // relative to the workload).
+        let warm_start = Instant::now();
+        let mut calibrated = false;
+        while warm_start.elapsed() < self.warm_up_time || !calibrated {
+            let t = Instant::now();
+            f(&mut b);
+            let per_iter = t.elapsed();
+            if !calibrated && per_iter > Duration::ZERO {
+                let target = Duration::from_millis(1);
+                b.batch = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+                calibrated = true;
+            }
+            if warm_start.elapsed() > self.warm_up_time + Duration::from_secs(2) {
+                break;
+            }
+        }
+        b.samples.clear();
+
+        let measure_start = Instant::now();
+        while b.samples.len() < self.sample_size
+            && measure_start.elapsed() < self.measurement_time * 4
+        {
+            f(&mut b);
+            if measure_start.elapsed() >= self.measurement_time
+                && b.samples.len() >= self.sample_size.min(3)
+            {
+                break;
+            }
+        }
+
+        if b.samples.is_empty() {
+            println!("{}/{name}: no samples collected", self.name);
+            return self;
+        }
+        let min = b.samples.iter().copied().min().unwrap();
+        let max = b.samples.iter().copied().max().unwrap();
+        let sum: Duration = b.samples.iter().sum();
+        let mean = sum / b.samples.len() as u32;
+        println!(
+            "{}/{name}: [{} {} {}] ({} samples)",
+            self.name,
+            fmt_dur(min),
+            fmt_dur(mean),
+            fmt_dur(max),
+            b.samples.len(),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    batch: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.batch as u32);
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

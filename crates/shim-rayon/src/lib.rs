@@ -1,0 +1,474 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate, implementing the data-parallel subset the workspace's
+//! parallel kernels use over `std::thread::scope`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides rayon's *names and semantics* for exactly the operations
+//! `bernoulli_formats::par_kernels` and the benchmark harness need:
+//!
+//! - [`slice::ParallelSliceMut::par_chunks_mut`] /
+//!   [`slice::ParallelSlice::par_chunks`] with `enumerate` + `for_each`
+//! - [`iter::IntoParallelIterator`] for `Range<usize>` and `Vec<T>`
+//!   with `map` → `collect`/`sum`/`reduce` and `for_each`
+//! - [`ThreadPoolBuilder`] / [`ThreadPool::install`] and
+//!   [`current_num_threads`] for thread-count control
+//! - [`join`] / [`scope`]
+//!
+//! Execution model: each parallel call spawns up to
+//! `current_num_threads() - 1` helper threads in a `std::thread::scope`
+//! (the calling thread works too) and drains a shared chunk queue, so
+//! uneven chunks load-balance. Ordered operations (`map().collect()`)
+//! process contiguous sub-ranges and reassemble in index order, so
+//! results are deterministic and independent of the worker count.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::Mutex;
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel calls on this thread will use:
+/// an enclosing [`ThreadPool::install`] override, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here; kept
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default" (as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that scopes a thread-count override: work executed under
+/// [`ThreadPool::install`] uses this pool's thread count. (Threads are
+/// spawned per parallel call, not parked — adequate for kernels whose
+/// runtime dwarfs thread spawn, which is the regime the parallel
+/// dispatch threshold guarantees.)
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Scoped task spawning (thin wrapper over `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(f)
+}
+
+/// Drain `items` through `f` on up to `current_num_threads()` workers
+/// (the calling thread included), pulling from a shared queue so uneven
+/// items load-balance.
+fn run_tasks<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: &F) {
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    let next = || queue.lock().expect("task queue poisoned").next();
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(|| {
+                while let Some(item) = next() {
+                    f(item);
+                }
+            });
+        }
+        while let Some(item) = next() {
+            f(item);
+        }
+    });
+}
+
+/// Apply `f` to `lo..hi` split into contiguous sub-ranges, returning
+/// the per-index results in index order (worker-count independent).
+fn map_range_ordered<O: Send>(
+    range: Range<usize>,
+    f: &(impl Fn(usize) -> O + Sync),
+) -> Vec<O> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return range.map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let subs: Vec<Range<usize>> = (0..workers)
+        .map(|w| {
+            let lo = range.start + w * chunk;
+            let hi = (lo + chunk).min(range.end);
+            lo..hi
+        })
+        .filter(|r| r.start < r.end)
+        .collect();
+    let parts: Mutex<Vec<(usize, Vec<O>)>> = Mutex::new(Vec::new());
+    run_tasks(subs, &|sub: Range<usize>| {
+        let start = sub.start;
+        let mapped: Vec<O> = sub.map(f).collect();
+        parts.lock().expect("result store poisoned").push((start, mapped));
+    });
+    let mut parts = parts.into_inner().expect("result store poisoned");
+    parts.sort_by_key(|&(start, _)| start);
+    parts.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+pub mod iter {
+    use super::{map_range_ordered, run_tasks};
+    use std::ops::Range;
+    use std::sync::Mutex;
+
+    /// Conversion into a parallel iterator, mirroring rayon's trait.
+    pub trait IntoParallelIterator {
+        type Iter;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = RangeParIter;
+        type Item = usize;
+        fn into_par_iter(self) -> RangeParIter {
+            RangeParIter { range: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = VecParIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct RangeParIter {
+        range: Range<usize>,
+    }
+
+    impl RangeParIter {
+        pub fn map<O, F: Fn(usize) -> O>(self, f: F) -> MapRange<F> {
+            MapRange { range: self.range, f }
+        }
+
+        pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+            let items: Vec<usize> = self.range.collect();
+            run_tasks(items, &f);
+        }
+    }
+
+    /// `range.into_par_iter().map(f)`: the one adapter the kernels use.
+    pub struct MapRange<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<F> MapRange<F> {
+        /// Ordered parallel collect: results arrive in index order
+        /// regardless of how many workers ran.
+        pub fn collect<C, O>(self) -> C
+        where
+            F: Fn(usize) -> O + Sync,
+            O: Send,
+            C: FromIterator<O>,
+        {
+            map_range_ordered(self.range, &self.f).into_iter().collect()
+        }
+
+        /// Parallel map + *sequential in-order* sum, so the result is
+        /// deterministic for a fixed chunking (independent of workers).
+        pub fn sum<S>(self) -> S
+        where
+            F: Fn(usize) -> S + Sync,
+            S: Send + std::iter::Sum<S>,
+        {
+            map_range_ordered(self.range, &self.f).into_iter().sum()
+        }
+
+        /// Parallel map + sequential in-order fold with `op`.
+        pub fn reduce<O, ID, OP>(self, identity: ID, op: OP) -> O
+        where
+            F: Fn(usize) -> O + Sync,
+            O: Send,
+            ID: Fn() -> O,
+            OP: Fn(O, O) -> O,
+        {
+            map_range_ordered(self.range, &self.f).into_iter().fold(identity(), op)
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> VecParIter<T> {
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+            run_tasks(self.items, &f);
+        }
+
+        /// Ordered parallel map over the items.
+        pub fn map_collect<O, C, F>(self, f: F) -> C
+        where
+            F: Fn(T) -> O + Sync,
+            O: Send,
+            C: FromIterator<O>,
+        {
+            let slots: Vec<Mutex<Option<O>>> =
+                self.items.iter().map(|_| Mutex::new(None)).collect();
+            let indexed: Vec<(usize, T)> = self.items.into_iter().enumerate().collect();
+            run_tasks(indexed, &|(i, item): (usize, T)| {
+                *slots[i].lock().expect("slot poisoned") = Some(f(item));
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("slot poisoned").expect("slot filled"))
+                .collect()
+        }
+    }
+}
+
+pub mod slice {
+    use super::run_tasks;
+
+    /// `par_chunks` on shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks { chunks: self.chunks(chunk_size).collect() }
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+        }
+    }
+
+    pub struct ParChunks<'a, T> {
+        chunks: Vec<&'a [T]>,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        pub fn len(&self) -> usize {
+            self.chunks.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.chunks.is_empty()
+        }
+
+        pub fn enumerate(self) -> EnumerateParChunks<'a, T> {
+            EnumerateParChunks { chunks: self.chunks.into_iter().enumerate().collect() }
+        }
+
+        pub fn for_each<F: Fn(&[T]) + Sync>(self, f: F) {
+            run_tasks(self.chunks, &|c: &[T]| f(c));
+        }
+    }
+
+    pub struct EnumerateParChunks<'a, T> {
+        chunks: Vec<(usize, &'a [T])>,
+    }
+
+    impl<T: Sync> EnumerateParChunks<'_, T> {
+        pub fn for_each<F: Fn((usize, &[T])) + Sync>(self, f: F) {
+            run_tasks(self.chunks, &f);
+        }
+    }
+
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        pub fn len(&self) -> usize {
+            self.chunks.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.chunks.is_empty()
+        }
+
+        pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+            EnumerateParChunksMut { chunks: self.chunks.into_iter().enumerate().collect() }
+        }
+
+        pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+            run_tasks(self.chunks, &|c: &mut [T]| f(c));
+        }
+    }
+
+    pub struct EnumerateParChunksMut<'a, T> {
+        chunks: Vec<(usize, &'a mut [T])>,
+    }
+
+    impl<T: Send> EnumerateParChunksMut<'_, T> {
+        pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+            run_tasks(self.chunks, &f);
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn chunks_mut_cover_slice_once() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = ci * 10 + k;
+            }
+        });
+        let want: Vec<usize> = (0..103).collect();
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn map_collect_is_ordered() {
+        let got: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 3).collect();
+        let want: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let got: f64 = (0..512).into_par_iter().map(|i| i as f64 * 0.5).sum();
+        let want: f64 = (0..512).map(|i| i as f64 * 0.5).sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 2);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn vec_for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        (1..=100usize).collect::<Vec<_>>().into_par_iter().for_each(|v| {
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+}

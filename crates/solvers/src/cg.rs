@@ -6,7 +6,8 @@
 //! Table 2 swaps nothing but the matvec closure.
 
 use crate::precond::Preconditioner;
-use crate::vecops::{axpy, dot, dot_dist, xpby};
+use crate::vecops::{axpy, dot_dist, par_axpy, par_dot, par_xpby, xpby};
+use bernoulli_formats::ExecConfig;
 use bernoulli_spmd::machine::Ctx;
 
 /// Solver configuration.
@@ -40,11 +41,27 @@ pub struct CgResult {
 /// initial guess (commonly zero), `matvec(v, out)` computing
 /// `out = A·v` (must overwrite).
 pub fn cg_sequential(
+    matvec: impl FnMut(&[f64], &mut [f64]),
+    precond: &impl Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: CgOptions,
+) -> CgResult {
+    cg_sequential_exec(matvec, precond, b, x, opts, &ExecConfig::serial())
+}
+
+/// As [`cg_sequential`], with the hot vector operations (dots, norms,
+/// axpy-style updates) dispatched through `exec` — the shared-memory
+/// companion to passing a parallel matvec closure. With
+/// [`ExecConfig::serial`] every operation takes the exact serial path,
+/// so `cg_sequential` is bit-identical to the pre-parallel solver.
+pub fn cg_sequential_exec(
     mut matvec: impl FnMut(&[f64], &mut [f64]),
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: CgOptions,
+    exec: &ExecConfig,
 ) -> CgResult {
     let n = b.len();
     assert_eq!(x.len(), n);
@@ -60,8 +77,8 @@ pub fn cg_sequential(
     }
     precond.precondition(&r, &mut z);
     p.copy_from_slice(&z);
-    let mut rz = dot(&r, &z);
-    let r0 = dot(&r, &r).sqrt();
+    let mut rz = par_dot(&r, &z, exec);
+    let r0 = par_dot(&r, &r, exec).sqrt();
     let mut history = vec![r0];
     let target = opts.rel_tol * r0;
 
@@ -71,20 +88,20 @@ pub fn cg_sequential(
             break;
         }
         matvec(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = par_dot(&p, &ap, exec);
         if pap == 0.0 {
             break;
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, x);
-        axpy(-alpha, &ap, &mut r);
+        par_axpy(alpha, &p, x, exec);
+        par_axpy(-alpha, &ap, &mut r, exec);
         precond.precondition(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        let rz_new = par_dot(&r, &z, exec);
         let beta = rz_new / rz;
         rz = rz_new;
-        xpby(&z, beta, &mut p);
+        par_xpby(&z, beta, &mut p, exec);
         iters += 1;
-        history.push(dot(&r, &r).sqrt());
+        history.push(par_dot(&r, &r, exec).sqrt());
     }
     let final_residual = *history.last().unwrap();
     CgResult {
@@ -216,6 +233,47 @@ mod tests {
         );
         assert_eq!(res.iters, 10);
         assert_eq!(res.residual_history.len(), 11);
+    }
+
+    #[test]
+    fn exec_parallel_vecops_match_serial_solve() {
+        // Shared-memory CG: the same solve with parallel vector ops
+        // converges to the same solution (dots re-associate, so compare
+        // solutions rather than bits).
+        let t = grid2d_5pt(12, 11);
+        let a = Csr::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) * 0.5 - 3.0).collect();
+        let pc = DiagonalPreconditioner::from_matrix(&t);
+        let opts = CgOptions::default();
+        let mut x_ser = vec![0.0; n];
+        let res_ser = cg_sequential(
+            |v, out| {
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(&a, v, out);
+            },
+            &pc,
+            &b,
+            &mut x_ser,
+            opts,
+        );
+        let exec = bernoulli_formats::ExecConfig::with_threads(4).threshold(1);
+        let mut x_par = vec![0.0; n];
+        let res_par = cg_sequential_exec(
+            |v, out| {
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(&a, v, out);
+            },
+            &pc,
+            &b,
+            &mut x_par,
+            opts,
+            &exec,
+        );
+        assert!(res_ser.converged && res_par.converged);
+        for (p, s) in x_par.iter().zip(&x_ser) {
+            assert!((p - s).abs() < 1e-8, "exec-parallel CG diverged from serial");
+        }
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! least-squares problem is solved incrementally with Givens rotations.
 
 use crate::precond::Preconditioner;
-use crate::vecops::norm2;
+use crate::vecops::{par_axpy, par_dot, par_norm2};
+use bernoulli_formats::ExecConfig;
 
 /// GMRES configuration.
 #[derive(Clone, Copy, Debug)]
@@ -41,11 +42,25 @@ pub struct GmresResult {
 
 /// Restarted GMRES. `matvec(v, out)` computes `out = A·v` (overwrite).
 pub fn gmres(
+    matvec: impl FnMut(&[f64], &mut [f64]),
+    precond: &impl Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: GmresOptions,
+) -> GmresResult {
+    gmres_exec(matvec, precond, b, x, opts, &ExecConfig::serial())
+}
+
+/// As [`gmres`], with the hot vector operations (Gram–Schmidt dots and
+/// orthogonalisation updates, norms) dispatched through `exec`. With
+/// [`ExecConfig::serial`] every operation takes the exact serial path.
+pub fn gmres_exec(
     mut matvec: impl FnMut(&[f64], &mut [f64]),
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: GmresOptions,
+    exec: &ExecConfig,
 ) -> GmresResult {
     let n = b.len();
     assert_eq!(x.len(), n);
@@ -62,7 +77,7 @@ pub fn gmres(
             scratch[i] = b[i] - scratch[i];
         }
         precond.precondition(&scratch, &mut pre);
-        norm2(&pre)
+        par_norm2(&pre, exec)
     };
     if r0_norm == 0.0 {
         return GmresResult { iters: 0, final_residual: 0.0, converged: true };
@@ -83,7 +98,7 @@ pub fn gmres(
             scratch[i] = b[i] - scratch[i];
         }
         precond.precondition(&scratch, &mut pre);
-        let beta = norm2(&pre);
+        let beta = par_norm2(&pre, exec);
         if beta <= target || total_iters >= opts.max_iters {
             return GmresResult {
                 iters: total_iters,
@@ -106,13 +121,11 @@ pub fn gmres(
             // Modified Gram–Schmidt.
             let mut w = pre.clone();
             for (j, vj) in v.iter().enumerate() {
-                let hjk: f64 = w.iter().zip(vj).map(|(a, b)| a * b).sum();
+                let hjk = par_dot(&w, vj, exec);
                 h[j][k] = hjk;
-                for (wi, &vji) in w.iter_mut().zip(vj) {
-                    *wi -= hjk * vji;
-                }
+                par_axpy(-hjk, vj, &mut w, exec);
             }
-            let hk1 = norm2(&w);
+            let hk1 = par_norm2(&w, exec);
             h[k + 1][k] = hk1;
             // Apply previous Givens rotations to column k.
             for j in 0..k {
@@ -164,7 +177,7 @@ pub fn gmres(
                 scratch[i] = b[i] - scratch[i];
             }
             precond.precondition(&scratch, &mut pre);
-            let rn = norm2(&pre);
+            let rn = par_norm2(&pre, exec);
             return GmresResult {
                 iters: total_iters,
                 final_residual: rn,

@@ -230,6 +230,7 @@ mod tests {
         f.forward(&r, &mut w);
         // L w = r.
         let l = f.l();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let mut acc = 0.0;
             for (k, &c) in l.row_cols(i).iter().enumerate() {
@@ -241,6 +242,7 @@ mod tests {
         f.backward(&w, &mut z);
         // Lᵀ z = w.
         let mut acc = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for (k, &c) in l.row_cols(i).iter().enumerate() {
                 acc[c] += l.row_vals(i)[k] * z[i];

@@ -25,7 +25,8 @@ pub mod precond;
 pub mod stationary;
 pub mod vecops;
 
-pub use cg::{cg_parallel, cg_sequential, CgOptions, CgResult};
-pub use gmres::{gmres, gmres_parallel, GmresOptions, GmresResult};
+pub use bernoulli_formats::ExecConfig;
+pub use cg::{cg_parallel, cg_sequential, cg_sequential_exec, CgOptions, CgResult};
+pub use gmres::{gmres, gmres_exec, gmres_parallel, GmresOptions, GmresResult};
 pub use ic0::Ic0;
 pub use precond::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};

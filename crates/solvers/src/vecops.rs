@@ -5,7 +5,9 @@
 //! experiments, where vectors are distributed exactly like the matrix
 //! rows.
 
+use bernoulli_formats::ExecConfig;
 use bernoulli_spmd::machine::Ctx;
+use rayon::prelude::*;
 
 /// `Σ aᵢ·bᵢ`.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -41,6 +43,72 @@ pub fn scale(alpha: f64, y: &mut [f64]) {
     }
 }
 
+/// Shared-memory parallel `Σ aᵢ·bᵢ`.
+///
+/// Falls back to the serial [`dot`] below `exec`'s work threshold.
+/// When parallel, each worker sums a contiguous chunk and the partials
+/// are combined in fixed chunk order, so the result is deterministic
+/// for a given `ExecConfig` (though the association differs from the
+/// serial left-to-right sum by O(n·ε) rounding).
+pub fn par_dot(a: &[f64], b: &[f64], exec: &ExecConfig) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let t = exec.threads_hint();
+    if t <= 1 || !exec.should_parallelize(a.len()) {
+        return dot(a, b);
+    }
+    let nchunks = t.min(a.len().max(1));
+    let chunk = a.len().div_ceil(nchunks).max(1);
+    let partials: Vec<f64> = exec.install(|| {
+        (0..nchunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(a.len());
+                dot(&a[lo..hi], &b[lo..hi])
+            })
+            .collect()
+    });
+    partials.iter().sum()
+}
+
+/// Shared-memory parallel Euclidean norm (see [`par_dot`]).
+pub fn par_norm2(a: &[f64], exec: &ExecConfig) -> f64 {
+    par_dot(a, a, exec).sqrt()
+}
+
+/// Shared-memory parallel `y ← y + alpha·x`. Element-wise, so the
+/// result is bit-identical to [`axpy`] for any worker count.
+pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), y.len());
+    let t = exec.threads_hint();
+    if t <= 1 || !exec.should_parallelize(y.len()) || y.is_empty() {
+        return axpy(alpha, x, y);
+    }
+    let chunk = y.len().div_ceil(t).max(1);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let lo = ci * chunk;
+            axpy(alpha, &x[lo..lo + yc.len()], yc);
+        });
+    });
+}
+
+/// Shared-memory parallel `y ← x + beta·y` (bit-identical to [`xpby`]).
+pub fn par_xpby(x: &[f64], beta: f64, y: &mut [f64], exec: &ExecConfig) {
+    assert_eq!(x.len(), y.len());
+    let t = exec.threads_hint();
+    if t <= 1 || !exec.should_parallelize(y.len()) || y.is_empty() {
+        return xpby(x, beta, y);
+    }
+    let chunk = y.len().div_ceil(t).max(1);
+    exec.install(|| {
+        y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
+            let lo = ci * chunk;
+            xpby(&x[lo..lo + yc.len()], beta, yc);
+        });
+    });
+}
+
 /// Distributed dot product: local part + all-reduce.
 pub fn dot_dist(ctx: &mut Ctx, a_local: &[f64], b_local: &[f64]) -> f64 {
     ctx.all_reduce_sum(dot(a_local, b_local))
@@ -71,6 +139,39 @@ mod tests {
         let mut y = b;
         scale(-2.0, &mut y);
         assert_eq!(y, vec![-8.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn parallel_ops_match_serial() {
+        let n = 10_000;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 31 % 97) as f64) * 0.125 - 3.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 17 % 89) as f64) * 0.25 - 5.0).collect();
+        let exec = ExecConfig::with_threads(4).threshold(1);
+        // Reduction: chunked partials, tight tolerance vs serial.
+        let ds = dot(&a, &b);
+        let dp = par_dot(&a, &b, &exec);
+        assert!((ds - dp).abs() <= 1e-12 * ds.abs().max(1.0));
+        assert!((norm2(&a) - par_norm2(&a, &exec)).abs() <= 1e-12 * norm2(&a));
+        // Element-wise ops: bit-identical partitioning.
+        let mut y1 = b.clone();
+        let mut y2 = b.clone();
+        axpy(1.5, &a, &mut y1);
+        par_axpy(1.5, &a, &mut y2, &exec);
+        assert_eq!(y1, y2);
+        let mut y1 = b.clone();
+        let mut y2 = b.clone();
+        xpby(&a, -0.75, &mut y1);
+        par_xpby(&a, -0.75, &mut y2, &exec);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_ops_below_threshold_are_serial() {
+        let exec = ExecConfig::with_threads(4); // default ~32k threshold
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, -1.0, 0.5];
+        // Small vectors take the serial path: exact same bits as dot().
+        assert_eq!(par_dot(&a, &b, &exec).to_bits(), dot(&a, &b).to_bits());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use dist::{
     IndirectDist,
 };
 pub use inspector::CommSchedule;
-pub use machine::{Ctx, Machine, NetworkModel, TrafficStats};
+pub use machine::{Ctx, Machine, NetworkModel, PooledMachine, TrafficStats};
 pub use verify::check_distribution_collective;

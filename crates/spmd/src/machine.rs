@@ -1,20 +1,25 @@
 //! The simulated SPMD machine: processors, messages, collectives and
 //! traffic accounting.
 //!
-//! [`Machine::run`] spawns one thread per simulated processor and hands
-//! each a [`Ctx`]. Point-to-point messages are typed payloads over
-//! unbounded channels (sends never block, so no artificial deadlocks);
-//! `recv` matches on `(source, tag)` with a pending buffer so that
-//! out-of-order arrivals from different sources are handled like a real
-//! message-passing runtime's envelope matching.
+//! [`Machine::run`] executes one closure per simulated processor and
+//! hands each a [`Ctx`]. Processors are *persistent worker threads*
+//! drawn from a per-`nprocs` [`PooledMachine`]: channels, the barrier
+//! and thread stacks are built once and reused across runs, so
+//! back-to-back `run` calls (an iterative solver driving many SPMD
+//! phases) pay no spawn/teardown cost. Point-to-point messages are
+//! typed payloads over unbounded channels (sends never block, so no
+//! artificial deadlocks); `recv` matches on `(source, tag)` with a
+//! pending buffer so that out-of-order arrivals from different sources
+//! are handled like a real message-passing runtime's envelope matching.
 //!
 //! Every byte moved is counted in [`TrafficStats`] — the simulator's
 //! substitute for the paper's SP-2 timings when distinguishing
 //! communication-light from communication-heavy algorithms.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::sync::{Arc, Barrier};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
 /// A typed message payload.
 #[derive(Clone, Debug, PartialEq)]
@@ -318,17 +323,18 @@ impl Ctx {
         self.stats.alltoalls += 1;
         let tag = self.next_coll_tag();
         let mine = std::mem::replace(&mut out[self.rank], Payload::Empty);
-        for p in 0..self.nprocs {
-            if p != self.rank {
-                let pl = std::mem::replace(&mut out[p], Payload::Empty);
+        let rank = self.rank;
+        for (p, slot) in out.iter_mut().enumerate() {
+            if p != rank {
+                let pl = std::mem::replace(slot, Payload::Empty);
                 self.send_raw(p, tag, pl);
             }
         }
         let mut inbox: Vec<Payload> = (0..self.nprocs).map(|_| Payload::Empty).collect();
-        inbox[self.rank] = mine;
-        for p in 0..self.nprocs {
-            if p != self.rank {
-                inbox[p] = self.recv(p, tag);
+        inbox[rank] = mine;
+        for (p, slot) in inbox.iter_mut().enumerate() {
+            if p != rank {
+                *slot = self.recv(p, tag);
             }
         }
         inbox
@@ -359,7 +365,7 @@ impl Ctx {
     }
 }
 
-/// The simulated machine.
+/// The simulated machine (static facade over pooled workers).
 pub struct Machine;
 
 /// Results of one SPMD run: per-processor return values and traffic.
@@ -375,10 +381,179 @@ impl<T> RunOutput<T> {
     }
 }
 
+/// One queued unit of work for a worker: the erased per-rank closure
+/// plus the network model for this run.
+struct JobMsg {
+    job: Box<dyn FnOnce(&mut Ctx) + Send + 'static>,
+    network: Option<NetworkModel>,
+}
+
+/// A persistent pool of `nprocs` simulated processors.
+///
+/// Channels, the barrier and the worker threads are created once, at
+/// construction; each [`PooledMachine::run`] dispatches one closure per
+/// rank over pre-existing job queues and blocks until every rank has
+/// finished. Between runs each worker re-synchronises on the shared
+/// barrier and drains any envelopes a sloppy program left in flight, so
+/// no message can leak from one run into the next and per-run
+/// [`TrafficStats`] start from zero — byte-identical to the old
+/// spawn-per-run semantics.
+pub struct PooledMachine {
+    nprocs: usize,
+    job_txs: Vec<Sender<JobMsg>>,
+    /// Serialises concurrent `run` calls on one pool: ranks of two
+    /// overlapping runs would otherwise interleave on the same wires.
+    run_lock: Mutex<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PooledMachine {
+    /// Build a pool with `nprocs` worker threads.
+    pub fn new(nprocs: usize) -> PooledMachine {
+        assert!(nprocs >= 1, "need at least one processor");
+        // Hoisted channel setup: the mailbox fabric is built once here,
+        // not per run.
+        let mut txs = Vec::with_capacity(nprocs);
+        let mut rxs = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let (tx, rx) = channel::<Envelope>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let barrier = Arc::new(Barrier::new(nprocs));
+        let mut job_txs = Vec::with_capacity(nprocs);
+        let mut handles = Vec::with_capacity(nprocs);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let (job_tx, job_rx) = channel::<JobMsg>();
+            job_txs.push(job_tx);
+            let mut ctx = Ctx {
+                rank,
+                nprocs,
+                txs: txs.clone(),
+                rx,
+                pending: Vec::new(),
+                barrier: barrier.clone(),
+                stats: TrafficStats::default(),
+                coll_seq: 0,
+                network: None,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("spmd-{rank}"))
+                .spawn(move || {
+                    // Worker loop: park on the job queue until the pool
+                    // is dropped (queue disconnects).
+                    while let Ok(JobMsg { job, network }) = job_rx.recv() {
+                        ctx.network = network;
+                        ctx.stats = TrafficStats::default();
+                        ctx.coll_seq = 0;
+                        ctx.pending.clear();
+                        job(&mut ctx);
+                        // All ranks must finish before anyone drains:
+                        // a straggler may still be sending.
+                        ctx.barrier.wait();
+                        while ctx.rx.try_recv().is_ok() {}
+                        ctx.pending.clear();
+                        // And all drains must finish before anyone may
+                        // start the next job, or a fast rank's new-run
+                        // message would be swallowed by a peer still
+                        // draining the old one.
+                        ctx.barrier.wait();
+                    }
+                })
+                .expect("failed to spawn SPMD worker");
+            handles.push(handle);
+        }
+        PooledMachine { nprocs, job_txs, run_lock: Mutex::new(()), handles }
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Run `f` on every rank over an ideal (free) network.
+    pub fn run<T, F>(&self, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        self.run_model(None, f)
+    }
+
+    /// As [`PooledMachine::run`] with a [`NetworkModel`] charging every
+    /// message latency and bandwidth.
+    pub fn run_model<T, F>(&self, network: Option<NetworkModel>, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        // A rank panic unwinds out of this function (resume_unwind
+        // below) with the guard held; the lock protects no data, so a
+        // poisoned guard is safe to reclaim.
+        let _serialised = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        type Slot<T> = Mutex<Option<std::thread::Result<(T, TrafficStats)>>>;
+        let slots: Vec<Slot<T>> = (0..self.nprocs).map(|_| Mutex::new(None)).collect();
+        let (done_tx, done_rx) = channel::<()>();
+        for (rank, slot) in slots.iter().enumerate() {
+            let f = &f;
+            let done_tx = done_tx.clone();
+            let job: Box<dyn FnOnce(&mut Ctx) + Send + '_> = Box::new(move |ctx: &mut Ctx| {
+                let out = catch_unwind(AssertUnwindSafe(|| f(&mut *ctx)));
+                *slot.lock().unwrap() = Some(out.map(|t| (t, ctx.stats)));
+                let _ = done_tx.send(());
+            });
+            // SAFETY: the job borrows `f` and `slots`, both alive until
+            // this function returns — and it cannot return before every
+            // job has finished and signalled `done_rx` below. After the
+            // done signal a worker only touches its own (owned) Ctx.
+            let job: Box<dyn FnOnce(&mut Ctx) + Send + 'static> =
+                unsafe { std::mem::transmute(job) };
+            self.job_txs[rank]
+                .send(JobMsg { job, network })
+                .expect("SPMD worker thread died");
+        }
+        for _ in 0..self.nprocs {
+            done_rx.recv().expect("SPMD worker thread died mid-run");
+        }
+        let mut results = Vec::with_capacity(self.nprocs);
+        let mut traffic = Vec::with_capacity(self.nprocs);
+        for slot in slots {
+            match slot.into_inner().unwrap().expect("rank produced no result") {
+                Ok((r, s)) => {
+                    results.push(r);
+                    traffic.push(s);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        RunOutput { results, traffic }
+    }
+
+    /// The process-wide shared pool for `nprocs`, created on first use.
+    /// Backs the static [`Machine::run`] API so every caller of a given
+    /// processor count reuses one set of threads and channels.
+    pub fn shared(nprocs: usize) -> Arc<PooledMachine> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<PooledMachine>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = pools.lock().unwrap();
+        map.entry(nprocs).or_insert_with(|| Arc::new(PooledMachine::new(nprocs))).clone()
+    }
+}
+
+impl Drop for PooledMachine {
+    fn drop(&mut self) {
+        // Disconnect the job queues so the worker loops exit, then join.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 impl Machine {
     /// Run `f` on `nprocs` simulated processors over an ideal (free)
     /// network; returns each processor's result and final traffic
-    /// counters, indexed by rank.
+    /// counters, indexed by rank. Dispatches onto the shared
+    /// [`PooledMachine`] for `nprocs`.
     pub fn run<T, F>(nprocs: usize, f: F) -> RunOutput<T>
     where
         T: Send,
@@ -394,48 +569,7 @@ impl Machine {
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
-        assert!(nprocs >= 1, "need at least one processor");
-        let mut txs = Vec::with_capacity(nprocs);
-        let mut rxs = Vec::with_capacity(nprocs);
-        for _ in 0..nprocs {
-            let (tx, rx) = unbounded::<Envelope>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let barrier = Arc::new(Barrier::new(nprocs));
-        let slots: Vec<Mutex<Option<(T, TrafficStats)>>> =
-            (0..nprocs).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for (rank, rx) in rxs.into_iter().enumerate() {
-                let txs = txs.clone();
-                let barrier = barrier.clone();
-                let f = &f;
-                let slot = &slots[rank];
-                scope.spawn(move || {
-                    let mut ctx = Ctx {
-                        rank,
-                        nprocs,
-                        txs,
-                        rx,
-                        pending: Vec::new(),
-                        barrier,
-                        stats: TrafficStats::default(),
-                        coll_seq: 0,
-                        network,
-                    };
-                    let out = f(&mut ctx);
-                    *slot.lock() = Some((out, ctx.stats));
-                });
-            }
-        });
-        let mut results = Vec::with_capacity(nprocs);
-        let mut traffic = Vec::with_capacity(nprocs);
-        for slot in slots {
-            let (r, s) = slot.into_inner().expect("processor thread panicked");
-            results.push(r);
-            traffic.push(s);
-        }
-        RunOutput { results, traffic }
+        PooledMachine::shared(nprocs).run_model(network, f)
     }
 }
 
@@ -586,6 +720,100 @@ mod tests {
             ctx.barrier();
         });
         assert!(out.traffic.iter().all(|t| t.barriers == 2));
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    /// The reason the pool exists: back-to-back runs must not pay a
+    /// spawn/teardown or channel-construction cost per invocation. A
+    /// generous CI budget (spawn-per-run took ~100 µs+/run just in
+    /// thread creation; the pool dispatches in ~1 µs) still catches a
+    /// regression to per-run setup.
+    #[test]
+    fn thousand_back_to_back_runs_within_budget() {
+        let pool = PooledMachine::new(4);
+        // Warm up (first run may fault in stacks).
+        let _ = pool.run(|ctx| ctx.rank());
+        let t = std::time::Instant::now();
+        for i in 0..1000usize {
+            let out = pool.run(|ctx| {
+                let next = (ctx.rank() + 1) % ctx.nprocs();
+                let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+                ctx.send(next, 1, Payload::Usize(vec![ctx.rank() + i]));
+                ctx.recv(prev, 1).into_usize()[0]
+            });
+            assert_eq!(out.results[0], 3 + i);
+        }
+        let dt = t.elapsed();
+        assert!(dt < std::time::Duration::from_secs(20), "1000 pooled runs took {dt:?}");
+    }
+
+    /// Traffic counters restart from zero each run and messages cannot
+    /// leak between runs on the reused channels.
+    #[test]
+    fn runs_are_isolated() {
+        let pool = PooledMachine::new(2);
+        let heavy = pool.run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 1, Payload::F64(vec![0.0; 64]));
+            let _ = ctx.recv(peer, 1);
+            // Leak an unmatched message on purpose.
+            ctx.send(peer, 2, Payload::Usize(vec![99]));
+            ctx.stats()
+        });
+        for s in &heavy.results {
+            assert_eq!(s.msgs_sent, 2);
+        }
+        let light = pool.run(|ctx| {
+            // The leaked tag-2 envelope from the previous run must not
+            // satisfy this receive; only this run's message may.
+            let peer = 1 - ctx.rank();
+            ctx.send(peer, 2, Payload::Usize(vec![ctx.rank()]));
+            let got = ctx.recv(peer, 2).into_usize()[0];
+            (got, ctx.stats())
+        });
+        for (rank, (got, s)) in light.results.iter().enumerate() {
+            assert_eq!(*got, 1 - rank);
+            assert_eq!(s.msgs_sent, 1, "stats leaked across runs");
+        }
+    }
+
+    /// The shared registry hands back one pool per processor count.
+    #[test]
+    fn shared_pools_are_cached() {
+        let a = PooledMachine::shared(3);
+        let b = PooledMachine::shared(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.nprocs(), 3);
+    }
+
+    /// A panicking rank propagates out of `run` (as with the old
+    /// scoped-thread machine), and the pool stays usable afterwards.
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = PooledMachine::new(2);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                ctx.rank()
+            })
+        }));
+        assert!(r.is_err(), "panic in a rank must propagate to the caller");
+        let out = pool.run(|ctx| ctx.rank() * 2);
+        assert_eq!(out.results, vec![0, 2]);
+    }
+
+    /// Dropping a pool joins its workers instead of leaking them.
+    #[test]
+    fn drop_joins_workers() {
+        let pool = PooledMachine::new(2);
+        let _ = pool.run(|ctx| ctx.rank());
+        drop(pool); // must not hang
     }
 }
 

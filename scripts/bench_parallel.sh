@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_parallel.json (serial-vs-parallel SpMV speedup per
+# format at 1/2/4/8 workers) at the repository root.
+#
+# Interpreting the output: `speedup` is serial_time / parallel_time for
+# one y += A*x on grid3d_7pt(54,54,54). On a host where
+# `host_threads` is 1 the parallel rows measure fork/join overhead and
+# speedup <= 1 is the honest ceiling; real speedup needs real cores.
+set -eu
+cd "$(dirname "$0")/.."
+cargo bench -p bernoulli-bench --bench parallel_speedup
+echo "BENCH_parallel.json:"
+cat BENCH_parallel.json

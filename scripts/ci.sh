@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Full local CI: release build, every test, lints as errors.
+set -eux
+cd "$(dirname "$0")/.."
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings

@@ -282,3 +282,77 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Row-family parallel SpMV is bit-identical to the serial kernel
+    /// for any worker count: row-block partitioning preserves the
+    /// per-element accumulation order of every row.
+    #[test]
+    fn par_spmv_row_family_bit_identical((t, x, threads) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc), 2usize..6)
+    })) {
+        use bernoulli_formats::ExecConfig;
+        let exec = ExecConfig::with_threads(threads).threshold(1);
+        for kind in [
+            FormatKind::Dense,
+            FormatKind::Csr,
+            FormatKind::Diagonal,
+            FormatKind::Itpack,
+            FormatKind::JDiag,
+            FormatKind::Inode,
+        ] {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let mut y_ser = vec![1.0; t.nrows()];
+            let mut y_par = vec![1.0; t.nrows()];
+            a.spmv_acc(&x, &mut y_ser);
+            a.par_spmv_acc(&x, &mut y_par, &exec);
+            prop_assert_eq!(&y_ser, &y_par, "format {} threads {}", kind, threads);
+        }
+    }
+
+    /// Reduction-family parallel SpMV (column-major and flat formats,
+    /// merged from per-chunk partial vectors) matches serial to within
+    /// re-association rounding.
+    #[test]
+    fn par_spmv_reduction_family_close((t, x, threads) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc), 2usize..6)
+    })) {
+        use bernoulli_formats::ExecConfig;
+        let exec = ExecConfig::with_threads(threads).threshold(1);
+        for kind in [FormatKind::Ccs, FormatKind::Cccs, FormatKind::Coordinate] {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let mut y_ser = vec![1.0; t.nrows()];
+            let mut y_par = vec![1.0; t.nrows()];
+            a.spmv_acc(&x, &mut y_ser);
+            a.par_spmv_acc(&x, &mut y_par, &exec);
+            for (s, p) in y_ser.iter().zip(&y_par) {
+                prop_assert!(
+                    (s - p).abs() <= 1e-12 * s.abs().max(1.0),
+                    "format {} threads {}: {} vs {}", kind, threads, s, p
+                );
+            }
+        }
+    }
+
+    /// Degenerate shapes — all-empty rows and columns — survive every
+    /// parallel kernel (the chunking math must not panic on them).
+    #[test]
+    fn par_spmv_handles_empty_rows_and_cols((nr, nc, threads) in (1usize..20, 1usize..20, 2usize..9)) {
+        use bernoulli_formats::ExecConfig;
+        let t = Triplets::from_entries(nr, nc, &[]);
+        let exec = ExecConfig::with_threads(threads).threshold(1);
+        let x = vec![1.0; nc];
+        for kind in FormatKind::ALL {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let mut y = vec![0.5; nr];
+            a.par_spmv_acc(&x, &mut y, &exec);
+            for v in &y {
+                prop_assert_eq!(*v, 0.5, "format {}", kind);
+            }
+        }
+    }
+}
