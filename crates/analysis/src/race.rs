@@ -1,0 +1,320 @@
+//! DO-ANY / race checking for loop nests.
+//!
+//! A nest is DO-ANY when its iterations can run in any order — and
+//! parallel-safe when they can run *concurrently*. This pass proves the
+//! latter statically (§2 of the paper assumes it; PR 2's
+//! `Strategy::Parallel` relies on it) with two certificates:
+//!
+//! * [`ParallelCertificate::DisjointWrites`] — the written access
+//!   covers every loop variable (each iteration writes its own
+//!   element), so even non-commutative updates are safe;
+//! * [`ParallelCertificate::Reduction`] — some loop variables are
+//!   *reduced over*: several iterations hit the same element, which is
+//!   safe only because the update operator is a commutative reduction.
+//!
+//! Coverage is computed modulo permutation terms: `P` relating `i ↔ k`
+//! means writing `Y(i)` also distinguishes iterations by `k` (the
+//! permutation is a bijection — checked separately by the sanitizer's
+//! `BA26`).
+//!
+//! Read-after-write aliasing: the right-hand side may read the written
+//! array only when writes are disjoint *and* the read is the very
+//! element being updated; anything else observes another iteration's
+//! write and is rejected (`BA02`).
+
+use crate::diag::{codes, Diagnostic, Span};
+use bernoulli_relational::ast::{AccessRef, LoopNest};
+use bernoulli_relational::ids::Var;
+
+/// Why the nest is parallel-safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelCertificate {
+    /// Every loop variable is covered by the written access: iterations
+    /// write disjoint elements.
+    DisjointWrites,
+    /// Uncovered loop variables exist, but the update operator is a
+    /// commutative reduction, so accumulation order does not matter.
+    Reduction,
+}
+
+/// The checker's verdict: a certificate (when safe) plus findings.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    pub certificate: Option<ParallelCertificate>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl RaceReport {
+    /// May this nest run its iterations concurrently?
+    pub fn is_parallel_safe(&self) -> bool {
+        self.certificate.is_some()
+    }
+}
+
+/// Check one loop nest for DO-ANY parallel safety.
+pub fn check_do_any(nest: &LoopNest) -> RaceReport {
+    let mut diags = Vec::new();
+
+    // Structural sanity of every access (target + reads).
+    let reads = nest.rhs.accesses();
+    for acc in std::iter::once(&nest.target).chain(reads.iter().copied()) {
+        check_access(nest, acc, &mut diags);
+    }
+    for p in &nest.perms {
+        for v in [p.from, p.to] {
+            if !nest.vars.contains(&v) {
+                diags.push(Diagnostic::error(
+                    codes::NEST_UNBOUND_VAR,
+                    Span::Var(v),
+                    format!("permutation {} relates variable {v} the nest does not bind", p.id),
+                ));
+            }
+        }
+    }
+
+    // Variables equivalent modulo permutation terms: covering either
+    // side of a bijection covers both.
+    let class = |v: Var| -> Var {
+        // Tiny union-find: ≤3 vars, ≤2 perms — chase perm links to a
+        // canonical representative (the smallest var in the class).
+        let mut cur = v;
+        loop {
+            let mut next = cur;
+            for p in &nest.perms {
+                if p.from == cur && p.to < next {
+                    next = p.to;
+                }
+                if p.to == cur && p.from < next {
+                    next = p.from;
+                }
+            }
+            if next == cur {
+                return cur;
+            }
+            cur = next;
+        }
+    };
+
+    let covered: Vec<Var> = nest.target.indices.iter().map(|&v| class(v)).collect();
+    let uncovered: Vec<Var> =
+        nest.vars.iter().copied().filter(|&v| !covered.contains(&class(v))).collect();
+    let all_covered = uncovered.is_empty();
+
+    if !nest.op.is_commutative() && !all_covered {
+        diags.push(Diagnostic::error(
+            codes::RACE_NON_COVERING_WRITE,
+            Span::Rel(nest.target.array),
+            format!(
+                "non-reduction write to {} does not cover loop variable(s) {uncovered:?}: \
+                 concurrent iterations assign the same element",
+                nest.target.array
+            ),
+        ));
+    }
+
+    for acc in &reads {
+        if acc.array != nest.target.array {
+            continue;
+        }
+        let same_element = acc.indices == nest.target.indices;
+        let benign = nest.op.is_commutative() && all_covered && same_element;
+        if !benign {
+            diags.push(Diagnostic::error(
+                codes::RACE_READS_TARGET,
+                Span::Rel(acc.array),
+                format!(
+                    "right-hand side reads written array {}: another iteration's \
+                     write may be observed",
+                    acc.array
+                ),
+            ));
+        }
+    }
+
+    let certificate = if diags.iter().any(Diagnostic::is_error) {
+        None
+    } else if all_covered {
+        Some(ParallelCertificate::DisjointWrites)
+    } else {
+        Some(ParallelCertificate::Reduction)
+    };
+    RaceReport { certificate, diagnostics: diags }
+}
+
+fn check_access(nest: &LoopNest, acc: &AccessRef, diags: &mut Vec<Diagnostic>) {
+    for &v in &acc.indices {
+        if !nest.vars.contains(&v) {
+            diags.push(Diagnostic::error(
+                codes::NEST_UNBOUND_VAR,
+                Span::Var(v),
+                format!("access {}({:?}) uses variable {v} the nest does not bind", acc.array, acc.indices),
+            ));
+        }
+    }
+    match nest.array(acc.array) {
+        None => diags.push(Diagnostic::error(
+            codes::NEST_UNDECLARED_ARRAY,
+            Span::Rel(acc.array),
+            format!("array {} is accessed but never declared", acc.array),
+        )),
+        Some(decl) if decl.rank != acc.indices.len() => diags.push(Diagnostic::error(
+            codes::NEST_ARITY_MISMATCH,
+            Span::Rel(acc.array),
+            format!(
+                "array {} declared rank {} but accessed with {} subscript(s)",
+                acc.array,
+                decl.rank,
+                acc.indices.len()
+            ),
+        )),
+        Some(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_relational::ast::{programs, AccessRef, ArrayDecl, ExprAst, LoopNest};
+    use bernoulli_relational::ids::{MAT_A, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};
+    use bernoulli_relational::scalar::UpdateOp;
+
+    fn decl(id: bernoulli_relational::ids::RelId, rank: usize) -> ArrayDecl {
+        ArrayDecl { id, name: format!("{id}"), rank, sparse: false }
+    }
+
+    /// `Y(i) = A(i,j)·X(j)` — a *scatter assignment*: iterations with
+    /// the same `i` but different `j` race on `Y(i)`.
+    fn assign_matvec() -> LoopNest {
+        let mut nest = programs::matvec();
+        nest.op = UpdateOp::Assign;
+        nest
+    }
+
+    #[test]
+    fn canned_kernels_are_parallel_safe() {
+        for (name, nest) in [
+            ("matvec", programs::matvec()),
+            ("matvec_transposed", programs::matvec_transposed()),
+            ("matmat", programs::matmat()),
+            ("matvec_multi", programs::matvec_multi()),
+            ("mat_dot", programs::mat_dot()),
+            ("vec_dot", programs::vec_dot(true, true)),
+            ("matvec_row_permuted", programs::matvec_row_permuted()),
+        ] {
+            let r = check_do_any(&nest);
+            assert!(r.is_parallel_safe(), "{name}: {:?}", r.diagnostics);
+            assert!(r.diagnostics.is_empty(), "{name}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn reduction_only_write_certificate() {
+        // mat_dot writes a scalar: nothing is covered, safety rests
+        // entirely on the commutative reduction.
+        let r = check_do_any(&programs::mat_dot());
+        assert_eq!(r.certificate, Some(ParallelCertificate::Reduction));
+        // matvec covers i, reduces over j: also a reduction.
+        let r = check_do_any(&programs::matvec());
+        assert_eq!(r.certificate, Some(ParallelCertificate::Reduction));
+    }
+
+    #[test]
+    fn permuted_write_covers_through_bijection() {
+        // Y(I) with P: I↔K covers both I and K; only J is reduced over.
+        let r = check_do_any(&programs::matvec_row_permuted());
+        assert_eq!(r.certificate, Some(ParallelCertificate::Reduction));
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn covered_assignment_gets_disjoint_writes() {
+        // Y(i) = X(i): every loop var covered, Assign is fine.
+        let nest = LoopNest::new(
+            vec![VAR_I],
+            vec![decl(VEC_X, 1), decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::Assign,
+            ExprAst::access(AccessRef::vec(VEC_X, VAR_I)),
+        );
+        let r = check_do_any(&nest);
+        assert_eq!(r.certificate, Some(ParallelCertificate::DisjointWrites));
+    }
+
+    #[test]
+    fn ba01_non_covering_assign_rejected() {
+        let r = check_do_any(&assign_matvec());
+        assert!(!r.is_parallel_safe());
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::RACE_NON_COVERING_WRITE), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn ba02_read_of_written_array_rejected() {
+        // Y(i) += A(i,j)·Y(j): reads another iteration's accumulator.
+        let nest = LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![decl(MAT_A, 2), decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                .mul(ExprAst::access(AccessRef::vec(VEC_Y, VAR_J))),
+        );
+        let r = check_do_any(&nest);
+        assert!(!r.is_parallel_safe());
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::RACE_READS_TARGET), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn ba02_self_update_is_benign_when_covered() {
+        // Y(i) += Y(i): reads exactly the element being reduced, with
+        // disjoint writes — allowed.
+        let nest = LoopNest::new(
+            vec![VAR_I],
+            vec![decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(VEC_Y, VAR_I)),
+        );
+        let r = check_do_any(&nest);
+        assert!(r.is_parallel_safe(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn ba03_unbound_variable_flagged() {
+        let nest = LoopNest::new(
+            vec![VAR_I],
+            vec![decl(MAT_A, 2), decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_K)), // K unbound
+        );
+        let r = check_do_any(&nest);
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::NEST_UNBOUND_VAR), "{:?}", r.diagnostics);
+        assert!(!r.is_parallel_safe());
+    }
+
+    #[test]
+    fn ba04_undeclared_array_flagged() {
+        let nest = LoopNest::new(
+            vec![VAR_I],
+            vec![decl(VEC_Y, 1)], // X missing
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(VEC_X, VAR_I)),
+        );
+        let r = check_do_any(&nest);
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::NEST_UNDECLARED_ARRAY), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn ba05_arity_mismatch_flagged() {
+        let nest = LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![decl(MAT_A, 2), decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(MAT_A, VAR_I)), // rank-2 A used as vector
+        );
+        let r = check_do_any(&nest);
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::NEST_ARITY_MISMATCH), "{:?}", r.diagnostics);
+    }
+}

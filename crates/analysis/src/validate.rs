@@ -1,0 +1,493 @@
+//! Format-invariant sanitization.
+//!
+//! Storage formats are trusted blindly by their kernels: a non-monotone
+//! row pointer, an out-of-bounds column index or a duplicate entry is
+//! silently accepted and produces a wrong SpMV. The [`Validate`] trait
+//! (implemented by every format in `bernoulli-formats`) checks the raw
+//! structural invariants first — so corrupt data cannot panic the
+//! checker — and only then exercises the access-method contract via
+//! [`check_access_contract`], which subsumes the old
+//! `relational::access_check::check_matrix_access`.
+//!
+//! The helpers here are the shared vocabulary of those impls: each
+//! returns at most a handful of [`Diagnostic`]s and never panics on
+//! arbitrary input.
+
+use crate::diag::{self, codes, Diagnostic, Span};
+use bernoulli_relational::access::{MatrixAccess, Orientation};
+use bernoulli_relational::permutation::Permutation;
+
+/// Self-check of a storage object's structural invariants.
+///
+/// Implementations must check *raw* invariants (pointer monotonicity,
+/// index bounds, sortedness, duplicate-freedom, metadata consistency)
+/// before touching any derived view, and should finish with
+/// [`check_access_contract`] only when the raw checks pass.
+pub trait Validate {
+    /// All findings; empty means the object is well-formed.
+    fn validate(&self) -> Vec<Diagnostic>;
+
+    /// [`Validate::validate`] rendered as a `Result` (errors joined
+    /// into one message; warnings ignored).
+    fn validate_ok(&self) -> Result<(), String> {
+        diag::into_result(&self.validate())
+    }
+}
+
+/// Check a compressed pointer array: expected length, zero start,
+/// monotone non-decreasing, expected end (`BA21`).
+pub fn check_ptr(
+    name: &'static str,
+    ptr: &[usize],
+    expected_len: usize,
+    expected_end: usize,
+) -> Vec<Diagnostic> {
+    let at = |k| Span::Component { name, at: Some(k) };
+    if ptr.len() != expected_len {
+        return vec![Diagnostic::error(
+            codes::FMT_BAD_PTR,
+            Span::Component { name, at: None },
+            format!("length {} but expected {expected_len}", ptr.len()),
+        )];
+    }
+    if let Some(&first) = ptr.first() {
+        if first != 0 {
+            return vec![Diagnostic::error(codes::FMT_BAD_PTR, at(0), format!("starts at {first}, not 0"))];
+        }
+    }
+    for (k, w) in ptr.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return vec![Diagnostic::error(
+                codes::FMT_BAD_PTR,
+                at(k + 1),
+                format!("decreases from {} to {}", w[0], w[1]),
+            )];
+        }
+    }
+    if let Some(&last) = ptr.last() {
+        if last != expected_end {
+            return vec![Diagnostic::error(
+                codes::FMT_BAD_PTR,
+                at(ptr.len() - 1),
+                format!("ends at {last} but the data has {expected_end} slots"),
+            )];
+        }
+    }
+    Vec::new()
+}
+
+/// Check every stored index is `< bound` (`BA22`; first offender only).
+pub fn check_bounds(name: &'static str, idx: &[usize], bound: usize) -> Vec<Diagnostic> {
+    for (k, &i) in idx.iter().enumerate() {
+        if i >= bound {
+            return vec![Diagnostic::error(
+                codes::FMT_INDEX_OOB,
+                Span::Component { name, at: Some(k) },
+                format!("index {i} out of bounds (< {bound})"),
+            )];
+        }
+    }
+    Vec::new()
+}
+
+/// Check one run of indices is strictly ascending: descent is `BA23`
+/// (unsorted), equality is `BA24` (duplicate). First offender only.
+pub fn check_sorted_strict(name: &'static str, run: &[usize], ctx: &str) -> Vec<Diagnostic> {
+    for (k, w) in run.windows(2).enumerate() {
+        if w[1] == w[0] {
+            return vec![Diagnostic::error(
+                codes::FMT_DUPLICATE,
+                Span::Component { name, at: Some(k + 1) },
+                format!("duplicate index {} in {ctx}", w[0]),
+            )];
+        }
+        if w[1] < w[0] {
+            return vec![Diagnostic::error(
+                codes::FMT_UNSORTED,
+                Span::Component { name, at: Some(k + 1) },
+                format!("{} after {} in {ctx}", w[1], w[0]),
+            )];
+        }
+    }
+    Vec::new()
+}
+
+/// Report a metadata/data disagreement (`BA25`).
+pub fn meta_mismatch(name: &'static str, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(codes::FMT_META_MISMATCH, Span::Component { name, at: None }, message)
+}
+
+/// Check a permutation is a bijection on `0..expected_len` with a
+/// consistent inverse (`BA26`).
+pub fn check_permutation(
+    name: &'static str,
+    p: &Permutation,
+    expected_len: usize,
+) -> Vec<Diagnostic> {
+    let whole = Span::Component { name, at: None };
+    if p.len() != expected_len {
+        return vec![Diagnostic::error(
+            codes::FMT_BAD_PERM,
+            whole,
+            format!("length {} but expected {expected_len}", p.len()),
+        )];
+    }
+    let fwd = p.as_forward();
+    let bwd = p.as_backward();
+    if bwd.len() != fwd.len() {
+        return vec![Diagnostic::error(
+            codes::FMT_BAD_PERM,
+            whole,
+            format!("forward has {} entries but inverse has {}", fwd.len(), bwd.len()),
+        )];
+    }
+    let n = fwd.len();
+    for (k, &img) in fwd.iter().enumerate() {
+        if img >= n {
+            return vec![Diagnostic::error(
+                codes::FMT_BAD_PERM,
+                Span::Component { name, at: Some(k) },
+                format!("maps {k} to {img}, outside 0..{n}"),
+            )];
+        }
+        if bwd[img] != k {
+            return vec![Diagnostic::error(
+                codes::FMT_BAD_PERM,
+                Span::Component { name, at: Some(k) },
+                format!("not a bijection: {k}→{img} but inverse maps {img}→{}", bwd[img]),
+            )];
+        }
+    }
+    Vec::new()
+}
+
+/// Verify a [`MatrixAccess`] implementation honours its declared
+/// contract. Subsumes the old `relational::access_check`:
+///
+/// 1. `meta().nnz` equals the flat tuple count (`BA25`);
+/// 2. every flat tuple is inside `nrows × ncols` (`BA22`);
+/// 3. the tuple set is duplicate-free (`BA24`);
+/// 4. enumeration respects the declared sortedness (`BA23`);
+/// 5. the hierarchical view (if any) agrees with the flat view, and
+///    `search_inner`/`search_pair` agree with enumeration (`BA27`).
+///
+/// Call only after raw structural checks pass — enumerating a corrupt
+/// format may panic.
+pub fn check_access_contract(m: &dyn MatrixAccess) -> Vec<Diagnostic> {
+    let meta = m.meta();
+    let span = |name| Span::Component { name, at: None };
+    let mut flat: Vec<(usize, usize, f64)> = m.enum_flat().collect();
+    if flat.len() != meta.nnz {
+        return vec![Diagnostic::error(
+            codes::FMT_META_MISMATCH,
+            span("meta.nnz"),
+            format!("meta.nnz = {} but the flat view has {} tuples", meta.nnz, flat.len()),
+        )];
+    }
+    for &(i, j, _) in &flat {
+        if i >= meta.nrows || j >= meta.ncols {
+            return vec![Diagnostic::error(
+                codes::FMT_INDEX_OOB,
+                span("flat"),
+                format!("flat tuple ({i},{j}) outside {}x{}", meta.nrows, meta.ncols),
+            )];
+        }
+    }
+    {
+        let mut sorted = flat.clone();
+        sorted.sort_by_key(|t| (t.0, t.1));
+        for w in sorted.windows(2) {
+            if (w[0].0, w[0].1) == (w[1].0, w[1].1) {
+                return vec![Diagnostic::error(
+                    codes::FMT_DUPLICATE,
+                    span("flat"),
+                    format!("duplicate tuple at ({}, {})", w[0].0, w[0].1),
+                )];
+            }
+        }
+    }
+
+    // Hierarchical view, when present.
+    if meta.orientation != Orientation::Flat {
+        let mut hier: Vec<(usize, usize, f64)> = Vec::new();
+        let mut last_outer: Option<usize> = None;
+        for cursor in m.enum_outer() {
+            if meta.outer.sortedness.is_sorted() {
+                if let Some(lo) = last_outer {
+                    if cursor.index <= lo {
+                        return vec![Diagnostic::error(
+                            codes::FMT_UNSORTED,
+                            span("outer"),
+                            format!("outer enumeration not ascending: {} after {lo}", cursor.index),
+                        )];
+                    }
+                }
+            }
+            last_outer = Some(cursor.index);
+            let mut last_inner: Option<usize> = None;
+            for (inner, v) in m.enum_inner(&cursor) {
+                if meta.inner.sortedness.is_sorted() {
+                    if let Some(li) = last_inner {
+                        if inner <= li {
+                            return vec![Diagnostic::error(
+                                codes::FMT_UNSORTED,
+                                span("inner"),
+                                format!(
+                                    "inner enumeration of outer {} not ascending: {inner} after {li}",
+                                    cursor.index
+                                ),
+                            )];
+                        }
+                    }
+                }
+                last_inner = Some(inner);
+                let (i, j) = match meta.orientation {
+                    Orientation::RowMajor => (cursor.index, inner),
+                    Orientation::ColMajor => (inner, cursor.index),
+                    Orientation::Flat => unreachable!(),
+                };
+                hier.push((i, j, v));
+                // Inner search must find this entry.
+                if meta.inner.search.supported() {
+                    match m.search_inner(&cursor, inner) {
+                        Some(got) if got == v => {}
+                        other => {
+                            return vec![Diagnostic::error(
+                                codes::FMT_CONTRACT,
+                                span("search_inner"),
+                                format!(
+                                    "search_inner({}, {inner}) = {other:?}, enumeration says {v}",
+                                    cursor.index
+                                ),
+                            )]
+                        }
+                    }
+                }
+            }
+        }
+        let key = |t: &(usize, usize, f64)| (t.0, t.1);
+        let mut a = hier.clone();
+        a.sort_by_key(key);
+        flat.sort_by_key(key);
+        if a.len() != flat.len() {
+            return vec![Diagnostic::error(
+                codes::FMT_CONTRACT,
+                span("views"),
+                format!("hierarchical view has {} tuples, flat view {}", a.len(), flat.len()),
+            )];
+        }
+        for (h, f) in a.iter().zip(&flat) {
+            if key(h) != key(f) || h.2 != f.2 {
+                return vec![Diagnostic::error(
+                    codes::FMT_CONTRACT,
+                    span("views"),
+                    format!("views disagree: hierarchical {h:?} vs flat {f:?}"),
+                )];
+            }
+        }
+    }
+
+    // Pair probes agree with the tuple set.
+    for &(i, j, v) in flat.iter().take(200) {
+        match m.search_pair(i, j) {
+            Some(got) if got == v => {}
+            other => {
+                return vec![Diagnostic::error(
+                    codes::FMT_CONTRACT,
+                    span("search_pair"),
+                    format!("search_pair({i},{j}) = {other:?}, expected {v}"),
+                )]
+            }
+        }
+    }
+    // A handful of definite misses.
+    let present: std::collections::HashSet<(usize, usize)> =
+        flat.iter().map(|&(i, j, _)| (i, j)).collect();
+    let mut misses = 0;
+    for i in 0..meta.nrows.min(20) {
+        for j in 0..meta.ncols.min(20) {
+            if !present.contains(&(i, j)) {
+                if let Some(v) = m.search_pair(i, j) {
+                    return vec![Diagnostic::error(
+                        codes::FMT_CONTRACT,
+                        span("search_pair"),
+                        format!("search_pair({i},{j}) = Some({v}) for an absent tuple"),
+                    )];
+                }
+                misses += 1;
+                if misses >= 20 {
+                    return Vec::new();
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_relational::access::{FlatIter, InnerIter, MatMeta, OuterCursor, OuterIter};
+    use bernoulli_relational::testmat::DokMatrix;
+
+    #[test]
+    fn helper_checks_accept_well_formed_data() {
+        assert!(check_ptr("p", &[0, 2, 2, 5], 4, 5).is_empty());
+        assert!(check_bounds("idx", &[0, 4, 2], 5).is_empty());
+        assert!(check_sorted_strict("idx", &[1, 3, 9], "row 0").is_empty());
+        let p = Permutation::from_forward(vec![2, 0, 1]).unwrap();
+        assert!(check_permutation("perm", &p, 3).is_empty());
+    }
+
+    #[test]
+    fn ba21_ptr_violations() {
+        assert_eq!(check_ptr("p", &[0, 2], 3, 2)[0].code, codes::FMT_BAD_PTR); // wrong length
+        assert_eq!(check_ptr("p", &[1, 2, 3], 3, 3)[0].code, codes::FMT_BAD_PTR); // bad start
+        assert_eq!(check_ptr("p", &[0, 3, 2], 3, 2)[0].code, codes::FMT_BAD_PTR); // decrease
+        assert_eq!(check_ptr("p", &[0, 1, 2], 3, 9)[0].code, codes::FMT_BAD_PTR); // bad end
+    }
+
+    #[test]
+    fn ba22_ba23_ba24_element_violations() {
+        assert_eq!(check_bounds("i", &[0, 7], 5)[0].code, codes::FMT_INDEX_OOB);
+        assert_eq!(check_sorted_strict("i", &[3, 1], "r")[0].code, codes::FMT_UNSORTED);
+        assert_eq!(check_sorted_strict("i", &[3, 3], "r")[0].code, codes::FMT_DUPLICATE);
+    }
+
+    #[test]
+    fn ba26_corrupt_permutation() {
+        // Two sources map to the same image: not a bijection.
+        let p = Permutation::from_raw_parts(vec![0, 0, 2], vec![0, 1, 2]);
+        let d = check_permutation("perm", &p, 3);
+        assert_eq!(d[0].code, codes::FMT_BAD_PERM);
+        // Out-of-range image.
+        let p = Permutation::from_raw_parts(vec![0, 9, 2], vec![0, 1, 2]);
+        assert_eq!(check_permutation("perm", &p, 3)[0].code, codes::FMT_BAD_PERM);
+        // Wrong length.
+        let p = Permutation::identity(4);
+        assert_eq!(check_permutation("perm", &p, 3)[0].code, codes::FMT_BAD_PERM);
+    }
+
+    #[test]
+    fn contract_accepts_conforming_matrix() {
+        let m = DokMatrix::from_triplets(
+            5,
+            6,
+            &[(0, 1, 1.0), (0, 4, 2.0), (2, 0, 3.0), (4, 5, 4.0), (4, 0, 5.0)],
+        );
+        assert!(check_access_contract(&m).is_empty());
+    }
+
+    /// A deliberately broken format: claims sorted inner enumeration
+    /// but yields descending columns.
+    struct LyingFormat {
+        inner: DokMatrix,
+    }
+
+    impl MatrixAccess for LyingFormat {
+        fn meta(&self) -> MatMeta {
+            self.inner.meta()
+        }
+        fn enum_outer(&self) -> OuterIter<'_> {
+            self.inner.enum_outer()
+        }
+        fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+            self.inner.search_outer(index)
+        }
+        fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+            let mut v: Vec<(usize, f64)> = self.inner.enum_inner(outer).collect();
+            v.reverse(); // violates the declared sortedness
+            InnerIter::Boxed(Box::new(v.into_iter()))
+        }
+        fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+            self.inner.search_inner(outer, index)
+        }
+        fn enum_flat(&self) -> FlatIter<'_> {
+            self.inner.enum_flat()
+        }
+    }
+
+    #[test]
+    fn ba23_lying_sortedness_detected() {
+        let m = LyingFormat {
+            inner: DokMatrix::from_triplets(2, 4, &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 3.0)]),
+        };
+        let d = check_access_contract(&m);
+        assert_eq!(d[0].code, codes::FMT_UNSORTED, "{d:?}");
+        assert!(d[0].message.contains("not ascending"), "{}", d[0].message);
+    }
+
+    /// A format whose nnz lies.
+    struct WrongNnz {
+        inner: DokMatrix,
+    }
+
+    impl MatrixAccess for WrongNnz {
+        fn meta(&self) -> MatMeta {
+            MatMeta { nnz: self.inner.nnz() + 1, ..self.inner.meta() }
+        }
+        fn enum_outer(&self) -> OuterIter<'_> {
+            self.inner.enum_outer()
+        }
+        fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+            self.inner.search_outer(index)
+        }
+        fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+            self.inner.enum_inner(outer)
+        }
+        fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+            self.inner.search_inner(outer, index)
+        }
+        fn enum_flat(&self) -> FlatIter<'_> {
+            self.inner.enum_flat()
+        }
+    }
+
+    #[test]
+    fn ba25_wrong_nnz_detected() {
+        let m = WrongNnz { inner: DokMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]) };
+        let d = check_access_contract(&m);
+        assert_eq!(d[0].code, codes::FMT_META_MISMATCH, "{d:?}");
+        assert!(d[0].message.contains("meta.nnz"), "{}", d[0].message);
+    }
+
+    /// Every view honest except `search_pair`, which denies a stored
+    /// entry — the cross-view disagreement case of `BA27`.
+    struct LyingSearchPair {
+        inner: DokMatrix,
+    }
+
+    impl MatrixAccess for LyingSearchPair {
+        fn meta(&self) -> MatMeta {
+            self.inner.meta()
+        }
+        fn enum_outer(&self) -> OuterIter<'_> {
+            self.inner.enum_outer()
+        }
+        fn search_outer(&self, index: usize) -> Option<OuterCursor> {
+            self.inner.search_outer(index)
+        }
+        fn enum_inner(&self, outer: &OuterCursor) -> InnerIter<'_> {
+            self.inner.enum_inner(outer)
+        }
+        fn search_inner(&self, outer: &OuterCursor, index: usize) -> Option<f64> {
+            self.inner.search_inner(outer, index)
+        }
+        fn enum_flat(&self) -> FlatIter<'_> {
+            self.inner.enum_flat()
+        }
+        fn search_pair(&self, _i: usize, _j: usize) -> Option<f64> {
+            None
+        }
+    }
+
+    #[test]
+    fn ba27_view_disagreement_detected() {
+        let m = LyingSearchPair { inner: DokMatrix::from_triplets(2, 2, &[(0, 1, 5.0)]) };
+        let d = check_access_contract(&m);
+        assert_eq!(d[0].code, codes::FMT_CONTRACT, "{d:?}");
+        assert!(d[0].message.contains("search_pair"), "{}", d[0].message);
+        // The honest inner matrix is the clean counterpart.
+        assert!(check_access_contract(&m.inner).is_empty());
+    }
+}

@@ -10,14 +10,39 @@ use bernoulli_relational::planner::{Planner, QueryMeta};
 use bernoulli_relational::query::Query;
 
 /// Compiler configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Compiler {
     planner: Planner,
+}
+
+impl Default for Compiler {
+    /// Debug builds install the independent plan verifier of
+    /// `bernoulli-analysis` on the planner seam: every emitted plan is
+    /// re-checked against the declared level properties (BA11–BA16) and
+    /// a discrepancy aborts compilation instead of executing a plan the
+    /// metadata cannot support. Release builds trust the planner.
+    fn default() -> Self {
+        #[allow(unused_mut)]
+        let mut planner = Planner::default();
+        #[cfg(debug_assertions)]
+        {
+            planner.verifier = Some(bernoulli_analysis::plan_verify::verify_plan_hook);
+        }
+        Compiler { planner }
+    }
 }
 
 impl Compiler {
     pub fn new() -> Self {
         Compiler::default()
+    }
+
+    /// Install (or clear) the belt-and-braces plan verifier regardless
+    /// of build profile.
+    pub fn verify_plans(mut self, yes: bool) -> Self {
+        self.planner.verifier =
+            yes.then_some(bernoulli_analysis::plan_verify::verify_plan_hook as _);
+        self
     }
 
     /// Insist that plans drive enumeration from a sparsity-predicate
@@ -94,6 +119,24 @@ mod tests {
             for (g, w) in y.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-12, "format {kind}: {y:?} vs {want:?}");
             }
+        }
+    }
+
+    #[test]
+    fn explicit_verifier_accepts_every_format_plan() {
+        // verify_plans(true) forces the BA11–BA16 re-check even in
+        // release builds; every format's matvec plan must pass it.
+        let t = sample();
+        for kind in FormatKind::ALL {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let meta = QueryMeta::new()
+                .mat(MAT_A, a.meta())
+                .vec(VEC_X, VecMeta::dense(4))
+                .vec(VEC_Y, VecMeta::dense(4));
+            Compiler::new()
+                .verify_plans(true)
+                .compile(&programs::matvec(), &meta)
+                .unwrap_or_else(|e| panic!("format {kind}: {e}"));
         }
     }
 

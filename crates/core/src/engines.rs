@@ -11,11 +11,11 @@
 //! is never *wrong*, only occasionally slower. The dispatch-hoisting
 //! ablation bench quantifies the difference.
 
-use crate::ast::programs;
+use crate::ast::{programs, LoopNest};
 use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{kernels, par_kernels, ExecConfig, SparseMatrix};
+use bernoulli_formats::{kernels, par_kernels, ExecConfig, SparseMatrix, Validate};
 use bernoulli_relational::access::{MatrixAccess, VecMeta};
-use bernoulli_relational::error::RelResult;
+use bernoulli_relational::error::{RelError, RelResult};
 use bernoulli_relational::exec::Bindings;
 use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, VEC_X, VEC_Y};
 use bernoulli_relational::planner::QueryMeta;
@@ -35,6 +35,47 @@ pub enum Strategy {
     Parallel,
     /// General plan interpretation.
     Interpreted,
+}
+
+/// The one strategy decision every engine routes through.
+///
+/// [`Strategy::Parallel`] requires all three gates: the plan must be
+/// specialisable (a known hand-kernel traversal), the operand must
+/// clear the [`ExecConfig`] work threshold, and — new in this PR — the
+/// DO-ANY race checker of `bernoulli-analysis` must certify the loop
+/// nest parallel-safe. The canned kernels all carry a certificate
+/// (disjoint writes or a commutative reduction), so behaviour is
+/// unchanged for them; a racy nest (say, a scatter *assignment*) is
+/// provably downgraded to [`Strategy::Specialized`] rather than run
+/// concurrently. Public so tests and downstream engines can audit the
+/// exact decision their `compile_with_exec` makes.
+pub fn choose_strategy(
+    nest: &LoopNest,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+) -> Strategy {
+    if !specializable {
+        return Strategy::Interpreted;
+    }
+    if exec.should_parallelize(work)
+        && bernoulli_analysis::race::check_do_any(nest).is_parallel_safe()
+    {
+        Strategy::Parallel
+    } else {
+        Strategy::Specialized
+    }
+}
+
+/// Checked-mode operand gate: when [`ExecConfig::checked`] is set, run
+/// the format-invariant sanitizer over the operand and refuse to
+/// compile against a corrupt matrix ([`RelError::Validation`]).
+fn check_operand(name: &str, m: &SparseMatrix, exec: &ExecConfig) -> RelResult<()> {
+    if exec.checked {
+        m.validate_ok()
+            .map_err(|e| RelError::Validation(format!("operand {name}: {e}")))?;
+    }
+    Ok(())
 }
 
 /// The canonical matvec plan shape for each format orientation.
@@ -80,28 +121,22 @@ impl SpmvEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmvEngine> {
+        check_operand("A", a, &exec)?;
         let m = a.meta();
         let meta = QueryMeta::new()
             .mat(MAT_A, m)
             .vec(VEC_X, VecMeta::dense(m.ncols))
             .vec(VEC_Y, VecMeta::dense(m.nrows));
-        let kernel = Compiler::new().compile(&programs::matvec(), &meta)?;
+        let nest = programs::matvec();
+        let kernel = Compiler::new().compile(&nest, &meta)?;
         // Both the format's natural hierarchical traversal and the flat
         // enumeration plan compute exactly what the format's hand
         // kernel computes (A enumerated once, X directly indexed), so
         // either shape dispatches to it.
         let shape = kernel.shape();
-        let specializable =
-            shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]";
-        let strategy = if allow_specialization && specializable {
-            if exec.should_parallelize(m.nnz) {
-                Strategy::Parallel
-            } else {
-                Strategy::Specialized
-            }
-        } else {
-            Strategy::Interpreted
-        };
+        let specializable = allow_specialization
+            && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
+        let strategy = choose_strategy(&nest, specializable, m.nnz, &exec);
         Ok(SpmvEngine { kernel, strategy, exec })
     }
 
@@ -161,22 +196,19 @@ impl SpmmEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmmEngine> {
+        check_operand("A", a, &exec)?;
+        check_operand("B", b, &exec)?;
         let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
-        let kernel = Compiler::new().compile(&programs::matmat(), &meta)?;
+        let nest = programs::matmat();
+        let kernel = Compiler::new().compile(&nest, &meta)?;
         // Gustavson's traversal over two CSR operands is the one shape
         // with a hand-tuned kernel. Work estimate for the parallel gate:
         // the driver operand's nonzeros (each expands into a B-row scan).
         let gustavson = "i:outer(A)>k:inner(A)[B?]>j:inner(B)";
         let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
-        let strategy = if allow_specialization && both_csr && kernel.shape() == gustavson {
-            if exec.should_parallelize(a.meta().nnz) {
-                Strategy::Parallel
-            } else {
-                Strategy::Specialized
-            }
-        } else {
-            Strategy::Interpreted
-        };
+        let specializable =
+            allow_specialization && both_csr && kernel.shape() == gustavson;
+        let strategy = choose_strategy(&nest, specializable, a.meta().nnz, &exec);
         Ok(SpmmEngine { kernel, strategy, exec })
     }
 
@@ -252,25 +284,21 @@ impl SpmvMultiEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmvMultiEngine> {
+        check_operand("A", a, &exec)?;
         let m = a.meta();
         // The multivector's metadata: a dense ncols × k matrix.
         let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
         let meta = QueryMeta::new().mat(MAT_A, m).mat(MAT_B, x_meta);
-        let kernel = Compiler::new().compile(&programs::matvec_multi(), &meta)?;
+        let nest = programs::matvec_multi();
+        let kernel = Compiler::new().compile(&nest, &meta)?;
         // The natural shape: rows of A, then A's entries, then the
         // dense multivector row — CSR dispatches to the blocked kernel.
         // Work estimate: nnz·k fused multiply-adds.
         let natural = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
         let is_csr = matches!(a, SparseMatrix::Csr(_));
-        let strategy = if allow_specialization && is_csr && kernel.shape() == natural {
-            if exec.should_parallelize(m.nnz.saturating_mul(k.max(1))) {
-                Strategy::Parallel
-            } else {
-                Strategy::Specialized
-            }
-        } else {
-            Strategy::Interpreted
-        };
+        let specializable = allow_specialization && is_csr && kernel.shape() == natural;
+        let strategy =
+            choose_strategy(&nest, specializable, m.nnz.saturating_mul(k.max(1)), &exec);
         Ok(SpmvMultiEngine { kernel, strategy, k, exec })
     }
 
@@ -540,6 +568,66 @@ mod tests {
         mser.run(&a, &x, &mut y2).unwrap();
         // Row-partitioned multivector kernel is bit-identical to serial.
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn parallel_refused_for_racy_nest() {
+        // The ISSUE acceptance criterion: a nest the race checker
+        // rejects can never compile to Strategy::Parallel, even when
+        // the plan is specialisable and the work clears the threshold.
+        // `Y(i) = A(i,j)·X(j)` as a scatter *assignment* races on Y(i)
+        // across j-iterations (BA01).
+        use bernoulli_relational::scalar::UpdateOp;
+        let mut racy = programs::matvec();
+        racy.op = UpdateOp::Assign;
+        let exec = ExecConfig::with_threads(4).threshold(1);
+        assert_eq!(choose_strategy(&racy, true, 1 << 20, &exec), Strategy::Specialized);
+        // Same gates, the genuine reduction nest: Parallel granted.
+        assert_eq!(
+            choose_strategy(&programs::matvec(), true, 1 << 20, &exec),
+            Strategy::Parallel
+        );
+        // All engine nests carry a certificate.
+        for nest in [programs::matvec(), programs::matmat(), programs::matvec_multi()] {
+            assert!(bernoulli_analysis::race::check_do_any(&nest).is_parallel_safe());
+        }
+    }
+
+    #[test]
+    fn checked_mode_refuses_corrupt_operand() {
+        use bernoulli_formats::Csr;
+        // Row 0 stores columns out of order: the sanitizer flags BA23
+        // and checked compilation refuses the operand up front.
+        let bad = SparseMatrix::Csr(Csr::from_raw_unchecked(
+            2,
+            3,
+            vec![0, 2, 2],
+            vec![2, 0],
+            vec![1.0, 2.0],
+        ));
+        match SpmvEngine::compile_with_exec(&bad, true, ExecConfig::serial().checked(true)) {
+            Err(RelError::Validation(msg)) => {
+                assert!(msg.contains("BA23"), "{msg}");
+                assert!(msg.contains("operand A"), "{msg}");
+            }
+            Err(other) => panic!("expected Validation, got {other:?}"),
+            Ok(_) => panic!("corrupt operand compiled"),
+        }
+        // The same matrix compiles fine unchecked (and would compute
+        // garbage — exactly what checked mode exists to prevent)…
+        SpmvEngine::compile_with_exec(&bad, true, ExecConfig::serial()).unwrap();
+        // …and a clean operand passes checked compilation untouched.
+        let good = SparseMatrix::from_triplets(FormatKind::Csr, &sample(8, 21));
+        let eng =
+            SpmvEngine::compile_with_exec(&good, true, ExecConfig::serial().checked(true))
+                .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        // SpMM checks both operands: B is the corrupt one here.
+        let ga = SparseMatrix::from_triplets(FormatKind::Csr, &sample(2, 22));
+        match SpmmEngine::compile_with_exec(&ga, &bad, true, ExecConfig::serial().checked(true)) {
+            Err(RelError::Validation(msg)) => assert!(msg.contains("operand B"), "{msg}"),
+            other => panic!("expected Validation for B, got {:?}", other.err()),
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //!    translation (eq. 23) and the mixed local/global translation
 //!    (eq. 24).
 
-pub mod ast;
+pub use bernoulli_relational::ast;
 pub mod codegen;
 pub mod compile;
 pub mod engines;

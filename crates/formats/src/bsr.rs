@@ -13,6 +13,10 @@
 //! block column index).
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_ptr, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -238,6 +242,58 @@ impl MatrixAccess for Bsr {
                     .filter_map(move |(c, &v)| (v != 0.0).then_some((r, bc * b + c, v)))
             })
         }))
+    }
+}
+
+impl Validate for Bsr {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.b == 0 {
+            d.push(meta_mismatch("b", "block size is 0"));
+            return d;
+        }
+        if !self.nrows.is_multiple_of(self.b) || !self.ncols.is_multiple_of(self.b) {
+            d.push(meta_mismatch(
+                "b",
+                format!("{}x{} not a multiple of the block size {}", self.nrows, self.ncols, self.b),
+            ));
+            return d;
+        }
+        d.extend(check_ptr("browptr", &self.browptr, self.nrows / self.b + 1, self.bcolind.len()));
+        if self.blocks.len() != self.bcolind.len() * self.b * self.b {
+            d.push(meta_mismatch(
+                "blocks",
+                format!(
+                    "{} value slots for {} blocks of {}x{}",
+                    self.blocks.len(),
+                    self.bcolind.len(),
+                    self.b,
+                    self.b
+                ),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("bcolind", &self.bcolind, self.ncols / self.b));
+        for br in 0..self.nrows / self.b {
+            d.extend(check_sorted_strict(
+                "bcolind",
+                &self.bcolind[self.browptr[br]..self.browptr[br + 1]],
+                &format!("block row {br}"),
+            ));
+        }
+        let true_nnz = self.blocks.iter().filter(|&&v| v != 0.0).count();
+        if self.nnz != true_nnz {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} but the blocks hold {} nonzeros", self.nnz, true_nnz),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -10,6 +10,10 @@
 //! precisely the property difference the planner keys on.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_ptr, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -147,6 +151,35 @@ impl MatrixAccess for Cccs {
             (self.colp[q]..self.colp[q + 1])
                 .map(move |k| (self.rowind[k], self.colind[q], self.vals[k]))
         }))
+    }
+}
+
+impl Validate for Cccs {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = check_ptr("colp", &self.colp, self.colind.len() + 1, self.vals.len());
+        if self.rowind.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "rowind",
+                format!("{} row indices but {} values", self.rowind.len(), self.vals.len()),
+            ));
+        }
+        d.extend(check_bounds("colind", &self.colind, self.ncols));
+        d.extend(check_sorted_strict("colind", &self.colind, "stored columns"));
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("rowind", &self.rowind, self.nrows));
+        for q in 0..self.colind.len() {
+            d.extend(check_sorted_strict(
+                "rowind",
+                &self.rowind[self.colp[q]..self.colp[q + 1]],
+                &format!("stored column {q}"),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -9,6 +9,10 @@
 //! indices without first fixing a column, and the planner respects that.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_ptr, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -149,6 +153,33 @@ impl MatrixAccess for Ccs {
         Box::new((0..self.ncols).flat_map(move |j| {
             (self.colp[j]..self.colp[j + 1]).map(move |k| (self.rowind[k], j, self.vals[k]))
         }))
+    }
+}
+
+impl Validate for Ccs {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = check_ptr("colp", &self.colp, self.ncols + 1, self.vals.len());
+        if self.rowind.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "rowind",
+                format!("{} row indices but {} values", self.rowind.len(), self.vals.len()),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("rowind", &self.rowind, self.nrows));
+        for j in 0..self.ncols {
+            d.extend(check_sorted_strict(
+                "rowind",
+                &self.rowind[self.colp[j]..self.colp[j + 1]],
+                &format!("column {j}"),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

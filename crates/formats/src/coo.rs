@@ -8,6 +8,8 @@
 //! flat-enumeration plans (scatter-style SpMV).
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::diag::{codes, Diagnostic, Span};
+use bernoulli_analysis::validate::{check_access_contract, check_bounds, meta_mismatch, Validate};
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -104,6 +106,44 @@ impl MatrixAccess for Coo {
         (0..self.nnz())
             .find(|&k| self.rows[k] == i && self.cols[k] == j)
             .map(|k| self.vals[k])
+    }
+}
+
+impl Validate for Coo {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.rows.len() != self.vals.len() || self.cols.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "arrays",
+                format!(
+                    "parallel arrays disagree: {} rows, {} cols, {} values",
+                    self.rows.len(),
+                    self.cols.len(),
+                    self.vals.len()
+                ),
+            ));
+            return d;
+        }
+        d.extend(check_bounds("rows", &self.rows, self.nrows));
+        d.extend(check_bounds("cols", &self.cols, self.ncols));
+        // COO promises no order, but it does promise set semantics:
+        // the same (i, j) stored twice is a corrupt relation.
+        let mut seen: Vec<(usize, usize)> = self.rows.iter().copied().zip(self.cols.iter().copied()).collect();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                d.push(Diagnostic::error(
+                    codes::FMT_DUPLICATE,
+                    Span::Component { name: "arrays", at: None },
+                    format!("duplicate tuple at ({}, {})", w[0].0, w[0].1),
+                ));
+                break;
+            }
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

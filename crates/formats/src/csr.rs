@@ -7,6 +7,10 @@
 //! outer row level over sorted, binary-searchable column entries.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_ptr, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -65,6 +69,21 @@ impl Csr {
                 assert!(c < ncols, "column {c} out of range");
             }
         }
+        Csr { nrows, ncols, rowptr, colind, vals }
+    }
+
+    /// Build from raw arrays **without** checking any invariant.
+    ///
+    /// The sanitizer's seam: lets tests (and I/O paths that prefer
+    /// diagnostics over panics) materialise a possibly-corrupt matrix
+    /// and run [`Validate::validate`] on it instead of asserting.
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colind: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
         Csr { nrows, ncols, rowptr, colind, vals }
     }
 
@@ -223,6 +242,33 @@ impl MatrixAccess for Csr {
         Box::new((0..self.nrows).flat_map(move |r| {
             (self.rowptr[r]..self.rowptr[r + 1]).map(move |k| (r, self.colind[k], self.vals[k]))
         }))
+    }
+}
+
+impl Validate for Csr {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = check_ptr("rowptr", &self.rowptr, self.nrows + 1, self.vals.len());
+        if self.colind.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "colind",
+                format!("{} column indices but {} values", self.colind.len(), self.vals.len()),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("colind", &self.colind, self.ncols));
+        for r in 0..self.nrows {
+            d.extend(check_sorted_strict(
+                "colind",
+                &self.colind[self.rowptr[r]..self.rowptr[r + 1]],
+                &format!("row {r}"),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -7,6 +7,8 @@
 //! oracle for every sparse format.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{check_access_contract, meta_mismatch, Validate};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -138,6 +140,23 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         &mut self.data[r * self.ncols + c]
+    }
+}
+
+impl Validate for DenseMatrix {
+    fn validate(&self) -> Vec<Diagnostic> {
+        if self.data.len() != self.nrows * self.ncols {
+            return vec![meta_mismatch(
+                "data",
+                format!(
+                    "{} value slots for a {}x{} matrix",
+                    self.data.len(),
+                    self.nrows,
+                    self.ncols
+                ),
+            )];
+        }
+        check_access_contract(self)
     }
 }
 

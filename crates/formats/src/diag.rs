@@ -14,6 +14,8 @@
 //! direct indexing).
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::diag::{codes, Diagnostic, Span};
+use bernoulli_analysis::validate::{check_access_contract, meta_mismatch, Validate};
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -162,6 +164,59 @@ impl MatrixAccess for DiagonalMatrix {
         }
         let v = *d.vals.get(i - d.first_row)?;
         (v != 0.0).then_some(v)
+    }
+}
+
+impl Validate for DiagonalMatrix {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        let mut last_off: Option<isize> = None;
+        let mut true_nnz = 0usize;
+        for (q, sd) in self.diags.iter().enumerate() {
+            let at = || Span::Component { name: "diags", at: Some(q) };
+            if let Some(lo) = last_off {
+                if sd.offset == lo {
+                    d.push(Diagnostic::error(
+                        codes::FMT_DUPLICATE,
+                        at(),
+                        format!("offset {} stored twice", sd.offset),
+                    ));
+                } else if sd.offset < lo {
+                    d.push(Diagnostic::error(
+                        codes::FMT_UNSORTED,
+                        at(),
+                        format!("offset {} after {lo}", sd.offset),
+                    ));
+                }
+            }
+            last_off = Some(sd.offset);
+            if !sd.vals.is_empty() {
+                let last_row = sd.first_row + sd.vals.len() - 1;
+                let first_col = sd.first_row as isize + sd.offset;
+                let last_col = last_row as isize + sd.offset;
+                if last_row >= self.nrows || first_col < 0 || last_col >= self.ncols as isize {
+                    d.push(Diagnostic::error(
+                        codes::FMT_INDEX_OOB,
+                        at(),
+                        format!(
+                            "diagonal {} covers rows {}..={last_row}, outside {}x{}",
+                            sd.offset, sd.first_row, self.nrows, self.ncols
+                        ),
+                    ));
+                }
+            }
+            true_nnz += sd.vals.iter().filter(|&&v| v != 0.0).count();
+        }
+        if self.nnz != true_nnz {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} but the runs hold {true_nnz} nonzeros", self.nnz),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -35,28 +35,39 @@ pub struct ExecConfig {
     /// Operations with less work (stored nonzeros) than this stay on
     /// the serial kernels.
     pub par_threshold_nnz: usize,
+    /// Checked mode: engines validate operand invariants (the
+    /// `bernoulli-analysis` sanitizer) before compiling against them,
+    /// refusing corrupt matrices instead of computing garbage.
+    pub checked: bool,
 }
 
 impl ExecConfig {
     /// Never parallelize: serial kernels only, whatever the size.
     pub fn serial() -> ExecConfig {
-        ExecConfig { threads: 1, par_threshold_nnz: usize::MAX }
+        ExecConfig { threads: 1, par_threshold_nnz: usize::MAX, checked: false }
     }
 
     /// Parallelize large operations on the machine's default worker
     /// count; small ones stay serial.
     pub fn parallel() -> ExecConfig {
-        ExecConfig { threads: 0, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ }
+        ExecConfig { threads: 0, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ, checked: false }
     }
 
     /// Parallelize large operations on exactly `threads` workers.
     pub fn with_threads(threads: usize) -> ExecConfig {
-        ExecConfig { threads, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ }
+        ExecConfig { threads, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ, checked: false }
     }
 
     /// Replace the parallel-dispatch work threshold.
     pub fn threshold(mut self, nnz: usize) -> ExecConfig {
         self.par_threshold_nnz = nnz;
+        self
+    }
+
+    /// Enable or disable checked mode (operand invariant validation at
+    /// engine compile time).
+    pub fn checked(mut self, yes: bool) -> ExecConfig {
+        self.checked = yes;
         self
     }
 

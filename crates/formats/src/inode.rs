@@ -13,6 +13,10 @@
 //! mesh numbering, which our grid generators reproduce).
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -204,6 +208,72 @@ impl MatrixAccess for InodeMatrix {
         let g = self.inode_of_row(i);
         let w = g.cols.len();
         g.cols.binary_search(&j).ok().map(|k| g.vals[(i - g.first_row) * w + k])
+    }
+}
+
+impl Validate for InodeMatrix {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.row_inode.len() != self.nrows {
+            d.push(meta_mismatch(
+                "row_inode",
+                format!("{} row slots for {} rows", self.row_inode.len(), self.nrows),
+            ));
+            return d;
+        }
+        let mut expect_row = 0usize;
+        for (gi, g) in self.inodes.iter().enumerate() {
+            if g.first_row != expect_row || g.rows == 0 || g.first_row + g.rows > self.nrows {
+                d.push(meta_mismatch(
+                    "inodes",
+                    format!(
+                        "i-node {gi} spans rows {}..{} but the previous one ended at {expect_row}",
+                        g.first_row,
+                        g.first_row + g.rows
+                    ),
+                ));
+                return d;
+            }
+            if g.vals.len() != g.rows * g.cols.len() {
+                d.push(meta_mismatch(
+                    "inodes",
+                    format!(
+                        "i-node {gi} has {} value slots for a {}x{} block",
+                        g.vals.len(),
+                        g.rows,
+                        g.cols.len()
+                    ),
+                ));
+            }
+            d.extend(check_bounds("cols", &g.cols, self.ncols));
+            d.extend(check_sorted_strict("cols", &g.cols, &format!("i-node {gi}")));
+            for rr in 0..g.rows {
+                if self.row_inode[g.first_row + rr] != gi {
+                    d.push(meta_mismatch(
+                        "row_inode",
+                        format!("row {} does not map back to i-node {gi}", g.first_row + rr),
+                    ));
+                }
+            }
+            expect_row += g.rows;
+        }
+        if expect_row != self.nrows {
+            d.push(meta_mismatch(
+                "inodes",
+                format!("i-nodes cover {expect_row} rows of {}", self.nrows),
+            ));
+        }
+        let true_stored: usize = self.inodes.iter().map(|g| g.vals.len()).sum();
+        if self.nnz_stored != true_stored {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} stored slots but the blocks hold {true_stored}", self.nnz_stored),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -11,6 +11,10 @@
 //! the nonzeros.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -166,6 +170,63 @@ impl MatrixAccess for Itpack {
                 (r, self.colind[at], self.vals[at])
             })
         }))
+    }
+}
+
+impl Validate for Itpack {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        let slots = self.nrows * self.width;
+        if self.colind.len() != slots || self.vals.len() != slots {
+            d.push(meta_mismatch(
+                "arrays",
+                format!(
+                    "{} index and {} value slots for {} rows of width {}",
+                    self.colind.len(),
+                    self.vals.len(),
+                    self.nrows,
+                    self.width
+                ),
+            ));
+        }
+        if self.rowlen.len() != self.nrows {
+            d.push(meta_mismatch(
+                "rowlen",
+                format!("{} row lengths for {} rows", self.rowlen.len(), self.nrows),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        for (r, &len) in self.rowlen.iter().enumerate() {
+            if len > self.width {
+                d.push(meta_mismatch(
+                    "rowlen",
+                    format!("row {r} claims {len} entries but the width is {}", self.width),
+                ));
+            }
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("colind", &self.colind, self.ncols));
+        let mut row: Vec<usize> = Vec::new();
+        for r in 0..self.nrows {
+            row.clear();
+            row.extend((0..self.rowlen[r]).map(|k| self.colind[k * self.nrows + r]));
+            d.extend(check_sorted_strict("colind", &row, &format!("row {r}")));
+        }
+        let true_nnz: usize = self.rowlen.iter().sum();
+        if self.nnz != true_nnz {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} but the row lengths sum to {true_nnz}", self.nnz),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

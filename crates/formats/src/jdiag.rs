@@ -10,6 +10,11 @@
 //! query formulation of §2.2 can be reproduced explicitly.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_permutation, check_ptr, check_sorted_strict,
+    meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -69,6 +74,21 @@ impl JDiag {
             }
         }
         JDiag { nrows, ncols: t.ncols(), perm, jd_ptr, colind, vals }
+    }
+
+    /// Build from raw parts **without** checking any invariant — the
+    /// sanitizer's seam for materialising corrupt instances (e.g. a
+    /// non-bijective permutation) and diagnosing them with
+    /// [`Validate::validate`] instead of panicking.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        perm: Permutation,
+        jd_ptr: Vec<usize>,
+        colind: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        JDiag { nrows, ncols, perm, jd_ptr, colind, vals }
     }
 
     pub fn to_triplets(&self) -> Triplets {
@@ -172,6 +192,60 @@ impl MatrixAccess for JDiag {
             }
         }
         None
+    }
+}
+
+impl Validate for JDiag {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = check_permutation("perm", &self.perm, self.nrows);
+        d.extend(check_ptr("jd_ptr", &self.jd_ptr, self.jd_ptr.len().max(1), self.vals.len()));
+        if self.colind.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "colind",
+                format!("{} column indices but {} values", self.colind.len(), self.vals.len()),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        // Jagged-diagonal lengths must fit the row count and be
+        // non-increasing (each diagonal holds a prefix of the stored
+        // rows) — otherwise the flat view indexes out of range.
+        for dd in 0..self.num_jdiags() {
+            let len = self.jdiag_len(dd);
+            if len > self.nrows {
+                d.push(meta_mismatch(
+                    "jd_ptr",
+                    format!("jagged diagonal {dd} has {len} entries for {} rows", self.nrows),
+                ));
+            } else if dd > 0 && len > self.jdiag_len(dd - 1) {
+                d.push(meta_mismatch(
+                    "jd_ptr",
+                    format!(
+                        "jagged diagonal {dd} ({len} entries) is longer than diagonal {} ({})",
+                        dd - 1,
+                        self.jdiag_len(dd - 1)
+                    ),
+                ));
+            }
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("colind", &self.colind, self.ncols));
+        // Each stored row's columns (gathered across diagonals) must be
+        // strictly ascending — the canonical row order JDIAG scatters.
+        let stored_rows = if self.num_jdiags() == 0 { 0 } else { self.jdiag_len(0) };
+        let mut row: Vec<usize> = Vec::new();
+        for p in 0..stored_rows {
+            row.clear();
+            row.extend((0..self.stored_row_len(p)).map(|dd| self.colind[self.jd_ptr[dd] + p]));
+            d.extend(check_sorted_strict("colind", &row, &format!("stored row {p}")));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -54,6 +54,7 @@ pub mod sparsevec;
 pub mod stats;
 pub mod triplet;
 
+pub use bernoulli_analysis::validate::Validate;
 pub use bsr::Bsr;
 pub use ccs::Ccs;
 pub use cccs::Cccs;

@@ -4,6 +4,8 @@
 //! benchmark harness) traffic in.
 
 use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag, Triplets};
+use bernoulli_analysis::validate::Validate;
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, OuterCursor, OuterIter,
 };
@@ -197,6 +199,12 @@ impl SparseMatrix {
     }
 }
 
+impl Validate for SparseMatrix {
+    fn validate(&self) -> Vec<Diagnostic> {
+        dispatch!(self, m => m.validate())
+    }
+}
+
 impl MatrixAccess for SparseMatrix {
     fn meta(&self) -> MatMeta {
         dispatch!(self, m => m.meta())
@@ -292,12 +300,12 @@ mod tests {
 #[cfg(test)]
 mod conformance {
     use super::*;
-    use bernoulli_relational::access_check::check_matrix_access;
 
-    /// Every format in the enum honours the access-method contract on
-    /// structurally varied inputs.
+    /// Every format in the enum passes the sanitizer (raw structural
+    /// invariants plus the access-method contract) on structurally
+    /// varied inputs.
     #[test]
-    fn all_formats_conform_to_the_access_contract() {
+    fn all_formats_validate_clean() {
         let inputs = [
             crate::gen::grid2d_5pt(5, 4),
             crate::gen::fem_grid_2d(3, 3, 3),
@@ -308,18 +316,21 @@ mod conformance {
         for (k, t) in inputs.iter().enumerate() {
             for kind in FormatKind::ALL {
                 let m = SparseMatrix::from_triplets(kind, t);
-                check_matrix_access(&m)
+                m.validate_ok()
                     .unwrap_or_else(|e| panic!("input {k}, format {kind}: {e}"));
             }
         }
     }
 
-    /// The standalone formats (outside the enum) conform too.
+    /// The standalone formats (outside the enum) validate too.
     #[test]
-    fn standalone_formats_conform() {
+    fn standalone_formats_validate_clean() {
         let t = crate::gen::fem_grid_2d(4, 3, 2);
-        check_matrix_access(&crate::Bsr::from_triplets(&t, 2)).unwrap();
-        check_matrix_access(&crate::Msr::from_triplets(&t)).unwrap();
-        check_matrix_access(&crate::Skyline::from_triplets(&t)).unwrap();
+        crate::Bsr::from_triplets(&t, 2).validate_ok().unwrap();
+        crate::Msr::from_triplets(&t).validate_ok().unwrap();
+        crate::Skyline::from_triplets(&t).validate_ok().unwrap();
+        crate::SparseVec::from_pairs(9, &[(1, 2.0), (4, -1.0), (7, 3.5)])
+            .validate_ok()
+            .unwrap();
     }
 }

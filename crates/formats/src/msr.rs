@@ -14,6 +14,10 @@
 //! layout (and the O(1) diagonal access) differs.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{
+    check_access_contract, check_bounds, check_ptr, check_sorted_strict, meta_mismatch, Validate,
+};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -214,6 +218,54 @@ impl MatrixAccess for Msr {
             let c = OuterCursor { index: r, a: self.rowptr[r], b: self.rowptr[r + 1] };
             self.enum_inner(&c).map(move |(j, v)| (r, j, v))
         }))
+    }
+}
+
+impl Validate for Msr {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.diag.len() != self.nrows.min(self.ncols) {
+            d.push(meta_mismatch(
+                "diag",
+                format!(
+                    "diagonal has {} slots, expected {}",
+                    self.diag.len(),
+                    self.nrows.min(self.ncols)
+                ),
+            ));
+        }
+        d.extend(check_ptr("rowptr", &self.rowptr, self.nrows + 1, self.vals.len()));
+        if self.colind.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "colind",
+                format!("{} column indices but {} values", self.colind.len(), self.vals.len()),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        d.extend(check_bounds("colind", &self.colind, self.ncols));
+        for r in 0..self.nrows {
+            let run = &self.colind[self.rowptr[r]..self.rowptr[r + 1]];
+            d.extend(check_sorted_strict("colind", run, &format!("row {r}")));
+            if r < self.diag.len() && run.contains(&r) {
+                d.push(meta_mismatch(
+                    "colind",
+                    format!("row {r} stores its diagonal among the off-diagonals"),
+                ));
+            }
+        }
+        let true_nnz = self.vals.len() + self.diag.iter().filter(|&&v| v != 0.0).count();
+        if self.nnz != true_nnz {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} but the arrays hold {}", self.nnz, true_nnz),
+            ));
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -14,6 +14,8 @@
 //! entries are recovered through symmetry in the flat view.
 
 use crate::triplet::Triplets;
+use bernoulli_analysis::validate::{check_access_contract, check_ptr, meta_mismatch, Validate};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{
     FlatIter, InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, OuterIter,
 };
@@ -214,6 +216,60 @@ impl MatrixAccess for Skyline {
                     }
                 })
         }))
+    }
+}
+
+impl Validate for Skyline {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.first.len() != self.n {
+            d.push(meta_mismatch(
+                "first",
+                format!("{} first-column slots for {} rows", self.first.len(), self.n),
+            ));
+            return d;
+        }
+        for (i, &f) in self.first.iter().enumerate() {
+            if f > i {
+                d.push(meta_mismatch(
+                    "first",
+                    format!("row {i} starts at column {f}, past the diagonal"),
+                ));
+            }
+        }
+        d.extend(check_ptr("rowptr", &self.rowptr, self.n + 1, self.vals.len()));
+        if !d.is_empty() {
+            return d;
+        }
+        for i in 0..self.n {
+            let want = i - self.first[i] + 1;
+            let got = self.rowptr[i + 1] - self.rowptr[i];
+            if got != want {
+                d.push(meta_mismatch(
+                    "rowptr",
+                    format!("row {i} stores {got} slots but its profile spans {want}"),
+                ));
+            }
+        }
+        if !d.is_empty() {
+            return d;
+        }
+        let mut true_nnz = 0usize;
+        for i in 0..self.n {
+            for (k, &v) in self.row_run(i).iter().enumerate() {
+                if v != 0.0 {
+                    true_nnz += if self.first[i] + k == i { 1 } else { 2 };
+                }
+            }
+        }
+        if self.nnz != true_nnz {
+            d.push(meta_mismatch(
+                "nnz",
+                format!("declared {} but the envelope holds {true_nnz}", self.nnz),
+            ));
+            return d;
+        }
+        check_access_contract(self)
     }
 }
 

@@ -6,6 +6,8 @@
 //! counterpart of the matrix formats: a sorted index array plus values,
 //! advertising `sorted / logarithmic-search / sparse` level properties.
 
+use bernoulli_analysis::validate::{check_bounds, check_sorted_strict, meta_mismatch, Validate};
+use bernoulli_analysis::Diagnostic;
 use bernoulli_relational::access::{InnerIter, VecMeta, VectorAccess};
 
 /// A sorted sparse vector `X(i, x)`.
@@ -104,6 +106,22 @@ impl SparseVec {
             }
         }
         acc
+    }
+}
+
+impl Validate for SparseVec {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut d = Vec::new();
+        if self.idx.len() != self.vals.len() {
+            d.push(meta_mismatch(
+                "idx",
+                format!("{} indices but {} values", self.idx.len(), self.vals.len()),
+            ));
+            return d;
+        }
+        d.extend(check_bounds("idx", &self.idx, self.len));
+        d.extend(check_sorted_strict("idx", &self.idx, "vector"));
+        d
     }
 }
 

@@ -17,8 +17,8 @@
 //! kernels — permuted indexing is handled by permutation terms, see
 //! [`LoopNest::with_row_permutation`]).
 
-use bernoulli_relational::ids::{RelId, Var};
-use bernoulli_relational::scalar::UpdateOp;
+use crate::ids::{RelId, Var};
+use crate::scalar::UpdateOp;
 
 /// Declaration of one array in the nest.
 #[derive(Clone, Debug, PartialEq)]
@@ -156,7 +156,7 @@ impl LoopNest {
 /// Canned loop nests for the paper's kernels.
 pub mod programs {
     use super::*;
-    use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, PERM_P, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};
+    use crate::ids::{MAT_A, MAT_B, MAT_C, PERM_P, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};
 
     fn decl(id: RelId, name: &str, rank: usize, sparse: bool) -> ArrayDecl {
         ArrayDecl { id, name: name.into(), rank, sparse }
@@ -286,7 +286,7 @@ pub mod programs {
 mod tests {
     use super::programs;
     use super::*;
-    use bernoulli_relational::ids::{MAT_A, VAR_I, VAR_J, VEC_X};
+    use crate::ids::{MAT_A, VAR_I, VAR_J, VEC_X};
 
     #[test]
     fn expr_accesses_collected() {

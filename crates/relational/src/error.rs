@@ -25,6 +25,11 @@ pub enum RelError {
     UnsupportedAccess { rel: RelId, detail: String },
     /// Malformed query (duplicate terms, empty variable list, ...).
     MalformedQuery(String),
+    /// An emitted plan failed independent verification (the planner's
+    /// `verifier` hook — see `bernoulli-analysis`).
+    PlanVerification(String),
+    /// An operand failed invariant validation in checked execution mode.
+    Validation(String),
 }
 
 impl fmt::Display for RelError {
@@ -42,6 +47,8 @@ impl fmt::Display for RelError {
                 write!(f, "unsupported access on relation {rel}: {detail}")
             }
             RelError::MalformedQuery(s) => write!(f, "malformed query: {s}"),
+            RelError::PlanVerification(s) => write!(f, "plan verification failed: {s}"),
+            RelError::Validation(s) => write!(f, "operand validation failed: {s}"),
         }
     }
 }
@@ -67,6 +74,8 @@ mod tests {
             RelError::UnboundVar(VAR_I),
             RelError::UnsupportedAccess { rel: MAT_A, detail: "search".into() },
             RelError::MalformedQuery("dup".into()),
+            RelError::PlanVerification("merge on unsorted".into()),
+            RelError::Validation("rowptr decreases".into()),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

@@ -57,7 +57,7 @@
 //! ```
 
 pub mod access;
-pub mod access_check;
+pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod ids;
@@ -72,7 +72,6 @@ pub mod testmat;
 pub mod prelude {
     //! Convenient glob import for downstream crates.
     pub use crate::access::{InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, VecMeta, VectorAccess};
-    pub use crate::access_check::check_matrix_access;
     pub use crate::error::{RelError, RelResult};
     pub use crate::exec::{execute, execute_with_stats, Bindings, ExecStats};
     pub use crate::ids::{RelId, Var, MAT_A, MAT_B, MAT_C, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};

@@ -44,6 +44,15 @@ impl Permutation {
         Ok(Permutation { perm, iperm })
     }
 
+    /// Build directly from the raw `PERM`/`IPERM` pair **without**
+    /// checking bijectivity or mutual consistency. Exists so the
+    /// static-analysis corpus can represent corrupt permutations; the
+    /// sanitizer's `BA26` check (in `bernoulli-analysis`) is the
+    /// validating counterpart.
+    pub fn from_raw_parts(perm: Vec<usize>, iperm: Vec<usize>) -> Self {
+        Permutation { perm, iperm }
+    }
+
     /// Build the permutation that sorts the given keys ascending (stable):
     /// `forward(rank) = original position`... more precisely, this returns
     /// the permutation `σ` with `σ(i) = new position of element i`, such

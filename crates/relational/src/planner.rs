@@ -64,7 +64,18 @@ impl QueryMeta {
     pub fn vec_meta(&self, rel: RelId) -> Option<&VecMeta> {
         self.vecs.get(&rel)
     }
+
+    pub fn perm_len(&self, rel: RelId) -> Option<usize> {
+        self.perms.get(&rel).copied()
+    }
 }
+
+/// Independent re-check of an emitted plan, installable on
+/// [`Planner::verifier`]. A failure aborts planning with
+/// [`RelError::PlanVerification`]. The production implementation lives
+/// in `bernoulli-analysis` (`verify_plan_hook`), which this crate
+/// cannot depend on — hence the function-pointer seam.
+pub type PlanVerifier = fn(&Plan, &Query, &QueryMeta) -> Result<(), String>;
 
 /// The planner. Stateless; configuration knobs may grow here.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +84,11 @@ pub struct Planner {
     /// sparsity-predicate relation could drive instead (useful to assert
     /// that generated code is "truly sparse").
     pub require_sparse_driver: bool,
+    /// When set, every candidate plan is re-checked by this hook before
+    /// being returned; a failure aborts planning (belt-and-braces
+    /// against planner/metadata skew, wired up by `Compiler::new()`
+    /// under `debug_assertions`).
+    pub verifier: Option<PlanVerifier>,
 }
 
 impl Planner {
@@ -148,6 +164,13 @@ impl Planner {
                 true
             }
         });
+        if let Some(verify) = self.verifier {
+            for c in &candidates {
+                verify(c, query, meta).map_err(|e| {
+                    RelError::PlanVerification(format!("plan `{}`: {e}", c.shape()))
+                })?;
+            }
+        }
         Ok(candidates)
     }
 
@@ -1052,10 +1075,26 @@ mod tests {
     fn require_sparse_driver_honoured() {
         let q = QueryBuilder::mat_vec_product().build();
         let meta = QueryMeta::new().mat(MAT_A, csr_meta(100, 500)).vec(VEC_X, VecMeta::dense(100));
-        let planner = Planner { require_sparse_driver: true };
+        let planner = Planner { require_sparse_driver: true, ..Planner::default() };
         let plan = planner.plan(&q, &meta).unwrap();
         // A (the only predicate relation) must drive some level.
         assert!(plan.shape().contains("outer(A)") || plan.shape().contains("flat(A)"));
+    }
+
+    #[test]
+    fn verifier_hook_gates_plan_all() {
+        let q = QueryBuilder::mat_vec_product().build();
+        let meta = QueryMeta::new().mat(MAT_A, csr_meta(10, 30)).vec(VEC_X, VecMeta::dense(10));
+        let mut planner = Planner::new();
+        planner.verifier = Some(|_, _, _| Err("rejected by test hook".into()));
+        match planner.plan(&q, &meta) {
+            Err(RelError::PlanVerification(msg)) => {
+                assert!(msg.contains("rejected by test hook"), "{msg}")
+            }
+            other => panic!("expected PlanVerification, got {other:?}"),
+        }
+        planner.verifier = Some(|_, _, _| Ok(()));
+        planner.plan(&q, &meta).unwrap();
     }
 
     #[test]

@@ -156,6 +156,14 @@ pub enum UpdateOp {
     AddAssign,
 }
 
+impl UpdateOp {
+    /// Whether the update commutes across iterations — the property
+    /// that makes a non-covering write safe as a parallel reduction.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, UpdateOp::AddAssign)
+    }
+}
+
 /// The loop-body statement executed per query tuple.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Stmt {

@@ -98,6 +98,11 @@ impl CommSchedule {
                 sched.send_locals.push(locals);
             }
         }
+        debug_assert!(
+            crate::verify::verify_comm_schedule(&sched, nprocs).is_empty(),
+            "inspector built an inconsistent schedule: {:?}",
+            crate::verify::verify_comm_schedule(&sched, nprocs)
+        );
         sched
     }
 

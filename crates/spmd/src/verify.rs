@@ -10,7 +10,9 @@
 //! local views (`owned_globals`) agree with the replicated relation.
 
 use crate::dist::Distribution;
+use crate::inspector::CommSchedule;
 use crate::machine::{Ctx, Payload};
+use bernoulli_analysis::diag::{codes, Diagnostic, Span};
 
 /// Collectively verify a distribution against each processor's own
 /// view. Every processor passes the list of globals it *believes* it
@@ -87,11 +89,166 @@ pub fn check_distribution_collective(
     }
 }
 
+/// Statically verify one processor's [`CommSchedule`] (`BA31`): the
+/// parallel arrays must line up, peer lists must be strictly ascending
+/// and in range, and the ghost table must be a bijection between the
+/// flattened receive set and slots `0..num_ghosts`. The inspector
+/// asserts this on every schedule it builds (debug builds); the lint
+/// driver runs it over sample schedules.
+pub fn verify_comm_schedule(sched: &CommSchedule, nprocs: usize) -> Vec<Diagnostic> {
+    let mut d = Vec::new();
+    let bad = |name: &'static str, at: Option<usize>, msg: String| {
+        Diagnostic::error(codes::SPMD_BAD_SCHEDULE, Span::Component { name, at }, msg)
+    };
+    if sched.recv_peers.len() != sched.recv_globals.len() {
+        d.push(bad(
+            "recv_peers",
+            None,
+            format!(
+                "{} recv peers but {} receive lists",
+                sched.recv_peers.len(),
+                sched.recv_globals.len()
+            ),
+        ));
+    }
+    if sched.send_peers.len() != sched.send_locals.len() {
+        d.push(bad(
+            "send_peers",
+            None,
+            format!(
+                "{} send peers but {} send lists",
+                sched.send_peers.len(),
+                sched.send_locals.len()
+            ),
+        ));
+    }
+    if !d.is_empty() {
+        return d; // parallel arrays broken: element checks would misalign
+    }
+    for (name, peers) in [("recv_peers", &sched.recv_peers), ("send_peers", &sched.send_peers)] {
+        for (k, &p) in peers.iter().enumerate() {
+            if p >= nprocs {
+                d.push(bad(name, Some(k), format!("peer {p} out of 0..{nprocs}")));
+            }
+            if k > 0 && peers[k - 1] >= p {
+                d.push(bad(
+                    name,
+                    Some(k),
+                    format!("peer {p} after {} — wire order must be ascending", peers[k - 1]),
+                ));
+            }
+        }
+    }
+    // Ghost table: flattened recv_globals ↔ slots 0..num_ghosts, 1–1.
+    let flat: Vec<usize> = sched.recv_globals.iter().flatten().copied().collect();
+    if flat.len() != sched.num_ghosts {
+        d.push(bad(
+            "num_ghosts",
+            None,
+            format!("{} ghost slots but {} received globals", sched.num_ghosts, flat.len()),
+        ));
+    }
+    if sched.ghost_of_global.len() != flat.len() {
+        d.push(bad(
+            "ghost_of_global",
+            None,
+            format!(
+                "{} table entries for {} received globals (duplicate or missing global)",
+                sched.ghost_of_global.len(),
+                flat.len()
+            ),
+        ));
+    }
+    let mut slot_seen = vec![false; sched.num_ghosts];
+    for (k, g) in flat.iter().enumerate() {
+        match sched.ghost_of_global.get(g) {
+            None => d.push(bad(
+                "ghost_of_global",
+                Some(k),
+                format!("received global {g} has no ghost slot"),
+            )),
+            Some(&s) if s >= sched.num_ghosts => d.push(bad(
+                "ghost_of_global",
+                Some(k),
+                format!("global {g} mapped to slot {s}, outside 0..{}", sched.num_ghosts),
+            )),
+            Some(&s) if slot_seen[s] => d.push(bad(
+                "ghost_of_global",
+                Some(k),
+                format!("ghost slot {s} assigned twice (second: global {g})"),
+            )),
+            Some(&s) => slot_seen[s] = true,
+        }
+    }
+    d
+}
+
+/// [`verify_comm_schedule`] as a `Result` (errors joined).
+pub fn verify_comm_schedule_ok(sched: &CommSchedule, nprocs: usize) -> Result<(), String> {
+    bernoulli_analysis::diag::into_result(&verify_comm_schedule(sched, nprocs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dist::{BlockDist, Distribution};
     use crate::machine::Machine;
+
+    #[test]
+    fn ba31_inspector_schedules_verify_clean() {
+        let d = BlockDist::new(24, 3);
+        let out = Machine::run(3, |ctx| {
+            let used: Vec<usize> = match ctx.rank() {
+                0 => vec![10, 23],
+                1 => vec![0, 1, 20],
+                _ => vec![7],
+            };
+            CommSchedule::build_replicated(ctx, &d, &used)
+        });
+        for s in &out.results {
+            assert!(verify_comm_schedule_ok(s, 3).is_ok());
+        }
+    }
+
+    #[test]
+    fn ba31_corrupt_schedules_flagged() {
+        let d = BlockDist::new(16, 2);
+        let out = Machine::run(2, |ctx| {
+            let used: Vec<usize> = if ctx.rank() == 0 { vec![9, 12] } else { vec![2, 3] };
+            CommSchedule::build_replicated(ctx, &d, &used)
+        });
+        let base = &out.results[0];
+
+        // Parallel arrays misaligned.
+        let mut s = base.clone();
+        s.recv_globals.push(vec![4]);
+        let diags = verify_comm_schedule(&s, 2);
+        assert!(diags.iter().any(|x| x.code == codes::SPMD_BAD_SCHEDULE), "{diags:?}");
+
+        // Peer out of range.
+        let mut s = base.clone();
+        s.send_peers[0] = 7;
+        assert!(verify_comm_schedule_ok(&s, 2).is_err());
+
+        // Ghost slot count lies.
+        let mut s = base.clone();
+        s.num_ghosts += 1;
+        assert!(verify_comm_schedule_ok(&s, 2).unwrap_err().contains("BA31"));
+
+        // A received global missing from the translation table.
+        let mut s = base.clone();
+        s.ghost_of_global.remove(&9);
+        assert!(verify_comm_schedule_ok(&s, 2).is_err());
+
+        // Two globals collapsed onto one ghost slot.
+        let mut s = base.clone();
+        let slot = s.ghost_of_global[&9];
+        s.ghost_of_global.insert(12, slot);
+        assert!(verify_comm_schedule_ok(&s, 2).is_err());
+
+        // The untouched schedule stays clean.
+        assert!(verify_comm_schedule_ok(base, 2).is_ok());
+    }
 
     #[test]
     fn consistent_distribution_passes() {

@@ -1,0 +1,179 @@
+//! The `bernoulli-analysis` lint driver: run all three static passes —
+//! DO-ANY race checker, plan verifier, format-invariant sanitizer —
+//! over everything the repo builds in, and report per-pass counts.
+//!
+//! ```text
+//! cargo run --release --example lint
+//! ```
+//!
+//! Exits nonzero if any built-in kernel, plan, or format produces an
+//! error-severity finding; CI runs this as the "zero false positives"
+//! acceptance gate.
+
+use bernoulli::ast::programs;
+use bernoulli::lower::extract_query;
+use bernoulli::LoopNest;
+use bernoulli_analysis::diag::{codes, Diagnostic};
+use bernoulli_analysis::plan_verify::verify_plan;
+use bernoulli_analysis::race::check_do_any;
+use bernoulli_analysis::validate::Validate;
+use bernoulli_formats::{
+    Bsr, DenseMatrix, FormatKind, Msr, Skyline, SparseMatrix, SparseVec, Triplets,
+};
+use bernoulli_relational::access::{MatrixAccess, VecMeta, VectorAccess};
+use bernoulli_relational::ids::{MAT_A, MAT_B, PERM_P, VEC_X, VEC_Y};
+use bernoulli_relational::planner::{Planner, QueryMeta};
+use bernoulli_spmd::dist::BlockDist;
+use bernoulli_spmd::{verify_comm_schedule, CommSchedule, Machine};
+
+fn canned_programs() -> Vec<(&'static str, LoopNest)> {
+    vec![
+        ("matvec", programs::matvec()),
+        ("matvec_transposed", programs::matvec_transposed()),
+        ("matmat", programs::matmat()),
+        ("matvec_multi", programs::matvec_multi()),
+        ("mat_dot", programs::mat_dot()),
+        ("vec_dot", programs::vec_dot(true, true)),
+        ("matvec_row_permuted", programs::matvec_row_permuted()),
+    ]
+}
+
+fn report(label: &str, diags: &[Diagnostic], errors: &mut usize) {
+    for d in diags {
+        println!("  {label}: {d}");
+        if d.is_error() {
+            *errors += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut errors = 0usize;
+    let n = 16;
+    let t = bernoulli_formats::gen::random_sparse(n, n, n * 3, 42);
+
+    println!("== pass 1: DO-ANY race checker ({} kernels)", canned_programs().len());
+    let mut certified = 0;
+    for (name, nest) in canned_programs() {
+        let r = check_do_any(&nest);
+        report(name, &r.diagnostics, &mut errors);
+        if let Some(c) = r.certificate {
+            certified += 1;
+            println!("  {name}: parallel-safe ({c:?})");
+        }
+    }
+    println!("  {certified} kernels certified parallel-safe");
+
+    println!("\n== pass 2: plan verifier (all plans, all programs, all formats)");
+    let planner = Planner::default();
+    let sv = SparseVec::from_pairs(n, &[(1, 2.0), (7, -1.0), (12, 3.5)]);
+    let mut plans_checked = 0;
+    for kind in FormatKind::ALL {
+        let a = SparseMatrix::from_triplets(kind, &t);
+        let metas: Vec<(&str, LoopNest, QueryMeta)> = vec![
+            (
+                "matvec",
+                programs::matvec(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .vec(VEC_X, VecMeta::dense(n))
+                    .vec(VEC_Y, VecMeta::dense(n)),
+            ),
+            (
+                "matmat",
+                programs::matmat(),
+                QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, a.meta()),
+            ),
+            (
+                "matvec_multi",
+                programs::matvec_multi(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .mat(MAT_B, DenseMatrix::zeros(n, 4).meta()),
+            ),
+            (
+                "vec_dot",
+                programs::vec_dot(true, true),
+                QueryMeta::new().vec(VEC_X, sv.meta()).vec(VEC_Y, sv.meta()),
+            ),
+            (
+                "matvec_row_permuted",
+                programs::matvec_row_permuted(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .vec(VEC_X, VecMeta::dense(n))
+                    .vec(VEC_Y, VecMeta::dense(n))
+                    .perm(PERM_P, n),
+            ),
+        ];
+        for (name, nest, meta) in metas {
+            let q = extract_query(&nest).expect("canned programs lower");
+            match planner.plan_all(&q, &meta) {
+                Ok(plans) => {
+                    for p in &plans {
+                        report(&format!("{name}/{kind}/{}", p.shape()), &verify_plan(p, &q, &meta), &mut errors);
+                        plans_checked += 1;
+                    }
+                }
+                Err(e) => {
+                    println!("  {name}/{kind}: planning failed: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+    println!("  {plans_checked} plans verified");
+
+    println!("\n== pass 3: format-invariant sanitizer");
+    let mut formats_checked = 0;
+    for kind in FormatKind::ALL {
+        let m = SparseMatrix::from_triplets(kind, &t);
+        report(&format!("{kind}"), &m.validate(), &mut errors);
+        formats_checked += 1;
+    }
+    // Formats outside the SparseMatrix enum.
+    report("Bsr", &Bsr::from_triplets(&t, 4).validate(), &mut errors);
+    report("Msr", &Msr::from_triplets(&t).validate(), &mut errors);
+    let sym = {
+        let mut s = Triplets::new(n, n);
+        for &(r, c, v) in t.canonicalize().entries() {
+            if r >= c {
+                s.push(r, c, v);
+                if r > c {
+                    s.push(c, r, v);
+                }
+            }
+        }
+        s
+    };
+    report("Skyline", &Skyline::from_triplets(&sym).validate(), &mut errors);
+    report("SparseVec", &sv.validate(), &mut errors);
+    formats_checked += 4;
+    println!("  {formats_checked} formats validated");
+
+    println!("\n== pass 3b: SPMD communication schedules");
+    let d = BlockDist::new(24, 3);
+    let out = Machine::run(3, |ctx| {
+        let used: Vec<usize> = match ctx.rank() {
+            0 => vec![10, 23],
+            1 => vec![0, 20],
+            _ => vec![7, 8],
+        };
+        CommSchedule::build_replicated(ctx, &d, &used)
+    });
+    for (r, s) in out.results.iter().enumerate() {
+        report(&format!("proc{r}"), &verify_comm_schedule(s, 3), &mut errors);
+    }
+    println!("  {} schedules verified", out.results.len());
+
+    println!("\n== diagnostic codes");
+    for (code, summary) in codes::ALL {
+        println!("  {code}  {summary}");
+    }
+
+    if errors > 0 {
+        println!("\nlint: {errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("\nlint: clean ({certified} kernels, {plans_checked} plans, {formats_checked} formats)");
+}

@@ -6,3 +6,7 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p bernoulli-analysis --all-targets -- -D warnings
+# Static-analysis acceptance gate: every built-in kernel, plan, and
+# format must lint clean (nonzero exit on any error finding).
+cargo run --release --example lint

@@ -8,6 +8,8 @@
 //!
 //! * [`bernoulli`] — the compiler core (loop DSL → query → plan →
 //!   engines; SPMD compilation);
+//! * [`bernoulli_analysis`] — the static passes (race checker, plan
+//!   verifier, format sanitizer) behind `examples/lint.rs`;
 //! * [`bernoulli_relational`] — the relational engine;
 //! * [`bernoulli_formats`] — storage formats, generators, I/O;
 //! * [`bernoulli_blocksolve`] — the BlockSolve95 baseline substrate;
@@ -20,6 +22,7 @@
 //! paper-vs-measured results.
 
 pub use bernoulli;
+pub use bernoulli_analysis;
 pub use bernoulli_blocksolve;
 pub use bernoulli_formats;
 pub use bernoulli_relational;

@@ -1,0 +1,149 @@
+//! Cross-crate checks that the three `bernoulli-analysis` passes hold
+//! over everything the repo actually builds: the race checker
+//! certifies the canned kernels, every plan `plan_all` emits verifies
+//! clean, and the engines provably refuse `Strategy::Parallel` for a
+//! nest the race checker rejects.
+
+use bernoulli::ast::programs;
+use bernoulli::engines::{choose_strategy, SpmvEngine};
+use bernoulli::lower::extract_query;
+use bernoulli::{ExecConfig, Strategy};
+use bernoulli_analysis::plan_verify::verify_plan;
+use bernoulli_analysis::race::{check_do_any, ParallelCertificate};
+use bernoulli_formats::{DenseMatrix, FormatKind, SparseMatrix, SparseVec, Triplets};
+use bernoulli_relational::access::{MatrixAccess, VecMeta, VectorAccess};
+use bernoulli_relational::ids::{MAT_A, MAT_B, PERM_P, VEC_X, VEC_Y};
+use bernoulli_relational::planner::{Planner, QueryMeta};
+use bernoulli_relational::scalar::UpdateOp;
+
+fn sample(n: usize, seed: u64) -> Triplets {
+    bernoulli_formats::gen::random_sparse(n, n, n * 3, seed)
+}
+
+#[test]
+fn permuted_matvec_is_certified_parallel_safe() {
+    // The §2.2 permuted kernel: Y(i) covers the i↔k bijection, J is
+    // reduced over — a reduction certificate, not merely disjoint
+    // writes.
+    let r = check_do_any(&programs::matvec_row_permuted());
+    assert!(r.is_parallel_safe(), "{:?}", r.diagnostics);
+    assert_eq!(r.certificate, Some(ParallelCertificate::Reduction));
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+}
+
+#[test]
+fn mat_dot_is_reduction_only() {
+    // s += A(i,j)·B(i,j) writes a scalar: *no* loop variable is
+    // covered, so the certificate rests entirely on commutativity.
+    let r = check_do_any(&programs::mat_dot());
+    assert_eq!(r.certificate, Some(ParallelCertificate::Reduction));
+    // Flip the operator to assignment and the certificate must vanish.
+    let mut racy = programs::mat_dot();
+    racy.op = UpdateOp::Assign;
+    assert!(!check_do_any(&racy).is_parallel_safe());
+}
+
+#[test]
+fn engines_refuse_parallel_for_racy_nest() {
+    // Acceptance criterion: Strategy::Parallel is provably refused for
+    // a nest the race checker rejects, through the exact decision
+    // function every engine's compile_with_exec routes through.
+    let mut racy = programs::matvec();
+    racy.op = UpdateOp::Assign;
+    let exec = ExecConfig::with_threads(4).threshold(1);
+    let work = 1 << 20; // far above threshold: only the race gate differs
+    assert_eq!(choose_strategy(&racy, true, work, &exec), Strategy::Specialized);
+    assert_eq!(choose_strategy(&programs::matvec(), true, work, &exec), Strategy::Parallel);
+    // And the engine built from the clean nest does go parallel on the
+    // same config — the gate, not the plumbing, made the difference.
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &sample(64, 5));
+    let eng = SpmvEngine::compile_with_exec(&a, true, exec).unwrap();
+    assert_eq!(eng.strategy(), Strategy::Parallel);
+}
+
+/// Every plan `plan_all` emits for every canned program, across every
+/// storage format, passes the independent verifier with zero findings.
+#[test]
+fn all_plans_for_all_programs_verify_clean() {
+    let n = 12;
+    let t = sample(n, 9);
+    let sv = SparseVec::from_pairs(n, &[(1, 2.0), (5, -1.0), (9, 3.5)]);
+    let planner = Planner::default();
+    let mut checked = 0usize;
+
+    for kind in FormatKind::ALL {
+        let a = SparseMatrix::from_triplets(kind, &t);
+        let b = SparseMatrix::from_triplets(kind, &t);
+        let dense_multi = DenseMatrix::zeros(n, 3).meta();
+        let cases: Vec<(&str, bernoulli::LoopNest, QueryMeta)> = vec![
+            (
+                "matvec",
+                programs::matvec(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .vec(VEC_X, VecMeta::dense(n))
+                    .vec(VEC_Y, VecMeta::dense(n)),
+            ),
+            (
+                "matvec_transposed",
+                programs::matvec_transposed(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .vec(VEC_X, VecMeta::dense(n))
+                    .vec(VEC_Y, VecMeta::dense(n)),
+            ),
+            (
+                "matmat",
+                programs::matmat(),
+                QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta()),
+            ),
+            (
+                "matvec_multi",
+                programs::matvec_multi(),
+                QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, dense_multi),
+            ),
+            (
+                "mat_dot",
+                programs::mat_dot(),
+                QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta()),
+            ),
+            (
+                "vec_dot_sparse_sparse",
+                programs::vec_dot(true, true),
+                QueryMeta::new().vec(VEC_X, sv.meta()).vec(VEC_Y, sv.meta()),
+            ),
+            (
+                "vec_dot_sparse_dense",
+                programs::vec_dot(true, false),
+                QueryMeta::new().vec(VEC_X, sv.meta()).vec(VEC_Y, VecMeta::dense(n)),
+            ),
+            (
+                "matvec_row_permuted",
+                programs::matvec_row_permuted(),
+                QueryMeta::new()
+                    .mat(MAT_A, a.meta())
+                    .vec(VEC_X, VecMeta::dense(n))
+                    .vec(VEC_Y, VecMeta::dense(n))
+                    .perm(PERM_P, n),
+            ),
+        ];
+        for (name, nest, meta) in cases {
+            let q = extract_query(&nest).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let plans = planner
+                .plan_all(&q, &meta)
+                .unwrap_or_else(|e| panic!("{name} on {kind}: {e}"));
+            assert!(!plans.is_empty(), "{name} on {kind}: no plans");
+            for p in &plans {
+                let diags = verify_plan(p, &q, &meta);
+                assert!(
+                    diags.iter().all(|d| !d.is_error()),
+                    "{name} on {kind}, plan `{}`: {diags:?}",
+                    p.shape()
+                );
+                checked += 1;
+            }
+        }
+    }
+    // Sanity: the sweep actually covered a meaningful plan population.
+    assert!(checked > 100, "only {checked} plans verified");
+}
