@@ -52,6 +52,15 @@ impl Compiler {
         self
     }
 
+    /// Attach an observability handle: every compilation records its
+    /// plan provenance (shape, estimated cost, candidate count, full
+    /// EXPLAIN text) through it. The default is the disabled handle,
+    /// which costs nothing.
+    pub fn with_obs(mut self, obs: bernoulli_obs::Obs) -> Self {
+        self.planner.obs = obs;
+        self
+    }
+
     /// Compile a loop nest against concrete array metadata.
     pub fn compile(&self, nest: &LoopNest, meta: &QueryMeta) -> RelResult<CompiledKernel> {
         let query = extract_query(nest)?;

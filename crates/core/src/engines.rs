@@ -13,8 +13,10 @@
 
 use crate::ast::{programs, LoopNest};
 use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{kernels, par_kernels, ExecConfig, SparseMatrix, Validate};
-use bernoulli_relational::access::{MatrixAccess, VecMeta};
+use bernoulli_formats::{kernels, par_kernels, ExecConfig, FormatKind, SparseMatrix, Validate};
+use bernoulli_obs::events::{KernelCounters, StrategyEvent};
+use bernoulli_obs::Obs;
+use bernoulli_relational::access::{MatMeta, MatrixAccess, VecMeta};
 use bernoulli_relational::error::{RelError, RelResult};
 use bernoulli_relational::exec::Bindings;
 use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, VEC_X, VEC_Y};
@@ -37,6 +39,18 @@ pub enum Strategy {
     Interpreted,
 }
 
+impl Strategy {
+    /// The strategy's name as it appears in telemetry
+    /// ([`StrategyEvent::strategy`], validated by the report schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Specialized => "Specialized",
+            Strategy::Parallel => "Parallel",
+            Strategy::Interpreted => "Interpreted",
+        }
+    }
+}
+
 /// The one strategy decision every engine routes through.
 ///
 /// [`Strategy::Parallel`] requires all three gates: the plan must be
@@ -55,15 +69,107 @@ pub fn choose_strategy(
     work: usize,
     exec: &ExecConfig,
 ) -> Strategy {
+    strategy_decision(nest, specializable, work, exec).strategy
+}
+
+/// A strategy decision plus the gate outcomes that produced it — what
+/// [`StrategyEvent`] telemetry reports.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    strategy: Strategy,
+    /// Whether the race checker ran at all (only once specialisation
+    /// and the size gate both pass).
+    race_checked: bool,
+    race_safe: bool,
+}
+
+fn strategy_decision(
+    nest: &LoopNest,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+) -> Decision {
     if !specializable {
-        return Strategy::Interpreted;
+        return Decision { strategy: Strategy::Interpreted, race_checked: false, race_safe: false };
     }
-    if exec.should_parallelize(work)
-        && bernoulli_analysis::race::check_do_any(nest).is_parallel_safe()
-    {
-        Strategy::Parallel
-    } else {
-        Strategy::Specialized
+    if !exec.should_parallelize(work) {
+        return Decision { strategy: Strategy::Specialized, race_checked: false, race_safe: false };
+    }
+    let safe = bernoulli_analysis::race::check_do_any(nest).is_parallel_safe();
+    Decision {
+        strategy: if safe { Strategy::Parallel } else { Strategy::Specialized },
+        race_checked: true,
+        race_safe: safe,
+    }
+}
+
+/// Record one engine's compile-time decision (and bump the compile
+/// counter) through `obs`. Free on a disabled handle.
+fn record_strategy(obs: &Obs, op: &str, d: Decision, specializable: bool, work: usize, exec: &ExecConfig) {
+    obs.counter("engine.compile", 1);
+    obs.strategy(|| StrategyEvent {
+        op: op.to_string(),
+        strategy: d.strategy.name().to_string(),
+        specializable,
+        work: work as u64,
+        threshold: exec.par_threshold_nnz as u64,
+        threads: exec.threads_hint() as u64,
+        race_checked: d.race_checked,
+        race_safe: d.race_safe,
+    });
+}
+
+/// Telemetry name component for a format's specialised kernels
+/// (matches the `kernels::spmv_*` function naming).
+fn kind_slug(kind: FormatKind) -> &'static str {
+    match kind {
+        FormatKind::Dense => "dense",
+        FormatKind::Coordinate => "coo",
+        FormatKind::Csr => "csr",
+        FormatKind::Ccs => "ccs",
+        FormatKind::Cccs => "cccs",
+        FormatKind::Diagonal => "diag",
+        FormatKind::Itpack => "itpack",
+        FormatKind::JDiag => "jdiag",
+        FormatKind::Inode => "inode",
+    }
+}
+
+/// The SpMV counter model: every stored nonzero is one multiply-add;
+/// bytes = values + index structure read once (8-byte words each) plus
+/// `x` read and `y` read+written once.
+fn spmv_counters(m: &MatMeta) -> KernelCounters {
+    let nnz = m.nnz as u64;
+    KernelCounters {
+        nnz,
+        flops: 2 * nnz,
+        bytes: 8 * (2 * nnz + m.ncols as u64 + 2 * m.nrows as u64),
+    }
+}
+
+/// The SpMM (sparse × sparse) counter model. Exact flops would need the
+/// row-expansion sum; the estimate charges every `A` entry an average
+/// `B` row scan, and bytes charge both operands read once plus the
+/// expansion written through the accumulator.
+fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
+    let (an, bn) = (a.nnz as u64, b.nnz as u64);
+    let expansion = an.saturating_mul(bn) / (b.nrows.max(1) as u64);
+    KernelCounters {
+        nnz: an + bn,
+        flops: 2 * expansion,
+        bytes: 8 * 2 * (an + bn) + 16 * expansion,
+    }
+}
+
+/// The multivector (sparse × skinny dense) counter model: each stored
+/// nonzero does `k` multiply-adds against a dense row.
+fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
+    let nnz = m.nnz as u64;
+    let k = k.max(1) as u64;
+    KernelCounters {
+        nnz,
+        flops: 2 * nnz * k,
+        bytes: 8 * (2 * nnz + m.ncols as u64 * k + 2 * m.nrows as u64 * k),
     }
 }
 
@@ -93,6 +199,7 @@ pub struct SpmvEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
     exec: ExecConfig,
+    obs: Obs,
 }
 
 impl SpmvEngine {
@@ -121,6 +228,19 @@ impl SpmvEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmvEngine> {
+        Self::compile_with_exec_obs(a, allow_specialization, exec, Obs::disabled())
+    }
+
+    /// As [`SpmvEngine::compile_with_exec`], recording plan provenance
+    /// and the strategy decision through `obs`, and per-kernel counters
+    /// on every subsequent [`SpmvEngine::run`]. With [`Obs::disabled`]
+    /// this is exactly `compile_with_exec`.
+    pub fn compile_with_exec_obs(
+        a: &SparseMatrix,
+        allow_specialization: bool,
+        exec: ExecConfig,
+        obs: Obs,
+    ) -> RelResult<SpmvEngine> {
         check_operand("A", a, &exec)?;
         let m = a.meta();
         let meta = QueryMeta::new()
@@ -128,7 +248,7 @@ impl SpmvEngine {
             .vec(VEC_X, VecMeta::dense(m.ncols))
             .vec(VEC_Y, VecMeta::dense(m.nrows));
         let nest = programs::matvec();
-        let kernel = Compiler::new().compile(&nest, &meta)?;
+        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
         // Both the format's natural hierarchical traversal and the flat
         // enumeration plan compute exactly what the format's hand
         // kernel computes (A enumerated once, X directly indexed), so
@@ -136,8 +256,9 @@ impl SpmvEngine {
         let shape = kernel.shape();
         let specializable = allow_specialization
             && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
-        let strategy = choose_strategy(&nest, specializable, m.nnz, &exec);
-        Ok(SpmvEngine { kernel, strategy, exec })
+        let decision = strategy_decision(&nest, specializable, m.nnz, &exec);
+        record_strategy(&obs, "spmv", decision, specializable, m.nnz, &exec);
+        Ok(SpmvEngine { kernel, strategy: decision.strategy, exec, obs })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -152,6 +273,14 @@ impl SpmvEngine {
     /// for (same format and shape; enforced by the shape checks in the
     /// underlying paths).
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
+        if self.obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
+                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
+                Strategy::Interpreted => "interp_spmv".to_string(),
+            };
+            self.obs.kernel(&name, spmv_counters(&a.meta()));
+        }
         match self.strategy {
             Strategy::Specialized => {
                 a.spmv_acc(x, y);
@@ -175,6 +304,7 @@ pub struct SpmmEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
     exec: ExecConfig,
+    obs: Obs,
 }
 
 impl SpmmEngine {
@@ -196,11 +326,23 @@ impl SpmmEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmmEngine> {
+        Self::compile_with_exec_obs(a, b, allow_specialization, exec, Obs::disabled())
+    }
+
+    /// As [`SpmmEngine::compile_with_exec`], with telemetry through
+    /// `obs` (plan provenance, strategy decision, run-time counters).
+    pub fn compile_with_exec_obs(
+        a: &SparseMatrix,
+        b: &SparseMatrix,
+        allow_specialization: bool,
+        exec: ExecConfig,
+        obs: Obs,
+    ) -> RelResult<SpmmEngine> {
         check_operand("A", a, &exec)?;
         check_operand("B", b, &exec)?;
         let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
         let nest = programs::matmat();
-        let kernel = Compiler::new().compile(&nest, &meta)?;
+        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
         // Gustavson's traversal over two CSR operands is the one shape
         // with a hand-tuned kernel. Work estimate for the parallel gate:
         // the driver operand's nonzeros (each expands into a B-row scan).
@@ -208,8 +350,9 @@ impl SpmmEngine {
         let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
         let specializable =
             allow_specialization && both_csr && kernel.shape() == gustavson;
-        let strategy = choose_strategy(&nest, specializable, a.meta().nnz, &exec);
-        Ok(SpmmEngine { kernel, strategy, exec })
+        let decision = strategy_decision(&nest, specializable, a.meta().nnz, &exec);
+        record_strategy(&obs, "spmm", decision, specializable, a.meta().nnz, &exec);
+        Ok(SpmmEngine { kernel, strategy: decision.strategy, exec, obs })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -224,6 +367,14 @@ impl SpmmEngine {
         b: &SparseMatrix,
         c: &mut [f64],
     ) -> RelResult<()> {
+        if self.obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized => "spmm_csr_csr",
+                Strategy::Parallel => "par_spmm_csr_csr",
+                Strategy::Interpreted => "interp_spmm",
+            };
+            self.obs.kernel(name, spmm_counters(&a.meta(), &b.meta()));
+        }
         match self.strategy {
             Strategy::Specialized | Strategy::Parallel => {
                 let (SparseMatrix::Csr(ca), SparseMatrix::Csr(cb)) = (a, b) else {
@@ -263,6 +414,7 @@ pub struct SpmvMultiEngine {
     strategy: Strategy,
     k: usize,
     exec: ExecConfig,
+    obs: Obs,
 }
 
 impl SpmvMultiEngine {
@@ -284,22 +436,36 @@ impl SpmvMultiEngine {
         allow_specialization: bool,
         exec: ExecConfig,
     ) -> RelResult<SpmvMultiEngine> {
+        Self::compile_with_exec_obs(a, k, allow_specialization, exec, Obs::disabled())
+    }
+
+    /// As [`SpmvMultiEngine::compile_with_exec`], with telemetry
+    /// through `obs` (plan provenance, strategy decision, run-time
+    /// counters).
+    pub fn compile_with_exec_obs(
+        a: &SparseMatrix,
+        k: usize,
+        allow_specialization: bool,
+        exec: ExecConfig,
+        obs: Obs,
+    ) -> RelResult<SpmvMultiEngine> {
         check_operand("A", a, &exec)?;
         let m = a.meta();
         // The multivector's metadata: a dense ncols × k matrix.
         let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
         let meta = QueryMeta::new().mat(MAT_A, m).mat(MAT_B, x_meta);
         let nest = programs::matvec_multi();
-        let kernel = Compiler::new().compile(&nest, &meta)?;
+        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
         // The natural shape: rows of A, then A's entries, then the
         // dense multivector row — CSR dispatches to the blocked kernel.
         // Work estimate: nnz·k fused multiply-adds.
         let natural = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
         let is_csr = matches!(a, SparseMatrix::Csr(_));
         let specializable = allow_specialization && is_csr && kernel.shape() == natural;
-        let strategy =
-            choose_strategy(&nest, specializable, m.nnz.saturating_mul(k.max(1)), &exec);
-        Ok(SpmvMultiEngine { kernel, strategy, k, exec })
+        let work = m.nnz.saturating_mul(k.max(1));
+        let decision = strategy_decision(&nest, specializable, work, &exec);
+        record_strategy(&obs, "spmv_multi", decision, specializable, work, &exec);
+        Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, exec, obs })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -313,6 +479,14 @@ impl SpmvMultiEngine {
     /// `Y += A·X` with `X: ncols×k` and `Y: nrows×k`, both row-major.
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
         let m = a.meta();
+        if self.obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized => "spmm_csr_dense",
+                Strategy::Parallel => "par_spmm_csr_dense",
+                Strategy::Interpreted => "interp_spmv_multi",
+            };
+            self.obs.kernel(name, spmv_multi_counters(&m, self.k));
+        }
         match self.strategy {
             Strategy::Specialized => {
                 let SparseMatrix::Csr(ca) = a else {
@@ -662,5 +836,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn obs_records_plan_strategy_and_kernel_streams() {
+        let t = sample(16, 41);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        let eng = SpmvEngine::compile_with_exec_obs(&a, true, ExecConfig::serial(), obs.clone())
+            .unwrap();
+        let x = vec![1.0; 16];
+        let mut y = vec![0.0; 16];
+        eng.run(&a, &x, &mut y).unwrap();
+        eng.run(&a, &x, &mut y).unwrap();
+        let r = obs.report();
+        r.validate().unwrap();
+        // Plan provenance from the planner seam.
+        assert_eq!(r.plans.len(), 1);
+        assert_eq!(r.plans[0].shape, "i:outer(A)>j:inner(A)[X?]");
+        assert!(r.plans[0].explain.contains("probe X(j)"), "{}", r.plans[0].explain);
+        // The strategy decision with its gates.
+        assert_eq!(r.strategies.len(), 1);
+        assert_eq!(r.strategies[0].op, "spmv");
+        assert_eq!(r.strategies[0].strategy, "Specialized");
+        assert!(r.strategies[0].specializable);
+        assert!(!r.strategies[0].race_checked, "serial config never reaches the race gate");
+        assert_eq!(r.counters["engine.compile"], 1);
+        // Per-kernel counters merged across the two runs.
+        let k = &r.kernels["spmv_csr"];
+        let nnz = a.meta().nnz as u64;
+        assert_eq!((k.calls, k.nnz, k.flops), (2, 2 * nnz, 4 * nnz));
+        assert!(k.bytes > 0);
+    }
+
+    #[test]
+    fn obs_disabled_engine_is_identical_and_silent() {
+        let t = sample(20, 42);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.13).sin()).collect();
+        let silent = Obs::disabled();
+        let eng_obs =
+            SpmvEngine::compile_with_exec_obs(&a, true, ExecConfig::serial(), silent.clone())
+                .unwrap();
+        let eng = SpmvEngine::compile_with_exec(&a, true, ExecConfig::serial()).unwrap();
+        assert_eq!(eng_obs.strategy(), eng.strategy());
+        assert_eq!(eng_obs.plan_shape(), eng.plan_shape());
+        let mut y1 = vec![0.0; 20];
+        let mut y2 = vec![0.0; 20];
+        eng_obs.run(&a, &x, &mut y1).unwrap();
+        eng.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(y1, y2, "obs-threaded engine must be byte-identical when disabled");
+        assert!(silent.report().kernels.is_empty());
+    }
+
+    #[test]
+    fn obs_reports_race_gate_in_parallel_strategy() {
+        let t = sample(64, 43);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        let eng = SpmvEngine::compile_with_exec_obs(
+            &a,
+            true,
+            ExecConfig::with_threads(4).threshold(1),
+            obs.clone(),
+        )
+        .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel);
+        let r = obs.report();
+        let s = &r.strategies[0];
+        assert_eq!(s.strategy, "Parallel");
+        assert!(s.race_checked && s.race_safe);
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.threshold, 1);
+        assert_eq!(s.work, a.meta().nnz as u64);
+    }
+
+    #[test]
+    fn spmm_and_multivector_obs_kernel_names_track_strategy() {
+        let ta = sample(40, 44);
+        let tb = sample(40, 45);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
+        let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
+        let obs = Obs::enabled();
+        let par = ExecConfig::with_threads(2).threshold(1);
+        let spmm = SpmmEngine::compile_with_exec_obs(&a, &b, true, par, obs.clone()).unwrap();
+        let mut c = vec![0.0; 1600];
+        spmm.run(&a, &b, &mut c).unwrap();
+        let multi = SpmvMultiEngine::compile_with_exec_obs(&a, 3, true, par, obs.clone()).unwrap();
+        let x = vec![1.0; 120];
+        let mut y = vec![0.0; 120];
+        multi.run(&a, &x, &mut y).unwrap();
+        let r = obs.report();
+        r.validate().unwrap();
+        assert!(r.kernels.contains_key("par_spmm_csr_csr"), "{:?}", r.kernels.keys());
+        assert!(r.kernels.contains_key("par_spmm_csr_dense"), "{:?}", r.kernels.keys());
+        let ops: Vec<&str> = r.strategies.iter().map(|s| s.op.as_str()).collect();
+        assert_eq!(ops, ["spmm", "spmv_multi"]);
+        assert_eq!(r.plans.len(), 2);
     }
 }

@@ -132,6 +132,25 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Triplets, MmError> {
         }
         // Matrix Market is 1-based.
         let (r, c) = (i - 1, j - 1);
+        // Symmetric variants store only the lower triangle (i >= j,
+        // strictly so for skew-symmetric). An upper-triangle entry
+        // would be mirrored *again*, silently double-counting it — so
+        // it is a format error, not data.
+        if sym != Symmetry::General && r < c {
+            return Err(parse_err(format!(
+                "entry ({i},{j}) above the diagonal in a {} file (only the lower triangle may be stored)",
+                if sym == Symmetry::Symmetric { "symmetric" } else { "skew-symmetric" },
+            )));
+        }
+        // Skew-symmetry forces A(i,i) = -A(i,i) = 0: a stored nonzero
+        // diagonal entry contradicts the declared symmetry (pattern
+        // files imply the value 1.0, so a diagonal pattern entry is
+        // rejected too). An explicit stored zero is tolerated.
+        if sym == Symmetry::SkewSymmetric && r == c && v != 0.0 {
+            return Err(parse_err(format!(
+                "nonzero diagonal entry ({i},{i}) = {v} in a skew-symmetric file (the diagonal must be zero)"
+            )));
+        }
         t.push(r, c, v);
         match sym {
             Symmetry::General => {}
@@ -220,6 +239,70 @@ mod tests {
         write_matrix_market(&t, &mut buf).unwrap();
         let back = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(back.canonicalize(), t.canonicalize());
+    }
+
+    #[test]
+    fn symmetric_upper_triangle_entry_rejected() {
+        // Regression: an above-diagonal entry in a symmetric file used
+        // to be mirrored again, double-counting it. It must be rejected
+        // with a message naming the offending coordinate.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 2\n\
+                    1 1 1.0\n\
+                    1 3 2.0\n";
+        let err = read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(1,3)") && msg.contains("lower triangle"), "{msg}");
+    }
+
+    #[test]
+    fn skew_symmetric_upper_triangle_entry_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    3 3 1\n\
+                    1 2 5.0\n";
+        let err = read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("(1,2)") && msg.contains("skew-symmetric"), "{msg}");
+    }
+
+    #[test]
+    fn skew_symmetric_nonzero_diagonal_rejected() {
+        // Regression: A(i,i) = -A(i,i) forces a zero diagonal; a stored
+        // nonzero diagonal entry used to be kept silently.
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 2\n\
+                    1 1 3.0\n\
+                    2 1 4.0\n";
+        let err = read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("diagonal") && msg.contains("(1,1)"), "{msg}");
+        // Pattern field: a diagonal entry implies the value 1.0.
+        let pat = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n\
+                   2 2 1\n\
+                   1 1\n";
+        assert!(read_matrix_market(BufReader::new(pat.as_bytes())).is_err());
+        // An explicit stored zero on the diagonal is tolerated.
+        let zero = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 2\n\
+                    1 1 0.0\n\
+                    2 1 4.0\n";
+        let t = read_matrix_market(BufReader::new(zero.as_bytes())).unwrap();
+        // canonicalize() drops explicit zeros; only the mirrored pair remains.
+        assert_eq!(t.canonicalize().entries(), &[(0, 1, -4.0), (1, 0, 4.0)]);
+    }
+
+    #[test]
+    fn symmetric_diagonal_still_allowed() {
+        // The triangle check must not reject legitimate lower-triangle
+        // or diagonal entries of a symmetric file.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 3\n\
+                    1 1 1.0\n\
+                    2 2 2.0\n\
+                    3 1 5.0\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert!(t.is_symmetric());
+        assert_eq!(t.canonicalize().len(), 4);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! A minimal JSON emitter (the container vendors no serde; the report
+//! schema is small and fully owned by this crate, so a tiny writer
+//! keeps the crate dependency-free).
+//!
+//! Only what [`crate::report`] needs: string escaping, number
+//! formatting (Rust's shortest round-trip `Display` for `f64`, with
+//! non-finite values mapped to `null` to stay inside the JSON grammar),
+//! and push-style object/array builders producing deterministic,
+//! stable-ordered output.
+
+/// Escape and quote a string per RFC 8259.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` when non-finite).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for integral values; keep
+        // it so consumers see a float-typed field consistently.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Push-style JSON object builder (insertion-ordered).
+#[derive(Debug, Default)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Add a field with an already-serialised JSON value.
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Obj {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn str(self, key: &str, value: &str) -> Obj {
+        let v = string(value);
+        self.raw(key, v)
+    }
+
+    pub fn u64(self, key: &str, value: u64) -> Obj {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn usize(self, key: &str, value: usize) -> Obj {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn f64(self, key: &str, value: f64) -> Obj {
+        let v = number(value);
+        self.raw(key, v)
+    }
+
+    pub fn bool(self, key: &str, value: bool) -> Obj {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn finish(self) -> String {
+        let mut out = String::from("{");
+        for (k, (key, value)) in self.fields.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&string(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Serialise an iterator of already-serialised JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (k, item) in items.into_iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(string("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        // Non-ASCII passes through (JSON allows raw UTF-8).
+        assert_eq!(string("‖r‖₂"), "\"‖r‖₂\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_stay_json() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2.0");
+        assert_eq!(number(0.0), "0.0");
+        assert_eq!(number(1e-10), "0.0000000001");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let o = Obj::new()
+            .str("name", "x")
+            .u64("count", 3)
+            .f64("cost", 2.5)
+            .bool("ok", true)
+            .raw("inner", Obj::new().usize("n", 7).finish())
+            .finish();
+        assert_eq!(
+            o,
+            "{\"name\":\"x\",\"count\":3,\"cost\":2.5,\"ok\":true,\"inner\":{\"n\":7}}"
+        );
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array([]), "[]");
+    }
+}

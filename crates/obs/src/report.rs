@@ -1,0 +1,315 @@
+//! The JSON report: one stable schema covering every telemetry stream.
+//!
+//! A [`Report`] is an [`crate::Obs`] snapshot. Its JSON form is the
+//! contract between `examples/profile.rs` (the producer),
+//! `scripts/bench_parallel.sh`/`scripts/ci.sh` (the consumers) and the
+//! golden test in `tests/observability.rs` that pins the key set —
+//! making the performance trajectory diffable across PRs. Bump
+//! [`SCHEMA`] whenever a key is added, renamed or retyped.
+
+use crate::events::{
+    KernelStat, PlanEvent, SolverTrace, SpanStat, StrategyEvent, TrafficEvent, TrafficSample,
+};
+use crate::json::{array, Obj};
+use std::collections::BTreeMap;
+
+/// The schema identifier embedded in every report.
+pub const SCHEMA: &str = "bernoulli.profile/v1";
+
+/// Snapshot of everything an [`crate::Obs`] handle recorded.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    pub counters: BTreeMap<String, u64>,
+    pub spans: BTreeMap<String, SpanStat>,
+    pub plans: Vec<PlanEvent>,
+    pub strategies: Vec<StrategyEvent>,
+    pub kernels: BTreeMap<String, KernelStat>,
+    pub traffic: Vec<TrafficEvent>,
+    pub solvers: Vec<SolverTrace>,
+}
+
+fn traffic_sample_json(s: &TrafficSample) -> String {
+    Obj::new()
+        .u64("msgs_sent", s.msgs_sent)
+        .u64("bytes_sent", s.bytes_sent)
+        .u64("barriers", s.barriers)
+        .u64("allreduces", s.allreduces)
+        .u64("alltoalls", s.alltoalls)
+        .finish()
+}
+
+impl Report {
+    /// The empty (but schema-valid) report.
+    pub fn empty() -> Report {
+        Report::default()
+    }
+
+    /// Serialise to the stable JSON schema. Key order is deterministic:
+    /// maps are sorted by name, event lists keep recording order.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .fold(Obj::new(), |o, (k, v)| o.u64(k, *v))
+            .finish();
+        let spans = array(self.spans.iter().map(|(name, s)| {
+            Obj::new()
+                .str("name", name)
+                .u64("calls", s.calls)
+                .u64("total_ns", s.total_ns)
+                .finish()
+        }));
+        let plans = array(self.plans.iter().map(|p| {
+            Obj::new()
+                .str("op", &p.op)
+                .str("shape", &p.shape)
+                .f64("est_cost", p.est_cost)
+                .usize("candidates", p.candidates)
+                .raw(
+                    "runners_up",
+                    array(p.runners_up.iter().map(|(shape, cost)| {
+                        Obj::new().str("shape", shape).f64("est_cost", *cost).finish()
+                    })),
+                )
+                .str("explain", &p.explain)
+                .finish()
+        }));
+        let strategies = array(self.strategies.iter().map(|s| {
+            Obj::new()
+                .str("op", &s.op)
+                .str("strategy", &s.strategy)
+                .bool("specializable", s.specializable)
+                .u64("work", s.work)
+                .u64("threshold", s.threshold)
+                .u64("threads", s.threads)
+                .bool("race_checked", s.race_checked)
+                .bool("race_safe", s.race_safe)
+                .finish()
+        }));
+        let kernels = array(self.kernels.iter().map(|(name, k)| {
+            Obj::new()
+                .str("kernel", name)
+                .u64("calls", k.calls)
+                .u64("nnz", k.nnz)
+                .u64("flops", k.flops)
+                .u64("bytes", k.bytes)
+                .finish()
+        }));
+        let traffic = array(self.traffic.iter().map(|t| {
+            Obj::new()
+                .str("phase", &t.phase)
+                .usize("nprocs", t.nprocs)
+                .u64("elapsed_ns", t.elapsed_ns)
+                .raw("per_rank", array(t.per_rank.iter().map(traffic_sample_json)))
+                .raw("total", traffic_sample_json(&TrafficSample::total(&t.per_rank)))
+                .finish()
+        }));
+        let solvers = array(self.solvers.iter().map(|s| {
+            Obj::new()
+                .str("solver", &s.solver)
+                .usize("n", s.n)
+                .usize("iters", s.iters)
+                .bool("converged", s.converged)
+                .f64("final_residual", s.final_residual)
+                .raw("residuals", array(s.residuals.iter().map(|r| crate::json::number(*r))))
+                .finish()
+        }));
+        Obj::new()
+            .str("schema", SCHEMA)
+            .raw("counters", counters)
+            .raw("spans", spans)
+            .raw("plans", plans)
+            .raw("strategies", strategies)
+            .raw("kernels", kernels)
+            .raw("traffic", traffic)
+            .raw("solvers", solvers)
+            .finish()
+    }
+
+    /// Structural validation: the internal-consistency rules every
+    /// report must satisfy regardless of what was recorded.
+    pub fn validate(&self) -> Result<(), String> {
+        for p in &self.plans {
+            if !p.est_cost.is_finite() {
+                return Err(format!("plan {}: non-finite cost", p.shape));
+            }
+            if p.candidates == 0 {
+                return Err(format!("plan {}: zero candidates", p.shape));
+            }
+            if p.explain.is_empty() {
+                return Err(format!("plan {}: empty EXPLAIN", p.shape));
+            }
+        }
+        for s in &self.strategies {
+            if !["Specialized", "Parallel", "Interpreted"].contains(&s.strategy.as_str()) {
+                return Err(format!("strategy {}: unknown strategy {}", s.op, s.strategy));
+            }
+        }
+        for t in &self.traffic {
+            if t.per_rank.len() != t.nprocs {
+                return Err(format!(
+                    "traffic {}: {} rank samples for nprocs {}",
+                    t.phase,
+                    t.per_rank.len(),
+                    t.nprocs
+                ));
+            }
+        }
+        for s in &self.solvers {
+            if s.residuals.len() != s.iters + 1 {
+                return Err(format!(
+                    "solver {}: {} residuals for {} iterations (want iters+1)",
+                    s.solver,
+                    s.residuals.len(),
+                    s.iters
+                ));
+            }
+            if s.residuals.iter().any(|r| !r.is_finite()) {
+                return Err(format!("solver {}: non-finite residual", s.solver));
+            }
+        }
+        Ok(())
+    }
+
+    /// Coverage validation for the profile driver / CI gate: the report
+    /// must carry at least one event of every telemetry stream the
+    /// schema defines (plan provenance, strategy decisions, kernel
+    /// counters, SPMD traffic, solver traces, spans). A stream going
+    /// silent is schema drift as far as downstream diffing is
+    /// concerned, so `examples/profile.rs` fails on it.
+    pub fn validate_complete(&self) -> Result<(), String> {
+        self.validate()?;
+        let missing: Vec<&str> = [
+            ("plans", self.plans.is_empty()),
+            ("strategies", self.strategies.is_empty()),
+            ("kernels", self.kernels.is_empty()),
+            ("traffic", self.traffic.is_empty()),
+            ("solvers", self.solvers.is_empty()),
+            ("spans", self.spans.is_empty()),
+        ]
+        .iter()
+        .filter_map(|&(name, empty)| empty.then_some(name))
+        .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("telemetry streams empty: {}", missing.join(", ")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::KernelCounters;
+    use crate::Obs;
+
+    fn sample_report() -> Report {
+        let obs = Obs::enabled();
+        obs.counter("engine.compile", 1);
+        obs.span_ns("solver.cg", 1000);
+        obs.plan(|| PlanEvent {
+            op: "val(Y) += (val(A) * val(X))".into(),
+            shape: "i:outer(A)>j:inner(A)[X?]".into(),
+            est_cost: 42.5,
+            candidates: 7,
+            runners_up: vec![("(i,j):flat(A)[X?]".into(), 99.0)],
+            explain: "plan ...".into(),
+        });
+        obs.strategy(|| StrategyEvent {
+            op: "spmv".into(),
+            strategy: "Parallel".into(),
+            specializable: true,
+            work: 100_000,
+            threshold: 32_768,
+            threads: 4,
+            race_checked: true,
+            race_safe: true,
+        });
+        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 300 });
+        obs.traffic(|| TrafficEvent {
+            phase: "cg".into(),
+            nprocs: 2,
+            elapsed_ns: 5_000,
+            per_rank: vec![
+                TrafficSample { msgs_sent: 1, bytes_sent: 8, ..Default::default() },
+                TrafficSample { msgs_sent: 2, bytes_sent: 16, ..Default::default() },
+            ],
+        });
+        obs.solver(|| SolverTrace {
+            solver: "cg".into(),
+            n: 64,
+            iters: 2,
+            converged: true,
+            final_residual: 1e-12,
+            residuals: vec![1.0, 0.1, 1e-12],
+        });
+        obs.report()
+    }
+
+    #[test]
+    fn json_is_deterministic_and_carries_all_sections() {
+        let r = sample_report();
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        for key in
+            ["\"schema\"", "\"counters\"", "\"spans\"", "\"plans\"", "\"strategies\"",
+             "\"kernels\"", "\"traffic\"", "\"solvers\"", "\"per_rank\"", "\"total\""]
+        {
+            assert!(j1.contains(key), "missing {key} in {j1}");
+        }
+        assert!(j1.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+    }
+
+    #[test]
+    fn complete_report_validates() {
+        let r = sample_report();
+        r.validate().unwrap();
+        r.validate_complete().unwrap();
+    }
+
+    #[test]
+    fn empty_report_is_valid_but_incomplete() {
+        let r = Report::empty();
+        r.validate().unwrap();
+        let err = r.validate_complete().unwrap_err();
+        assert!(err.contains("plans") && err.contains("solvers"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_malformed_events() {
+        let mut r = Report::empty();
+        r.solvers.push(SolverTrace {
+            solver: "cg".into(),
+            n: 4,
+            iters: 3,
+            converged: false,
+            final_residual: 0.5,
+            residuals: vec![1.0, 0.5], // wrong length
+        });
+        assert!(r.validate().is_err());
+
+        let mut r = Report::empty();
+        r.traffic.push(TrafficEvent {
+            phase: "x".into(),
+            nprocs: 3,
+            elapsed_ns: 0,
+            per_rank: vec![TrafficSample::default()], // wrong rank count
+        });
+        assert!(r.validate().is_err());
+
+        let mut r = Report::empty();
+        r.strategies.push(StrategyEvent {
+            op: "spmv".into(),
+            strategy: "Turbo".into(), // unknown
+            specializable: true,
+            work: 0,
+            threshold: 0,
+            threads: 1,
+            race_checked: false,
+            race_safe: false,
+        });
+        assert!(r.validate().is_err());
+    }
+}

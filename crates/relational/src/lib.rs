@@ -60,6 +60,7 @@ pub mod access;
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod ids;
 pub mod permutation;
 pub mod plan;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::access::{InnerIter, MatMeta, MatrixAccess, Orientation, OuterCursor, VecMeta, VectorAccess};
     pub use crate::error::{RelError, RelResult};
     pub use crate::exec::{execute, execute_with_stats, Bindings, ExecStats};
+    pub use crate::explain::{describe_stmt, explain_plan};
     pub use crate::ids::{RelId, Var, MAT_A, MAT_B, MAT_C, VAR_I, VAR_J, VAR_K, VEC_X, VEC_Y};
     pub use crate::permutation::Permutation;
     pub use crate::plan::{Driver, JoinMethod, LoopNode, Plan, PlanNode};

@@ -27,6 +27,8 @@ use crate::plan::{
 };
 use crate::props::SearchCost;
 use crate::query::{Query, Term};
+use bernoulli_obs::events::PlanEvent;
+use bernoulli_obs::Obs;
 use std::collections::HashMap;
 
 /// Per-relation metadata registry handed to the planner.
@@ -89,6 +91,11 @@ pub struct Planner {
     /// against planner/metadata skew, wired up by `Compiler::new()`
     /// under `debug_assertions`).
     pub verifier: Option<PlanVerifier>,
+    /// Observability handle: when enabled, every successful `plan_all`
+    /// records a [`PlanEvent`] (chosen shape, cost, runners-up and the
+    /// full EXPLAIN text from [`crate::explain`]). The disabled default
+    /// is zero-cost — the event closure never runs.
+    pub obs: Obs,
 }
 
 impl Planner {
@@ -171,6 +178,22 @@ impl Planner {
                 })?;
             }
         }
+        self.obs.plan(|| {
+            let best = &candidates[0];
+            PlanEvent {
+                op: crate::explain::describe_stmt(query),
+                shape: best.shape(),
+                est_cost: best.est_cost,
+                candidates: candidates.len(),
+                runners_up: candidates
+                    .iter()
+                    .skip(1)
+                    .take(4)
+                    .map(|c| (c.shape(), c.est_cost))
+                    .collect(),
+                explain: crate::explain::explain_plan(best, query, meta),
+            }
+        });
         Ok(candidates)
     }
 
@@ -679,7 +702,11 @@ impl Planner {
 /// Whether a node's driver enumerates its variable in ascending order
 /// (precondition for merge joins at that node).
 /// Expected number of candidates a node's driver enumerates per start.
-fn node_driver_card(node: &PlanNode, meta: &QueryMeta, extents: &HashMap<Var, usize>) -> f64 {
+pub(crate) fn node_driver_card(
+    node: &PlanNode,
+    meta: &QueryMeta,
+    extents: &HashMap<Var, usize>,
+) -> f64 {
     match node {
         PlanNode::Flat(f) => meta.mats[&f.rel].nnz as f64,
         PlanNode::Loop(l) => match l.driver {
@@ -798,7 +825,7 @@ fn permutations(vars: &[Var]) -> Vec<Vec<Var>> {
 }
 
 /// Resolve the dense extent of each variable from the relation shapes.
-fn var_extents(query: &Query, meta: &QueryMeta) -> RelResult<HashMap<Var, usize>> {
+pub(crate) fn var_extents(query: &Query, meta: &QueryMeta) -> RelResult<HashMap<Var, usize>> {
     let mut ext: HashMap<Var, usize> = HashMap::new();
     let mut put = |v: Var, n: usize| {
         let e = ext.entry(v).or_insert(n);

@@ -8,6 +8,8 @@
 use crate::precond::Preconditioner;
 use crate::vecops::{axpy, dot_dist, par_axpy, par_dot, par_xpby, xpby};
 use bernoulli_formats::ExecConfig;
+use bernoulli_obs::events::SolverTrace;
+use bernoulli_obs::Obs;
 use bernoulli_spmd::machine::Ctx;
 
 /// Solver configuration.
@@ -110,6 +112,34 @@ pub fn cg_sequential_exec(
         converged: final_residual <= target || opts.rel_tol == 0.0,
         residual_history: history,
     }
+}
+
+/// As [`cg_sequential_exec`], recording the whole solve as a
+/// `solver.cg` span and the convergence trace (the residual history the
+/// solver already keeps) as a [`SolverTrace`] through `obs`. With
+/// [`Obs::disabled`] this is exactly [`cg_sequential_exec`] — the trace
+/// closure never runs.
+pub fn cg_sequential_obs(
+    matvec: impl FnMut(&[f64], &mut [f64]),
+    precond: &impl Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: CgOptions,
+    exec: &ExecConfig,
+    obs: &Obs,
+) -> CgResult {
+    let span = obs.span("solver.cg");
+    let res = cg_sequential_exec(matvec, precond, b, x, opts, exec);
+    drop(span);
+    obs.solver(|| SolverTrace {
+        solver: "cg".to_string(),
+        n: b.len(),
+        iters: res.iters,
+        converged: res.converged,
+        final_residual: res.final_residual,
+        residuals: res.residual_history.clone(),
+    });
+    res
 }
 
 /// SPMD preconditioned CG over distributed vectors. Each processor
@@ -362,5 +392,56 @@ mod tests {
         }
         let (_, rpar) = &out.results[0];
         assert!((rpar - res_seq.final_residual).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cg_obs_records_trace_matching_result() {
+        use crate::precond::DiagonalPreconditioner;
+        use bernoulli_formats::gen::grid2d_5pt;
+        use bernoulli_formats::Csr;
+        let t = grid2d_5pt(6, 6);
+        let a = Csr::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
+        let pc = DiagonalPreconditioner::from_matrix(&t);
+        let mv = |v: &[f64], out: &mut [f64]| {
+            out.fill(0.0);
+            bernoulli_formats::kernels::spmv_csr(&a, v, out);
+        };
+        let obs = Obs::enabled();
+        let mut x = vec![0.0; n];
+        let res = cg_sequential_obs(
+            mv,
+            &pc,
+            &b,
+            &mut x,
+            CgOptions::default(),
+            &ExecConfig::serial(),
+            &obs,
+        );
+        assert!(res.converged);
+        let r = obs.report();
+        r.validate().unwrap();
+        let tr = &r.solvers[0];
+        assert_eq!((tr.solver.as_str(), tr.n, tr.iters, tr.converged), ("cg", n, res.iters, true));
+        assert_eq!(tr.residuals, res.residual_history);
+        assert_eq!(tr.residuals.len(), res.iters + 1);
+        assert_eq!(r.spans["solver.cg"].calls, 1);
+
+        // Disabled handle: identical solve, no events.
+        let silent = Obs::disabled();
+        let mut x2 = vec![0.0; n];
+        let res2 = cg_sequential_obs(
+            mv,
+            &pc,
+            &b,
+            &mut x2,
+            CgOptions::default(),
+            &ExecConfig::serial(),
+            &silent,
+        );
+        assert_eq!(x, x2);
+        assert_eq!(res.residual_history, res2.residual_history);
+        assert!(silent.report().solvers.is_empty());
     }
 }

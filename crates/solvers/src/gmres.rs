@@ -12,6 +12,8 @@
 use crate::precond::Preconditioner;
 use crate::vecops::{par_axpy, par_dot, par_norm2};
 use bernoulli_formats::ExecConfig;
+use bernoulli_obs::events::SolverTrace;
+use bernoulli_obs::Obs;
 
 /// GMRES configuration.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +40,11 @@ pub struct GmresResult {
     /// Final preconditioned-residual estimate.
     pub final_residual: f64,
     pub converged: bool,
+    /// Preconditioned-residual estimate per matvec (index 0 = initial
+    /// residual; entries within a restart cycle are the Givens
+    /// recurrence estimates, so the last entry can differ slightly from
+    /// the recomputed [`GmresResult::final_residual`]).
+    pub residual_history: Vec<f64>,
 }
 
 /// Restarted GMRES. `matvec(v, out)` computes `out = A·v` (overwrite).
@@ -79,8 +86,15 @@ pub fn gmres_exec(
         precond.precondition(&scratch, &mut pre);
         par_norm2(&pre, exec)
     };
+    // One entry per matvec, index 0 = initial (the SolverTrace shape).
+    let mut history = vec![r0_norm];
     if r0_norm == 0.0 {
-        return GmresResult { iters: 0, final_residual: 0.0, converged: true };
+        return GmresResult {
+            iters: 0,
+            final_residual: 0.0,
+            converged: true,
+            residual_history: history,
+        };
     }
     let target = opts.rel_tol * r0_norm;
 
@@ -104,6 +118,7 @@ pub fn gmres_exec(
                 iters: total_iters,
                 final_residual: beta,
                 converged: beta <= target,
+                residual_history: history,
             };
         }
         v.push(pre.iter().map(|&p| p / beta).collect());
@@ -136,6 +151,9 @@ pub fn gmres_exec(
             // New rotation annihilating h[k+1][k].
             let denom = (h[k][k] * h[k][k] + hk1 * hk1).sqrt();
             if denom == 0.0 {
+                // Lucky breakdown: the estimate is unchanged from the
+                // previous step.
+                history.push(g[k].abs());
                 k_used = k + 1;
                 break;
             }
@@ -148,6 +166,7 @@ pub fn gmres_exec(
             k_used = k + 1;
 
             let res = g[k + 1].abs();
+            history.push(res);
             if res <= target || hk1 == 0.0 {
                 break;
             }
@@ -182,9 +201,36 @@ pub fn gmres_exec(
                 iters: total_iters,
                 final_residual: rn,
                 converged: rn <= target * 1.01 + f64::EPSILON,
+                residual_history: history,
             };
         }
     }
+}
+
+/// As [`gmres_exec`], recording the whole solve as a `solver.gmres`
+/// span and the convergence trace as a [`SolverTrace`] through `obs`.
+/// With [`Obs::disabled`] this is exactly [`gmres_exec`].
+pub fn gmres_obs(
+    matvec: impl FnMut(&[f64], &mut [f64]),
+    precond: &impl Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    opts: GmresOptions,
+    exec: &ExecConfig,
+    obs: &Obs,
+) -> GmresResult {
+    let span = obs.span("solver.gmres");
+    let res = gmres_exec(matvec, precond, b, x, opts, exec);
+    drop(span);
+    obs.solver(|| SolverTrace {
+        solver: "gmres".to_string(),
+        n: b.len(),
+        iters: res.iters,
+        converged: res.converged,
+        final_residual: res.final_residual,
+        residuals: res.residual_history.clone(),
+    });
+    res
 }
 
 /// SPMD restarted GMRES over distributed vectors: same algorithm as
@@ -222,8 +268,14 @@ pub fn gmres_parallel(
         precond_local.precondition(&scratch, &mut pre);
         norm_dist(ctx, &pre)
     };
+    let mut history = vec![r0_norm];
     if r0_norm == 0.0 {
-        return GmresResult { iters: 0, final_residual: 0.0, converged: true };
+        return GmresResult {
+            iters: 0,
+            final_residual: 0.0,
+            converged: true,
+            residual_history: history,
+        };
     }
     let target = opts.rel_tol * r0_norm;
 
@@ -245,6 +297,7 @@ pub fn gmres_parallel(
                 iters: total_iters,
                 final_residual: beta,
                 converged: beta <= target,
+                residual_history: history,
             };
         }
         v.push(pre.iter().map(|&p| p / beta).collect());
@@ -275,6 +328,7 @@ pub fn gmres_parallel(
             }
             let denom = (h[k][k] * h[k][k] + hk1 * hk1).sqrt();
             if denom == 0.0 {
+                history.push(g[k].abs());
                 k_used = k + 1;
                 break;
             }
@@ -285,6 +339,7 @@ pub fn gmres_parallel(
             g[k + 1] = -sn[k] * g[k];
             g[k] *= cs[k];
             k_used = k + 1;
+            history.push(g[k + 1].abs());
             if g[k + 1].abs() <= target || hk1 == 0.0 {
                 break;
             }
@@ -317,6 +372,7 @@ pub fn gmres_parallel(
                 iters: total_iters,
                 final_residual: rn,
                 converged: rn <= target * 1.01 + f64::EPSILON,
+                residual_history: history,
             };
         }
     }
@@ -508,5 +564,78 @@ mod tests {
             GmresOptions { restart: 4, max_iters: 5000, rel_tol: 1e-9 },
         );
         assert!(res.converged, "GMRES(4) residual {}", res.final_residual);
+    }
+
+    #[test]
+    fn residual_history_has_one_entry_per_matvec() {
+        let t = grid2d_5pt(7, 7);
+        let a = Csr::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let pc = DiagonalPreconditioner::from_matrix(&t);
+        for opts in [
+            GmresOptions::default(),
+            GmresOptions { restart: 3, max_iters: 11, rel_tol: 1e-14 },
+            GmresOptions { restart: 5, max_iters: 5000, rel_tol: 1e-9 },
+        ] {
+            let mut x = vec![0.0; n];
+            let res = gmres(mv(&a), &pc, &b, &mut x, opts);
+            assert_eq!(
+                res.residual_history.len(),
+                res.iters + 1,
+                "restart {} max {}",
+                opts.restart,
+                opts.max_iters
+            );
+            assert!(res.residual_history.iter().all(|r| r.is_finite()));
+        }
+        // The zero-RHS immediate return keeps the invariant too.
+        let mut x = vec![0.0; n];
+        let res = gmres(mv(&a), &pc, &vec![0.0; n], &mut x, GmresOptions::default());
+        assert_eq!(res.residual_history, vec![0.0]);
+    }
+
+    #[test]
+    fn gmres_obs_records_trace_and_span() {
+        use bernoulli_obs::Obs;
+        let t = grid2d_5pt(6, 6);
+        let a = Csr::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 4) as f64 - 1.5).collect();
+        let pc = DiagonalPreconditioner::from_matrix(&t);
+        let obs = Obs::enabled();
+        let mut x = vec![0.0; n];
+        let res = gmres_obs(
+            mv(&a),
+            &pc,
+            &b,
+            &mut x,
+            GmresOptions::default(),
+            &bernoulli_formats::ExecConfig::serial(),
+            &obs,
+        );
+        let r = obs.report();
+        r.validate().unwrap();
+        assert_eq!(r.solvers.len(), 1);
+        let tr = &r.solvers[0];
+        assert_eq!((tr.solver.as_str(), tr.n, tr.iters), ("gmres", n, res.iters));
+        assert_eq!(tr.residuals, res.residual_history);
+        assert_eq!(r.spans["solver.gmres"].calls, 1);
+
+        // Disabled handle: same numerics, nothing recorded.
+        let silent = Obs::disabled();
+        let mut x2 = vec![0.0; n];
+        let res2 = gmres_obs(
+            mv(&a),
+            &pc,
+            &b,
+            &mut x2,
+            GmresOptions::default(),
+            &bernoulli_formats::ExecConfig::serial(),
+            &silent,
+        );
+        assert_eq!(x, x2);
+        assert_eq!(res.final_residual, res2.final_residual);
+        assert!(silent.report().solvers.is_empty());
     }
 }

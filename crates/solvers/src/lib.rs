@@ -26,7 +26,7 @@ pub mod stationary;
 pub mod vecops;
 
 pub use bernoulli_formats::ExecConfig;
-pub use cg::{cg_parallel, cg_sequential, cg_sequential_exec, CgOptions, CgResult};
-pub use gmres::{gmres, gmres_exec, gmres_parallel, GmresOptions, GmresResult};
+pub use cg::{cg_parallel, cg_sequential, cg_sequential_exec, cg_sequential_obs, CgOptions, CgResult};
+pub use gmres::{gmres, gmres_exec, gmres_obs, gmres_parallel, GmresOptions, GmresResult};
 pub use ic0::Ic0;
 pub use precond::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};

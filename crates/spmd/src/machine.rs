@@ -133,14 +133,29 @@ pub struct TrafficStats {
 
 impl TrafficStats {
     /// Counter-wise difference (for phase measurement: snapshot before,
-    /// subtract after).
+    /// subtract after). Saturates at zero per counter: snapshots taken
+    /// across run boundaries (counters restart from zero each run) or
+    /// passed in the wrong order previously panicked in debug builds on
+    /// unchecked subtraction; a clamped delta is the useful answer for
+    /// phase accounting either way.
     pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
         TrafficStats {
-            msgs_sent: self.msgs_sent - earlier.msgs_sent,
-            bytes_sent: self.bytes_sent - earlier.bytes_sent,
-            barriers: self.barriers - earlier.barriers,
-            allreduces: self.allreduces - earlier.allreduces,
-            alltoalls: self.alltoalls - earlier.alltoalls,
+            msgs_sent: self.msgs_sent.saturating_sub(earlier.msgs_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+            allreduces: self.allreduces.saturating_sub(earlier.allreduces),
+            alltoalls: self.alltoalls.saturating_sub(earlier.alltoalls),
+        }
+    }
+
+    /// Plain-data mirror for the observability layer.
+    pub fn to_sample(&self) -> bernoulli_obs::events::TrafficSample {
+        bernoulli_obs::events::TrafficSample {
+            msgs_sent: self.msgs_sent,
+            bytes_sent: self.bytes_sent,
+            barriers: self.barriers,
+            allreduces: self.allreduces,
+            alltoalls: self.alltoalls,
         }
     }
 
@@ -528,6 +543,37 @@ impl PooledMachine {
         RunOutput { results, traffic }
     }
 
+    /// As [`PooledMachine::run_model`], additionally recording the
+    /// phase's wall time (span `spmd.<phase>`) and a per-rank
+    /// [`TrafficEvent`](bernoulli_obs::events::TrafficEvent) through
+    /// `obs`. On a disabled handle this is exactly `run_model` — no
+    /// clock is read and the traffic conversion never runs.
+    pub fn run_model_obs<T, F>(
+        &self,
+        network: Option<NetworkModel>,
+        phase: &str,
+        obs: &bernoulli_obs::Obs,
+        f: F,
+    ) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        let start = obs.is_enabled().then(std::time::Instant::now);
+        let out = self.run_model(network, f);
+        if let Some(t0) = start {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs.span_ns(&format!("spmd.{phase}"), ns);
+            obs.traffic(|| bernoulli_obs::events::TrafficEvent {
+                phase: phase.to_string(),
+                nprocs: self.nprocs,
+                elapsed_ns: ns,
+                per_rank: out.traffic.iter().map(TrafficStats::to_sample).collect(),
+            });
+        }
+        out
+    }
+
     /// The process-wide shared pool for `nprocs`, created on first use.
     /// Backs the static [`Machine::run`] API so every caller of a given
     /// processor count reuses one set of threads and channels.
@@ -570,6 +616,22 @@ impl Machine {
         F: Fn(&mut Ctx) -> T + Sync,
     {
         PooledMachine::shared(nprocs).run_model(network, f)
+    }
+
+    /// As [`Machine::run_model`], recording phase timing and per-rank
+    /// traffic through `obs` (see [`PooledMachine::run_model_obs`]).
+    pub fn run_model_obs<T, F>(
+        nprocs: usize,
+        network: Option<NetworkModel>,
+        phase: &str,
+        obs: &bernoulli_obs::Obs,
+        f: F,
+    ) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        PooledMachine::shared(nprocs).run_model_obs(network, phase, obs, f)
     }
 }
 
@@ -698,6 +760,60 @@ mod tests {
         }
         let total = out.total_traffic();
         assert_eq!(total.msgs_sent, 2);
+    }
+
+    #[test]
+    fn stats_since_saturates_on_mismatched_snapshots() {
+        // A "later" snapshot with smaller counters (taken after the
+        // per-run reset, or arguments swapped) must clamp to zero, not
+        // panic on debug-build underflow.
+        let big = TrafficStats {
+            msgs_sent: 5,
+            bytes_sent: 40,
+            barriers: 2,
+            allreduces: 1,
+            alltoalls: 1,
+        };
+        let small = TrafficStats { msgs_sent: 1, bytes_sent: 8, ..TrafficStats::default() };
+        let d = small.since(&big);
+        assert_eq!(d, TrafficStats::default());
+        let d = big.since(&small);
+        assert_eq!(d.msgs_sent, 4);
+        assert_eq!(d.bytes_sent, 32);
+        assert_eq!(d.barriers, 2);
+    }
+
+    #[test]
+    fn run_model_obs_records_phase_traffic() {
+        let obs = bernoulli_obs::Obs::enabled();
+        let out = Machine::run_model_obs(3, None, "ring", &obs, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.nprocs();
+            let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+            ctx.send(next, 7, Payload::F64(vec![1.0, 2.0]));
+            ctx.recv(prev, 7).into_f64().len()
+        });
+        assert_eq!(out.results, vec![2, 2, 2]);
+        let r = obs.report();
+        assert_eq!(r.traffic.len(), 1);
+        let ev = &r.traffic[0];
+        assert_eq!(ev.phase, "ring");
+        assert_eq!(ev.nprocs, 3);
+        assert_eq!(ev.per_rank.len(), 3);
+        for s in &ev.per_rank {
+            assert_eq!(s.msgs_sent, 1);
+            assert_eq!(s.bytes_sent, 16);
+        }
+        assert_eq!(r.spans["spmd.ring"].calls, 1);
+        // Disabled handle: same results, nothing recorded.
+        let off = bernoulli_obs::Obs::disabled();
+        let out2 = Machine::run_model_obs(3, None, "ring", &off, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.nprocs();
+            let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+            ctx.send(next, 7, Payload::F64(vec![1.0, 2.0]));
+            ctx.recv(prev, 7).into_f64().len()
+        });
+        assert_eq!(out2.results, out.results);
+        assert!(off.report().traffic.is_empty());
     }
 
     #[test]

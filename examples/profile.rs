@@ -1,0 +1,184 @@
+//! The observability driver: one run that exercises every telemetry
+//! stream and emits the stable JSON profile.
+//!
+//! ```text
+//! cargo run --release --example profile [OUT.json]
+//! ```
+//!
+//! Prints the `bernoulli.profile/v1` report to stdout (and to
+//! `OUT.json` when given). Exits nonzero if the report fails
+//! structural validation or any of the six streams — plan provenance,
+//! strategy decisions, kernel counters, SPMD traffic, solver traces,
+//! spans — came back empty; `scripts/ci.sh` runs this as its schema
+//! gate, so a stream going silent fails CI rather than silently
+//! producing undiffable profiles.
+
+use bernoulli::engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
+use bernoulli_formats::{gen, Csr, ExecConfig, FormatKind, SparseMatrix};
+use bernoulli_obs::Obs;
+use bernoulli_solvers::cg::{cg_parallel, cg_sequential_obs, CgOptions};
+use bernoulli_solvers::gmres::{gmres_obs, GmresOptions};
+use bernoulli_solvers::precond::DiagonalPreconditioner;
+use bernoulli_spmd::dist::{BlockDist, Distribution};
+use bernoulli_spmd::executor::gather_ghosts;
+use bernoulli_spmd::inspector::CommSchedule;
+use bernoulli_spmd::machine::Machine;
+
+fn main() {
+    let obs = Obs::enabled();
+    let t = gen::grid2d_5pt(40, 40);
+    let n = t.nrows();
+
+    // Plan provenance, strategy decisions and kernel counters: SpMV
+    // engines over three representative formats, in both the serial
+    // and the thresholded-parallel configuration.
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.037).sin()).collect();
+    for kind in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Coordinate] {
+        let a = SparseMatrix::from_triplets(kind, &t);
+        for exec in [ExecConfig::serial(), ExecConfig::with_threads(2).threshold(1)] {
+            let eng = SpmvEngine::compile_with_exec_obs(&a, true, exec, obs.clone())
+                .expect("spmv compile");
+            let mut y = vec![0.0; n];
+            eng.run(&a, &x, &mut y).expect("spmv run");
+        }
+    }
+
+    // SpMM (Gustavson) and the skinny multivector product.
+    let ts = gen::grid2d_5pt(16, 16);
+    let ns = ts.nrows();
+    let s = SparseMatrix::from_triplets(FormatKind::Csr, &ts);
+    let spmm = SpmmEngine::compile_with_exec_obs(&s, &s, true, ExecConfig::serial(), obs.clone())
+        .expect("spmm compile");
+    let mut c = vec![0.0; ns * ns];
+    spmm.run(&s, &s, &mut c).expect("spmm run");
+    let a_csr = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    let k = 4;
+    let multi =
+        SpmvMultiEngine::compile_with_exec_obs(&a_csr, k, true, ExecConfig::serial(), obs.clone())
+            .expect("multivector compile");
+    let xm = vec![1.0; n * k];
+    let mut ym = vec![0.0; n * k];
+    multi.run(&a_csr, &xm, &mut ym).expect("multivector run");
+
+    // Solver convergence traces (and their spans): CG on the SPD grid
+    // Laplacian, GMRES on an unsymmetric circuit matrix.
+    let pc = DiagonalPreconditioner::from_matrix(&t);
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let csr = Csr::from_triplets(&t);
+    let mut xs = vec![0.0; n];
+    let cg_res = cg_sequential_obs(
+        |v, out| {
+            out.fill(0.0);
+            bernoulli_formats::kernels::spmv_csr(&csr, v, out);
+        },
+        &pc,
+        &b,
+        &mut xs,
+        CgOptions::default(),
+        &ExecConfig::serial(),
+        &obs,
+    );
+    let tc = gen::circuit(300, 5);
+    let nc = tc.nrows();
+    let ac = Csr::from_triplets(&tc);
+    let pc_c = DiagonalPreconditioner::from_matrix(&tc);
+    let bc: Vec<f64> = (0..nc).map(|i| 1.0 + (i % 3) as f64).collect();
+    let mut xc = vec![0.0; nc];
+    let gm_res = gmres_obs(
+        |v, out| {
+            out.fill(0.0);
+            bernoulli_formats::kernels::spmv_csr(&ac, v, out);
+        },
+        &pc_c,
+        &bc,
+        &mut xc,
+        GmresOptions { restart: 30, max_iters: 2000, rel_tol: 1e-9 },
+        &ExecConfig::serial(),
+        &obs,
+    );
+
+    // SPMD traffic: a distributed CG (block distribution, replicated
+    // inspector, halo-exchange executor) timed and counted per rank.
+    const P: usize = 4;
+    let dist = BlockDist::new(n, P);
+    let entries = t.canonicalize();
+    Machine::run_model_obs(P, None, "cg.dist", &obs, |ctx| {
+        let me = ctx.rank();
+        let owned = dist.owned_globals(me);
+        let n_local = owned.len();
+        let mut local_rows: Vec<(usize, usize, f64)> = Vec::new();
+        for &(r, cgl, v) in entries.entries() {
+            if dist.owner(r).0 == me {
+                local_rows.push((dist.owner(r).1, cgl, v));
+            }
+        }
+        let mut used: Vec<usize> = local_rows
+            .iter()
+            .map(|&(_, cgl, _)| cgl)
+            .filter(|&cgl| dist.owner(cgl).0 != me)
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let sched = CommSchedule::build_replicated(ctx, &dist, &used);
+        let a_local = Csr::from_entries_nodup(
+            n_local,
+            n_local + sched.num_ghosts,
+            &local_rows
+                .iter()
+                .map(|&(lr, cgl, v)| {
+                    let col = match dist.owner(cgl) {
+                        (p, l) if p == me => l,
+                        _ => n_local + sched.ghost_of_global[&cgl],
+                    };
+                    (lr, col, v)
+                })
+                .collect::<Vec<_>>(),
+        );
+        let b_local: Vec<f64> = owned.iter().map(|&g| b[g]).collect();
+        let pc_local = pc.restrict(&owned);
+        let mut x_local = vec![0.0; n_local];
+        let mut xg = vec![0.0; n_local + sched.num_ghosts];
+        let res = cg_parallel(
+            ctx,
+            |ctx, p_local, out| {
+                xg[..n_local].copy_from_slice(p_local);
+                let (loc, gho) = xg.split_at_mut(n_local);
+                gather_ghosts(ctx, &sched, loc, gho);
+                out.fill(0.0);
+                bernoulli_formats::kernels::spmv_csr(&a_local, &xg, out);
+            },
+            &pc_local,
+            &b_local,
+            &mut x_local,
+            CgOptions { max_iters: 100, rel_tol: 1e-8 },
+        );
+        (res.iters, res.converged)
+    });
+
+    let report = obs.report();
+    if let Err(e) = report.validate_complete() {
+        eprintln!("profile: report failed validation: {e}");
+        std::process::exit(2);
+    }
+    let json = report.to_json();
+    if let Some(path) = std::env::args().nth(1) {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("profile: cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+    }
+    eprintln!(
+        "profile: {} plans, {} strategies, {} kernels, {} traffic phases, {} solver traces \
+         (cg {} iters conv={}, gmres {} matvecs conv={})",
+        report.plans.len(),
+        report.strategies.len(),
+        report.kernels.len(),
+        report.traffic.len(),
+        report.solvers.len(),
+        cg_res.iters,
+        cg_res.converged,
+        gm_res.iters,
+        gm_res.converged,
+    );
+    println!("{json}");
+}

@@ -11,3 +11,7 @@ cd "$(dirname "$0")/.."
 cargo bench -p bernoulli-bench --bench parallel_speedup
 echo "BENCH_parallel.json:"
 cat BENCH_parallel.json
+# Companion telemetry snapshot (bernoulli.profile/v1): plan choices,
+# strategy gates, kernel counters and traffic behind the numbers above.
+cargo run --release --example profile PROFILE.json > /dev/null
+echo "PROFILE.json written (schema bernoulli.profile/v1)"

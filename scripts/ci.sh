@@ -7,6 +7,15 @@ cargo test -q
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p bernoulli-analysis --all-targets -- -D warnings
+cargo clippy -p bernoulli-obs --all-targets -- -D warnings
 # Static-analysis acceptance gate: every built-in kernel, plan, and
 # format must lint clean (nonzero exit on any error finding).
 cargo run --release --example lint
+# Observability schema gate: the profile driver exits nonzero if the
+# report fails validation or any telemetry stream is empty; the grep
+# catches a schema-identifier drift the driver itself can't see.
+cargo run --release --example profile PROFILE.json > /dev/null
+grep -q '"schema":"bernoulli.profile/v1"' PROFILE.json
+for stream in plans strategies kernels traffic solvers spans; do
+  grep -q "\"$stream\":" PROFILE.json
+done
