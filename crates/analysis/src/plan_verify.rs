@@ -7,7 +7,7 @@
 //!
 //! * merge joins require sorted, duplicate-free levels on **both**
 //!   sides (`BA11`);
-//! * search joins require a supported [`SearchCost`] on the probed
+//! * search joins require a supported [`SearchCost`](bernoulli_relational::props::SearchCost) on the probed
 //!   level (`BA12`);
 //! * every lookup and derivation references only variables bound by
 //!   enclosing plan nodes (`BA13`), and derivations agree with the

@@ -34,7 +34,9 @@ fn bench_dispatch(c: &mut Criterion) {
         group.bench_function(format!("{}/specialized", kind.paper_name()), |b| {
             b.iter(|| fast.run(&a, black_box(&x), black_box(&mut y)).unwrap())
         });
-        let slow = SpmvEngine::compile_with(&a, false).unwrap();
+        let slow =
+            SpmvEngine::compile_in(&a, &bernoulli::ExecCtx::default().specialization(false))
+                .unwrap();
         group.bench_function(format!("{}/interpreted", kind.paper_name()), |b| {
             b.iter(|| slow.run(&a, black_box(&x), black_box(&mut y)).unwrap())
         });

@@ -8,7 +8,7 @@
 //! fork/join overhead — speedup ≈ 1 is the honest ceiling there).
 
 use bernoulli_formats::gen::grid3d_7pt;
-use bernoulli_formats::{ExecConfig, FormatKind, SparseMatrix};
+use bernoulli_formats::{ExecCtx, FormatKind, SparseMatrix};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -69,7 +69,7 @@ fn main() {
         writeln!(json, "      \"serial_s\": {serial:.6e},").unwrap();
         writeln!(json, "      \"parallel\": [").unwrap();
         for (ti, &threads) in THREAD_COUNTS.iter().enumerate() {
-            let exec = ExecConfig::with_threads(threads).threshold(1);
+            let exec = ExecCtx::with_threads(threads).threshold(1);
             let par = time_spmv(|y| a.par_spmv_acc(&x, y, &exec), n);
             let speedup = serial / par;
             eprintln!("  {threads} threads: {:.3} ms  (speedup {speedup:.2}x)", par * 1e3);

@@ -206,7 +206,7 @@ pub fn run_solver_model(
 
     let best = |xs: Vec<f64>| -> f64 { xs.into_iter().fold(f64::INFINITY, f64::min) };
 
-    let out = Machine::run_model(nprocs, network, |ctx| {
+    let out = Machine::run_in(nprocs, network, "workload", &bernoulli::ExecCtx::default(), |ctx| {
         let me = ctx.rank();
         let n_local = dist.local_len(me);
 

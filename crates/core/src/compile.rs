@@ -52,13 +52,15 @@ impl Compiler {
         self
     }
 
-    /// Attach an observability handle: every compilation records its
+    /// A compiler wired to an execution context: the planner records
     /// plan provenance (shape, estimated cost, candidate count, full
-    /// EXPLAIN text) through it. The default is the disabled handle,
-    /// which costs nothing.
-    pub fn with_obs(mut self, obs: bernoulli_obs::Obs) -> Self {
-        self.planner.obs = obs;
-        self
+    /// EXPLAIN text) through the context's observability handle. With
+    /// the default (uninstrumented) context this is exactly
+    /// [`Compiler::new`] — the disabled handle costs nothing.
+    pub fn in_ctx(ctx: &bernoulli_formats::ExecCtx) -> Self {
+        let mut c = Compiler::default();
+        c.planner.obs = ctx.obs().clone();
+        c
     }
 
     /// Compile a loop nest against concrete array metadata.

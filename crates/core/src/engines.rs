@@ -10,10 +10,17 @@
 //! unusual predicates — runs on the general interpreter, so the system
 //! is never *wrong*, only occasionally slower. The dispatch-hoisting
 //! ablation bench quantifies the difference.
+//!
+//! Every engine has exactly two entry points: `compile(operands)` — the
+//! default serial, uninstrumented context — and
+//! `compile_in(operands, &ExecCtx)`, which reads *all* policy (threads,
+//! parallel threshold, checked mode, specialization, telemetry) from
+//! the one context object instead of growing per-capability parameter
+//! variants.
 
 use crate::ast::{programs, LoopNest};
 use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{kernels, par_kernels, ExecConfig, FormatKind, SparseMatrix, Validate};
+use bernoulli_formats::{kernels, par_kernels, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate};
 use bernoulli_obs::events::{KernelCounters, StrategyEvent};
 use bernoulli_obs::Obs;
 use bernoulli_relational::access::{MatMeta, MatrixAccess, VecMeta};
@@ -55,14 +62,14 @@ impl Strategy {
 ///
 /// [`Strategy::Parallel`] requires all three gates: the plan must be
 /// specialisable (a known hand-kernel traversal), the operand must
-/// clear the [`ExecConfig`] work threshold, and — new in this PR — the
-/// DO-ANY race checker of `bernoulli-analysis` must certify the loop
-/// nest parallel-safe. The canned kernels all carry a certificate
-/// (disjoint writes or a commutative reduction), so behaviour is
-/// unchanged for them; a racy nest (say, a scatter *assignment*) is
-/// provably downgraded to [`Strategy::Specialized`] rather than run
-/// concurrently. Public so tests and downstream engines can audit the
-/// exact decision their `compile_with_exec` makes.
+/// clear the [`ExecConfig`] work threshold, and the DO-ANY race checker
+/// of `bernoulli-analysis` must certify the loop nest parallel-safe.
+/// The canned kernels all carry a certificate (disjoint writes or a
+/// commutative reduction), so behaviour is unchanged for them; a racy
+/// nest (say, a scatter *assignment*) is provably downgraded to
+/// [`Strategy::Specialized`] rather than run concurrently. Public so
+/// tests and downstream engines can audit the exact decision their
+/// `compile_in` makes.
 pub fn choose_strategy(
     nest: &LoopNest,
     specializable: bool,
@@ -121,7 +128,7 @@ fn record_strategy(obs: &Obs, op: &str, d: Decision, specializable: bool, work: 
 
 /// Telemetry name component for a format's specialised kernels
 /// (matches the `kernels::spmv_*` function naming).
-fn kind_slug(kind: FormatKind) -> &'static str {
+pub(crate) fn kind_slug(kind: FormatKind) -> &'static str {
     match kind {
         FormatKind::Dense => "dense",
         FormatKind::Coordinate => "coo",
@@ -138,7 +145,7 @@ fn kind_slug(kind: FormatKind) -> &'static str {
 /// The SpMV counter model: every stored nonzero is one multiply-add;
 /// bytes = values + index structure read once (8-byte words each) plus
 /// `x` read and `y` read+written once.
-fn spmv_counters(m: &MatMeta) -> KernelCounters {
+pub(crate) fn spmv_counters(m: &MatMeta) -> KernelCounters {
     let nnz = m.nnz as u64;
     KernelCounters {
         nnz,
@@ -151,7 +158,7 @@ fn spmv_counters(m: &MatMeta) -> KernelCounters {
 /// row-expansion sum; the estimate charges every `A` entry an average
 /// `B` row scan, and bytes charge both operands read once plus the
 /// expansion written through the accumulator.
-fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
+pub(crate) fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
     let (an, bn) = (a.nnz as u64, b.nnz as u64);
     let expansion = an.saturating_mul(bn) / (b.nrows.max(1) as u64);
     KernelCounters {
@@ -163,7 +170,7 @@ fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
 
 /// The multivector (sparse × skinny dense) counter model: each stored
 /// nonzero does `k` multiply-adds against a dense row.
-fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
+pub(crate) fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
     let nnz = m.nnz as u64;
     let k = k.max(1) as u64;
     KernelCounters {
@@ -198,67 +205,48 @@ fn natural_spmv_shape(a: &SparseMatrix) -> &'static str {
 pub struct SpmvEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
-    exec: ExecConfig,
-    obs: Obs,
+    ctx: ExecCtx,
 }
 
 impl SpmvEngine {
     /// Compile for a matrix (dense `x`/`y`), choosing the execution
-    /// strategy from the plan shape. Serial execution (the original
-    /// library behaviour); use [`SpmvEngine::compile_with_exec`] for
-    /// thresholded parallel dispatch.
+    /// strategy from the plan shape. Uses the default [`ExecCtx`]:
+    /// serial, unchecked, uninstrumented — the original library
+    /// behaviour. Use [`SpmvEngine::compile_in`] for thresholded
+    /// parallel dispatch, checked mode or telemetry.
     pub fn compile(a: &SparseMatrix) -> RelResult<SpmvEngine> {
-        Self::compile_with(a, true)
+        Self::compile_in(a, &ExecCtx::default())
     }
 
-    /// As [`SpmvEngine::compile`], optionally forbidding specialisation
-    /// (the ablation's interpreter-only mode).
-    pub fn compile_with(a: &SparseMatrix, allow_specialization: bool) -> RelResult<SpmvEngine> {
-        Self::compile_with_exec(a, allow_specialization, ExecConfig::serial())
-    }
-
-    /// Full-control compilation: the plan and specialisation decision
-    /// are exactly as in [`SpmvEngine::compile_with`]; on top of that,
-    /// a specialisable plan whose matrix clears `exec`'s work threshold
-    /// compiles to [`Strategy::Parallel`]. Below the threshold (or with
-    /// `ExecConfig::serial()`) the result is byte-identical to the
-    /// serial engine — same plan shape, same kernel, same strategy.
-    pub fn compile_with_exec(
-        a: &SparseMatrix,
-        allow_specialization: bool,
-        exec: ExecConfig,
-    ) -> RelResult<SpmvEngine> {
-        Self::compile_with_exec_obs(a, allow_specialization, exec, Obs::disabled())
-    }
-
-    /// As [`SpmvEngine::compile_with_exec`], recording plan provenance
-    /// and the strategy decision through `obs`, and per-kernel counters
-    /// on every subsequent [`SpmvEngine::run`]. With [`Obs::disabled`]
-    /// this is exactly `compile_with_exec`.
-    pub fn compile_with_exec_obs(
-        a: &SparseMatrix,
-        allow_specialization: bool,
-        exec: ExecConfig,
-        obs: Obs,
-    ) -> RelResult<SpmvEngine> {
-        check_operand("A", a, &exec)?;
+    /// Compile under an execution context. The plan is exactly as in
+    /// [`SpmvEngine::compile`]; the context decides everything else: a
+    /// specialisable plan whose matrix clears the work threshold
+    /// compiles to [`Strategy::Parallel`] (below the threshold, or
+    /// serial, the engine is byte-identical to the default one — same
+    /// plan shape, same kernel, same strategy);
+    /// [`ExecCtx::specialization`]`(false)` forces the interpreter;
+    /// [`ExecCtx::checked`] validates operands before compiling; an
+    /// [instrumented](ExecCtx::instrument) context records plan
+    /// provenance, the strategy decision and per-run kernel counters.
+    pub fn compile_in(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SpmvEngine> {
+        check_operand("A", a, ctx.config())?;
         let m = a.meta();
         let meta = QueryMeta::new()
             .mat(MAT_A, m)
             .vec(VEC_X, VecMeta::dense(m.ncols))
             .vec(VEC_Y, VecMeta::dense(m.nrows));
         let nest = programs::matvec();
-        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
+        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
         // Both the format's natural hierarchical traversal and the flat
         // enumeration plan compute exactly what the format's hand
         // kernel computes (A enumerated once, X directly indexed), so
         // either shape dispatches to it.
         let shape = kernel.shape();
-        let specializable = allow_specialization
+        let specializable = ctx.specialize()
             && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
-        let decision = strategy_decision(&nest, specializable, m.nnz, &exec);
-        record_strategy(&obs, "spmv", decision, specializable, m.nnz, &exec);
-        Ok(SpmvEngine { kernel, strategy: decision.strategy, exec, obs })
+        let decision = strategy_decision(&nest, specializable, m.nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmv", decision, specializable, m.nnz, ctx.config());
+        Ok(SpmvEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -273,13 +261,14 @@ impl SpmvEngine {
     /// for (same format and shape; enforced by the shape checks in the
     /// underlying paths).
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
-        if self.obs.is_enabled() {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
             let name = match self.strategy {
                 Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
                 Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
                 Strategy::Interpreted => "interp_spmv".to_string(),
             };
-            self.obs.kernel(&name, spmv_counters(&a.meta()));
+            obs.kernel(&name, spmv_counters(&a.meta()));
         }
         match self.strategy {
             Strategy::Specialized => {
@@ -287,7 +276,7 @@ impl SpmvEngine {
                 Ok(())
             }
             Strategy::Parallel => {
-                a.par_spmv_acc(x, y, &self.exec);
+                a.par_spmv_acc(x, y, &self.ctx);
                 Ok(())
             }
             Strategy::Interpreted => {
@@ -303,56 +292,38 @@ impl SpmvEngine {
 pub struct SpmmEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
-    exec: ExecConfig,
-    obs: Obs,
+    ctx: ExecCtx,
 }
 
 impl SpmmEngine {
+    /// Compile with the default [`ExecCtx`] (serial, unchecked,
+    /// uninstrumented).
     pub fn compile(a: &SparseMatrix, b: &SparseMatrix) -> RelResult<SpmmEngine> {
-        Self::compile_with(a, b, true)
+        Self::compile_in(a, b, &ExecCtx::default())
     }
 
-    pub fn compile_with(
+    /// Compile under an execution context (see
+    /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
+    pub fn compile_in(
         a: &SparseMatrix,
         b: &SparseMatrix,
-        allow_specialization: bool,
+        ctx: &ExecCtx,
     ) -> RelResult<SpmmEngine> {
-        Self::compile_with_exec(a, b, allow_specialization, ExecConfig::serial())
-    }
-
-    pub fn compile_with_exec(
-        a: &SparseMatrix,
-        b: &SparseMatrix,
-        allow_specialization: bool,
-        exec: ExecConfig,
-    ) -> RelResult<SpmmEngine> {
-        Self::compile_with_exec_obs(a, b, allow_specialization, exec, Obs::disabled())
-    }
-
-    /// As [`SpmmEngine::compile_with_exec`], with telemetry through
-    /// `obs` (plan provenance, strategy decision, run-time counters).
-    pub fn compile_with_exec_obs(
-        a: &SparseMatrix,
-        b: &SparseMatrix,
-        allow_specialization: bool,
-        exec: ExecConfig,
-        obs: Obs,
-    ) -> RelResult<SpmmEngine> {
-        check_operand("A", a, &exec)?;
-        check_operand("B", b, &exec)?;
+        check_operand("A", a, ctx.config())?;
+        check_operand("B", b, ctx.config())?;
         let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
         let nest = programs::matmat();
-        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
+        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
         // Gustavson's traversal over two CSR operands is the one shape
         // with a hand-tuned kernel. Work estimate for the parallel gate:
         // the driver operand's nonzeros (each expands into a B-row scan).
         let gustavson = "i:outer(A)>k:inner(A)[B?]>j:inner(B)";
         let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
         let specializable =
-            allow_specialization && both_csr && kernel.shape() == gustavson;
-        let decision = strategy_decision(&nest, specializable, a.meta().nnz, &exec);
-        record_strategy(&obs, "spmm", decision, specializable, a.meta().nnz, &exec);
-        Ok(SpmmEngine { kernel, strategy: decision.strategy, exec, obs })
+            ctx.specialize() && both_csr && kernel.shape() == gustavson;
+        let decision = strategy_decision(&nest, specializable, a.meta().nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmm", decision, specializable, a.meta().nnz, ctx.config());
+        Ok(SpmmEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -367,13 +338,14 @@ impl SpmmEngine {
         b: &SparseMatrix,
         c: &mut [f64],
     ) -> RelResult<()> {
-        if self.obs.is_enabled() {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
             let name = match self.strategy {
                 Strategy::Specialized => "spmm_csr_csr",
                 Strategy::Parallel => "par_spmm_csr_csr",
                 Strategy::Interpreted => "interp_spmm",
             };
-            self.obs.kernel(name, spmm_counters(&a.meta(), &b.meta()));
+            obs.kernel(name, spmm_counters(&a.meta(), &b.meta()));
         }
         match self.strategy {
             Strategy::Specialized | Strategy::Parallel => {
@@ -381,7 +353,7 @@ impl SpmmEngine {
                     unreachable!("specialised only for CSR×CSR")
                 };
                 let prod = if self.strategy == Strategy::Parallel {
-                    par_kernels::par_spmm_csr_csr(ca, cb, &self.exec)
+                    par_kernels::par_spmm_csr_csr(ca, cb, &self.ctx)
                 } else {
                     kernels::spmm_csr_csr(ca, cb)
                 };
@@ -413,59 +385,40 @@ pub struct SpmvMultiEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
     k: usize,
-    exec: ExecConfig,
-    obs: Obs,
+    ctx: ExecCtx,
 }
 
 impl SpmvMultiEngine {
+    /// Compile with the default [`ExecCtx`] (serial, unchecked,
+    /// uninstrumented).
     pub fn compile(a: &SparseMatrix, k: usize) -> RelResult<SpmvMultiEngine> {
-        Self::compile_with(a, k, true)
+        Self::compile_in(a, k, &ExecCtx::default())
     }
 
-    pub fn compile_with(
+    /// Compile under an execution context (see
+    /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
+    pub fn compile_in(
         a: &SparseMatrix,
         k: usize,
-        allow_specialization: bool,
+        ctx: &ExecCtx,
     ) -> RelResult<SpmvMultiEngine> {
-        Self::compile_with_exec(a, k, allow_specialization, ExecConfig::serial())
-    }
-
-    pub fn compile_with_exec(
-        a: &SparseMatrix,
-        k: usize,
-        allow_specialization: bool,
-        exec: ExecConfig,
-    ) -> RelResult<SpmvMultiEngine> {
-        Self::compile_with_exec_obs(a, k, allow_specialization, exec, Obs::disabled())
-    }
-
-    /// As [`SpmvMultiEngine::compile_with_exec`], with telemetry
-    /// through `obs` (plan provenance, strategy decision, run-time
-    /// counters).
-    pub fn compile_with_exec_obs(
-        a: &SparseMatrix,
-        k: usize,
-        allow_specialization: bool,
-        exec: ExecConfig,
-        obs: Obs,
-    ) -> RelResult<SpmvMultiEngine> {
-        check_operand("A", a, &exec)?;
+        check_operand("A", a, ctx.config())?;
         let m = a.meta();
         // The multivector's metadata: a dense ncols × k matrix.
         let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
         let meta = QueryMeta::new().mat(MAT_A, m).mat(MAT_B, x_meta);
         let nest = programs::matvec_multi();
-        let kernel = Compiler::new().with_obs(obs.clone()).compile(&nest, &meta)?;
+        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
         // The natural shape: rows of A, then A's entries, then the
         // dense multivector row — CSR dispatches to the blocked kernel.
         // Work estimate: nnz·k fused multiply-adds.
         let natural = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
         let is_csr = matches!(a, SparseMatrix::Csr(_));
-        let specializable = allow_specialization && is_csr && kernel.shape() == natural;
+        let specializable = ctx.specialize() && is_csr && kernel.shape() == natural;
         let work = m.nnz.saturating_mul(k.max(1));
-        let decision = strategy_decision(&nest, specializable, work, &exec);
-        record_strategy(&obs, "spmv_multi", decision, specializable, work, &exec);
-        Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, exec, obs })
+        let decision = strategy_decision(&nest, specializable, work, ctx.config());
+        record_strategy(ctx.obs(), "spmv_multi", decision, specializable, work, ctx.config());
+        Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, ctx: ctx.clone() })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -476,16 +429,22 @@ impl SpmvMultiEngine {
         self.kernel.shape()
     }
 
+    /// The multivector width the engine was compiled for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// `Y += A·X` with `X: ncols×k` and `Y: nrows×k`, both row-major.
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
         let m = a.meta();
-        if self.obs.is_enabled() {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
             let name = match self.strategy {
                 Strategy::Specialized => "spmm_csr_dense",
                 Strategy::Parallel => "par_spmm_csr_dense",
                 Strategy::Interpreted => "interp_spmv_multi",
             };
-            self.obs.kernel(name, spmv_multi_counters(&m, self.k));
+            obs.kernel(name, spmv_multi_counters(&m, self.k));
         }
         match self.strategy {
             Strategy::Specialized => {
@@ -499,7 +458,7 @@ impl SpmvMultiEngine {
                 let SparseMatrix::Csr(ca) = a else {
                     unreachable!("specialised only for CSR");
                 };
-                par_kernels::par_spmm_csr_dense(ca, x, self.k, y, &self.exec);
+                par_kernels::par_spmm_csr_dense(ca, x, self.k, y, &self.ctx);
                 Ok(())
             }
             Strategy::Interpreted => {
@@ -547,10 +506,11 @@ mod tests {
     fn spmv_specialized_and_interpreted_agree() {
         let t = sample(15, 2);
         let x: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).cos()).collect();
+        let interp = ExecCtx::default().specialization(false);
         for kind in FormatKind::ALL {
             let a = SparseMatrix::from_triplets(kind, &t);
             let fast = SpmvEngine::compile(&a).unwrap();
-            let slow = SpmvEngine::compile_with(&a, false).unwrap();
+            let slow = SpmvEngine::compile_in(&a, &interp).unwrap();
             assert_eq!(slow.strategy(), Strategy::Interpreted);
             let mut y1 = vec![0.0; 15];
             let mut y2 = vec![0.0; 15];
@@ -573,7 +533,8 @@ mod tests {
         let mut c1 = vec![0.0; 100];
         eng.run(&a, &b, &mut c1).unwrap();
         // Interpreted agrees.
-        let slow = SpmmEngine::compile_with(&a, &b, false).unwrap();
+        let slow =
+            SpmmEngine::compile_in(&a, &b, &ExecCtx::default().specialization(false)).unwrap();
         let mut c2 = vec![0.0; 100];
         slow.run(&a, &b, &mut c2).unwrap();
         for (x1, x2) in c1.iter().zip(&c2) {
@@ -613,6 +574,7 @@ mod tests {
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
         let eng = SpmvMultiEngine::compile(&a, k).unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized, "plan {}", eng.plan_shape());
+        assert_eq!(eng.k(), k);
         let x: Vec<f64> = (0..12 * k).map(|i| (i as f64 * 0.3).sin()).collect();
         let mut y = vec![0.0; 12 * k];
         eng.run(&a, &x, &mut y).unwrap();
@@ -626,7 +588,8 @@ mod tests {
             }
         }
         // Interpreted path agrees.
-        let slow = SpmvMultiEngine::compile_with(&a, k, false).unwrap();
+        let slow =
+            SpmvMultiEngine::compile_in(&a, k, &ExecCtx::default().specialization(false)).unwrap();
         let mut y2 = vec![0.0; 12 * k];
         slow.run(&a, &x, &mut y2).unwrap();
         for (a1, a2) in y.iter().zip(&y2) {
@@ -657,10 +620,10 @@ mod tests {
 
     #[test]
     fn spmv_parallel_only_above_threshold() {
-        // The ISSUE acceptance criterion: the engine selects Parallel
-        // only when nnz clears the ExecConfig threshold, and below the
-        // threshold it is byte-identical to the plain serial engine —
-        // same strategy, same plan shape, same results.
+        // The engine selects Parallel only when nnz clears the ctx's
+        // work threshold, and below the threshold it is byte-identical
+        // to the plain default engine — same strategy, same plan shape,
+        // same results.
         let t = sample(64, 11);
         for kind in FormatKind::ALL {
             let a = SparseMatrix::from_triplets(kind, &t);
@@ -668,19 +631,17 @@ mod tests {
             let nnz = a.meta().nnz;
             let serial = SpmvEngine::compile(&a).unwrap();
 
-            // Threshold above nnz: parallel config degrades to the
-            // exact serial engine.
+            // Threshold above nnz: parallel ctx degrades to the exact
+            // serial engine.
             let below =
-                SpmvEngine::compile_with_exec(&a, true, ExecConfig::with_threads(4).threshold(nnz + 1))
-                    .unwrap();
+                SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(nnz + 1)).unwrap();
             assert_eq!(below.strategy(), Strategy::Specialized, "format {kind}");
             assert_eq!(below.strategy(), serial.strategy(), "format {kind}");
             assert_eq!(below.plan_shape(), serial.plan_shape(), "format {kind}");
 
             // Threshold at/below nnz: Parallel, same plan shape.
             let above =
-                SpmvEngine::compile_with_exec(&a, true, ExecConfig::with_threads(4).threshold(1))
-                    .unwrap();
+                SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1)).unwrap();
             assert_eq!(above.strategy(), Strategy::Parallel, "format {kind}");
             assert_eq!(above.plan_shape(), serial.plan_shape(), "format {kind}");
 
@@ -703,10 +664,10 @@ mod tests {
     }
 
     #[test]
-    fn spmv_serial_exec_config_never_parallelizes() {
+    fn spmv_serial_ctx_never_parallelizes() {
         let t = sample(64, 12);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
-        let eng = SpmvEngine::compile_with_exec(&a, true, ExecConfig::serial()).unwrap();
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial()).unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized);
     }
 
@@ -716,8 +677,8 @@ mod tests {
         let tb = sample(40, 14);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
         let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
-        let par = SpmmEngine::compile_with_exec(&a, &b, true, ExecConfig::with_threads(4).threshold(1))
-            .unwrap();
+        let hot = ExecCtx::with_threads(4).threshold(1);
+        let par = SpmmEngine::compile_in(&a, &b, &hot).unwrap();
         assert_eq!(par.strategy(), Strategy::Parallel);
         let ser = SpmmEngine::compile(&a, &b).unwrap();
         assert_eq!(ser.strategy(), Strategy::Specialized);
@@ -730,9 +691,7 @@ mod tests {
         }
 
         let k = 3;
-        let mpar =
-            SpmvMultiEngine::compile_with_exec(&a, k, true, ExecConfig::with_threads(4).threshold(1))
-                .unwrap();
+        let mpar = SpmvMultiEngine::compile_in(&a, k, &hot).unwrap();
         assert_eq!(mpar.strategy(), Strategy::Parallel);
         let mser = SpmvMultiEngine::compile(&a, k).unwrap();
         let x: Vec<f64> = (0..40 * k).map(|i| (i as f64 * 0.17).cos()).collect();
@@ -746,11 +705,10 @@ mod tests {
 
     #[test]
     fn parallel_refused_for_racy_nest() {
-        // The ISSUE acceptance criterion: a nest the race checker
-        // rejects can never compile to Strategy::Parallel, even when
-        // the plan is specialisable and the work clears the threshold.
-        // `Y(i) = A(i,j)·X(j)` as a scatter *assignment* races on Y(i)
-        // across j-iterations (BA01).
+        // A nest the race checker rejects can never compile to
+        // Strategy::Parallel, even when the plan is specialisable and
+        // the work clears the threshold. `Y(i) = A(i,j)·X(j)` as a
+        // scatter *assignment* races on Y(i) across j-iterations (BA01).
         use bernoulli_relational::scalar::UpdateOp;
         let mut racy = programs::matvec();
         racy.op = UpdateOp::Assign;
@@ -779,7 +737,8 @@ mod tests {
             vec![2, 0],
             vec![1.0, 2.0],
         ));
-        match SpmvEngine::compile_with_exec(&bad, true, ExecConfig::serial().checked(true)) {
+        let checked = ExecCtx::serial().checked(true);
+        match SpmvEngine::compile_in(&bad, &checked) {
             Err(RelError::Validation(msg)) => {
                 assert!(msg.contains("BA23"), "{msg}");
                 assert!(msg.contains("operand A"), "{msg}");
@@ -789,16 +748,14 @@ mod tests {
         }
         // The same matrix compiles fine unchecked (and would compute
         // garbage — exactly what checked mode exists to prevent)…
-        SpmvEngine::compile_with_exec(&bad, true, ExecConfig::serial()).unwrap();
+        SpmvEngine::compile_in(&bad, &ExecCtx::serial()).unwrap();
         // …and a clean operand passes checked compilation untouched.
         let good = SparseMatrix::from_triplets(FormatKind::Csr, &sample(8, 21));
-        let eng =
-            SpmvEngine::compile_with_exec(&good, true, ExecConfig::serial().checked(true))
-                .unwrap();
+        let eng = SpmvEngine::compile_in(&good, &checked).unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized);
         // SpMM checks both operands: B is the corrupt one here.
         let ga = SparseMatrix::from_triplets(FormatKind::Csr, &sample(2, 22));
-        match SpmmEngine::compile_with_exec(&ga, &bad, true, ExecConfig::serial().checked(true)) {
+        match SpmmEngine::compile_in(&ga, &bad, &checked) {
             Err(RelError::Validation(msg)) => assert!(msg.contains("operand B"), "{msg}"),
             other => panic!("expected Validation for B, got {:?}", other.err()),
         }
@@ -843,8 +800,8 @@ mod tests {
         let t = sample(16, 41);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
         let obs = Obs::enabled();
-        let eng = SpmvEngine::compile_with_exec_obs(&a, true, ExecConfig::serial(), obs.clone())
-            .unwrap();
+        let eng =
+            SpmvEngine::compile_in(&a, &ExecCtx::serial().instrument(obs.clone())).unwrap();
         let x = vec![1.0; 16];
         let mut y = vec![0.0; 16];
         eng.run(&a, &x, &mut y).unwrap();
@@ -876,9 +833,8 @@ mod tests {
         let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.13).sin()).collect();
         let silent = Obs::disabled();
         let eng_obs =
-            SpmvEngine::compile_with_exec_obs(&a, true, ExecConfig::serial(), silent.clone())
-                .unwrap();
-        let eng = SpmvEngine::compile_with_exec(&a, true, ExecConfig::serial()).unwrap();
+            SpmvEngine::compile_in(&a, &ExecCtx::serial().instrument(silent.clone())).unwrap();
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial()).unwrap();
         assert_eq!(eng_obs.strategy(), eng.strategy());
         assert_eq!(eng_obs.plan_shape(), eng.plan_shape());
         let mut y1 = vec![0.0; 20];
@@ -894,11 +850,9 @@ mod tests {
         let t = sample(64, 43);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
         let obs = Obs::enabled();
-        let eng = SpmvEngine::compile_with_exec_obs(
+        let eng = SpmvEngine::compile_in(
             &a,
-            true,
-            ExecConfig::with_threads(4).threshold(1),
-            obs.clone(),
+            &ExecCtx::with_threads(4).threshold(1).instrument(obs.clone()),
         )
         .unwrap();
         assert_eq!(eng.strategy(), Strategy::Parallel);
@@ -918,11 +872,11 @@ mod tests {
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
         let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
         let obs = Obs::enabled();
-        let par = ExecConfig::with_threads(2).threshold(1);
-        let spmm = SpmmEngine::compile_with_exec_obs(&a, &b, true, par, obs.clone()).unwrap();
+        let par = ExecCtx::with_threads(2).threshold(1).instrument(obs.clone());
+        let spmm = SpmmEngine::compile_in(&a, &b, &par).unwrap();
         let mut c = vec![0.0; 1600];
         spmm.run(&a, &b, &mut c).unwrap();
-        let multi = SpmvMultiEngine::compile_with_exec_obs(&a, 3, true, par, obs.clone()).unwrap();
+        let multi = SpmvMultiEngine::compile_in(&a, 3, &par).unwrap();
         let x = vec![1.0; 120];
         let mut y = vec![0.0; 120];
         multi.run(&a, &x, &mut y).unwrap();

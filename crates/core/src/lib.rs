@@ -34,10 +34,13 @@ pub mod codegen;
 pub mod compile;
 pub mod engines;
 pub mod lower;
+pub mod operator;
 pub mod spmd;
 
 pub use ast::{ArrayDecl, ExprAst, LoopNest};
 pub use codegen::emit_pseudocode;
 pub use compile::{CompiledKernel, Compiler};
-pub use engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine, Strategy};
-pub use bernoulli_formats::ExecConfig;
+pub use engines::{choose_strategy, SpmmEngine, SpmvEngine, SpmvMultiEngine, Strategy};
+pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator};
+pub use bernoulli_formats::{ExecConfig, ExecCtx};
+pub use bernoulli_relational::error::{RelError, RelResult};

@@ -140,7 +140,7 @@ impl Bsr {
     /// block rows, so each `y[i]` has one writer and the per-element
     /// operation order matches [`Bsr::spmv_acc`] bit for bit). Falls
     /// back to the serial kernel below `exec`'s worker/threshold gate.
-    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecCtx) {
         use rayon::prelude::*;
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);

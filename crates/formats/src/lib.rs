@@ -62,7 +62,7 @@ pub use coo::Coo;
 pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use diag::DiagonalMatrix;
-pub use exec::ExecConfig;
+pub use exec::{ExecConfig, ExecCtx};
 pub use inode::InodeMatrix;
 pub use itpack::Itpack;
 pub use jdiag::JDiag;

@@ -175,7 +175,7 @@ impl SparseMatrix {
     /// threshold (and any run with one worker) use the serial kernels
     /// unchanged; see the family-by-family determinism contract on the
     /// [`crate::par_kernels`] module.
-    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecCtx) {
         use crate::par_kernels as pk;
         // Dense stores every element; its "work" is the full product.
         let work = match self {

@@ -126,7 +126,7 @@ impl Msr {
     /// same per-element order as the serial two-pass kernel, so the
     /// result matches [`Msr::spmv_acc`] bit for bit. Falls back to the
     /// serial kernel below `exec`'s worker/threshold gate.
-    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecConfig) {
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecCtx) {
         use rayon::prelude::*;
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);

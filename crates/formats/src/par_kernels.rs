@@ -20,11 +20,11 @@
 //! only to rounding (≤ 1e-12 relative for reasonable inputs) — the
 //! usual contract for parallel reductions.
 //!
-//! Every kernel takes an [`ExecConfig`]; below its worker/threshold
+//! Every kernel takes an [`ExecCtx`]; below its worker/threshold
 //! gate the serial kernel runs unchanged, so small operands keep the
 //! exact serial semantics (and its performance).
 
-use crate::exec::ExecConfig;
+use crate::exec::ExecCtx;
 use crate::kernels;
 use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag};
 use rayon::prelude::*;
@@ -38,7 +38,7 @@ fn chunk_rows(nrows: usize, threads: usize) -> usize {
 
 /// `y += A·x` for CRS, parallel over row blocks. Bit-identical to
 /// [`kernels::spmv_csr`].
-pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -66,7 +66,7 @@ pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 /// its padded slots in the same k-ascending order as the serial
 /// column-major sweep, so the result is bit-identical to
 /// [`kernels::spmv_itpack`].
-pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -95,7 +95,7 @@ pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecConfig) 
 /// over position blocks (each position accumulates its jagged
 /// diagonals in the same d-ascending order as serial), then scattered
 /// through `IPERM`. Bit-identical to [`kernels::spmv_jdiag`].
-pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -134,7 +134,7 @@ pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 /// applies its diagonals in the same storage order as the serial
 /// per-diagonal axpys, so the result is bit-identical to
 /// [`kernels::spmv_diag`].
-pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -163,7 +163,7 @@ pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecCo
 /// straddling a block boundary is computed partly by each side; the
 /// gather of `x` through the shared column list is redone per side).
 /// Bit-identical to [`kernels::spmv_inode`].
-pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -201,7 +201,7 @@ pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecConf
 
 /// `y += A·x` for dense row-major storage, parallel over row blocks.
 /// Bit-identical to [`DenseMatrix::matvec_acc`].
-pub fn par_matvec_dense(a: &DenseMatrix, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_matvec_dense(a: &DenseMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -260,7 +260,7 @@ fn merge_partials(y: &mut [f64], partials: &[Vec<f64>], threads: usize) {
 /// `y += A·x` for CCS, parallel over column chunks with thread-local
 /// accumulators. Matches [`kernels::spmv_ccs`] to rounding (partial
 /// sums re-associate addition).
-pub fn par_spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -287,7 +287,7 @@ pub fn par_spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 /// `y += A·x` for CCCS, parallel over stored-column chunks with
 /// thread-local accumulators. Matches [`kernels::spmv_cccs`] to
 /// rounding.
-pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -323,7 +323,7 @@ pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 
 /// `y += A·x` for COO, parallel over entry chunks with thread-local
 /// accumulators. Matches [`kernels::spmv_coo`] to rounding.
-pub fn par_spmv_coo(a: &Coo, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmv_coo(a: &Coo, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
@@ -354,7 +354,7 @@ pub fn par_spmv_coo(a: &Coo, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 /// Multi-vector SpMV `Y += A·X` (CRS × skinny row-major dense),
 /// parallel over row blocks of `Y`. Bit-identical to
 /// [`kernels::spmm_csr_dense`].
-pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &ExecConfig) {
+pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols() * k);
     assert_eq!(y.len(), a.nrows() * k);
     let t = exec.threads_hint();
@@ -385,7 +385,7 @@ pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &Ex
 /// blocks of `A`: each worker runs the serial per-row SPA over its
 /// block, and the per-block triplet lists are concatenated in block
 /// (= row) order. Bit-identical to [`kernels::spmm_csr_csr`].
-pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecConfig) -> Csr {
+pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecCtx) -> Csr {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions");
     let t = exec.threads_hint();
     if t <= 1 || a.nrows() == 0 {
@@ -472,7 +472,7 @@ mod tests {
             let mut want = vec![0.1; t.nrows()];
             m.spmv_acc(&x, &mut want);
             for threads in [2, 3, 8] {
-                let exec = ExecConfig::with_threads(threads).threshold(0);
+                let exec = ExecCtx::with_threads(threads).threshold(0);
                 let mut got = vec![0.1; t.nrows()];
                 m.par_spmv_acc(&x, &mut got, &exec);
                 assert_eq!(got, want, "format {kind}, {threads} threads");
@@ -490,7 +490,7 @@ mod tests {
             let mut want = vec![0.0; t.nrows()];
             m.spmv_acc(&x, &mut want);
             for threads in [2, 5] {
-                let exec = ExecConfig::with_threads(threads).threshold(0);
+                let exec = ExecCtx::with_threads(threads).threshold(0);
                 let mut got = vec![0.0; t.nrows()];
                 m.par_spmv_acc(&x, &mut got, &exec);
                 for (g, w) in got.iter().zip(&want) {
@@ -510,7 +510,7 @@ mod tests {
         let t = grid();
         let x = x_for(&t);
         let m = SparseMatrix::from_triplets(FormatKind::Ccs, &t);
-        let exec = ExecConfig::with_threads(4); // default threshold ≫ grid nnz
+        let exec = ExecCtx::with_threads(4); // default threshold ≫ grid nnz
         let mut want = vec![0.0; t.nrows()];
         m.spmv_acc(&x, &mut want);
         let mut got = vec![0.0; t.nrows()];
@@ -526,7 +526,7 @@ mod tests {
         let x: Vec<f64> = (0..t.ncols() * k).map(|i| (i % 17) as f64 * 0.25 - 2.0).collect();
         let mut want = vec![0.0; t.nrows() * k];
         kernels::spmm_csr_dense(&a, &x, k, &mut want);
-        let exec = ExecConfig::with_threads(3).threshold(0);
+        let exec = ExecCtx::with_threads(3).threshold(0);
         let mut got = vec![0.0; t.nrows() * k];
         par_spmm_csr_dense(&a, &x, k, &mut got, &exec);
         assert_eq!(got, want);
@@ -538,7 +538,7 @@ mod tests {
         let a = crate::Csr::from_triplets(&t);
         let b = crate::Csr::from_triplets(&t.transposed());
         let want = kernels::spmm_csr_csr(&a, &b);
-        let exec = ExecConfig::with_threads(4).threshold(0);
+        let exec = ExecCtx::with_threads(4).threshold(0);
         let got = par_spmm_csr_csr(&a, &b, &exec);
         assert_eq!(got.to_triplets().canonicalize(), want.to_triplets().canonicalize());
     }
@@ -558,7 +558,7 @@ mod tests {
         kernels::spmv_ccs(&ccs, &x, &mut ys);
         assert!(ys[0].is_nan(), "NaN·0 dropped by serial CCS kernel");
         assert!(ys[2].is_nan(), "Inf·0 dropped by serial CCS kernel");
-        let exec = ExecConfig::with_threads(3).threshold(0);
+        let exec = ExecCtx::with_threads(3).threshold(0);
         let mut yp = vec![0.0; 3];
         par_spmv_ccs(&ccs, &x, &mut yp, &exec);
         assert!(yp[0].is_nan() && yp[2].is_nan(), "parallel CCS differs from serial");
@@ -574,7 +574,7 @@ mod tests {
         for kind in FormatKind::ALL {
             let m = SparseMatrix::from_triplets(kind, &empty);
             let mut y = vec![0.0; 6];
-            m.par_spmv_acc(&x, &mut y, &ExecConfig::with_threads(4).threshold(0));
+            m.par_spmv_acc(&x, &mut y, &ExecCtx::with_threads(4).threshold(0));
             assert_eq!(y, vec![0.0; 6], "format {kind}");
         }
     }

@@ -4,7 +4,7 @@
 //! that every layer of the stack reports into — plan provenance from
 //! the planner (EXPLAIN), strategy decisions from the engines,
 //! per-kernel counters from `formats::kernels`/`par_kernels`, per-rank
-//! [`TrafficSample`]s and phase timings from the SPMD machine, and
+//! [`TrafficSample`](events::TrafficSample)s and phase timings from the SPMD machine, and
 //! residual-history convergence traces from the solvers. The motivation
 //! is the paper's own method: its entire argument rests on *measured*
 //! cost (Table 1/2 format comparisons, Table 3 inspector communication

@@ -1,7 +1,7 @@
 //! EXPLAIN: human-readable plan provenance.
 //!
 //! Renders a chosen [`Plan`] together with *why* each decision was made
-//! in terms of the declared [`LevelProps`](crate::props::LevelProps):
+//! in terms of the declared [`LevelProps`]:
 //! the join order (loop nesting), the driver enumerated at each level
 //! with its properties and expected cardinality, and each join's
 //! implementation (merge vs. search) with the partner-level properties

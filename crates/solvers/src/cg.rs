@@ -2,14 +2,16 @@
 //!
 //! Both variants are generic over the matvec, so the same solver drives
 //! the hand-written BlockSolve kernels, the Bernoulli compiled
-//! executors, and any plain storage format — the executor comparison of
-//! Table 2 swaps nothing but the matvec closure.
+//! executors, and any plain storage format. The shared-memory solver
+//! [`cg`] takes the operator through the [`Operator`] seam and all
+//! policy (parallel vector ops, telemetry) through one [`ExecCtx`];
+//! the SPMD solver [`cg_parallel`] takes a communicating matvec
+//! closure over the machine's [`Ctx`].
 
 use crate::precond::Preconditioner;
 use crate::vecops::{axpy, dot_dist, par_axpy, par_dot, par_xpby, xpby};
-use bernoulli_formats::ExecConfig;
+use bernoulli::{ExecCtx, Operator, RelResult};
 use bernoulli_obs::events::SolverTrace;
-use bernoulli_obs::Obs;
 use bernoulli_spmd::machine::Ctx;
 
 /// Solver configuration.
@@ -39,48 +41,68 @@ pub struct CgResult {
     pub converged: bool,
 }
 
-/// Sequential preconditioned CG: solves `A x = b` with `x` as the
-/// initial guess (commonly zero), `matvec(v, out)` computing
-/// `out = A·v` (must overwrite).
-pub fn cg_sequential(
-    matvec: impl FnMut(&[f64], &mut [f64]),
+/// Preconditioned CG: solves `A x = b` with `x` as the initial guess
+/// (commonly zero) and `op` applying `A` (any [`Operator`]: a bound
+/// engine, a raw matrix, a matrix-free closure).
+///
+/// The context decides everything else. `ExecCtx::default()` is the
+/// exact bit-for-bit serial solver; a parallel ctx dispatches the hot
+/// vector operations (dots, norms, axpy-style updates) through its
+/// thread pool; an [instrumented](ExecCtx::instrument) ctx records the
+/// whole solve as a `solver.cg` span plus a [`SolverTrace`] of the
+/// residual history the solver already keeps. With a disabled handle
+/// the trace closure never runs.
+pub fn cg(
+    op: &dyn Operator,
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: CgOptions,
-) -> CgResult {
-    cg_sequential_exec(matvec, precond, b, x, opts, &ExecConfig::serial())
+    ctx: &ExecCtx,
+) -> RelResult<CgResult> {
+    let obs = ctx.obs();
+    let span = obs.span("solver.cg");
+    let res = cg_inner(op, precond, b, x, opts, ctx);
+    drop(span);
+    if let Ok(res) = &res {
+        obs.solver(|| SolverTrace {
+            solver: "cg".to_string(),
+            n: b.len(),
+            iters: res.iters,
+            converged: res.converged,
+            final_residual: res.final_residual,
+            residuals: res.residual_history.clone(),
+        });
+    }
+    res
 }
 
-/// As [`cg_sequential`], with the hot vector operations (dots, norms,
-/// axpy-style updates) dispatched through `exec` — the shared-memory
-/// companion to passing a parallel matvec closure. With
-/// [`ExecConfig::serial`] every operation takes the exact serial path,
-/// so `cg_sequential` is bit-identical to the pre-parallel solver.
-pub fn cg_sequential_exec(
-    mut matvec: impl FnMut(&[f64], &mut [f64]),
+fn cg_inner(
+    op: &dyn Operator,
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: CgOptions,
-    exec: &ExecConfig,
-) -> CgResult {
+    ctx: &ExecCtx,
+) -> RelResult<CgResult> {
     let n = b.len();
     assert_eq!(x.len(), n);
+    assert_eq!(op.out_len(), n);
+    assert_eq!(op.in_len(), n);
     let mut r = vec![0.0; n];
     let mut z = vec![0.0; n];
     let mut p = vec![0.0; n];
     let mut ap = vec![0.0; n];
 
     // r = b - A x
-    matvec(x, &mut ap);
+    op.apply(x, &mut ap)?;
     for i in 0..n {
         r[i] = b[i] - ap[i];
     }
     precond.precondition(&r, &mut z);
     p.copy_from_slice(&z);
-    let mut rz = par_dot(&r, &z, exec);
-    let r0 = par_dot(&r, &r, exec).sqrt();
+    let mut rz = par_dot(&r, &z, ctx);
+    let r0 = par_dot(&r, &r, ctx).sqrt();
     let mut history = vec![r0];
     let target = opts.rel_tol * r0;
 
@@ -89,57 +111,29 @@ pub fn cg_sequential_exec(
         if history[iters] <= target && opts.rel_tol > 0.0 {
             break;
         }
-        matvec(&p, &mut ap);
-        let pap = par_dot(&p, &ap, exec);
+        op.apply(&p, &mut ap)?;
+        let pap = par_dot(&p, &ap, ctx);
         if pap == 0.0 {
             break;
         }
         let alpha = rz / pap;
-        par_axpy(alpha, &p, x, exec);
-        par_axpy(-alpha, &ap, &mut r, exec);
+        par_axpy(alpha, &p, x, ctx);
+        par_axpy(-alpha, &ap, &mut r, ctx);
         precond.precondition(&r, &mut z);
-        let rz_new = par_dot(&r, &z, exec);
+        let rz_new = par_dot(&r, &z, ctx);
         let beta = rz_new / rz;
         rz = rz_new;
-        par_xpby(&z, beta, &mut p, exec);
+        par_xpby(&z, beta, &mut p, ctx);
         iters += 1;
-        history.push(par_dot(&r, &r, exec).sqrt());
+        history.push(par_dot(&r, &r, ctx).sqrt());
     }
     let final_residual = *history.last().unwrap();
-    CgResult {
+    Ok(CgResult {
         iters,
         final_residual,
         converged: final_residual <= target || opts.rel_tol == 0.0,
         residual_history: history,
-    }
-}
-
-/// As [`cg_sequential_exec`], recording the whole solve as a
-/// `solver.cg` span and the convergence trace (the residual history the
-/// solver already keeps) as a [`SolverTrace`] through `obs`. With
-/// [`Obs::disabled`] this is exactly [`cg_sequential_exec`] — the trace
-/// closure never runs.
-pub fn cg_sequential_obs(
-    matvec: impl FnMut(&[f64], &mut [f64]),
-    precond: &impl Preconditioner,
-    b: &[f64],
-    x: &mut [f64],
-    opts: CgOptions,
-    exec: &ExecConfig,
-    obs: &Obs,
-) -> CgResult {
-    let span = obs.span("solver.cg");
-    let res = cg_sequential_exec(matvec, precond, b, x, opts, exec);
-    drop(span);
-    obs.solver(|| SolverTrace {
-        solver: "cg".to_string(),
-        n: b.len(),
-        iters: res.iters,
-        converged: res.converged,
-        final_residual: res.final_residual,
-        residuals: res.residual_history.clone(),
-    });
-    res
+    })
 }
 
 /// SPMD preconditioned CG over distributed vectors. Each processor
@@ -206,13 +200,13 @@ pub fn cg_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::precond::DiagonalPreconditioner;
     use bernoulli_formats::gen::{fem_grid_2d, grid2d_5pt};
     use bernoulli_formats::{Csr, Triplets};
     use bernoulli_spmd::dist::{BlockDist, Distribution};
     use bernoulli_spmd::executor::gather_ghosts;
     use bernoulli_spmd::inspector::CommSchedule;
     use bernoulli_spmd::machine::Machine;
-    use crate::precond::DiagonalPreconditioner;
 
     fn residual(t: &Triplets, x: &[f64], b: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
@@ -228,16 +222,7 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
         let mut x = vec![0.0; n];
         let pc = DiagonalPreconditioner::from_matrix(&t);
-        let res = cg_sequential(
-            |v, out| {
-                out.fill(0.0);
-                bernoulli_formats::kernels::spmv_csr(&a, v, out);
-            },
-            &pc,
-            &b,
-            &mut x,
-            CgOptions::default(),
-        );
+        let res = cg(&a, &pc, &b, &mut x, CgOptions::default(), &ExecCtx::default()).unwrap();
         assert!(res.converged, "residual {}", res.final_residual);
         assert!(residual(&t, &x, &b) < 1e-8);
         // Residual history monotone-ish and shrinking overall.
@@ -251,18 +236,37 @@ mod tests {
         let b = vec![1.0; t.nrows()];
         let mut x = vec![0.0; t.nrows()];
         let pc = DiagonalPreconditioner::from_matrix(&t);
-        let res = cg_sequential(
-            |v, out| {
-                out.fill(0.0);
-                bernoulli_formats::kernels::spmv_csr(&a, v, out);
-            },
+        let res = cg(
+            &a,
             &pc,
             &b,
             &mut x,
             CgOptions { max_iters: 10, rel_tol: 0.0 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert_eq!(res.iters, 10);
         assert_eq!(res.residual_history.len(), 11);
+    }
+
+    #[test]
+    fn matrix_free_operator_drives_the_same_solve() {
+        // The closure form of the pre-Operator API, via FnOperator.
+        let t = grid2d_5pt(6, 7);
+        let a = Csr::from_triplets(&t);
+        let n = t.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i % 4) as f64 - 1.0).collect();
+        let pc = DiagonalPreconditioner::from_matrix(&t);
+        let op = bernoulli::FnOperator::new(n, n, |v: &[f64], out: &mut [f64]| {
+            out.fill(0.0);
+            bernoulli_formats::kernels::spmv_csr(&a, v, out);
+        });
+        let mut x1 = vec![0.0; n];
+        let r1 = cg(&op, &pc, &b, &mut x1, CgOptions::default(), &ExecCtx::default()).unwrap();
+        let mut x2 = vec![0.0; n];
+        let r2 = cg(&a, &pc, &b, &mut x2, CgOptions::default(), &ExecCtx::default()).unwrap();
+        assert_eq!(x1, x2, "FnOperator and Csr operator must solve identically");
+        assert_eq!(r1.residual_history, r2.residual_history);
     }
 
     #[test]
@@ -277,32 +281,13 @@ mod tests {
         let pc = DiagonalPreconditioner::from_matrix(&t);
         let opts = CgOptions::default();
         let mut x_ser = vec![0.0; n];
-        let res_ser = cg_sequential(
-            |v, out| {
-                out.fill(0.0);
-                bernoulli_formats::kernels::spmv_csr(&a, v, out);
-            },
-            &pc,
-            &b,
-            &mut x_ser,
-            opts,
-        );
-        let exec = bernoulli_formats::ExecConfig::with_threads(4).threshold(1);
+        let res_ser = cg(&a, &pc, &b, &mut x_ser, opts, &ExecCtx::default()).unwrap();
+        let par = ExecCtx::with_threads(4).threshold(1);
         let mut x_par = vec![0.0; n];
-        let res_par = cg_sequential_exec(
-            |v, out| {
-                out.fill(0.0);
-                bernoulli_formats::kernels::spmv_csr(&a, v, out);
-            },
-            &pc,
-            &b,
-            &mut x_par,
-            opts,
-            &exec,
-        );
+        let res_par = cg(&a, &pc, &b, &mut x_par, opts, &par).unwrap();
         assert!(res_ser.converged && res_par.converged);
         for (p, s) in x_par.iter().zip(&x_ser) {
-            assert!((p - s).abs() < 1e-8, "exec-parallel CG diverged from serial");
+            assert!((p - s).abs() < 1e-8, "parallel-ctx CG diverged from serial");
         }
     }
 
@@ -317,16 +302,7 @@ mod tests {
 
         // Sequential reference.
         let mut x_seq = vec![0.0; n];
-        let res_seq = cg_sequential(
-            |v, out| {
-                out.fill(0.0);
-                bernoulli_formats::kernels::spmv_csr(&a, v, out);
-            },
-            &pc,
-            &b,
-            &mut x_seq,
-            opts,
-        );
+        let res_seq = cg(&a, &pc, &b, &mut x_seq, opts, &ExecCtx::default()).unwrap();
 
         // Parallel: block rows, ghost exchange per matvec.
         let nprocs = 3;
@@ -395,30 +371,17 @@ mod tests {
     }
 
     #[test]
-    fn cg_obs_records_trace_matching_result() {
-        use crate::precond::DiagonalPreconditioner;
-        use bernoulli_formats::gen::grid2d_5pt;
-        use bernoulli_formats::Csr;
+    fn instrumented_ctx_records_trace_matching_result() {
+        use bernoulli_obs::Obs;
         let t = grid2d_5pt(6, 6);
         let a = Csr::from_triplets(&t);
         let n = t.nrows();
         let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64 - 1.0).collect();
         let pc = DiagonalPreconditioner::from_matrix(&t);
-        let mv = |v: &[f64], out: &mut [f64]| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&a, v, out);
-        };
         let obs = Obs::enabled();
         let mut x = vec![0.0; n];
-        let res = cg_sequential_obs(
-            mv,
-            &pc,
-            &b,
-            &mut x,
-            CgOptions::default(),
-            &ExecConfig::serial(),
-            &obs,
-        );
+        let ctx = ExecCtx::default().instrument(obs.clone());
+        let res = cg(&a, &pc, &b, &mut x, CgOptions::default(), &ctx).unwrap();
         assert!(res.converged);
         let r = obs.report();
         r.validate().unwrap();
@@ -428,18 +391,11 @@ mod tests {
         assert_eq!(tr.residuals.len(), res.iters + 1);
         assert_eq!(r.spans["solver.cg"].calls, 1);
 
-        // Disabled handle: identical solve, no events.
+        // Default (uninstrumented) ctx: identical solve, no events.
         let silent = Obs::disabled();
         let mut x2 = vec![0.0; n];
-        let res2 = cg_sequential_obs(
-            mv,
-            &pc,
-            &b,
-            &mut x2,
-            CgOptions::default(),
-            &ExecConfig::serial(),
-            &silent,
-        );
+        let quiet = ExecCtx::default().instrument(silent.clone());
+        let res2 = cg(&a, &pc, &b, &mut x2, CgOptions::default(), &quiet).unwrap();
         assert_eq!(x, x2);
         assert_eq!(res.residual_history, res2.residual_history);
         assert!(silent.report().solvers.is_empty());

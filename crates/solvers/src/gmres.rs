@@ -11,9 +11,8 @@
 
 use crate::precond::Preconditioner;
 use crate::vecops::{par_axpy, par_dot, par_norm2};
-use bernoulli_formats::ExecConfig;
+use bernoulli::{ExecCtx, Operator, RelResult};
 use bernoulli_obs::events::SolverTrace;
-use bernoulli_obs::Obs;
 
 /// GMRES configuration.
 #[derive(Clone, Copy, Debug)]
@@ -47,30 +46,51 @@ pub struct GmresResult {
     pub residual_history: Vec<f64>,
 }
 
-/// Restarted GMRES. `matvec(v, out)` computes `out = A·v` (overwrite).
+/// Restarted GMRES: solves `A x = b` with `op` applying `A` (any
+/// [`Operator`]) and all policy carried by the [`ExecCtx`].
+///
+/// `ExecCtx::default()` is the exact serial solver; a parallel ctx
+/// dispatches the hot vector operations (Gram–Schmidt dots and
+/// orthogonalisation updates, norms) through its thread pool; an
+/// [instrumented](ExecCtx::instrument) ctx records the whole solve as a
+/// `solver.gmres` span plus a [`SolverTrace`] of the residual history.
 pub fn gmres(
-    matvec: impl FnMut(&[f64], &mut [f64]),
+    op: &dyn Operator,
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: GmresOptions,
-) -> GmresResult {
-    gmres_exec(matvec, precond, b, x, opts, &ExecConfig::serial())
+    ctx: &ExecCtx,
+) -> RelResult<GmresResult> {
+    let obs = ctx.obs();
+    let span = obs.span("solver.gmres");
+    let res = gmres_inner(op, precond, b, x, opts, ctx);
+    drop(span);
+    if let Ok(res) = &res {
+        obs.solver(|| SolverTrace {
+            solver: "gmres".to_string(),
+            n: b.len(),
+            iters: res.iters,
+            converged: res.converged,
+            final_residual: res.final_residual,
+            residuals: res.residual_history.clone(),
+        });
+    }
+    res
 }
 
-/// As [`gmres`], with the hot vector operations (Gram–Schmidt dots and
-/// orthogonalisation updates, norms) dispatched through `exec`. With
-/// [`ExecConfig::serial`] every operation takes the exact serial path.
-pub fn gmres_exec(
-    mut matvec: impl FnMut(&[f64], &mut [f64]),
+fn gmres_inner(
+    op: &dyn Operator,
     precond: &impl Preconditioner,
     b: &[f64],
     x: &mut [f64],
     opts: GmresOptions,
-    exec: &ExecConfig,
-) -> GmresResult {
+    ctx: &ExecCtx,
+) -> RelResult<GmresResult> {
     let n = b.len();
     assert_eq!(x.len(), n);
+    assert_eq!(op.out_len(), n);
+    assert_eq!(op.in_len(), n);
     let m = opts.restart.max(1);
     let mut total_iters = 0usize;
 
@@ -79,22 +99,22 @@ pub fn gmres_exec(
 
     // Preconditioned initial residual norm (for the relative target).
     let mut r0_norm = {
-        matvec(x, &mut scratch);
+        op.apply(x, &mut scratch)?;
         for i in 0..n {
             scratch[i] = b[i] - scratch[i];
         }
         precond.precondition(&scratch, &mut pre);
-        par_norm2(&pre, exec)
+        par_norm2(&pre, ctx)
     };
     // One entry per matvec, index 0 = initial (the SolverTrace shape).
     let mut history = vec![r0_norm];
     if r0_norm == 0.0 {
-        return GmresResult {
+        return Ok(GmresResult {
             iters: 0,
             final_residual: 0.0,
             converged: true,
             residual_history: history,
-        };
+        });
     }
     let target = opts.rel_tol * r0_norm;
 
@@ -107,19 +127,19 @@ pub fn gmres_exec(
         let mut g = vec![0.0f64; m + 1];
 
         // v0 = M⁻¹(b − A x) / β
-        matvec(x, &mut scratch);
+        op.apply(x, &mut scratch)?;
         for i in 0..n {
             scratch[i] = b[i] - scratch[i];
         }
         precond.precondition(&scratch, &mut pre);
-        let beta = par_norm2(&pre, exec);
+        let beta = par_norm2(&pre, ctx);
         if beta <= target || total_iters >= opts.max_iters {
-            return GmresResult {
+            return Ok(GmresResult {
                 iters: total_iters,
                 final_residual: beta,
                 converged: beta <= target,
                 residual_history: history,
-            };
+            });
         }
         v.push(pre.iter().map(|&p| p / beta).collect());
         g[0] = beta;
@@ -130,17 +150,17 @@ pub fn gmres_exec(
                 break;
             }
             // w = M⁻¹ A v_k
-            matvec(&v[k], &mut scratch);
+            op.apply(&v[k], &mut scratch)?;
             precond.precondition(&scratch, &mut pre);
             total_iters += 1;
             // Modified Gram–Schmidt.
             let mut w = pre.clone();
             for (j, vj) in v.iter().enumerate() {
-                let hjk = par_dot(&w, vj, exec);
+                let hjk = par_dot(&w, vj, ctx);
                 h[j][k] = hjk;
-                par_axpy(-hjk, vj, &mut w, exec);
+                par_axpy(-hjk, vj, &mut w, ctx);
             }
-            let hk1 = par_norm2(&w, exec);
+            let hk1 = par_norm2(&w, ctx);
             h[k + 1][k] = hk1;
             // Apply previous Givens rotations to column k.
             for j in 0..k {
@@ -191,46 +211,20 @@ pub fn gmres_exec(
         r0_norm = g[kk].abs();
         if r0_norm <= target || total_iters >= opts.max_iters {
             // Recompute the true preconditioned residual for reporting.
-            matvec(x, &mut scratch);
+            op.apply(x, &mut scratch)?;
             for i in 0..n {
                 scratch[i] = b[i] - scratch[i];
             }
             precond.precondition(&scratch, &mut pre);
-            let rn = par_norm2(&pre, exec);
-            return GmresResult {
+            let rn = par_norm2(&pre, ctx);
+            return Ok(GmresResult {
                 iters: total_iters,
                 final_residual: rn,
                 converged: rn <= target * 1.01 + f64::EPSILON,
                 residual_history: history,
-            };
+            });
         }
     }
-}
-
-/// As [`gmres_exec`], recording the whole solve as a `solver.gmres`
-/// span and the convergence trace as a [`SolverTrace`] through `obs`.
-/// With [`Obs::disabled`] this is exactly [`gmres_exec`].
-pub fn gmres_obs(
-    matvec: impl FnMut(&[f64], &mut [f64]),
-    precond: &impl Preconditioner,
-    b: &[f64],
-    x: &mut [f64],
-    opts: GmresOptions,
-    exec: &ExecConfig,
-    obs: &Obs,
-) -> GmresResult {
-    let span = obs.span("solver.gmres");
-    let res = gmres_exec(matvec, precond, b, x, opts, exec);
-    drop(span);
-    obs.solver(|| SolverTrace {
-        solver: "gmres".to_string(),
-        n: b.len(),
-        iters: res.iters,
-        converged: res.converged,
-        final_residual: res.final_residual,
-        residuals: res.residual_history.clone(),
-    });
-    res
 }
 
 /// SPMD restarted GMRES over distributed vectors: same algorithm as
@@ -385,12 +379,6 @@ mod tests {
     use bernoulli_formats::gen::{circuit, grid2d_5pt};
     use bernoulli_formats::{Csr, Triplets};
 
-    fn mv(a: &Csr) -> impl FnMut(&[f64], &mut [f64]) + '_ {
-        move |v, out| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(a, v, out);
-        }
-    }
 
     fn true_residual(t: &Triplets, x: &[f64], b: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
@@ -406,7 +394,7 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
         let mut x = vec![0.0; n];
         let pc = DiagonalPreconditioner::from_matrix(&t);
-        let res = gmres(mv(&a), &pc, &b, &mut x, GmresOptions::default());
+        let res = gmres(&a, &pc, &b, &mut x, GmresOptions::default(), &ExecCtx::default()).unwrap();
         assert!(res.converged, "residual {}", res.final_residual);
         assert!(true_residual(&t, &x, &b) < 1e-7);
     }
@@ -421,12 +409,14 @@ mod tests {
         let mut x = vec![0.0; n];
         let pc = DiagonalPreconditioner::from_matrix(&t);
         let res = gmres(
-            mv(&a),
+            &a,
             &pc,
             &b,
             &mut x,
             GmresOptions { restart: 40, max_iters: 2000, rel_tol: 1e-9 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert!(res.converged, "residual {} after {} matvecs", res.final_residual, res.iters);
         assert!(true_residual(&t, &x, &b) < 1e-5 * (n as f64).sqrt());
     }
@@ -438,7 +428,9 @@ mod tests {
         let n = t.nrows();
         let b = vec![0.0; n];
         let mut x = vec![0.0; n];
-        let res = gmres(mv(&a), &IdentityPreconditioner { n }, &b, &mut x, GmresOptions::default());
+        let res =
+            gmres(&a, &IdentityPreconditioner { n }, &b, &mut x, GmresOptions::default(), &ExecCtx::default())
+                .unwrap();
         assert!(res.converged);
         assert_eq!(res.iters, 0);
     }
@@ -453,12 +445,14 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| ((i * 37 % 19) as f64) - 9.0).collect();
         let mut x = vec![0.0; n];
         let res = gmres(
-            mv(&a),
+            &a,
             &IdentityPreconditioner { n },
             &b,
             &mut x,
             GmresOptions { restart: 5, max_iters: 7, rel_tol: 1e-14 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert!(res.iters <= 7);
         assert!(!res.converged);
     }
@@ -477,7 +471,7 @@ mod tests {
         let opts = GmresOptions { restart: 10, max_iters: 60, rel_tol: 1e-9 };
 
         let mut x_seq = vec![0.0; n];
-        let res_seq = gmres(mv(&a), &pc, &b, &mut x_seq, opts);
+        let res_seq = gmres(&a, &pc, &b, &mut x_seq, opts, &ExecCtx::default()).unwrap();
         assert!(res_seq.converged);
 
         let nprocs = 3;
@@ -557,12 +551,14 @@ mod tests {
         let mut x = vec![0.0; n];
         let pc = DiagonalPreconditioner::from_matrix(&t);
         let res = gmres(
-            mv(&a),
+            &a,
             &pc,
             &b,
             &mut x,
             GmresOptions { restart: 4, max_iters: 5000, rel_tol: 1e-9 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert!(res.converged, "GMRES(4) residual {}", res.final_residual);
     }
 
@@ -579,7 +575,7 @@ mod tests {
             GmresOptions { restart: 5, max_iters: 5000, rel_tol: 1e-9 },
         ] {
             let mut x = vec![0.0; n];
-            let res = gmres(mv(&a), &pc, &b, &mut x, opts);
+            let res = gmres(&a, &pc, &b, &mut x, opts, &ExecCtx::default()).unwrap();
             assert_eq!(
                 res.residual_history.len(),
                 res.iters + 1,
@@ -591,12 +587,13 @@ mod tests {
         }
         // The zero-RHS immediate return keeps the invariant too.
         let mut x = vec![0.0; n];
-        let res = gmres(mv(&a), &pc, &vec![0.0; n], &mut x, GmresOptions::default());
+        let res = gmres(&a, &pc, &vec![0.0; n], &mut x, GmresOptions::default(), &ExecCtx::default())
+            .unwrap();
         assert_eq!(res.residual_history, vec![0.0]);
     }
 
     #[test]
-    fn gmres_obs_records_trace_and_span() {
+    fn instrumented_ctx_records_trace_and_span() {
         use bernoulli_obs::Obs;
         let t = grid2d_5pt(6, 6);
         let a = Csr::from_triplets(&t);
@@ -605,15 +602,8 @@ mod tests {
         let pc = DiagonalPreconditioner::from_matrix(&t);
         let obs = Obs::enabled();
         let mut x = vec![0.0; n];
-        let res = gmres_obs(
-            mv(&a),
-            &pc,
-            &b,
-            &mut x,
-            GmresOptions::default(),
-            &bernoulli_formats::ExecConfig::serial(),
-            &obs,
-        );
+        let ctx = ExecCtx::default().instrument(obs.clone());
+        let res = gmres(&a, &pc, &b, &mut x, GmresOptions::default(), &ctx).unwrap();
         let r = obs.report();
         r.validate().unwrap();
         assert_eq!(r.solvers.len(), 1);
@@ -625,15 +615,8 @@ mod tests {
         // Disabled handle: same numerics, nothing recorded.
         let silent = Obs::disabled();
         let mut x2 = vec![0.0; n];
-        let res2 = gmres_obs(
-            mv(&a),
-            &pc,
-            &b,
-            &mut x2,
-            GmresOptions::default(),
-            &bernoulli_formats::ExecConfig::serial(),
-            &silent,
-        );
+        let quiet = ExecCtx::default().instrument(silent.clone());
+        let res2 = gmres(&a, &pc, &b, &mut x2, GmresOptions::default(), &quiet).unwrap();
         assert_eq!(x, x2);
         assert_eq!(res.final_residual, res2.final_residual);
         assert!(silent.report().solvers.is_empty());

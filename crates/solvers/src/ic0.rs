@@ -182,7 +182,8 @@ impl Preconditioner for Ic0 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cg::{cg_sequential, CgOptions};
+    use crate::cg::{cg, CgOptions};
+    use bernoulli::ExecCtx;
     use crate::precond::DiagonalPreconditioner;
     use bernoulli_formats::gen::grid2d_5pt;
     use bernoulli_formats::DenseMatrix;
@@ -260,16 +261,12 @@ mod tests {
         let a = bernoulli_formats::Csr::from_triplets(&t);
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
         let opts = CgOptions { max_iters: 500, rel_tol: 1e-10 };
-        let mv = |v: &[f64], out: &mut [f64]| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&a, v, out);
-        };
         let mut x1 = vec![0.0; n];
         let diag = DiagonalPreconditioner::from_matrix(&t);
-        let r1 = cg_sequential(mv, &diag, &b, &mut x1, opts);
+        let r1 = cg(&a, &diag, &b, &mut x1, opts, &ExecCtx::default()).unwrap();
         let mut x2 = vec![0.0; n];
         let ic = Ic0::factor(&t).unwrap();
-        let r2 = cg_sequential(mv, &ic, &b, &mut x2, opts);
+        let r2 = cg(&a, &ic, &b, &mut x2, opts, &ExecCtx::default()).unwrap();
         assert!(r1.converged && r2.converged);
         assert!(
             r2.iters < r1.iters,

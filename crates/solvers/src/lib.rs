@@ -7,10 +7,17 @@
 //! identically on hand-written BlockSolve kernels, compiler-generated
 //! executors, or any storage format.
 //!
+//! Every shared-memory solver has exactly one entry point: it applies
+//! the matrix through the [`Operator`] seam of the core crate (a bound
+//! engine, a raw format, or a matrix-free closure all qualify) and
+//! takes one [`ExecCtx`] carrying all policy — parallel vector-op
+//! dispatch, checked mode, telemetry. `ExecCtx::default()` reproduces
+//! the historical serial solvers bit for bit.
+//!
 //! * [`vecops`] — dense vector primitives and their distributed
 //!   counterparts (local part + all-reduce);
 //! * [`precond`] — the diagonal (Jacobi) preconditioner;
-//! * [`cg`] — preconditioned CG, sequential and parallel;
+//! * [`mod@cg`] — preconditioned CG, sequential and parallel;
 //! * [`stationary`] — Jacobi and Chebyshev iterations (extensions
 //!   beyond the paper's experiments, same substrate);
 //! * [`ic0`] — incomplete Cholesky IC(0) with sparse triangular
@@ -25,8 +32,8 @@ pub mod precond;
 pub mod stationary;
 pub mod vecops;
 
-pub use bernoulli_formats::ExecConfig;
-pub use cg::{cg_parallel, cg_sequential, cg_sequential_exec, cg_sequential_obs, CgOptions, CgResult};
-pub use gmres::{gmres, gmres_exec, gmres_obs, gmres_parallel, GmresOptions, GmresResult};
+pub use bernoulli::{ExecCtx, FnOperator, Operator};
+pub use cg::{cg, cg_parallel, CgOptions, CgResult};
+pub use gmres::{gmres, gmres_parallel, GmresOptions, GmresResult};
 pub use ic0::Ic0;
 pub use precond::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};

@@ -5,7 +5,7 @@
 //! experiments, where vectors are distributed exactly like the matrix
 //! rows.
 
-use bernoulli_formats::ExecConfig;
+use bernoulli_formats::ExecCtx;
 use bernoulli_spmd::machine::Ctx;
 use rayon::prelude::*;
 
@@ -48,9 +48,9 @@ pub fn scale(alpha: f64, y: &mut [f64]) {
 /// Falls back to the serial [`dot`] below `exec`'s work threshold.
 /// When parallel, each worker sums a contiguous chunk and the partials
 /// are combined in fixed chunk order, so the result is deterministic
-/// for a given `ExecConfig` (though the association differs from the
+/// for a given `ExecCtx` (though the association differs from the
 /// serial left-to-right sum by O(n·ε) rounding).
-pub fn par_dot(a: &[f64], b: &[f64], exec: &ExecConfig) -> f64 {
+pub fn par_dot(a: &[f64], b: &[f64], exec: &ExecCtx) -> f64 {
     assert_eq!(a.len(), b.len());
     let t = exec.threads_hint();
     if t <= 1 || !exec.should_parallelize(a.len()) {
@@ -72,13 +72,13 @@ pub fn par_dot(a: &[f64], b: &[f64], exec: &ExecConfig) -> f64 {
 }
 
 /// Shared-memory parallel Euclidean norm (see [`par_dot`]).
-pub fn par_norm2(a: &[f64], exec: &ExecConfig) -> f64 {
+pub fn par_norm2(a: &[f64], exec: &ExecCtx) -> f64 {
     par_dot(a, a, exec).sqrt()
 }
 
 /// Shared-memory parallel `y ← y + alpha·x`. Element-wise, so the
 /// result is bit-identical to [`axpy`] for any worker count.
-pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
+pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), y.len());
     let t = exec.threads_hint();
     if t <= 1 || !exec.should_parallelize(y.len()) || y.is_empty() {
@@ -94,7 +94,7 @@ pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64], exec: &ExecConfig) {
 }
 
 /// Shared-memory parallel `y ← x + beta·y` (bit-identical to [`xpby`]).
-pub fn par_xpby(x: &[f64], beta: f64, y: &mut [f64], exec: &ExecConfig) {
+pub fn par_xpby(x: &[f64], beta: f64, y: &mut [f64], exec: &ExecCtx) {
     assert_eq!(x.len(), y.len());
     let t = exec.threads_hint();
     if t <= 1 || !exec.should_parallelize(y.len()) || y.is_empty() {
@@ -146,7 +146,7 @@ mod tests {
         let n = 10_000;
         let a: Vec<f64> = (0..n).map(|i| ((i * 31 % 97) as f64) * 0.125 - 3.0).collect();
         let b: Vec<f64> = (0..n).map(|i| ((i * 17 % 89) as f64) * 0.25 - 5.0).collect();
-        let exec = ExecConfig::with_threads(4).threshold(1);
+        let exec = ExecCtx::with_threads(4).threshold(1);
         // Reduction: chunked partials, tight tolerance vs serial.
         let ds = dot(&a, &b);
         let dp = par_dot(&a, &b, &exec);
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn parallel_ops_below_threshold_are_serial() {
-        let exec = ExecConfig::with_threads(4); // default ~32k threshold
+        let exec = ExecCtx::with_threads(4); // default ~32k threshold
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![4.0, -1.0, 0.5];
         // Small vectors take the serial path: exact same bits as dot().

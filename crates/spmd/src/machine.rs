@@ -21,6 +21,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Mutex, OnceLock};
 
+use bernoulli_formats::ExecCtx;
+
 /// A typed message payload.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Payload {
@@ -70,7 +72,7 @@ impl Payload {
 /// A simple latency/bandwidth network cost model (LogGP-flavoured):
 /// a message of `b` payload bytes becomes visible to its receiver
 /// `latency + b / bandwidth` after the send. [`Machine::run`] uses the
-/// ideal (zero-cost) network; [`Machine::run_model`] applies a model,
+/// ideal (zero-cost) network; [`Machine::run_in`] applies a model,
 /// which is what makes communication-volume differences (e.g. the
 /// Chaos translation table's all-to-all rounds) visible in *time* and
 /// makes communication/computation overlap worth something.
@@ -485,18 +487,19 @@ impl PooledMachine {
         self.nprocs
     }
 
-    /// Run `f` on every rank over an ideal (free) network.
+    /// Run `f` on every rank over an ideal (free) network, without
+    /// telemetry. Equivalent to [`PooledMachine::run_in`] with a
+    /// default [`ExecCtx`].
     pub fn run<T, F>(&self, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
-        self.run_model(None, f)
+        self.run_with(None, f)
     }
 
-    /// As [`PooledMachine::run`] with a [`NetworkModel`] charging every
-    /// message latency and bandwidth.
-    pub fn run_model<T, F>(&self, network: Option<NetworkModel>, f: F) -> RunOutput<T>
+    /// The dispatch core: one closure per rank, optional network model.
+    fn run_with<T, F>(&self, network: Option<NetworkModel>, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
@@ -543,24 +546,27 @@ impl PooledMachine {
         RunOutput { results, traffic }
     }
 
-    /// As [`PooledMachine::run_model`], additionally recording the
-    /// phase's wall time (span `spmd.<phase>`) and a per-rank
-    /// [`TrafficEvent`](bernoulli_obs::events::TrafficEvent) through
-    /// `obs`. On a disabled handle this is exactly `run_model` — no
-    /// clock is read and the traffic conversion never runs.
-    pub fn run_model_obs<T, F>(
+    /// As [`PooledMachine::run`] with a [`NetworkModel`] charging every
+    /// message latency and bandwidth, under an execution context: when
+    /// `exec` carries an enabled telemetry handle, the phase's wall
+    /// time is recorded (span `spmd.<phase>`) along with a per-rank
+    /// [`TrafficEvent`](bernoulli_obs::events::TrafficEvent). With the
+    /// default (uninstrumented) ctx no clock is read and the traffic
+    /// conversion never runs.
+    pub fn run_in<T, F>(
         &self,
         network: Option<NetworkModel>,
         phase: &str,
-        obs: &bernoulli_obs::Obs,
+        exec: &ExecCtx,
         f: F,
     ) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
+        let obs = exec.obs();
         let start = obs.is_enabled().then(std::time::Instant::now);
-        let out = self.run_model(network, f);
+        let out = self.run_with(network, f);
         if let Some(t0) = start {
             let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             obs.span_ns(&format!("spmd.{phase}"), ns);
@@ -605,33 +611,24 @@ impl Machine {
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
-        Self::run_model(nprocs, None, f)
+        PooledMachine::shared(nprocs).run(f)
     }
 
     /// As [`Machine::run`] with a [`NetworkModel`] charging every
-    /// message latency and bandwidth.
-    pub fn run_model<T, F>(nprocs: usize, network: Option<NetworkModel>, f: F) -> RunOutput<T>
-    where
-        T: Send,
-        F: Fn(&mut Ctx) -> T + Sync,
-    {
-        PooledMachine::shared(nprocs).run_model(network, f)
-    }
-
-    /// As [`Machine::run_model`], recording phase timing and per-rank
-    /// traffic through `obs` (see [`PooledMachine::run_model_obs`]).
-    pub fn run_model_obs<T, F>(
+    /// message latency and bandwidth, under an execution context
+    /// carrying the telemetry handle (see [`PooledMachine::run_in`]).
+    pub fn run_in<T, F>(
         nprocs: usize,
         network: Option<NetworkModel>,
         phase: &str,
-        obs: &bernoulli_obs::Obs,
+        exec: &ExecCtx,
         f: F,
     ) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&mut Ctx) -> T + Sync,
     {
-        PooledMachine::shared(nprocs).run_model_obs(network, phase, obs, f)
+        PooledMachine::shared(nprocs).run_in(network, phase, exec, f)
     }
 }
 
@@ -784,9 +781,10 @@ mod tests {
     }
 
     #[test]
-    fn run_model_obs_records_phase_traffic() {
+    fn run_in_records_phase_traffic() {
         let obs = bernoulli_obs::Obs::enabled();
-        let out = Machine::run_model_obs(3, None, "ring", &obs, |ctx| {
+        let exec = ExecCtx::default().instrument(obs.clone());
+        let out = Machine::run_in(3, None, "ring", &exec, |ctx| {
             let next = (ctx.rank() + 1) % ctx.nprocs();
             let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
             ctx.send(next, 7, Payload::F64(vec![1.0, 2.0]));
@@ -804,9 +802,10 @@ mod tests {
             assert_eq!(s.bytes_sent, 16);
         }
         assert_eq!(r.spans["spmd.ring"].calls, 1);
-        // Disabled handle: same results, nothing recorded.
+        // Uninstrumented ctx: same results, nothing recorded.
         let off = bernoulli_obs::Obs::disabled();
-        let out2 = Machine::run_model_obs(3, None, "ring", &off, |ctx| {
+        let quiet = ExecCtx::default().instrument(off.clone());
+        let out2 = Machine::run_in(3, None, "ring", &quiet, |ctx| {
             let next = (ctx.rank() + 1) % ctx.nprocs();
             let prev = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
             ctx.send(next, 7, Payload::F64(vec![1.0, 2.0]));
@@ -941,7 +940,7 @@ mod network_model_tests {
     #[test]
     fn modeled_latency_delays_delivery() {
         let model = NetworkModel { latency_s: 2e-3, bytes_per_s: 1e9 };
-        let out = Machine::run_model(2, Some(model), |ctx| {
+        let out = Machine::run_in(2, Some(model), "model", &ExecCtx::default(), |ctx| {
             let peer = 1 - ctx.rank();
             ctx.barrier();
             let t = Instant::now();
@@ -960,7 +959,7 @@ mod network_model_tests {
     fn modeled_bandwidth_charges_volume() {
         // 1 MB at 100 MB/s = 10 ms on the wire.
         let model = NetworkModel { latency_s: 0.0, bytes_per_s: 100e6 };
-        let out = Machine::run_model(2, Some(model), |ctx| {
+        let out = Machine::run_in(2, Some(model), "model", &ExecCtx::default(), |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 1, Payload::F64(vec![0.0; 125_000]));
                 0.0

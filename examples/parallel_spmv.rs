@@ -4,14 +4,14 @@
 //! cargo run --release --example parallel_spmv
 //! ```
 //!
-//! Demonstrates the `ExecConfig` dispatch contract: the same matrix
+//! Demonstrates the `ExecCtx` dispatch contract: the same matrix
 //! compiled serial, parallel-below-threshold (degrades to the identical
 //! specialized engine), and parallel-above-threshold
 //! (`Strategy::Parallel`), with the row-family bitwise-equality
 //! guarantee checked on the spot.
 
 use bernoulli::engines::{SpmvEngine, Strategy};
-use bernoulli::ExecConfig;
+use bernoulli::ExecCtx;
 use bernoulli_formats::gen::grid3d_7pt;
 use bernoulli_formats::{FormatKind, SparseMatrix};
 
@@ -20,7 +20,7 @@ fn main() {
     let n = t.nrows();
     let nnz = t.canonicalize().entries().len();
     println!("matrix: grid3d_7pt(24,24,24) — {n} rows, {nnz} stored nonzeros");
-    println!("host workers (rayon default): {}\n", ExecConfig::parallel().threads_hint());
+    println!("host workers (rayon default): {}\n", ExecCtx::parallel().threads_hint());
 
     let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
 
@@ -29,16 +29,12 @@ fn main() {
         let serial = SpmvEngine::compile(&a).expect("compiles");
         // Threshold above this matrix: parallel config degrades to the
         // byte-identical serial engine.
-        let below = SpmvEngine::compile_with_exec(
-            &a,
-            true,
-            ExecConfig::with_threads(4).threshold(nnz * 2),
-        )
-        .expect("compiles");
-        // Threshold cleared: parallel dispatch.
-        let above =
-            SpmvEngine::compile_with_exec(&a, true, ExecConfig::with_threads(4).threshold(1))
+        let below =
+            SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(nnz * 2))
                 .expect("compiles");
+        // Threshold cleared: parallel dispatch.
+        let above = SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1))
+            .expect("compiles");
         println!(
             "{kind:>10}: serial={:?}  below-threshold={:?}  above-threshold={:?}  (plan {})",
             serial.strategy(),

@@ -14,10 +14,10 @@
 //! producing undiffable profiles.
 
 use bernoulli::engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
-use bernoulli_formats::{gen, Csr, ExecConfig, FormatKind, SparseMatrix};
+use bernoulli_formats::{gen, Csr, ExecCtx, FormatKind, SparseMatrix};
 use bernoulli_obs::Obs;
-use bernoulli_solvers::cg::{cg_parallel, cg_sequential_obs, CgOptions};
-use bernoulli_solvers::gmres::{gmres_obs, GmresOptions};
+use bernoulli_solvers::cg::{cg, cg_parallel, CgOptions};
+use bernoulli_solvers::gmres::{gmres, GmresOptions};
 use bernoulli_solvers::precond::DiagonalPreconditioner;
 use bernoulli_spmd::dist::{BlockDist, Distribution};
 use bernoulli_spmd::executor::gather_ghosts;
@@ -35,9 +35,11 @@ fn main() {
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.037).sin()).collect();
     for kind in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Coordinate] {
         let a = SparseMatrix::from_triplets(kind, &t);
-        for exec in [ExecConfig::serial(), ExecConfig::with_threads(2).threshold(1)] {
-            let eng = SpmvEngine::compile_with_exec_obs(&a, true, exec, obs.clone())
-                .expect("spmv compile");
+        for ctx in [
+            ExecCtx::serial().instrument(obs.clone()),
+            ExecCtx::with_threads(2).threshold(1).instrument(obs.clone()),
+        ] {
+            let eng = SpmvEngine::compile_in(&a, &ctx).expect("spmv compile");
             let mut y = vec![0.0; n];
             eng.run(&a, &x, &mut y).expect("spmv run");
         }
@@ -47,15 +49,14 @@ fn main() {
     let ts = gen::grid2d_5pt(16, 16);
     let ns = ts.nrows();
     let s = SparseMatrix::from_triplets(FormatKind::Csr, &ts);
-    let spmm = SpmmEngine::compile_with_exec_obs(&s, &s, true, ExecConfig::serial(), obs.clone())
-        .expect("spmm compile");
+    let serial_obs = ExecCtx::serial().instrument(obs.clone());
+    let spmm = SpmmEngine::compile_in(&s, &s, &serial_obs).expect("spmm compile");
     let mut c = vec![0.0; ns * ns];
     spmm.run(&s, &s, &mut c).expect("spmm run");
     let a_csr = SparseMatrix::from_triplets(FormatKind::Csr, &t);
     let k = 4;
     let multi =
-        SpmvMultiEngine::compile_with_exec_obs(&a_csr, k, true, ExecConfig::serial(), obs.clone())
-            .expect("multivector compile");
+        SpmvMultiEngine::compile_in(&a_csr, k, &serial_obs).expect("multivector compile");
     let xm = vec![1.0; n * k];
     let mut ym = vec![0.0; n * k];
     multi.run(&a_csr, &xm, &mut ym).expect("multivector run");
@@ -66,43 +67,30 @@ fn main() {
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
     let csr = Csr::from_triplets(&t);
     let mut xs = vec![0.0; n];
-    let cg_res = cg_sequential_obs(
-        |v, out| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&csr, v, out);
-        },
-        &pc,
-        &b,
-        &mut xs,
-        CgOptions::default(),
-        &ExecConfig::serial(),
-        &obs,
-    );
+    let cg_res =
+        cg(&csr, &pc, &b, &mut xs, CgOptions::default(), &serial_obs).expect("cg solve");
     let tc = gen::circuit(300, 5);
     let nc = tc.nrows();
     let ac = Csr::from_triplets(&tc);
     let pc_c = DiagonalPreconditioner::from_matrix(&tc);
     let bc: Vec<f64> = (0..nc).map(|i| 1.0 + (i % 3) as f64).collect();
     let mut xc = vec![0.0; nc];
-    let gm_res = gmres_obs(
-        |v, out| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&ac, v, out);
-        },
+    let gm_res = gmres(
+        &ac,
         &pc_c,
         &bc,
         &mut xc,
         GmresOptions { restart: 30, max_iters: 2000, rel_tol: 1e-9 },
-        &ExecConfig::serial(),
-        &obs,
-    );
+        &serial_obs,
+    )
+    .expect("gmres solve");
 
     // SPMD traffic: a distributed CG (block distribution, replicated
     // inspector, halo-exchange executor) timed and counted per rank.
     const P: usize = 4;
     let dist = BlockDist::new(n, P);
     let entries = t.canonicalize();
-    Machine::run_model_obs(P, None, "cg.dist", &obs, |ctx| {
+    Machine::run_in(P, None, "cg.dist", &serial_obs, |ctx| {
         let me = ctx.rank();
         let owned = dist.owned_globals(me);
         let n_local = owned.len();

@@ -8,6 +8,15 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p bernoulli-analysis --all-targets -- -D warnings
 cargo clippy -p bernoulli-obs --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+# ExecCtx regression gate: the pre-unification entry-point variants
+# (`compile_with_exec*`, the `_obs(`-suffixed twins, `run_model_obs`)
+# were deleted in favour of one ctx-taking form per layer; fail if any
+# of them creeps back into the crates.
+if grep -rn "compile_with_exec\|_obs(\|run_model_obs" crates/ --include='*.rs'; then
+  echo "ERROR: superseded pre-ExecCtx entry point reintroduced" >&2
+  exit 1
+fi
 # Static-analysis acceptance gate: every built-in kernel, plan, and
 # format must lint clean (nonzero exit on any error finding).
 cargo run --release --example lint

@@ -41,7 +41,9 @@ fn interpreted_path_matches_specialized_on_suite() {
         for kind in [FormatKind::Csr, FormatKind::Ccs, FormatKind::Diagonal, FormatKind::Inode] {
             let a = SparseMatrix::from_triplets(kind, &m.triplets);
             let fast = SpmvEngine::compile(&a).unwrap();
-            let slow = SpmvEngine::compile_with(&a, false).unwrap();
+            let slow =
+                SpmvEngine::compile_in(&a, &bernoulli::ExecCtx::default().specialization(false))
+                    .unwrap();
             let mut y1 = vec![0.0; n];
             let mut y2 = vec![0.0; n];
             fast.run(&a, &x, &mut y1).unwrap();
@@ -117,7 +119,8 @@ fn matrix_market_roundtrip_on_generated_suite() {
 
 #[test]
 fn sequential_cg_solves_every_suite_spd_matrix() {
-    use bernoulli_solvers::cg::{cg_sequential, CgOptions};
+    use bernoulli::{ExecCtx, Operator};
+    use bernoulli_solvers::cg::{cg, CgOptions};
     use bernoulli_solvers::precond::DiagonalPreconditioner;
     for m in table1_suite(Scale::Small) {
         let s = m.stats();
@@ -130,16 +133,17 @@ fn sequential_cg_solves_every_suite_spd_matrix() {
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
         let mut x = vec![0.0; n];
         let pc = DiagonalPreconditioner::from_matrix(&m.triplets);
-        let res = cg_sequential(
-            |v, out| {
-                out.fill(0.0);
-                eng.run(&a, v, out).unwrap();
-            },
+        let op = eng.bind(&a);
+        assert_eq!((op.out_len(), op.in_len()), (n, n));
+        let res = cg(
+            &op,
             &pc,
             &b,
             &mut x,
             CgOptions { max_iters: 2000, rel_tol: 1e-9 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert!(res.converged, "{} residual {}", m.name, res.final_residual);
     }
 }

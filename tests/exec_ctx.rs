@@ -1,0 +1,124 @@
+//! The `ExecCtx` cost contract.
+//!
+//! The unified execution context must be free when it does nothing:
+//! a default (serial) ctx on the hot path performs **zero heap
+//! allocations** and **zero rayon pool builds** per call, and a
+//! parallel ctx builds its pool **exactly once** no matter how many
+//! installs or clones share it.
+//!
+//! Allocation counting uses a thread-local tally inside a wrapper
+//! global allocator, so worker threads and test-harness threads never
+//! perturb the measurement on the measuring thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use bernoulli::{ExecCtx, Operator};
+use bernoulli_formats::gen;
+use bernoulli_formats::{FormatKind, SparseMatrix};
+use bernoulli_solvers::vecops;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations on *this* thread while running `f`.
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.with(|c| c.get());
+    let out = f();
+    (ALLOCS.with(|c| c.get()) - before, out)
+}
+
+#[test]
+fn default_ctx_hot_path_is_allocation_free() {
+    let ctx = ExecCtx::default();
+
+    let n = 4096;
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+    let mut y = vec![0.0; n];
+
+    // Warm up once so lazy one-time setup (if any) is out of the way.
+    let _ = vecops::par_dot(&a, &b, &ctx);
+    vecops::par_axpy(0.5, &a, &mut y, &ctx);
+    vecops::par_xpby(&b, -0.25, &mut y, &ctx);
+
+    let (allocs, _) = allocs_during(|| {
+        let mut acc = 0.0;
+        for _ in 0..100 {
+            acc += vecops::par_dot(&a, &b, &ctx);
+            vecops::par_axpy(0.5, &a, &mut y, &ctx);
+            vecops::par_xpby(&b, -0.25, &mut y, &ctx);
+            acc += ctx.install(|| 1.0);
+        }
+        acc
+    });
+    assert_eq!(allocs, 0, "serial ExecCtx hot path must not allocate");
+    assert_eq!(ctx.pool_builds(), 0, "serial ExecCtx must never build a pool");
+}
+
+#[test]
+fn default_ctx_operator_apply_is_allocation_free() {
+    let t = gen::grid2d_5pt(16, 16);
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    let csr = match &a {
+        SparseMatrix::Csr(c) => c,
+        _ => unreachable!(),
+    };
+    let n = t.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+    let mut y = vec![0.0; n];
+
+    csr.apply(&x, &mut y).unwrap();
+    let (allocs, _) = allocs_during(|| {
+        for _ in 0..50 {
+            csr.apply(&x, &mut y).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "Operator::apply on a bound format must not allocate");
+}
+
+#[test]
+fn parallel_ctx_builds_its_pool_exactly_once() {
+    let ctx = ExecCtx::with_threads(2).threshold(1);
+    assert_eq!(ctx.pool_builds(), 0, "pool is lazy: no build before first install");
+
+    let clone_a = ctx.clone();
+    let clone_b = ctx.clone();
+    for i in 0..25 {
+        let k = ctx.install(|| i);
+        assert_eq!(k, i);
+        let _ = clone_a.install(|| i * 2);
+        let _ = clone_b.install(|| i * 3);
+    }
+    assert_eq!(
+        ctx.pool_builds(),
+        1,
+        "many installs across shared clones must reuse one cached pool"
+    );
+    assert_eq!(clone_a.pool_builds(), 1);
+    assert_eq!(clone_b.pool_builds(), 1);
+
+    // A distinct ctx owns a distinct pool cell: it builds its own, once.
+    let other = ExecCtx::with_threads(2).threshold(1);
+    let _ = other.install(|| 0);
+    let _ = other.install(|| 0);
+    assert_eq!(other.pool_builds(), 1);
+    assert_eq!(ctx.pool_builds(), 1, "unrelated ctx must not touch this pool");
+}

@@ -8,7 +8,8 @@
 use bernoulli::ast::programs;
 use bernoulli::compile::Compiler;
 use bernoulli::engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
-use bernoulli_formats::{gen, Csr, ExecConfig, FormatKind, SparseMatrix, Triplets};
+use bernoulli::ExecCtx;
+use bernoulli_formats::{gen, Csr, FormatKind, SparseMatrix, Triplets};
 use bernoulli_obs::events::{
     KernelCounters, PlanEvent, SolverTrace, StrategyEvent, TrafficEvent, TrafficSample,
 };
@@ -17,8 +18,8 @@ use bernoulli_obs::Obs;
 use bernoulli_relational::access::{MatrixAccess, VecMeta};
 use bernoulli_relational::ids::{MAT_A, VEC_X, VEC_Y};
 use bernoulli_relational::planner::QueryMeta;
-use bernoulli_solvers::cg::{cg_sequential_exec, cg_sequential_obs, CgOptions};
-use bernoulli_solvers::gmres::{gmres_exec, gmres_obs, GmresOptions};
+use bernoulli_solvers::cg::{cg, CgOptions};
+use bernoulli_solvers::gmres::{gmres, GmresOptions};
 use bernoulli_solvers::precond::DiagonalPreconditioner;
 
 fn plan_event_for(a: &SparseMatrix, n: usize) -> PlanEvent {
@@ -27,8 +28,7 @@ fn plan_event_for(a: &SparseMatrix, n: usize) -> PlanEvent {
         .vec(VEC_X, VecMeta::dense(n))
         .vec(VEC_Y, VecMeta::dense(n));
     let obs = Obs::enabled();
-    Compiler::new()
-        .with_obs(obs.clone())
+    Compiler::in_ctx(&ExecCtx::default().instrument(obs.clone()))
         .compile(&programs::matvec(), &meta)
         .unwrap();
     obs.report().plans.remove(0)
@@ -162,7 +162,7 @@ fn json_schema_golden() {
 }
 
 #[test]
-fn results_byte_identical_with_obs_disabled() {
+fn results_byte_identical_with_instrumentation_disabled() {
     // The acceptance criterion: threading a disabled handle through
     // every instrumented layer changes no bit of any result.
     let t = gen::grid2d_5pt(12, 12);
@@ -170,10 +170,10 @@ fn results_byte_identical_with_obs_disabled() {
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
     for kind in FormatKind::ALL {
         let a = SparseMatrix::from_triplets(kind, &t);
-        for exec in [ExecConfig::serial(), ExecConfig::with_threads(2).threshold(1)] {
-            let plain = SpmvEngine::compile_with_exec(&a, true, exec).unwrap();
+        for ctx in [ExecCtx::serial(), ExecCtx::with_threads(2).threshold(1)] {
+            let plain = SpmvEngine::compile_in(&a, &ctx).unwrap();
             let wired =
-                SpmvEngine::compile_with_exec_obs(&a, true, exec, Obs::disabled()).unwrap();
+                SpmvEngine::compile_in(&a, &ctx.clone().instrument(Obs::disabled())).unwrap();
             assert_eq!(plain.strategy(), wired.strategy(), "format {kind}");
             let mut y1 = vec![0.0; n];
             let mut y2 = vec![0.0; n];
@@ -183,28 +183,78 @@ fn results_byte_identical_with_obs_disabled() {
         }
     }
 
-    // Solvers: the obs wrapper around an untouched core.
+    // Solvers: the instrumented ctx around an untouched core.
     let csr = Csr::from_triplets(&t);
     let pc = DiagonalPreconditioner::from_matrix(&t);
     let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
-    let mv = |v: &[f64], out: &mut [f64]| {
-        out.fill(0.0);
-        bernoulli_formats::kernels::spmv_csr(&csr, v, out);
-    };
-    let exec = ExecConfig::serial();
+    let plain = ExecCtx::default();
+    let wired = ExecCtx::default().instrument(Obs::disabled());
     let mut x1 = vec![0.0; n];
     let mut x2 = vec![0.0; n];
-    let r1 = cg_sequential_exec(mv, &pc, &b, &mut x1, CgOptions::default(), &exec);
-    let r2 = cg_sequential_obs(mv, &pc, &b, &mut x2, CgOptions::default(), &exec, &Obs::disabled());
+    let r1 = cg(&csr, &pc, &b, &mut x1, CgOptions::default(), &plain).unwrap();
+    let r2 = cg(&csr, &pc, &b, &mut x2, CgOptions::default(), &wired).unwrap();
     assert_eq!(x1, x2);
     assert_eq!(r1.residual_history, r2.residual_history);
 
     let mut g1 = vec![0.0; n];
     let mut g2 = vec![0.0; n];
-    let s1 = gmres_exec(mv, &pc, &b, &mut g1, GmresOptions::default(), &exec);
-    let s2 = gmres_obs(mv, &pc, &b, &mut g2, GmresOptions::default(), &exec, &Obs::disabled());
+    let s1 = gmres(&csr, &pc, &b, &mut g1, GmresOptions::default(), &plain).unwrap();
+    let s2 = gmres(&csr, &pc, &b, &mut g2, GmresOptions::default(), &wired).unwrap();
     assert_eq!(g1, g2);
     assert_eq!(s1.residual_history, s2.residual_history);
+}
+
+/// FNV-1a-style fold over f64 bit patterns: the golden fingerprint.
+fn bit_hash(xs: &[f64]) -> u64 {
+    xs.iter().fold(0xcbf29ce484222325u64, |h, x| {
+        (h ^ x.to_bits()).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[test]
+fn ctx_path_is_bitwise_identical_to_pre_refactor_goldens() {
+    // Captured from the pre-ExecCtx library (the separate
+    // `compile`/`cg`/`gmres` default-ctx entry
+    // points) on this exact workload, before the refactor landed. The
+    // unified ctx path must reproduce every bit: SpMV across all nine
+    // formats, then CG and GMRES solutions and residual histories.
+    const SPMV_GOLD: u64 = 0x68298f63ec3a43f9;
+    const CG_X_GOLD: u64 = 0xc0c5d5c80def860c;
+    const CG_HIST_GOLD: u64 = 0xb30dd9dc7ab4f567;
+    const CG_ITERS_GOLD: usize = 29;
+    const GMRES_X_GOLD: u64 = 0x1905fe36263bb67d;
+    const GMRES_HIST_GOLD: u64 = 0x182603db6cf5d98e;
+    const GMRES_ITERS_GOLD: usize = 29;
+
+    let t = gen::grid2d_5pt(12, 12);
+    let n = t.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+    for kind in FormatKind::ALL {
+        let a = SparseMatrix::from_triplets(kind, &t);
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::default()).unwrap();
+        let mut y = vec![0.0; n];
+        eng.run(&a, &x, &mut y).unwrap();
+        assert_eq!(bit_hash(&y), SPMV_GOLD, "format {kind} drifted from the pre-refactor bits");
+        // The no-ctx convenience form is the same engine.
+        let mut y2 = vec![0.0; n];
+        SpmvEngine::compile(&a).unwrap().run(&a, &x, &mut y2).unwrap();
+        assert_eq!(y, y2, "format {kind}");
+    }
+
+    let csr = Csr::from_triplets(&t);
+    let pc = DiagonalPreconditioner::from_matrix(&t);
+    let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut xs = vec![0.0; n];
+    let r = cg(&csr, &pc, &b, &mut xs, CgOptions::default(), &ExecCtx::default()).unwrap();
+    assert_eq!(r.iters, CG_ITERS_GOLD);
+    assert_eq!(bit_hash(&xs), CG_X_GOLD, "CG solution drifted from the pre-refactor bits");
+    assert_eq!(bit_hash(&r.residual_history), CG_HIST_GOLD);
+
+    let mut xg = vec![0.0; n];
+    let g = gmres(&csr, &pc, &b, &mut xg, GmresOptions::default(), &ExecCtx::default()).unwrap();
+    assert_eq!(g.iters, GMRES_ITERS_GOLD);
+    assert_eq!(bit_hash(&xg), GMRES_X_GOLD, "GMRES solution drifted from the pre-refactor bits");
+    assert_eq!(bit_hash(&g.residual_history), GMRES_HIST_GOLD);
 }
 
 #[test]
@@ -216,18 +266,15 @@ fn one_handle_collects_every_stream() {
     let t = gen::grid2d_5pt(10, 10);
     let n = t.nrows();
     let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
-    let eng =
-        SpmvEngine::compile_with_exec_obs(&a, true, ExecConfig::serial(), obs.clone()).unwrap();
+    let ctx = ExecCtx::serial().instrument(obs.clone());
+    let eng = SpmvEngine::compile_in(&a, &ctx).unwrap();
     let x = vec![1.0; n];
     let mut y = vec![0.0; n];
     eng.run(&a, &x, &mut y).unwrap();
-    let spmm =
-        SpmmEngine::compile_with_exec_obs(&a, &a, true, ExecConfig::serial(), obs.clone()).unwrap();
+    let spmm = SpmmEngine::compile_in(&a, &a, &ctx).unwrap();
     let mut c = vec![0.0; n * n];
     spmm.run(&a, &a, &mut c).unwrap();
-    let multi =
-        SpmvMultiEngine::compile_with_exec_obs(&a, 2, true, ExecConfig::serial(), obs.clone())
-            .unwrap();
+    let multi = SpmvMultiEngine::compile_in(&a, 2, &ctx).unwrap();
     let mut ym = vec![0.0; n * 2];
     multi.run(&a, &vec![1.0; n * 2], &mut ym).unwrap();
 
@@ -235,20 +282,9 @@ fn one_handle_collects_every_stream() {
     let pc = DiagonalPreconditioner::from_matrix(&t);
     let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
     let mut xs = vec![0.0; n];
-    cg_sequential_obs(
-        |v, out| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&csr, v, out);
-        },
-        &pc,
-        &b,
-        &mut xs,
-        CgOptions::default(),
-        &ExecConfig::serial(),
-        &obs,
-    );
+    cg(&csr, &pc, &b, &mut xs, CgOptions::default(), &ctx).unwrap();
 
-    bernoulli_spmd::machine::Machine::run_model_obs(3, None, "allreduce", &obs, |ctx| {
+    bernoulli_spmd::machine::Machine::run_in(3, None, "allreduce", &ctx, |ctx| {
         ctx.all_reduce_sum(ctx.rank() as f64)
     });
 

@@ -7,7 +7,7 @@ use bernoulli_blocksolve::reorder::build_layout;
 use bernoulli_blocksolve::split::split_matrix;
 use bernoulli_formats::gen::{fem_grid_2d, fem_grid_3d};
 use bernoulli_formats::Triplets;
-use bernoulli_solvers::cg::{cg_parallel, cg_sequential, CgOptions};
+use bernoulli_solvers::cg::{cg, cg_parallel, CgOptions};
 use bernoulli_solvers::precond::DiagonalPreconditioner;
 use bernoulli_spmd::chaos::ChaosTable;
 use bernoulli_spmd::dist::{
@@ -19,16 +19,15 @@ fn sequential_solution(t: &Triplets, b: &[f64], iters: usize) -> Vec<f64> {
     let a = bernoulli_formats::Csr::from_triplets(t);
     let pc = DiagonalPreconditioner::from_matrix(t);
     let mut x = vec![0.0; t.nrows()];
-    cg_sequential(
-        |v, out| {
-            out.fill(0.0);
-            bernoulli_formats::kernels::spmv_csr(&a, v, out);
-        },
+    cg(
+        &a,
         &pc,
         b,
         &mut x,
         CgOptions { max_iters: iters, rel_tol: 0.0 },
-    );
+        &bernoulli::ExecCtx::default(),
+    )
+    .unwrap();
     x
 }
 

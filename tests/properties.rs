@@ -73,7 +73,11 @@ proptest! {
             let m = SparseMatrix::from_triplets(kind, &t);
             // Both strategies.
             for spec in [true, false] {
-                let eng = SpmvEngine::compile_with(&m, spec).unwrap();
+                let eng = SpmvEngine::compile_in(
+                    &m,
+                    &bernoulli::ExecCtx::default().specialization(spec),
+                )
+                .unwrap();
                 let mut y = vec![0.0; t.nrows()];
                 eng.run(&m, &x, &mut y).unwrap();
                 for (a, b) in y.iter().zip(&want) {
@@ -294,8 +298,8 @@ proptest! {
         let nc = t.ncols();
         (Just(t), arb_vec(nc), 2usize..6)
     })) {
-        use bernoulli_formats::ExecConfig;
-        let exec = ExecConfig::with_threads(threads).threshold(1);
+        use bernoulli_formats::ExecCtx;
+        let exec = ExecCtx::with_threads(threads).threshold(1);
         for kind in [
             FormatKind::Dense,
             FormatKind::Csr,
@@ -321,8 +325,8 @@ proptest! {
         let nc = t.ncols();
         (Just(t), arb_vec(nc), 2usize..6)
     })) {
-        use bernoulli_formats::ExecConfig;
-        let exec = ExecConfig::with_threads(threads).threshold(1);
+        use bernoulli_formats::ExecCtx;
+        let exec = ExecCtx::with_threads(threads).threshold(1);
         for kind in [FormatKind::Ccs, FormatKind::Cccs, FormatKind::Coordinate] {
             let a = SparseMatrix::from_triplets(kind, &t);
             let mut y_ser = vec![1.0; t.nrows()];
@@ -342,9 +346,9 @@ proptest! {
     /// parallel kernel (the chunking math must not panic on them).
     #[test]
     fn par_spmv_handles_empty_rows_and_cols((nr, nc, threads) in (1usize..20, 1usize..20, 2usize..9)) {
-        use bernoulli_formats::ExecConfig;
+        use bernoulli_formats::ExecCtx;
         let t = Triplets::from_entries(nr, nc, &[]);
-        let exec = ExecConfig::with_threads(threads).threshold(1);
+        let exec = ExecCtx::with_threads(threads).threshold(1);
         let x = vec![1.0; nc];
         for kind in FormatKind::ALL {
             let a = SparseMatrix::from_triplets(kind, &t);

@@ -2,9 +2,10 @@
 //! compiled engines, agreeing on the same solutions.
 
 use bernoulli::engines::SpmvEngine;
+use bernoulli::ExecCtx;
 use bernoulli_formats::gen::{fem_grid_2d, table1_suite, Scale};
 use bernoulli_formats::{FormatKind, SparseMatrix, Triplets};
-use bernoulli_solvers::cg::{cg_sequential, CgOptions};
+use bernoulli_solvers::cg::{cg, CgOptions};
 use bernoulli_solvers::gmres::{gmres, GmresOptions};
 use bernoulli_solvers::ic0::Ic0;
 use bernoulli_solvers::precond::DiagonalPreconditioner;
@@ -35,39 +36,47 @@ fn all_krylov_methods_agree_through_compiled_engines() {
     let eng = SpmvEngine::compile(&a).unwrap();
     let diag = DiagonalPreconditioner::from_matrix(&t);
 
+    let op = eng.bind(&a);
+
     // CG (SPD) with diagonal preconditioning.
     let mut x_cg = vec![0.0; n];
-    let r = cg_sequential(
-        engine_matvec(&eng, &a),
+    let r = cg(
+        &op,
         &diag,
         &b,
         &mut x_cg,
         CgOptions { max_iters: 2000, rel_tol: 1e-11 },
-    );
+        &ExecCtx::default(),
+    )
+    .unwrap();
     assert!(r.converged);
 
     // CG with IC(0).
     let ic = Ic0::factor(&t).unwrap();
     let mut x_ic = vec![0.0; n];
-    let r_ic = cg_sequential(
-        engine_matvec(&eng, &a),
+    let r_ic = cg(
+        &op,
         &ic,
         &b,
         &mut x_ic,
         CgOptions { max_iters: 2000, rel_tol: 1e-11 },
-    );
+        &ExecCtx::default(),
+    )
+    .unwrap();
     assert!(r_ic.converged);
     assert!(r_ic.iters <= r.iters, "IC(0) must not be slower in iterations");
 
-    // GMRES.
+    // GMRES over the same bound operator.
     let mut x_gm = vec![0.0; n];
     let r_gm = gmres(
-        engine_matvec(&eng, &a),
+        &op,
         &diag,
         &b,
         &mut x_gm,
         GmresOptions { restart: 30, max_iters: 3000, rel_tol: 1e-11 },
-    );
+        &ExecCtx::default(),
+    )
+    .unwrap();
     assert!(r_gm.converged);
 
     // All three solutions agree.
@@ -117,12 +126,14 @@ fn gmres_solves_every_suite_matrix_through_engines() {
         let diag = DiagonalPreconditioner::from_matrix(&m.triplets);
         let mut x = vec![0.0; n];
         let r = gmres(
-            engine_matvec(&eng, &a),
+            &eng.bind(&a),
             &diag,
             &b,
             &mut x,
             GmresOptions { restart: 50, max_iters: 6000, rel_tol: 1e-8 },
-        );
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert!(
             r.converged,
             "{}: residual {} after {} matvecs",

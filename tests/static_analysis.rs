@@ -47,7 +47,7 @@ fn mat_dot_is_reduction_only() {
 fn engines_refuse_parallel_for_racy_nest() {
     // Acceptance criterion: Strategy::Parallel is provably refused for
     // a nest the race checker rejects, through the exact decision
-    // function every engine's compile_with_exec routes through.
+    // function every engine's compile_in routes through.
     let mut racy = programs::matvec();
     racy.op = UpdateOp::Assign;
     let exec = ExecConfig::with_threads(4).threshold(1);
@@ -57,7 +57,8 @@ fn engines_refuse_parallel_for_racy_nest() {
     // And the engine built from the clean nest does go parallel on the
     // same config — the gate, not the plumbing, made the difference.
     let a = SparseMatrix::from_triplets(FormatKind::Csr, &sample(64, 5));
-    let eng = SpmvEngine::compile_with_exec(&a, true, exec).unwrap();
+    let eng =
+        SpmvEngine::compile_in(&a, &bernoulli::ExecCtx::with_config(exec)).unwrap();
     assert_eq!(eng.strategy(), Strategy::Parallel);
 }
 
