@@ -24,6 +24,10 @@ pub mod codes {
     pub const NEST_UNDECLARED_ARRAY: &str = "BA04";
     /// Access arity differs from the declared array rank.
     pub const NEST_ARITY_MISMATCH: &str = "BA05";
+    /// A non-covering write needs a `Reduction` certificate, but the
+    /// algebra's `⊕` is not an associative-commutative monoid, so
+    /// reassociating partial accumulations changes the result.
+    pub const RACE_NON_MONOID_REDUCTION: &str = "BA06";
 
     /// Merge join where either side is unsorted or may contain
     /// duplicate indices.
@@ -69,6 +73,7 @@ pub mod codes {
         (NEST_UNBOUND_VAR, "access uses a variable the nest does not bind"),
         (NEST_UNDECLARED_ARRAY, "access references an undeclared array"),
         (NEST_ARITY_MISMATCH, "access arity differs from declared rank"),
+        (RACE_NON_MONOID_REDUCTION, "reduction over a non-associative-commutative algebra"),
         (PLAN_BAD_MERGE, "merge join with an unsorted or duplicate-bearing side"),
         (PLAN_BAD_SEARCH, "search join on a level with unsupported search cost"),
         (PLAN_UNBOUND_LOOKUP, "lookup/derivation references an unbound variable"),

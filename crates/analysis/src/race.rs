@@ -25,6 +25,7 @@
 use crate::diag::{codes, Diagnostic, Span};
 use bernoulli_relational::ast::{AccessRef, LoopNest};
 use bernoulli_relational::ids::Var;
+use bernoulli_relational::semiring::AlgebraProps;
 
 /// Why the nest is parallel-safe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,8 +52,25 @@ impl RaceReport {
     }
 }
 
-/// Check one loop nest for DO-ANY parallel safety.
+/// Check one loop nest for DO-ANY parallel safety under the classical
+/// `(+, ×)` f64 algebra (see [`check_do_any_in`] for other semirings).
 pub fn check_do_any(nest: &LoopNest) -> RaceReport {
+    check_do_any_in(nest, &AlgebraProps::f64_plus())
+}
+
+/// Check one loop nest for DO-ANY parallel safety under a given
+/// algebra.
+///
+/// The `Reduction` certificate generalizes from "`+` on f64" to "any
+/// associative-commutative monoid": a reduction-style update (`⊕=`)
+/// with uncovered loop variables is certified only when the algebra's
+/// `⊕` is AC, because concurrent execution merges thread-local partial
+/// accumulations in an order that differs from the serial chain. A
+/// non-AC `⊕` (e.g. the first-nonzero-wins selection semiring) is
+/// refused with diagnostic BA06. `DisjointWrites` certificates are
+/// algebra-independent — each iteration owns its element, so the
+/// serial per-element update order is preserved.
+pub fn check_do_any_in(nest: &LoopNest, algebra: &AlgebraProps) -> RaceReport {
     let mut diags = Vec::new();
 
     // Structural sanity of every access (target + reads).
@@ -129,6 +147,20 @@ pub fn check_do_any(nest: &LoopNest) -> RaceReport {
                 ),
             ));
         }
+    }
+
+    if nest.op.is_commutative() && !all_covered && !algebra.plus_is_ac() {
+        diags.push(Diagnostic::error(
+            codes::RACE_NON_MONOID_REDUCTION,
+            Span::Rel(nest.target.array),
+            format!(
+                "reduction over uncovered loop variable(s) {uncovered:?} requires an \
+                 associative-commutative ⊕, but algebra '{}' is{}{}",
+                algebra.name,
+                if algebra.plus_associative { "" } else { " non-associative" },
+                if algebra.plus_commutative { "" } else { " non-commutative" },
+            ),
+        ));
     }
 
     let certificate = if diags.iter().any(Diagnostic::is_error) {
@@ -276,6 +308,39 @@ mod tests {
         );
         let r = check_do_any(&nest);
         assert!(r.is_parallel_safe(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn ba06_non_ac_algebra_refused_for_reductions() {
+        use bernoulli_relational::semiring::{AlgebraProps, FirstNonZero, Semiring};
+        // matvec reduces over j: fine under f64 (+), refused under a
+        // non-commutative ⊕.
+        let nest = programs::matvec();
+        assert!(check_do_any_in(&nest, &AlgebraProps::f64_plus()).is_parallel_safe());
+        let r = check_do_any_in(&nest, &FirstNonZero::props());
+        assert!(!r.is_parallel_safe());
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == codes::RACE_NON_MONOID_REDUCTION),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn ba06_not_raised_for_disjoint_writes() {
+        use bernoulli_relational::semiring::{FirstNonZero, Semiring};
+        // Y(i) += X(i): each iteration owns its element, so even a
+        // non-AC ⊕ keeps the serial per-element order — certified.
+        let nest = LoopNest::new(
+            vec![VAR_I],
+            vec![decl(VEC_X, 1), decl(VEC_Y, 1)],
+            AccessRef::vec(VEC_Y, VAR_I),
+            UpdateOp::AddAssign,
+            ExprAst::access(AccessRef::vec(VEC_X, VAR_I)),
+        );
+        let r = check_do_any_in(&nest, &FirstNonZero::props());
+        assert_eq!(r.certificate, Some(ParallelCertificate::DisjointWrites));
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! fork/join overhead — speedup ≈ 1 is the honest ceiling there).
 
 use bernoulli_formats::gen::grid3d_7pt;
-use bernoulli_formats::{ExecCtx, FormatKind, SparseMatrix};
+use bernoulli_formats::{kernels, par_kernels, Csr, ExecCtx, FormatKind, SparseMatrix};
+use bernoulli_relational::semiring::F64Plus;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -84,7 +85,35 @@ fn main() {
         let comma = if fi + 1 < kinds.len() { "," } else { "" };
         writeln!(json, "    }}{comma}").unwrap();
     }
-    writeln!(json, "  ]").unwrap();
+    writeln!(json, "  ],").unwrap();
+
+    // Ablation: semiring-generic dispatch vs the f64 wrapper. The
+    // generic kernels are monomorphized per algebra, so at F64Plus the
+    // wrapper and the `_in::<F64Plus>` instantiation must compile to
+    // the same loop — a ratio drifting from ~1.0 means the semiring
+    // refactor grew a dispatch cost the wrappers are hiding.
+    let a = Csr::from_triplets(&t);
+    let exec = ExecCtx::with_threads(4).threshold(1);
+    let wrapper_serial = time_spmv(|y| kernels::spmv_csr(&a, &x, y), n);
+    let generic_serial = time_spmv(|y| kernels::spmv_csr_in::<F64Plus>(&a, &x, y), n);
+    let generic_par = time_spmv(|y| par_kernels::par_spmv_csr_in::<F64Plus>(&a, &x, y, &exec), n);
+    eprintln!(
+        "semiring_dispatch (csr): serial {:.3} ms wrapper vs {:.3} ms generic (ratio {:.3}); parallel-4 generic {:.3} ms",
+        wrapper_serial * 1e3,
+        generic_serial * 1e3,
+        generic_serial / wrapper_serial,
+        generic_par * 1e3,
+    );
+    writeln!(json, "  \"semiring_dispatch\": {{").unwrap();
+    writeln!(json, "    \"format\": \"csr\",").unwrap();
+    writeln!(json, "    \"algebra\": \"f64_plus\",").unwrap();
+    writeln!(json, "    \"f64_wrapper_serial_s\": {wrapper_serial:.6e},").unwrap();
+    writeln!(json, "    \"generic_serial_s\": {generic_serial:.6e},").unwrap();
+    writeln!(json, "    \"generic_over_wrapper_serial\": {:.4},", generic_serial / wrapper_serial)
+        .unwrap();
+    writeln!(json, "    \"generic_parallel4_s\": {generic_par:.6e},").unwrap();
+    writeln!(json, "    \"note\": \"generic kernels are monomorphized; ratio ~1.0 means the semiring refactor costs nothing at f64_plus\"").unwrap();
+    writeln!(json, "  }}").unwrap();
     writeln!(json, "}}").unwrap();
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");

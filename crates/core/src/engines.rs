@@ -20,7 +20,9 @@
 
 use crate::ast::{programs, LoopNest};
 use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{kernels, par_kernels, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate};
+use bernoulli_formats::{
+    kernels, par_kernels, Csr, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate,
+};
 use bernoulli_obs::events::{KernelCounters, StrategyEvent};
 use bernoulli_obs::Obs;
 use bernoulli_relational::access::{MatMeta, MatrixAccess, VecMeta};
@@ -28,6 +30,8 @@ use bernoulli_relational::error::{RelError, RelResult};
 use bernoulli_relational::exec::Bindings;
 use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, VEC_X, VEC_Y};
 use bernoulli_relational::planner::QueryMeta;
+use bernoulli_relational::semiring::{AlgebraProps, Semiring};
+use std::marker::PhantomData;
 
 /// How a compiled engine will execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,13 +100,27 @@ fn strategy_decision(
     work: usize,
     exec: &ExecConfig,
 ) -> Decision {
+    strategy_decision_in(nest, specializable, work, exec, &AlgebraProps::f64_plus())
+}
+
+/// [`strategy_decision`] under an explicit scalar algebra: the race
+/// gate consults `check_do_any_in`, so a reduction nest over a
+/// non-associative-commutative ⊕ (BA06) is provably downgraded to the
+/// serial tier instead of run concurrently.
+fn strategy_decision_in(
+    nest: &LoopNest,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+    algebra: &AlgebraProps,
+) -> Decision {
     if !specializable {
         return Decision { strategy: Strategy::Interpreted, race_checked: false, race_safe: false };
     }
     if !exec.should_parallelize(work) {
         return Decision { strategy: Strategy::Specialized, race_checked: false, race_safe: false };
     }
-    let safe = bernoulli_analysis::race::check_do_any(nest).is_parallel_safe();
+    let safe = bernoulli_analysis::race::check_do_any_in(nest, algebra).is_parallel_safe();
     Decision {
         strategy: if safe { Strategy::Parallel } else { Strategy::Specialized },
         race_checked: true,
@@ -112,11 +130,20 @@ fn strategy_decision(
 
 /// Record one engine's compile-time decision (and bump the compile
 /// counter) through `obs`. Free on a disabled handle.
-fn record_strategy(obs: &Obs, op: &str, d: Decision, specializable: bool, work: usize, exec: &ExecConfig) {
+fn record_strategy(
+    obs: &Obs,
+    op: &str,
+    algebra: &'static str,
+    d: Decision,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+) {
     obs.counter("engine.compile", 1);
     obs.strategy(|| StrategyEvent {
         op: op.to_string(),
         strategy: d.strategy.name().to_string(),
+        algebra: algebra.to_string(),
         specializable,
         work: work as u64,
         threshold: exec.par_threshold_nnz as u64,
@@ -151,6 +178,7 @@ pub(crate) fn spmv_counters(m: &MatMeta) -> KernelCounters {
         nnz,
         flops: 2 * nnz,
         bytes: 8 * (2 * nnz + m.ncols as u64 + 2 * m.nrows as u64),
+        algebra: "f64_plus",
     }
 }
 
@@ -165,6 +193,7 @@ pub(crate) fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
         nnz: an + bn,
         flops: 2 * expansion,
         bytes: 8 * 2 * (an + bn) + 16 * expansion,
+        algebra: "f64_plus",
     }
 }
 
@@ -177,6 +206,7 @@ pub(crate) fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
         nnz,
         flops: 2 * nnz * k,
         bytes: 8 * (2 * nnz + m.ncols as u64 * k + 2 * m.nrows as u64 * k),
+        algebra: "f64_plus",
     }
 }
 
@@ -245,7 +275,7 @@ impl SpmvEngine {
         let specializable = ctx.specialize()
             && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
         let decision = strategy_decision(&nest, specializable, m.nnz, ctx.config());
-        record_strategy(ctx.obs(), "spmv", decision, specializable, m.nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmv", "f64_plus", decision, specializable, m.nnz, ctx.config());
         Ok(SpmvEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
     }
 
@@ -322,7 +352,7 @@ impl SpmmEngine {
         let specializable =
             ctx.specialize() && both_csr && kernel.shape() == gustavson;
         let decision = strategy_decision(&nest, specializable, a.meta().nnz, ctx.config());
-        record_strategy(ctx.obs(), "spmm", decision, specializable, a.meta().nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmm", "f64_plus", decision, specializable, a.meta().nnz, ctx.config());
         Ok(SpmmEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
     }
 
@@ -417,7 +447,7 @@ impl SpmvMultiEngine {
         let specializable = ctx.specialize() && is_csr && kernel.shape() == natural;
         let work = m.nnz.saturating_mul(k.max(1));
         let decision = strategy_decision(&nest, specializable, work, ctx.config());
-        record_strategy(ctx.obs(), "spmv_multi", decision, specializable, work, ctx.config());
+        record_strategy(ctx.obs(), "spmv_multi", "f64_plus", decision, specializable, work, ctx.config());
         Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, ctx: ctx.clone() })
     }
 
@@ -475,6 +505,162 @@ impl SpmvMultiEngine {
                 self.kernel.run(&mut binds)
             }
         }
+    }
+}
+
+/// Algebra-qualified kernel telemetry name: the classical algebra keeps
+/// the historical bare names (`spmv_csr`), every other algebra gets its
+/// own stream (`spmv_csr.min_plus`) so one name never mixes algebras.
+fn algebra_kernel_name(base: &str, algebra: &'static str) -> String {
+    if algebra == "f64_plus" {
+        base.to_string()
+    } else {
+        format!("{base}.{algebra}")
+    }
+}
+
+/// A compiled `y = y ⊕ (A ⊗ x)` engine under an arbitrary
+/// [`Semiring`] — SpMV as a relational query whose scalar algebra is a
+/// type parameter. Same planner, same [`ExecCtx`] policy, same strategy
+/// telemetry as [`SpmvEngine`]; three differences follow from leaving
+/// the classical algebra:
+///
+/// * Stored values lift through `S::from_f64` (structural zeros lift to
+///   `S::zero()`, so formats that pad — Dense, ITPACK, Diagonal — stay
+///   correct under algebras like min-plus where the identity is +∞).
+/// * There is no interpreter tier off the f64 algebra, so
+///   [`ExecCtx::specialization`] is moot: every format dispatches to
+///   its generic serial kernel, which *is* the baseline tier.
+/// * The parallel gate consults the race checker **under `S`'s
+///   algebra**: a non-associative-commutative ⊕ is refused the
+///   reduction certificate (BA06) and provably compiles to the serial
+///   tier — scatter-family formats additionally self-gate at run time.
+pub struct SemiringSpmvEngine<S: Semiring> {
+    shape: String,
+    strategy: Strategy,
+    ctx: ExecCtx,
+    _algebra: PhantomData<S>,
+}
+
+impl<S: Semiring> SemiringSpmvEngine<S> {
+    /// Compile with the default [`ExecCtx`] (serial, unchecked,
+    /// uninstrumented).
+    pub fn compile(a: &SparseMatrix) -> RelResult<SemiringSpmvEngine<S>> {
+        Self::compile_in(a, &ExecCtx::default())
+    }
+
+    /// Compile under an execution context (see
+    /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
+    pub fn compile_in(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SemiringSpmvEngine<S>> {
+        check_operand("A", a, ctx.config())?;
+        let m = a.meta();
+        let meta = QueryMeta::new()
+            .mat(MAT_A, m)
+            .vec(VEC_X, VecMeta::dense(m.ncols))
+            .vec(VEC_Y, VecMeta::dense(m.nrows));
+        let nest = programs::matvec();
+        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+        let decision = strategy_decision_in(&nest, true, m.nnz, ctx.config(), &S::props());
+        record_strategy(ctx.obs(), "spmv", S::NAME, decision, true, m.nnz, ctx.config());
+        Ok(SemiringSpmvEngine {
+            shape: kernel.shape(),
+            strategy: decision.strategy,
+            ctx: ctx.clone(),
+            _algebra: PhantomData,
+        })
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    pub fn plan_shape(&self) -> String {
+        self.shape.clone()
+    }
+
+    /// `y = y ⊕ (A ⊗ x)` under `S` (accumulating, like
+    /// [`SpmvEngine::run`]).
+    pub fn run(&self, a: &SparseMatrix, x: &[S::Elem], y: &mut [S::Elem]) -> RelResult<()> {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let base = match self.strategy {
+                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
+                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
+                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+            };
+            let name = algebra_kernel_name(&base, S::NAME);
+            obs.kernel(&name, KernelCounters { algebra: S::NAME, ..spmv_counters(&a.meta()) });
+        }
+        match self.strategy {
+            Strategy::Specialized => a.spmv_acc_in::<S>(x, y),
+            Strategy::Parallel => a.par_spmv_acc_in::<S>(x, y, &self.ctx),
+            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+        }
+        Ok(())
+    }
+}
+
+/// A compiled `C = C ⊕ (A ⊗ B)` engine (CSR × CSR, sparse result)
+/// under an arbitrary [`Semiring`] — Gustavson's algorithm with the
+/// scalar algebra as a type parameter, the workhorse behind triangle
+/// counting (`count_u64`) and transitive-step queries (`bool_or_and`).
+/// Only CSR operands carry the generic hand kernel, so unlike
+/// [`SpmmEngine`] the operands are [`Csr`] by construction.
+pub struct SemiringSpmmEngine<S: Semiring> {
+    strategy: Strategy,
+    ctx: ExecCtx,
+    _algebra: PhantomData<S>,
+}
+
+impl<S: Semiring> SemiringSpmmEngine<S> {
+    /// Compile with the default [`ExecCtx`].
+    pub fn compile(a: &Csr, b: &Csr) -> RelResult<SemiringSpmmEngine<S>> {
+        Self::compile_in(a, b, &ExecCtx::default())
+    }
+
+    /// Compile under an execution context.
+    pub fn compile_in(a: &Csr, b: &Csr, ctx: &ExecCtx) -> RelResult<SemiringSpmmEngine<S>> {
+        if ctx.config().checked {
+            a.validate_ok()
+                .map_err(|e| RelError::Validation(format!("operand A: {e}")))?;
+            b.validate_ok()
+                .map_err(|e| RelError::Validation(format!("operand B: {e}")))?;
+        }
+        let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
+        let nest = programs::matmat();
+        Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+        // The parallel tier merges per-block partial products, which is
+        // only sound when ⊕ is associative-commutative — the same BA06
+        // gate the kernels self-apply.
+        let decision = strategy_decision_in(&nest, true, a.nnz(), ctx.config(), &S::props());
+        record_strategy(ctx.obs(), "spmm", S::NAME, decision, true, a.nnz(), ctx.config());
+        Ok(SemiringSpmmEngine { strategy: decision.strategy, ctx: ctx.clone(), _algebra: PhantomData })
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The product's nonzero entries `(i, j, v)` with `v ≠ S::zero()`,
+    /// row-sorted, columns sorted within each row.
+    pub fn run_entries(&self, a: &Csr, b: &Csr) -> RelResult<Vec<(usize, usize, S::Elem)>> {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let base = match self.strategy {
+                Strategy::Specialized => "spmm_csr_csr",
+                Strategy::Parallel => "par_spmm_csr_csr",
+                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+            };
+            let name = algebra_kernel_name(base, S::NAME);
+            obs.kernel(&name, KernelCounters { algebra: S::NAME, ..spmm_counters(&a.meta(), &b.meta()) });
+        }
+        let mut entries = match self.strategy {
+            Strategy::Specialized => kernels::spmm_csr_csr_in::<S>(a, b),
+            Strategy::Parallel => par_kernels::par_spmm_csr_csr_in::<S>(a, b, &self.ctx),
+            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+        };
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        Ok(entries)
     }
 }
 
@@ -793,6 +979,101 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn semiring_spmv_engine_relaxes_over_every_format() {
+        use bernoulli_relational::semiring::MinPlus;
+        // One Bellman-Ford step from source 0 on the weighted path
+        // 0 →(2) 1 →(3) 2, plus the direct edge 0 →(7) 2: the engine
+        // computes min-plus SpMV identically across all format kinds.
+        let t = Triplets::from_entries(3, 3, &[(1, 0, 2.0), (2, 0, 7.0), (2, 1, 3.0)]);
+        let d0 = [0.0, f64::INFINITY, f64::INFINITY];
+        for kind in FormatKind::ALL {
+            let a = SparseMatrix::from_triplets(kind, &t);
+            let eng = SemiringSpmvEngine::<MinPlus>::compile(&a).unwrap();
+            assert_eq!(eng.strategy(), Strategy::Specialized, "format {kind}");
+            let mut d1 = d0;
+            eng.run(&a, &d0, &mut d1).unwrap();
+            assert_eq!(d1, [0.0, 2.0, 7.0], "format {kind}");
+            let mut d2 = d1;
+            eng.run(&a, &d1, &mut d2).unwrap();
+            assert_eq!(d2, [0.0, 2.0, 5.0], "format {kind}: relaxation via 1 must win");
+        }
+    }
+
+    #[test]
+    fn semiring_engine_parallel_tier_is_per_algebra() {
+        use bernoulli_relational::semiring::{FirstNonZero, MinPlus};
+        let t = sample(64, 17);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let hot = ExecCtx::with_threads(4).threshold(1);
+        // An associative-commutative ⊕ clears the race gate…
+        let obs = Obs::enabled();
+        let eng = SemiringSpmvEngine::<MinPlus>::compile_in(
+            &a,
+            &hot.clone().instrument(obs.clone()),
+        )
+        .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel);
+        let s = &obs.report().strategies[0];
+        assert_eq!((s.algebra.as_str(), s.race_checked, s.race_safe), ("min_plus", true, true));
+        // …while a non-commutative ⊕ is refused the reduction
+        // certificate (BA06) and provably downgraded to serial.
+        let obs = Obs::enabled();
+        let eng = SemiringSpmvEngine::<FirstNonZero>::compile_in(
+            &a,
+            &hot.clone().instrument(obs.clone()),
+        )
+        .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        let s = &obs.report().strategies[0];
+        assert_eq!(
+            (s.algebra.as_str(), s.race_checked, s.race_safe),
+            ("first_nonzero", true, false)
+        );
+    }
+
+    #[test]
+    fn semiring_spmm_engine_counts_triangle_paths() {
+        use bernoulli_relational::semiring::CountU64;
+        // A = K3 adjacency; under the counting semiring A² holds the
+        // number of length-2 walks: 2 on the diagonal, 1 elsewhere.
+        let t = Triplets::from_entries(
+            3,
+            3,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 1, 1.0)],
+        );
+        let a = Csr::from_triplets(&t);
+        for ctx in [ExecCtx::default(), ExecCtx::with_threads(4).threshold(1)] {
+            let eng = SemiringSpmmEngine::<CountU64>::compile_in(&a, &a, &ctx).unwrap();
+            let entries = eng.run_entries(&a, &a).unwrap();
+            assert_eq!(entries.len(), 9);
+            for (i, j, walks) in entries {
+                assert_eq!(walks, if i == j { 2 } else { 1 }, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn semiring_engines_record_algebra_qualified_telemetry() {
+        use bernoulli_relational::semiring::MinPlus;
+        let t = sample(16, 18);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        let eng = SemiringSpmvEngine::<MinPlus>::compile_in(
+            &a,
+            &ExecCtx::serial().instrument(obs.clone()),
+        )
+        .unwrap();
+        let x = vec![0.0; 16];
+        let mut y = vec![f64::INFINITY; 16];
+        eng.run(&a, &x, &mut y).unwrap();
+        let r = obs.report();
+        r.validate().unwrap();
+        let k = &r.kernels["spmv_csr.min_plus"];
+        assert_eq!((k.calls, k.algebra), (1, "min_plus"));
+        assert!(r.to_json().contains("\"algebra\":\"min_plus\""));
     }
 
     #[test]

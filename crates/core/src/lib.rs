@@ -38,9 +38,12 @@ pub mod operator;
 pub mod spmd;
 
 pub use ast::{ArrayDecl, ExprAst, LoopNest};
-pub use codegen::emit_pseudocode;
+pub use codegen::{emit_pseudocode, emit_pseudocode_in};
 pub use compile::{CompiledKernel, Compiler};
-pub use engines::{choose_strategy, SpmmEngine, SpmvEngine, SpmvMultiEngine, Strategy};
-pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator};
+pub use engines::{
+    choose_strategy, SemiringSpmmEngine, SemiringSpmvEngine, SpmmEngine, SpmvEngine,
+    SpmvMultiEngine, Strategy,
+};
+pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator, SemiringOperator};
 pub use bernoulli_formats::{ExecConfig, ExecCtx};
 pub use bernoulli_relational::error::{RelError, RelResult};

@@ -127,6 +127,20 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Triplets, MmError> {
                 .parse()
                 .map_err(|e| parse_err(format!("value: {e}")))?,
         };
+        // A trailing token means the line disagrees with the declared
+        // field type (most commonly a value column in a `pattern` file,
+        // i.e. the header is wrong or the data is). Ignoring it would
+        // silently misread the file, so it is a format error.
+        if let Some(extra) = it.next() {
+            return Err(parse_err(format!(
+                "unexpected trailing token '{extra}' on data line '{trimmed}'{}",
+                if field == Field::Pattern {
+                    " (pattern entries carry no value column)"
+                } else {
+                    ""
+                }
+            )));
+        }
         if i == 0 || j == 0 || i > nrows || j > ncols {
             return Err(parse_err(format!("index ({i},{j}) out of 1..{nrows} x 1..{ncols}")));
         }
@@ -230,6 +244,48 @@ mod tests {
                     2 1\n";
         let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(t.canonicalize().entries(), &[(0, 2, 1.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn parse_symmetric_pattern_expands_mirror() {
+        // The natural input for an undirected graph: a symmetric
+        // pattern file stores each edge once (lower triangle) and reads
+        // back as the full 0/1 adjacency.
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 2\n";
+        let t = read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+        assert!(t.is_symmetric());
+        assert_eq!(
+            t.canonicalize().entries(),
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]
+        );
+        // The triangle rule applies to pattern files too.
+        let upper = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                     3 3 1\n\
+                     1 2\n";
+        let err = read_matrix_market(BufReader::new(upper.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("lower triangle"), "{err}");
+    }
+
+    #[test]
+    fn pattern_line_with_value_column_rejected() {
+        // A value column in a pattern file means the header lies about
+        // the data; silently ignoring the token would misread the file.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 2\n\
+                    1 1\n\
+                    2 1 7.5\n";
+        let err = read_matrix_market(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'7.5'") && msg.contains("no value column"), "{msg}");
+        // Same guard for real files: a fourth token is rejected.
+        let four = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n\
+                    1 1 2.0 9\n";
+        let err = read_matrix_market(BufReader::new(four.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("'9'"), "{err}");
     }
 
     #[test]

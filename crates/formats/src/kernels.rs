@@ -1,4 +1,5 @@
-//! Hand-written sparse kernels, one per storage format.
+//! Hand-written sparse kernels, one per storage format — generic over
+//! the scalar [`Semiring`].
 //!
 //! These are the "hand-written library code" baselines of the paper's
 //! experiments: each kernel is written the way a numerical library
@@ -7,29 +8,48 @@
 //! i-nodes, …). The compiler-generated executors are benchmarked
 //! against these in Table 1 and the dispatch-hoisting ablation.
 //!
-//! All SpMV kernels *accumulate*: `y += A·x`. Zero `y` first for a
-//! plain product.
+//! Every kernel is the `*_in::<S>` generic; the classical f64 names
+//! (`spmv_csr`, `spmm_csr_csr`, …) that external callers use are thin
+//! [`F64Plus`] instantiations. Formats store `f64` regardless of the
+//! semiring; values are lifted on the fly via [`Semiring::from_f64`] —
+//! the identity for [`F64Plus`], so the generic kernels monomorphise
+//! to exactly the pre-refactor loops (pinned bitwise by the goldens in
+//! `tests/observability.rs` and `tests/semiring_equivalence.rs`).
+//!
+//! All SpMV kernels *accumulate*: `y ⊕= A·x`. Fill `y` with
+//! `S::zero()` first for a plain product.
 
-use crate::{Ccs, Cccs, Coo, Csr, DiagonalMatrix, InodeMatrix, Itpack, JDiag, Triplets};
+use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag, Triplets};
+use bernoulli_relational::semiring::{F64Plus, Semiring};
 
-/// `y += A·x` for CRS: row-wise dot products.
-pub fn spmv_csr(a: &Csr, x: &[f64], y: &mut [f64]) {
+/// `y ⊕= A·x` for CRS: row-wise dot products.
+pub fn spmv_csr_in<S: Semiring>(a: &Csr, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let rowptr = a.rowptr();
     let colind = a.colind();
     let vals = a.vals();
     for (r, yr) in y.iter_mut().enumerate() {
-        let mut acc = 0.0;
+        let mut acc = S::zero();
         for k in rowptr[r]..rowptr[r + 1] {
-            acc += vals[k] * x[colind[k]];
+            acc = S::plus(acc, S::times(S::from_f64(vals[k]), x[colind[k]]));
         }
-        *yr += acc;
+        *yr = S::plus(*yr, acc);
     }
 }
 
-/// `y += A·x` for CCS: column-wise axpys (scatter into `y`).
-pub fn spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64]) {
+/// `y += A·x` for CRS on the classical f64 algebra.
+pub fn spmv_csr(a: &Csr, x: &[f64], y: &mut [f64]) {
+    spmv_csr_in::<F64Plus>(a, x, y)
+}
+
+/// `y ⊕= A·x` for CCS: column-wise axpys (scatter into `y`).
+///
+/// Skipping a column scaled by a "zero" `x[j]` is delegated to
+/// [`Semiring::skip_scaled_column`]: for f64 that is only sound when
+/// the column is all finite (NaN·0 and ±Inf·0 are NaN and must reach
+/// `y`); other semirings never skip.
+pub fn spmv_ccs_in<S: Semiring>(a: &Ccs, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let colp = a.colp();
@@ -37,19 +57,17 @@ pub fn spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64]) {
     let vals = a.vals();
     for (j, &xj) in x.iter().enumerate() {
         let (s, e) = (colp[j], colp[j + 1]);
-        // Skipping a zero x[j] is only sound when the column is all
-        // finite: NaN·0 and ±Inf·0 are NaN and must reach y.
-        if xj == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
+        if S::skip_scaled_column(xj, &vals[s..e]) {
             continue;
         }
         for k in s..e {
-            y[rowind[k]] += vals[k] * xj;
+            y[rowind[k]] = S::plus(y[rowind[k]], S::times(S::from_f64(vals[k]), xj));
         }
     }
 }
 
-/// `y += A·x` for CCCS: axpys over stored columns only.
-pub fn spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64]) {
+/// `y ⊕= A·x` for CCCS: axpys over stored columns only.
+pub fn spmv_cccs_in<S: Semiring>(a: &Cccs, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let colind = a.colind();
@@ -59,25 +77,25 @@ pub fn spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64]) {
     for (q, &j) in colind.iter().enumerate() {
         let xj = x[j];
         for k in colp[q]..colp[q + 1] {
-            y[rowind[k]] += vals[k] * xj;
+            y[rowind[k]] = S::plus(y[rowind[k]], S::times(S::from_f64(vals[k]), xj));
         }
     }
 }
 
-/// `y += A·x` for COO: one scatter per stored entry.
-pub fn spmv_coo(a: &Coo, x: &[f64], y: &mut [f64]) {
+/// `y ⊕= A·x` for COO: one scatter per stored entry.
+pub fn spmv_coo_in<S: Semiring>(a: &Coo, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let (rows, cols, vals) = a.arrays();
     for k in 0..vals.len() {
-        y[rows[k]] += vals[k] * x[cols[k]];
+        y[rows[k]] = S::plus(y[rows[k]], S::times(S::from_f64(vals[k]), x[cols[k]]));
     }
 }
 
-/// `y += A·x` for Diagonal storage: one shifted axpy per diagonal
+/// `y ⊕= A·x` for Diagonal storage: one shifted axpy per diagonal
 /// (stride-1 on both `x` and `y` — the reason this format wins on
 /// banded matrices).
-pub fn spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_diag_in<S: Semiring>(a: &DiagonalMatrix, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     for d in a.diagonals() {
@@ -86,15 +104,15 @@ pub fn spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64]) {
         let ys = &mut y[i0..i0 + d.vals.len()];
         let xs = &x[j0..j0 + d.vals.len()];
         for ((yv, &xv), &av) in ys.iter_mut().zip(xs).zip(&d.vals) {
-            *yv += av * xv;
+            *yv = S::plus(*yv, S::times(S::from_f64(av), xv));
         }
     }
 }
 
-/// `y += A·x` for ITPACK: sweep the padded slots column-major; padded
-/// entries multiply by zero (branch-free inner loop, the classical
-/// ITPACK kernel).
-pub fn spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64]) {
+/// `y ⊕= A·x` for ITPACK: sweep the padded slots column-major; padded
+/// entries multiply the annihilating zero (branch-free inner loop, the
+/// classical ITPACK kernel).
+pub fn spmv_itpack_in<S: Semiring>(a: &Itpack, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let n = a.nrows();
@@ -102,54 +120,76 @@ pub fn spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64]) {
     for k in 0..a.width() {
         let base = k * n;
         for (r, yr) in y.iter_mut().enumerate() {
-            *yr += vals[base + r] * x[colind[base + r]];
+            *yr = S::plus(*yr, S::times(S::from_f64(vals[base + r]), x[colind[base + r]]));
         }
     }
 }
 
-/// `y += A·x` for JDIAG: long stride-1 sweeps along each jagged
+/// `y ⊕= A·x` for JDIAG: long stride-1 sweeps along each jagged
 /// diagonal, accumulating into a permuted workspace, then scattered
 /// back through `IPERM`.
-pub fn spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64]) {
+pub fn spmv_jdiag_in<S: Semiring>(a: &JDiag, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let (jd_ptr, colind, vals) = a.arrays();
-    let mut work = vec![0.0; a.nrows()];
+    let mut work = vec![S::zero(); a.nrows()];
     for d in 0..a.num_jdiags() {
         let (s, e) = (jd_ptr[d], jd_ptr[d + 1]);
         for (p, k) in (s..e).enumerate() {
-            work[p] += vals[k] * x[colind[k]];
+            work[p] = S::plus(work[p], S::times(S::from_f64(vals[k]), x[colind[k]]));
         }
     }
     let perm = a.permutation();
     for (p, &w) in work.iter().enumerate() {
-        y[perm.backward(p)] += w;
+        let r = perm.backward(p);
+        y[r] = S::plus(y[r], w);
     }
 }
 
-/// `y += A·x` for i-node storage: a small dense matvec per i-node,
+/// `y += A·x` for JDIAG on the classical f64 algebra.
+pub fn spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64]) {
+    spmv_jdiag_in::<F64Plus>(a, x, y)
+}
+
+/// `y ⊕= A·x` for i-node storage: a small dense matvec per i-node,
 /// gathering `x` through the shared column list once per group.
-pub fn spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64]) {
+pub fn spmv_inode_in<S: Semiring>(a: &InodeMatrix, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
-    let mut gx: Vec<f64> = Vec::new();
+    let mut gx: Vec<S::Elem> = Vec::new();
     for g in a.inodes() {
         let w = g.cols.len();
         gx.clear();
         gx.extend(g.cols.iter().map(|&c| x[c]));
         for r in 0..g.rows {
             let row = &g.vals[r * w..(r + 1) * w];
-            let mut acc = 0.0;
+            let mut acc = S::zero();
             for (a_rv, &xv) in row.iter().zip(&gx) {
-                acc += a_rv * xv;
+                acc = S::plus(acc, S::times(S::from_f64(*a_rv), xv));
             }
-            y[g.first_row + r] += acc;
+            y[g.first_row + r] = S::plus(y[g.first_row + r], acc);
         }
     }
 }
 
-/// `y += Aᵀ·x` for CRS (equivalently CCS SpMV of the transpose).
-pub fn spmv_csr_transposed(a: &Csr, x: &[f64], y: &mut [f64]) {
+/// `y ⊕= A·x` for dense storage: plain row-wise dot products (same
+/// loop structure as `DenseMatrix::matvec_acc`).
+pub fn matvec_dense_in<S: Semiring>(a: &DenseMatrix, x: &[S::Elem], y: &mut [S::Elem]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    let data = a.as_slice();
+    let ncols = a.ncols();
+    for (r, yr) in y.iter_mut().enumerate() {
+        let mut acc = S::zero();
+        for (c, &xv) in x.iter().enumerate() {
+            acc = S::plus(acc, S::times(S::from_f64(data[r * ncols + c]), xv));
+        }
+        *yr = S::plus(*yr, acc);
+    }
+}
+
+/// `y ⊕= Aᵀ·x` for CRS (equivalently CCS SpMV of the transpose).
+pub fn spmv_csr_transposed_in<S: Semiring>(a: &Csr, x: &[S::Elem], y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.nrows());
     assert_eq!(y.len(), a.ncols());
     let rowptr = a.rowptr();
@@ -157,21 +197,26 @@ pub fn spmv_csr_transposed(a: &Csr, x: &[f64], y: &mut [f64]) {
     let vals = a.vals();
     for (r, &xr) in x.iter().enumerate() {
         let (s, e) = (rowptr[r], rowptr[r + 1]);
-        // Same finiteness gate as spmv_ccs: NaN/Inf times zero is NaN.
-        if xr == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
+        // Same column-skip gate as spmv_ccs_in.
+        if S::skip_scaled_column(xr, &vals[s..e]) {
             continue;
         }
         for k in s..e {
-            y[colind[k]] += vals[k] * xr;
+            y[colind[k]] = S::plus(y[colind[k]], S::times(S::from_f64(vals[k]), xr));
         }
     }
 }
 
-/// Sparse matrix × skinny dense matrix: `Y += A·X` where `X` is
+/// `y += Aᵀ·x` for CRS on the classical f64 algebra.
+pub fn spmv_csr_transposed(a: &Csr, x: &[f64], y: &mut [f64]) {
+    spmv_csr_transposed_in::<F64Plus>(a, x, y)
+}
+
+/// Sparse matrix × skinny dense matrix: `Y ⊕= A·X` where `X` is
 /// `ncols × k` row-major and `Y` is `nrows × k` row-major. This is the
 /// other core operation of iterative solvers the paper's conclusion
 /// names ("the product of a sparse matrix and a skinny dense matrix").
-pub fn spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64]) {
+pub fn spmm_csr_dense_in<S: Semiring>(a: &Csr, x: &[S::Elem], k: usize, y: &mut [S::Elem]) {
     assert_eq!(x.len(), a.ncols() * k);
     assert_eq!(y.len(), a.nrows() * k);
     let rowptr = a.rowptr();
@@ -180,43 +225,64 @@ pub fn spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64]) {
     for r in 0..a.nrows() {
         let yrow = &mut y[r * k..(r + 1) * k];
         for p in rowptr[r]..rowptr[r + 1] {
-            let av = vals[p];
+            let av = S::from_f64(vals[p]);
             let xrow = &x[colind[p] * k..(colind[p] + 1) * k];
             for (yv, &xv) in yrow.iter_mut().zip(xrow) {
-                *yv += av * xv;
+                *yv = S::plus(*yv, S::times(av, xv));
             }
         }
     }
 }
 
-/// Sparse × sparse matrix product in CRS (Gustavson's algorithm):
-/// the hand-written baseline for the compiled `C(i,j) += A(i,k)·B(k,j)`.
-pub fn spmm_csr_csr(a: &Csr, b: &Csr) -> Csr {
+/// `Y += A·X` (skinny dense `X`) on the classical f64 algebra.
+pub fn spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64]) {
+    spmm_csr_dense_in::<F64Plus>(a, x, k, y)
+}
+
+/// Sparse × sparse matrix product over an arbitrary semiring
+/// (Gustavson's algorithm with a dense SPA row accumulator). Returns
+/// the stored entries `(i, j, c_ij)` with rows ascending and columns
+/// in first-touch order within a row; entries equal to `S::zero()`
+/// after accumulation are dropped, mirroring the f64 kernel's
+/// numeric-cancellation rule.
+pub fn spmm_csr_csr_in<S: Semiring>(a: &Csr, b: &Csr) -> Vec<(usize, usize, S::Elem)> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions");
-    let mut t = Triplets::new(a.nrows(), b.ncols());
+    let mut out: Vec<(usize, usize, S::Elem)> = Vec::new();
     // Dense accumulator per row (SPA), classic Gustavson.
     let mut marker = vec![usize::MAX; b.ncols()];
-    let mut acc = vec![0.0f64; b.ncols()];
+    let mut acc = vec![S::zero(); b.ncols()];
     let mut touched: Vec<usize> = Vec::new();
     for i in 0..a.nrows() {
         touched.clear();
         for (p, &kcol) in a.row_cols(i).iter().enumerate() {
-            let av = a.row_vals(i)[p];
+            let av = S::from_f64(a.row_vals(i)[p]);
             for (q, &j) in b.row_cols(kcol).iter().enumerate() {
-                let bv = b.row_vals(kcol)[q];
+                let bv = S::from_f64(b.row_vals(kcol)[q]);
                 if marker[j] != i {
                     marker[j] = i;
-                    acc[j] = 0.0;
+                    acc[j] = S::zero();
                     touched.push(j);
                 }
-                acc[j] += av * bv;
+                acc[j] = S::plus(acc[j], S::times(av, bv));
             }
         }
         for &j in &touched {
-            if acc[j] != 0.0 {
-                t.push(i, j, acc[j]);
+            if acc[j] != S::zero() {
+                out.push((i, j, acc[j]));
             }
         }
+    }
+    out
+}
+
+/// Sparse × sparse matrix product in CRS (Gustavson's algorithm) on
+/// the classical f64 algebra: the hand-written baseline for the
+/// compiled `C(i,j) += A(i,k)·B(k,j)`.
+pub fn spmm_csr_csr(a: &Csr, b: &Csr) -> Csr {
+    let entries = spmm_csr_csr_in::<F64Plus>(a, b);
+    let mut t = Triplets::new(a.nrows(), b.ncols());
+    for (i, j, v) in entries {
+        t.push(i, j, v);
     }
     Csr::from_triplets(&t)
 }
@@ -226,6 +292,7 @@ mod tests {
     use super::*;
     use crate::matrix::{FormatKind, SparseMatrix};
     use crate::DenseMatrix;
+    use bernoulli_relational::semiring::{BoolOrAnd, CountU64, MinPlus};
 
     fn sample() -> Triplets {
         Triplets::from_entries(
@@ -341,5 +408,64 @@ mod tests {
         let b = Csr::from_triplets(&Triplets::from_entries(2, 1, &[(0, 0, 3.0), (1, 0, 3.0)]));
         let c = spmm_csr_csr(&a, &b);
         assert_eq!(c.nnz(), 0);
+    }
+
+    /// Reference `y ⊕= A·x` straight off the triplets, any semiring.
+    fn matvec_acc_in<S: Semiring>(t: &Triplets, x: &[S::Elem], y: &mut [S::Elem]) {
+        for &(r, c, v) in t.canonicalize().entries() {
+            y[r] = S::plus(y[r], S::times(S::from_f64(v), x[c]));
+        }
+    }
+
+    #[test]
+    fn min_plus_relaxation_over_every_format() {
+        // One SpMV over (min,+) relaxes distances through one edge.
+        // Graph: 0→1 (w=2), 0→2 (w=7), 1→2 (w=3), stored as A[i][j] =
+        // weight of edge j→i so that y = A ⊗ x relaxes into targets.
+        let t = Triplets::from_entries(3, 3, &[(1, 0, 2.0), (2, 0, 7.0), (2, 1, 3.0)]);
+        let x = vec![0.0, f64::INFINITY, f64::INFINITY]; // dist after 0 hops
+        for kind in FormatKind::ALL {
+            let m = SparseMatrix::from_triplets(kind, &t);
+            // One Bellman-Ford step: y = min(x, A ⊗ x).
+            let mut y = x.clone();
+            m.spmv_acc_in::<MinPlus>(&x, &mut y);
+            assert_eq!(y, vec![0.0, 2.0, 7.0], "format {kind}, 1 hop");
+            // Second step finds the cheaper 2-hop path 0→1→2.
+            let mut z = y.clone();
+            m.spmv_acc_in::<MinPlus>(&y, &mut z);
+            assert_eq!(z, vec![0.0, 2.0, 5.0], "format {kind}, 2 hops");
+        }
+    }
+
+    #[test]
+    fn bool_spmv_is_neighborhood() {
+        let t = sample();
+        let a = Csr::from_triplets(&t);
+        let x = vec![true, false, false, false, false];
+        let mut y = vec![false; 5];
+        spmv_csr_in::<BoolOrAnd>(&a, &x, &mut y);
+        // Rows with a stored entry in column 0: rows 0 and 2.
+        assert_eq!(y, vec![true, false, true, false, false]);
+        let mut want = vec![false; 5];
+        matvec_acc_in::<BoolOrAnd>(&t, &x, &mut want);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn counting_spmm_counts_paths() {
+        // Path counting: C = A ⊗ A over (+,×) on u64 counts length-2
+        // walks through the pattern. Triangle of nodes {0,1,2}.
+        let t = Triplets::from_entries(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (0, 2, 1.0), (2, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        );
+        let a = Csr::from_triplets(&t);
+        let c = spmm_csr_csr_in::<CountU64>(&a, &a);
+        // Each node has 2 length-2 closed walks (i→j→i for both
+        // neighbors) and 1 walk to each other node.
+        for (i, j, n) in c {
+            assert_eq!(n, if i == j { 2 } else { 1 }, "walks {i}→{j}");
+        }
     }
 }

@@ -153,29 +153,52 @@ impl SparseMatrix {
         SparseMatrix::from_triplets(kind, &self.to_triplets())
     }
 
-    /// Hand-written SpMV (`y += A·x`) dispatching to the per-format
-    /// kernels of [`crate::kernels`].
-    pub fn spmv_acc(&self, x: &[f64], y: &mut [f64]) {
+    /// Hand-written SpMV (`y ⊕= A·x`) over an arbitrary semiring,
+    /// dispatching to the per-format generic kernels of
+    /// [`crate::kernels`].
+    pub fn spmv_acc_in<S: bernoulli_relational::semiring::Semiring>(
+        &self,
+        x: &[S::Elem],
+        y: &mut [S::Elem],
+    ) {
         use crate::kernels;
         match self {
-            SparseMatrix::Dense(m) => m.matvec_acc(x, y),
-            SparseMatrix::Coordinate(m) => kernels::spmv_coo(m, x, y),
-            SparseMatrix::Csr(m) => kernels::spmv_csr(m, x, y),
-            SparseMatrix::Ccs(m) => kernels::spmv_ccs(m, x, y),
-            SparseMatrix::Cccs(m) => kernels::spmv_cccs(m, x, y),
-            SparseMatrix::Diagonal(m) => kernels::spmv_diag(m, x, y),
-            SparseMatrix::Itpack(m) => kernels::spmv_itpack(m, x, y),
-            SparseMatrix::JDiag(m) => kernels::spmv_jdiag(m, x, y),
-            SparseMatrix::Inode(m) => kernels::spmv_inode(m, x, y),
+            SparseMatrix::Dense(m) => kernels::matvec_dense_in::<S>(m, x, y),
+            SparseMatrix::Coordinate(m) => kernels::spmv_coo_in::<S>(m, x, y),
+            SparseMatrix::Csr(m) => kernels::spmv_csr_in::<S>(m, x, y),
+            SparseMatrix::Ccs(m) => kernels::spmv_ccs_in::<S>(m, x, y),
+            SparseMatrix::Cccs(m) => kernels::spmv_cccs_in::<S>(m, x, y),
+            SparseMatrix::Diagonal(m) => kernels::spmv_diag_in::<S>(m, x, y),
+            SparseMatrix::Itpack(m) => kernels::spmv_itpack_in::<S>(m, x, y),
+            SparseMatrix::JDiag(m) => kernels::spmv_jdiag_in::<S>(m, x, y),
+            SparseMatrix::Inode(m) => kernels::spmv_inode_in::<S>(m, x, y),
         }
     }
 
-    /// Parallel SpMV (`y += A·x`) dispatching to the per-format
-    /// kernels of [`crate::par_kernels`]. Matrices below `exec`'s work
-    /// threshold (and any run with one worker) use the serial kernels
-    /// unchanged; see the family-by-family determinism contract on the
-    /// [`crate::par_kernels`] module.
-    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecCtx) {
+    /// Hand-written SpMV (`y += A·x`) on the classical f64 algebra.
+    pub fn spmv_acc(&self, x: &[f64], y: &mut [f64]) {
+        // Dense keeps its historical direct path (identical loop
+        // structure to matvec_dense_in::<F64Plus>).
+        match self {
+            SparseMatrix::Dense(m) => m.matvec_acc(x, y),
+            _ => self.spmv_acc_in::<bernoulli_relational::semiring::F64Plus>(x, y),
+        }
+    }
+
+    /// Parallel SpMV (`y ⊕= A·x`) over an arbitrary semiring,
+    /// dispatching to the per-format generic kernels of
+    /// [`crate::par_kernels`]. Matrices below `exec`'s work threshold
+    /// (and any run with one worker) use the serial kernels unchanged;
+    /// see the family-by-family determinism contract on the
+    /// [`crate::par_kernels`] module — in particular, the scatter
+    /// family (CCS/CCCS/COO) silently stays serial for a semiring
+    /// whose ⊕ is not associative-commutative.
+    pub fn par_spmv_acc_in<S: bernoulli_relational::semiring::Semiring>(
+        &self,
+        x: &[S::Elem],
+        y: &mut [S::Elem],
+        exec: &crate::exec::ExecCtx,
+    ) {
         use crate::par_kernels as pk;
         // Dense stores every element; its "work" is the full product.
         let work = match self {
@@ -183,19 +206,32 @@ impl SparseMatrix {
             _ => self.nnz(),
         };
         if !exec.should_parallelize(work) {
-            return self.spmv_acc(x, y);
+            return self.spmv_acc_in::<S>(x, y);
         }
         match self {
-            SparseMatrix::Dense(m) => pk::par_matvec_dense(m, x, y, exec),
-            SparseMatrix::Coordinate(m) => pk::par_spmv_coo(m, x, y, exec),
-            SparseMatrix::Csr(m) => pk::par_spmv_csr(m, x, y, exec),
-            SparseMatrix::Ccs(m) => pk::par_spmv_ccs(m, x, y, exec),
-            SparseMatrix::Cccs(m) => pk::par_spmv_cccs(m, x, y, exec),
-            SparseMatrix::Diagonal(m) => pk::par_spmv_diag(m, x, y, exec),
-            SparseMatrix::Itpack(m) => pk::par_spmv_itpack(m, x, y, exec),
-            SparseMatrix::JDiag(m) => pk::par_spmv_jdiag(m, x, y, exec),
-            SparseMatrix::Inode(m) => pk::par_spmv_inode(m, x, y, exec),
+            SparseMatrix::Dense(m) => pk::par_matvec_dense_in::<S>(m, x, y, exec),
+            SparseMatrix::Coordinate(m) => pk::par_spmv_coo_in::<S>(m, x, y, exec),
+            SparseMatrix::Csr(m) => pk::par_spmv_csr_in::<S>(m, x, y, exec),
+            SparseMatrix::Ccs(m) => pk::par_spmv_ccs_in::<S>(m, x, y, exec),
+            SparseMatrix::Cccs(m) => pk::par_spmv_cccs_in::<S>(m, x, y, exec),
+            SparseMatrix::Diagonal(m) => pk::par_spmv_diag_in::<S>(m, x, y, exec),
+            SparseMatrix::Itpack(m) => pk::par_spmv_itpack_in::<S>(m, x, y, exec),
+            SparseMatrix::JDiag(m) => pk::par_spmv_jdiag_in::<S>(m, x, y, exec),
+            SparseMatrix::Inode(m) => pk::par_spmv_inode_in::<S>(m, x, y, exec),
         }
+    }
+
+    /// Parallel SpMV (`y += A·x`) on the classical f64 algebra.
+    pub fn par_spmv_acc(&self, x: &[f64], y: &mut [f64], exec: &crate::exec::ExecCtx) {
+        // Keep the Dense serial path identical to spmv_acc's.
+        let work = match self {
+            SparseMatrix::Dense(m) => m.nrows() * m.ncols(),
+            _ => self.nnz(),
+        };
+        if !exec.should_parallelize(work) {
+            return self.spmv_acc(x, y);
+        }
+        self.par_spmv_acc_in::<bernoulli_relational::semiring::F64Plus>(x, y, exec)
     }
 }
 

@@ -1,4 +1,5 @@
-//! Shared-memory parallel sparse kernels, one per storage format.
+//! Shared-memory parallel sparse kernels, one per storage format —
+//! generic over the scalar [`Semiring`].
 //!
 //! Parallel counterparts of [`crate::kernels`], in two families with
 //! different determinism guarantees:
@@ -9,16 +10,23 @@
 //! Each `y[i]` is written by exactly one worker, with the *same
 //! per-element operation order* as the serial kernel — so the result
 //! is **bit-for-bit identical** to serial, for any worker count, with
-//! no atomics and no extra memory.
+//! no atomics and no extra memory. Because the serial ⊕ chain per
+//! element is preserved, this family is sound for *any* semiring,
+//! including non-commutative ⊕ (mirroring the race checker's
+//! algebra-independent `DisjointWrites` certificate).
 //!
 //! **Column-major / scatter family** (CCS, CCCS, COO): the stored
 //! entries are split into `threads` chunks, each accumulated into a
 //! thread-local vector, and the partials are merged into `y` in fixed
 //! chunk order (itself parallelized over row blocks). The merge order
-//! is deterministic for a given worker count, but partial sums
-//! re-associate floating-point addition, so results agree with serial
-//! only to rounding (≤ 1e-12 relative for reasonable inputs) — the
-//! usual contract for parallel reductions.
+//! is deterministic for a given worker count, but partial accumulation
+//! re-associates and re-orders ⊕ — sound only when ⊕ is an
+//! associative-commutative monoid (the `Reduction` certificate; for
+//! f64 "sound" means agreement with serial to rounding, ≤ 1e-12
+//! relative for reasonable inputs — the usual contract for parallel
+//! reductions). For a semiring whose ⊕ is **not** AC these kernels
+//! refuse to parallelize and run the serial kernel instead, exactly as
+//! the race checker refuses the nest with BA06.
 //!
 //! Every kernel takes an [`ExecCtx`]; below its worker/threshold
 //! gate the serial kernel runs unchanged, so small operands keep the
@@ -27,6 +35,7 @@
 use crate::exec::ExecCtx;
 use crate::kernels;
 use crate::{Ccs, Cccs, Coo, Csr, DenseMatrix, DiagonalMatrix, InodeMatrix, Itpack, JDiag};
+use bernoulli_relational::semiring::{F64Plus, Semiring};
 use rayon::prelude::*;
 
 /// Rows per worker chunk: one contiguous block per worker (row order
@@ -36,14 +45,20 @@ fn chunk_rows(nrows: usize, threads: usize) -> usize {
     nrows.div_ceil(threads.max(1)).max(1)
 }
 
-/// `y += A·x` for CRS, parallel over row blocks. Bit-identical to
-/// [`kernels::spmv_csr`].
-pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// Whether the scatter family may parallelize under `S`: merging
+/// thread-local partials reassociates and commutes ⊕.
+fn plus_is_ac<S: Semiring>() -> bool {
+    S::PLUS_IS_ASSOCIATIVE && S::PLUS_IS_COMMUTATIVE
+}
+
+/// `y ⊕= A·x` for CRS, parallel over row blocks. Bit-identical to
+/// [`kernels::spmv_csr_in`].
+pub fn par_spmv_csr_in<S: Semiring>(a: &Csr, x: &[S::Elem], y: &mut [S::Elem], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return kernels::spmv_csr(a, x, y);
+        return kernels::spmv_csr_in::<S>(a, x, y);
     }
     let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
     let chunk = chunk_rows(y.len(), t);
@@ -52,26 +67,31 @@ pub fn par_spmv_csr(a: &Csr, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
             let r0 = ci * chunk;
             for (dr, yr) in yc.iter_mut().enumerate() {
                 let r = r0 + dr;
-                let mut acc = 0.0;
+                let mut acc = S::zero();
                 for k in rowptr[r]..rowptr[r + 1] {
-                    acc += vals[k] * x[colind[k]];
+                    acc = S::plus(acc, S::times(S::from_f64(vals[k]), x[colind[k]]));
                 }
-                *yr += acc;
+                *yr = S::plus(*yr, acc);
             }
         });
     });
 }
 
-/// `y += A·x` for ITPACK, parallel over row blocks. Each row applies
+/// `y ⊕= A·x` for ITPACK, parallel over row blocks. Each row applies
 /// its padded slots in the same k-ascending order as the serial
 /// column-major sweep, so the result is bit-identical to
-/// [`kernels::spmv_itpack`].
-pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// [`kernels::spmv_itpack_in`].
+pub fn par_spmv_itpack_in<S: Semiring>(
+    a: &Itpack,
+    x: &[S::Elem],
+    y: &mut [S::Elem],
+    exec: &ExecCtx,
+) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return kernels::spmv_itpack(a, x, y);
+        return kernels::spmv_itpack_in::<S>(a, x, y);
     }
     let n = a.nrows();
     let width = a.width();
@@ -84,27 +104,27 @@ pub fn par_spmv_itpack(a: &Itpack, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
                 let r = r0 + dr;
                 for k in 0..width {
                     let s = k * n + r;
-                    *yr += vals[s] * x[colind[s]];
+                    *yr = S::plus(*yr, S::times(S::from_f64(vals[s]), x[colind[s]]));
                 }
             }
         });
     });
 }
 
-/// `y += A·x` for JDIAG: the permuted workspace is filled in parallel
+/// `y ⊕= A·x` for JDIAG: the permuted workspace is filled in parallel
 /// over position blocks (each position accumulates its jagged
 /// diagonals in the same d-ascending order as serial), then scattered
-/// through `IPERM`. Bit-identical to [`kernels::spmv_jdiag`].
-pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// through `IPERM`. Bit-identical to [`kernels::spmv_jdiag_in`].
+pub fn par_spmv_jdiag_in<S: Semiring>(a: &JDiag, x: &[S::Elem], y: &mut [S::Elem], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return kernels::spmv_jdiag(a, x, y);
+        return kernels::spmv_jdiag_in::<S>(a, x, y);
     }
     let (jd_ptr, colind, vals) = a.arrays();
     let ndiags = a.num_jdiags();
-    let mut work = vec![0.0; a.nrows()];
+    let mut work = vec![S::zero(); a.nrows()];
     let chunk = chunk_rows(work.len(), t);
     exec.install(|| {
         work.par_chunks_mut(chunk).enumerate().for_each(|(ci, wc)| {
@@ -119,27 +139,34 @@ pub fn par_spmv_jdiag(a: &JDiag, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
                 }
                 let hi = len.min(p0 + wc.len());
                 for p in p0..hi {
-                    wc[p - p0] += vals[s + p] * x[colind[s + p]];
+                    wc[p - p0] =
+                        S::plus(wc[p - p0], S::times(S::from_f64(vals[s + p]), x[colind[s + p]]));
                 }
             }
         });
     });
     let perm = a.permutation();
     for (p, &w) in work.iter().enumerate() {
-        y[perm.backward(p)] += w;
+        let r = perm.backward(p);
+        y[r] = S::plus(y[r], w);
     }
 }
 
-/// `y += A·x` for Diagonal storage, parallel over row blocks. Each row
+/// `y ⊕= A·x` for Diagonal storage, parallel over row blocks. Each row
 /// applies its diagonals in the same storage order as the serial
 /// per-diagonal axpys, so the result is bit-identical to
-/// [`kernels::spmv_diag`].
-pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// [`kernels::spmv_diag_in`].
+pub fn par_spmv_diag_in<S: Semiring>(
+    a: &DiagonalMatrix,
+    x: &[S::Elem],
+    y: &mut [S::Elem],
+    exec: &ExecCtx,
+) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return kernels::spmv_diag(a, x, y);
+        return kernels::spmv_diag_in::<S>(a, x, y);
     }
     let diags = a.diagonals();
     let chunk = chunk_rows(y.len(), t);
@@ -152,30 +179,38 @@ pub fn par_spmv_diag(a: &DiagonalMatrix, x: &[f64], y: &mut [f64], exec: &ExecCt
                 let hi = (d.first_row + d.vals.len()).min(r1);
                 for r in lo..hi {
                     let j = (r as isize + d.offset) as usize;
-                    yc[r - r0] += d.vals[r - d.first_row] * x[j];
+                    yc[r - r0] = S::plus(
+                        yc[r - r0],
+                        S::times(S::from_f64(d.vals[r - d.first_row]), x[j]),
+                    );
                 }
             }
         });
     });
 }
 
-/// `y += A·x` for i-node storage, parallel over row blocks (an i-node
+/// `y ⊕= A·x` for i-node storage, parallel over row blocks (an i-node
 /// straddling a block boundary is computed partly by each side; the
 /// gather of `x` through the shared column list is redone per side).
-/// Bit-identical to [`kernels::spmv_inode`].
-pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// Bit-identical to [`kernels::spmv_inode_in`].
+pub fn par_spmv_inode_in<S: Semiring>(
+    a: &InodeMatrix,
+    x: &[S::Elem],
+    y: &mut [S::Elem],
+    exec: &ExecCtx,
+) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return kernels::spmv_inode(a, x, y);
+        return kernels::spmv_inode_in::<S>(a, x, y);
     }
     let chunk = chunk_rows(y.len(), t);
     exec.install(|| {
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
             let r0 = ci * chunk;
             let r1 = r0 + yc.len();
-            let mut gx: Vec<f64> = Vec::new();
+            let mut gx: Vec<S::Elem> = Vec::new();
             for g in a.inodes() {
                 let lo = g.first_row.max(r0);
                 let hi = (g.first_row + g.rows).min(r1);
@@ -188,36 +223,42 @@ pub fn par_spmv_inode(a: &InodeMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx)
                 for r in lo..hi {
                     let gr = r - g.first_row;
                     let row = &g.vals[gr * w..(gr + 1) * w];
-                    let mut acc = 0.0;
+                    let mut acc = S::zero();
                     for (a_rv, &xv) in row.iter().zip(&gx) {
-                        acc += a_rv * xv;
+                        acc = S::plus(acc, S::times(S::from_f64(*a_rv), xv));
                     }
-                    yc[r - r0] += acc;
+                    yc[r - r0] = S::plus(yc[r - r0], acc);
                 }
             }
         });
     });
 }
 
-/// `y += A·x` for dense row-major storage, parallel over row blocks.
-/// Bit-identical to [`DenseMatrix::matvec_acc`].
-pub fn par_matvec_dense(a: &DenseMatrix, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// `y ⊕= A·x` for dense row-major storage, parallel over row blocks.
+/// Bit-identical to [`kernels::matvec_dense_in`] (and, at [`F64Plus`],
+/// to `DenseMatrix::matvec_acc`).
+pub fn par_matvec_dense_in<S: Semiring>(
+    a: &DenseMatrix,
+    x: &[S::Elem],
+    y: &mut [S::Elem],
+    exec: &ExecCtx,
+) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() {
-        return a.matvec_acc(x, y);
+        return kernels::matvec_dense_in::<S>(a, x, y);
     }
     let chunk = chunk_rows(y.len(), t);
     exec.install(|| {
         y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
             let r0 = ci * chunk;
             for (dr, yr) in yc.iter_mut().enumerate() {
-                let mut acc = 0.0;
+                let mut acc = S::zero();
                 for (c, &xv) in x.iter().enumerate() {
-                    acc += a.row(r0 + dr)[c] * xv;
+                    acc = S::plus(acc, S::times(S::from_f64(a.row(r0 + dr)[c]), xv));
                 }
-                *yr += acc;
+                *yr = S::plus(*yr, acc);
             }
         });
     });
@@ -225,19 +266,20 @@ pub fn par_matvec_dense(a: &DenseMatrix, x: &[f64], y: &mut [f64], exec: &ExecCt
 
 /// Accumulate columns `j0..j1` of a CCS matrix into `part`, with the
 /// serial kernel's exact per-column skip rule (see
-/// [`kernels::spmv_ccs`] on why the zero-skip is gated on finiteness).
-fn ccs_columns_into(a: &Ccs, x: &[f64], j0: usize, j1: usize, part: &mut [f64]) {
+/// [`kernels::spmv_ccs_in`] on why the f64 zero-skip is gated on
+/// finiteness).
+fn ccs_columns_into<S: Semiring>(a: &Ccs, x: &[S::Elem], j0: usize, j1: usize, part: &mut [S::Elem]) {
     let colp = a.colp();
     let rowind = a.rowind();
     let vals = a.vals();
     for j in j0..j1 {
         let xj = x[j];
         let (s, e) = (colp[j], colp[j + 1]);
-        if xj == 0.0 && vals[s..e].iter().all(|v| v.is_finite()) {
+        if S::skip_scaled_column(xj, &vals[s..e]) {
             continue;
         }
         for k in s..e {
-            part[rowind[k]] += vals[k] * xj;
+            part[rowind[k]] = S::plus(part[rowind[k]], S::times(S::from_f64(vals[k]), xj));
         }
     }
 }
@@ -245,55 +287,55 @@ fn ccs_columns_into(a: &Ccs, x: &[f64], j0: usize, j1: usize, part: &mut [f64]) 
 /// Merge per-chunk partial vectors into `y`, parallel over row blocks.
 /// Partials are added in fixed chunk order for every element, so the
 /// merge is deterministic for a given chunk count.
-fn merge_partials(y: &mut [f64], partials: &[Vec<f64>], threads: usize) {
+fn merge_partials<S: Semiring>(y: &mut [S::Elem], partials: &[Vec<S::Elem>], threads: usize) {
     let chunk = chunk_rows(y.len(), threads);
     y.par_chunks_mut(chunk).enumerate().for_each(|(ci, yc)| {
         let r0 = ci * chunk;
         for part in partials {
             for (dr, yv) in yc.iter_mut().enumerate() {
-                *yv += part[r0 + dr];
+                *yv = S::plus(*yv, part[r0 + dr]);
             }
         }
     });
 }
 
-/// `y += A·x` for CCS, parallel over column chunks with thread-local
-/// accumulators. Matches [`kernels::spmv_ccs`] to rounding (partial
-/// sums re-associate addition).
-pub fn par_spmv_ccs(a: &Ccs, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// `y ⊕= A·x` for CCS, parallel over column chunks with thread-local
+/// accumulators. Matches [`kernels::spmv_ccs_in`] to rounding (partial
+/// accumulation reassociates ⊕); stays serial for a non-AC ⊕.
+pub fn par_spmv_ccs_in<S: Semiring>(a: &Ccs, x: &[S::Elem], y: &mut [S::Elem], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
-    if t <= 1 || y.is_empty() || a.ncols() < 2 {
-        return kernels::spmv_ccs(a, x, y);
+    if t <= 1 || y.is_empty() || a.ncols() < 2 || !plus_is_ac::<S>() {
+        return kernels::spmv_ccs_in::<S>(a, x, y);
     }
     let nchunks = t.min(a.ncols());
     let per = a.ncols().div_ceil(nchunks);
     exec.install(|| {
-        let partials: Vec<Vec<f64>> = (0..nchunks)
+        let partials: Vec<Vec<S::Elem>> = (0..nchunks)
             .into_par_iter()
             .map(|c| {
                 let j0 = c * per;
                 let j1 = (j0 + per).min(a.ncols());
-                let mut part = vec![0.0; a.nrows()];
-                ccs_columns_into(a, x, j0, j1, &mut part);
+                let mut part = vec![S::zero(); a.nrows()];
+                ccs_columns_into::<S>(a, x, j0, j1, &mut part);
                 part
             })
             .collect();
-        merge_partials(y, &partials, t);
+        merge_partials::<S>(y, &partials, t);
     });
 }
 
-/// `y += A·x` for CCCS, parallel over stored-column chunks with
-/// thread-local accumulators. Matches [`kernels::spmv_cccs`] to
-/// rounding.
-pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// `y ⊕= A·x` for CCCS, parallel over stored-column chunks with
+/// thread-local accumulators. Matches [`kernels::spmv_cccs_in`] to
+/// rounding; stays serial for a non-AC ⊕.
+pub fn par_spmv_cccs_in<S: Semiring>(a: &Cccs, x: &[S::Elem], y: &mut [S::Elem], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     let stored = a.colind().len();
-    if t <= 1 || y.is_empty() || stored < 2 {
-        return kernels::spmv_cccs(a, x, y);
+    if t <= 1 || y.is_empty() || stored < 2 || !plus_is_ac::<S>() {
+        return kernels::spmv_cccs_in::<S>(a, x, y);
     }
     let colind = a.colind();
     let colp = a.colp();
@@ -302,64 +344,72 @@ pub fn par_spmv_cccs(a: &Cccs, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
     let nchunks = t.min(stored);
     let per = stored.div_ceil(nchunks);
     exec.install(|| {
-        let partials: Vec<Vec<f64>> = (0..nchunks)
+        let partials: Vec<Vec<S::Elem>> = (0..nchunks)
             .into_par_iter()
             .map(|c| {
                 let q0 = c * per;
                 let q1 = (q0 + per).min(stored);
-                let mut part = vec![0.0; a.nrows()];
+                let mut part = vec![S::zero(); a.nrows()];
                 for q in q0..q1 {
                     let xj = x[colind[q]];
                     for k in colp[q]..colp[q + 1] {
-                        part[rowind[k]] += vals[k] * xj;
+                        part[rowind[k]] =
+                            S::plus(part[rowind[k]], S::times(S::from_f64(vals[k]), xj));
                     }
                 }
                 part
             })
             .collect();
-        merge_partials(y, &partials, t);
+        merge_partials::<S>(y, &partials, t);
     });
 }
 
-/// `y += A·x` for COO, parallel over entry chunks with thread-local
-/// accumulators. Matches [`kernels::spmv_coo`] to rounding.
-pub fn par_spmv_coo(a: &Coo, x: &[f64], y: &mut [f64], exec: &ExecCtx) {
+/// `y ⊕= A·x` for COO, parallel over entry chunks with thread-local
+/// accumulators. Matches [`kernels::spmv_coo_in`] to rounding; stays
+/// serial for a non-AC ⊕.
+pub fn par_spmv_coo_in<S: Semiring>(a: &Coo, x: &[S::Elem], y: &mut [S::Elem], exec: &ExecCtx) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
     let t = exec.threads_hint();
     let nnz = a.nnz();
-    if t <= 1 || y.is_empty() || nnz < 2 {
-        return kernels::spmv_coo(a, x, y);
+    if t <= 1 || y.is_empty() || nnz < 2 || !plus_is_ac::<S>() {
+        return kernels::spmv_coo_in::<S>(a, x, y);
     }
     let (rows, cols, vals) = a.arrays();
     let nchunks = t.min(nnz);
     let per = nnz.div_ceil(nchunks);
     exec.install(|| {
-        let partials: Vec<Vec<f64>> = (0..nchunks)
+        let partials: Vec<Vec<S::Elem>> = (0..nchunks)
             .into_par_iter()
             .map(|c| {
                 let k0 = c * per;
                 let k1 = (k0 + per).min(nnz);
-                let mut part = vec![0.0; a.nrows()];
+                let mut part = vec![S::zero(); a.nrows()];
                 for k in k0..k1 {
-                    part[rows[k]] += vals[k] * x[cols[k]];
+                    part[rows[k]] = S::plus(part[rows[k]], S::times(S::from_f64(vals[k]), x[cols[k]]));
                 }
                 part
             })
             .collect();
-        merge_partials(y, &partials, t);
+        merge_partials::<S>(y, &partials, t);
     });
 }
 
-/// Multi-vector SpMV `Y += A·X` (CRS × skinny row-major dense),
+/// Multi-vector SpMV `Y ⊕= A·X` (CRS × skinny row-major dense),
 /// parallel over row blocks of `Y`. Bit-identical to
-/// [`kernels::spmm_csr_dense`].
-pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &ExecCtx) {
+/// [`kernels::spmm_csr_dense_in`].
+pub fn par_spmm_csr_dense_in<S: Semiring>(
+    a: &Csr,
+    x: &[S::Elem],
+    k: usize,
+    y: &mut [S::Elem],
+    exec: &ExecCtx,
+) {
     assert_eq!(x.len(), a.ncols() * k);
     assert_eq!(y.len(), a.nrows() * k);
     let t = exec.threads_hint();
     if t <= 1 || y.is_empty() || k == 0 {
-        return kernels::spmm_csr_dense(a, x, k, y);
+        return kernels::spmm_csr_dense_in::<S>(a, x, k, y);
     }
     let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
     // Chunk in whole rows of Y (k elements each).
@@ -370,10 +420,10 @@ pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &Ex
             for (dr, yrow) in yc.chunks_mut(k).enumerate() {
                 let r = r0 + dr;
                 for p in rowptr[r]..rowptr[r + 1] {
-                    let av = vals[p];
+                    let av = S::from_f64(vals[p]);
                     let xrow = &x[colind[p] * k..(colind[p] + 1) * k];
                     for (yv, &xv) in yrow.iter_mut().zip(xrow) {
-                        *yv += av * xv;
+                        *yv = S::plus(*yv, S::times(av, xv));
                     }
                 }
             }
@@ -381,44 +431,55 @@ pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &Ex
     });
 }
 
-/// Sparse × sparse product in CRS (Gustavson), parallel over row
-/// blocks of `A`: each worker runs the serial per-row SPA over its
-/// block, and the per-block triplet lists are concatenated in block
-/// (= row) order. Bit-identical to [`kernels::spmm_csr_csr`].
-pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecCtx) -> Csr {
+/// `Y += A·X` (skinny dense `X`) on the classical f64 algebra.
+pub fn par_spmm_csr_dense(a: &Csr, x: &[f64], k: usize, y: &mut [f64], exec: &ExecCtx) {
+    par_spmm_csr_dense_in::<F64Plus>(a, x, k, y, exec)
+}
+
+/// Sparse × sparse product over an arbitrary semiring (Gustavson),
+/// parallel over row blocks of `A`: each worker runs the serial
+/// per-row SPA over its block, and the per-block entry lists are
+/// concatenated in block (= row) order. Bit-identical to
+/// [`kernels::spmm_csr_csr_in`] — rows are independent, so this is a
+/// row-family kernel and sound for any semiring.
+pub fn par_spmm_csr_csr_in<S: Semiring>(
+    a: &Csr,
+    b: &Csr,
+    exec: &ExecCtx,
+) -> Vec<(usize, usize, S::Elem)> {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions");
     let t = exec.threads_hint();
     if t <= 1 || a.nrows() == 0 {
-        return kernels::spmm_csr_csr(a, b);
+        return kernels::spmm_csr_csr_in::<S>(a, b);
     }
     let chunk = chunk_rows(a.nrows(), t);
     let nchunks = a.nrows().div_ceil(chunk);
-    let blocks: Vec<Vec<(usize, usize, f64)>> = exec.install(|| {
+    let blocks: Vec<Vec<(usize, usize, S::Elem)>> = exec.install(|| {
         (0..nchunks)
             .into_par_iter()
             .map(|c| {
                 let i0 = c * chunk;
                 let i1 = (i0 + chunk).min(a.nrows());
-                let mut out: Vec<(usize, usize, f64)> = Vec::new();
+                let mut out: Vec<(usize, usize, S::Elem)> = Vec::new();
                 let mut marker = vec![usize::MAX; b.ncols()];
-                let mut acc = vec![0.0f64; b.ncols()];
+                let mut acc = vec![S::zero(); b.ncols()];
                 let mut touched: Vec<usize> = Vec::new();
                 for i in i0..i1 {
                     touched.clear();
                     for (p, &kcol) in a.row_cols(i).iter().enumerate() {
-                        let av = a.row_vals(i)[p];
+                        let av = S::from_f64(a.row_vals(i)[p]);
                         for (q, &j) in b.row_cols(kcol).iter().enumerate() {
-                            let bv = b.row_vals(kcol)[q];
+                            let bv = S::from_f64(b.row_vals(kcol)[q]);
                             if marker[j] != i {
                                 marker[j] = i;
-                                acc[j] = 0.0;
+                                acc[j] = S::zero();
                                 touched.push(j);
                             }
-                            acc[j] += av * bv;
+                            acc[j] = S::plus(acc[j], S::times(av, bv));
                         }
                     }
                     for &j in &touched {
-                        if acc[j] != 0.0 {
+                        if acc[j] != S::zero() {
                             out.push((i, j, acc[j]));
                         }
                     }
@@ -427,15 +488,20 @@ pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecCtx) -> Csr {
             })
             .collect()
     });
-    let mut trip = crate::Triplets::with_capacity(
-        a.nrows(),
-        b.ncols(),
-        blocks.iter().map(Vec::len).sum(),
-    );
-    for block in &blocks {
-        for &(i, j, v) in block {
-            trip.push(i, j, v);
-        }
+    let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+    for block in blocks {
+        out.extend(block);
+    }
+    out
+}
+
+/// Sparse × sparse product in CRS (Gustavson) on the classical f64
+/// algebra. Bit-identical to [`kernels::spmm_csr_csr`].
+pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecCtx) -> Csr {
+    let entries = par_spmm_csr_csr_in::<F64Plus>(a, b, exec);
+    let mut trip = crate::Triplets::with_capacity(a.nrows(), b.ncols(), entries.len());
+    for (i, j, v) in entries {
+        trip.push(i, j, v);
     }
     Csr::from_triplets(&trip)
 }
@@ -445,6 +511,7 @@ mod tests {
     use super::*;
     use crate::matrix::{FormatKind, SparseMatrix};
     use crate::Triplets;
+    use bernoulli_relational::semiring::{BoolOrAnd, FirstNonZero, MinPlus};
 
     fn grid() -> Triplets {
         crate::gen::grid2d_5pt(17, 13)
@@ -555,12 +622,12 @@ mod tests {
         let ccs = crate::Ccs::from_triplets(&t);
         let x = vec![0.0, 1.0, 0.0];
         let mut ys = vec![0.0; 3];
-        kernels::spmv_ccs(&ccs, &x, &mut ys);
+        kernels::spmv_ccs_in::<F64Plus>(&ccs, &x, &mut ys);
         assert!(ys[0].is_nan(), "NaN·0 dropped by serial CCS kernel");
         assert!(ys[2].is_nan(), "Inf·0 dropped by serial CCS kernel");
         let exec = ExecCtx::with_threads(3).threshold(0);
         let mut yp = vec![0.0; 3];
-        par_spmv_ccs(&ccs, &x, &mut yp, &exec);
+        par_spmv_ccs_in::<F64Plus>(&ccs, &x, &mut yp, &exec);
         assert!(yp[0].is_nan() && yp[2].is_nan(), "parallel CCS differs from serial");
         assert_eq!(ys[1], yp[1]);
     }
@@ -577,5 +644,54 @@ mod tests {
             m.par_spmv_acc(&x, &mut y, &ExecCtx::with_threads(4).threshold(0));
             assert_eq!(y, vec![0.0; 6], "format {kind}");
         }
+    }
+
+    /// Row-family parallel kernels are exact for other semirings too
+    /// (per-element ⊕ order is the serial one).
+    #[test]
+    fn row_family_exact_for_min_plus_and_bool() {
+        let t = grid();
+        let a = crate::Csr::from_triplets(&t);
+        let n = t.nrows();
+        let xm: Vec<f64> =
+            (0..n).map(|i| if i % 3 == 0 { (i % 7) as f64 } else { f64::INFINITY }).collect();
+        let mut want = vec![MinPlus::zero(); n];
+        kernels::spmv_csr_in::<MinPlus>(&a, &xm, &mut want);
+        let xb: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+        let mut wantb = vec![false; n];
+        kernels::spmv_csr_in::<BoolOrAnd>(&a, &xb, &mut wantb);
+        for threads in [2, 7] {
+            let exec = ExecCtx::with_threads(threads).threshold(0);
+            let mut got = vec![MinPlus::zero(); n];
+            par_spmv_csr_in::<MinPlus>(&a, &xm, &mut got, &exec);
+            assert_eq!(got, want, "min-plus, {threads} threads");
+            let mut gotb = vec![false; n];
+            par_spmv_csr_in::<BoolOrAnd>(&a, &xb, &mut gotb, &exec);
+            assert_eq!(gotb, wantb, "bool, {threads} threads");
+        }
+    }
+
+    /// The scatter family refuses to parallelize a non-AC ⊕: the
+    /// parallel entry point silently runs the serial kernel, so the
+    /// result is exactly the serial one even with many workers (the
+    /// kernel-level mirror of the race checker's BA06 refusal).
+    #[test]
+    fn scatter_family_serial_for_non_ac_semiring() {
+        let t = grid();
+        let coo = crate::Coo::from_triplets(&t);
+        let ccs = crate::Ccs::from_triplets(&t);
+        let n = t.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 1) % 5) as f64 - 1.0).collect();
+        let exec = ExecCtx::with_threads(8).threshold(0);
+        let mut want = vec![0.0; n];
+        kernels::spmv_coo_in::<FirstNonZero>(&coo, &x, &mut want);
+        let mut got = vec![0.0; n];
+        par_spmv_coo_in::<FirstNonZero>(&coo, &x, &mut got, &exec);
+        assert_eq!(got, want, "COO must fall back to serial for non-AC ⊕");
+        let mut want = vec![0.0; n];
+        kernels::spmv_ccs_in::<FirstNonZero>(&ccs, &x, &mut want);
+        let mut got = vec![0.0; n];
+        par_spmv_ccs_in::<FirstNonZero>(&ccs, &x, &mut got, &exec);
+        assert_eq!(got, want, "CCS must fall back to serial for non-AC ⊕");
     }
 }

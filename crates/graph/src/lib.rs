@@ -1,0 +1,322 @@
+//! # bernoulli-graph
+//!
+//! Graph algorithms as sparse relational queries — the payoff of the
+//! semiring-generic kernel refactor. A graph is its adjacency matrix;
+//! one traversal template (SpMV / SpGEMM through the planner, engine
+//! and [`ExecCtx`] policy path) instantiates at three different scalar
+//! algebras to give three different algorithms:
+//!
+//! * **PageRank** — classical `(+, ×)` over `f64`: power iteration on
+//!   the damped column-stochastic walk matrix, one [`SpmvEngine`]
+//!   application per step.
+//! * **BFS level assignment** — `bool_or_and`: a frontier is a boolean
+//!   vector, one masked Bool-SpMV ([`SemiringSpmvEngine`]) advances it
+//!   one hop.
+//! * **Triangle counting** — `count_u64`: `A²` under the counting
+//!   semiring holds length-2-walk counts; masking by `A` and summing
+//!   counts each triangle six times ([`SemiringSpmmEngine`]).
+//!
+//! Everything policy-like (threads, parallel threshold, checked mode,
+//! telemetry) flows through the [`ExecCtx`] exactly as it does for the
+//! f64 solvers; parallel tiers are granted per-algebra by the race
+//! checker (`bool_or_and` and `count_u64` are associative-commutative,
+//! so the certificates hold).
+
+use std::collections::HashSet;
+
+use bernoulli::engines::{SemiringSpmmEngine, SemiringSpmvEngine, SpmvEngine};
+use bernoulli::{ExecCtx, RelError, RelResult};
+use bernoulli_formats::{Csr, SparseMatrix, Triplets};
+use bernoulli_relational::semiring::{BoolOrAnd, CountU64};
+
+/// Knobs for [`pagerank`].
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankOptions {
+    /// Damping factor `d` (the classical 0.85).
+    pub damping: f64,
+    /// L1 convergence tolerance on successive rank vectors.
+    pub tol: f64,
+    pub max_iters: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> PageRankOptions {
+        PageRankOptions { damping: 0.85, tol: 1e-12, max_iters: 200 }
+    }
+}
+
+/// [`pagerank`]'s result: ranks sum to 1 (within roundoff).
+#[derive(Clone, Debug)]
+pub struct PageRank {
+    pub ranks: Vec<f64>,
+    pub iters: usize,
+    pub converged: bool,
+}
+
+/// PageRank by power iteration: `r ← d·M·r + (1−d)/n + d·s/n` with
+/// `M(v,u) = A(u,v)/outdeg(u)` the column-stochastic walk matrix and
+/// `s` the rank mass sitting on dangling (outdegree-0) nodes, which is
+/// redistributed uniformly. `adj(u,v) ≠ 0` is the edge `u → v`; edge
+/// weights are ignored (the walk is uniform over out-neighbours). The
+/// `M·r` product runs through a compiled [`SpmvEngine`] under `ctx`,
+/// so the planner, strategy gates and telemetry all apply.
+pub fn pagerank(adj: &Csr, opts: &PageRankOptions, ctx: &ExecCtx) -> RelResult<PageRank> {
+    let n = adj.nrows();
+    if adj.ncols() != n {
+        return Err(RelError::Validation(format!(
+            "pagerank: adjacency must be square, got {}×{}",
+            n,
+            adj.ncols()
+        )));
+    }
+    if n == 0 {
+        return Ok(PageRank { ranks: vec![], iters: 0, converged: true });
+    }
+    if !(0.0..1.0).contains(&opts.damping) {
+        return Err(RelError::Validation(format!(
+            "pagerank: damping must be in [0, 1), got {}",
+            opts.damping
+        )));
+    }
+    let entries = adj.to_triplets().canonicalize();
+    let mut outdeg = vec![0u64; n];
+    for &(u, _, _) in entries.entries() {
+        outdeg[u] += 1;
+    }
+    // M(v, u) = 1/outdeg(u) for each edge u → v.
+    let walk: Vec<(usize, usize, f64)> = entries
+        .entries()
+        .iter()
+        .map(|&(u, v, _)| (v, u, 1.0 / outdeg[u] as f64))
+        .collect();
+    let m = SparseMatrix::Csr(Csr::from_triplets(&Triplets::from_entries(n, n, &walk)));
+    let eng = SpmvEngine::compile_in(&m, ctx)?;
+
+    let d = opts.damping;
+    let teleport = (1.0 - d) / n as f64;
+    let mut r = vec![1.0 / n as f64; n];
+    let mut mr = vec![0.0; n];
+    for it in 1..=opts.max_iters {
+        mr.fill(0.0);
+        eng.run(&m, &r, &mut mr)?;
+        let dangling: f64 =
+            r.iter().zip(&outdeg).filter(|(_, &deg)| deg == 0).map(|(ri, _)| ri).sum();
+        let base = teleport + d * dangling / n as f64;
+        let mut delta = 0.0;
+        for (ri, &mri) in r.iter_mut().zip(&mr) {
+            let next = d * mri + base;
+            delta += (next - *ri).abs();
+            *ri = next;
+        }
+        if delta < opts.tol {
+            return Ok(PageRank { ranks: r, iters: it, converged: true });
+        }
+    }
+    Ok(PageRank { ranks: r, iters: opts.max_iters, converged: false })
+}
+
+/// BFS level assignment from `source`: `levels[v]` is the hop count of
+/// the shortest path `source → v`, or `-1` if unreachable. The frontier
+/// is a boolean vector; each round is one Bool-SpMV `next = Aᵀ·frontier`
+/// under the `bool_or_and` semiring (through a compiled
+/// [`SemiringSpmvEngine`]), masked by the set of still-unvisited
+/// vertices. `adj(u,v) ≠ 0` is the edge `u → v`.
+pub fn bfs_levels(adj: &Csr, source: usize, ctx: &ExecCtx) -> RelResult<Vec<i64>> {
+    let n = adj.nrows();
+    if adj.ncols() != n {
+        return Err(RelError::Validation(format!(
+            "bfs: adjacency must be square, got {}×{}",
+            n,
+            adj.ncols()
+        )));
+    }
+    if source >= n {
+        return Err(RelError::Validation(format!("bfs: source {source} out of range for n={n}")));
+    }
+    // B(v, u) = adj(u, v): y = B·x computes y_v = ⋁_u adj(u,v) ∧ x_u,
+    // the one-hop image of the frontier.
+    let transposed: Vec<(usize, usize, f64)> =
+        adj.to_triplets().entries().iter().map(|&(u, v, w)| (v, u, w)).collect();
+    let b = SparseMatrix::Csr(Csr::from_triplets(&Triplets::from_entries(n, n, &transposed)));
+    let eng = SemiringSpmvEngine::<BoolOrAnd>::compile_in(&b, ctx)?;
+
+    let mut levels = vec![-1i64; n];
+    levels[source] = 0;
+    let mut frontier = vec![false; n];
+    frontier[source] = true;
+    let mut image = vec![false; n];
+    for depth in 1..=n as i64 {
+        image.fill(false);
+        eng.run(&b, &frontier, &mut image)?;
+        // Mask: only still-unvisited vertices enter the next frontier.
+        let mut any = false;
+        for v in 0..n {
+            frontier[v] = image[v] && levels[v] < 0;
+            if frontier[v] {
+                levels[v] = depth;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    Ok(levels)
+}
+
+/// Triangle count of a simple undirected graph given as a symmetric
+/// 0/1 adjacency with an empty diagonal. `A²` under the `count_u64`
+/// semiring counts length-2 walks `i → k → j`; keeping only entries
+/// where `(i, j)` is itself an edge (the mask) counts each triangle
+/// once per ordered edge-and-apex choice — six times — so the masked
+/// sum divides by 6. The product runs through a compiled
+/// [`SemiringSpmmEngine`] under `ctx`.
+pub fn triangle_count(adj: &Csr, ctx: &ExecCtx) -> RelResult<u64> {
+    let n = adj.nrows();
+    if adj.ncols() != n {
+        return Err(RelError::Validation(format!(
+            "triangles: adjacency must be square, got {}×{}",
+            n,
+            adj.ncols()
+        )));
+    }
+    let entries = adj.to_triplets().canonicalize();
+    let mut edges: HashSet<(usize, usize)> = HashSet::with_capacity(entries.entries().len());
+    for &(u, v, _) in entries.entries() {
+        if u == v {
+            return Err(RelError::Validation(format!("triangles: self-loop at vertex {u}")));
+        }
+        edges.insert((u, v));
+    }
+    for &(u, v) in &edges {
+        if !edges.contains(&(v, u)) {
+            return Err(RelError::Validation(format!(
+                "triangles: adjacency not symmetric (edge {u}→{v} has no mate)"
+            )));
+        }
+    }
+    let eng = SemiringSpmmEngine::<CountU64>::compile_in(adj, adj, ctx)?;
+    let walks = eng.run_entries(adj, adj)?;
+    let six_times: u64 =
+        walks.iter().filter(|&&(i, j, _)| edges.contains(&(i, j))).map(|&(_, _, c)| c).sum();
+    debug_assert_eq!(six_times % 6, 0, "masked walk count must be divisible by 6");
+    Ok(six_times / 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// K4 on vertices 0–3 plus the path 4–5–6, undirected.
+    fn k4_plus_path() -> Csr {
+        let mut e = Vec::new();
+        for u in 0..4usize {
+            for v in 0..4usize {
+                if u != v {
+                    e.push((u, v, 1.0));
+                }
+            }
+        }
+        for (u, v) in [(4, 5), (5, 4), (5, 6), (6, 5)] {
+            e.push((u, v, 1.0));
+        }
+        Csr::from_triplets(&Triplets::from_entries(7, 7, &e))
+    }
+
+    #[test]
+    fn pagerank_known_answers_on_k4_plus_path() {
+        let g = k4_plus_path();
+        for ctx in [ExecCtx::default(), ExecCtx::with_threads(4).threshold(1)] {
+            let pr = pagerank(&g, &PageRankOptions::default(), &ctx).unwrap();
+            assert!(pr.converged, "{} iters", pr.iters);
+            assert!((pr.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // K4 is vertex-transitive and isolated from the path except
+            // through teleporting: its nodes each hold exactly 1/7.
+            for v in 0..4 {
+                assert!((pr.ranks[v] - 1.0 / 7.0).abs() < 1e-9, "vertex {v}: {}", pr.ranks[v]);
+            }
+            // Path closed form: t = (1−d)/7; ends b = t(1+d/2)/(1−d²),
+            // middle c = t + 2db.
+            let d = 0.85;
+            let t = 0.15 / 7.0;
+            let b = t * (1.0 + d / 2.0) / (1.0 - d * d);
+            let c = t + 2.0 * d * b;
+            assert!((pr.ranks[4] - b).abs() < 1e-9, "end: {} vs {b}", pr.ranks[4]);
+            assert!((pr.ranks[6] - b).abs() < 1e-9);
+            assert!((pr.ranks[5] - c).abs() < 1e-9, "middle: {} vs {c}", pr.ranks[5]);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        // 0 → 1 → 2, vertex 2 dangles: total mass must stay 1 and the
+        // chain must order ranks 2 > 1 > 0 (rank flows downstream).
+        let g = Csr::from_triplets(&Triplets::from_entries(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 2, 1.0)],
+        ));
+        let pr = pagerank(&g, &PageRankOptions::default(), &ExecCtx::default()).unwrap();
+        assert!(pr.converged);
+        assert!((pr.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr.ranks[2] > pr.ranks[1] && pr.ranks[1] > pr.ranks[0], "{:?}", pr.ranks);
+    }
+
+    #[test]
+    fn bfs_levels_on_k4_plus_path() {
+        let g = k4_plus_path();
+        for ctx in [ExecCtx::default(), ExecCtx::with_threads(4).threshold(1)] {
+            assert_eq!(bfs_levels(&g, 0, &ctx).unwrap(), [0, 1, 1, 1, -1, -1, -1]);
+            assert_eq!(bfs_levels(&g, 4, &ctx).unwrap(), [-1, -1, -1, -1, 0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn bfs_follows_edge_direction() {
+        // Directed chain 0 → 1 → 2: forward BFS reaches everything,
+        // backward BFS from 2 reaches nothing.
+        let g = Csr::from_triplets(&Triplets::from_entries(
+            3,
+            3,
+            &[(0, 1, 1.0), (1, 2, 1.0)],
+        ));
+        assert_eq!(bfs_levels(&g, 0, &ExecCtx::default()).unwrap(), [0, 1, 2]);
+        assert_eq!(bfs_levels(&g, 2, &ExecCtx::default()).unwrap(), [-1, -1, 0]);
+    }
+
+    #[test]
+    fn triangle_count_on_k4_plus_path() {
+        let g = k4_plus_path();
+        for ctx in [ExecCtx::default(), ExecCtx::with_threads(4).threshold(1)] {
+            // K4 has C(4,3) = 4 triangles; the path has none.
+            assert_eq!(triangle_count(&g, &ctx).unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn triangle_count_rejects_malformed_adjacency() {
+        let loops =
+            Csr::from_triplets(&Triplets::from_entries(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]));
+        assert!(matches!(
+            triangle_count(&loops, &ExecCtx::default()),
+            Err(RelError::Validation(msg)) if msg.contains("self-loop")
+        ));
+        let asym = Csr::from_triplets(&Triplets::from_entries(2, 2, &[(0, 1, 1.0)]));
+        assert!(matches!(
+            triangle_count(&asym, &ExecCtx::default()),
+            Err(RelError::Validation(msg)) if msg.contains("symmetric")
+        ));
+    }
+
+    #[test]
+    fn input_validation() {
+        let rect = Csr::from_triplets(&Triplets::from_entries(2, 3, &[(0, 1, 1.0)]));
+        assert!(pagerank(&rect, &PageRankOptions::default(), &ExecCtx::default()).is_err());
+        assert!(bfs_levels(&rect, 0, &ExecCtx::default()).is_err());
+        assert!(triangle_count(&rect, &ExecCtx::default()).is_err());
+        let g = k4_plus_path();
+        assert!(bfs_levels(&g, 99, &ExecCtx::default()).is_err());
+        let bad = PageRankOptions { damping: 1.5, ..Default::default() };
+        assert!(pagerank(&g, &bad, &ExecCtx::default()).is_err());
+    }
+}

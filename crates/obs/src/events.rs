@@ -39,6 +39,9 @@ pub struct StrategyEvent {
     pub op: String,
     /// The decision: `Specialized`, `Parallel` or `Interpreted`.
     pub strategy: String,
+    /// The scalar algebra the engine evaluates under (e.g. `f64_plus`,
+    /// `min_plus`) — parallel-tier certification is per-algebra.
+    pub algebra: String,
     /// Whether the plan matched a hand-kernel traversal.
     pub specializable: bool,
     /// Work estimate (stored nonzeros or flop-equivalent).
@@ -60,12 +63,16 @@ pub struct StrategyEvent {
 pub struct KernelCounters {
     /// Stored nonzeros touched.
     pub nnz: u64,
-    /// Floating-point operations (multiply-adds count as 2).
+    /// Scalar operations under the kernel's algebra (⊗⊕ pairs count
+    /// as 2 — classical flops for `f64_plus`).
     pub flops: u64,
     /// Bytes moved through the memory hierarchy under the simple
     /// model: values + index structure read + operand vectors
     /// read/written once each (8-byte words).
     pub bytes: u64,
+    /// The algebra the kernel ran under (`""` = unspecified, rendered
+    /// as the classical `f64_plus`).
+    pub algebra: &'static str,
 }
 
 /// Aggregated per-kernel counters.
@@ -75,6 +82,10 @@ pub struct KernelStat {
     pub nnz: u64,
     pub flops: u64,
     pub bytes: u64,
+    /// Algebra of the merged invocations (first non-empty wins; kernel
+    /// names are algebra-qualified upstream, so one name never mixes
+    /// algebras).
+    pub algebra: &'static str,
 }
 
 /// One simulated processor's communication counters for one phase —

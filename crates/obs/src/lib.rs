@@ -176,6 +176,9 @@ impl Obs {
             st.nnz += c.nnz;
             st.flops += c.flops;
             st.bytes += c.bytes;
+            if st.algebra.is_empty() {
+                st.algebra = c.algebra;
+            }
         });
     }
 
@@ -243,7 +246,7 @@ mod tests {
         assert!(!obs.is_enabled());
         obs.counter("x", 3);
         obs.span_ns("s", 10);
-        obs.kernel("k", KernelCounters { nnz: 1, flops: 2, bytes: 3 });
+        obs.kernel("k", KernelCounters { nnz: 1, flops: 2, bytes: 3, algebra: "" });
         let r = obs.report();
         assert!(r.counters.is_empty());
         assert!(r.spans.is_empty());
@@ -302,11 +305,20 @@ mod tests {
     #[test]
     fn kernel_stats_merge() {
         let obs = Obs::enabled();
-        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 160 });
-        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 160 });
+        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 160, algebra: "f64_plus" });
+        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 160, algebra: "f64_plus" });
         let r = obs.report();
         let k = &r.kernels["spmv_csr"];
         assert_eq!((k.calls, k.nnz, k.flops, k.bytes), (2, 20, 40, 320));
+        assert_eq!(k.algebra, "f64_plus");
+    }
+
+    #[test]
+    fn kernel_algebra_first_nonempty_wins() {
+        let obs = Obs::enabled();
+        obs.kernel("spmv_csr", KernelCounters { nnz: 1, flops: 2, bytes: 3, algebra: "" });
+        obs.kernel("spmv_csr", KernelCounters { nnz: 1, flops: 2, bytes: 3, algebra: "min_plus" });
+        assert_eq!(obs.report().kernels["spmv_csr"].algebra, "min_plus");
     }
 
     #[test]

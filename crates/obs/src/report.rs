@@ -5,7 +5,15 @@
 //! `scripts/bench_parallel.sh`/`scripts/ci.sh` (the consumers) and the
 //! golden test in `tests/observability.rs` that pins the key set —
 //! making the performance trajectory diffable across PRs. Bump
-//! [`SCHEMA`] whenever a key is added, renamed or retyped.
+//! [`SCHEMA`] whenever a key is renamed or retyped; purely additive
+//! keys keep the identifier (consumers ignore what they don't know).
+//!
+//! Since the semiring generalization, `strategies[*].algebra` and
+//! `kernels[*].algebra` record which algebra the decision/kernel ran
+//! under (`"f64_plus"` is the classical (+,×) on f64 and the value
+//! rendered when a kernel never declared one); non-classical kernels
+//! additionally carry the algebra in the kernel name itself
+//! (`"spmv_csr.min_plus"`).
 
 use crate::events::{
     KernelStat, PlanEvent, SolverTrace, SpanStat, StrategyEvent, TrafficEvent, TrafficSample,
@@ -78,6 +86,7 @@ impl Report {
             Obj::new()
                 .str("op", &s.op)
                 .str("strategy", &s.strategy)
+                .str("algebra", &s.algebra)
                 .bool("specializable", s.specializable)
                 .u64("work", s.work)
                 .u64("threshold", s.threshold)
@@ -89,6 +98,7 @@ impl Report {
         let kernels = array(self.kernels.iter().map(|(name, k)| {
             Obj::new()
                 .str("kernel", name)
+                .str("algebra", if k.algebra.is_empty() { "f64_plus" } else { k.algebra })
                 .u64("calls", k.calls)
                 .u64("nnz", k.nnz)
                 .u64("flops", k.flops)
@@ -219,6 +229,7 @@ mod tests {
         obs.strategy(|| StrategyEvent {
             op: "spmv".into(),
             strategy: "Parallel".into(),
+            algebra: "f64_plus".into(),
             specializable: true,
             work: 100_000,
             threshold: 32_768,
@@ -226,7 +237,7 @@ mod tests {
             race_checked: true,
             race_safe: true,
         });
-        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 300 });
+        obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 300, algebra: "f64_plus" });
         obs.traffic(|| TrafficEvent {
             phase: "cg".into(),
             nprocs: 2,
@@ -303,6 +314,7 @@ mod tests {
         r.strategies.push(StrategyEvent {
             op: "spmv".into(),
             strategy: "Turbo".into(), // unknown
+            algebra: "f64_plus".into(),
             specializable: true,
             work: 0,
             threshold: 0,

@@ -68,6 +68,7 @@ pub mod planner;
 pub mod props;
 pub mod query;
 pub mod scalar;
+pub mod semiring;
 pub mod testmat;
 
 pub mod prelude {
@@ -83,5 +84,8 @@ pub mod prelude {
     pub use crate::props::{Density, LevelProps, SearchCost, Sortedness};
     pub use crate::query::{Query, QueryBuilder, Term};
     pub use crate::scalar::{Expr, Stmt, Target, UpdateOp};
+    pub use crate::semiring::{
+        AlgebraProps, BoolOrAnd, CountU64, F64Plus, FirstNonZero, MaxPlus, MinPlus, Semiring,
+    };
     pub use crate::testmat::DokMatrix;
 }

@@ -6,13 +6,23 @@
 //! rows.
 
 use bernoulli_formats::ExecCtx;
+use bernoulli_relational::semiring::{F64Plus, Semiring};
 use bernoulli_spmd::machine::Ctx;
 use rayon::prelude::*;
 
+/// `⊕ᵢ (aᵢ ⊗ bᵢ)` — the dot product under an arbitrary semiring: the
+/// classical inner product at [`F64Plus`], the cheapest relaxed path
+/// through paired hops at `MinPlus`, existence of a matching pair at
+/// `BoolOrAnd`. The fold runs left to right from `S::zero()`, so at
+/// [`F64Plus`] it is bit-identical to [`dot`].
+pub fn dot_in<S: Semiring>(a: &[S::Elem], b: &[S::Elem]) -> S::Elem {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).fold(S::zero(), |acc, (&x, &y)| S::plus(acc, S::times(x, y)))
+}
+
 /// `Σ aᵢ·bᵢ`.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    dot_in::<F64Plus>(a, b)
 }
 
 /// Euclidean norm.
@@ -114,6 +124,19 @@ pub fn dot_dist(ctx: &mut Ctx, a_local: &[f64], b_local: &[f64]) -> f64 {
     ctx.all_reduce_sum(dot(a_local, b_local))
 }
 
+/// Distributed semiring dot over f64-element algebras: the local
+/// ⊕-fold of [`dot_in`], combined across ranks by the machine's
+/// ⊕-all-reduce (which insists on an associative-commutative ⊕ — see
+/// `Ctx::all_reduce_semiring`).
+pub fn dot_dist_in<S: Semiring<Elem = f64>>(
+    ctx: &mut Ctx,
+    a_local: &[f64],
+    b_local: &[f64],
+) -> f64 {
+    let local = dot_in::<S>(a_local, b_local);
+    ctx.all_reduce_semiring::<S>(local)
+}
+
 /// Distributed Euclidean norm.
 pub fn norm2_dist(ctx: &mut Ctx, a_local: &[f64]) -> f64 {
     ctx.all_reduce_sum(dot(a_local, a_local)).sqrt()
@@ -172,6 +195,35 @@ mod tests {
         let b = vec![4.0, -1.0, 0.5];
         // Small vectors take the serial path: exact same bits as dot().
         assert_eq!(par_dot(&a, &b, &exec).to_bits(), dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn semiring_dot_generalizes_the_classical_one() {
+        use bernoulli_relational::semiring::MinPlus;
+        let a = vec![1.0, 2.0, 3.0, -0.5];
+        let b = vec![4.0, -1.0, 0.5, 2.0];
+        // At F64Plus the generic fold is bit-identical to dot().
+        assert_eq!(dot_in::<F64Plus>(&a, &b).to_bits(), dot(&a, &b).to_bits());
+        // At MinPlus it is the cheapest paired hop: min over aᵢ + bᵢ.
+        assert_eq!(dot_in::<MinPlus>(&a, &b), 1.0);
+        assert_eq!(dot_in::<MinPlus>(&[], &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn distributed_semiring_dot_reduces_with_the_algebra() {
+        use bernoulli_relational::semiring::MinPlus;
+        let n = 12;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) * 0.5).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) * 0.25 - 1.0).collect();
+        let want = dot_in::<MinPlus>(&a, &b);
+        let out = Machine::run(3, |ctx| {
+            let lo = (ctx.rank() * n) / 3;
+            let hi = ((ctx.rank() + 1) * n) / 3;
+            dot_dist_in::<MinPlus>(ctx, &a[lo..hi], &b[lo..hi])
+        });
+        for got in out.results {
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@ cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p bernoulli-analysis --all-targets -- -D warnings
 cargo clippy -p bernoulli-obs --all-targets -- -D warnings
+cargo clippy -p bernoulli-relational --all-targets -- -D warnings
+cargo clippy -p bernoulli-graph --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # ExecCtx regression gate: the pre-unification entry-point variants
 # (`compile_with_exec*`, the `_obs(`-suffixed twins, `run_model_obs`)
@@ -17,9 +19,22 @@ if grep -rn "compile_with_exec\|_obs(\|run_model_obs" crates/ --include='*.rs'; 
   echo "ERROR: superseded pre-ExecCtx entry point reintroduced" >&2
   exit 1
 fi
+# Semiring regression gate: the f64-only kernels below were replaced
+# by `*_in::<S: Semiring>` generics (the surviving f64 names are thin
+# wrappers over the F64Plus instantiation); fail if a deleted f64-only
+# kernel is reintroduced beside its generic twin. The trailing `(`
+# keeps the `_in` generics themselves from matching.
+if grep -rEn "fn (spmv_(ccs|cccs|coo|diag|itpack|inode)|par_spmv_(csr|itpack|jdiag|diag|inode|ccs|cccs|coo)|par_matvec_dense)\(" crates/ --include='*.rs'; then
+  echo "ERROR: deleted f64-only kernel reintroduced; extend the *_in semiring generic instead" >&2
+  exit 1
+fi
 # Static-analysis acceptance gate: every built-in kernel, plan, and
 # format must lint clean (nonzero exit on any error finding).
 cargo run --release --example lint
+# Graph workload gate: PageRank / BFS / triangle counting through the
+# semiring engine path against closed-form answers (exits nonzero on
+# any mismatch).
+cargo run --release --example graph > /dev/null
 # Observability schema gate: the profile driver exits nonzero if the
 # report fails validation or any telemetry stream is empty; the grep
 # catches a schema-identifier drift the driver itself can't see.

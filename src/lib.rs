@@ -15,7 +15,9 @@
 //! * [`bernoulli_blocksolve`] — the BlockSolve95 baseline substrate;
 //! * [`bernoulli_spmd`] — the simulated machine and distribution
 //!   relations;
-//! * [`bernoulli_solvers`] — CG/GMRES/Jacobi/Chebyshev + IC(0).
+//! * [`bernoulli_solvers`] — CG/GMRES/Jacobi/Chebyshev + IC(0);
+//! * [`bernoulli_graph`] — graph algorithms (PageRank, BFS, triangle
+//!   counting) as semiring-parameterized sparse queries.
 //!
 //! Start with `examples/quickstart.rs`, README.md for the architecture,
 //! DESIGN.md for the system inventory, and EXPERIMENTS.md for the
@@ -25,6 +27,7 @@ pub use bernoulli;
 pub use bernoulli_analysis;
 pub use bernoulli_blocksolve;
 pub use bernoulli_formats;
+pub use bernoulli_graph;
 pub use bernoulli_relational;
 pub use bernoulli_solvers;
 pub use bernoulli_spmd;

@@ -111,6 +111,7 @@ fn json_schema_golden() {
     obs.strategy(|| StrategyEvent {
         op: "spmv".into(),
         strategy: "Parallel".into(),
+        algebra: "f64_plus".into(),
         specializable: true,
         work: 320,
         threshold: 1,
@@ -118,7 +119,10 @@ fn json_schema_golden() {
         race_checked: true,
         race_safe: true,
     });
-    obs.kernel("par_spmv_csr", KernelCounters { nnz: 320, flops: 640, bytes: 7168 });
+    obs.kernel(
+        "par_spmv_csr",
+        KernelCounters { nnz: 320, flops: 640, bytes: 7168, algebra: "f64_plus" },
+    );
     obs.traffic(|| TrafficEvent {
         phase: "cg.dist".into(),
         nprocs: 2,
@@ -146,9 +150,11 @@ fn json_schema_golden() {
          \"est_cost\":928.0,\"candidates\":11,\
          \"runners_up\":[{\"shape\":\"(i,j):flat(A)[X?]\",\"est_cost\":1008.0}],\
          \"explain\":\"plan ...\"}],\
-         \"strategies\":[{\"op\":\"spmv\",\"strategy\":\"Parallel\",\"specializable\":true,\
+         \"strategies\":[{\"op\":\"spmv\",\"strategy\":\"Parallel\",\"algebra\":\"f64_plus\",\
+         \"specializable\":true,\
          \"work\":320,\"threshold\":1,\"threads\":2,\"race_checked\":true,\"race_safe\":true}],\
-         \"kernels\":[{\"kernel\":\"par_spmv_csr\",\"calls\":1,\"nnz\":320,\"flops\":640,\
+         \"kernels\":[{\"kernel\":\"par_spmv_csr\",\"algebra\":\"f64_plus\",\"calls\":1,\
+         \"nnz\":320,\"flops\":640,\
          \"bytes\":7168}],\
          \"traffic\":[{\"phase\":\"cg.dist\",\"nprocs\":2,\"elapsed_ns\":9000,\
          \"per_rank\":[{\"msgs_sent\":3,\"bytes_sent\":96,\"barriers\":1,\"allreduces\":4,\
