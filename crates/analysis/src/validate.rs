@@ -247,10 +247,13 @@ pub fn check_access_contract(m: &dyn MatrixAccess) -> Vec<Diagnostic> {
                     Orientation::Flat => unreachable!(),
                 };
                 hier.push((i, j, v));
-                // Inner search must find this entry.
+                // Inner search must find this entry. Values compare by
+                // bit pattern: the contract is that both views expose
+                // the *same stored value*, and `==` would spuriously
+                // reject any matrix holding a NaN payload.
                 if meta.inner.search.supported() {
                     match m.search_inner(&cursor, inner) {
-                        Some(got) if got == v => {}
+                        Some(got) if got.to_bits() == v.to_bits() => {}
                         other => {
                             return vec![Diagnostic::error(
                                 codes::FMT_CONTRACT,
@@ -277,7 +280,7 @@ pub fn check_access_contract(m: &dyn MatrixAccess) -> Vec<Diagnostic> {
             )];
         }
         for (h, f) in a.iter().zip(&flat) {
-            if key(h) != key(f) || h.2 != f.2 {
+            if key(h) != key(f) || h.2.to_bits() != f.2.to_bits() {
                 return vec![Diagnostic::error(
                     codes::FMT_CONTRACT,
                     span("views"),
@@ -290,7 +293,7 @@ pub fn check_access_contract(m: &dyn MatrixAccess) -> Vec<Diagnostic> {
     // Pair probes agree with the tuple set.
     for &(i, j, v) in flat.iter().take(200) {
         match m.search_pair(i, j) {
-            Some(got) if got == v => {}
+            Some(got) if got.to_bits() == v.to_bits() => {}
             other => {
                 return vec![Diagnostic::error(
                     codes::FMT_CONTRACT,

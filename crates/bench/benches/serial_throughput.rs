@@ -1,0 +1,121 @@
+//! Serial reference-vs-fast microkernel throughput per format.
+//!
+//! Not a criterion bench: the deliverable is a machine-readable
+//! `BENCH_serial.json` at the repository root pinning the GFLOP/s
+//! trajectory of the certified bounds-check-free microkernels
+//! (`bernoulli_formats::fast`) against the safe reference kernels, on
+//! the same grid3d_7pt workload the parallel bench uses. Each fast
+//! kernel runs only under a `Validate` certificate obtained here the
+//! same way the engine obtains it, so the numbers measure exactly the
+//! code path `ExecCtx::fast_kernels(true)` dispatches.
+//!
+//! `--smoke` shrinks the grid and rep count for CI and writes
+//! `BENCH_serial_smoke.json` instead, leaving the committed full-run
+//! numbers untouched.
+
+use bernoulli_formats::fast::{
+    spmv_bsr_fast, spmv_csr_fast, spmv_itpack_fast, spmv_msr_fast, BsrCert, CsrCert, ItpackCert,
+    MsrCert, LANES,
+};
+use bernoulli_formats::gen::grid3d_7pt;
+use bernoulli_formats::{kernels, stats, Bsr, Csr, Itpack, Msr};
+use bernoulli_relational::semiring::F64Plus;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Min-of-N wall time for one `y += A·x`, in seconds.
+fn time_spmv(mut run: impl FnMut(&mut [f64]), n: usize, reps: usize) -> f64 {
+    let mut y = vec![0.0; n];
+    // Warm-up (page in the matrix and vectors).
+    run(&mut y);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        y.fill(0.0);
+        let t0 = Instant::now();
+        run(black_box(&mut y));
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gflops(nnz: usize, secs: f64) -> f64 {
+    2.0 * nnz as f64 / secs / 1e9
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Full run: ~157k rows / ~1.08M stored nonzeros. Smoke run: 1728
+    // rows, just enough to exercise every kernel end to end. Both dims
+    // are divisible by 2, 3 and 4 so the BSR blocking is exact.
+    let (dim, reps) = if smoke { (12usize, 2usize) } else { (54usize, 7usize) };
+    let t = grid3d_7pt(dim, dim, dim);
+    let n = t.nrows();
+    let nnz = t.canonicalize().entries().len();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+
+    let st = stats::analyze(&t);
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"serial_microkernel_throughput\",").unwrap();
+    writeln!(json, "  \"matrix\": \"grid3d_7pt({dim},{dim},{dim})\",").unwrap();
+    writeln!(json, "  \"nrows\": {n},").unwrap();
+    writeln!(json, "  \"nnz\": {nnz},").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"lanes\": {LANES},").unwrap();
+    writeln!(json, "  \"avg_row_len\": {:.4},", st.avg_row_len).unwrap();
+    writeln!(json, "  \"suggested_unroll\": {},", st.suggested_unroll()).unwrap();
+    writeln!(json, "  \"note\": \"gflops = 2*nnz / min-of-reps seconds for one y += A*x; fast kernels run under a Validate certificate exactly as the engine dispatches them; speedup = fast_gflops / reference_gflops\",").unwrap();
+    writeln!(json, "  \"formats\": [").unwrap();
+
+    let row = |json: &mut String, fmt: &str, reference: f64, fast: f64, last: bool| {
+        let (gr, gf) = (gflops(nnz, reference), gflops(nnz, fast));
+        let speedup = gf / gr;
+        eprintln!(
+            "{fmt}: reference {:.3} ms ({gr:.3} GF/s) fast {:.3} ms ({gf:.3} GF/s)  {speedup:.2}x",
+            reference * 1e3,
+            fast * 1e3,
+        );
+        writeln!(
+            json,
+            "    {{\"format\": \"{fmt}\", \"reference_s\": {reference:.6e}, \"fast_s\": {fast:.6e}, \"reference_gflops\": {gr:.4}, \"fast_gflops\": {gf:.4}, \"speedup\": {speedup:.4}}}{}",
+            if last { "" } else { "," }
+        )
+        .unwrap();
+    };
+
+    let a = Csr::from_triplets(&t);
+    let cert = CsrCert::certify(&a).expect("grid matrix certifies");
+    let reference = time_spmv(|y| kernels::spmv_csr(&a, &x, y), n, reps);
+    let fast = time_spmv(|y| spmv_csr_fast(&a, &x, y, &cert), n, reps);
+    row(&mut json, "csr", reference, fast, false);
+
+    let a = Msr::from_triplets(&t);
+    let cert = MsrCert::certify(&a).expect("grid matrix certifies");
+    let reference = time_spmv(|y| a.spmv_acc(&x, y), n, reps);
+    let fast = time_spmv(|y| spmv_msr_fast(&a, &x, y, &cert), n, reps);
+    row(&mut json, "msr", reference, fast, false);
+
+    let a = Bsr::from_triplets(&t, 3);
+    let cert = BsrCert::certify(&a).expect("grid matrix certifies");
+    let reference = time_spmv(|y| a.spmv_acc(&x, y), n, reps);
+    let fast = time_spmv(|y| spmv_bsr_fast(&a, &x, y, &cert), n, reps);
+    row(&mut json, "bsr_b3", reference, fast, false);
+
+    let a = Itpack::from_triplets(&t);
+    let cert = ItpackCert::certify(&a).expect("grid matrix certifies");
+    let reference = time_spmv(|y| kernels::spmv_itpack_in::<F64Plus>(&a, &x, y), n, reps);
+    let fast = time_spmv(|y| spmv_itpack_fast(&a, &x, y, &cert), n, reps);
+    row(&mut json, "itpack", reference, fast, true);
+
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serial_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serial.json")
+    };
+    std::fs::write(out, &json).expect("write BENCH_serial.json");
+    eprintln!("wrote {out}");
+}

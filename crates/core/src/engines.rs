@@ -21,6 +21,7 @@
 use crate::ast::{programs, LoopNest};
 use crate::compile::{CompiledKernel, Compiler};
 use bernoulli_formats::{
+    fast,
     kernels, par_kernels, Csr, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate,
 };
 use bernoulli_obs::events::{KernelCounters, StrategyEvent};
@@ -92,6 +93,9 @@ struct Decision {
     /// and the size gate both pass).
     race_checked: bool,
     race_safe: bool,
+    /// Why a parallel-eligible plan fell back to serial (`""` = it
+    /// didn't): `single_worker_pool` or `racy_nest`.
+    downgrade: &'static str,
 }
 
 fn strategy_decision(
@@ -115,21 +119,48 @@ fn strategy_decision_in(
     algebra: &AlgebraProps,
 ) -> Decision {
     if !specializable {
-        return Decision { strategy: Strategy::Interpreted, race_checked: false, race_safe: false };
+        return Decision {
+            strategy: Strategy::Interpreted,
+            race_checked: false,
+            race_safe: false,
+            downgrade: "",
+        };
     }
     if !exec.should_parallelize(work) {
-        return Decision { strategy: Strategy::Specialized, race_checked: false, race_safe: false };
+        return Decision {
+            strategy: Strategy::Specialized,
+            race_checked: false,
+            race_safe: false,
+            downgrade: "",
+        };
+    }
+    // The size gate passed, so the plan *wants* to go parallel — but a
+    // pool that can only run one worker at a time (requested threads
+    // clamped to the hardware parallelism, unless oversubscription is
+    // explicitly allowed) would pay pure fork/join overhead for it.
+    // Downgrade to the serial specialized tier and say why.
+    if exec.effective_workers() <= 1 {
+        return Decision {
+            strategy: Strategy::Specialized,
+            race_checked: false,
+            race_safe: false,
+            downgrade: "single_worker_pool",
+        };
     }
     let safe = bernoulli_analysis::race::check_do_any_in(nest, algebra).is_parallel_safe();
     Decision {
         strategy: if safe { Strategy::Parallel } else { Strategy::Specialized },
         race_checked: true,
         race_safe: safe,
+        downgrade: if safe { "" } else { "racy_nest" },
     }
 }
 
 /// Record one engine's compile-time decision (and bump the compile
 /// counter) through `obs`. Free on a disabled handle.
+// One positional slot per StrategyEvent field this emits; bundling
+// them into a struct would just restate the event type.
+#[allow(clippy::too_many_arguments)]
 fn record_strategy(
     obs: &Obs,
     op: &str,
@@ -138,6 +169,7 @@ fn record_strategy(
     specializable: bool,
     work: usize,
     exec: &ExecConfig,
+    tier: &'static str,
 ) {
     obs.counter("engine.compile", 1);
     obs.strategy(|| StrategyEvent {
@@ -150,6 +182,8 @@ fn record_strategy(
         threads: exec.threads_hint() as u64,
         race_checked: d.race_checked,
         race_safe: d.race_safe,
+        tier: tier.to_string(),
+        downgrade: d.downgrade.to_string(),
     });
 }
 
@@ -236,6 +270,10 @@ pub struct SpmvEngine {
     kernel: CompiledKernel,
     strategy: Strategy,
     ctx: ExecCtx,
+    /// Validation certificate for the fast microkernel tier, computed
+    /// once at compile time when [`ExecCtx::fast_kernels`] armed it and
+    /// the operand passed the full sanitizer. `None` = reference tier.
+    fast_cert: Option<fast::MatrixCert>,
 }
 
 impl SpmvEngine {
@@ -275,8 +313,27 @@ impl SpmvEngine {
         let specializable = ctx.specialize()
             && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
         let decision = strategy_decision(&nest, specializable, m.nnz, ctx.config());
-        record_strategy(ctx.obs(), "spmv", "f64_plus", decision, specializable, m.nnz, ctx.config());
-        Ok(SpmvEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
+        // The fast tier is armed only by explicit opt-in, only for the
+        // serial specialized strategy, and only when the operand passes
+        // the full Validate sanitizer *now* — a rejected certificate
+        // silently keeps the reference tier (observable via `tier`).
+        let fast_cert = if ctx.fast() && decision.strategy == Strategy::Specialized {
+            fast::MatrixCert::certify(a).ok()
+        } else {
+            None
+        };
+        let tier = if fast_cert.is_some() { "fast" } else { "reference" };
+        record_strategy(
+            ctx.obs(),
+            "spmv",
+            "f64_plus",
+            decision,
+            specializable,
+            m.nnz,
+            ctx.config(),
+            tier,
+        );
+        Ok(SpmvEngine { kernel, strategy: decision.strategy, ctx: ctx.clone(), fast_cert })
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -287,13 +344,46 @@ impl SpmvEngine {
         self.kernel.shape()
     }
 
+    /// Which kernel tier [`SpmvEngine::run`] will dispatch to:
+    /// `"fast"` (certified bounds-check-free microkernels) or
+    /// `"reference"` (the safe-indexed library kernels).
+    pub fn tier(&self) -> &'static str {
+        if self.fast_cert.is_some() {
+            "fast"
+        } else {
+            "reference"
+        }
+    }
+
+    /// Render this engine's plan as pseudocode, truthful about the
+    /// tier: the fast tier shows the 4-lane unrolled reduction shape
+    /// (see [`crate::codegen::emit_pseudocode_fast`]); the reference
+    /// tier is the classic [`crate::codegen::emit_pseudocode`] loop.
+    pub fn pseudocode(&self) -> String {
+        match &self.fast_cert {
+            Some(fast::MatrixCert::Csr(_)) => {
+                crate::codegen::emit_pseudocode_fast(&self.kernel, fast::LANES)
+            }
+            Some(_) => crate::codegen::emit_pseudocode_fast(&self.kernel, 1),
+            None => crate::codegen::emit_pseudocode(&self.kernel),
+        }
+    }
+
     /// `y += A·x`. The matrix must be the one the engine was compiled
     /// for (same format and shape; enforced by the shape checks in the
     /// underlying paths).
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
+        // The cached certificate only covers the exact arrays it was
+        // computed over; a different matrix (or a clone — the arrays
+        // moved) falls back to the reference kernel.
+        let use_fast = self.strategy == Strategy::Specialized
+            && self.fast_cert.as_ref().is_some_and(|c| c.covers(a));
         let obs = self.ctx.obs();
         if obs.is_enabled() {
             let name = match self.strategy {
+                Strategy::Specialized if use_fast => {
+                    format!("fast_spmv_{}", kind_slug(a.kind()))
+                }
                 Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
                 Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
                 Strategy::Interpreted => "interp_spmv".to_string(),
@@ -302,7 +392,11 @@ impl SpmvEngine {
         }
         match self.strategy {
             Strategy::Specialized => {
-                a.spmv_acc(x, y);
+                if use_fast {
+                    fast::spmv_acc_fast(a, x, y, self.fast_cert.as_ref().unwrap());
+                } else {
+                    a.spmv_acc(x, y);
+                }
                 Ok(())
             }
             Strategy::Parallel => {
@@ -352,7 +446,7 @@ impl SpmmEngine {
         let specializable =
             ctx.specialize() && both_csr && kernel.shape() == gustavson;
         let decision = strategy_decision(&nest, specializable, a.meta().nnz, ctx.config());
-        record_strategy(ctx.obs(), "spmm", "f64_plus", decision, specializable, a.meta().nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmm", "f64_plus", decision, specializable, a.meta().nnz, ctx.config(), "reference");
         Ok(SpmmEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
     }
 
@@ -447,7 +541,7 @@ impl SpmvMultiEngine {
         let specializable = ctx.specialize() && is_csr && kernel.shape() == natural;
         let work = m.nnz.saturating_mul(k.max(1));
         let decision = strategy_decision(&nest, specializable, work, ctx.config());
-        record_strategy(ctx.obs(), "spmv_multi", "f64_plus", decision, specializable, work, ctx.config());
+        record_strategy(ctx.obs(), "spmv_multi", "f64_plus", decision, specializable, work, ctx.config(), "reference");
         Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, ctx: ctx.clone() })
     }
 
@@ -561,7 +655,7 @@ impl<S: Semiring> SemiringSpmvEngine<S> {
         let nest = programs::matvec();
         let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
         let decision = strategy_decision_in(&nest, true, m.nnz, ctx.config(), &S::props());
-        record_strategy(ctx.obs(), "spmv", S::NAME, decision, true, m.nnz, ctx.config());
+        record_strategy(ctx.obs(), "spmv", S::NAME, decision, true, m.nnz, ctx.config(), "reference");
         Ok(SemiringSpmvEngine {
             shape: kernel.shape(),
             strategy: decision.strategy,
@@ -633,7 +727,7 @@ impl<S: Semiring> SemiringSpmmEngine<S> {
         // only sound when ⊕ is associative-commutative — the same BA06
         // gate the kernels self-apply.
         let decision = strategy_decision_in(&nest, true, a.nnz(), ctx.config(), &S::props());
-        record_strategy(ctx.obs(), "spmm", S::NAME, decision, true, a.nnz(), ctx.config());
+        record_strategy(ctx.obs(), "spmm", S::NAME, decision, true, a.nnz(), ctx.config(), "reference");
         Ok(SemiringSpmmEngine { strategy: decision.strategy, ctx: ctx.clone(), _algebra: PhantomData })
     }
 
@@ -827,7 +921,7 @@ mod tests {
 
             // Threshold at/below nnz: Parallel, same plan shape.
             let above =
-                SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1)).unwrap();
+                SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1).oversubscribe(true)).unwrap();
             assert_eq!(above.strategy(), Strategy::Parallel, "format {kind}");
             assert_eq!(above.plan_shape(), serial.plan_shape(), "format {kind}");
 
@@ -863,7 +957,7 @@ mod tests {
         let tb = sample(40, 14);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
         let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
-        let hot = ExecCtx::with_threads(4).threshold(1);
+        let hot = ExecCtx::with_threads(4).threshold(1).oversubscribe(true);
         let par = SpmmEngine::compile_in(&a, &b, &hot).unwrap();
         assert_eq!(par.strategy(), Strategy::Parallel);
         let ser = SpmmEngine::compile(&a, &b).unwrap();
@@ -898,7 +992,7 @@ mod tests {
         use bernoulli_relational::scalar::UpdateOp;
         let mut racy = programs::matvec();
         racy.op = UpdateOp::Assign;
-        let exec = ExecConfig::with_threads(4).threshold(1);
+        let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
         assert_eq!(choose_strategy(&racy, true, 1 << 20, &exec), Strategy::Specialized);
         // Same gates, the genuine reduction nest: Parallel granted.
         assert_eq!(
@@ -1007,7 +1101,7 @@ mod tests {
         use bernoulli_relational::semiring::{FirstNonZero, MinPlus};
         let t = sample(64, 17);
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
-        let hot = ExecCtx::with_threads(4).threshold(1);
+        let hot = ExecCtx::with_threads(4).threshold(1).oversubscribe(true);
         // An associative-commutative ⊕ clears the race gate…
         let obs = Obs::enabled();
         let eng = SemiringSpmvEngine::<MinPlus>::compile_in(
@@ -1133,7 +1227,7 @@ mod tests {
         let obs = Obs::enabled();
         let eng = SpmvEngine::compile_in(
             &a,
-            &ExecCtx::with_threads(4).threshold(1).instrument(obs.clone()),
+            &ExecCtx::with_threads(4).threshold(1).oversubscribe(true).instrument(obs.clone()),
         )
         .unwrap();
         assert_eq!(eng.strategy(), Strategy::Parallel);
@@ -1153,7 +1247,7 @@ mod tests {
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
         let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
         let obs = Obs::enabled();
-        let par = ExecCtx::with_threads(2).threshold(1).instrument(obs.clone());
+        let par = ExecCtx::with_threads(2).threshold(1).oversubscribe(true).instrument(obs.clone());
         let spmm = SpmmEngine::compile_in(&a, &b, &par).unwrap();
         let mut c = vec![0.0; 1600];
         spmm.run(&a, &b, &mut c).unwrap();
@@ -1168,5 +1262,141 @@ mod tests {
         let ops: Vec<&str> = r.strategies.iter().map(|s| s.op.as_str()).collect();
         assert_eq!(ops, ["spmm", "spmv_multi"]);
         assert_eq!(r.plans.len(), 2);
+    }
+
+    #[test]
+    fn single_worker_pool_downgrades_parallel_with_reason() {
+        let t = sample(64, 46);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        // Request 4 workers without oversubscription: on a machine with
+        // one hardware thread the effective pool is 1 worker and the
+        // plan is downgraded to serial with the recorded reason; on a
+        // bigger machine the plan goes parallel with no downgrade.
+        let ctx = ExecCtx::with_threads(4).threshold(1).instrument(obs.clone());
+        let eng = SpmvEngine::compile_in(&a, &ctx).unwrap();
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let s = &obs.report().strategies[0];
+        if hw <= 1 {
+            assert_eq!(eng.strategy(), Strategy::Specialized);
+            assert_eq!(s.downgrade, "single_worker_pool");
+            assert!(!s.race_checked);
+        } else {
+            assert_eq!(eng.strategy(), Strategy::Parallel);
+            assert_eq!(s.downgrade, "");
+        }
+        // Oversubscription restores the historical behaviour anywhere.
+        let eng = SpmvEngine::compile_in(&a, &ctx.clone().oversubscribe(true)).unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel);
+    }
+
+    #[test]
+    fn racy_nest_downgrade_reason_is_recorded() {
+        use bernoulli_relational::scalar::UpdateOp;
+        let mut racy = programs::matvec();
+        racy.op = UpdateOp::Assign;
+        let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
+        let d = strategy_decision(&racy, true, 1 << 20, &exec);
+        assert_eq!(d.strategy, Strategy::Specialized);
+        assert_eq!(d.downgrade, "racy_nest");
+        let d = strategy_decision(&programs::matvec(), true, 1 << 20, &exec);
+        assert_eq!(d.strategy, Strategy::Parallel);
+        assert_eq!(d.downgrade, "");
+    }
+
+    #[test]
+    fn fast_tier_dispatches_certified_csr() {
+        let t = sample(64, 47);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        let ctx = ExecCtx::serial().fast_kernels(true).instrument(obs.clone());
+        let eng = SpmvEngine::compile_in(&a, &ctx).unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        assert_eq!(eng.tier(), "fast");
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.23).cos()).collect();
+        let mut y = vec![0.0; 64];
+        eng.run(&a, &x, &mut y).unwrap();
+        // Bitwise: the fast kernel matches its documented lane order.
+        let mut y_ref = vec![0.0; 64];
+        if let SparseMatrix::Csr(m) = &a {
+            fast::spmv_csr_lanes(m, &x, &mut y_ref);
+        }
+        for (p, q) in y.iter().zip(&y_ref) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let r = obs.report();
+        r.validate().unwrap();
+        assert_eq!(r.strategies[0].tier, "fast");
+        assert!(r.kernels.contains_key("fast_spmv_csr"), "{:?}", r.kernels.keys());
+        // The fast tier stays opt-in: a default ctx reports reference.
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial()).unwrap();
+        assert_eq!(eng.tier(), "reference");
+    }
+
+    #[test]
+    fn fast_tier_refused_without_certificate() {
+        // An uncovered format stays on the reference tier…
+        let t = sample(32, 48);
+        let a = SparseMatrix::from_triplets(FormatKind::Ccs, &t);
+        let obs = Obs::enabled();
+        let ctx = ExecCtx::serial().fast_kernels(true).instrument(obs.clone());
+        let eng = SpmvEngine::compile_in(&a, &ctx).unwrap();
+        assert_eq!(eng.tier(), "reference");
+        assert_eq!(obs.report().strategies[0].tier, "reference");
+        // …and so does a matrix the sanitizer rejects (columns out of
+        // order, BA23 — the reference kernel still computes correctly).
+        let bad = SparseMatrix::Csr(Csr::from_raw_unchecked(
+            2,
+            3,
+            vec![0, 2, 2],
+            vec![2, 0],
+            vec![1.0, 2.0],
+        ));
+        let eng = SpmvEngine::compile_in(&bad, &ExecCtx::serial().fast_kernels(true)).unwrap();
+        assert_eq!(eng.tier(), "reference");
+        let mut y = vec![0.0; 2];
+        eng.run(&bad, &[1.0, 1.0, 1.0], &mut y).unwrap();
+        assert_eq!(y, [3.0, 0.0]);
+    }
+
+    #[test]
+    fn fast_engine_falls_back_to_reference_for_uncovered_matrix() {
+        // The certificate fingerprints the exact arrays it certified; a
+        // clone has different storage, so the engine falls back to the
+        // reference kernel instead of trusting a stale certificate.
+        let t = sample(48, 49);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let obs = Obs::enabled();
+        let eng = SpmvEngine::compile_in(
+            &a,
+            &ExecCtx::serial().fast_kernels(true).instrument(obs.clone()),
+        )
+        .unwrap();
+        assert_eq!(eng.tier(), "fast");
+        let b = a.clone();
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut y = vec![0.0; 48];
+        eng.run(&b, &x, &mut y).unwrap();
+        let mut y_ref = vec![0.0; 48];
+        b.spmv_acc(&x, &mut y_ref);
+        assert_eq!(y, y_ref, "clone must take the reference path bitwise");
+        let r = obs.report();
+        assert!(r.kernels.contains_key("spmv_csr"), "{:?}", r.kernels.keys());
+        assert!(!r.kernels.contains_key("fast_spmv_csr"), "{:?}", r.kernels.keys());
+    }
+
+    #[test]
+    fn fast_engine_pseudocode_shows_the_lane_split() {
+        let t = sample(32, 50);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial().fast_kernels(true)).unwrap();
+        let code = eng.pseudocode();
+        assert!(code.contains("acc0 = acc1 = acc2 = acc3 = 0.0;"), "{code}");
+        assert!(code.contains("Y[i] += ((acc0 + acc1) + (acc2 + acc3));"), "{code}");
+        // The reference engine renders the classic loop.
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial()).unwrap();
+        let code = eng.pseudocode();
+        assert!(code.contains("Y[i] += (a_val * x_val);"), "{code}");
+        assert!(!code.contains("fast tier"), "{code}");
     }
 }

@@ -112,6 +112,21 @@ impl Bsr {
         self.blocks.len()
     }
 
+    /// Block-row pointers (length `nrows/b + 1`).
+    pub fn browptr(&self) -> &[usize] {
+        &self.browptr
+    }
+
+    /// Block-column indices, sorted within block rows.
+    pub fn bcolind(&self) -> &[usize] {
+        &self.bcolind
+    }
+
+    /// Block payloads, row-major `b × b` per stored block.
+    pub fn blocks(&self) -> &[f64] {
+        &self.blocks
+    }
+
     /// `y += A·x` — the hand-written blocked kernel: one small dense
     /// `b × b` matvec per stored block.
     pub fn spmv_acc(&self, x: &[f64], y: &mut [f64]) {

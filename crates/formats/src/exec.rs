@@ -50,23 +50,45 @@ pub struct ExecConfig {
     /// `bernoulli-analysis` sanitizer) before compiling against them,
     /// refusing corrupt matrices instead of computing garbage.
     pub checked: bool,
+    /// Allow more workers than the machine has hardware threads.
+    /// Off by default: a requested `threads` count above the hardware
+    /// parallelism is pure fork/join overhead (every parallel row of
+    /// `BENCH_parallel.json` on a 1-core host shows speedup ≤ 1×), so
+    /// engines downgrade such plans to the serial tier. Tests that pin
+    /// the `Parallel` strategy on small hosts turn this on.
+    pub oversubscribe: bool,
 }
 
 impl ExecConfig {
     /// Never parallelize: serial kernels only, whatever the size.
     pub fn serial() -> ExecConfig {
-        ExecConfig { threads: 1, par_threshold_nnz: usize::MAX, checked: false }
+        ExecConfig {
+            threads: 1,
+            par_threshold_nnz: usize::MAX,
+            checked: false,
+            oversubscribe: false,
+        }
     }
 
     /// Parallelize large operations on the machine's default worker
     /// count; small ones stay serial.
     pub fn parallel() -> ExecConfig {
-        ExecConfig { threads: 0, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ, checked: false }
+        ExecConfig {
+            threads: 0,
+            par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ,
+            checked: false,
+            oversubscribe: false,
+        }
     }
 
     /// Parallelize large operations on exactly `threads` workers.
     pub fn with_threads(threads: usize) -> ExecConfig {
-        ExecConfig { threads, par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ, checked: false }
+        ExecConfig {
+            threads,
+            par_threshold_nnz: DEFAULT_PAR_THRESHOLD_NNZ,
+            checked: false,
+            oversubscribe: false,
+        }
     }
 
     /// Replace the parallel-dispatch work threshold.
@@ -82,6 +104,13 @@ impl ExecConfig {
         self
     }
 
+    /// Allow worker counts above the machine's hardware parallelism
+    /// (see the `oversubscribe` field).
+    pub fn oversubscribe(mut self, yes: bool) -> ExecConfig {
+        self.oversubscribe = yes;
+        self
+    }
+
     /// The concrete worker count this config resolves to (`threads`,
     /// with `0` resolved to rayon's default).
     pub fn threads_hint(&self) -> usize {
@@ -89,6 +118,21 @@ impl ExecConfig {
             rayon::current_num_threads().max(1)
         } else {
             self.threads
+        }
+    }
+
+    /// The worker count that can actually run concurrently:
+    /// [`threads_hint`](ExecConfig::threads_hint) clamped to the
+    /// machine's hardware parallelism unless `oversubscribe` is set.
+    /// A result of 1 means a parallel plan would be pure fork/join
+    /// overhead, so engines downgrade it to the serial tier.
+    pub fn effective_workers(&self) -> usize {
+        let hint = self.threads_hint();
+        if self.oversubscribe {
+            hint
+        } else {
+            let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+            hint.min(hw)
         }
     }
 
@@ -146,6 +190,7 @@ pub struct ExecCtx {
     config: ExecConfig,
     obs: Obs,
     specialize: bool,
+    fast: bool,
     pool: Arc<PoolCell>,
 }
 
@@ -159,7 +204,13 @@ impl Default for ExecCtx {
 
 impl ExecCtx {
     fn from_cfg(config: ExecConfig) -> ExecCtx {
-        ExecCtx { config, obs: Obs::disabled(), specialize: true, pool: Arc::default() }
+        ExecCtx {
+            config,
+            obs: Obs::disabled(),
+            specialize: true,
+            fast: false,
+            pool: Arc::default(),
+        }
     }
 
     /// Serial context: serial kernels only, observability disabled.
@@ -213,6 +264,26 @@ impl ExecCtx {
         self
     }
 
+    /// Arm the certified bounds-check-free microkernel tier
+    /// ([`crate::fast`]). Off by default — the default path stays
+    /// bitwise-pinned by the historical goldens. When on, engines
+    /// certify the operand once at compile time (the full `Validate`
+    /// sanitizer) and dispatch `Strategy::Specialized` onto the fast
+    /// kernels; matrices the sanitizer rejects, and formats without a
+    /// fast kernel, silently stay on the reference tier (the obs
+    /// `strategies` stream records which tier ran).
+    pub fn fast_kernels(mut self, yes: bool) -> ExecCtx {
+        self.fast = yes;
+        self
+    }
+
+    /// Allow worker counts above the machine's hardware parallelism
+    /// (see [`ExecConfig::oversubscribe`]).
+    pub fn oversubscribe(mut self, yes: bool) -> ExecCtx {
+        self.config.oversubscribe = yes;
+        self
+    }
+
     /// The plain-data execution knobs.
     pub fn config(&self) -> &ExecConfig {
         &self.config
@@ -229,9 +300,20 @@ impl ExecCtx {
         self.specialize
     }
 
+    /// Is the certified fast-kernel tier armed?
+    pub fn fast(&self) -> bool {
+        self.fast
+    }
+
     /// The concrete worker count this context resolves to.
     pub fn threads_hint(&self) -> usize {
         self.config.threads_hint()
+    }
+
+    /// The worker count that can actually run concurrently (see
+    /// [`ExecConfig::effective_workers`]).
+    pub fn effective_workers(&self) -> usize {
+        self.config.effective_workers()
     }
 
     /// Should an operation of `work` stored nonzeros run parallel?
@@ -316,7 +398,24 @@ mod tests {
         assert_eq!(*ctx.config(), ExecConfig::serial());
         assert!(!ctx.obs().is_enabled());
         assert!(ctx.specialize());
+        assert!(!ctx.fast());
         assert_eq!(ctx.pool_builds(), 0);
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_hardware_unless_oversubscribed() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let e = ExecConfig::with_threads(hw + 7);
+        assert_eq!(e.effective_workers(), hw);
+        assert_eq!(e.oversubscribe(true).effective_workers(), hw + 7);
+        assert_eq!(ExecConfig::serial().effective_workers(), 1);
+    }
+
+    #[test]
+    fn fast_tier_is_opt_in() {
+        assert!(!ExecCtx::serial().fast());
+        assert!(ExecCtx::serial().fast_kernels(true).fast());
+        assert!(!ExecCtx::serial().fast_kernels(true).fast_kernels(false).fast());
     }
 
     #[test]

@@ -30,9 +30,10 @@ pub fn spmv_csr_in<S: Semiring>(a: &Csr, x: &[S::Elem], y: &mut [S::Elem]) {
     let colind = a.colind();
     let vals = a.vals();
     for (r, yr) in y.iter_mut().enumerate() {
+        let (s, e) = (rowptr[r], rowptr[r + 1]);
         let mut acc = S::zero();
-        for k in rowptr[r]..rowptr[r + 1] {
-            acc = S::plus(acc, S::times(S::from_f64(vals[k]), x[colind[k]]));
+        for (&av, &c) in vals[s..e].iter().zip(&colind[s..e]) {
+            acc = S::plus(acc, S::times(S::from_f64(av), x[c]));
         }
         *yr = S::plus(*yr, acc);
     }

@@ -39,6 +39,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod exec;
+pub mod fast;
 pub mod gen;
 pub mod inode;
 pub mod io;

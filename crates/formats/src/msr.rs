@@ -105,6 +105,21 @@ impl Msr {
         &self.diag
     }
 
+    /// Off-diagonal row pointers (length `nrows + 1`).
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Off-diagonal column indices, sorted within rows.
+    pub fn colind(&self) -> &[usize] {
+        &self.colind
+    }
+
+    /// Off-diagonal values, parallel to [`Msr::colind`].
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
     /// `y += A·x`, diagonal handled as a dense stride-1 pass.
     pub fn spmv_acc(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);

@@ -55,6 +55,15 @@ pub struct StrategyEvent {
     pub race_checked: bool,
     /// Its verdict when consulted (`false` = downgraded to serial).
     pub race_safe: bool,
+    /// Which kernel tier the strategy resolved to: `reference` (the
+    /// safe-indexed library kernels) or `fast` (certified
+    /// bounds-check-free microkernels).
+    pub tier: String,
+    /// Why a `Parallel`-eligible plan was downgraded to serial, if it
+    /// was (`""` = no downgrade): `single_worker_pool` (the effective
+    /// pool cannot run > 1 worker) or `racy_nest` (the DO-ANY race
+    /// checker refused).
+    pub downgrade: String,
 }
 
 /// One kernel invocation's counters (merged into [`KernelStat`] by

@@ -93,6 +93,8 @@ impl Report {
                 .u64("threads", s.threads)
                 .bool("race_checked", s.race_checked)
                 .bool("race_safe", s.race_safe)
+                .str("tier", &s.tier)
+                .str("downgrade", &s.downgrade)
                 .finish()
         }));
         let kernels = array(self.kernels.iter().map(|(name, k)| {
@@ -153,6 +155,9 @@ impl Report {
         for s in &self.strategies {
             if !["Specialized", "Parallel", "Interpreted"].contains(&s.strategy.as_str()) {
                 return Err(format!("strategy {}: unknown strategy {}", s.op, s.strategy));
+            }
+            if !["reference", "fast"].contains(&s.tier.as_str()) {
+                return Err(format!("strategy {}: unknown tier {}", s.op, s.tier));
             }
         }
         for t in &self.traffic {
@@ -236,6 +241,8 @@ mod tests {
             threads: 4,
             race_checked: true,
             race_safe: true,
+            tier: "reference".into(),
+            downgrade: String::new(),
         });
         obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 300, algebra: "f64_plus" });
         obs.traffic(|| TrafficEvent {
@@ -321,6 +328,24 @@ mod tests {
             threads: 1,
             race_checked: false,
             race_safe: false,
+            tier: "reference".into(),
+            downgrade: String::new(),
+        });
+        assert!(r.validate().is_err());
+
+        let mut r = Report::empty();
+        r.strategies.push(StrategyEvent {
+            op: "spmv".into(),
+            strategy: "Specialized".into(),
+            algebra: "f64_plus".into(),
+            specializable: true,
+            work: 0,
+            threshold: 0,
+            threads: 1,
+            race_checked: false,
+            race_safe: false,
+            tier: "warp".into(), // unknown tier
+            downgrade: String::new(),
         });
         assert!(r.validate().is_err());
     }

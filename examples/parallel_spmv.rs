@@ -32,9 +32,15 @@ fn main() {
         let below =
             SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(nnz * 2))
                 .expect("compiles");
-        // Threshold cleared: parallel dispatch.
-        let above = SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1))
-            .expect("compiles");
+        // Threshold cleared: parallel dispatch. Oversubscription is
+        // explicit — without it, a pool whose 4 requested workers clamp
+        // to 1 effective hardware thread downgrades to the serial
+        // specialized tier (reason `single_worker_pool` in telemetry).
+        let above = SpmvEngine::compile_in(
+            &a,
+            &ExecCtx::with_threads(4).threshold(1).oversubscribe(true),
+        )
+        .expect("compiles");
         println!(
             "{kind:>10}: serial={:?}  below-threshold={:?}  above-threshold={:?}  (plan {})",
             serial.strategy(),

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_serial.json (serial reference-vs-fast microkernel
+# GFLOP/s per format) at the repository root.
+#
+# Interpreting the output: `speedup` is fast_gflops / reference_gflops
+# for one y += A*x on grid3d_7pt(54,54,54). The fast kernels run under
+# a Validate certificate — the same gate `ExecCtx::fast_kernels(true)`
+# uses — so the numbers measure the dispatched path, not a lab build.
+#
+# `--smoke` runs a 12^3 grid with 2 reps and writes
+# BENCH_serial_smoke.json instead (CI exercises the harness without
+# perturbing the committed full-run numbers).
+set -eu
+cd "$(dirname "$0")/.."
+cargo bench -p bernoulli-bench --bench serial_throughput -- "$@"
+if [ "${1:-}" = "--smoke" ]; then
+    echo "BENCH_serial_smoke.json:"
+    cat BENCH_serial_smoke.json
+else
+    echo "BENCH_serial.json:"
+    cat BENCH_serial.json
+fi

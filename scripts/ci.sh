@@ -10,6 +10,7 @@ cargo clippy -p bernoulli-analysis --all-targets -- -D warnings
 cargo clippy -p bernoulli-obs --all-targets -- -D warnings
 cargo clippy -p bernoulli-relational --all-targets -- -D warnings
 cargo clippy -p bernoulli-graph --all-targets -- -D warnings
+cargo clippy -p bernoulli-formats --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 # ExecCtx regression gate: the pre-unification entry-point variants
 # (`compile_with_exec*`, the `_obs(`-suffixed twins, `run_model_obs`)
@@ -28,6 +29,20 @@ if grep -rEn "fn (spmv_(ccs|cccs|coo|diag|itpack|inode)|par_spmv_(csr|itpack|jdi
   echo "ERROR: deleted f64-only kernel reintroduced; extend the *_in semiring generic instead" >&2
   exit 1
 fi
+# Fast-tier containment gate: within the formats crate, `unsafe` (even
+# the word, in comments) is confined to fast.rs — the one module whose
+# unsafe blocks carry a Validate-certificate safety argument (DESIGN.md
+# §7). Anywhere else in the crate it is a regression.
+if grep -rn "unsafe" crates/formats/src --include='*.rs' | grep -v "^crates/formats/src/fast\.rs:"; then
+  echo "ERROR: 'unsafe' outside crates/formats/src/fast.rs; the fast tier is the only sanctioned unsafe surface" >&2
+  exit 1
+fi
+# Fast-tier correctness gate: the bitwise equivalence suite (lane
+# references, NaN payload propagation, adversarial refused corpus)…
+cargo test -q --test fast_kernels
+# …and a smoke run of the GFLOP/s harness (writes the gitignored
+# BENCH_serial_smoke.json, leaving the committed full run untouched).
+scripts/bench_serial.sh --smoke > /dev/null
 # Static-analysis acceptance gate: every built-in kernel, plan, and
 # format must lint clean (nonzero exit on any error finding).
 cargo run --release --example lint

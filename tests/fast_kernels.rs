@@ -1,0 +1,273 @@
+//! Bit-equivalence suite for the certified bounds-check-free
+//! microkernels (`bernoulli_formats::fast`).
+//!
+//! The correctness contract is *bitwise*, not approximate:
+//!
+//! * CSR and MSR fast kernels must reproduce their safe lane-reference
+//!   kernels (`spmv_csr_lanes` / `spmv_msr_lanes`) bit for bit — the
+//!   4-lane split is a documented reassociation, so the reference that
+//!   defines it is the lane kernel, not the single-accumulator one.
+//! * BSR and ITPACK fast kernels preserve the reference kernels' exact
+//!   operation order, so they are pinned bitwise against
+//!   `Bsr::spmv_acc` and `kernels::spmv_itpack_in::<F64Plus>` directly.
+//!
+//! Inputs deliberately include empty rows, dense rows, and NaN/±Inf
+//! values (the reassociation must not change which lanes see them —
+//! the lane kernels make the order deterministic, and bit equality
+//! holds even for NaN payload propagation on this target). Adversarial
+//! cases assert the fast path is *refused*: `Validate`-rejected
+//! matrices never yield a certificate, so no unsafe code is reachable
+//! for them.
+
+use bernoulli::engines::SpmvEngine;
+use bernoulli_formats::fast::{
+    spmv_bsr_fast, spmv_csr_fast, spmv_csr_lanes, spmv_itpack_fast, spmv_msr_fast,
+    spmv_msr_lanes, BsrCert, CsrCert, ItpackCert, MatrixCert, MsrCert,
+};
+use bernoulli_formats::{kernels, Bsr, Csr, ExecCtx, Itpack, Msr, SparseMatrix, Triplets};
+use bernoulli_relational::semiring::F64Plus;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Strategy: a small random matrix whose values include NaN, ±Inf,
+/// ±0.0 and subnormals alongside ordinary finite values. Row count
+/// fixed per case so empty rows (no entries for some r) and dense rows
+/// (up to `nc` entries) both occur.
+fn arb_matrix() -> impl Strategy<Value = Triplets> {
+    (1usize..14, 1usize..14).prop_flat_map(|(nr, nc)| {
+        proptest::collection::vec(
+            (0..nr, 0..nc, -100i32..100, 0u8..32).prop_map(|(r, c, v, special)| {
+                let val = match special {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => -0.0,
+                    4 => f64::MIN_POSITIVE / 2.0, // subnormal
+                    _ => v as f64 / 4.0,
+                };
+                (r, c, val)
+            }),
+            0..80,
+        )
+        .prop_map(move |entries| Triplets::from_entries(nr, nc, &entries))
+    })
+}
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        (-50i32..50, 0u8..24).prop_map(|(v, special)| match special {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            _ => v as f64 / 8.0,
+        }),
+        len..=len,
+    )
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{}: row {} differs ({} vs {})",
+            what,
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fast CSR == lane-reference CSR, bit for bit, NaN/Inf included.
+    #[test]
+    fn csr_fast_bitwise_equals_lane_reference((t, x) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc))
+    })) {
+        let a = Csr::from_triplets(&t);
+        let cert = CsrCert::certify(&a).expect("clean matrix certifies");
+        let mut y_ref = vec![0.5; a.nrows()];
+        let mut y_fast = y_ref.clone();
+        spmv_csr_lanes(&a, &x, &mut y_ref);
+        spmv_csr_fast(&a, &x, &mut y_fast, &cert);
+        assert_bits_eq(&y_fast, &y_ref, "csr")?;
+    }
+
+    /// Fast MSR == lane-reference MSR, bit for bit.
+    #[test]
+    fn msr_fast_bitwise_equals_lane_reference((t, x) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc))
+    })) {
+        let a = Msr::from_triplets(&t);
+        let cert = MsrCert::certify(&a).expect("clean matrix certifies");
+        let mut y_ref = vec![-0.25; a.nrows()];
+        let mut y_fast = y_ref.clone();
+        spmv_msr_lanes(&a, &x, &mut y_ref);
+        spmv_msr_fast(&a, &x, &mut y_fast, &cert);
+        assert_bits_eq(&y_fast, &y_ref, "msr")?;
+    }
+
+    /// Fast BSR == reference BSR, bit for bit, across block sizes
+    /// covering every unrolled micro-kernel and the generic fallback.
+    #[test]
+    fn bsr_fast_bitwise_equals_reference((t, x, b) in (1usize..5, 1usize..5, 1usize..=5)
+        .prop_flat_map(|(nbr, nbc, b)| {
+            let (nr, nc) = (nbr * b, nbc * b);
+            (
+                proptest::collection::vec(
+                    (0..nr, 0..nc, -100i32..100, 0u8..32).prop_map(move |(r, c, v, s)| {
+                        let val = match s {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => -0.0,
+                            _ => v as f64 / 4.0,
+                        };
+                        (r, c, val)
+                    }),
+                    0..60,
+                )
+                .prop_map(move |entries| Triplets::from_entries(nr, nc, &entries)),
+                arb_vec(nc),
+                Just(b),
+            )
+        })) {
+        let a = Bsr::from_triplets(&t, b);
+        let cert = BsrCert::certify(&a).expect("clean matrix certifies");
+        let mut y_ref = vec![1.5; a.nrows()];
+        let mut y_fast = y_ref.clone();
+        a.spmv_acc(&x, &mut y_ref);
+        spmv_bsr_fast(&a, &x, &mut y_fast, &cert);
+        assert_bits_eq(&y_fast, &y_ref, "bsr")?;
+    }
+
+    /// Fast ITPACK == reference ITPACK, bit for bit (padding slots
+    /// included in the sweep, exactly as the reference orders them).
+    #[test]
+    fn itpack_fast_bitwise_equals_reference((t, x) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc))
+    })) {
+        let a = Itpack::from_triplets(&t);
+        let cert = ItpackCert::certify(&a).expect("clean matrix certifies");
+        let mut y_ref = vec![2.0; a.nrows()];
+        let mut y_fast = y_ref.clone();
+        kernels::spmv_itpack_in::<F64Plus>(&a, &x, &mut y_ref);
+        spmv_itpack_fast(&a, &x, &mut y_fast, &cert);
+        assert_bits_eq(&y_fast, &y_ref, "itpack")?;
+    }
+
+    /// The fast-armed engine is bitwise the lane reference for CSR and
+    /// falls back to the reference tier (bitwise `spmv_acc`) for every
+    /// matrix it cannot certify.
+    #[test]
+    fn fast_engine_bitwise_contract((t, x) in arb_matrix().prop_flat_map(|t| {
+        let nc = t.ncols();
+        (Just(t), arb_vec(nc))
+    })) {
+        let a = SparseMatrix::Csr(Csr::from_triplets(&t));
+        let eng = SpmvEngine::compile_in(&a, &ExecCtx::serial().fast_kernels(true)).unwrap();
+        // The fast tier arms exactly when the plan specializes (some
+        // degenerate shapes — e.g. single-column matrices — plan into
+        // a non-natural traversal and stay interpreted) and the
+        // operand certifies; every certifiable specialized compile
+        // must take it.
+        use bernoulli::Strategy;
+        prop_assert_eq!(eng.tier() == "fast", eng.strategy() == Strategy::Specialized);
+        if eng.tier() == "fast" {
+            let mut y = vec![0.0; t.nrows()];
+            eng.run(&a, &x, &mut y).unwrap();
+            let mut y_ref = vec![0.0; t.nrows()];
+            if let SparseMatrix::Csr(m) = &a {
+                spmv_csr_lanes(m, &x, &mut y_ref);
+            }
+            assert_bits_eq(&y, &y_ref, "engine/fast")?;
+        }
+
+        // A clone moved the arrays: certificate no longer covers it,
+        // the run takes the reference path bitwise.
+        let b = a.clone();
+        let mut y = vec![0.0; t.nrows()];
+        eng.run(&b, &x, &mut y).unwrap();
+        let mut y_ref = vec![0.0; t.nrows()];
+        b.spmv_acc(&x, &mut y_ref);
+        assert_bits_eq(&y, &y_ref, "engine/fallback")?;
+    }
+}
+
+/// Adversarial corpus: every matrix here fails `Validate`, so every
+/// certificate request must be refused — the unsafe fast path is
+/// unreachable for them, by construction.
+#[test]
+fn validate_rejected_matrices_are_refused_certificates() {
+    // BA22: column index out of bounds.
+    let bad = Csr::from_raw_unchecked(2, 2, vec![0, 1, 2], vec![0, 7], vec![1.0, 2.0]);
+    assert!(CsrCert::certify(&bad).is_err());
+    // BA21: non-monotone row pointers.
+    let bad = Csr::from_raw_unchecked(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+    assert!(CsrCert::certify(&bad).is_err());
+    // BA21: pointer array ends past the value array.
+    let bad = Csr::from_raw_unchecked(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 2.0]);
+    assert!(CsrCert::certify(&bad).is_err());
+    // BA23: columns out of order within a row.
+    let bad = Csr::from_raw_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    assert!(CsrCert::certify(&bad).is_err());
+    // The SparseMatrix-level certificate refuses the same corpus…
+    let bad = Csr::from_raw_unchecked(2, 2, vec![0, 1, 2], vec![0, 7], vec![1.0, 2.0]);
+    assert!(MatrixCert::certify(&SparseMatrix::Csr(bad.clone())).is_err());
+    // …and the fast-armed engine quietly stays on the reference tier.
+    let eng = SpmvEngine::compile_in(&SparseMatrix::Csr(bad), &ExecCtx::serial().fast_kernels(true))
+        .unwrap();
+    assert_eq!(eng.tier(), "reference");
+}
+
+/// The certificate is bound to the exact storage it certified: mutating
+/// values through the one public `&mut` accessor keeps it valid (values
+/// carry no index invariant), but a rebuilt matrix does not inherit it.
+#[test]
+fn certificate_tracks_storage_identity() {
+    let t = bernoulli_formats::gen::grid2d_5pt(5, 5);
+    let mut a = Csr::from_triplets(&t);
+    let cert = CsrCert::certify(&a).unwrap();
+    assert!(cert.covers(&a));
+    for v in a.vals_mut() {
+        *v *= 2.0;
+    }
+    assert!(cert.covers(&a), "value mutation cannot break index invariants");
+    let rebuilt = Csr::from_triplets(&t);
+    assert!(!cert.covers(&rebuilt));
+}
+
+/// Empty and fully dense extremes, plus rows at every remainder mod 4
+/// (the lane count), pinned bitwise.
+#[test]
+fn lane_remainders_and_extremes_bitwise() {
+    for nc in 1..=9usize {
+        // One row per possible length 0..=nc: hits every remainder
+        // class of the 4-lane chunking, including the empty row.
+        let nr = nc + 1;
+        let mut t = Triplets::new(nr, nc);
+        for r in 0..nr {
+            for c in 0..r.min(nc) {
+                t.push(r, c, ((r * 31 + c * 7) as f64).sin());
+            }
+        }
+        let a = Csr::from_triplets(&t);
+        let cert = CsrCert::certify(&a).unwrap();
+        let x: Vec<f64> = (0..nc).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut y_ref = vec![0.25; nr];
+        let mut y_fast = y_ref.clone();
+        spmv_csr_lanes(&a, &x, &mut y_ref);
+        spmv_csr_fast(&a, &x, &mut y_fast, &cert);
+        for (g, w) in y_fast.iter().zip(&y_ref) {
+            assert_eq!(g.to_bits(), w.to_bits(), "nc={nc}");
+        }
+    }
+}

@@ -118,6 +118,8 @@ fn json_schema_golden() {
         threads: 2,
         race_checked: true,
         race_safe: true,
+        tier: "reference".into(),
+        downgrade: String::new(),
     });
     obs.kernel(
         "par_spmv_csr",
@@ -152,7 +154,8 @@ fn json_schema_golden() {
          \"explain\":\"plan ...\"}],\
          \"strategies\":[{\"op\":\"spmv\",\"strategy\":\"Parallel\",\"algebra\":\"f64_plus\",\
          \"specializable\":true,\
-         \"work\":320,\"threshold\":1,\"threads\":2,\"race_checked\":true,\"race_safe\":true}],\
+         \"work\":320,\"threshold\":1,\"threads\":2,\"race_checked\":true,\"race_safe\":true,\
+         \"tier\":\"reference\",\"downgrade\":\"\"}],\
          \"kernels\":[{\"kernel\":\"par_spmv_csr\",\"algebra\":\"f64_plus\",\"calls\":1,\
          \"nnz\":320,\"flops\":640,\
          \"bytes\":7168}],\

@@ -50,7 +50,9 @@ fn engines_refuse_parallel_for_racy_nest() {
     // function every engine's compile_in routes through.
     let mut racy = programs::matvec();
     racy.op = UpdateOp::Assign;
-    let exec = ExecConfig::with_threads(4).threshold(1);
+    // Oversubscribed so the single-worker downgrade (a different,
+    // host-dependent gate) stays out of the way of the race gate.
+    let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
     let work = 1 << 20; // far above threshold: only the race gate differs
     assert_eq!(choose_strategy(&racy, true, work, &exec), Strategy::Specialized);
     assert_eq!(choose_strategy(&programs::matvec(), true, work, &exec), Strategy::Parallel);
