@@ -10,7 +10,8 @@ use bernoulli_relational::ids::{RelId, Var};
 use std::fmt;
 
 /// Lint codes, grouped by pass: `BA0x` race checker, `BA1x` plan
-/// verifier, `BA2x` format sanitizer, `BA3x` SPMD inspector.
+/// verifier, `BA2x` format sanitizer, `BA3x` SPMD inspector, `BA4x`
+/// wavefront dependence pass / level-schedule verifier.
 pub mod codes {
     /// Non-reduction write does not cover every loop variable
     /// (write-write race under DO-ANY execution).
@@ -65,6 +66,20 @@ pub mod codes {
     /// SPMD communication schedule internally inconsistent.
     pub const SPMD_BAD_SCHEDULE: &str = "BA31";
 
+    /// Stored entry on the wrong side of the diagonal for the claimed
+    /// triangle: the sweep's dependence relation is cyclic
+    /// (non-triangular input), so no wavefront order exists.
+    pub const WAVE_NOT_TRIANGULAR: &str = "BA41";
+    /// Level schedule is not a topological order of the dependence
+    /// DAG: a row depends on a row scheduled at a later level.
+    pub const WAVE_NON_TOPOLOGICAL: &str = "BA42";
+    /// Level schedule does not list every row exactly once (missing,
+    /// duplicate or out-of-range row, or malformed level boundaries).
+    pub const WAVE_BAD_COVERAGE: &str = "BA43";
+    /// Two rows in the same level are connected by a dependence, so
+    /// the parallel wave would overlap a read with its write.
+    pub const WAVE_LEVEL_OVERLAP: &str = "BA44";
+
     /// `(code, summary)` for every diagnostic the passes emit — the
     /// table rendered by `examples/lint.rs` and DESIGN.md.
     pub const ALL: &[(&str, &str)] = &[
@@ -88,6 +103,10 @@ pub mod codes {
         (FMT_BAD_PERM, "permutation is not a bijection"),
         (FMT_CONTRACT, "access-method views disagree"),
         (SPMD_BAD_SCHEDULE, "SPMD communication schedule inconsistent"),
+        (WAVE_NOT_TRIANGULAR, "non-triangular input: sweep dependence relation is cyclic"),
+        (WAVE_NON_TOPOLOGICAL, "level schedule is not a topological order of the dependences"),
+        (WAVE_BAD_COVERAGE, "level schedule does not cover every row exactly once"),
+        (WAVE_LEVEL_OVERLAP, "dependence between two rows of the same level"),
     ];
 }
 

@@ -29,13 +29,26 @@
 //!   duplicate-freedom, and permutation bijectivity, plus the
 //!   access-method contract checker that subsumes the old
 //!   `relational::access_check`.
+//! * [`wavefront`] — the **DO-ACROSS dependence pass**: where the race
+//!   checker must refuse (triangular solve, Gauss-Seidel — the written
+//!   vector is read across iterations), this pass extracts the
+//!   loop-carried dependence DAG from the operand's sparsity structure,
+//!   computes level sets, and issues an unforgeable
+//!   [`wavefront::WavefrontCert`] licensing level-parallel execution;
+//!   an independent [`wavefront::verify_level_schedule`] re-checks any
+//!   schedule (BA4x) before the parallel tier is allowed.
 
 pub mod diag;
 pub mod plan_verify;
 pub mod race;
 pub mod validate;
+pub mod wavefront;
 
 pub use diag::{codes, Diagnostic, Severity, Span};
 pub use plan_verify::{verify_plan, verify_plan_hook};
 pub use race::{check_do_any, ParallelCertificate, RaceReport};
 pub use validate::Validate;
+pub use wavefront::{
+    analyze_wavefront, verify_level_schedule, LevelSchedule, Triangle, WavefrontCert,
+    WavefrontReport,
+};

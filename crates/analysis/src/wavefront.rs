@@ -1,0 +1,755 @@
+//! DO-ACROSS wavefront dependence analysis for triangular sweeps.
+//!
+//! The [`race`](crate::race) pass certifies DO-ANY nests — iterations
+//! that may run in any order. Triangular solve and Gauss-Seidel are the
+//! canonical nests it must *refuse* (`BA01`/`BA02`: the written vector
+//! is also read across iterations). This pass recovers their
+//! parallelism anyway, per-operand: the loop-carried dependence
+//! relation of a sweep is exactly the sparsity structure (row `i`
+//! depends on row `j` iff `A[i][j] != 0` with `j < i` for a forward
+//! sweep), and that relation is a DAG whenever the operand is
+//! triangular. Rows at equal longest-path depth in the DAG (a *level*)
+//! are mutually independent, so levels execute as parallel waves while
+//! the level sequence preserves every dependence — classic DO-ACROSS
+//! level scheduling, derived from the actual operand at plan time as in
+//! SpComp-style per-structure compilation.
+//!
+//! Two artifacts come out of [`analyze_wavefront`]:
+//!
+//! * a [`LevelSchedule`] — rows grouped level-major, the execution
+//!   order the parallel kernels follow;
+//! * an unforgeable [`WavefrontCert`] — the DO-ACROSS analogue of the
+//!   race checker's `DisjointWrites`/`Reduction` certificates. It is
+//!   only constructible here, fingerprints the analyzed index structure
+//!   (pointer + length, like `fast.rs` certificates) *and* the exact
+//!   schedule (FNV-1a over its contents), and kernels re-check
+//!   [`WavefrontCert::covers`] at entry, falling back to serial on any
+//!   mismatch.
+//!
+//! Independently of certification, [`verify_level_schedule`] re-checks
+//! an arbitrary schedule against the operand in the spirit of
+//! `plan_verify.rs`: the engine runs it on every schedule before the
+//! parallel tier is allowed, so even a bug in the level computation
+//! cannot license a racy wave. Its codes are the `BA4x` family:
+//! `BA41` non-triangular (cyclic) structure, `BA42` non-topological
+//! level assignment, `BA43` missing/duplicate/out-of-range row, `BA44`
+//! same-level dependence overlap.
+
+use crate::diag::{codes, Diagnostic, Span};
+
+/// Which half of the matrix a sweep traverses — and therefore which
+/// stored entries are loop-carried dependences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Triangle {
+    /// Forward sweep over a lower-triangular pattern: row `i` depends
+    /// on row `j` for every stored `A[i][j]` with `j < i`.
+    Lower,
+    /// Backward sweep over an upper-triangular pattern: row `i` depends
+    /// on row `j` for every stored `A[i][j]` with `j > i`.
+    Upper,
+}
+
+impl Triangle {
+    fn name(self) -> &'static str {
+        match self {
+            Triangle::Lower => "lower",
+            Triangle::Upper => "upper",
+        }
+    }
+}
+
+/// Rows grouped by longest-path depth in the dependence DAG.
+///
+/// `rows` lists every row exactly once in level-major order;
+/// `level_ptr[l]..level_ptr[l + 1]` delimits level `l`. Rows within a
+/// level are mutually independent (no stored entry connects them), so
+/// a kernel may compute them concurrently; levels execute in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelSchedule {
+    nrows: usize,
+    rows: Vec<usize>,
+    level_ptr: Vec<usize>,
+}
+
+impl LevelSchedule {
+    /// Number of rows the schedule covers.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of levels (parallel waves).
+    pub fn num_levels(&self) -> usize {
+        self.level_ptr.len().saturating_sub(1)
+    }
+
+    /// The rows of level `l`.
+    pub fn level(&self, l: usize) -> &[usize] {
+        &self.rows[self.level_ptr[l]..self.level_ptr[l + 1]]
+    }
+
+    /// All rows in level-major execution order.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Level boundaries into [`Self::rows`].
+    pub fn level_ptr(&self) -> &[usize] {
+        &self.level_ptr
+    }
+
+    /// Widest level (rows per wave at the parallel peak).
+    pub fn max_level_width(&self) -> usize {
+        (0..self.num_levels()).map(|l| self.level(l).len()).max().unwrap_or(0)
+    }
+
+    /// Mean rows per level — the average parallelism a level-scheduled
+    /// execution can exploit (1.0 means the schedule is a serial chain).
+    pub fn mean_level_width(&self) -> f64 {
+        if self.num_levels() == 0 {
+            0.0
+        } else {
+            self.nrows as f64 / self.num_levels() as f64
+        }
+    }
+
+    /// Build a schedule from raw parts **without** any checking — the
+    /// corrupt-schedule corpus uses this to craft invalid schedules
+    /// that [`verify_level_schedule`] must reject. A schedule built
+    /// here never carries a certificate: [`WavefrontCert::covers`]
+    /// compares the schedule hash, so only the exact schedule computed
+    /// by [`analyze_wavefront`] unlocks the parallel tier.
+    pub fn from_raw_unchecked(nrows: usize, rows: Vec<usize>, level_ptr: Vec<usize>) -> LevelSchedule {
+        LevelSchedule { nrows, rows, level_ptr }
+    }
+}
+
+/// O(1) identity fingerprint of a slice: address + length. The same
+/// scheme as the fast-tier certificates — sound against accidental
+/// operand swaps because nothing in the workspace exposes `&mut`
+/// access to index structure after construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SliceId {
+    ptr: usize,
+    len: usize,
+}
+
+fn slice_id<T>(s: &[T]) -> SliceId {
+    SliceId { ptr: s.as_ptr() as usize, len: s.len() }
+}
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100000001b3)
+}
+
+fn schedule_hash(s: &LevelSchedule) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    h = fnv(h, s.nrows as u64);
+    h = fnv(h, s.level_ptr.len() as u64);
+    for &p in &s.level_ptr {
+        h = fnv(h, p as u64);
+    }
+    for &r in &s.rows {
+        h = fnv(h, r as u64);
+    }
+    h
+}
+
+/// Proof that a specific `(pattern, schedule)` pair admits DO-ACROSS
+/// level-parallel execution. Only [`analyze_wavefront`] constructs one
+/// (private fields), and it binds both the index structure it analyzed
+/// (by slice identity) and the exact schedule it computed (by content
+/// hash); [`WavefrontCert::covers`] re-checks both at kernel entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WavefrontCert {
+    nrows: usize,
+    triangle: Triangle,
+    rowptr: SliceId,
+    colind: SliceId,
+    schedule_hash: u64,
+    levels: usize,
+    max_width: usize,
+}
+
+impl WavefrontCert {
+    /// Does this certificate license running `sched` against the given
+    /// pattern? True only for the exact slices analyzed and the exact
+    /// schedule computed at certification time.
+    pub fn covers(
+        &self,
+        nrows: usize,
+        rowptr: &[usize],
+        colind: &[usize],
+        triangle: Triangle,
+        sched: &LevelSchedule,
+    ) -> bool {
+        self.nrows == nrows
+            && self.triangle == triangle
+            && self.rowptr == slice_id(rowptr)
+            && self.colind == slice_id(colind)
+            && sched.nrows == nrows
+            && self.schedule_hash == schedule_hash(sched)
+    }
+
+    /// Number of levels in the certified schedule.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Widest certified level.
+    pub fn max_level_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Mean rows per certified level.
+    pub fn mean_level_width(&self) -> f64 {
+        if self.levels == 0 {
+            0.0
+        } else {
+            self.nrows as f64 / self.levels as f64
+        }
+    }
+}
+
+/// The pass's verdict: a schedule + certificate when the operand's
+/// dependence relation is a DAG, plus any findings.
+#[derive(Clone, Debug)]
+pub struct WavefrontReport {
+    /// The level schedule, present iff certification succeeded.
+    pub schedule: Option<LevelSchedule>,
+    /// The certificate licensing `schedule` on the analyzed pattern.
+    pub certificate: Option<WavefrontCert>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl WavefrontReport {
+    /// May a level-parallel kernel run this operand?
+    pub fn is_parallel_safe(&self) -> bool {
+        self.certificate.is_some()
+    }
+}
+
+/// Basic CSR-pattern shape checks shared by the analyzer and the
+/// verifier, reusing the sanitizer's `BA21`/`BA22` codes: a malformed
+/// pattern is a format defect, not a scheduling defect.
+fn check_pattern_shape(nrows: usize, rowptr: &[usize], colind: &[usize]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if rowptr.len() != nrows + 1 {
+        diags.push(Diagnostic::error(
+            codes::FMT_BAD_PTR,
+            Span::Component { name: "rowptr", at: None },
+            format!("rowptr has length {} for {nrows} rows (want {})", rowptr.len(), nrows + 1),
+        ));
+        return diags;
+    }
+    if rowptr[0] != 0 {
+        diags.push(Diagnostic::error(
+            codes::FMT_BAD_PTR,
+            Span::Component { name: "rowptr", at: Some(0) },
+            format!("rowptr starts at {} (want 0)", rowptr[0]),
+        ));
+    }
+    for k in 1..rowptr.len() {
+        if rowptr[k] < rowptr[k - 1] {
+            diags.push(Diagnostic::error(
+                codes::FMT_BAD_PTR,
+                Span::Component { name: "rowptr", at: Some(k) },
+                format!("rowptr decreases at {k}: {} -> {}", rowptr[k - 1], rowptr[k]),
+            ));
+            return diags;
+        }
+    }
+    if rowptr[nrows] != colind.len() {
+        diags.push(Diagnostic::error(
+            codes::FMT_BAD_PTR,
+            Span::Component { name: "rowptr", at: Some(nrows) },
+            format!("rowptr ends at {} but colind has {} entries", rowptr[nrows], colind.len()),
+        ));
+        return diags;
+    }
+    for (k, &j) in colind.iter().enumerate() {
+        if j >= nrows {
+            diags.push(Diagnostic::error(
+                codes::FMT_INDEX_OOB,
+                Span::Component { name: "colind", at: Some(k) },
+                format!("column index {j} out of bounds for {nrows} rows"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Is stored entry `(i, j)` a loop-carried dependence of the sweep
+/// (`Some(j)`), a diagonal entry (`None`), or on the wrong side of the
+/// diagonal for the claimed triangle (`Err`)?
+fn classify(triangle: Triangle, i: usize, j: usize) -> Result<Option<usize>, ()> {
+    match (triangle, j.cmp(&i)) {
+        (_, std::cmp::Ordering::Equal) => Ok(None),
+        (Triangle::Lower, std::cmp::Ordering::Less) => Ok(Some(j)),
+        (Triangle::Upper, std::cmp::Ordering::Greater) => Ok(Some(j)),
+        _ => Err(()),
+    }
+}
+
+fn wrong_side_diag(triangle: Triangle, i: usize, j: usize, k: usize) -> Diagnostic {
+    Diagnostic::error(
+        codes::WAVE_NOT_TRIANGULAR,
+        Span::Component { name: "colind", at: Some(k) },
+        format!(
+            "row {i} stores an entry at column {j}: matrix is not {} triangular, so the \
+             dependence relation of the sweep is cyclic and no wavefront order exists",
+            triangle.name()
+        ),
+    )
+}
+
+/// Extract the loop-carried dependence relation of a triangular sweep
+/// from the sparsity pattern and compute its level sets (longest-path
+/// depth in the dependence DAG). Returns the schedule and an
+/// unforgeable [`WavefrontCert`] when the pattern is triangular for the
+/// claimed [`Triangle`]; otherwise `BA41` (plus any `BA21`/`BA22`
+/// shape findings) and no certificate.
+///
+/// Takes the raw CSR index structure rather than a format type so the
+/// pass stays below `bernoulli-formats` in the crate DAG; callers pass
+/// `csr.rowptr()` / `csr.colind()` (values are irrelevant — only the
+/// pattern carries dependences; an explicitly stored zero is treated
+/// as a dependence, which is conservative and always safe).
+pub fn analyze_wavefront(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Triangle,
+) -> WavefrontReport {
+    let mut diags = check_pattern_shape(nrows, rowptr, colind);
+    if !diags.is_empty() {
+        return WavefrontReport { schedule: None, certificate: None, diagnostics: diags };
+    }
+
+    // Longest-path depth: sweep rows in dependence order (ascending for
+    // Lower, descending for Upper) so every dependence's level is final
+    // before its dependents read it. Triangularity makes this a valid
+    // topological order; a wrong-side entry is reported as BA41.
+    let mut level = vec![0usize; nrows];
+    let order: Box<dyn Iterator<Item = usize>> = match triangle {
+        Triangle::Lower => Box::new(0..nrows),
+        Triangle::Upper => Box::new((0..nrows).rev()),
+    };
+    for i in order {
+        let mut lv = 0usize;
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        for (k, &j) in colind[s..e].iter().enumerate().map(|(dk, j)| (s + dk, j)) {
+            match classify(triangle, i, j) {
+                Ok(Some(dep)) => lv = lv.max(level[dep] + 1),
+                Ok(None) => {}
+                Err(()) => diags.push(wrong_side_diag(triangle, i, j, k)),
+            }
+        }
+        level[i] = lv;
+    }
+    if !diags.is_empty() {
+        return WavefrontReport { schedule: None, certificate: None, diagnostics: diags };
+    }
+
+    // Bucket rows level-major (stable: ascending row order within each
+    // level, so the parallel kernels' write-back order is deterministic).
+    let num_levels = level.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut level_ptr = vec![0usize; num_levels + 1];
+    for &l in &level {
+        level_ptr[l + 1] += 1;
+    }
+    for l in 0..num_levels {
+        level_ptr[l + 1] += level_ptr[l];
+    }
+    let mut next = level_ptr.clone();
+    let mut rows = vec![0usize; nrows];
+    for (i, &l) in level.iter().enumerate() {
+        rows[next[l]] = i;
+        next[l] += 1;
+    }
+    let sched = LevelSchedule { nrows, rows, level_ptr };
+
+    // Defense in depth: the certificate is only issued if the
+    // *independent* verifier also accepts the schedule we just built.
+    let verdict = verify_level_schedule(nrows, rowptr, colind, triangle, &sched);
+    if !verdict.is_empty() {
+        diags.extend(verdict);
+        return WavefrontReport { schedule: None, certificate: None, diagnostics: diags };
+    }
+
+    let cert = WavefrontCert {
+        nrows,
+        triangle,
+        rowptr: slice_id(rowptr),
+        colind: slice_id(colind),
+        schedule_hash: schedule_hash(&sched),
+        levels: sched.num_levels(),
+        max_width: sched.max_level_width(),
+    };
+    WavefrontReport { schedule: Some(sched), certificate: Some(cert), diagnostics: diags }
+}
+
+/// Independently re-check a level schedule against a sweep's dependence
+/// relation — the `plan_verify` analogue for wavefront schedules. Does
+/// not trust [`analyze_wavefront`]: it recomputes nothing, it only
+/// checks the claimed schedule, so the two can cross-validate.
+///
+/// Emits:
+/// * `BA21`/`BA22` — malformed pattern (shared with the sanitizer);
+/// * `BA41` — stored entry on the wrong side of the diagonal (the
+///   dependence relation is cyclic; no schedule can be valid);
+/// * `BA42` — a row is scheduled at or before a level that must
+///   precede it (dependence points to a *later* level);
+/// * `BA43` — schedule fails to list every row exactly once, lists an
+///   out-of-range row, or has malformed level boundaries;
+/// * `BA44` — two rows in the *same* level are connected by a
+///   dependence, so the wave would race on the written vector.
+pub fn verify_level_schedule(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Triangle,
+    sched: &LevelSchedule,
+) -> Vec<Diagnostic> {
+    let mut diags = check_pattern_shape(nrows, rowptr, colind);
+    if !diags.is_empty() {
+        return diags;
+    }
+
+    // Schedule structure: level_ptr must delimit rows, rows must be a
+    // permutation of 0..nrows.
+    if sched.nrows != nrows {
+        diags.push(Diagnostic::error(
+            codes::WAVE_BAD_COVERAGE,
+            Span::Whole,
+            format!("schedule covers {} rows but operand has {nrows}", sched.nrows),
+        ));
+        return diags;
+    }
+    let lp = &sched.level_ptr;
+    if lp.first() != Some(&0)
+        || lp.last() != Some(&sched.rows.len())
+        || lp.windows(2).any(|w| w[1] < w[0])
+    {
+        diags.push(Diagnostic::error(
+            codes::WAVE_BAD_COVERAGE,
+            Span::Component { name: "level_ptr", at: None },
+            "level boundaries are not a monotone cover of the scheduled rows".to_string(),
+        ));
+        return diags;
+    }
+    if sched.rows.len() != nrows {
+        diags.push(Diagnostic::error(
+            codes::WAVE_BAD_COVERAGE,
+            Span::Component { name: "rows", at: None },
+            format!("schedule lists {} rows but operand has {nrows}", sched.rows.len()),
+        ));
+        return diags;
+    }
+    // Position of each row in the schedule; doubles as the
+    // duplicate/missing detector.
+    let mut level_of = vec![usize::MAX; nrows];
+    for l in 0..sched.num_levels() {
+        for &i in sched.level(l) {
+            if i >= nrows {
+                diags.push(Diagnostic::error(
+                    codes::WAVE_BAD_COVERAGE,
+                    Span::Component { name: "rows", at: Some(i) },
+                    format!("scheduled row {i} out of bounds for {nrows} rows"),
+                ));
+                return diags;
+            }
+            if level_of[i] != usize::MAX {
+                diags.push(Diagnostic::error(
+                    codes::WAVE_BAD_COVERAGE,
+                    Span::Component { name: "rows", at: Some(i) },
+                    format!("row {i} scheduled more than once"),
+                ));
+                return diags;
+            }
+            level_of[i] = l;
+        }
+    }
+    if let Some(i) = level_of.iter().position(|&l| l == usize::MAX) {
+        diags.push(Diagnostic::error(
+            codes::WAVE_BAD_COVERAGE,
+            Span::Component { name: "rows", at: Some(i) },
+            format!("row {i} is missing from the schedule"),
+        ));
+        return diags;
+    }
+
+    // Every dependence must point to a strictly earlier level.
+    for i in 0..nrows {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        for (k, &j) in colind[s..e].iter().enumerate().map(|(dk, j)| (s + dk, j)) {
+            match classify(triangle, i, j) {
+                Ok(Some(dep)) => {
+                    if level_of[dep] == level_of[i] {
+                        diags.push(Diagnostic::error(
+                            codes::WAVE_LEVEL_OVERLAP,
+                            Span::Component { name: "rows", at: Some(i) },
+                            format!(
+                                "rows {i} and {dep} share level {} but row {i} depends on \
+                                 row {dep}: the wave would read {dep}'s write mid-flight",
+                                level_of[i]
+                            ),
+                        ));
+                    } else if level_of[dep] > level_of[i] {
+                        diags.push(Diagnostic::error(
+                            codes::WAVE_NON_TOPOLOGICAL,
+                            Span::Component { name: "rows", at: Some(i) },
+                            format!(
+                                "row {i} (level {}) depends on row {dep} scheduled later \
+                                 (level {}): the schedule is not a topological order",
+                                level_of[i], level_of[dep]
+                            ),
+                        ));
+                    }
+                }
+                Ok(None) => {}
+                Err(()) => diags.push(wrong_side_diag(triangle, i, j, k)),
+            }
+        }
+    }
+    diags
+}
+
+/// Lower-triangular pattern of `struct(A) ∪ struct(Aᵀ)` — the
+/// dependence relation of a *Gauss-Seidel* sweep over a general square
+/// `A`. A forward sweep's row `i` both reads `x[j]` for every stored
+/// `A[i][j]` (flow dependence when `j < i`) and is read by row `j`'s
+/// update for every stored `A[j][i]` (anti-dependence when `j > i`
+/// writes after reading), so two rows may share a level only when
+/// *neither* `A[i][j]` nor `A[j][i]` is stored. Symmetrizing the
+/// pattern covers both hazard directions for any square `A`; the
+/// result feeds [`analyze_wavefront`] with [`Triangle::Lower`] for the
+/// forward sweep and [`Triangle::Upper`] (on the transposed-equivalent
+/// upper pattern, which for a symmetrized structure is the mirror) for
+/// the backward sweep.
+///
+/// Returns strictly-lower CSR `(rowptr, colind)` with sorted,
+/// duplicate-free rows.
+pub fn symmetrize_lower(nrows: usize, rowptr: &[usize], colind: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nrows];
+    for i in 0..nrows {
+        for &j in &colind[rowptr[i]..rowptr[i + 1]] {
+            if i != j {
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                adj[hi].push(lo);
+            }
+        }
+    }
+    let mut out_ptr = Vec::with_capacity(nrows + 1);
+    let mut out_ind = Vec::new();
+    out_ptr.push(0);
+    for row in &mut adj {
+        row.sort_unstable();
+        row.dedup();
+        out_ind.extend_from_slice(row);
+        out_ptr.push(out_ind.len());
+    }
+    (out_ptr, out_ind)
+}
+
+/// Mirror of [`symmetrize_lower`]: strictly-upper CSR pattern of
+/// `struct(A) ∪ struct(Aᵀ)` — the dependence relation of a *backward*
+/// Gauss-Seidel sweep (row `i` depends on rows `j > i`).
+pub fn symmetrize_upper(nrows: usize, rowptr: &[usize], colind: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nrows];
+    for i in 0..nrows {
+        for &j in &colind[rowptr[i]..rowptr[i + 1]] {
+            if i != j {
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                adj[lo].push(hi);
+            }
+        }
+    }
+    let mut out_ptr = Vec::with_capacity(nrows + 1);
+    let mut out_ind = Vec::new();
+    out_ptr.push(0);
+    for row in &mut adj {
+        row.sort_unstable();
+        row.dedup();
+        out_ind.extend_from_slice(row);
+        out_ptr.push(out_ind.len());
+    }
+    (out_ptr, out_ind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Lower-triangular chain: row i depends on row i-1.
+    fn chain(n: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut rowptr = vec![0];
+        let mut colind = Vec::new();
+        for i in 0..n {
+            if i > 0 {
+                colind.push(i - 1);
+            }
+            colind.push(i);
+            rowptr.push(colind.len());
+        }
+        (rowptr, colind)
+    }
+
+    /// Block-diagonal-ish pattern: rows only depend on the diagonal —
+    /// everything lands in level 0.
+    fn diagonal(n: usize) -> (Vec<usize>, Vec<usize>) {
+        let rowptr = (0..=n).collect();
+        let colind = (0..n).collect();
+        (rowptr, colind)
+    }
+
+    #[test]
+    fn chain_is_serial_and_certified() {
+        let (rp, ci) = chain(6);
+        let rep = analyze_wavefront(6, &rp, &ci, Triangle::Lower);
+        assert!(rep.is_parallel_safe());
+        let s = rep.schedule.unwrap();
+        assert_eq!(s.num_levels(), 6);
+        assert_eq!(s.max_level_width(), 1);
+        assert!((s.mean_level_width() - 1.0).abs() < 1e-15);
+        for l in 0..6 {
+            assert_eq!(s.level(l), &[l]);
+        }
+    }
+
+    #[test]
+    fn diagonal_is_one_wide_level() {
+        let (rp, ci) = diagonal(5);
+        let rep = analyze_wavefront(5, &rp, &ci, Triangle::Lower);
+        let s = rep.schedule.unwrap();
+        assert_eq!(s.num_levels(), 1);
+        assert_eq!(s.level(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(s.max_level_width(), 5);
+    }
+
+    #[test]
+    fn upper_chain_levels_run_backward() {
+        // Upper chain: row i depends on i+1.
+        let n = 4;
+        let mut rowptr = vec![0];
+        let mut colind = Vec::new();
+        for i in 0..n {
+            colind.push(i);
+            if i + 1 < n {
+                colind.push(i + 1);
+            }
+            rowptr.push(colind.len());
+        }
+        let rep = analyze_wavefront(n, &rowptr, &colind, Triangle::Upper);
+        let s = rep.schedule.unwrap();
+        assert_eq!(s.num_levels(), n);
+        assert_eq!(s.level(0), &[n - 1]);
+        assert_eq!(s.level(n - 1), &[0]);
+    }
+
+    #[test]
+    fn non_triangular_is_refused_with_ba41() {
+        // Entry (0, 2) is above the diagonal of a claimed-lower matrix.
+        let rowptr = vec![0, 2, 3, 4];
+        let colind = vec![0, 2, 1, 2];
+        let rep = analyze_wavefront(3, &rowptr, &colind, Triangle::Lower);
+        assert!(!rep.is_parallel_safe());
+        assert!(rep.schedule.is_none());
+        assert!(rep.diagnostics.iter().any(|d| d.code == codes::WAVE_NOT_TRIANGULAR));
+    }
+
+    #[test]
+    fn malformed_pattern_reuses_sanitizer_codes() {
+        let rep = analyze_wavefront(3, &[0, 1], &[0], Triangle::Lower);
+        assert!(rep.diagnostics.iter().any(|d| d.code == codes::FMT_BAD_PTR));
+        let rep = analyze_wavefront(2, &[0, 1, 2], &[0, 7], Triangle::Lower);
+        assert!(rep.diagnostics.iter().any(|d| d.code == codes::FMT_INDEX_OOB));
+    }
+
+    #[test]
+    fn verifier_accepts_computed_schedule() {
+        let (rp, ci) = chain(8);
+        let rep = analyze_wavefront(8, &rp, &ci, Triangle::Lower);
+        let s = rep.schedule.unwrap();
+        assert!(verify_level_schedule(8, &rp, &ci, Triangle::Lower, &s).is_empty());
+    }
+
+    #[test]
+    fn verifier_rejects_non_topological_swap() {
+        let (rp, ci) = chain(3);
+        // Rows 0 and 2 swapped: row 1 now depends on a later level.
+        let s = LevelSchedule::from_raw_unchecked(3, vec![2, 1, 0], vec![0, 1, 2, 3]);
+        let diags = verify_level_schedule(3, &rp, &ci, Triangle::Lower, &s);
+        assert!(diags.iter().any(|d| d.code == codes::WAVE_NON_TOPOLOGICAL), "{diags:?}");
+    }
+
+    #[test]
+    fn verifier_rejects_same_level_dependence() {
+        let (rp, ci) = chain(3);
+        // Rows 1 and 2 merged into one wave, but 2 depends on 1.
+        let s = LevelSchedule::from_raw_unchecked(3, vec![0, 1, 2], vec![0, 1, 3]);
+        let diags = verify_level_schedule(3, &rp, &ci, Triangle::Lower, &s);
+        assert!(diags.iter().any(|d| d.code == codes::WAVE_LEVEL_OVERLAP), "{diags:?}");
+    }
+
+    #[test]
+    fn verifier_rejects_bad_coverage() {
+        let (rp, ci) = chain(3);
+        for (rows, lp) in [
+            (vec![0, 1], vec![0, 1, 2]),          // dropped row
+            (vec![0, 1, 1], vec![0, 1, 2, 3]),    // duplicate row
+            (vec![0, 1, 9], vec![0, 1, 2, 3]),    // out-of-range row
+            (vec![0, 1, 2], vec![0, 2, 1, 3]),    // non-monotone level_ptr
+        ] {
+            let s = LevelSchedule::from_raw_unchecked(3, rows, lp);
+            let diags = verify_level_schedule(3, &rp, &ci, Triangle::Lower, &s);
+            assert!(diags.iter().any(|d| d.code == codes::WAVE_BAD_COVERAGE), "{diags:?}");
+        }
+    }
+
+    #[test]
+    fn certificate_is_bound_to_pattern_and_schedule() {
+        let (rp, ci) = chain(4);
+        let rep = analyze_wavefront(4, &rp, &ci, Triangle::Lower);
+        let (s, c) = (rep.schedule.unwrap(), rep.certificate.unwrap());
+        assert!(c.covers(4, &rp, &ci, Triangle::Lower, &s));
+        // Different slices (same contents) are refused — identity, not value.
+        let rp2 = rp.clone();
+        assert!(!c.covers(4, &rp2, &ci, Triangle::Lower, &s));
+        // A tampered schedule is refused by the content hash.
+        let mut rows = s.rows().to_vec();
+        rows.swap(0, 3);
+        let forged = LevelSchedule::from_raw_unchecked(4, rows, s.level_ptr().to_vec());
+        assert!(!c.covers(4, &rp, &ci, Triangle::Lower, &forged));
+        // Wrong triangle is refused.
+        assert!(!c.covers(4, &rp, &ci, Triangle::Upper, &s));
+    }
+
+    #[test]
+    fn symmetrize_covers_both_hazard_directions() {
+        // A = [[d, x, 0], [0, d, 0], [0, y, d]] — entry (0,1) is an
+        // anti-dependence for the forward sweep, (2,1) a flow dep.
+        let rowptr = vec![0, 2, 3, 5];
+        let colind = vec![0, 1, 1, 1, 2];
+        let (lp, li) = symmetrize_lower(3, &rowptr, &colind);
+        assert_eq!(lp, vec![0, 0, 1, 2]);
+        assert_eq!(li, vec![0, 1]); // row1 dep row0 (anti), row2 dep row1 (flow)
+        let (up, ui) = symmetrize_upper(3, &rowptr, &colind);
+        assert_eq!(up, vec![0, 1, 2, 2]);
+        assert_eq!(ui, vec![1, 2]);
+        // Both patterns certify; the schedules are mirrors.
+        let f = analyze_wavefront(3, &lp, &li, Triangle::Lower);
+        let b = analyze_wavefront(3, &up, &ui, Triangle::Upper);
+        assert!(f.is_parallel_safe() && b.is_parallel_safe());
+        assert_eq!(f.schedule.unwrap().num_levels(), 3);
+        assert_eq!(b.schedule.unwrap().num_levels(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_certifies_trivially() {
+        let rep = analyze_wavefront(0, &[0], &[], Triangle::Lower);
+        assert!(rep.is_parallel_safe());
+        let s = rep.schedule.unwrap();
+        assert_eq!(s.num_levels(), 0);
+        assert_eq!(s.mean_level_width(), 0.0);
+    }
+}

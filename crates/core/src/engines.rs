@@ -184,6 +184,11 @@ fn record_strategy(
         race_safe: d.race_safe,
         tier: tier.to_string(),
         downgrade: d.downgrade.to_string(),
+        // DO-ANY engines have no level schedule; the wavefront engines
+        // (`trisolve.rs`) fill these from their certificate.
+        levels: 0,
+        max_level_width: 0,
+        mean_level_width: 0.0,
     });
 }
 

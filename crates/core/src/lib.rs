@@ -36,6 +36,7 @@ pub mod engines;
 pub mod lower;
 pub mod operator;
 pub mod spmd;
+pub mod trisolve;
 
 pub use ast::{ArrayDecl, ExprAst, LoopNest};
 pub use codegen::{emit_pseudocode, emit_pseudocode_in};
@@ -45,5 +46,6 @@ pub use engines::{
     SpmvMultiEngine, Strategy,
 };
 pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator, SemiringOperator};
+pub use trisolve::{SptrsvEngine, SymGsEngine, TriangularOp, MIN_MEAN_LEVEL_WIDTH};
 pub use bernoulli_formats::{ExecConfig, ExecCtx};
 pub use bernoulli_relational::error::{RelError, RelResult};

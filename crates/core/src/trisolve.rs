@@ -1,0 +1,605 @@
+//! DO-ACROSS engines: certified level-scheduled triangular solve and
+//! symmetric Gauss-Seidel sweeps.
+//!
+//! The DO-ANY engines in [`crate::engines`] gate `Strategy::Parallel`
+//! on the race checker; the sweep nests here
+//! ([`programs::sptrsv`])
+//! are *provably refused* by that checker (BA01/BA02 — the solution
+//! vector is assigned per row and read across rows), and rightly so
+//! under any-order execution. These engines route through the
+//! `bernoulli-analysis` **wavefront pass** instead: at compile time
+//! the loop-carried dependence DAG is extracted from the operand's
+//! sparsity structure, its level sets are computed, and the parallel
+//! tier is granted only when
+//!
+//! 1. the pass issues an unforgeable [`WavefrontCert`],
+//! 2. the **independent** BA4x schedule verifier
+//!    ([`verify_level_schedule`]) re-accepts the schedule (the
+//!    `plan_verify` pattern: never trust the producer), and
+//! 3. the schedule has enough parallelism per wave to pay for
+//!    dispatch ([`MIN_MEAN_LEVEL_WIDTH`]).
+//!
+//! Every downgrade records its reason in the obs `strategies` stream
+//! (`single_worker_pool`, `transposed_scatter`, `not_triangular`,
+//! `schedule_rejected`, `levels_too_narrow`), together with the level
+//! count and max/mean level width, so the decision is auditable. The
+//! serial tier is always available and bit-identical to the parallel
+//! one (the level-parallel kernels preserve each row's exact operation
+//! order), so a downgrade never changes results.
+
+use crate::engines::Strategy;
+use bernoulli_analysis::wavefront::{
+    self, analyze_wavefront, verify_level_schedule, LevelSchedule, Triangle, WavefrontCert,
+};
+use bernoulli_formats::kernels as ker;
+use bernoulli_formats::par_kernels as par;
+use bernoulli_formats::{Csr, ExecCtx};
+use bernoulli_obs::events::{KernelCounters, StrategyEvent};
+use bernoulli_obs::Obs;
+use bernoulli_relational::ast::programs;
+use bernoulli_relational::error::{RelError, RelResult};
+
+/// Minimum mean rows per level for the parallel tier: below this a
+/// schedule is mostly serial chain (the worst case is one row per
+/// level) and per-wave fork/join overhead cannot be amortized — the
+/// engine downgrades with reason `levels_too_narrow`.
+pub const MIN_MEAN_LEVEL_WIDTH: f64 = 2.0;
+
+/// Which triangular system an [`SptrsvEngine`] solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriangularOp {
+    /// `L·x = b`, forward substitution (gather). Level-parallelizable.
+    Lower { unit_diag: bool },
+    /// `U·x = b`, backward substitution (gather). Level-parallelizable.
+    Upper { unit_diag: bool },
+    /// `Lᵀ·x = b` from the stored lower factor, without materializing
+    /// the transpose — a *scatter* loop, which has no bitwise-
+    /// deterministic level-parallel form: concurrent waves would
+    /// interleave partial updates of shared entries. Always serial
+    /// (downgrade reason `transposed_scatter`).
+    LowerTransposed { unit_diag: bool },
+}
+
+impl TriangularOp {
+    fn triangle(self) -> Option<Triangle> {
+        match self {
+            TriangularOp::Lower { .. } => Some(Triangle::Lower),
+            TriangularOp::Upper { .. } => Some(Triangle::Upper),
+            TriangularOp::LowerTransposed { .. } => None,
+        }
+    }
+
+    fn unit_diag(self) -> bool {
+        match self {
+            TriangularOp::Lower { unit_diag }
+            | TriangularOp::Upper { unit_diag }
+            | TriangularOp::LowerTransposed { unit_diag } => unit_diag,
+        }
+    }
+
+    fn kernel_name(self, parallel: bool) -> &'static str {
+        match (self, parallel) {
+            (TriangularOp::Lower { .. }, false) => "sptrsv_csr_lower",
+            (TriangularOp::Lower { .. }, true) => "par_sptrsv_csr_lower",
+            (TriangularOp::Upper { .. }, false) => "sptrsv_csr_upper",
+            (TriangularOp::Upper { .. }, true) => "par_sptrsv_csr_upper",
+            (TriangularOp::LowerTransposed { .. }, _) => "sptrsv_csr_lower_transposed",
+        }
+    }
+}
+
+/// O(1) operand identity: heap addresses + lengths of the index
+/// arrays, plus the dimension. Moving the owning [`Csr`] (or the
+/// struct that holds it) keeps the heap buffers in place, so the
+/// fingerprint survives moves but rejects clones and different
+/// matrices — the same containment story as the fast-tier and
+/// wavefront certificates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OperandId {
+    rowptr: (usize, usize),
+    colind: (usize, usize),
+    nrows: usize,
+}
+
+impl OperandId {
+    fn of(a: &Csr) -> OperandId {
+        OperandId {
+            rowptr: (a.rowptr().as_ptr() as usize, a.rowptr().len()),
+            colind: (a.colind().as_ptr() as usize, a.colind().len()),
+            nrows: a.nrows(),
+        }
+    }
+}
+
+/// Outcome of the wavefront gate chain, with everything the obs event
+/// needs.
+struct WaveDecision {
+    strategy: Strategy,
+    race_checked: bool,
+    downgrade: &'static str,
+    schedule: Option<(LevelSchedule, WavefrontCert)>,
+    levels: u64,
+    max_level_width: u64,
+    mean_level_width: f64,
+}
+
+impl WaveDecision {
+    fn serial(race_checked: bool, downgrade: &'static str) -> WaveDecision {
+        WaveDecision {
+            strategy: Strategy::Specialized,
+            race_checked,
+            downgrade,
+            schedule: None,
+            levels: 0,
+            max_level_width: 0,
+            mean_level_width: 0.0,
+        }
+    }
+}
+
+/// The shared gate chain: size threshold → worker pool → DO-ANY race
+/// checker (always refuses a sweep nest — recorded, not trusted) →
+/// wavefront certification → independent BA4x verification → width
+/// heuristic. `triangle == None` means the kernel is a scatter loop
+/// with no parallel form.
+fn wave_decision(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Option<Triangle>,
+    work: usize,
+    ctx: &ExecCtx,
+) -> WaveDecision {
+    let cfg = ctx.config();
+    if !cfg.should_parallelize(work) {
+        return WaveDecision::serial(false, "");
+    }
+    if cfg.effective_workers() <= 1 {
+        return WaveDecision::serial(false, "single_worker_pool");
+    }
+    // Consult the DO-ANY checker exactly like the dense engines do.
+    // It refuses the sweep nest (BA01/BA02) — that refusal is the
+    // *reason this engine exists*, so instead of stopping at
+    // `racy_nest` we fall through to the dependence analysis, and the
+    // recorded event shows `race_checked: true, race_safe: false`
+    // alongside the wavefront verdict.
+    debug_assert!(!bernoulli_analysis::check_do_any(&programs::sptrsv()).is_parallel_safe());
+    let Some(triangle) = triangle else {
+        return WaveDecision::serial(true, "transposed_scatter");
+    };
+    let report = analyze_wavefront(nrows, rowptr, colind, triangle);
+    let (Some(sched), Some(cert)) = (report.schedule, report.certificate) else {
+        return WaveDecision::serial(true, "not_triangular");
+    };
+    // Independent re-verification — the engine does not take the
+    // analysis pass's word for it (`plan_verify` discipline).
+    if !verify_level_schedule(nrows, rowptr, colind, triangle, &sched).is_empty() {
+        return WaveDecision::serial(true, "schedule_rejected");
+    }
+    let (levels, maxw, meanw) =
+        (cert.levels() as u64, cert.max_level_width() as u64, cert.mean_level_width());
+    if meanw < MIN_MEAN_LEVEL_WIDTH {
+        return WaveDecision {
+            strategy: Strategy::Specialized,
+            race_checked: true,
+            downgrade: "levels_too_narrow",
+            schedule: None,
+            levels,
+            max_level_width: maxw,
+            mean_level_width: meanw,
+        };
+    }
+    WaveDecision {
+        strategy: Strategy::Parallel,
+        race_checked: true,
+        downgrade: "",
+        schedule: Some((sched, cert)),
+        levels,
+        max_level_width: maxw,
+        mean_level_width: meanw,
+    }
+}
+
+fn record_wave_strategy(obs: &Obs, op: &str, d: &WaveDecision, work: usize, ctx: &ExecCtx) {
+    obs.counter("engine.compile", 1);
+    let cfg = ctx.config();
+    obs.strategy(|| StrategyEvent {
+        op: op.to_string(),
+        strategy: d.strategy.name().to_string(),
+        algebra: "f64_plus".to_string(),
+        specializable: true,
+        work: work as u64,
+        threshold: cfg.par_threshold_nnz as u64,
+        threads: cfg.threads_hint() as u64,
+        race_checked: d.race_checked,
+        // The DO-ANY verdict on a sweep nest is always "unsafe"; the
+        // parallel tier here is licensed by the wavefront certificate,
+        // not by DO-ANY safety.
+        race_safe: false,
+        tier: "reference".to_string(),
+        downgrade: d.downgrade.to_string(),
+        levels: d.levels,
+        max_level_width: d.max_level_width,
+        mean_level_width: d.mean_level_width,
+    });
+}
+
+/// Triangular-solve counter model: one multiply-subtract per stored
+/// off-diagonal plus one divide per row; values + indices read once,
+/// `b` read and `x` written once.
+fn sptrsv_counters(a: &Csr) -> KernelCounters {
+    let nnz = a.nnz() as u64;
+    let n = a.nrows() as u64;
+    KernelCounters { nnz, flops: 2 * nnz + n, bytes: 8 * (2 * nnz + 2 * n), algebra: "f64_plus" }
+}
+
+fn check_operand(a: &Csr, ctx: &ExecCtx) -> RelResult<()> {
+    if ctx.config().checked {
+        use bernoulli_analysis::Validate;
+        a.validate_ok().map_err(|e| RelError::Validation(format!("operand A: {e}")))?;
+    }
+    Ok(())
+}
+
+/// A compiled triangular-solve engine for one CSR factor.
+///
+/// Compile once per factor (the dependence analysis is O(nnz), like an
+/// inspector), run many times. `run` re-checks the certificate against
+/// the operand it is handed — a different matrix, or a tampered
+/// schedule, silently falls back to the bit-identical serial kernel.
+pub struct SptrsvEngine {
+    op: TriangularOp,
+    strategy: Strategy,
+    ctx: ExecCtx,
+    schedule: Option<(LevelSchedule, WavefrontCert)>,
+    downgrade: &'static str,
+}
+
+impl SptrsvEngine {
+    /// Compile with the default (serial, unchecked) context.
+    pub fn compile(a: &Csr, op: TriangularOp) -> RelResult<SptrsvEngine> {
+        Self::compile_in(a, op, &ExecCtx::default())
+    }
+
+    /// Compile under an execution context: runs the wavefront
+    /// dependence pass over `a`'s structure and decides the strategy
+    /// through the full gate chain, recording the decision (with level
+    /// statistics and any downgrade reason) in the obs `strategies`
+    /// stream.
+    pub fn compile_in(a: &Csr, op: TriangularOp, ctx: &ExecCtx) -> RelResult<SptrsvEngine> {
+        check_operand(a, ctx)?;
+        if a.nrows() != a.ncols() {
+            return Err(RelError::Validation(format!(
+                "triangular solve needs a square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let d = wave_decision(a.nrows(), a.rowptr(), a.colind(), op.triangle(), a.nnz(), ctx);
+        record_wave_strategy(ctx.obs(), "sptrsv", &d, a.nnz(), ctx);
+        Ok(SptrsvEngine {
+            op,
+            strategy: d.strategy,
+            ctx: ctx.clone(),
+            schedule: d.schedule,
+            downgrade: d.downgrade,
+        })
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Why the parallel tier was not granted (`""` = it was, or the
+    /// size gate never asked).
+    pub fn downgrade(&self) -> &'static str {
+        self.downgrade
+    }
+
+    /// The certified level schedule, when the parallel tier is armed.
+    pub fn schedule(&self) -> Option<&LevelSchedule> {
+        self.schedule.as_ref().map(|(s, _)| s)
+    }
+
+    /// Solve the triangular system for `b` into `x`. Bitwise-identical
+    /// results on every tier.
+    pub fn run(&self, a: &Csr, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let parallel = self.strategy == Strategy::Parallel && self.schedule.is_some();
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(self.op.kernel_name(parallel), sptrsv_counters(a));
+        }
+        let ud = self.op.unit_diag();
+        match (self.op, &self.schedule) {
+            (TriangularOp::Lower { .. }, Some((sched, cert))) if parallel => {
+                par::par_sptrsv_csr_lower(a, ud, b, x, sched, cert, &self.ctx)
+            }
+            (TriangularOp::Upper { .. }, Some((sched, cert))) if parallel => {
+                par::par_sptrsv_csr_upper(a, ud, b, x, sched, cert, &self.ctx)
+            }
+            (TriangularOp::Lower { .. }, _) => ker::sptrsv_csr_lower(a, ud, b, x),
+            (TriangularOp::Upper { .. }, _) => ker::sptrsv_csr_upper(a, ud, b, x),
+            (TriangularOp::LowerTransposed { .. }, _) => {
+                ker::sptrsv_csr_lower_transposed(a, ud, b, x)
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A compiled symmetric Gauss-Seidel sweep engine for one square CSR
+/// matrix.
+///
+/// Gauss-Seidel rows carry dependences in *both* directions: row `i`
+/// reads `x[j]` for every stored `A[i][j]` (flow, `j` earlier in sweep
+/// order) and is read by row `j` for every stored `A[j][i]` (anti,
+/// `j` later). The engine therefore schedules the **symmetrized**
+/// strictly-triangular pattern `struct(A) ∪ struct(Aᵀ)` — sound for
+/// any square `A` — with one schedule per sweep direction, and the
+/// certificates bind those engine-owned dependence arrays plus the
+/// operand identity.
+pub struct SymGsEngine {
+    operand: OperandId,
+    strategy: Strategy,
+    ctx: ExecCtx,
+    /// `(dep_rowptr, dep_colind, schedule, cert)` per direction, when
+    /// the parallel tier is armed.
+    fwd: Option<(Vec<usize>, Vec<usize>, LevelSchedule, WavefrontCert)>,
+    bwd: Option<(Vec<usize>, Vec<usize>, LevelSchedule, WavefrontCert)>,
+    downgrade: &'static str,
+}
+
+impl SymGsEngine {
+    /// Compile with the default (serial, unchecked) context.
+    pub fn compile(a: &Csr) -> RelResult<SymGsEngine> {
+        Self::compile_in(a, &ExecCtx::default())
+    }
+
+    /// Compile under an execution context: symmetrizes `a`'s pattern,
+    /// runs the wavefront pass per sweep direction, and gates the
+    /// parallel tier exactly like [`SptrsvEngine::compile_in`]. One
+    /// obs `strategies` event is recorded (op `symgs`) with the
+    /// forward schedule's level statistics (the backward schedule of a
+    /// symmetrized pattern has the same widths, mirrored).
+    pub fn compile_in(a: &Csr, ctx: &ExecCtx) -> RelResult<SymGsEngine> {
+        check_operand(a, ctx)?;
+        if a.nrows() != a.ncols() {
+            return Err(RelError::Validation(format!(
+                "Gauss-Seidel needs a square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let n = a.nrows();
+        let (frp, fci) = wavefront::symmetrize_lower(n, a.rowptr(), a.colind());
+        let d = wave_decision(n, &frp, &fci, Some(Triangle::Lower), a.nnz(), ctx);
+        record_wave_strategy(ctx.obs(), "symgs", &d, a.nnz(), ctx);
+        let mut engine = SymGsEngine {
+            operand: OperandId::of(a),
+            strategy: d.strategy,
+            ctx: ctx.clone(),
+            fwd: None,
+            bwd: None,
+            downgrade: d.downgrade,
+        };
+        if let Some((fs, fc)) = d.schedule {
+            let (brp, bci) = wavefront::symmetrize_upper(n, a.rowptr(), a.colind());
+            let bd = wave_decision(n, &brp, &bci, Some(Triangle::Upper), a.nnz(), ctx);
+            if let Some((bs, bc)) = bd.schedule {
+                engine.fwd = Some((frp, fci, fs, fc));
+                engine.bwd = Some((brp, bci, bs, bc));
+            } else {
+                // Can only happen if the two symmetrizations disagree —
+                // they never should, but never trust, always verify.
+                engine.strategy = Strategy::Specialized;
+                engine.downgrade = bd.downgrade;
+            }
+        }
+        Ok(engine)
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    pub fn downgrade(&self) -> &'static str {
+        self.downgrade
+    }
+
+    /// The certified forward-sweep level schedule, when armed.
+    pub fn forward_schedule(&self) -> Option<&LevelSchedule> {
+        self.fwd.as_ref().map(|(_, _, s, _)| s)
+    }
+
+    fn parallel_for(&self, a: &Csr) -> bool {
+        // The certificates bind the engine-owned symmetrized arrays;
+        // the operand fingerprint ties those arrays back to `a`.
+        self.strategy == Strategy::Parallel
+            && self.fwd.is_some()
+            && self.bwd.is_some()
+            && self.operand == OperandId::of(a)
+    }
+
+    /// One forward (ascending-row) weighted Gauss-Seidel sweep on `x`
+    /// in place. Bitwise-identical on every tier.
+    pub fn sweep_forward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let parallel = self.parallel_for(a);
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(
+                if parallel { "par_symgs_forward_csr" } else { "symgs_forward_csr" },
+                sptrsv_counters(a),
+            );
+        }
+        if parallel {
+            let (rp, ci, s, c) = self.fwd.as_ref().expect("parallel_for checked fwd");
+            par::par_symgs_forward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
+        } else {
+            ker::symgs_forward_csr(a, omega, b, x);
+        }
+        Ok(())
+    }
+
+    /// One backward (descending-row) weighted Gauss-Seidel sweep on
+    /// `x` in place. Bitwise-identical on every tier.
+    pub fn sweep_backward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let parallel = self.parallel_for(a);
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(
+                if parallel { "par_symgs_backward_csr" } else { "symgs_backward_csr" },
+                sptrsv_counters(a),
+            );
+        }
+        if parallel {
+            let (rp, ci, s, c) = self.bwd.as_ref().expect("parallel_for checked bwd");
+            par::par_symgs_backward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
+        } else {
+            ker::symgs_backward_csr(a, omega, b, x);
+        }
+        Ok(())
+    }
+
+    /// Apply the symmetric Gauss-Seidel / SSOR preconditioner:
+    /// `z ← M⁻¹·r` with `M ∝ (D + ωL)·D⁻¹·(D + ωU)`, computed as a
+    /// forward sweep from `z = 0` followed by a backward sweep (the
+    /// constant SSOR scaling `1/(ω(2−ω))` is dropped — preconditioned
+    /// CG is invariant under positive scaling of `M`). `ω = 1` is
+    /// symmetric Gauss-Seidel.
+    pub fn apply_ssor(&self, a: &Csr, omega: f64, r: &[f64], z: &mut [f64]) -> RelResult<()> {
+        z.fill(0.0);
+        self.sweep_forward(a, omega, r, z)?;
+        self.sweep_backward(a, omega, r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::gen::grid2d_5pt;
+    use bernoulli_formats::Triplets;
+
+    fn lower_of_grid() -> Csr {
+        let t = grid2d_5pt(12, 12);
+        let lower: Vec<(usize, usize, f64)> = t
+            .entries()
+            .iter()
+            .filter(|&&(i, j, _)| j <= i)
+            .map(|&(i, j, v)| (i, j, if i == j { v } else { 0.25 * v }))
+            .collect();
+        Csr::from_triplets(&Triplets::from_entries(t.nrows(), t.ncols(), &lower))
+    }
+
+    fn chain(n: usize) -> Csr {
+        let mut e = Vec::new();
+        for i in 0..n {
+            e.push((i, i, 2.0));
+            if i > 0 {
+                e.push((i, i - 1, -1.0));
+            }
+        }
+        Csr::from_triplets(&Triplets::from_entries(n, n, &e))
+    }
+
+    fn par_ctx() -> ExecCtx {
+        ExecCtx::with_threads(2).oversubscribe(true).threshold(1)
+    }
+
+    #[test]
+    fn grid_lower_goes_parallel_and_matches_serial_bitwise() {
+        let l = lower_of_grid();
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+        let eng = SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
+            .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel, "downgrade: {}", eng.downgrade());
+        let mut x_par = vec![0.0; n];
+        eng.run(&l, &b, &mut x_par).unwrap();
+        let mut x_ser = vec![0.0; n];
+        ker::sptrsv_csr_lower(&l, false, &b, &mut x_ser);
+        assert_eq!(
+            x_par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_ser.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chain_is_downgraded_as_too_narrow() {
+        let l = chain(64);
+        let eng = SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
+            .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        assert_eq!(eng.downgrade(), "levels_too_narrow");
+    }
+
+    #[test]
+    fn transposed_solve_stays_serial_with_reason() {
+        let l = lower_of_grid();
+        let eng = SptrsvEngine::compile_in(
+            &l,
+            TriangularOp::LowerTransposed { unit_diag: false },
+            &par_ctx(),
+        )
+        .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        assert_eq!(eng.downgrade(), "transposed_scatter");
+    }
+
+    #[test]
+    fn symgs_parallel_sweeps_match_serial_bitwise() {
+        let t = grid2d_5pt(11, 9);
+        let a = Csr::from_triplets(&t);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 4.5).collect();
+        let eng = SymGsEngine::compile_in(&a, &par_ctx()).unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel, "downgrade: {}", eng.downgrade());
+        for omega in [1.0, 1.4] {
+            let mut x_par = vec![0.0; n];
+            eng.apply_ssor(&a, omega, &b, &mut x_par).unwrap();
+            let mut x_ser = vec![0.0; n];
+            ker::symgs_forward_csr(&a, omega, &b, &mut x_ser);
+            ker::symgs_backward_csr(&a, omega, &b, &mut x_ser);
+            assert_eq!(
+                x_par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                x_ser.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "ω={omega}"
+            );
+        }
+    }
+
+    #[test]
+    fn symgs_refuses_parallel_for_a_different_matrix() {
+        let a = Csr::from_triplets(&grid2d_5pt(11, 9));
+        let a2 = a.clone();
+        let eng = SymGsEngine::compile_in(&a, &par_ctx()).unwrap();
+        assert_eq!(eng.strategy(), Strategy::Parallel);
+        // A clone has different heap buffers: the operand fingerprint
+        // rejects it and the sweep silently runs serial — results are
+        // bitwise identical either way, only the tier changes.
+        assert!(!eng.parallel_for(&a2));
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let (mut x1, mut x2) = (vec![0.0; n], vec![0.0; n]);
+        eng.sweep_forward(&a, 1.0, &b, &mut x1).unwrap();
+        eng.sweep_forward(&a2, 1.0, &b, &mut x2).unwrap();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn below_threshold_is_serial_with_no_downgrade_reason() {
+        let l = chain(8);
+        let eng =
+            SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &ExecCtx::default())
+                .unwrap();
+        assert_eq!(eng.strategy(), Strategy::Specialized);
+        assert_eq!(eng.downgrade(), "");
+    }
+
+    #[test]
+    fn non_square_is_refused() {
+        let t = Triplets::from_entries(2, 3, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let a = Csr::from_triplets(&t);
+        assert!(SptrsvEngine::compile(&a, TriangularOp::Lower { unit_diag: false }).is_err());
+        assert!(SymGsEngine::compile(&a).is_err());
+    }
+}

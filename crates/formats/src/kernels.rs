@@ -288,6 +288,157 @@ pub fn spmm_csr_csr(a: &Csr, b: &Csr) -> Csr {
     Csr::from_triplets(&t)
 }
 
+// --- Triangular sweeps (f64 only: they divide by the diagonal, and a
+// --- general `Semiring` has no multiplicative inverse) -------------------
+//
+// These are the serial references of the DO-ACROSS tier: the
+// level-parallel twins in `par_kernels` replay each row's exact
+// operation order (subtractions in storage order, then one divide), so
+// serial and level-parallel results are *bitwise identical* — the
+// schedule only changes which independent rows run concurrently, never
+// what any row computes. The gather solves and Gauss-Seidel sweeps
+// below keep that contract; the transposed solve is a scatter loop and
+// stays serial-only.
+
+/// Solve `L·x = b` for lower-triangular CSR `L` by forward
+/// substitution (gather form). With `unit_diag` the diagonal is
+/// implicitly 1 and must not be stored; otherwise every row must store
+/// its diagonal as the **last** entry (sorted CSR guarantees this for
+/// a lower-triangular pattern).
+pub fn sptrsv_csr_lower(a: &Csr, unit_diag: bool, b: &[f64], x: &mut [f64]) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    for i in 0..a.nrows() {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        let mut acc = b[i];
+        if unit_diag {
+            for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+                acc -= av * x[j];
+            }
+            x[i] = acc;
+        } else {
+            assert!(e > s && colind[e - 1] == i, "row {i}: non-unit solve needs the diagonal stored last");
+            for (&av, &j) in vals[s..e - 1].iter().zip(&colind[s..e - 1]) {
+                acc -= av * x[j];
+            }
+            x[i] = acc / vals[e - 1];
+        }
+    }
+}
+
+/// Solve `U·x = b` for upper-triangular CSR `U` by backward
+/// substitution (gather form). Without `unit_diag` every row must
+/// store its diagonal as the **first** entry (sorted CSR guarantees
+/// this for an upper-triangular pattern).
+pub fn sptrsv_csr_upper(a: &Csr, unit_diag: bool, b: &[f64], x: &mut [f64]) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    for i in (0..a.nrows()).rev() {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        let mut acc = b[i];
+        if unit_diag {
+            for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+                acc -= av * x[j];
+            }
+            x[i] = acc;
+        } else {
+            assert!(e > s && colind[s] == i, "row {i}: non-unit solve needs the diagonal stored first");
+            for (&av, &j) in vals[s + 1..e].iter().zip(&colind[s + 1..e]) {
+                acc -= av * x[j];
+            }
+            x[i] = acc / vals[s];
+        }
+    }
+}
+
+/// Solve `Lᵀ·x = b` given lower-triangular CSR `L` (diagonal stored
+/// last per row unless `unit_diag`), without materializing the
+/// transpose: the classic scatter loop — divide `x[i]`, then subtract
+/// its contribution from every `x[j]` with `L[i][j]` stored.
+///
+/// Scatter solves have no bitwise-deterministic level-parallel form
+/// (concurrent waves would interleave updates to shared `x[j]`
+/// accumulators), so this kernel is serial-only; the engine records
+/// the `transposed_scatter` downgrade reason when asked to run it.
+pub fn sptrsv_csr_lower_transposed(a: &Csr, unit_diag: bool, b: &[f64], x: &mut [f64]) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    x.copy_from_slice(b);
+    for i in (0..a.nrows()).rev() {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        let strict = if unit_diag {
+            e
+        } else {
+            assert!(e > s && colind[e - 1] == i, "row {i}: non-unit solve needs the diagonal stored last");
+            x[i] /= vals[e - 1];
+            e - 1
+        };
+        let xi = x[i];
+        for (&av, &j) in vals[s..strict].iter().zip(&colind[s..strict]) {
+            x[j] -= av * xi;
+        }
+    }
+}
+
+/// One forward (ascending-row) weighted Gauss-Seidel sweep on square
+/// CSR `A`, in place: `x[i] ← (1−ω)·x[i] + ω·(b[i] − Σ_{j≠i} A[i][j]·x[j]) / A[i][i]`,
+/// using already-updated values for rows swept earlier. `ω = 1` is the
+/// plain Gauss-Seidel update (the `(1−ω)·x[i]` term is skipped
+/// entirely so ω = 1 costs nothing extra and stays bitwise equal to
+/// the unweighted sweep). A missing diagonal is treated as 1, matching
+/// the diagonal preconditioner's convention.
+pub fn symgs_forward_csr(a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    for i in 0..a.nrows() {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        let mut acc = b[i];
+        let mut diag = 1.0;
+        for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+            if j == i {
+                diag = av;
+            } else {
+                acc -= av * x[j];
+            }
+        }
+        let gs = acc / diag;
+        x[i] = if omega == 1.0 { gs } else { (1.0 - omega) * x[i] + omega * gs };
+    }
+}
+
+/// One backward (descending-row) weighted Gauss-Seidel sweep on square
+/// CSR `A`, in place — the mirror of [`symgs_forward_csr`]. A
+/// forward sweep from `x = 0` followed by a backward sweep applies the
+/// symmetric Gauss-Seidel (ω = 1) / SSOR preconditioner.
+pub fn symgs_backward_csr(a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    for i in (0..a.nrows()).rev() {
+        let (s, e) = (rowptr[i], rowptr[i + 1]);
+        let mut acc = b[i];
+        let mut diag = 1.0;
+        for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+            if j == i {
+                diag = av;
+            } else {
+                acc -= av * x[j];
+            }
+        }
+        let gs = acc / diag;
+        x[i] = if omega == 1.0 { gs } else { (1.0 - omega) * x[i] + omega * gs };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +618,90 @@ mod tests {
         // neighbors) and 1 walk to each other node.
         for (i, j, n) in c {
             assert_eq!(n, if i == j { 2 } else { 1 }, "walks {i}→{j}");
+        }
+    }
+
+    /// `L = [[2,0,0],[1,3,0],[0,4,5]]`, sorted CSR (diag last per row).
+    fn lower3() -> Csr {
+        let t = Triplets::from_entries(
+            3,
+            3,
+            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, 4.0), (2, 2, 5.0)],
+        );
+        Csr::from_triplets(&t)
+    }
+
+    #[test]
+    fn sptrsv_lower_inverts_forward_substitution() {
+        let l = lower3();
+        let xt = [1.0, -2.0, 0.5];
+        let mut b = vec![0.0; 3];
+        spmv_csr(&l, &xt, &mut b);
+        let mut x = vec![0.0; 3];
+        sptrsv_csr_lower(&l, false, &b, &mut x);
+        for (got, want) in x.iter().zip(xt) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sptrsv_upper_inverts_backward_substitution() {
+        let u = lower3().transposed();
+        let xt = [3.0, 0.25, -1.0];
+        let mut b = vec![0.0; 3];
+        spmv_csr(&u, &xt, &mut b);
+        let mut x = vec![0.0; 3];
+        sptrsv_csr_upper(&u, false, &b, &mut x);
+        for (got, want) in x.iter().zip(xt) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sptrsv_lower_transposed_matches_explicit_transpose() {
+        let l = lower3();
+        let u = l.transposed();
+        let b = [1.5, -0.5, 2.0];
+        let mut via_scatter = vec![0.0; 3];
+        sptrsv_csr_lower_transposed(&l, false, &b, &mut via_scatter);
+        let mut via_gather = vec![0.0; 3];
+        sptrsv_csr_upper(&u, false, &b, &mut via_gather);
+        for (a, b) in via_scatter.iter().zip(&via_gather) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sptrsv_unit_diag_ignores_implicit_diagonal() {
+        // Strictly lower part of lower3 with unit diagonal:
+        // x0 = b0; x1 = b1 - 1·x0; x2 = b2 - 4·x1.
+        let t = Triplets::from_entries(3, 3, &[(1, 0, 1.0), (2, 1, 4.0)]);
+        let l = Csr::from_triplets(&t);
+        let mut x = vec![0.0; 3];
+        sptrsv_csr_lower(&l, true, &[1.0, 1.0, 1.0], &mut x);
+        assert_eq!(x, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn symgs_sweep_fixed_point_is_the_solution() {
+        // If x already solves A·x = b, a GS sweep leaves it unchanged
+        // (up to roundoff) for any sweep direction and ω.
+        let t = Triplets::from_entries(
+            3,
+            3,
+            &[(0, 0, 4.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 4.0), (1, 2, -1.0), (2, 1, -1.0), (2, 2, 4.0)],
+        );
+        let a = Csr::from_triplets(&t);
+        let xt = [1.0, 2.0, -1.0];
+        let mut b = vec![0.0; 3];
+        spmv_csr(&a, &xt, &mut b);
+        for omega in [1.0, 1.3] {
+            let mut x = xt.to_vec();
+            symgs_forward_csr(&a, omega, &b, &mut x);
+            symgs_backward_csr(&a, omega, &b, &mut x);
+            for (got, want) in x.iter().zip(xt) {
+                assert!((got - want).abs() < 1e-12, "ω={omega}: {got} vs {want}");
+            }
         }
     }
 }

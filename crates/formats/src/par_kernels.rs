@@ -506,6 +506,252 @@ pub fn par_spmm_csr_csr(a: &Csr, b: &Csr, exec: &ExecCtx) -> Csr {
     Csr::from_triplets(&trip)
 }
 
+// --- DO-ACROSS level-scheduled sweeps ------------------------------------
+//
+// Triangular solves and Gauss-Seidel sweeps carry loop dependences, so
+// the DO-ANY split above cannot apply. Instead these kernels follow a
+// [`LevelSchedule`] proved by `bernoulli_analysis::wavefront`: levels
+// execute in order, and within a level the (mutually independent) rows
+// are computed in parallel into a scratch wave buffer, then written
+// back serially in schedule order. Each row replays the serial
+// kernel's exact operation order and every dependence it reads was
+// finalized by an earlier level, so the result is **bit-for-bit
+// identical** to the serial sweep for any worker count.
+//
+// Soundness is not taken on faith: every kernel re-checks
+// [`WavefrontCert::covers`] at entry — the certificate is only
+// constructible by the analysis pass and binds both the exact index
+// slices analyzed and the exact schedule computed — and falls back to
+// the serial kernel on any mismatch, exactly like the fast tier's
+// certificate re-check.
+
+use bernoulli_analysis::wavefront::{LevelSchedule, Triangle, WavefrontCert};
+
+/// Fill `wave[p] = f(level[p])` in parallel over position blocks.
+/// Reads of `x` inside `f` are race-free because same-level rows are
+/// never dependence-connected (verified by the certificate).
+fn par_wave<F: Fn(usize, &[f64]) -> f64 + Sync>(
+    level: &[usize],
+    x: &[f64],
+    wave: &mut [f64],
+    t: usize,
+    exec: &ExecCtx,
+    f: F,
+) {
+    let chunk = chunk_rows(level.len(), t);
+    exec.install(|| {
+        wave[..level.len()].par_chunks_mut(chunk).enumerate().for_each(|(ci, wc)| {
+            let p0 = ci * chunk;
+            for (dp, wp) in wc.iter_mut().enumerate() {
+                *wp = f(level[p0 + dp], x);
+            }
+        });
+    });
+}
+
+/// Level-parallel forward substitution: solve `L·x = b` following a
+/// certified [`LevelSchedule`]. Bit-identical to
+/// [`kernels::sptrsv_csr_lower`]; serial fallback below the worker
+/// gate or whenever `cert` does not cover `(L, sched)`.
+pub fn par_sptrsv_csr_lower(
+    a: &Csr,
+    unit_diag: bool,
+    b: &[f64],
+    x: &mut [f64],
+    sched: &LevelSchedule,
+    cert: &WavefrontCert,
+    exec: &ExecCtx,
+) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1
+        || x.is_empty()
+        || !cert.covers(a.nrows(), a.rowptr(), a.colind(), Triangle::Lower, sched)
+    {
+        return kernels::sptrsv_csr_lower(a, unit_diag, b, x);
+    }
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    let mut wave = vec![0.0f64; sched.max_level_width()];
+    for l in 0..sched.num_levels() {
+        let level = sched.level(l);
+        par_wave(level, x, &mut wave, t, exec, |i, x| {
+            let (s, e) = (rowptr[i], rowptr[i + 1]);
+            let mut acc = b[i];
+            if unit_diag {
+                for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+                    acc -= av * x[j];
+                }
+                acc
+            } else {
+                assert!(e > s && colind[e - 1] == i, "row {i}: non-unit solve needs the diagonal stored last");
+                for (&av, &j) in vals[s..e - 1].iter().zip(&colind[s..e - 1]) {
+                    acc -= av * x[j];
+                }
+                acc / vals[e - 1]
+            }
+        });
+        for (p, &i) in level.iter().enumerate() {
+            x[i] = wave[p];
+        }
+    }
+}
+
+/// Level-parallel backward substitution: solve `U·x = b` following a
+/// certified [`LevelSchedule`] (built with [`Triangle::Upper`]).
+/// Bit-identical to [`kernels::sptrsv_csr_upper`]; serial fallback on
+/// worker gate or certificate mismatch.
+pub fn par_sptrsv_csr_upper(
+    a: &Csr,
+    unit_diag: bool,
+    b: &[f64],
+    x: &mut [f64],
+    sched: &LevelSchedule,
+    cert: &WavefrontCert,
+    exec: &ExecCtx,
+) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1
+        || x.is_empty()
+        || !cert.covers(a.nrows(), a.rowptr(), a.colind(), Triangle::Upper, sched)
+    {
+        return kernels::sptrsv_csr_upper(a, unit_diag, b, x);
+    }
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    let mut wave = vec![0.0f64; sched.max_level_width()];
+    for l in 0..sched.num_levels() {
+        let level = sched.level(l);
+        par_wave(level, x, &mut wave, t, exec, |i, x| {
+            let (s, e) = (rowptr[i], rowptr[i + 1]);
+            let mut acc = b[i];
+            if unit_diag {
+                for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+                    acc -= av * x[j];
+                }
+                acc
+            } else {
+                assert!(e > s && colind[s] == i, "row {i}: non-unit solve needs the diagonal stored first");
+                for (&av, &j) in vals[s + 1..e].iter().zip(&colind[s + 1..e]) {
+                    acc -= av * x[j];
+                }
+                acc / vals[s]
+            }
+        });
+        for (p, &i) in level.iter().enumerate() {
+            x[i] = wave[p];
+        }
+    }
+}
+
+/// Shared body of the level-parallel Gauss-Seidel sweeps: the rows of
+/// `A` are full (both triangles), so the schedule comes from the
+/// *symmetrized* strictly-triangular dependence pattern
+/// `(dep_rowptr, dep_colind)` — covering flow **and** anti-dependences
+/// — and the certificate binds those dependence arrays, not `A`'s.
+/// For any dependence-neighbor pair the smaller-level row has the
+/// smaller (forward) / larger (backward) index, so each row observes
+/// new-vs-old neighbor values exactly as the serial sweep does; with
+/// the per-row operation order preserved the sweep is bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn par_symgs_sweep(
+    a: &Csr,
+    omega: f64,
+    b: &[f64],
+    x: &mut [f64],
+    sched: &LevelSchedule,
+    t: usize,
+    exec: &ExecCtx,
+) {
+    let (rowptr, colind, vals) = (a.rowptr(), a.colind(), a.vals());
+    let mut wave = vec![0.0f64; sched.max_level_width()];
+    for l in 0..sched.num_levels() {
+        let level = sched.level(l);
+        par_wave(level, x, &mut wave, t, exec, |i, x| {
+            let (s, e) = (rowptr[i], rowptr[i + 1]);
+            let mut acc = b[i];
+            let mut diag = 1.0;
+            for (&av, &j) in vals[s..e].iter().zip(&colind[s..e]) {
+                if j == i {
+                    diag = av;
+                } else {
+                    acc -= av * x[j];
+                }
+            }
+            let gs = acc / diag;
+            if omega == 1.0 { gs } else { (1.0 - omega) * x[i] + omega * gs }
+        });
+        for (p, &i) in level.iter().enumerate() {
+            x[i] = wave[p];
+        }
+    }
+}
+
+/// Level-parallel forward weighted Gauss-Seidel sweep on square `A`.
+/// `sched`/`cert` must certify the **symmetrized strictly-lower**
+/// dependence pattern `(dep_rowptr, dep_colind)` (see
+/// `bernoulli_analysis::wavefront::symmetrize_lower`). Bit-identical
+/// to [`kernels::symgs_forward_csr`]; serial fallback on worker gate
+/// or certificate mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn par_symgs_forward_csr(
+    a: &Csr,
+    omega: f64,
+    b: &[f64],
+    x: &mut [f64],
+    dep_rowptr: &[usize],
+    dep_colind: &[usize],
+    sched: &LevelSchedule,
+    cert: &WavefrontCert,
+    exec: &ExecCtx,
+) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1
+        || x.is_empty()
+        || !cert.covers(a.nrows(), dep_rowptr, dep_colind, Triangle::Lower, sched)
+    {
+        return kernels::symgs_forward_csr(a, omega, b, x);
+    }
+    par_symgs_sweep(a, omega, b, x, sched, t, exec);
+}
+
+/// Level-parallel backward weighted Gauss-Seidel sweep on square `A`.
+/// `sched`/`cert` must certify the **symmetrized strictly-upper**
+/// dependence pattern (see
+/// `bernoulli_analysis::wavefront::symmetrize_upper`). Bit-identical
+/// to [`kernels::symgs_backward_csr`]; serial fallback on worker gate
+/// or certificate mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn par_symgs_backward_csr(
+    a: &Csr,
+    omega: f64,
+    b: &[f64],
+    x: &mut [f64],
+    dep_rowptr: &[usize],
+    dep_colind: &[usize],
+    sched: &LevelSchedule,
+    cert: &WavefrontCert,
+    exec: &ExecCtx,
+) {
+    assert_eq!(a.nrows(), a.ncols());
+    assert_eq!(b.len(), a.nrows());
+    assert_eq!(x.len(), a.nrows());
+    let t = exec.threads_hint();
+    if t <= 1
+        || x.is_empty()
+        || !cert.covers(a.nrows(), dep_rowptr, dep_colind, Triangle::Upper, sched)
+    {
+        return kernels::symgs_backward_csr(a, omega, b, x);
+    }
+    par_symgs_sweep(a, omega, b, x, sched, t, exec);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

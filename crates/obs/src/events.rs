@@ -33,7 +33,7 @@ pub struct PlanEvent {
 
 /// An engine's execution-strategy decision with the gates that led
 /// to it.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StrategyEvent {
     /// Engine kind (`spmv`, `spmm`, `spmv_multi`).
     pub op: String,
@@ -61,9 +61,22 @@ pub struct StrategyEvent {
     pub tier: String,
     /// Why a `Parallel`-eligible plan was downgraded to serial, if it
     /// was (`""` = no downgrade): `single_worker_pool` (the effective
-    /// pool cannot run > 1 worker) or `racy_nest` (the DO-ANY race
-    /// checker refused).
+    /// pool cannot run > 1 worker), `racy_nest` (the DO-ANY race
+    /// checker refused), or — for wavefront engines —
+    /// `transposed_scatter` (no deterministic level-parallel form),
+    /// `not_triangular` (no `WavefrontCert`: the dependence relation
+    /// is cyclic), `schedule_rejected` (the independent BA4x verifier
+    /// refused the schedule) or `levels_too_narrow` (a valid schedule
+    /// with too little parallelism per wave to pay for dispatch).
     pub downgrade: String,
+    /// DO-ACROSS wavefront engines only: number of levels in the
+    /// computed schedule (0 = not a wavefront decision).
+    pub levels: u64,
+    /// Widest level of the schedule (rows per wave at the peak).
+    pub max_level_width: u64,
+    /// Mean rows per level — average exploitable parallelism (0.0 =
+    /// not a wavefront decision; 1.0 = serial chain).
+    pub mean_level_width: f64,
 }
 
 /// One kernel invocation's counters (merged into [`KernelStat`] by

@@ -95,6 +95,9 @@ impl Report {
                 .bool("race_safe", s.race_safe)
                 .str("tier", &s.tier)
                 .str("downgrade", &s.downgrade)
+                .u64("levels", s.levels)
+                .u64("max_level_width", s.max_level_width)
+                .f64("mean_level_width", s.mean_level_width)
                 .finish()
         }));
         let kernels = array(self.kernels.iter().map(|(name, k)| {
@@ -158,6 +161,12 @@ impl Report {
             }
             if !["reference", "fast"].contains(&s.tier.as_str()) {
                 return Err(format!("strategy {}: unknown tier {}", s.op, s.tier));
+            }
+            if !s.mean_level_width.is_finite() || s.mean_level_width < 0.0 {
+                return Err(format!(
+                    "strategy {}: bad mean_level_width {}",
+                    s.op, s.mean_level_width
+                ));
             }
         }
         for t in &self.traffic {
@@ -243,6 +252,9 @@ mod tests {
             race_safe: true,
             tier: "reference".into(),
             downgrade: String::new(),
+            levels: 0,
+            max_level_width: 0,
+            mean_level_width: 0.0,
         });
         obs.kernel("spmv_csr", KernelCounters { nnz: 10, flops: 20, bytes: 300, algebra: "f64_plus" });
         obs.traffic(|| TrafficEvent {
@@ -330,6 +342,9 @@ mod tests {
             race_safe: false,
             tier: "reference".into(),
             downgrade: String::new(),
+            levels: 0,
+            max_level_width: 0,
+            mean_level_width: 0.0,
         });
         assert!(r.validate().is_err());
 
@@ -346,6 +361,28 @@ mod tests {
             race_safe: false,
             tier: "warp".into(), // unknown tier
             downgrade: String::new(),
+            levels: 0,
+            max_level_width: 0,
+            mean_level_width: 0.0,
+        });
+        assert!(r.validate().is_err());
+
+        let mut r = Report::empty();
+        r.strategies.push(StrategyEvent {
+            op: "sptrsv".into(),
+            strategy: "Parallel".into(),
+            algebra: "f64_plus".into(),
+            specializable: true,
+            work: 0,
+            threshold: 0,
+            threads: 2,
+            race_checked: true,
+            race_safe: false,
+            tier: "reference".into(),
+            downgrade: String::new(),
+            levels: 3,
+            max_level_width: 2,
+            mean_level_width: f64::NAN, // non-finite width statistic
         });
         assert!(r.validate().is_err());
     }

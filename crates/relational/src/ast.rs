@@ -228,6 +228,35 @@ pub mod programs {
         )
     }
 
+    /// `X(i) = B(i) − A(i,j) · X(j)` — the (scaled) triangular-solve /
+    /// Gauss-Seidel sweep statement: the solution vector is **assigned**
+    /// per row while the right-hand side reads it at other rows.
+    ///
+    /// This nest is the canonical *DO-ACROSS* program: the DO-ANY race
+    /// checker must refuse it (BA01 — the assignment does not cover
+    /// `j`; BA02 — the RHS reads the written array), and that refusal
+    /// is exactly right under any-order execution. The wavefront pass
+    /// (`bernoulli-analysis::wavefront`) recovers its parallelism
+    /// per-operand instead, by proving the loop-carried dependences
+    /// (`A(i,j) ≠ 0`, `j` before `i` in sweep order) form a DAG and
+    /// scheduling its level sets.
+    pub fn sptrsv() -> LoopNest {
+        LoopNest::new(
+            vec![VAR_I, VAR_J],
+            vec![
+                decl(MAT_A, "A", 2, true),
+                decl(VEC_X, "X", 1, false),
+                decl(VEC_Y, "B", 1, false),
+            ],
+            AccessRef::vec(VEC_X, VAR_I),
+            UpdateOp::Assign,
+            ExprAst::access(AccessRef::vec(VEC_Y, VAR_I)).sub(
+                ExprAst::access(AccessRef::mat(MAT_A, VAR_I, VAR_J))
+                    .mul(ExprAst::access(AccessRef::vec(VEC_X, VAR_J))),
+            ),
+        )
+    }
+
     /// `s += A(i,j) · B(i,j)` — Frobenius inner product.
     pub fn mat_dot() -> LoopNest {
         LoopNest::new(

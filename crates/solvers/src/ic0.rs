@@ -8,7 +8,7 @@
 //! existing CG drives it unchanged.
 
 use crate::precond::Preconditioner;
-use bernoulli_formats::{Csr, Triplets};
+use bernoulli_formats::{kernels, Csr, Triplets};
 
 /// Errors from incomplete factorisation.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,42 +128,22 @@ impl Ic0 {
         &self.l
     }
 
-    /// Forward substitution: solve `L w = r`.
+    /// Forward substitution: solve `L w = r` through the shared SpTRSV
+    /// path ([`kernels::sptrsv_csr_lower`]), which reproduces the
+    /// historical hand-rolled loop operation-for-operation (subtract
+    /// the strictly-lower entries in storage order, then divide by the
+    /// diagonal stored last) — pinned bitwise by
+    /// `hand_rolled_loops_reproduced_bitwise`.
     pub fn forward(&self, r: &[f64], w: &mut [f64]) {
-        let n = self.l.nrows();
-        assert_eq!(r.len(), n);
-        assert_eq!(w.len(), n);
-        let rowptr = self.l.rowptr();
-        let colind = self.l.colind();
-        let vals = self.l.vals();
-        for i in 0..n {
-            let mut acc = r[i];
-            let (s, e) = (rowptr[i], rowptr[i + 1]);
-            for k in s..e - 1 {
-                acc -= vals[k] * w[colind[k]];
-            }
-            w[i] = acc / vals[e - 1];
-        }
+        kernels::sptrsv_csr_lower(&self.l, false, r, w);
     }
 
-    /// Backward substitution: solve `Lᵀ z = w` (column-oriented sweep
-    /// over `L`'s rows in reverse).
+    /// Backward substitution: solve `Lᵀ z = w` through the shared
+    /// SpTRSV path ([`kernels::sptrsv_csr_lower_transposed`]) — the
+    /// same column-oriented reverse scatter sweep as the historical
+    /// loop, bitwise-pinned alongside [`Ic0::forward`].
     pub fn backward(&self, w: &[f64], z: &mut [f64]) {
-        let n = self.l.nrows();
-        assert_eq!(w.len(), n);
-        assert_eq!(z.len(), n);
-        z.copy_from_slice(w);
-        let rowptr = self.l.rowptr();
-        let colind = self.l.colind();
-        let vals = self.l.vals();
-        for i in (0..n).rev() {
-            let (s, e) = (rowptr[i], rowptr[i + 1]);
-            z[i] /= vals[e - 1];
-            let zi = z[i];
-            for k in s..e - 1 {
-                z[colind[k]] -= vals[k] * zi;
-            }
-        }
+        kernels::sptrsv_csr_lower_transposed(&self.l, false, w, z);
     }
 }
 
@@ -276,6 +256,48 @@ mod tests {
         );
         for (p, q) in x1.iter().zip(&x2) {
             assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hand_rolled_loops_reproduced_bitwise() {
+        // `forward`/`backward` now route through the shared SpTRSV
+        // kernels; this pins them bitwise against local copies of the
+        // historical hand-rolled loops so CG+IC0 goldens cannot drift.
+        let f = Ic0::factor(&grid2d_5pt(9, 11)).unwrap();
+        let l = f.l();
+        let n = l.nrows();
+        let (rowptr, colind, vals) = (l.rowptr(), l.colind(), l.vals());
+        let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) / 3.0 - 2.0).collect();
+
+        let mut w_old = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = r[i];
+            let (s, e) = (rowptr[i], rowptr[i + 1]);
+            for k in s..e - 1 {
+                acc -= vals[k] * w_old[colind[k]];
+            }
+            w_old[i] = acc / vals[e - 1];
+        }
+        let mut w_new = vec![0.0; n];
+        f.forward(&r, &mut w_new);
+        for (a, b) in w_old.iter().zip(&w_new) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut z_old = w_old.clone();
+        for i in (0..n).rev() {
+            let (s, e) = (rowptr[i], rowptr[i + 1]);
+            z_old[i] /= vals[e - 1];
+            let zi = z_old[i];
+            for k in s..e - 1 {
+                z_old[colind[k]] -= vals[k] * zi;
+            }
+        }
+        let mut z_new = vec![0.0; n];
+        f.backward(&w_new, &mut z_new);
+        for (a, b) in z_old.iter().zip(&z_new) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -22,6 +22,8 @@
 //!   beyond the paper's experiments, same substrate);
 //! * [`ic0`] — incomplete Cholesky IC(0) with sparse triangular
 //!   solves, the paper's §6 "ongoing work" substrate;
+//! * [`symgs`] — symmetric Gauss-Seidel / SSOR preconditioning over
+//!   the wavefront-certified sweep engine;
 //! * `gmres` — restarted GMRES(m) for the unsymmetric matrices of
 //!   the Table-1 suite.
 
@@ -30,6 +32,7 @@ pub mod gmres;
 pub mod ic0;
 pub mod precond;
 pub mod stationary;
+pub mod symgs;
 pub mod vecops;
 
 pub use bernoulli::{ExecCtx, FnOperator, Operator};
@@ -37,3 +40,4 @@ pub use cg::{cg, cg_parallel, CgOptions, CgResult};
 pub use gmres::{gmres, gmres_parallel, GmresOptions, GmresResult};
 pub use ic0::Ic0;
 pub use precond::{DiagonalPreconditioner, IdentityPreconditioner, Preconditioner};
+pub use symgs::SymGs;

@@ -1,0 +1,170 @@
+//! Symmetric Gauss-Seidel / SSOR preconditioning on the wavefront
+//! substrate.
+//!
+//! The paper's §6 names triangular solution as the next Bernoulli
+//! target; [`bernoulli::SymGsEngine`] supplies the compiled sweeps
+//! (level-parallel when the DO-ACROSS pass certifies the symmetrized
+//! dependence pattern, serial otherwise, bitwise-identical either
+//! way). This module wraps one engine plus its operand into a
+//! [`Preconditioner`] so the existing CG drives it unchanged:
+//! `M ∝ (D + ωL)·D⁻¹·(D + ωU)`, with `ω = 1` giving symmetric
+//! Gauss-Seidel.
+
+use crate::precond::Preconditioner;
+use bernoulli::{ExecCtx, RelError, RelResult, SymGsEngine};
+use bernoulli_formats::Csr;
+
+/// Symmetric Gauss-Seidel / SSOR preconditioner owning its operand.
+///
+/// Owning the matrix matters: the engine's wavefront certificate is
+/// bound to the operand's buffer identity, so the pair must travel
+/// together. Moving the struct is fine (the CSR's heap buffers stay
+/// put); rebuilding the matrix elsewhere — even an identical clone —
+/// makes the engine fall back to the serial sweeps.
+pub struct SymGs {
+    a: Csr,
+    omega: f64,
+    engine: SymGsEngine,
+}
+
+impl SymGs {
+    /// Symmetric Gauss-Seidel (`ω = 1`) under the given context.
+    pub fn new(a: Csr, ctx: &ExecCtx) -> RelResult<SymGs> {
+        SymGs::with_omega(a, 1.0, ctx)
+    }
+
+    /// SSOR with relaxation weight `ω ∈ (0, 2)`.
+    ///
+    /// The engine is compiled against `a` *before* the move into the
+    /// returned struct; the certificate survives because only the
+    /// stack header moves, never the heap buffers it fingerprints.
+    pub fn with_omega(a: Csr, omega: f64, ctx: &ExecCtx) -> RelResult<SymGs> {
+        if !(omega > 0.0 && omega < 2.0) {
+            return Err(RelError::Validation(format!(
+                "SSOR needs 0 < omega < 2 for convergence, got {omega}"
+            )));
+        }
+        let engine = SymGsEngine::compile_in(&a, ctx)?;
+        Ok(SymGs { a, omega, engine })
+    }
+
+    /// The relaxation weight.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// The compiled sweep engine (strategy, downgrade reason,
+    /// certified schedule).
+    pub fn engine(&self) -> &SymGsEngine {
+        &self.engine
+    }
+
+    /// The owned operand.
+    pub fn matrix(&self) -> &Csr {
+        &self.a
+    }
+}
+
+impl Preconditioner for SymGs {
+    fn dim(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn precondition(&self, r: &[f64], z: &mut [f64]) {
+        self.engine
+            .apply_ssor(&self.a, self.omega, r, z)
+            .expect("SSOR sweeps are infallible once compiled");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{cg, CgOptions};
+    use crate::precond::IdentityPreconditioner;
+    use bernoulli::Strategy;
+    use bernoulli_formats::gen::grid2d_5pt;
+    use bernoulli_formats::Triplets;
+
+    fn par_ctx() -> ExecCtx {
+        ExecCtx::with_threads(2).oversubscribe(true).threshold(1)
+    }
+
+    #[test]
+    fn diagonal_matrix_reduces_to_jacobi() {
+        // With no off-diagonal coupling both sweeps just divide by the
+        // diagonal, so M⁻¹ = D⁻¹ exactly.
+        let t = Triplets::from_entries(3, 3, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 8.0)]);
+        let p = SymGs::new(Csr::from_triplets(&t), &ExecCtx::default()).unwrap();
+        let mut z = vec![0.0; 3];
+        p.precondition(&[2.0, 2.0, 2.0], &mut z);
+        assert_eq!(z, vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn rejects_bad_omega_and_rectangular() {
+        let t = Triplets::from_entries(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let a = Csr::from_triplets(&t);
+        assert!(matches!(
+            SymGs::with_omega(a.clone(), 0.0, &ExecCtx::default()),
+            Err(RelError::Validation(_))
+        ));
+        assert!(matches!(
+            SymGs::with_omega(a, 2.0, &ExecCtx::default()),
+            Err(RelError::Validation(_))
+        ));
+        let rect = Csr::from_triplets(&Triplets::new(2, 3));
+        assert!(SymGs::new(rect, &ExecCtx::default()).is_err());
+    }
+
+    #[test]
+    fn parallel_tier_is_bitwise_identical_to_serial() {
+        let t = grid2d_5pt(10, 10);
+        let n = t.nrows();
+        let r: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        for omega in [1.0, 1.3] {
+            let serial =
+                SymGs::with_omega(Csr::from_triplets(&t), omega, &ExecCtx::default()).unwrap();
+            let par = SymGs::with_omega(Csr::from_triplets(&t), omega, &par_ctx()).unwrap();
+            assert_eq!(par.engine().strategy(), Strategy::Parallel, "{}", par.engine().downgrade());
+            let (mut zs, mut zp) = (vec![0.0; n], vec![0.0; n]);
+            serial.precondition(&r, &mut zs);
+            par.precondition(&r, &mut zp);
+            for (a, b) in zs.iter().zip(&zp) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ssor_pcg_beats_plain_cg() {
+        let t = grid2d_5pt(16, 16);
+        let n = t.nrows();
+        let a = Csr::from_triplets(&t);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let opts = CgOptions { max_iters: 500, rel_tol: 1e-10 };
+        let mut x1 = vec![0.0; n];
+        let plain = cg(
+            &a,
+            &IdentityPreconditioner { n },
+            &b,
+            &mut x1,
+            opts,
+            &ExecCtx::default(),
+        )
+        .unwrap();
+        let mut x2 = vec![0.0; n];
+        let ssor = SymGs::new(Csr::from_triplets(&t), &ExecCtx::default()).unwrap();
+        let ssor_run = cg(&a, &ssor, &b, &mut x2, opts, &ExecCtx::default()).unwrap();
+        assert!(plain.converged && ssor_run.converged);
+        assert!(
+            ssor_run.iters < plain.iters,
+            "SSOR PCG took {} iters vs plain CG's {}",
+            ssor_run.iters,
+            plain.iters
+        );
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+}

@@ -1,6 +1,8 @@
-//! The `bernoulli-analysis` lint driver: run all three static passes —
-//! DO-ANY race checker, plan verifier, format-invariant sanitizer —
-//! over everything the repo builds in, and report per-pass counts.
+//! The `bernoulli-analysis` lint driver: run all four static passes —
+//! DO-ANY race checker, plan verifier, format-invariant sanitizer, and
+//! the wavefront (DO-ACROSS) dependence pass with its independent
+//! schedule verifier — over everything the repo builds in, and report
+//! per-pass counts.
 //!
 //! ```text
 //! cargo run --release --example lint
@@ -17,8 +19,9 @@ use bernoulli_analysis::diag::{codes, Diagnostic};
 use bernoulli_analysis::plan_verify::verify_plan;
 use bernoulli_analysis::race::check_do_any;
 use bernoulli_analysis::validate::Validate;
+use bernoulli_analysis::wavefront::{analyze_wavefront, verify_level_schedule, Triangle};
 use bernoulli_formats::{
-    Bsr, DenseMatrix, FormatKind, Msr, Skyline, SparseMatrix, SparseVec, Triplets,
+    Bsr, Csr, DenseMatrix, FormatKind, Msr, Skyline, SparseMatrix, SparseVec, Triplets,
 };
 use bernoulli_relational::access::{MatrixAccess, VecMeta, VectorAccess};
 use bernoulli_relational::ids::{MAT_A, MAT_B, PERM_P, VEC_X, VEC_Y};
@@ -166,6 +169,84 @@ fn main() {
     }
     println!("  {} schedules verified", out.results.len());
 
+    println!("\n== pass 4: wavefront dependence analysis (DO-ACROSS)");
+    // The sweep nest is DO-ANY-racy by nature — its refusal is the
+    // *reason* the wavefront pass exists, so certification here would
+    // be the bug.
+    if check_do_any(&programs::sptrsv()).is_parallel_safe() {
+        println!("  sptrsv: DO-ANY certified a loop-carried sweep nest");
+        errors += 1;
+    } else {
+        println!("  sptrsv: DO-ANY refuses (loop-carried dependence) — as designed");
+    }
+    let lower_pattern = |t: &Triplets| -> Csr {
+        let mut l = Triplets::new(t.nrows(), t.ncols());
+        for &(r, c, v) in t.canonicalize().entries() {
+            if c <= r {
+                l.push(r, c, v);
+            }
+        }
+        Csr::from_triplets(&l)
+    };
+    let chain = {
+        let mut c = Triplets::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+            }
+        }
+        Csr::from_triplets(&c)
+    };
+    let mut schedules_certified = 0;
+    for (name, m) in [
+        ("grid2d_16x16/lower", lower_pattern(&bernoulli_formats::gen::grid2d_5pt(16, 16))),
+        ("grid3d_6x6x6/lower", lower_pattern(&bernoulli_formats::gen::grid3d_7pt(6, 6, 6))),
+        ("random/lower", lower_pattern(&t)),
+        ("chain/lower", chain),
+    ] {
+        let r = analyze_wavefront(m.nrows(), m.rowptr(), m.colind(), Triangle::Lower);
+        report(name, &r.diagnostics, &mut errors);
+        match (r.schedule, r.certificate) {
+            (Some(sched), Some(cert)) => {
+                // Never trust the pass's own word: re-verify the
+                // schedule with the independent BA4x checker.
+                let diags =
+                    verify_level_schedule(m.nrows(), m.rowptr(), m.colind(), Triangle::Lower, &sched);
+                report(name, &diags, &mut errors);
+                schedules_certified += 1;
+                println!(
+                    "  {name}: certified — {} levels, max width {}, mean width {:.2}",
+                    cert.levels(),
+                    cert.max_level_width(),
+                    cert.mean_level_width()
+                );
+            }
+            _ => {
+                println!("  {name}: no certificate for a triangular pattern");
+                errors += 1;
+            }
+        }
+    }
+    // Adversarial probe: a symmetric stencil has both triangles, so
+    // the Lower-orientation pass MUST refuse it — certifying it would
+    // license a racy schedule.
+    let full = Csr::from_triplets(&bernoulli_formats::gen::grid2d_5pt(8, 8));
+    let adversarial = analyze_wavefront(full.nrows(), full.rowptr(), full.colind(), Triangle::Lower);
+    if adversarial.is_parallel_safe() {
+        println!("  grid2d_8x8/full: certified a NON-triangular pattern");
+        errors += 1;
+    } else {
+        let code = adversarial
+            .diagnostics
+            .iter()
+            .find(|d| d.is_error())
+            .map(|d| d.code)
+            .unwrap_or("??");
+        println!("  grid2d_8x8/full: refused ({code}) — as designed");
+    }
+    println!("  {schedules_certified} wavefront schedules certified and independently verified");
+
     println!("\n== diagnostic codes");
     for (code, summary) in codes::ALL {
         println!("  {code}  {summary}");
@@ -175,5 +256,8 @@ fn main() {
         println!("\nlint: {errors} error(s)");
         std::process::exit(1);
     }
-    println!("\nlint: clean ({certified} kernels, {plans_checked} plans, {formats_checked} formats)");
+    println!(
+        "\nlint: clean ({certified} kernels, {plans_checked} plans, {formats_checked} formats, \
+         {schedules_certified} wavefront schedules)"
+    );
 }

@@ -37,9 +37,24 @@ if grep -rn "unsafe" crates/formats/src --include='*.rs' | grep -v "^crates/form
   echo "ERROR: 'unsafe' outside crates/formats/src/fast.rs; the fast tier is the only sanctioned unsafe surface" >&2
   exit 1
 fi
+# Wavefront containment gate: the level-parallel sweep kernels run
+# only under a WavefrontCert, so their call sites are confined to the
+# kernels themselves (par_kernels.rs) and the one engine that checks
+# certificates before dispatching (core's trisolve.rs). Any other call
+# site could bypass certificate checking.
+if grep -rn "par_sptrsv_\|par_symgs_" crates/ --include='*.rs' \
+  | grep -v "^crates/formats/src/par_kernels\.rs:" \
+  | grep -v "^crates/core/src/trisolve\.rs:"; then
+  echo "ERROR: level-parallel sweep kernel called outside par_kernels.rs/trisolve.rs; route through SptrsvEngine/SymGsEngine so the wavefront certificate is checked" >&2
+  exit 1
+fi
 # Fast-tier correctness gate: the bitwise equivalence suite (lane
 # references, NaN payload propagation, adversarial refused corpus)…
 cargo test -q --test fast_kernels
+# Wavefront correctness gates: the corrupt-schedule corpus (every
+# mutant rejected by the independent BA4x verifier) and the bitwise
+# serial/parallel equivalence suite.
+cargo test -q --test corrupt_schedule --test wavefront
 # …and a smoke run of the GFLOP/s harness (writes the gitignored
 # BENCH_serial_smoke.json, leaving the committed full run untouched).
 scripts/bench_serial.sh --smoke > /dev/null

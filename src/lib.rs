@@ -9,13 +9,15 @@
 //! * [`bernoulli`] — the compiler core (loop DSL → query → plan →
 //!   engines; SPMD compilation);
 //! * [`bernoulli_analysis`] — the static passes (race checker, plan
-//!   verifier, format sanitizer) behind `examples/lint.rs`;
+//!   verifier, format sanitizer, wavefront dependence analysis)
+//!   behind `examples/lint.rs`;
 //! * [`bernoulli_relational`] — the relational engine;
 //! * [`bernoulli_formats`] — storage formats, generators, I/O;
 //! * [`bernoulli_blocksolve`] — the BlockSolve95 baseline substrate;
 //! * [`bernoulli_spmd`] — the simulated machine and distribution
 //!   relations;
-//! * [`bernoulli_solvers`] — CG/GMRES/Jacobi/Chebyshev + IC(0);
+//! * [`bernoulli_solvers`] — CG/GMRES/Jacobi/Chebyshev + IC(0) and
+//!   SymGS/SSOR preconditioning;
 //! * [`bernoulli_graph`] — graph algorithms (PageRank, BFS, triangle
 //!   counting) as semiring-parameterized sparse queries.
 //!

@@ -1,0 +1,163 @@
+//! The corrupt-schedule corpus: hand-broken level schedules for each
+//! invariant the wavefront verifier (`bernoulli-analysis`, `BA4x`)
+//! guards, mirroring `corrupt_corpus.rs` for the format sanitizer.
+//! Every mutant must be rejected by the *independent* verifier — the
+//! parallel SpTRSV/SymGS tier only runs schedules that survive it —
+//! and the pristine schedule must pass.
+
+use bernoulli_analysis::wavefront::{
+    analyze_wavefront, verify_level_schedule, LevelSchedule, Triangle,
+};
+use proptest::prelude::*;
+
+/// First error code a schedule is rejected with (panics when clean).
+fn first_code(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    sched: &LevelSchedule,
+) -> &'static str {
+    let diags = verify_level_schedule(nrows, rowptr, colind, Triangle::Lower, sched);
+    diags
+        .iter()
+        .find(|d| d.is_error())
+        .unwrap_or_else(|| panic!("expected an error, got {diags:?}"))
+        .code
+}
+
+/// A well-formed 6-row strictly-chained lower pattern to corrupt:
+/// rows {0: [0], 1: [0,1], 2: [2], 3: [1,3], 4: [2,4], 5: [3,4,5]}.
+/// Longest-path levels: {0,2} · {1,4} · {3} · {5}.
+fn good_pattern() -> (Vec<usize>, Vec<usize>) {
+    (vec![0, 1, 3, 4, 6, 8, 11], vec![0, 0, 1, 2, 1, 3, 2, 4, 3, 4, 5])
+}
+
+/// The pristine schedule for [`good_pattern`], as the analysis emits it.
+fn good_schedule() -> LevelSchedule {
+    LevelSchedule::from_raw_unchecked(6, vec![0, 2, 1, 4, 3, 5], vec![0, 2, 4, 5, 6])
+}
+
+#[test]
+fn pristine_schedule_passes_and_matches_analysis() {
+    let (rowptr, colind) = good_pattern();
+    let sched = good_schedule();
+    let diags = verify_level_schedule(6, &rowptr, &colind, Triangle::Lower, &sched);
+    assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    // And the analysis itself reproduces it with a certificate.
+    let report = analyze_wavefront(6, &rowptr, &colind, Triangle::Lower);
+    assert!(report.is_parallel_safe());
+    let s = report.schedule.expect("certified pattern has a schedule");
+    assert_eq!(s.rows(), sched.rows());
+    assert_eq!(s.level_ptr(), sched.level_ptr());
+}
+
+#[test]
+fn ba42_swapped_dependent_rows_across_levels() {
+    // Rows 1 and 3 trade places: row 3 now runs in the wave *before*
+    // the row 1 it depends on — a non-topological order.
+    let (rowptr, colind) = good_pattern();
+    let sched = LevelSchedule::from_raw_unchecked(6, vec![0, 2, 3, 4, 1, 5], vec![0, 2, 4, 5, 6]);
+    assert_eq!(first_code(6, &rowptr, &colind, &sched), "BA42");
+}
+
+#[test]
+fn ba43_duplicated_row() {
+    // Row 0 scheduled twice, row 5 never: coverage is broken.
+    let (rowptr, colind) = good_pattern();
+    let sched = LevelSchedule::from_raw_unchecked(6, vec![0, 2, 1, 4, 3, 0], vec![0, 2, 4, 5, 6]);
+    assert_eq!(first_code(6, &rowptr, &colind, &sched), "BA43");
+}
+
+#[test]
+fn ba43_dropped_row() {
+    // Row 5 silently dropped from the last wave.
+    let (rowptr, colind) = good_pattern();
+    let sched = LevelSchedule::from_raw_unchecked(6, vec![0, 2, 1, 4, 3], vec![0, 2, 4, 5, 5]);
+    assert_eq!(first_code(6, &rowptr, &colind, &sched), "BA43");
+}
+
+#[test]
+fn ba44_level_off_by_one() {
+    // Row 1 merged into its predecessor's wave: rows 0 and 1 share a
+    // level but 1 reads x[0] — an intra-wave dependence (race).
+    let (rowptr, colind) = good_pattern();
+    let sched = LevelSchedule::from_raw_unchecked(6, vec![0, 2, 1, 4, 3, 5], vec![0, 3, 4, 5, 6]);
+    assert_eq!(first_code(6, &rowptr, &colind, &sched), "BA44");
+}
+
+#[test]
+fn ba41_non_triangular_input_refused_at_analysis() {
+    // An above-diagonal entry under the Lower orientation makes the
+    // dependence relation cyclic under forward substitution: no
+    // schedule, no certificate, BA41.
+    let (rowptr, mut colind) = good_pattern();
+    colind[1] = 3; // row 1 now reads column 3 > 1
+    let report = analyze_wavefront(6, &rowptr, &colind, Triangle::Lower);
+    assert!(!report.is_parallel_safe());
+    assert!(report.schedule.is_none());
+    let code =
+        report.diagnostics.iter().find(|d| d.is_error()).expect("must be diagnosed").code;
+    assert_eq!(code, "BA41");
+    // The verifier agrees when handed the pristine schedule anyway.
+    assert_eq!(first_code(6, &rowptr, &colind, &good_schedule()), "BA41");
+}
+
+/// Random strictly-lower patterns (diagonal implied): each row reads a
+/// random subset of earlier rows.
+fn arb_lower_pattern() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..24).prop_flat_map(|n| {
+        proptest::collection::vec(0u32..0x0100_0000, n..=n).prop_map(
+            move |masks| {
+                let mut rowptr = vec![0usize];
+                let mut colind = Vec::new();
+                for (i, m) in masks.iter().enumerate() {
+                    for j in 0..i {
+                        if m & (1 << (j % 24)) != 0 {
+                            colind.push(j);
+                        }
+                    }
+                    colind.push(i); // diagonal last
+                    rowptr.push(colind.len());
+                }
+                (rowptr, colind)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zero false positives: every analysis-built schedule passes the
+    /// independent verifier and earns a certificate.
+    #[test]
+    fn analysis_schedules_always_verify((rowptr, colind) in arb_lower_pattern()) {
+        let n = rowptr.len() - 1;
+        let report = analyze_wavefront(n, &rowptr, &colind, Triangle::Lower);
+        prop_assert!(report.is_parallel_safe(), "{:?}", report.diagnostics);
+        let sched = report.schedule.unwrap();
+        let diags = verify_level_schedule(n, &rowptr, &colind, Triangle::Lower, &sched);
+        prop_assert!(diags.iter().all(|d| !d.is_error()), "{diags:?}");
+    }
+
+    /// Zero false negatives on coverage damage: overwrite one schedule
+    /// slot with another row and the verifier must reject (the victim
+    /// row disappears, the copied row appears twice).
+    #[test]
+    fn clobbered_slot_is_always_rejected(
+        ((rowptr, colind), i, j) in arb_lower_pattern().prop_flat_map(|(rp, ci)| {
+            let n = rp.len() - 1;
+            (Just((rp, ci)), 0..n, 0..n)
+        })
+    ) {
+        prop_assume!(i != j);
+        let n = rowptr.len() - 1;
+        let good = analyze_wavefront(n, &rowptr, &colind, Triangle::Lower)
+            .schedule
+            .unwrap();
+        let mut rows = good.rows().to_vec();
+        rows[i] = rows[j];
+        let bad = LevelSchedule::from_raw_unchecked(n, rows, good.level_ptr().to_vec());
+        prop_assert_eq!(first_code(n, &rowptr, &colind, &bad), "BA43");
+    }
+}

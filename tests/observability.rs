@@ -120,6 +120,9 @@ fn json_schema_golden() {
         race_safe: true,
         tier: "reference".into(),
         downgrade: String::new(),
+        levels: 31,
+        max_level_width: 16,
+        mean_level_width: 10.5,
     });
     obs.kernel(
         "par_spmv_csr",
@@ -155,7 +158,8 @@ fn json_schema_golden() {
          \"strategies\":[{\"op\":\"spmv\",\"strategy\":\"Parallel\",\"algebra\":\"f64_plus\",\
          \"specializable\":true,\
          \"work\":320,\"threshold\":1,\"threads\":2,\"race_checked\":true,\"race_safe\":true,\
-         \"tier\":\"reference\",\"downgrade\":\"\"}],\
+         \"tier\":\"reference\",\"downgrade\":\"\",\
+         \"levels\":31,\"max_level_width\":16,\"mean_level_width\":10.5}],\
          \"kernels\":[{\"kernel\":\"par_spmv_csr\",\"algebra\":\"f64_plus\",\"calls\":1,\
          \"nnz\":320,\"flops\":640,\
          \"bytes\":7168}],\
