@@ -45,6 +45,11 @@ pub mod codes {
     pub const PLAN_UNSOUND_DRIVER: &str = "BA15";
     /// A relation in the query has no registered metadata.
     pub const PLAN_MISSING_META: &str = "BA16";
+    /// Plan carries a non-finite cost estimate: the cost model broke
+    /// down on the metadata, so the plan cannot be ranked against
+    /// alternatives (the planner counts and discards such candidates;
+    /// a hand-built plan reaching execution with one is a defect).
+    pub const PLAN_NONFINITE_COST: &str = "BA17";
 
     /// Pointer array non-monotone, or wrong length / start / end.
     pub const FMT_BAD_PTR: &str = "BA21";
@@ -95,6 +100,7 @@ pub mod codes {
         (PLAN_BINDING_MISMATCH, "plan does not bind every query variable exactly once"),
         (PLAN_UNSOUND_DRIVER, "driver outside the predicate enumerates a non-dense level"),
         (PLAN_MISSING_META, "query relation has no registered metadata"),
+        (PLAN_NONFINITE_COST, "plan carries a non-finite cost estimate"),
         (FMT_BAD_PTR, "pointer array non-monotone or mis-sized"),
         (FMT_INDEX_OOB, "stored index out of bounds"),
         (FMT_UNSORTED, "entries unsorted where sortedness is declared"),

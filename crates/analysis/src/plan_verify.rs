@@ -15,7 +15,11 @@
 //! * the plan binds every query variable exactly once (`BA14`);
 //! * drivers outside the sparsity predicate may only enumerate dense
 //!   levels (`BA15` — skipping stored zeros elsewhere loses tuples);
-//! * every relation has registered metadata (`BA16`).
+//! * every relation has registered metadata (`BA16`);
+//! * the cost estimate is finite (`BA17` — a non-finite estimate means
+//!   the cost model broke down and the plan was never comparable; the
+//!   planner counts and discards such candidates itself, so one
+//!   reaching verification is a planner bug or a hand-built plan).
 //!
 //! [`verify_plan_hook`] packages the pass as a
 //! [`PlanVerifier`](bernoulli_relational::planner::PlanVerifier) so
@@ -33,6 +37,18 @@ use bernoulli_relational::query::{Query, Term};
 /// Re-check a plan against the query and declared metadata.
 pub fn verify_plan(plan: &Plan, query: &Query, meta: &QueryMeta) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+
+    if !plan.est_cost.is_finite() {
+        diags.push(Diagnostic::error(
+            codes::PLAN_NONFINITE_COST,
+            Span::Whole,
+            format!(
+                "plan cost estimate is {}: the cost model broke down, so this plan \
+                 was never comparable against alternatives",
+                plan.est_cost
+            ),
+        ));
+    }
 
     // Metadata must exist for every joined relation; without it the
     // remaining checks cannot run.
@@ -503,6 +519,18 @@ mod tests {
         assert_eq!(codes_of(&diags), vec![codes::PLAN_MISSING_META]);
         let (p, q2, m2) = clean_plan();
         assert!(!codes_of(&verify_plan(&p, &q2, &m2)).contains(&codes::PLAN_MISSING_META));
+    }
+
+    #[test]
+    fn ba17_nonfinite_cost_estimate() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let (mut plan, q, meta) = clean_plan();
+            plan.est_cost = bad;
+            let diags = verify_plan(&plan, &q, &meta);
+            assert!(codes_of(&diags).contains(&codes::PLAN_NONFINITE_COST), "{bad}: {diags:?}");
+        }
+        let (p, q, m) = clean_plan();
+        assert!(!codes_of(&verify_plan(&p, &q, &m)).contains(&codes::PLAN_NONFINITE_COST));
     }
 
     #[test]

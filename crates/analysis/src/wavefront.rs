@@ -388,6 +388,36 @@ pub fn analyze_wavefront(
     WavefrontReport { schedule: Some(sched), certificate: Some(cert), diagnostics: diags }
 }
 
+/// Issue a [`WavefrontCert`] for a schedule obtained *outside*
+/// [`analyze_wavefront`] — e.g. one rebuilt from a structure-keyed plan
+/// cache via [`LevelSchedule::from_raw_unchecked`]. The certificate is
+/// only issued if the independent verifier accepts the schedule against
+/// this operand's pattern, so a stale or corrupted cached schedule can
+/// never arm a parallel sweep: reuse skips the O(nnz) *construction* of
+/// the schedule, never the verification gate. On rejection the
+/// diagnostics are returned instead.
+pub fn certify_schedule(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Triangle,
+    sched: &LevelSchedule,
+) -> Result<WavefrontCert, Vec<Diagnostic>> {
+    let verdict = verify_level_schedule(nrows, rowptr, colind, triangle, sched);
+    if !verdict.is_empty() {
+        return Err(verdict);
+    }
+    Ok(WavefrontCert {
+        nrows,
+        triangle,
+        rowptr: slice_id(rowptr),
+        colind: slice_id(colind),
+        schedule_hash: schedule_hash(sched),
+        levels: sched.num_levels(),
+        max_width: sched.max_level_width(),
+    })
+}
+
 /// Independently re-check a level schedule against a sweep's dependence
 /// relation — the `plan_verify` analogue for wavefront schedules. Does
 /// not trust [`analyze_wavefront`]: it recomputes nothing, it only
@@ -530,47 +560,64 @@ pub fn verify_level_schedule(
 /// Returns strictly-lower CSR `(rowptr, colind)` with sorted,
 /// duplicate-free rows.
 pub fn symmetrize_lower(nrows: usize, rowptr: &[usize], colind: &[usize]) -> (Vec<usize>, Vec<usize>) {
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nrows];
-    for i in 0..nrows {
-        for &j in &colind[rowptr[i]..rowptr[i + 1]] {
-            if i != j {
-                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
-                adj[hi].push(lo);
-            }
-        }
-    }
-    let mut out_ptr = Vec::with_capacity(nrows + 1);
-    let mut out_ind = Vec::new();
-    out_ptr.push(0);
-    for row in &mut adj {
-        row.sort_unstable();
-        row.dedup();
-        out_ind.extend_from_slice(row);
-        out_ptr.push(out_ind.len());
-    }
-    (out_ptr, out_ind)
+    symmetrize(nrows, rowptr, colind, |i, j| if i > j { (i, j) } else { (j, i) })
 }
 
 /// Mirror of [`symmetrize_lower`]: strictly-upper CSR pattern of
 /// `struct(A) ∪ struct(Aᵀ)` — the dependence relation of a *backward*
 /// Gauss-Seidel sweep (row `i` depends on rows `j > i`).
 pub fn symmetrize_upper(nrows: usize, rowptr: &[usize], colind: &[usize]) -> (Vec<usize>, Vec<usize>) {
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nrows];
+    symmetrize(nrows, rowptr, colind, |i, j| if i < j { (i, j) } else { (j, i) })
+}
+
+/// Shared symmetrization: scatter every off-diagonal entry to the row
+/// `orient` picks, then sort and deduplicate each row in place. Flat
+/// counting-sort layout — one pass to size the rows, one to scatter,
+/// one to compact — because this runs on *every* compile (a plan-cache
+/// warm replay included, where it dominates once the wavefront
+/// analysis itself is skipped); the obvious `Vec<Vec<usize>>` build
+/// costs one heap allocation per row.
+fn symmetrize(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    orient: impl Fn(usize, usize) -> (usize, usize),
+) -> (Vec<usize>, Vec<usize>) {
+    let mut counts = vec![0usize; nrows + 1];
     for i in 0..nrows {
         for &j in &colind[rowptr[i]..rowptr[i + 1]] {
             if i != j {
-                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                adj[lo].push(hi);
+                counts[orient(i, j).0 + 1] += 1;
+            }
+        }
+    }
+    for r in 0..nrows {
+        counts[r + 1] += counts[r];
+    }
+    let mut scattered = vec![0usize; counts[nrows]];
+    let mut next = counts.clone();
+    for i in 0..nrows {
+        for &j in &colind[rowptr[i]..rowptr[i + 1]] {
+            if i != j {
+                let (row, dep) = orient(i, j);
+                scattered[next[row]] = dep;
+                next[row] += 1;
             }
         }
     }
     let mut out_ptr = Vec::with_capacity(nrows + 1);
-    let mut out_ind = Vec::new();
+    let mut out_ind = Vec::with_capacity(scattered.len());
     out_ptr.push(0);
-    for row in &mut adj {
+    for r in 0..nrows {
+        let row = &mut scattered[counts[r]..counts[r + 1]];
         row.sort_unstable();
-        row.dedup();
-        out_ind.extend_from_slice(row);
+        let mut prev = usize::MAX;
+        for &dep in row.iter() {
+            if dep != prev {
+                out_ind.push(dep);
+                prev = dep;
+            }
+        }
         out_ptr.push(out_ind.len());
     }
     (out_ptr, out_ind)
@@ -722,6 +769,30 @@ mod tests {
         assert!(!c.covers(4, &rp, &ci, Triangle::Lower, &forged));
         // Wrong triangle is refused.
         assert!(!c.covers(4, &rp, &ci, Triangle::Upper, &s));
+    }
+
+    #[test]
+    fn certify_schedule_gates_cached_schedules_through_the_verifier() {
+        let (rp, ci) = chain(5);
+        let rep = analyze_wavefront(5, &rp, &ci, Triangle::Lower);
+        let s = rep.schedule.unwrap();
+        // A cache round-trip rebuilds the schedule from raw parts; the
+        // re-issued certificate must cover operand + schedule exactly
+        // like a freshly analyzed one.
+        let rebuilt =
+            LevelSchedule::from_raw_unchecked(s.nrows(), s.rows().to_vec(), s.level_ptr().to_vec());
+        let cert = certify_schedule(5, &rp, &ci, Triangle::Lower, &rebuilt).unwrap();
+        assert!(cert.covers(5, &rp, &ci, Triangle::Lower, &rebuilt));
+        assert!(cert.covers(5, &rp, &ci, Triangle::Lower, &s));
+        // A stale/corrupt cached schedule is refused with diagnostics,
+        // never certified.
+        let mut rows = s.rows().to_vec();
+        rows.swap(0, 4);
+        let forged = LevelSchedule::from_raw_unchecked(5, rows, s.level_ptr().to_vec());
+        let diags = certify_schedule(5, &rp, &ci, Triangle::Lower, &forged).unwrap_err();
+        assert!(diags.iter().any(|d| d.code == codes::WAVE_NON_TOPOLOGICAL), "{diags:?}");
+        // Schedule for the wrong triangle direction is refused too.
+        assert!(certify_schedule(5, &rp, &ci, Triangle::Upper, &s).is_err());
     }
 
     #[test]

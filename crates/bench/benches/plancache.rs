@@ -1,0 +1,129 @@
+//! Plan-cache cold-vs-warm plan+compile latency.
+//!
+//! Not a criterion bench: the deliverable is a machine-readable
+//! `BENCH_plancache.json` at the repository root pinning the latency
+//! ratio between a structure's *first* encounter and every repeat.
+//!
+//! Cold = the full first-encounter pipeline per structure: planner
+//! search + race gate + fast-tier certification for SpMV, wavefront
+//! longest-path construction + BA4x certification for SpTRSV/SymGS,
+//! and the on-operand calibration measurement (the SpComp/kease model:
+//! tuning is part of the one-time cost the cache exists to amortize).
+//! Warm = the replay path on a populated cache: structure hashing,
+//! hint replay through `compile_hinted`, certificate re-validation and
+//! independent schedule re-verification — every soundness gate, no
+//! planning, no search, no measurement.
+//!
+//! Both numbers are min-of-reps over the same three-operand workload
+//! (SpMV on a 9-point grid, SpTRSV and SymGS on a 7-point 3-D grid).
+//! `--smoke` shrinks the operands and rep counts for CI and writes
+//! `BENCH_plancache_smoke.json` instead, leaving the committed
+//! full-run numbers untouched.
+
+use bernoulli::TriangularOp;
+use bernoulli_formats::gen::{grid2d_9pt, grid3d_7pt};
+use bernoulli_formats::{Csr, ExecCtx, FormatKind, SparseMatrix, Triplets};
+use bernoulli_tune::{PlanCache, SCHEMA};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn lower_triangle(t: &Triplets) -> Csr {
+    let mut lt = Triplets::new(t.nrows(), t.ncols());
+    for &(r, c, v) in t.canonicalize().entries() {
+        if c < r {
+            lt.push(r, c, v);
+        } else if c == r {
+            lt.push(r, c, 4.0);
+        }
+    }
+    Csr::from_triplets(&lt)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Full run: 3600-row SpMV operand, 13824-row triangular operands.
+    // Smoke: just enough rows for the parallel tier to arm.
+    let (d2, d3, cal_reps, reps) =
+        if smoke { (12usize, 6usize, 2u64, 3usize) } else { (60, 24, 5, 7) };
+
+    let spmv_t = grid2d_9pt(d2, d2);
+    let tri_t = grid3d_7pt(d3, d3, d3);
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &spmv_t);
+    let l = lower_triangle(&tri_t);
+    let sym = Csr::from_triplets(&tri_t);
+    let op = TriangularOp::Lower { unit_diag: false };
+    let serial = ExecCtx::serial().fast_kernels(true);
+    let par = ExecCtx::with_threads(2).oversubscribe(true).threshold(1);
+
+    let cold_once = || {
+        let cache = PlanCache::new();
+        let t0 = Instant::now();
+        black_box(cache.spmv_engine(&a, &serial).expect("cold spmv"));
+        black_box(cache.sptrsv_engine(&l, op, &par).expect("cold sptrsv"));
+        black_box(cache.symgs_engine(&sym, &par).expect("cold symgs"));
+        black_box(cache.calibrate_spmv(&a, &serial, cal_reps).expect("calibrate"));
+        (t0.elapsed().as_secs_f64(), cache)
+    };
+
+    // Warm-up (page everything in, fill allocator pools), then
+    // min-of-reps for the cold pipeline.
+    let (_, seeded) = cold_once();
+    let mut cold_s = f64::INFINITY;
+    for _ in 0..reps {
+        cold_s = cold_s.min(cold_once().0);
+    }
+
+    // Warm replay against the seeded cache: same compiles, same
+    // soundness gates, planning and calibration skipped.
+    let warm_once = |cache: &PlanCache| {
+        let t0 = Instant::now();
+        black_box(cache.spmv_engine(&a, &serial).expect("warm spmv"));
+        black_box(cache.sptrsv_engine(&l, op, &par).expect("warm sptrsv"));
+        black_box(cache.symgs_engine(&sym, &par).expect("warm symgs"));
+        t0.elapsed().as_secs_f64()
+    };
+    warm_once(&seeded);
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..reps {
+        warm_s = warm_s.min(warm_once(&seeded));
+    }
+    let stats = seeded.stats();
+    assert_eq!(stats.misses, 3, "exactly one cold pass should seed the cache");
+    assert!(stats.hits >= 3 * reps as u64, "warm passes must all hit");
+
+    let speedup = cold_s / warm_s;
+    let spmv_nnz = spmv_t.canonicalize().entries().len();
+    let tri_nnz = sym.nnz();
+    eprintln!(
+        "plancache: cold {:.3} ms, warm {:.3} ms  ->  {speedup:.1}x \
+         (spmv {d2}x{d2} 9pt nnz={spmv_nnz}; trisolve/symgs {d3}^3 7pt nnz={tri_nnz}; \
+         calibration reps={cal_reps})",
+        cold_s * 1e3,
+        warm_s * 1e3,
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"plancache_cold_vs_warm\",").unwrap();
+    writeln!(json, "  \"schema\": \"{SCHEMA}\",").unwrap();
+    writeln!(json, "  \"spmv_matrix\": \"grid2d_9pt({d2},{d2})\",").unwrap();
+    writeln!(json, "  \"spmv_nnz\": {spmv_nnz},").unwrap();
+    writeln!(json, "  \"tri_matrix\": \"grid3d_7pt({d3},{d3},{d3})\",").unwrap();
+    writeln!(json, "  \"tri_nnz\": {tri_nnz},").unwrap();
+    writeln!(json, "  \"calibration_reps\": {cal_reps},").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"note\": \"cold = first-encounter plan+certify+calibrate (planner search, race gate, wavefront construction, BA4x certification, on-operand calibration); warm = cache replay (structure hash, hint replay, certificate re-validation, schedule re-verification). min-of-reps seconds over one SpMV + one SpTRSV + one SymGS compile.\",").unwrap();
+    writeln!(json, "  \"cold_s\": {cold_s:.6e},").unwrap();
+    writeln!(json, "  \"warm_s\": {warm_s:.6e},").unwrap();
+    writeln!(json, "  \"speedup\": {speedup:.2}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plancache_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plancache.json")
+    };
+    std::fs::write(out, &json).expect("write BENCH_plancache.json");
+    eprintln!("wrote {out}");
+}

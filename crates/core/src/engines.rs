@@ -270,9 +270,50 @@ fn natural_spmv_shape(a: &SparseMatrix) -> &'static str {
     }
 }
 
+/// The planning verdicts a structure-keyed plan cache stores per
+/// structure and feeds back through [`SpmvEngine::compile_hinted`].
+/// Everything here is a cached *decision* — strategy tier, plan shape,
+/// fast-tier eligibility — never a proof: the hinted path skips the
+/// planner search and the race-gate re-derivation, but checked-mode
+/// validation still runs and the fast tier is armed only by a
+/// certificate that covers the operand actually handed in.
+#[derive(Clone, Debug)]
+pub struct SpmvHints {
+    /// The strategy the cold compile chose for this structure.
+    pub strategy: Strategy,
+    /// Plan-shape signature ([`CompiledKernel::shape`]) of the cold plan.
+    pub plan_shape: String,
+    /// Whether the cold compile certified the fast microkernel tier.
+    pub fast_eligible: bool,
+    /// In-memory tier only: the certificate from a previous compile of
+    /// the *same* matrix instance. Never persisted to disk (it
+    /// fingerprints heap addresses); reused only when
+    /// [`fast::MatrixCert::covers`] accepts the operand, re-derived
+    /// otherwise.
+    pub fast_cert: Option<fast::MatrixCert>,
+}
+
+/// Where an engine's plan came from: the planner (cold) or a structure
+/// cache replay (warm). Hinted engines never carry the interpreter
+/// tier — [`SpmvEngine::compile_hinted`] falls back to the full
+/// compile when the hinted strategy needs a real plan to interpret.
+enum PlanSource {
+    Compiled(CompiledKernel),
+    Hinted { shape: String },
+}
+
+impl PlanSource {
+    fn shape(&self) -> String {
+        match self {
+            PlanSource::Compiled(k) => k.shape(),
+            PlanSource::Hinted { shape } => shape.clone(),
+        }
+    }
+}
+
 /// A compiled `y += A·x` engine for one matrix.
 pub struct SpmvEngine {
-    kernel: CompiledKernel,
+    plan: PlanSource,
     strategy: Strategy,
     ctx: ExecCtx,
     /// Validation certificate for the fast microkernel tier, computed
@@ -338,7 +379,89 @@ impl SpmvEngine {
             ctx.config(),
             tier,
         );
-        Ok(SpmvEngine { kernel, strategy: decision.strategy, ctx: ctx.clone(), fast_cert })
+        Ok(SpmvEngine {
+            plan: PlanSource::Compiled(kernel),
+            strategy: decision.strategy,
+            ctx: ctx.clone(),
+            fast_cert,
+        })
+    }
+
+    /// Compile from cached hints, skipping the planner search and the
+    /// race-gate re-derivation — the warm path of a structure-keyed
+    /// plan cache. Every soundness gate is preserved: checked-mode
+    /// operand validation still runs, the cheap O(1) parallel gates
+    /// (work threshold, worker pool) are re-applied against *this*
+    /// context, and the fast tier is armed only by a certificate that
+    /// covers this exact operand — the cached one when its content
+    /// fingerprint matches, else a fresh sanitizer run. A hinted
+    /// [`Strategy::Interpreted`] needs a real plan to interpret, so it
+    /// falls back to the full [`SpmvEngine::compile_in`]. Results are
+    /// identical to the cold path on every tier; only compile latency
+    /// changes.
+    pub fn compile_hinted(
+        a: &SparseMatrix,
+        ctx: &ExecCtx,
+        hints: &SpmvHints,
+    ) -> RelResult<SpmvEngine> {
+        if hints.strategy == Strategy::Interpreted || !ctx.specialize() {
+            return Self::compile_in(a, ctx);
+        }
+        check_operand("A", a, ctx.config())?;
+        let m = a.meta();
+        // Re-apply the O(1) gates: a cached Parallel verdict still
+        // needs this context's pool and this operand's size to pay for
+        // fork/join. The expensive race-check verdict is what the cache
+        // carries (it depends only on the canonical matvec nest).
+        let cfg = ctx.config();
+        let strategy = if hints.strategy == Strategy::Parallel
+            && (!cfg.should_parallelize(m.nnz) || cfg.effective_workers() <= 1)
+        {
+            Strategy::Specialized
+        } else {
+            hints.strategy
+        };
+        let fast_cert = if ctx.fast() && strategy == Strategy::Specialized && hints.fast_eligible
+        {
+            match &hints.fast_cert {
+                // Certification reuse, not certification skip: covers()
+                // re-checks dimensions, addresses and the index-array
+                // content hash before the certificate transfers.
+                Some(c) if c.covers(a) => Some(*c),
+                _ => fast::MatrixCert::certify(a).ok(),
+            }
+        } else {
+            None
+        };
+        let tier = if fast_cert.is_some() { "fast" } else { "reference" };
+        ctx.obs().counter("engine.compile_hinted", 1);
+        record_strategy(
+            ctx.obs(),
+            "spmv",
+            "f64_plus",
+            Decision { strategy, race_checked: false, race_safe: false, downgrade: "" },
+            true,
+            m.nnz,
+            cfg,
+            tier,
+        );
+        Ok(SpmvEngine {
+            plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+            strategy,
+            ctx: ctx.clone(),
+            fast_cert,
+        })
+    }
+
+    /// Export this engine's decisions for a structure-keyed plan cache
+    /// (the input [`SpmvEngine::compile_hinted`] replays).
+    pub fn hints(&self) -> SpmvHints {
+        SpmvHints {
+            strategy: self.strategy,
+            plan_shape: self.plan.shape(),
+            fast_eligible: self.fast_cert.is_some(),
+            fast_cert: self.fast_cert,
+        }
     }
 
     pub fn strategy(&self) -> Strategy {
@@ -346,7 +469,7 @@ impl SpmvEngine {
     }
 
     pub fn plan_shape(&self) -> String {
-        self.kernel.shape()
+        self.plan.shape()
     }
 
     /// Which kernel tier [`SpmvEngine::run`] will dispatch to:
@@ -365,12 +488,15 @@ impl SpmvEngine {
     /// (see [`crate::codegen::emit_pseudocode_fast`]); the reference
     /// tier is the classic [`crate::codegen::emit_pseudocode`] loop.
     pub fn pseudocode(&self) -> String {
+        let PlanSource::Compiled(kernel) = &self.plan else {
+            return format!("// plan replayed from structure cache: {}", self.plan.shape());
+        };
         match &self.fast_cert {
             Some(fast::MatrixCert::Csr(_)) => {
-                crate::codegen::emit_pseudocode_fast(&self.kernel, fast::LANES)
+                crate::codegen::emit_pseudocode_fast(kernel, fast::LANES)
             }
-            Some(_) => crate::codegen::emit_pseudocode_fast(&self.kernel, 1),
-            None => crate::codegen::emit_pseudocode(&self.kernel),
+            Some(_) => crate::codegen::emit_pseudocode_fast(kernel, 1),
+            None => crate::codegen::emit_pseudocode(kernel),
         }
     }
 
@@ -409,9 +535,12 @@ impl SpmvEngine {
                 Ok(())
             }
             Strategy::Interpreted => {
+                let PlanSource::Compiled(kernel) = &self.plan else {
+                    unreachable!("hinted engines never carry the interpreter tier")
+                };
                 let mut b = Bindings::new();
                 b.bind_mat(MAT_A, a).bind_vec(VEC_X, &x).bind_vec_mut(VEC_Y, y);
-                self.kernel.run(&mut b)
+                kernel.run(&mut b)
             }
         }
     }
@@ -1388,6 +1517,117 @@ mod tests {
         let r = obs.report();
         assert!(r.kernels.contains_key("spmv_csr"), "{:?}", r.kernels.keys());
         assert!(!r.kernels.contains_key("fast_spmv_csr"), "{:?}", r.kernels.keys());
+    }
+
+    #[test]
+    fn hinted_compile_replays_cold_decisions_bitwise() {
+        let t = sample(64, 51);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let cold = SpmvEngine::compile_in(&a, &ExecCtx::serial().fast_kernels(true)).unwrap();
+        assert_eq!((cold.strategy(), cold.tier()), (Strategy::Specialized, "fast"));
+        let hints = cold.hints();
+        let obs = Obs::enabled();
+        let warm = SpmvEngine::compile_hinted(
+            &a,
+            &ExecCtx::serial().fast_kernels(true).instrument(obs.clone()),
+            &hints,
+        )
+        .unwrap();
+        assert_eq!(warm.strategy(), cold.strategy());
+        assert_eq!(warm.plan_shape(), cold.plan_shape());
+        assert_eq!(warm.tier(), "fast");
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.17).sin()).collect();
+        let (mut y_cold, mut y_warm) = (vec![0.0; 64], vec![0.0; 64]);
+        cold.run(&a, &x, &mut y_cold).unwrap();
+        warm.run(&a, &x, &mut y_warm).unwrap();
+        assert_eq!(
+            y_cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y_warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let r = obs.report();
+        // The warm path skipped the planner entirely: no plan event,
+        // but the strategy decision and the hinted counter are there.
+        assert!(r.plans.is_empty(), "{:?}", r.plans);
+        assert_eq!(r.counters["engine.compile_hinted"], 1);
+        assert_eq!(r.strategies[0].strategy, "Specialized");
+        assert!(!r.strategies[0].race_checked, "hinted path never re-runs the race gate");
+        assert!(warm.pseudocode().contains("plan replayed from structure cache"));
+    }
+
+    #[test]
+    fn hinted_compile_recertifies_fast_tier_on_a_rebuilt_matrix() {
+        // The cached certificate fingerprints the cold operand's
+        // buffers; a structurally identical rebuild misses covers() and
+        // must earn a *fresh* certificate, not inherit the stale one.
+        let t = sample(48, 52);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let cold = SpmvEngine::compile_in(&a, &ExecCtx::serial().fast_kernels(true)).unwrap();
+        let hints = cold.hints();
+        assert!(hints.fast_cert.is_some());
+        let b = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let warm =
+            SpmvEngine::compile_hinted(&b, &ExecCtx::serial().fast_kernels(true), &hints).unwrap();
+        assert_eq!(warm.tier(), "fast", "re-derived certificate still arms the fast tier");
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.29).cos()).collect();
+        let mut y = vec![0.0; 48];
+        warm.run(&b, &x, &mut y).unwrap();
+        let mut y_ref = vec![0.0; 48];
+        if let SparseMatrix::Csr(m) = &b {
+            fast::spmv_csr_lanes(m, &x, &mut y_ref);
+        }
+        for (p, q) in y.iter().zip(&y_ref) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn hinted_parallel_verdict_regates_against_this_context() {
+        let t = sample(64, 53);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let par = ExecCtx::with_threads(2).threshold(1).oversubscribe(true);
+        let cold = SpmvEngine::compile_in(&a, &par).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        let hints = cold.hints();
+        // Replaying a Parallel verdict under a serial context re-applies
+        // the O(1) gates and lands on the serial specialized tier.
+        let warm = SpmvEngine::compile_hinted(&a, &ExecCtx::serial(), &hints).unwrap();
+        assert_eq!(warm.strategy(), Strategy::Specialized);
+        // Under an equivalent parallel context the verdict replays as-is
+        // and both engines agree bitwise.
+        let warm_par = SpmvEngine::compile_hinted(&a, &par, &hints).unwrap();
+        assert_eq!(warm_par.strategy(), Strategy::Parallel);
+        let x: Vec<f64> = (0..64).map(|i| i as f64 * 0.11 - 3.0).collect();
+        let (mut y1, mut y2) = (vec![0.0; 64], vec![0.0; 64]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm_par.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(
+            y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hinted_interpreter_tier_falls_back_to_the_full_compile() {
+        // An Interpreted hint needs a real plan to interpret, so the
+        // warm path degenerates to the cold one (plan event and all).
+        let t = sample(15, 54);
+        let a = SparseMatrix::from_triplets(FormatKind::Coordinate, &t);
+        let interp = ExecCtx::default().specialization(false);
+        let cold = SpmvEngine::compile_in(&a, &interp).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Interpreted);
+        let obs = Obs::enabled();
+        let warm =
+            SpmvEngine::compile_hinted(&a, &interp.clone().instrument(obs.clone()), &cold.hints())
+                .unwrap();
+        assert_eq!(warm.strategy(), Strategy::Interpreted);
+        let r = obs.report();
+        assert_eq!(r.plans.len(), 1, "fallback goes through the planner");
+        assert!(!r.counters.contains_key("engine.compile_hinted"));
+        let x: Vec<f64> = (0..15).map(|i| (i as f64).sqrt()).collect();
+        let (mut y1, mut y2) = (vec![0.0; 15], vec![0.0; 15]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(y1, y2);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use codegen::{emit_pseudocode, emit_pseudocode_in};
 pub use compile::{CompiledKernel, Compiler};
 pub use engines::{
     choose_strategy, SemiringSpmmEngine, SemiringSpmvEngine, SpmmEngine, SpmvEngine,
-    SpmvMultiEngine, Strategy,
+    SpmvHints, SpmvMultiEngine, Strategy,
 };
 pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator, SemiringOperator};
 pub use trisolve::{SptrsvEngine, SymGsEngine, TriangularOp, MIN_MEAN_LEVEL_WIDTH};

@@ -150,6 +150,26 @@ fn wave_decision(
     work: usize,
     ctx: &ExecCtx,
 ) -> WaveDecision {
+    wave_decision_cached(nrows, rowptr, colind, triangle, work, ctx, None)
+}
+
+/// [`wave_decision`] with an optionally pre-built level schedule (a
+/// structure-cache replay). A cached schedule skips the O(nnz)
+/// longest-path *construction* of [`analyze_wavefront`] — never the
+/// verification: it is certified through
+/// [`wavefront::certify_schedule`], which runs the same independent
+/// BA4x verifier against this operand's pattern, so a stale or forged
+/// cache entry downgrades to serial (`schedule_rejected`) instead of
+/// racing.
+fn wave_decision_cached(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Option<Triangle>,
+    work: usize,
+    ctx: &ExecCtx,
+    cached: Option<LevelSchedule>,
+) -> WaveDecision {
     let cfg = ctx.config();
     if !cfg.should_parallelize(work) {
         return WaveDecision::serial(false, "");
@@ -167,15 +187,23 @@ fn wave_decision(
     let Some(triangle) = triangle else {
         return WaveDecision::serial(true, "transposed_scatter");
     };
-    let report = analyze_wavefront(nrows, rowptr, colind, triangle);
-    let (Some(sched), Some(cert)) = (report.schedule, report.certificate) else {
-        return WaveDecision::serial(true, "not_triangular");
+    let (sched, cert) = if let Some(sched) = cached {
+        match wavefront::certify_schedule(nrows, rowptr, colind, triangle, &sched) {
+            Ok(cert) => (sched, cert),
+            Err(_) => return WaveDecision::serial(true, "schedule_rejected"),
+        }
+    } else {
+        let report = analyze_wavefront(nrows, rowptr, colind, triangle);
+        let (Some(sched), Some(cert)) = (report.schedule, report.certificate) else {
+            return WaveDecision::serial(true, "not_triangular");
+        };
+        // Independent re-verification — the engine does not take the
+        // analysis pass's word for it (`plan_verify` discipline).
+        if !verify_level_schedule(nrows, rowptr, colind, triangle, &sched).is_empty() {
+            return WaveDecision::serial(true, "schedule_rejected");
+        }
+        (sched, cert)
     };
-    // Independent re-verification — the engine does not take the
-    // analysis pass's word for it (`plan_verify` discipline).
-    if !verify_level_schedule(nrows, rowptr, colind, triangle, &sched).is_empty() {
-        return WaveDecision::serial(true, "schedule_rejected");
-    }
     let (levels, maxw, meanw) =
         (cert.levels() as u64, cert.max_level_width() as u64, cert.mean_level_width());
     if meanw < MIN_MEAN_LEVEL_WIDTH {
@@ -286,6 +314,46 @@ impl SptrsvEngine {
         })
     }
 
+    /// Compile with a level schedule replayed from a structure-keyed
+    /// plan cache, skipping the O(nnz) wavefront *construction* but
+    /// none of the gates: the schedule is re-certified against this
+    /// operand's pattern by the independent BA4x verifier
+    /// ([`wavefront::certify_schedule`]) before the parallel tier is
+    /// armed, and a rejected schedule downgrades to the bit-identical
+    /// serial kernel with reason `schedule_rejected`.
+    pub fn compile_with_schedule(
+        a: &Csr,
+        op: TriangularOp,
+        sched: LevelSchedule,
+        ctx: &ExecCtx,
+    ) -> RelResult<SptrsvEngine> {
+        check_operand(a, ctx)?;
+        if a.nrows() != a.ncols() {
+            return Err(RelError::Validation(format!(
+                "triangular solve needs a square matrix, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        let d = wave_decision_cached(
+            a.nrows(),
+            a.rowptr(),
+            a.colind(),
+            op.triangle(),
+            a.nnz(),
+            ctx,
+            Some(sched),
+        );
+        record_wave_strategy(ctx.obs(), "sptrsv", &d, a.nnz(), ctx);
+        Ok(SptrsvEngine {
+            op,
+            strategy: d.strategy,
+            ctx: ctx.clone(),
+            schedule: d.schedule,
+            downgrade: d.downgrade,
+        })
+    }
+
     pub fn strategy(&self) -> Strategy {
         self.strategy
     }
@@ -362,6 +430,31 @@ impl SymGsEngine {
     /// forward schedule's level statistics (the backward schedule of a
     /// symmetrized pattern has the same widths, mirrored).
     pub fn compile_in(a: &Csr, ctx: &ExecCtx) -> RelResult<SymGsEngine> {
+        Self::compile_impl(a, ctx, None)
+    }
+
+    /// Compile with the forward/backward level schedules replayed from
+    /// a structure-keyed plan cache. The symmetrized dependence
+    /// patterns are rebuilt (the parallel kernels sweep them, so the
+    /// engine must own them) and each cached schedule is re-certified
+    /// against its pattern by the independent BA4x verifier before the
+    /// parallel tier is armed — reuse skips the wavefront *analysis*
+    /// per direction, never the verification. A rejected schedule
+    /// downgrades to the bit-identical serial sweeps.
+    pub fn compile_with_schedules(
+        a: &Csr,
+        fwd: LevelSchedule,
+        bwd: LevelSchedule,
+        ctx: &ExecCtx,
+    ) -> RelResult<SymGsEngine> {
+        Self::compile_impl(a, ctx, Some((fwd, bwd)))
+    }
+
+    fn compile_impl(
+        a: &Csr,
+        ctx: &ExecCtx,
+        cached: Option<(LevelSchedule, LevelSchedule)>,
+    ) -> RelResult<SymGsEngine> {
         check_operand(a, ctx)?;
         if a.nrows() != a.ncols() {
             return Err(RelError::Validation(format!(
@@ -371,8 +464,13 @@ impl SymGsEngine {
             )));
         }
         let n = a.nrows();
+        let (cached_fwd, cached_bwd) = match cached {
+            Some((f, b)) => (Some(f), Some(b)),
+            None => (None, None),
+        };
         let (frp, fci) = wavefront::symmetrize_lower(n, a.rowptr(), a.colind());
-        let d = wave_decision(n, &frp, &fci, Some(Triangle::Lower), a.nnz(), ctx);
+        let d =
+            wave_decision_cached(n, &frp, &fci, Some(Triangle::Lower), a.nnz(), ctx, cached_fwd);
         record_wave_strategy(ctx.obs(), "symgs", &d, a.nnz(), ctx);
         let mut engine = SymGsEngine {
             operand: OperandId::of(a),
@@ -384,7 +482,15 @@ impl SymGsEngine {
         };
         if let Some((fs, fc)) = d.schedule {
             let (brp, bci) = wavefront::symmetrize_upper(n, a.rowptr(), a.colind());
-            let bd = wave_decision(n, &brp, &bci, Some(Triangle::Upper), a.nnz(), ctx);
+            let bd = wave_decision_cached(
+                n,
+                &brp,
+                &bci,
+                Some(Triangle::Upper),
+                a.nnz(),
+                ctx,
+                cached_bwd,
+            );
             if let Some((bs, bc)) = bd.schedule {
                 engine.fwd = Some((frp, fci, fs, fc));
                 engine.bwd = Some((brp, bci, bs, bc));
@@ -409,6 +515,12 @@ impl SymGsEngine {
     /// The certified forward-sweep level schedule, when armed.
     pub fn forward_schedule(&self) -> Option<&LevelSchedule> {
         self.fwd.as_ref().map(|(_, _, s, _)| s)
+    }
+
+    /// The certified backward-sweep level schedule, when armed (what a
+    /// plan cache persists alongside [`forward_schedule`](Self::forward_schedule)).
+    pub fn backward_schedule(&self) -> Option<&LevelSchedule> {
+        self.bwd.as_ref().map(|(_, _, s, _)| s)
     }
 
     fn parallel_for(&self, a: &Csr) -> bool {
@@ -583,6 +695,74 @@ mod tests {
         eng.sweep_forward(&a, 1.0, &b, &mut x1).unwrap();
         eng.sweep_forward(&a2, 1.0, &b, &mut x2).unwrap();
         assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn cached_schedule_replay_matches_cold_engine_bitwise() {
+        let l = lower_of_grid();
+        let n = l.nrows();
+        let op = TriangularOp::Lower { unit_diag: false };
+        let cold = SptrsvEngine::compile_in(&l, op, &par_ctx()).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        let s = cold.schedule().unwrap();
+        // A cache replay rebuilds the schedule from raw parts; the
+        // certify_schedule gate re-verifies it and arms parallel.
+        let replay =
+            LevelSchedule::from_raw_unchecked(s.nrows(), s.rows().to_vec(), s.level_ptr().to_vec());
+        let warm = SptrsvEngine::compile_with_schedule(&l, op, replay, &par_ctx()).unwrap();
+        assert_eq!(warm.strategy(), Strategy::Parallel, "downgrade: {}", warm.downgrade());
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
+        let (mut x_cold, mut x_warm) = (vec![0.0; n], vec![0.0; n]);
+        cold.run(&l, &b, &mut x_cold).unwrap();
+        warm.run(&l, &b, &mut x_warm).unwrap();
+        assert_eq!(
+            x_cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // A forged cache entry is refused by the verifier and
+        // downgraded — never raced.
+        let mut rows = s.rows().to_vec();
+        rows.swap(0, n - 1);
+        let forged = LevelSchedule::from_raw_unchecked(n, rows, s.level_ptr().to_vec());
+        let bad = SptrsvEngine::compile_with_schedule(&l, op, forged, &par_ctx()).unwrap();
+        assert_eq!(bad.strategy(), Strategy::Specialized);
+        assert_eq!(bad.downgrade(), "schedule_rejected");
+        let mut x_bad = vec![0.0; n];
+        bad.run(&l, &b, &mut x_bad).unwrap();
+        assert_eq!(x_bad, x_cold, "serial fallback stays bit-identical");
+    }
+
+    #[test]
+    fn symgs_cached_schedules_replay_bitwise() {
+        let a = Csr::from_triplets(&grid2d_5pt(11, 9));
+        let n = a.nrows();
+        let cold = SymGsEngine::compile_in(&a, &par_ctx()).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        let clone_of = |s: &LevelSchedule| {
+            LevelSchedule::from_raw_unchecked(s.nrows(), s.rows().to_vec(), s.level_ptr().to_vec())
+        };
+        let fwd = clone_of(cold.forward_schedule().unwrap());
+        let bwd = clone_of(cold.backward_schedule().unwrap());
+        let warm = SymGsEngine::compile_with_schedules(&a, fwd, bwd, &par_ctx()).unwrap();
+        assert_eq!(warm.strategy(), Strategy::Parallel, "downgrade: {}", warm.downgrade());
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 4.5).collect();
+        let (mut x_cold, mut x_warm) = (vec![0.0; n], vec![0.0; n]);
+        cold.apply_ssor(&a, 1.2, &b, &mut x_cold).unwrap();
+        warm.apply_ssor(&a, 1.2, &b, &mut x_warm).unwrap();
+        assert_eq!(
+            x_cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x_warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Swapping the two schedules hands each verifier the wrong
+        // triangle's order — refused, downgraded, still bit-identical.
+        let fwd = clone_of(cold.forward_schedule().unwrap());
+        let bwd = clone_of(cold.backward_schedule().unwrap());
+        let swapped = SymGsEngine::compile_with_schedules(&a, bwd, fwd, &par_ctx()).unwrap();
+        assert_eq!(swapped.strategy(), Strategy::Specialized);
+        assert_eq!(swapped.downgrade(), "schedule_rejected");
+        let mut x_swapped = vec![0.0; n];
+        swapped.apply_ssor(&a, 1.2, &b, &mut x_swapped).unwrap();
+        assert_eq!(x_swapped, x_cold);
     }
 
     #[test]

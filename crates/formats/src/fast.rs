@@ -29,14 +29,23 @@
 //! A certificate ([`CsrCert`], [`MsrCert`], [`BsrCert`], [`ItpackCert`],
 //! or the [`SparseMatrix`]-level [`MatrixCert`]) can only be obtained
 //! through `certify`, which runs the full sanitizer. The certificate
-//! records an O(1) structural fingerprint — dimensions plus the address
-//! and length of every index array it certified — and each fast kernel
-//! re-checks that fingerprint at entry ([`covers`](CsrCert::covers)),
-//! refusing matrices it does not describe. The fingerprint is sound
-//! because no format exposes `&mut` access to its index structure
-//! (only [`Csr::vals_mut`] exists, and values cannot break any BA2x
-//! index invariant): same arrays at the same address ⇒ the certified
-//! invariants still hold.
+//! records a structural fingerprint — dimensions, the address and
+//! length of every array it certified, and an FNV-1a content hash over
+//! the *index* arrays (the same fold `WavefrontCert` uses for its
+//! schedule hash; values are excluded because no BA2x invariant
+//! constrains them) — and each fast kernel re-checks that fingerprint
+//! at entry ([`covers`](CsrCert::covers)), refusing matrices it does
+//! not describe. Address + length alone would not be sound: the
+//! allocator is free to hand a *new, never-validated* matrix the same
+//! address and length right after a certified one is dropped, and a
+//! certificate must not transfer to it. The content hash closes that
+//! hole: equal index-array content at equal dimensions re-establishes
+//! every BA2x invariant the sanitizer proved (no format exposes `&mut`
+//! access to its index structure — only [`Csr::vals_mut`] exists, and
+//! values cannot break an index invariant). The price is an O(nnz)
+//! hash sweep per kernel entry instead of an O(1) pointer compare; the
+//! four interleaved FNV lanes keep that sweep off a single serial
+//! multiply chain.
 //!
 //! ## Determinism contract
 //!
@@ -77,6 +86,44 @@ fn slice_id<T>(s: &[T]) -> SliceId {
     SliceId { ptr: s.as_ptr() as usize, len: s.len() }
 }
 
+/// FNV-1a offset basis / fold — the same scheme `WavefrontCert` pins
+/// its level schedules with.
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+#[inline]
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100000001b3)
+}
+
+/// FNV-1a content hash of the certified *index* arrays (values carry no
+/// BA2x obligation and are excluded). Four interleaved lanes — element
+/// at position `p` feeds lane `p % 4`, lanes folded together at the end
+/// — so the per-entry multiply chains stay independent and the covers()
+/// sweep does not serialise on one chain. Each array's length is folded
+/// in first, separating the arrays so content cannot shift across an
+/// array boundary unnoticed.
+fn index_hash(arrays: &[&[usize]]) -> u64 {
+    let mut lanes = [FNV_OFFSET; 4];
+    for a in arrays {
+        lanes[0] = fnv(lanes[0], a.len() as u64);
+        let mut it = a.chunks_exact(4);
+        for c in &mut it {
+            lanes[0] = fnv(lanes[0], c[0] as u64);
+            lanes[1] = fnv(lanes[1], c[1] as u64);
+            lanes[2] = fnv(lanes[2], c[2] as u64);
+            lanes[3] = fnv(lanes[3], c[3] as u64);
+        }
+        for (j, &x) in it.remainder().iter().enumerate() {
+            lanes[j] = fnv(lanes[j], x as u64);
+        }
+    }
+    let mut h = FNV_OFFSET;
+    for l in lanes {
+        h = fnv(h, l);
+    }
+    h
+}
+
 /// Validation certificate for one [`Csr`] matrix.
 ///
 /// Obtainable only through [`CsrCert::certify`], which runs the full
@@ -89,6 +136,10 @@ pub struct CsrCert {
     rowptr: SliceId,
     colind: SliceId,
     vals: SliceId,
+    /// [`index_hash`] over `rowptr ++ colind`: the content gate that
+    /// keeps a certificate from transferring to a never-validated
+    /// matrix the allocator placed at a recycled address.
+    content: u64,
 }
 
 impl CsrCert {
@@ -101,16 +152,20 @@ impl CsrCert {
             rowptr: slice_id(a.rowptr()),
             colind: slice_id(a.colind()),
             vals: slice_id(a.vals()),
+            content: index_hash(&[a.rowptr(), a.colind()]),
         })
     }
 
     /// Does this certificate describe exactly this matrix's storage?
+    /// Cheap dimension/address checks first, then the O(nnz) content
+    /// hash over the index arrays.
     pub fn covers(&self, a: &Csr) -> bool {
         self.nrows == a.nrows()
             && self.ncols == a.ncols()
             && self.rowptr == slice_id(a.rowptr())
             && self.colind == slice_id(a.colind())
             && self.vals == slice_id(a.vals())
+            && self.content == index_hash(&[a.rowptr(), a.colind()])
     }
 }
 
@@ -201,6 +256,8 @@ pub struct MsrCert {
     rowptr: SliceId,
     colind: SliceId,
     vals: SliceId,
+    /// [`index_hash`] over `rowptr ++ colind` (diag holds values only).
+    content: u64,
 }
 
 impl MsrCert {
@@ -214,6 +271,7 @@ impl MsrCert {
             rowptr: slice_id(a.rowptr()),
             colind: slice_id(a.colind()),
             vals: slice_id(a.vals()),
+            content: index_hash(&[a.rowptr(), a.colind()]),
         })
     }
 
@@ -225,6 +283,7 @@ impl MsrCert {
             && self.rowptr == slice_id(a.rowptr())
             && self.colind == slice_id(a.colind())
             && self.vals == slice_id(a.vals())
+            && self.content == index_hash(&[a.rowptr(), a.colind()])
     }
 }
 
@@ -320,6 +379,8 @@ pub struct BsrCert {
     browptr: SliceId,
     bcolind: SliceId,
     blocks: SliceId,
+    /// [`index_hash`] over `browptr ++ bcolind`.
+    content: u64,
 }
 
 impl BsrCert {
@@ -333,6 +394,7 @@ impl BsrCert {
             browptr: slice_id(a.browptr()),
             bcolind: slice_id(a.bcolind()),
             blocks: slice_id(a.blocks()),
+            content: index_hash(&[a.browptr(), a.bcolind()]),
         })
     }
 
@@ -344,6 +406,7 @@ impl BsrCert {
             && self.browptr == slice_id(a.browptr())
             && self.bcolind == slice_id(a.bcolind())
             && self.blocks == slice_id(a.blocks())
+            && self.content == index_hash(&[a.browptr(), a.bcolind()])
     }
 }
 
@@ -425,6 +488,9 @@ pub struct ItpackCert {
     width: usize,
     colind: SliceId,
     vals: SliceId,
+    /// [`index_hash`] over `colind` (padded slots included — the BA22
+    /// obligation covers them too).
+    content: u64,
 }
 
 impl ItpackCert {
@@ -438,6 +504,7 @@ impl ItpackCert {
             width: a.width(),
             colind: slice_id(colind),
             vals: slice_id(vals),
+            content: index_hash(&[colind]),
         })
     }
 
@@ -449,6 +516,7 @@ impl ItpackCert {
             && self.width == a.width()
             && self.colind == slice_id(colind)
             && self.vals == slice_id(vals)
+            && self.content == index_hash(&[colind])
     }
 }
 
@@ -492,7 +560,8 @@ pub fn spmv_itpack_fast(a: &Itpack, x: &[f64], y: &mut [f64], cert: &ItpackCert)
 
 /// [`SparseMatrix`]-level validation certificate: the engine seam's
 /// handle. Computed once at engine compile time, cached in the engine,
-/// and re-checked (O(1) fingerprint comparison) on every run.
+/// and re-checked (dimension/address compare plus the index-array
+/// content hash) on every run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MatrixCert {
     Csr(CsrCert),
@@ -620,6 +689,20 @@ mod tests {
         // Non-monotone row pointers: BA21.
         let bad = Csr::from_raw_unchecked(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
         assert!(CsrCert::certify(&bad).is_err());
+    }
+
+    #[test]
+    fn index_hash_separates_array_boundaries_and_content() {
+        // Moving an element across the array boundary must change the
+        // hash (each array's length is folded in as a separator).
+        assert_ne!(index_hash(&[&[1], &[]]), index_hash(&[&[], &[1]]));
+        assert_ne!(index_hash(&[&[1, 2], &[3]]), index_hash(&[&[1], &[2, 3]]));
+        // Same layout, one index changed: different hash.
+        let a: Vec<usize> = (0..100).collect();
+        let mut b = a.clone();
+        b[57] = 9999;
+        assert_ne!(index_hash(&[&a]), index_hash(&[&b]));
+        assert_eq!(index_hash(&[&a]), index_hash(&[&a.clone()]));
     }
 
     #[test]

@@ -66,16 +66,37 @@ impl MatrixStats {
         }
     }
 
+    /// Mean length of the *nonzero* rows: `nnz / (nrows - empty_rows)`,
+    /// with the empty-row count read off bucket 0 of
+    /// [`row_len_histogram`](Self::row_len_histogram). Unlike
+    /// [`avg_row_len`](Self::avg_row_len) (`nnz / nrows`), empty rows do
+    /// not drag this toward zero — it is the row length a kernel
+    /// actually sees per row it does work on. 0.0 when every row is
+    /// empty.
+    pub fn nonzero_row_mean(&self) -> f64 {
+        let empty = self.row_len_histogram.first().copied().unwrap_or(0);
+        let nonzero_rows = self.nrows - empty;
+        if nonzero_rows == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / nonzero_rows as f64
+        }
+    }
+
     /// Advisory unroll factor for the row-dot microkernels: rows long
     /// enough to fill 4 accumulator lanes suggest the full 4-way split,
     /// shorter rows 2-way, near-empty rows none (the lane ramp-up would
-    /// dominate). The fast tier currently fixes its lane count for
-    /// determinism; this feeds the structure-hash-keyed kernel cache
-    /// planned in the roadmap.
+    /// dominate). Based on [`nonzero_row_mean`](Self::nonzero_row_mean),
+    /// not `avg_row_len`: empty rows cost a lane split nothing (the
+    /// kernel skips them), so an empty-row-heavy matrix whose nonempty
+    /// rows are long still wants the full split. The fast tier currently
+    /// fixes its lane count for determinism; this feeds the
+    /// structure-hash-keyed kernel cache.
     pub fn suggested_unroll(&self) -> usize {
-        if self.avg_row_len >= 4.0 {
+        let mean = self.nonzero_row_mean();
+        if mean >= 4.0 {
             4
-        } else if self.avg_row_len >= 2.0 {
+        } else if mean >= 2.0 {
             2
         } else {
             1
@@ -265,5 +286,37 @@ mod tests {
         // grid2d has avg row length just under 5 → full 4-way split.
         let g = crate::gen::grid2d_5pt(8, 8);
         assert_eq!(analyze(&g).suggested_unroll(), 4);
+    }
+
+    #[test]
+    fn suggested_unroll_ignores_empty_rows() {
+        // 10 rows, but only rows 0 and 1 hold entries — 8 each. The
+        // whole-matrix average (16/10 = 1.6) would refuse any unroll,
+        // yet every row the kernel does work on has 8 entries: the
+        // nonzero-row mean must drive the full 4-way split.
+        let mut t = Triplets::new(10, 10);
+        for r in 0..2 {
+            for c in 0..8 {
+                t.push(r, c, 1.0);
+            }
+        }
+        let s = analyze(&t);
+        assert!((s.avg_row_len - 1.6).abs() < 1e-12);
+        assert_eq!(s.row_len_histogram[0], 8);
+        assert!((s.nonzero_row_mean() - 8.0).abs() < 1e-12);
+        assert_eq!(s.suggested_unroll(), 4);
+    }
+
+    #[test]
+    fn nonzero_row_mean_edge_cases() {
+        // All rows empty (nonzero dims, zero entries) → 0.0, unroll 1.
+        let s = analyze(&Triplets::new(5, 5));
+        assert_eq!(s.nonzero_row_mean(), 0.0);
+        assert_eq!(s.suggested_unroll(), 1);
+        // No empty rows → nonzero-row mean equals the plain average.
+        let g = crate::gen::grid2d_5pt(6, 6);
+        let s = analyze(&g);
+        assert_eq!(s.row_len_histogram[0], 0);
+        assert!((s.nonzero_row_mean() - s.avg_row_len).abs() < 1e-12);
     }
 }

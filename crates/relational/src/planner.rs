@@ -129,6 +129,7 @@ impl Planner {
 
         let extents = var_extents(query, meta)?;
         let mut candidates: Vec<Plan> = Vec::new();
+        let mut nonfinite = 0usize;
 
         // Choose, for every permutation term, which side is derived.
         for deriv_choice in derivation_choices(query) {
@@ -145,19 +146,34 @@ impl Planner {
                 // Nested-loop candidates.
                 self.candidates_for_order(
                     query, meta, &extents, &order, &deriv_choice, &mut candidates,
+                    &mut nonfinite,
                 );
                 // Flat-enumeration candidates: a matrix binds both of
                 // its variables at the outermost position.
                 self.flat_candidates(
                     query, meta, &extents, &order, &deriv_choice, &mut candidates,
+                    &mut nonfinite,
                 );
             }
         }
 
+        // Surface non-finite cost-model discards through provenance:
+        // downstream calibration audits the cost model against measured
+        // time, so the candidate set it sees must not shrink silently.
+        if nonfinite > 0 {
+            self.obs.counter("planner.nonfinite_cost_discards", nonfinite as u64);
+        }
         if candidates.is_empty() {
-            return Err(RelError::NoFeasiblePlan(
-                "no variable order / driver assignment satisfies the access methods".into(),
-            ));
+            let msg = if nonfinite > 0 {
+                format!(
+                    "no variable order / driver assignment satisfies the access methods \
+                     ({nonfinite} candidate(s) discarded for non-finite cost estimates — \
+                     the cost model broke down on this metadata)"
+                )
+            } else {
+                "no variable order / driver assignment satisfies the access methods".into()
+            };
+            return Err(RelError::NoFeasiblePlan(msg));
         }
         candidates.sort_by(|a, b| a.est_cost.total_cmp(&b.est_cost));
         // Drop duplicate shapes, keeping the cheapest instance of each.
@@ -197,6 +213,7 @@ impl Planner {
         Ok(candidates)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn candidates_for_order(
         &self,
         query: &Query,
@@ -205,6 +222,7 @@ impl Planner {
         order: &[Var],
         derivs: &[Derivation],
         out: &mut Vec<Plan>,
+        nonfinite: &mut usize,
     ) {
         // Enumerate driver assignments with a simple product search.
         let options: Vec<Vec<Driver>> = order
@@ -220,7 +238,7 @@ impl Planner {
             let drivers: Vec<Driver> =
                 idx.iter().zip(&options).map(|(&k, opts)| opts[k]).collect();
             if let Some(plan) =
-                self.assemble(query, meta, extents, order, &drivers, derivs, None)
+                self.assemble(query, meta, extents, order, &drivers, derivs, None, nonfinite)
             {
                 out.push(plan);
             }
@@ -240,6 +258,7 @@ impl Planner {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn flat_candidates(
         &self,
         query: &Query,
@@ -248,6 +267,7 @@ impl Planner {
         order: &[Var],
         derivs: &[Derivation],
         out: &mut Vec<Plan>,
+        nonfinite: &mut usize,
     ) {
         for t in &query.terms {
             let (rel, row, col) = match t {
@@ -285,6 +305,7 @@ impl Planner {
                     &drivers,
                     derivs,
                     Some((rel, row, col)),
+                    nonfinite,
                 ) {
                     out.push(plan);
                 }
@@ -380,6 +401,7 @@ impl Planner {
         drivers: &[Driver],
         derivs: &[Derivation],
         flat: Option<(RelId, Var, Var)>,
+        nonfinite: &mut usize,
     ) -> Option<Plan> {
         // node index at which each var becomes bound
         let mut bind_node: HashMap<Var, usize> = HashMap::new();
@@ -691,8 +713,28 @@ impl Planner {
             }
         }
 
+        self.price_candidate(nodes, query, meta, extents, nonfinite)
+    }
+
+    /// Run the cost model over an assembled candidate. A non-finite
+    /// estimate means the model broke down on the metadata (e.g. an
+    /// unpriceable probe — planner/metadata skew), not that the plan is
+    /// infeasible; the candidate is still discarded (a non-comparable
+    /// cost cannot be ranked) but the discard is *counted* so
+    /// [`Planner::plan_all`] can surface it through obs/EXPLAIN
+    /// provenance instead of silently shrinking the candidate set
+    /// downstream calibration sees.
+    fn price_candidate(
+        &self,
+        nodes: Vec<PlanNode>,
+        query: &Query,
+        meta: &QueryMeta,
+        extents: &HashMap<Var, usize>,
+        nonfinite: &mut usize,
+    ) -> Option<Plan> {
         let est_cost = estimate_cost(&nodes, query, meta, extents);
         if !est_cost.is_finite() {
+            *nonfinite += 1;
             return None;
         }
         Some(Plan { nodes, est_cost })
@@ -1146,6 +1188,57 @@ mod tests {
         assert_eq!(permutations(&[VAR_I, VAR_J]).len(), 2);
         let q = QueryBuilder::mat_mat_product().build();
         assert_eq!(permutations(&q.vars).len(), 6);
+    }
+
+    #[test]
+    fn nonfinite_cost_candidate_is_discarded_and_counted() {
+        // Force the cost model to break down: a Search-method probe
+        // against a vector whose metadata declares search unsupported
+        // prices to +inf. `assemble` never emits that pairing itself
+        // (choose_method refuses), so the skew is injected directly at
+        // the pricing seam — the guard this exercises is exactly the
+        // planner/metadata-skew defence at the end of `assemble`.
+        let q = QueryBuilder::mat_vec_product().build();
+        let vm = VecMeta { props: LevelProps::enumerate_only(), ..VecMeta::dense(100) };
+        let meta = QueryMeta::new().mat(MAT_A, csr_meta(100, 500)).vec(VEC_X, vm);
+        let extents = var_extents(&q, &meta).unwrap();
+        let nodes = vec![
+            PlanNode::Loop(LoopNode {
+                var: VAR_I,
+                driver: Driver::MatOuter(MAT_A),
+                derived: vec![],
+                lookups: vec![],
+            }),
+            PlanNode::Loop(LoopNode {
+                var: VAR_J,
+                driver: Driver::MatInner(MAT_A),
+                derived: vec![],
+                lookups: vec![Lookup {
+                    rel: VEC_X,
+                    kind: ProbeKind::VecAt(VAR_J),
+                    method: JoinMethod::Search,
+                    in_predicate: false,
+                }],
+            }),
+        ];
+        assert!(
+            !estimate_cost(&nodes, &q, &meta, &extents).is_finite(),
+            "the crafted candidate must force a non-finite estimate"
+        );
+        let planner = Planner::new();
+        let mut nonfinite = 0usize;
+        assert!(planner
+            .price_candidate(nodes.clone(), &q, &meta, &extents, &mut nonfinite)
+            .is_none());
+        assert_eq!(nonfinite, 1, "the discard must be counted, not silent");
+        // A priceable candidate passes through and leaves the count alone.
+        let finite_meta =
+            QueryMeta::new().mat(MAT_A, csr_meta(100, 500)).vec(VEC_X, VecMeta::dense(100));
+        let plan = planner
+            .price_candidate(nodes, &q, &finite_meta, &extents, &mut nonfinite)
+            .unwrap();
+        assert!(plan.est_cost.is_finite());
+        assert_eq!(nonfinite, 1);
     }
 
     #[test]

@@ -39,12 +39,27 @@ impl SymGs {
     /// returned struct; the certificate survives because only the
     /// stack header moves, never the heap buffers it fingerprints.
     pub fn with_omega(a: Csr, omega: f64, ctx: &ExecCtx) -> RelResult<SymGs> {
+        SymGs::with_engine_from(a, omega, |a| SymGsEngine::compile_in(a, ctx))
+    }
+
+    /// SSOR whose engine is produced by `compile` — the seam a
+    /// structure-keyed plan cache uses to inject
+    /// [`SymGsEngine::compile_with_schedules`] (cached, re-verified
+    /// level schedules) in place of the full wavefront analysis. The
+    /// closure runs against the operand *before* the move into the
+    /// returned struct, so the certificates it issues bind the final
+    /// heap buffers.
+    pub fn with_engine_from(
+        a: Csr,
+        omega: f64,
+        compile: impl FnOnce(&Csr) -> RelResult<SymGsEngine>,
+    ) -> RelResult<SymGs> {
         if !(omega > 0.0 && omega < 2.0) {
             return Err(RelError::Validation(format!(
                 "SSOR needs 0 < omega < 2 for convergence, got {omega}"
             )));
         }
-        let engine = SymGsEngine::compile_in(&a, ctx)?;
+        let engine = compile(&a)?;
         Ok(SymGs { a, omega, engine })
     }
 

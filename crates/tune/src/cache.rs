@@ -1,0 +1,670 @@
+//! The structure-keyed plan cache: plan, certify and tune once per
+//! sparsity structure, replay on every repeat solve.
+//!
+//! # What is cached, what is re-verified
+//!
+//! A cache entry holds *decisions*, never *proofs*:
+//!
+//! * **SpMV** — the [`SpmvHints`] a cold [`SpmvEngine::compile_in`]
+//!   produced (strategy tier, plan shape, fast-tier eligibility, and —
+//!   in memory only — the validation certificate), plus the winning
+//!   candidate of the last [calibration](crate::calibrate) run. A hit
+//!   replays them through [`SpmvEngine::compile_hinted`], which skips
+//!   the planner search and the race-gate re-derivation but re-applies
+//!   the O(1) context gates and re-validates (or re-derives) the fast
+//!   certificate via `covers()` against the operand actually handed in.
+//! * **SpTRSV / SymGS** — the wavefront level schedules. A hit skips
+//!   the O(nnz) longest-path *construction* of `analyze_wavefront`,
+//!   never the verification: the engine re-runs the independent BA4x
+//!   verifier against this operand's pattern before the parallel tier
+//!   is armed, and a stale or forged schedule downgrades to the
+//!   bit-identical serial sweep (`schedule_rejected`).
+//!
+//! The worst a wrong cache entry can do is therefore pick a suboptimal
+//! tier; it can never mis-compute. Serial planning verdicts (below
+//! threshold, narrow levels, non-triangular) are *not* cached — they
+//! are either O(1) to re-derive or must be re-derived for soundness.
+//!
+//! # Persistence
+//!
+//! [`PlanCache::save`] writes versioned JSON ([`SCHEMA`]); a restarted
+//! process [`load`](PlanCache::load)s it and re-tunes nothing. A schema
+//! bump invalidates the file wholesale (load returns an empty cache).
+//! In-memory certificates are never persisted — they fingerprint heap
+//! addresses — so the first warm compile after a reload re-certifies
+//! through the sanitizer and the cache re-arms itself.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use bernoulli::engines::{SpmvEngine, SpmvHints, Strategy};
+use bernoulli::{SptrsvEngine, SymGsEngine, TriangularOp};
+use bernoulli_analysis::{LevelSchedule, Triangle};
+use bernoulli_formats::{Csr, ExecCtx, SparseMatrix};
+use bernoulli_obs::json::{array, Obj};
+use bernoulli_relational::error::RelResult;
+
+use crate::calibrate::{calibrate_spmv, CalibrationOutcome};
+use crate::jsonio::{parse, Value};
+use crate::key::{structure_key, structure_key_csr, StructureKey};
+
+/// On-disk schema identifier. Any change to the cache's JSON layout
+/// bumps the version suffix, and [`PlanCache::load`] treats a file
+/// carrying a different identifier as absent — a schema bump is a
+/// wholesale cache invalidation, never a migration.
+pub const SCHEMA: &str = "bernoulli.plancache/v1";
+
+/// One cached SpMV verdict.
+#[derive(Clone, Debug)]
+struct SpmvRecord {
+    hints: SpmvHints,
+    /// Winning candidate of the last calibration run against this
+    /// structure (`None` until calibrated). Informational + persisted:
+    /// the override itself is already folded into `hints`.
+    calibrated: Option<String>,
+}
+
+/// A level schedule flattened to its raw parts (what the disk holds;
+/// [`LevelSchedule::from_raw_unchecked`] rebuilds it, and the BA4x
+/// verifier re-checks it before it is ever trusted).
+#[derive(Clone, Debug)]
+struct SchedRecord {
+    nrows: usize,
+    rows: Vec<usize>,
+    level_ptr: Vec<usize>,
+}
+
+impl SchedRecord {
+    fn of(s: &LevelSchedule) -> SchedRecord {
+        SchedRecord {
+            nrows: s.nrows(),
+            rows: s.rows().to_vec(),
+            level_ptr: s.level_ptr().to_vec(),
+        }
+    }
+
+    fn rebuild(&self) -> LevelSchedule {
+        LevelSchedule::from_raw_unchecked(self.nrows, self.rows.clone(), self.level_ptr.clone())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spmv: HashMap<StructureKey, SpmvRecord>,
+    /// Keyed by structure + sweep triangle tag (the schedule depends
+    /// on both; `unit_diag` does not enter the dependence relation).
+    sptrsv: HashMap<(StructureKey, &'static str), SchedRecord>,
+    symgs: HashMap<StructureKey, (SchedRecord, SchedRecord)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache effectiveness counters ([`PlanCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compiles served from a cached verdict (planner search, race
+    /// gate and wavefront construction all skipped).
+    pub hits: u64,
+    /// Compiles that ran the full cold path (and seeded the cache).
+    pub misses: u64,
+    /// Cached SpMV verdicts.
+    pub spmv_entries: usize,
+    /// Cached SpTRSV level schedules (one per structure × triangle).
+    pub sptrsv_entries: usize,
+    /// Cached SymGS forward/backward schedule pairs.
+    pub symgs_entries: usize,
+}
+
+impl CacheStats {
+    /// Total cached verdicts across all operations.
+    pub fn entries(&self) -> usize {
+        self.spmv_entries + self.sptrsv_entries + self.symgs_entries
+    }
+}
+
+/// The structure-keyed plan/strategy cache. Thread-safe (`&self`
+/// everywhere); clone-free sharing via `Arc<PlanCache>` if needed.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// An empty cache: the first compile per structure is cold.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Compile a `y += A·x` engine, serving repeated structures from
+    /// the cache. Cold path = [`SpmvEngine::compile_in`] (full planner
+    /// search + race gate + certification), after which the verdict is
+    /// stored under the operand's [`StructureKey`]. Warm path =
+    /// [`SpmvEngine::compile_hinted`] — bitwise-identical results,
+    /// planning skipped, every soundness gate re-applied.
+    pub fn spmv_engine(&self, a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SpmvEngine> {
+        let key = structure_key(a);
+        let hit = {
+            let mut g = self.inner.lock().unwrap();
+            let hit = g.spmv.get(&key).map(|r| r.hints.clone());
+            match hit {
+                Some(_) => g.hits += 1,
+                None => g.misses += 1,
+            }
+            hit
+        };
+        match hit {
+            Some(hints) => {
+                let engine = SpmvEngine::compile_hinted(a, ctx, &hints)?;
+                // Refresh only the in-memory certificate (it now binds
+                // this operand instance); the cold verdict fields stay.
+                let mut g = self.inner.lock().unwrap();
+                if let Some(r) = g.spmv.get_mut(&key) {
+                    if let Some(c) = engine.hints().fast_cert {
+                        r.hints.fast_cert = Some(c);
+                    }
+                }
+                Ok(engine)
+            }
+            None => {
+                let engine = SpmvEngine::compile_in(a, ctx)?;
+                self.inner.lock().unwrap().spmv.insert(
+                    key,
+                    SpmvRecord { hints: engine.hints(), calibrated: None },
+                );
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Compile a triangular-solve engine, replaying the cached level
+    /// schedule when this structure (and sweep direction) was seen
+    /// before. Schedules are only cached when the cold compile armed
+    /// the parallel tier; serial verdicts recompile cold (they are
+    /// either O(1) to re-derive or must be, for soundness).
+    /// `LowerTransposed` is always serial and bypasses the cache.
+    pub fn sptrsv_engine(
+        &self,
+        a: &Csr,
+        op: TriangularOp,
+        ctx: &ExecCtx,
+    ) -> RelResult<SptrsvEngine> {
+        let triangle = match op {
+            TriangularOp::Lower { .. } => Triangle::Lower,
+            TriangularOp::Upper { .. } => Triangle::Upper,
+            TriangularOp::LowerTransposed { .. } => {
+                return SptrsvEngine::compile_in(a, op, ctx);
+            }
+        };
+        let key = structure_key_csr(a);
+        let tag = triangle_str(triangle);
+        let cached = {
+            let mut g = self.inner.lock().unwrap();
+            let cached = g.sptrsv.get(&(key, tag)).map(|r| r.rebuild());
+            match cached {
+                Some(_) => g.hits += 1,
+                None => g.misses += 1,
+            }
+            cached
+        };
+        match cached {
+            Some(sched) => SptrsvEngine::compile_with_schedule(a, op, sched, ctx),
+            None => {
+                let engine = SptrsvEngine::compile_in(a, op, ctx)?;
+                if let Some(s) = engine.schedule() {
+                    self.inner
+                        .lock()
+                        .unwrap()
+                        .sptrsv
+                        .insert((key, tag), SchedRecord::of(s));
+                }
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Compile a symmetric Gauss-Seidel engine, replaying the cached
+    /// forward/backward schedule pair when this structure was seen
+    /// before (both sweeps must have been armed cold for the pair to
+    /// be cached).
+    pub fn symgs_engine(&self, a: &Csr, ctx: &ExecCtx) -> RelResult<SymGsEngine> {
+        let key = structure_key_csr(a);
+        let cached = {
+            let mut g = self.inner.lock().unwrap();
+            let cached = g.symgs.get(&key).map(|(f, b)| (f.rebuild(), b.rebuild()));
+            match cached {
+                Some(_) => g.hits += 1,
+                None => g.misses += 1,
+            }
+            cached
+        };
+        match cached {
+            Some((fwd, bwd)) => SymGsEngine::compile_with_schedules(a, fwd, bwd, ctx),
+            None => {
+                let engine = SymGsEngine::compile_in(a, ctx)?;
+                if let (Some(f), Some(b)) =
+                    (engine.forward_schedule(), engine.backward_schedule())
+                {
+                    self.inner
+                        .lock()
+                        .unwrap()
+                        .symgs
+                        .insert(key, (SchedRecord::of(f), SchedRecord::of(b)));
+                }
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Calibrate the SpMV candidates on this operand
+    /// ([`crate::calibrate::calibrate_spmv`]) and fold the winner into
+    /// the cached verdict: subsequent [`spmv_engine`](Self::spmv_engine)
+    /// hits replay the *measured* best tier, not the cost model's
+    /// guess. Every measurement (estimate + on-operand timing) is
+    /// recorded through the context's obs `calibrations` stream.
+    pub fn calibrate_spmv(
+        &self,
+        a: &SparseMatrix,
+        ctx: &ExecCtx,
+        reps: u64,
+    ) -> RelResult<CalibrationOutcome> {
+        let outcome = calibrate_spmv(a, ctx, reps)?;
+        let mut g = self.inner.lock().unwrap();
+        g.spmv.insert(
+            outcome.structure,
+            SpmvRecord {
+                hints: outcome.hints.clone(),
+                calibrated: Some(outcome.chosen.clone()),
+            },
+        );
+        Ok(outcome)
+    }
+
+    /// The winning calibration candidate recorded for a structure, if
+    /// it has been calibrated.
+    pub fn calibrated_choice(&self, key: StructureKey) -> Option<String> {
+        self.inner.lock().unwrap().spmv.get(&key).and_then(|r| r.calibrated.clone())
+    }
+
+    /// Hit/miss counters and per-operation entry counts.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock().unwrap();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            spmv_entries: g.spmv.len(),
+            sptrsv_entries: g.sptrsv.len(),
+            symgs_entries: g.symgs.len(),
+        }
+    }
+
+    /// True when no verdict has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.stats().entries() == 0
+    }
+
+    /// Serialize to the versioned on-disk JSON ([`SCHEMA`]). Entries
+    /// are written in key order so the output is deterministic;
+    /// in-memory certificates are omitted (they fingerprint heap
+    /// addresses of the process that issued them).
+    pub fn to_json(&self) -> String {
+        let g = self.inner.lock().unwrap();
+        let mut spmv: Vec<_> = g.spmv.iter().collect();
+        spmv.sort_by_key(|e| *e.0);
+        let spmv = array(spmv.into_iter().map(|(k, r)| {
+            let o = Obj::new()
+                .str("structure", &k.hex())
+                .str("strategy", strategy_str(r.hints.strategy))
+                .str("plan_shape", &r.hints.plan_shape)
+                .bool("fast_eligible", r.hints.fast_eligible);
+            match &r.calibrated {
+                Some(c) => o.str("calibrated", c),
+                None => o.raw("calibrated", "null"),
+            }
+            .finish()
+        }));
+        let mut sptrsv: Vec<_> = g.sptrsv.iter().collect();
+        sptrsv.sort_by_key(|e| *e.0);
+        let sptrsv = array(sptrsv.into_iter().map(|((k, t), s)| {
+            Obj::new()
+                .str("structure", &k.hex())
+                .str("triangle", t)
+                .usize("nrows", s.nrows)
+                .raw("rows", usize_array(&s.rows))
+                .raw("level_ptr", usize_array(&s.level_ptr))
+                .finish()
+        }));
+        let mut symgs: Vec<_> = g.symgs.iter().collect();
+        symgs.sort_by_key(|e| *e.0);
+        let symgs = array(symgs.into_iter().map(|(k, (f, b))| {
+            Obj::new()
+                .str("structure", &k.hex())
+                .usize("nrows", f.nrows)
+                .raw("fwd_rows", usize_array(&f.rows))
+                .raw("fwd_level_ptr", usize_array(&f.level_ptr))
+                .raw("bwd_rows", usize_array(&b.rows))
+                .raw("bwd_level_ptr", usize_array(&b.level_ptr))
+                .finish()
+        }));
+        Obj::new()
+            .str("schema", SCHEMA)
+            .raw("spmv", spmv)
+            .raw("sptrsv", sptrsv)
+            .raw("symgs", symgs)
+            .finish()
+    }
+
+    /// Rebuild a cache from [`to_json`](Self::to_json) output. A
+    /// schema identifier other than [`SCHEMA`] yields an error carrying
+    /// the found identifier — the caller decides whether a stale cache
+    /// is fatal or just cold ([`load`](Self::load) treats it as cold).
+    pub fn from_json(text: &str) -> Result<PlanCache, String> {
+        let v = parse(text)?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SCHEMA {
+            return Err(format!("schema mismatch: found {schema:?}, want {SCHEMA:?}"));
+        }
+        let mut inner = Inner::default();
+        for e in v.get("spmv").and_then(Value::as_arr).unwrap_or(&[]) {
+            let key = e
+                .get("structure")
+                .and_then(Value::as_str)
+                .and_then(StructureKey::from_hex)
+                .ok_or("spmv entry: bad structure key")?;
+            let strategy = strategy_from_str(
+                e.get("strategy").and_then(Value::as_str).ok_or("spmv entry: no strategy")?,
+            )?;
+            let plan_shape = e
+                .get("plan_shape")
+                .and_then(Value::as_str)
+                .ok_or("spmv entry: no plan_shape")?
+                .to_string();
+            let fast_eligible = e
+                .get("fast_eligible")
+                .and_then(Value::as_bool)
+                .ok_or("spmv entry: no fast_eligible")?;
+            let calibrated =
+                e.get("calibrated").and_then(Value::as_str).map(str::to_string);
+            inner.spmv.insert(
+                key,
+                SpmvRecord {
+                    hints: SpmvHints { strategy, plan_shape, fast_eligible, fast_cert: None },
+                    calibrated,
+                },
+            );
+        }
+        for e in v.get("sptrsv").and_then(Value::as_arr).unwrap_or(&[]) {
+            let key = e
+                .get("structure")
+                .and_then(Value::as_str)
+                .and_then(StructureKey::from_hex)
+                .ok_or("sptrsv entry: bad structure key")?;
+            let tag = match e.get("triangle").and_then(Value::as_str) {
+                Some("lower") => triangle_str(Triangle::Lower),
+                Some("upper") => triangle_str(Triangle::Upper),
+                other => return Err(format!("sptrsv entry: bad triangle {other:?}")),
+            };
+            inner.sptrsv.insert((key, tag), sched_record(e, "nrows", "rows", "level_ptr")?);
+        }
+        for e in v.get("symgs").and_then(Value::as_arr).unwrap_or(&[]) {
+            let key = e
+                .get("structure")
+                .and_then(Value::as_str)
+                .and_then(StructureKey::from_hex)
+                .ok_or("symgs entry: bad structure key")?;
+            let fwd = sched_record(e, "nrows", "fwd_rows", "fwd_level_ptr")?;
+            let bwd = sched_record(e, "nrows", "bwd_rows", "bwd_level_ptr")?;
+            inner.symgs.insert(key, (fwd, bwd));
+        }
+        Ok(PlanCache { inner: Mutex::new(inner) })
+    }
+
+    /// Persist to disk. This crate is the workspace's only sanctioned
+    /// filesystem writer outside the Matrix Market reader (enforced by
+    /// `scripts/ci.sh`).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a persisted cache. A missing file or a schema/version
+    /// mismatch yields an *empty* cache (cold start, not an error —
+    /// the bump is the invalidation mechanism); an unreadable or
+    /// malformed file is an I/O error.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<PlanCache> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(PlanCache::new()),
+            Err(e) => return Err(e),
+        };
+        match PlanCache::from_json(&text) {
+            Ok(c) => Ok(c),
+            Err(e) if e.starts_with("schema mismatch") => Ok(PlanCache::new()),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )),
+        }
+    }
+}
+
+fn usize_array(v: &[usize]) -> String {
+    array(v.iter().map(|x| x.to_string()))
+}
+
+fn sched_record(e: &Value, nrows: &str, rows: &str, ptr: &str) -> Result<SchedRecord, String> {
+    let read_arr = |field: &str| -> Result<Vec<usize>, String> {
+        e.get(field)
+            .and_then(Value::as_arr)
+            .ok_or(format!("schedule entry: no {field}"))?
+            .iter()
+            .map(|x| x.as_usize().ok_or(format!("schedule entry: bad {field} element")))
+            .collect()
+    };
+    Ok(SchedRecord {
+        nrows: e
+            .get(nrows)
+            .and_then(Value::as_usize)
+            .ok_or(format!("schedule entry: no {nrows}"))?,
+        rows: read_arr(rows)?,
+        level_ptr: read_arr(ptr)?,
+    })
+}
+
+fn triangle_str(t: Triangle) -> &'static str {
+    match t {
+        Triangle::Lower => "lower",
+        Triangle::Upper => "upper",
+    }
+}
+
+fn strategy_str(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Specialized => "specialized",
+        Strategy::Parallel => "parallel",
+        Strategy::Interpreted => "interpreted",
+    }
+}
+
+fn strategy_from_str(s: &str) -> Result<Strategy, String> {
+    match s {
+        "specialized" => Ok(Strategy::Specialized),
+        "parallel" => Ok(Strategy::Parallel),
+        "interpreted" => Ok(Strategy::Interpreted),
+        other => Err(format!("unknown strategy {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_formats::gen::{grid2d_5pt, grid3d_7pt};
+    use bernoulli_formats::FormatKind;
+
+    fn par_ctx() -> ExecCtx {
+        ExecCtx::with_threads(2).oversubscribe(true).threshold(1)
+    }
+
+    #[test]
+    fn spmv_cold_then_warm_with_bitwise_identical_results() {
+        let cache = PlanCache::new();
+        let ctx = ExecCtx::serial().fast_kernels(true);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &grid2d_5pt(9, 9));
+        let n = 81;
+        let cold = cache.spmv_engine(&a, &ctx).unwrap();
+        assert_eq!(cache.stats(), CacheStats {
+            hits: 0,
+            misses: 1,
+            spmv_entries: 1,
+            ..CacheStats::default()
+        });
+        let warm = cache.spmv_engine(&a, &ctx).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(warm.strategy(), cold.strategy());
+        assert_eq!(warm.plan_shape(), cold.plan_shape());
+        assert_eq!(warm.tier(), cold.tier());
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (mut y1, mut y2) = (vec![0.0; n], vec![0.0; n]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(
+            y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn value_perturbed_rebuild_hits_the_same_entry() {
+        // Same pattern, new numbers (a refactorization): same key, a
+        // cache hit, and the warm engine re-certifies for the new
+        // operand instance (the cached certificate cannot cover it).
+        let cache = PlanCache::new();
+        let ctx = ExecCtx::serial().fast_kernels(true);
+        let t = grid2d_5pt(8, 8);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let mut t2 = bernoulli_formats::Triplets::new(8 * 8, 8 * 8);
+        for &(r, c, v) in t.canonicalize().entries() {
+            t2.push(r, c, v * 3.5 - 1.0);
+        }
+        let b = SparseMatrix::from_triplets(FormatKind::Csr, &t2);
+        let cold = cache.spmv_engine(&a, &ctx).unwrap();
+        let warm = cache.spmv_engine(&b, &ctx).unwrap();
+        assert_eq!(cache.stats().hits, 1, "value perturbation must not change the key");
+        assert_eq!(warm.tier(), cold.tier());
+        // And the refreshed certificate binds b, so a third call still
+        // hits and still runs fast.
+        let again = cache.spmv_engine(&b, &ctx).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(again.tier(), "fast");
+    }
+
+    #[test]
+    fn sptrsv_and_symgs_schedules_cached_and_replayed() {
+        let cache = PlanCache::new();
+        let ctx = par_ctx();
+        let t = grid3d_7pt(5, 5, 5);
+        let full = Csr::from_triplets(&t);
+        // Lower triangle of the grid operator.
+        let mut lt = bernoulli_formats::Triplets::new(full.nrows(), full.ncols());
+        for &(r, c, v) in t.canonicalize().entries() {
+            if c <= r {
+                lt.push(r, c, if c == r { 4.0 } else { v });
+            }
+        }
+        let l = Csr::from_triplets(&lt);
+        let op = TriangularOp::Lower { unit_diag: false };
+
+        let cold = cache.sptrsv_engine(&l, op, &ctx).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        assert_eq!(cache.stats().sptrsv_entries, 1);
+        let warm = cache.sptrsv_engine(&l, op, &ctx).unwrap();
+        assert_eq!(warm.strategy(), Strategy::Parallel, "downgrade: {}", warm.downgrade());
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 1) % 13) as f64 - 6.0).collect();
+        let (mut x1, mut x2) = (vec![0.0; n], vec![0.0; n]);
+        cold.run(&l, &b, &mut x1).unwrap();
+        warm.run(&l, &b, &mut x2).unwrap();
+        assert_eq!(
+            x1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let gs_cold = cache.symgs_engine(&full, &ctx).unwrap();
+        assert_eq!(cache.stats().symgs_entries, 1);
+        let gs_warm = cache.symgs_engine(&full, &ctx).unwrap();
+        assert_eq!(gs_warm.strategy(), gs_cold.strategy());
+        let (mut z1, mut z2) = (vec![0.0; n], vec![0.0; n]);
+        gs_cold.apply_ssor(&full, 1.1, &b, &mut z1).unwrap();
+        gs_warm.apply_ssor(&full, 1.1, &b, &mut z2).unwrap();
+        assert_eq!(
+            z1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            z2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transposed_scatter_bypasses_the_cache() {
+        let cache = PlanCache::new();
+        let l = Csr::from_triplets(&{
+            let mut t = bernoulli_formats::Triplets::new(6, 6);
+            for i in 0..6 {
+                t.push(i, i, 2.0);
+                if i > 0 {
+                    t.push(i, i - 1, 1.0);
+                }
+            }
+            t
+        });
+        let op = TriangularOp::LowerTransposed { unit_diag: false };
+        cache.sptrsv_engine(&l, op, &par_ctx()).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 0, "uncacheable ops never touch the counters");
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_entries_and_schema_bump_invalidates() {
+        let cache = PlanCache::new();
+        let ctx = ExecCtx::serial().fast_kernels(true);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &grid2d_5pt(7, 7));
+        let full = Csr::from_triplets(&grid3d_7pt(4, 4, 4));
+        cache.spmv_engine(&a, &ctx).unwrap();
+        cache.symgs_engine(&full, &par_ctx()).unwrap();
+        let json = cache.to_json();
+        assert!(json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        let s = reloaded.stats();
+        assert_eq!((s.spmv_entries, s.symgs_entries), (1, 1));
+        // Deterministic serialization: a reload serializes identically.
+        assert_eq!(reloaded.to_json(), json);
+        // The reloaded cache actually serves warm compiles.
+        let warm = reloaded.spmv_engine(&a, &ctx).unwrap();
+        assert_eq!(reloaded.stats().hits, 1);
+        assert_eq!(warm.tier(), "fast", "reload re-certifies through the sanitizer");
+
+        // Schema bump = wholesale invalidation.
+        let bumped = json.replace("bernoulli.plancache/v1", "bernoulli.plancache/v0");
+        assert!(PlanCache::from_json(&bumped).unwrap_err().starts_with("schema mismatch"));
+        // Malformed document is an error, not silently cold.
+        assert!(PlanCache::from_json("{\"schema\":").is_err());
+    }
+
+    #[test]
+    fn load_treats_missing_file_and_stale_schema_as_cold() {
+        let dir = std::env::temp_dir().join("bernoulli_tune_test_cache");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("missing.json");
+        let _ = std::fs::remove_file(&path);
+        assert!(PlanCache::load(&path).unwrap().is_empty());
+
+        let stale = dir.join("stale.json");
+        std::fs::write(&stale, "{\"schema\":\"bernoulli.plancache/v999\",\"spmv\":[]}").unwrap();
+        assert!(PlanCache::load(&stale).unwrap().is_empty());
+
+        let broken = dir.join("broken.json");
+        std::fs::write(&broken, "{not json").unwrap();
+        assert!(PlanCache::load(&broken).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

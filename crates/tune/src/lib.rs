@@ -1,0 +1,47 @@
+//! # bernoulli-tune
+//!
+//! Structure-keyed plan/strategy caching with measured calibration —
+//! the amortization layer the paper's premise calls for: analyzing
+//! sparsity structure and choosing data structures and schedules is
+//! the expensive part, so do it **once per structure** and replay it
+//! over the millions of solves a long-lived service performs against
+//! a small population of structures (ROADMAP item 2; SpComp pushes the
+//! same idea to per-structure compilation).
+//!
+//! Three pieces:
+//!
+//! * [`key`] — a stable [`StructureKey`]: an FNV-1a
+//!   digest of the *structure* of a matrix (format tag, dimensions,
+//!   nnz, the [`MatrixStats`](bernoulli_formats::stats::MatrixStats)
+//!   profile, and the canonical nonzero pattern — **values excluded**,
+//!   so refactorizations with new numbers hit the same cache line).
+//! * [`cache`] — the [`PlanCache`]: per-key records
+//!   of planner verdicts (strategy tier, plan shape, fast-tier
+//!   eligibility) and wavefront level schedules for SpTRSV/SymGS. A
+//!   hit skips the planner search, the race-gate re-derivation and
+//!   schedule *construction* — never verification: fast-tier
+//!   certificates are re-validated through `covers()` (or re-issued by
+//!   the sanitizer) against the operand actually handed in, and cached
+//!   schedules pass the independent BA4x verifier before the parallel
+//!   tier is granted. A cache entry can therefore mis-*tier* a
+//!   confused operand at worst; it can never mis-compute. The cache
+//!   persists to versioned JSON (`bernoulli.plancache/v1`); a schema
+//!   bump invalidates the file wholesale.
+//! * [`calibrate`] — measured calibration: micro-benchmark the
+//!   candidate tiers on the actual operand (kease's `kernel_tuner`
+//!   move) and record the static cost-model estimate *next to* the
+//!   measurement through the obs `calibrations` stream, so the model
+//!   is auditable — and overridable — per structure.
+//!
+//! This crate is the workspace's only sanctioned filesystem writer
+//! outside `formats::io` (enforced by `scripts/ci.sh`): everything
+//! else computes; this crate remembers.
+
+pub mod cache;
+pub mod calibrate;
+mod jsonio;
+pub mod key;
+
+pub use cache::{CacheStats, PlanCache, SCHEMA};
+pub use calibrate::{calibrate_spmv, CalibrationOutcome, Measurement};
+pub use key::{structure_key, structure_key_csr, StructureKey};

@@ -1,0 +1,214 @@
+//! The plan-cache driver: cold plan + calibrate + persist, then reload
+//! and replay warm — the SpComp "compile once per structure" loop as a
+//! runnable demo and CI gate.
+//!
+//! ```text
+//! cargo run --release --example plancache [CACHE.json [PROFILE.json]]
+//! ```
+//!
+//! Phase 1 (cold) compiles SpMV/SpTRSV/SymGS engines against fresh
+//! structures, calibrates the SpMV candidates on the live operand, and
+//! saves the cache. Phase 2 simulates a process restart: it reloads
+//! the cache from disk, regenerates the same matrices, and demands
+//! that every compile is a warm hit replaying the persisted verdicts.
+//! The obs report must validate under `bernoulli.profile/v1` with a
+//! non-empty `calibrations` stream in which every record carries both
+//! the cost-model estimate and the on-operand measurement. Exits
+//! nonzero on any failed expectation; `scripts/ci.sh` runs this as the
+//! calibration smoke gate.
+
+use bernoulli_formats::{gen, Csr, ExecCtx, FormatKind, SparseMatrix, Triplets};
+use bernoulli_obs::Obs;
+use bernoulli_tune::{structure_key, PlanCache, SCHEMA};
+use bernoulli::TriangularOp;
+use std::time::Instant;
+
+fn fail(code: i32, msg: &str) -> ! {
+    eprintln!("plancache: {msg}");
+    std::process::exit(code);
+}
+
+fn lower_triangle(t: &Triplets) -> Csr {
+    let mut lt = Triplets::new(t.nrows(), t.ncols());
+    for &(r, c, v) in t.canonicalize().entries() {
+        if c < r {
+            lt.push(r, c, v);
+        } else if c == r {
+            lt.push(r, c, 4.0);
+        }
+    }
+    Csr::from_triplets(&lt)
+}
+
+fn main() {
+    let cache_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join("bernoulli_plancache_example.json")
+                .to_string_lossy()
+                .into_owned()
+        });
+    let _ = std::fs::remove_file(&cache_path);
+
+    let obs = Obs::enabled();
+    let serial = ExecCtx::serial().fast_kernels(true).instrument(obs.clone());
+    let par = ExecCtx::with_threads(2)
+        .oversubscribe(true)
+        .threshold(1)
+        .instrument(obs.clone());
+
+    let spmv_t = gen::grid2d_9pt(30, 30);
+    let tri_t = gen::grid3d_7pt(8, 8, 8);
+
+    // ---- Phase 1: cold. Full planner search, wavefront analysis,
+    // calibration — then persist the verdicts.
+    let cache = PlanCache::new();
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &spmv_t);
+    let l = lower_triangle(&tri_t);
+    let sym = Csr::from_triplets(&tri_t);
+    let op = TriangularOp::Lower { unit_diag: false };
+
+    let t0 = Instant::now();
+    let cold_spmv = cache.spmv_engine(&a, &serial).unwrap_or_else(|e| {
+        fail(2, &format!("cold spmv compile failed: {e}"));
+    });
+    cache
+        .sptrsv_engine(&l, op, &par)
+        .unwrap_or_else(|e| fail(2, &format!("cold sptrsv compile failed: {e}")));
+    cache
+        .symgs_engine(&sym, &par)
+        .unwrap_or_else(|e| fail(2, &format!("cold symgs compile failed: {e}")));
+    let outcome = cache
+        .calibrate_spmv(&a, &serial, 5)
+        .unwrap_or_else(|e| fail(2, &format!("calibration failed: {e}")));
+    let cold_ns = t0.elapsed().as_nanos();
+
+    println!(
+        "cold: spmv tier={} strategy={:?}; calibration on {} chose {:?}",
+        cold_spmv.tier(),
+        cold_spmv.strategy(),
+        outcome.structure,
+        outcome.chosen,
+    );
+    for m in &outcome.measurements {
+        println!(
+            "  candidate {:<12} est_cost={:<10.1} measured_ns={:<9} reps={}{}",
+            m.candidate,
+            m.est_cost,
+            m.measured_ns,
+            m.reps,
+            if m.candidate == outcome.chosen { "  <- chosen" } else { "" },
+        );
+    }
+
+    if let Err(e) = cache.save(&cache_path) {
+        fail(3, &format!("cannot write {cache_path}: {e}"));
+    }
+
+    // ---- Phase 2: restart. Reload the cache, regenerate the operands
+    // from scratch, and replay warm.
+    let reloaded = match PlanCache::load(&cache_path) {
+        Ok(c) => c,
+        Err(e) => fail(3, &format!("cannot reload {cache_path}: {e}")),
+    };
+    if reloaded.is_empty() {
+        fail(4, "reloaded cache is empty — schema or persistence regression");
+    }
+    let a2 = SparseMatrix::from_triplets(FormatKind::Csr, &gen::grid2d_9pt(30, 30));
+    let l2 = lower_triangle(&gen::grid3d_7pt(8, 8, 8));
+    let sym2 = Csr::from_triplets(&gen::grid3d_7pt(8, 8, 8));
+
+    let t1 = Instant::now();
+    let warm_spmv = reloaded
+        .spmv_engine(&a2, &serial)
+        .unwrap_or_else(|e| fail(2, &format!("warm spmv compile failed: {e}")));
+    let warm_tri = reloaded
+        .sptrsv_engine(&l2, op, &par)
+        .unwrap_or_else(|e| fail(2, &format!("warm sptrsv compile failed: {e}")));
+    let warm_gs = reloaded
+        .symgs_engine(&sym2, &par)
+        .unwrap_or_else(|e| fail(2, &format!("warm symgs compile failed: {e}")));
+    let warm_ns = t1.elapsed().as_nanos();
+
+    let stats = reloaded.stats();
+    if stats.hits != 3 || stats.misses != 0 {
+        fail(
+            4,
+            &format!(
+                "expected 3 warm hits and 0 misses after reload, got {} hits {} misses",
+                stats.hits, stats.misses
+            ),
+        );
+    }
+    if reloaded.calibrated_choice(outcome.structure).as_deref() != Some(outcome.chosen.as_str()) {
+        fail(4, "calibrated winner did not survive persistence");
+    }
+
+    // The warm engines actually compute: one application each, checked
+    // against the straight-off-the-triplets reference.
+    let n = a2.nrows();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let mut y = vec![0.0; n];
+    warm_spmv.run(&a2, &x, &mut y).unwrap_or_else(|e| fail(2, &format!("warm spmv run: {e}")));
+    let mut want = vec![0.0; n];
+    gen::grid2d_9pt(30, 30).matvec_acc(&x, &mut want);
+    if y.iter().zip(&want).any(|(p, q)| (p - q).abs() > 1e-9) {
+        fail(4, "warm spmv replay diverged from the reference matvec");
+    }
+    let nt = l2.nrows();
+    let b: Vec<f64> = (0..nt).map(|i| ((i * 5 + 2) % 11) as f64 - 5.0).collect();
+    let mut xs = vec![0.0; nt];
+    warm_tri.run(&l2, &b, &mut xs).unwrap_or_else(|e| fail(2, &format!("warm sptrsv run: {e}")));
+    let mut zs = vec![0.0; nt];
+    warm_gs
+        .apply_ssor(&sym2, 1.0, &b, &mut zs)
+        .unwrap_or_else(|e| fail(2, &format!("warm symgs run: {e}")));
+
+    // ---- Report gate: bernoulli.profile/v1 with a live calibrations
+    // stream whose every record carries estimate AND measurement.
+    let report = obs.report();
+    if let Err(e) = report.validate() {
+        fail(2, &format!("report failed validation: {e}"));
+    }
+    if report.calibrations.is_empty() {
+        fail(4, "calibrations stream is empty");
+    }
+    for c in &report.calibrations {
+        if !(c.est_cost.is_finite() && c.est_cost > 0.0) || c.measured_ns == 0 || c.reps == 0 {
+            fail(4, &format!("calibration record missing estimate or measurement: {c:?}"));
+        }
+    }
+    if report.calibrations.iter().filter(|c| c.chosen).count() != 1 {
+        fail(4, "exactly one calibration candidate must be chosen");
+    }
+    if report.plans.is_empty() || report.strategies.is_empty() {
+        fail(4, "cold compiles must leave plan provenance in the report");
+    }
+    if structure_key(&a2) != outcome.structure {
+        fail(4, "regenerated operand keys differently — structure hash instability");
+    }
+
+    let json = report.to_json();
+    if let Some(path) = std::env::args().nth(2) {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            fail(3, &format!("cannot write {path}: {e}"));
+        }
+    }
+    let _ = std::fs::remove_file(&cache_path);
+    eprintln!(
+        "plancache: schema {SCHEMA}; cold plan+calibrate {:.2} ms, warm replay {:.3} ms \
+         ({} entries: {} spmv, {} sptrsv, {} symgs); warm tiers: spmv={} sptrsv={:?} symgs={:?}; \
+         {} calibration records",
+        cold_ns as f64 / 1e6,
+        warm_ns as f64 / 1e6,
+        stats.entries(),
+        stats.spmv_entries,
+        stats.sptrsv_entries,
+        stats.symgs_entries,
+        warm_spmv.tier(),
+        warm_tri.strategy(),
+        warm_gs.strategy(),
+        report.calibrations.len(),
+    );
+}

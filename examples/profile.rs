@@ -7,11 +7,12 @@
 //!
 //! Prints the `bernoulli.profile/v1` report to stdout (and to
 //! `OUT.json` when given). Exits nonzero if the report fails
-//! structural validation or any of the six streams — plan provenance,
-//! strategy decisions, kernel counters, SPMD traffic, solver traces,
-//! spans — came back empty; `scripts/ci.sh` runs this as its schema
-//! gate, so a stream going silent fails CI rather than silently
-//! producing undiffable profiles.
+//! structural validation or any of the seven streams — plan
+//! provenance, strategy decisions, kernel counters, SPMD traffic,
+//! solver traces, calibration measurements, spans — came back empty;
+//! `scripts/ci.sh` runs this as its schema gate, so a stream going
+//! silent fails CI rather than silently producing undiffable
+//! profiles.
 
 use bernoulli::engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
 use bernoulli_formats::{gen, Csr, ExecCtx, FormatKind, SparseMatrix};
@@ -143,6 +144,11 @@ fn main() {
         (res.iters, res.converged)
     });
 
+    // Calibration measurements: time the SpMV candidate tiers on the
+    // grid operand, recording the cost model's estimate next to each
+    // measurement (the tune crate's calibration mode).
+    bernoulli_tune::calibrate_spmv(&a_csr, &serial_obs, 3).expect("calibration");
+
     let report = obs.report();
     if let Err(e) = report.validate_complete() {
         eprintln!("profile: report failed validation: {e}");
@@ -156,13 +162,14 @@ fn main() {
         }
     }
     eprintln!(
-        "profile: {} plans, {} strategies, {} kernels, {} traffic phases, {} solver traces \
-         (cg {} iters conv={}, gmres {} matvecs conv={})",
+        "profile: {} plans, {} strategies, {} kernels, {} traffic phases, {} solver traces, \
+         {} calibrations (cg {} iters conv={}, gmres {} matvecs conv={})",
         report.plans.len(),
         report.strategies.len(),
         report.kernels.len(),
         report.traffic.len(),
         report.solvers.len(),
+        report.calibrations.len(),
         cg_res.iters,
         cg_res.converged,
         gm_res.iters,

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_plancache.json (structure-keyed plan cache: cold
+# first-encounter plan+certify+calibrate latency vs warm cache replay)
+# at the repository root.
+#
+# Interpreting the output: `speedup` is cold_s / warm_s for one
+# SpMV + SpTRSV + SymGS compile set. Cold pays the planner search, the
+# wavefront longest-path construction, certification and the
+# on-operand calibration measurement; warm replays the persisted
+# verdicts through every soundness gate (certificate re-validation,
+# independent schedule re-verification) with planning and measurement
+# skipped. The acceptance floor is 10x.
+#
+# `--smoke` runs shrunken operands and writes
+# BENCH_plancache_smoke.json instead (CI exercises the harness without
+# perturbing the committed full-run numbers).
+set -eu
+cd "$(dirname "$0")/.."
+cargo bench -p bernoulli-bench --bench plancache -- "$@"
+if [ "${1:-}" = "--smoke" ]; then
+    echo "BENCH_plancache_smoke.json:"
+    cat BENCH_plancache_smoke.json
+else
+    echo "BENCH_plancache.json:"
+    cat BENCH_plancache.json
+fi

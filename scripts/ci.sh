@@ -70,6 +70,37 @@ cargo run --release --example graph > /dev/null
 # catches a schema-identifier drift the driver itself can't see.
 cargo run --release --example profile PROFILE.json > /dev/null
 grep -q '"schema":"bernoulli.profile/v1"' PROFILE.json
-for stream in plans strategies kernels traffic solvers spans; do
+for stream in plans strategies kernels traffic solvers calibrations spans; do
   grep -q "\"$stream\":" PROFILE.json
 done
+# Plan-cache gates (bernoulli-tune). Lints, the structure-key /
+# persistence / warm-bitwise test suite, then the calibration smoke:
+# the example exits nonzero unless the reloaded cache replays every
+# compile warm, results match the uncached reference, and the report
+# validates — the greps additionally pin that its emitted profile
+# carries a non-empty calibrations stream in which estimate and
+# measurement travel together.
+cargo clippy -p bernoulli-tune --all-targets -- -D warnings
+cargo test -q -p bernoulli-tune --lib
+cargo test -q --test plancache
+cargo run --release --example plancache PLANCACHE.json PLANCACHE_PROFILE.json > /dev/null
+grep -q '"schema":"bernoulli.profile/v1"' PLANCACHE_PROFILE.json
+grep -q '"calibrations":\[{' PLANCACHE_PROFILE.json
+grep -q '"est_cost":' PLANCACHE_PROFILE.json
+grep -q '"measured_ns":' PLANCACHE_PROFILE.json
+# Persisted-cache schema gate: the on-disk format must carry the
+# versioned tag the loader invalidates on.
+grep -rqn 'bernoulli\.plancache/v1' crates/tune/src/cache.rs
+# Filesystem-confinement gate: the tune crate persists plans and the
+# bench harnesses write BENCH_*.json; everything else in the crates
+# computes. A new fs-write call site anywhere else is a regression
+# (state belongs in the cache or in an artifact the scripts own).
+if grep -rn "fs::write\|File::create\|OpenOptions\|create_dir" crates/ --include='*.rs' \
+  | grep -v "^crates/tune/src/" \
+  | grep -v "^crates/bench/benches/"; then
+  echo "ERROR: filesystem write outside crates/tune and the bench harnesses" >&2
+  exit 1
+fi
+# …and a smoke run of the cold-vs-warm harness (writes the gitignored
+# BENCH_plancache_smoke.json, leaving the committed full run untouched).
+scripts/bench_plancache.sh --smoke > /dev/null

@@ -271,3 +271,65 @@ fn lane_remainders_and_extremes_bitwise() {
         }
     }
 }
+
+/// Regression: a certificate must never transfer to a *never-validated*
+/// matrix that the allocator placed at the recycled address of the
+/// certified one. The original fingerprint was address + length only,
+/// so dropping a certified matrix and immediately building a same-shape
+/// corrupt one could produce a spurious `covers()` pass — and with it a
+/// wildly out-of-bounds unchecked gather. This loop hunts for exactly
+/// that allocator collision (building the replacement's arrays in the
+/// reverse of the drop's free order, so size-class LIFO caching hands
+/// back the same chunks) and asserts the content hash refuses every
+/// one.
+#[test]
+fn stale_certificate_never_survives_reallocation() {
+    const N: usize = 64;
+    let mut address_reuses = 0usize;
+    let mut trials = 0usize;
+    while trials < 4096 && address_reuses < 4 {
+        trials += 1;
+        // A clean diagonal matrix from exact-capacity arrays.
+        let rowptr: Vec<usize> = (0..=N).collect();
+        let colind: Vec<usize> = (0..N).collect();
+        let vals = vec![1.0f64; N];
+        let good = Csr::from_raw_unchecked(N, N, rowptr, colind, vals);
+        let cert = CsrCert::certify(&good).unwrap();
+        assert!(cert.covers(&good));
+        let old = (
+            good.rowptr().as_ptr() as usize,
+            good.colind().as_ptr() as usize,
+            good.vals().as_ptr() as usize,
+        );
+        drop(good);
+
+        // Same dimensions, same array lengths, never validated — and
+        // holding a column index far out of bounds, exactly what the
+        // fast tier's unchecked gather must never be allowed to see.
+        // Arrays are allocated in reverse field order (vals, colind,
+        // rowptr) to mirror the drop's free order.
+        let vals = vec![2.0f64; N];
+        let mut colind: Vec<usize> = (0..N).collect();
+        colind[trials % N] = N + 9999;
+        let rowptr: Vec<usize> = (0..=N).collect();
+        let bad = Csr::from_raw_unchecked(N, N, rowptr, colind, vals);
+        let new = (
+            bad.rowptr().as_ptr() as usize,
+            bad.colind().as_ptr() as usize,
+            bad.vals().as_ptr() as usize,
+        );
+        if new == old {
+            // Address + length + dimensions all match: the pre-fix
+            // fingerprint would have accepted this corrupt matrix.
+            address_reuses += 1;
+        }
+        assert!(
+            !cert.covers(&bad),
+            "stale certificate accepted a never-validated matrix (trial {trials})"
+        );
+    }
+    assert!(
+        address_reuses > 0,
+        "allocator never recycled the address in {trials} trials; the test exercised nothing"
+    );
+}

@@ -11,7 +11,8 @@ use bernoulli::engines::{SpmmEngine, SpmvEngine, SpmvMultiEngine};
 use bernoulli::ExecCtx;
 use bernoulli_formats::{gen, Csr, FormatKind, SparseMatrix, Triplets};
 use bernoulli_obs::events::{
-    KernelCounters, PlanEvent, SolverTrace, StrategyEvent, TrafficEvent, TrafficSample,
+    CalibrationEvent, KernelCounters, PlanEvent, SolverTrace, StrategyEvent, TrafficEvent,
+    TrafficSample,
 };
 use bernoulli_obs::report::{Report, SCHEMA};
 use bernoulli_obs::Obs;
@@ -93,7 +94,8 @@ fn json_schema_golden() {
         Report::empty().to_json(),
         format!(
             "{{\"schema\":\"{SCHEMA}\",\"counters\":{{}},\"spans\":[],\"plans\":[],\
-             \"strategies\":[],\"kernels\":[],\"traffic\":[],\"solvers\":[]}}"
+             \"strategies\":[],\"kernels\":[],\"traffic\":[],\"solvers\":[],\
+             \"calibrations\":[]}}"
         )
     );
 
@@ -145,6 +147,15 @@ fn json_schema_golden() {
         final_residual: 0.25,
         residuals: vec![1.0, 0.5, 0.25],
     });
+    obs.calibration(|| CalibrationEvent {
+        op: "spmv".into(),
+        structure: "00ff00ff00ff00ff".into(),
+        candidate: "fast".into(),
+        est_cost: 640.0,
+        measured_ns: 2048,
+        reps: 16,
+        chosen: true,
+    });
     let report = obs.report();
     report.validate_complete().unwrap();
     assert_eq!(
@@ -170,7 +181,10 @@ fn json_schema_golden() {
          \"total\":{\"msgs_sent\":6,\"bytes_sent\":192,\"barriers\":2,\"allreduces\":8,\
          \"alltoalls\":0}}],\
          \"solvers\":[{\"solver\":\"cg\",\"n\":64,\"iters\":2,\"converged\":true,\
-         \"final_residual\":0.25,\"residuals\":[1.0,0.5,0.25]}]}"
+         \"final_residual\":0.25,\"residuals\":[1.0,0.5,0.25]}],\
+         \"calibrations\":[{\"op\":\"spmv\",\"structure\":\"00ff00ff00ff00ff\",\
+         \"candidate\":\"fast\",\"est_cost\":640.0,\"measured_ns\":2048,\"reps\":16,\
+         \"chosen\":true}]}"
     );
 }
 
@@ -273,8 +287,9 @@ fn ctx_path_is_bitwise_identical_to_pre_refactor_goldens() {
 #[test]
 fn one_handle_collects_every_stream() {
     // Compact version of examples/profile.rs: a single shared handle
-    // wired through planner, engines, SPMD machine and solvers ends up
-    // with all six streams populated and a valid report.
+    // wired through planner, engines, SPMD machine, solvers and the
+    // tune crate's calibration mode ends up with all seven streams
+    // populated and a valid report.
     let obs = Obs::enabled();
     let t = gen::grid2d_5pt(10, 10);
     let n = t.nrows();
@@ -301,9 +316,12 @@ fn one_handle_collects_every_stream() {
         ctx.all_reduce_sum(ctx.rank() as f64)
     });
 
+    bernoulli_tune::calibrate_spmv(&a, &ctx, 2).unwrap();
+
     let report = obs.report();
     report.validate_complete().unwrap();
     assert_eq!(report.plans.len(), 3);
+    assert!(!report.calibrations.is_empty());
     assert_eq!(report.strategies.len(), 3);
     assert!(report.kernels.contains_key("spmv_csr"));
     assert_eq!(report.traffic[0].phase, "allreduce");
