@@ -1,0 +1,158 @@
+//! Dispatcher overhead: the uniform `submit` front door vs direct
+//! warm-cache engine calls.
+//!
+//! Not a criterion bench: the deliverable is a machine-readable
+//! `BENCH_dispatch.json` at the repository root pinning the relative
+//! overhead of routing a mixed op stream through the
+//! [`Dispatcher`](bernoulli_tune::Dispatcher) registry instead of
+//! hand-calling the plan cache and engines.
+//!
+//! Both sides run the *identical* warm workload per iteration — one
+//! SpMV, one lower SpTRSV and one SymGS application, each compiled
+//! through a pre-seeded [`PlanCache`] (structure hash + hint replay +
+//! re-verification) and run into a fresh result buffer. The dispatcher
+//! side adds only its own bookkeeping: id indexing, the `OpSpec`
+//! match, result allocation and the per-op latency span. That
+//! bookkeeping is what the number pins: `overhead = dispatch_s /
+//! direct_s - 1`, min-of-reps over `iters`-request batches.
+//!
+//! The full run asserts overhead <= 2% (the acceptance bar); `--smoke`
+//! shrinks operands and reps for CI, asserts a looser 15% (tiny
+//! batches on a loaded CI box are noisy), and writes
+//! `BENCH_dispatch_smoke.json` instead, leaving the committed full-run
+//! numbers untouched.
+
+use bernoulli::pipeline::OpSpec;
+use bernoulli::TriangularOp;
+use bernoulli_formats::gen::{grid2d_9pt, grid3d_7pt};
+use bernoulli_formats::{Csr, ExecCtx, FormatKind, SparseMatrix, Triplets};
+use bernoulli_tune::{Dispatcher, PlanCache};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn lower_triangle(t: &Triplets) -> Triplets {
+    let mut lt = Triplets::new(t.nrows(), t.ncols());
+    for &(r, c, v) in t.canonicalize().entries() {
+        if c < r {
+            lt.push(r, c, v);
+        } else if c == r {
+            lt.push(r, c, 4.0);
+        }
+    }
+    lt
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (d2, d3, iters, reps, bar) =
+        if smoke { (12usize, 6usize, 40usize, 3usize, 0.15) } else { (40, 16, 200, 9, 0.02) };
+
+    let spmv_t = grid2d_9pt(d2, d2);
+    let tri_full = grid3d_7pt(d3, d3, d3);
+    let tri_t = lower_triangle(&tri_full);
+    let ctx = ExecCtx::with_threads(2).oversubscribe(true).threshold(1).fast_kernels(true);
+    let op = TriangularOp::Lower { unit_diag: false };
+    let lower = OpSpec::Sptrsv { op };
+
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &spmv_t);
+    let l = Csr::from_triplets(&tri_t);
+    let sym = Csr::from_triplets(&tri_full);
+    let n = a.nrows();
+    let nt = l.nrows();
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    let b: Vec<f64> = (0..nt).map(|i| ((i * 5 + 2) % 11) as f64 - 5.0).collect();
+
+    // ---- Direct side: hand-held plan cache, warm after one seed pass.
+    let cache = PlanCache::new();
+    cache.spmv_engine(&a, &ctx).expect("seed spmv");
+    cache.sptrsv_engine(&l, op, &ctx).expect("seed sptrsv");
+    cache.symgs_engine(&sym, &ctx).expect("seed symgs");
+    let direct_batch = || {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let e = cache.spmv_engine(&a, &ctx).expect("warm spmv");
+            let mut y = vec![0.0; n];
+            e.run(&a, &x, &mut y).expect("spmv run");
+            black_box(y);
+            let e = cache.sptrsv_engine(&l, op, &ctx).expect("warm sptrsv");
+            let mut xs = vec![0.0; nt];
+            e.run(&l, &b, &mut xs).expect("sptrsv run");
+            black_box(xs);
+            let e = cache.symgs_engine(&sym, &ctx).expect("warm symgs");
+            let mut z = vec![0.0; nt];
+            e.apply_ssor(&sym, 1.0, &b, &mut z).expect("symgs run");
+            black_box(z);
+        }
+        t0.elapsed().as_secs_f64()
+    };
+
+    // ---- Dispatcher side: same ctx, same warm workload through
+    // `submit`.
+    let mut d = Dispatcher::new(ctx.clone());
+    let ma = d.register(&spmv_t);
+    let ml = d.register(&tri_t);
+    let ms = d.register(&tri_full);
+    black_box(d.submit(ma, OpSpec::Spmv, &x).expect("seed spmv"));
+    black_box(d.submit(ml, lower, &b).expect("seed sptrsv"));
+    black_box(d.submit(ms, OpSpec::Symgs, &b).expect("seed symgs"));
+
+    // Interleave the two sides across reps so drift (thermal, page
+    // cache) hits both equally; keep the minimum of each.
+    let mut direct_s = f64::INFINITY;
+    let mut dispatch_s = f64::INFINITY;
+    direct_batch(); // warm-up
+    for _ in 0..reps {
+        direct_s = direct_s.min(direct_batch());
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(d.submit(ma, OpSpec::Spmv, &x).expect("spmv"));
+            black_box(d.submit(ml, lower, &b).expect("sptrsv"));
+            black_box(d.submit(ms, OpSpec::Symgs, &b).expect("symgs"));
+        }
+        dispatch_s = dispatch_s.min(t0.elapsed().as_secs_f64());
+    }
+
+    let stats = d.stats();
+    assert_eq!(stats.cache.misses, 3, "one cold pass seeds the dispatcher cache");
+    let overhead = dispatch_s / direct_s - 1.0;
+    let spmv_nnz = spmv_t.canonicalize().entries().len();
+    eprintln!(
+        "dispatch: direct {:.3} ms, dispatcher {:.3} ms per {iters}-request batch -> {:+.2}% \
+         overhead (spmv {d2}x{d2} 9pt nnz={spmv_nnz}; trisolve/symgs {d3}^3 7pt nnz={})",
+        direct_s * 1e3,
+        dispatch_s * 1e3,
+        overhead * 100.0,
+        sym.nnz(),
+    );
+    assert!(
+        overhead <= bar,
+        "dispatcher overhead {:.2}% exceeds the {:.0}% bar",
+        overhead * 100.0,
+        bar * 100.0
+    );
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"dispatch_overhead\",").unwrap();
+    writeln!(json, "  \"spmv_matrix\": \"grid2d_9pt({d2},{d2})\",").unwrap();
+    writeln!(json, "  \"spmv_nnz\": {spmv_nnz},").unwrap();
+    writeln!(json, "  \"tri_matrix\": \"grid3d_7pt({d3},{d3},{d3})\",").unwrap();
+    writeln!(json, "  \"tri_nnz\": {},", sym.nnz()).unwrap();
+    writeln!(json, "  \"iters_per_batch\": {iters},").unwrap();
+    writeln!(json, "  \"reps\": {reps},").unwrap();
+    writeln!(json, "  \"note\": \"both sides run the identical warm workload (SpMV + SpTRSV + SymGS, compiled through a seeded PlanCache, fresh result buffers); the dispatcher side adds registry indexing, the OpSpec match and the per-op latency span. overhead = dispatch_s / direct_s - 1, min-of-reps batch seconds.\",").unwrap();
+    writeln!(json, "  \"direct_s\": {direct_s:.6e},").unwrap();
+    writeln!(json, "  \"dispatch_s\": {dispatch_s:.6e},").unwrap();
+    writeln!(json, "  \"overhead_frac\": {overhead:.4},").unwrap();
+    writeln!(json, "  \"bar_frac\": {bar:.4}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    let out = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json")
+    };
+    std::fs::write(out, &json).expect("write BENCH_dispatch.json");
+    eprintln!("wrote {out}");
+}

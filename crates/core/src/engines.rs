@@ -1,5 +1,4 @@
-//! Executable engines for the paper's kernels, with plan-shape-directed
-//! specialisation.
+//! DO-ANY engine facades over the unified compilation core.
 //!
 //! The Bernoulli compiler emitted C tuned to each format; a library
 //! cannot JIT, so the equivalent is **monomorphised kernels selected by
@@ -11,59 +10,40 @@
 //! is never *wrong*, only occasionally slower. The dispatch-hoisting
 //! ablation bench quantifies the difference.
 //!
+//! Since the pipeline unification, every type here is a thin typed
+//! facade over [`crate::pipeline::CompiledOp`]: compilation — the gate
+//! chain, the obs `strategies` record, the structure-cache hint seam —
+//! lives once in [`crate::pipeline`], and the facades contribute only
+//! their op's [`OpSpec`] and a typed `run` signature. The facades are
+//! kept for source compatibility and ergonomics; new code (and
+//! anything dispatching heterogeneous ops, like the `bernoulli-tune`
+//! `Dispatcher`) should target [`crate::pipeline::compile`] directly.
+//! Results are bitwise-identical to the pre-unification engines on
+//! every tier (pinned by `tests/pipeline_equivalence.rs`).
+//!
 //! Every engine has exactly two entry points: `compile(operands)` — the
 //! default serial, uninstrumented context — and
 //! `compile_in(operands, &ExecCtx)`, which reads *all* policy (threads,
 //! parallel threshold, checked mode, specialization, telemetry) from
 //! the one context object instead of growing per-capability parameter
-//! variants.
+//! variants. Engines with a structure-cache replay seam add
+//! `compile_hinted(operands, &ExecCtx, &OpHints)`.
 
-use crate::ast::{programs, LoopNest};
-use crate::compile::{CompiledKernel, Compiler};
-use bernoulli_formats::{
-    fast,
-    kernels, par_kernels, Csr, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate,
-};
-use bernoulli_obs::events::{KernelCounters, StrategyEvent};
-use bernoulli_obs::Obs;
-use bernoulli_relational::access::{MatMeta, MatrixAccess, VecMeta};
-use bernoulli_relational::error::{RelError, RelResult};
-use bernoulli_relational::exec::Bindings;
-use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, VEC_X, VEC_Y};
-use bernoulli_relational::planner::QueryMeta;
-use bernoulli_relational::semiring::{AlgebraProps, Semiring};
+use crate::ast::LoopNest;
+use crate::pipeline::{self, CompiledOp, OpHints, OpSpec, Operands};
+use bernoulli_formats::{Csr, ExecConfig, ExecCtx, SparseMatrix};
+use bernoulli_relational::error::RelResult;
+use bernoulli_relational::semiring::{AlgebraProps, F64Plus, Semiring};
 use std::marker::PhantomData;
 
-/// How a compiled engine will execute.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Strategy {
-    /// The plan matched the format's natural traversal: dispatch to the
-    /// monomorphised kernel (the "generated code" path).
-    Specialized,
-    /// The plan matched the natural traversal *and* the operand is
-    /// large enough to clear the [`ExecConfig`] work threshold:
-    /// dispatch to the shared-memory parallel kernel of
-    /// [`bernoulli_formats::par_kernels`]. Below the threshold an
-    /// engine compiles to [`Strategy::Specialized`] with the identical
-    /// plan, so small operands keep byte-identical serial behaviour.
-    Parallel,
-    /// General plan interpretation.
-    Interpreted,
-}
+pub use crate::pipeline::Strategy;
 
-impl Strategy {
-    /// The strategy's name as it appears in telemetry
-    /// ([`StrategyEvent::strategy`], validated by the report schema).
-    pub fn name(self) -> &'static str {
-        match self {
-            Strategy::Specialized => "Specialized",
-            Strategy::Parallel => "Parallel",
-            Strategy::Interpreted => "Interpreted",
-        }
-    }
-}
+/// The planning verdicts a structure-keyed plan cache stores and
+/// replays. Historical name: before the pipeline unification only SpMV
+/// had a hint seam; the unified [`OpHints`] now serves every op kind.
+pub type SpmvHints = OpHints;
 
-/// The one strategy decision every engine routes through.
+/// The one strategy decision every DO-ANY engine routes through.
 ///
 /// [`Strategy::Parallel`] requires all three gates: the plan must be
 /// specialisable (a known hand-kernel traversal), the operand must
@@ -74,252 +54,20 @@ impl Strategy {
 /// nest (say, a scatter *assignment*) is provably downgraded to
 /// [`Strategy::Specialized`] rather than run concurrently. Public so
 /// tests and downstream engines can audit the exact decision their
-/// `compile_in` makes.
+/// `compile_in` makes. Delegates to [`pipeline::do_any_decision`],
+/// which owns the gate chain.
 pub fn choose_strategy(
     nest: &LoopNest,
     specializable: bool,
     work: usize,
     exec: &ExecConfig,
 ) -> Strategy {
-    strategy_decision(nest, specializable, work, exec).strategy
-}
-
-/// A strategy decision plus the gate outcomes that produced it — what
-/// [`StrategyEvent`] telemetry reports.
-#[derive(Clone, Copy, Debug)]
-struct Decision {
-    strategy: Strategy,
-    /// Whether the race checker ran at all (only once specialisation
-    /// and the size gate both pass).
-    race_checked: bool,
-    race_safe: bool,
-    /// Why a parallel-eligible plan fell back to serial (`""` = it
-    /// didn't): `single_worker_pool` or `racy_nest`.
-    downgrade: &'static str,
-}
-
-fn strategy_decision(
-    nest: &LoopNest,
-    specializable: bool,
-    work: usize,
-    exec: &ExecConfig,
-) -> Decision {
-    strategy_decision_in(nest, specializable, work, exec, &AlgebraProps::f64_plus())
-}
-
-/// [`strategy_decision`] under an explicit scalar algebra: the race
-/// gate consults `check_do_any_in`, so a reduction nest over a
-/// non-associative-commutative ⊕ (BA06) is provably downgraded to the
-/// serial tier instead of run concurrently.
-fn strategy_decision_in(
-    nest: &LoopNest,
-    specializable: bool,
-    work: usize,
-    exec: &ExecConfig,
-    algebra: &AlgebraProps,
-) -> Decision {
-    if !specializable {
-        return Decision {
-            strategy: Strategy::Interpreted,
-            race_checked: false,
-            race_safe: false,
-            downgrade: "",
-        };
-    }
-    if !exec.should_parallelize(work) {
-        return Decision {
-            strategy: Strategy::Specialized,
-            race_checked: false,
-            race_safe: false,
-            downgrade: "",
-        };
-    }
-    // The size gate passed, so the plan *wants* to go parallel — but a
-    // pool that can only run one worker at a time (requested threads
-    // clamped to the hardware parallelism, unless oversubscription is
-    // explicitly allowed) would pay pure fork/join overhead for it.
-    // Downgrade to the serial specialized tier and say why.
-    if exec.effective_workers() <= 1 {
-        return Decision {
-            strategy: Strategy::Specialized,
-            race_checked: false,
-            race_safe: false,
-            downgrade: "single_worker_pool",
-        };
-    }
-    let safe = bernoulli_analysis::race::check_do_any_in(nest, algebra).is_parallel_safe();
-    Decision {
-        strategy: if safe { Strategy::Parallel } else { Strategy::Specialized },
-        race_checked: true,
-        race_safe: safe,
-        downgrade: if safe { "" } else { "racy_nest" },
-    }
-}
-
-/// Record one engine's compile-time decision (and bump the compile
-/// counter) through `obs`. Free on a disabled handle.
-// One positional slot per StrategyEvent field this emits; bundling
-// them into a struct would just restate the event type.
-#[allow(clippy::too_many_arguments)]
-fn record_strategy(
-    obs: &Obs,
-    op: &str,
-    algebra: &'static str,
-    d: Decision,
-    specializable: bool,
-    work: usize,
-    exec: &ExecConfig,
-    tier: &'static str,
-) {
-    obs.counter("engine.compile", 1);
-    obs.strategy(|| StrategyEvent {
-        op: op.to_string(),
-        strategy: d.strategy.name().to_string(),
-        algebra: algebra.to_string(),
-        specializable,
-        work: work as u64,
-        threshold: exec.par_threshold_nnz as u64,
-        threads: exec.threads_hint() as u64,
-        race_checked: d.race_checked,
-        race_safe: d.race_safe,
-        tier: tier.to_string(),
-        downgrade: d.downgrade.to_string(),
-        // DO-ANY engines have no level schedule; the wavefront engines
-        // (`trisolve.rs`) fill these from their certificate.
-        levels: 0,
-        max_level_width: 0,
-        mean_level_width: 0.0,
-    });
-}
-
-/// Telemetry name component for a format's specialised kernels
-/// (matches the `kernels::spmv_*` function naming).
-pub(crate) fn kind_slug(kind: FormatKind) -> &'static str {
-    match kind {
-        FormatKind::Dense => "dense",
-        FormatKind::Coordinate => "coo",
-        FormatKind::Csr => "csr",
-        FormatKind::Ccs => "ccs",
-        FormatKind::Cccs => "cccs",
-        FormatKind::Diagonal => "diag",
-        FormatKind::Itpack => "itpack",
-        FormatKind::JDiag => "jdiag",
-        FormatKind::Inode => "inode",
-    }
-}
-
-/// The SpMV counter model: every stored nonzero is one multiply-add;
-/// bytes = values + index structure read once (8-byte words each) plus
-/// `x` read and `y` read+written once.
-pub(crate) fn spmv_counters(m: &MatMeta) -> KernelCounters {
-    let nnz = m.nnz as u64;
-    KernelCounters {
-        nnz,
-        flops: 2 * nnz,
-        bytes: 8 * (2 * nnz + m.ncols as u64 + 2 * m.nrows as u64),
-        algebra: "f64_plus",
-    }
-}
-
-/// The SpMM (sparse × sparse) counter model. Exact flops would need the
-/// row-expansion sum; the estimate charges every `A` entry an average
-/// `B` row scan, and bytes charge both operands read once plus the
-/// expansion written through the accumulator.
-pub(crate) fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
-    let (an, bn) = (a.nnz as u64, b.nnz as u64);
-    let expansion = an.saturating_mul(bn) / (b.nrows.max(1) as u64);
-    KernelCounters {
-        nnz: an + bn,
-        flops: 2 * expansion,
-        bytes: 8 * 2 * (an + bn) + 16 * expansion,
-        algebra: "f64_plus",
-    }
-}
-
-/// The multivector (sparse × skinny dense) counter model: each stored
-/// nonzero does `k` multiply-adds against a dense row.
-pub(crate) fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
-    let nnz = m.nnz as u64;
-    let k = k.max(1) as u64;
-    KernelCounters {
-        nnz,
-        flops: 2 * nnz * k,
-        bytes: 8 * (2 * nnz + m.ncols as u64 * k + 2 * m.nrows as u64 * k),
-        algebra: "f64_plus",
-    }
-}
-
-/// Checked-mode operand gate: when [`ExecConfig::checked`] is set, run
-/// the format-invariant sanitizer over the operand and refuse to
-/// compile against a corrupt matrix ([`RelError::Validation`]).
-fn check_operand(name: &str, m: &SparseMatrix, exec: &ExecConfig) -> RelResult<()> {
-    if exec.checked {
-        m.validate_ok()
-            .map_err(|e| RelError::Validation(format!("operand {name}: {e}")))?;
-    }
-    Ok(())
-}
-
-/// The canonical matvec plan shape for each format orientation.
-fn natural_spmv_shape(a: &SparseMatrix) -> &'static str {
-    use bernoulli_relational::access::Orientation::*;
-    match a.meta().orientation {
-        RowMajor => "i:outer(A)>j:inner(A)[X?]",
-        ColMajor => "j:outer(A)[X?]>i:inner(A)",
-        Flat => "(i,j):flat(A)[X?]",
-    }
-}
-
-/// The planning verdicts a structure-keyed plan cache stores per
-/// structure and feeds back through [`SpmvEngine::compile_hinted`].
-/// Everything here is a cached *decision* — strategy tier, plan shape,
-/// fast-tier eligibility — never a proof: the hinted path skips the
-/// planner search and the race-gate re-derivation, but checked-mode
-/// validation still runs and the fast tier is armed only by a
-/// certificate that covers the operand actually handed in.
-#[derive(Clone, Debug)]
-pub struct SpmvHints {
-    /// The strategy the cold compile chose for this structure.
-    pub strategy: Strategy,
-    /// Plan-shape signature ([`CompiledKernel::shape`]) of the cold plan.
-    pub plan_shape: String,
-    /// Whether the cold compile certified the fast microkernel tier.
-    pub fast_eligible: bool,
-    /// In-memory tier only: the certificate from a previous compile of
-    /// the *same* matrix instance. Never persisted to disk (it
-    /// fingerprints heap addresses); reused only when
-    /// [`fast::MatrixCert::covers`] accepts the operand, re-derived
-    /// otherwise.
-    pub fast_cert: Option<fast::MatrixCert>,
-}
-
-/// Where an engine's plan came from: the planner (cold) or a structure
-/// cache replay (warm). Hinted engines never carry the interpreter
-/// tier — [`SpmvEngine::compile_hinted`] falls back to the full
-/// compile when the hinted strategy needs a real plan to interpret.
-enum PlanSource {
-    Compiled(CompiledKernel),
-    Hinted { shape: String },
-}
-
-impl PlanSource {
-    fn shape(&self) -> String {
-        match self {
-            PlanSource::Compiled(k) => k.shape(),
-            PlanSource::Hinted { shape } => shape.clone(),
-        }
-    }
+    pipeline::do_any_decision(nest, specializable, work, exec, &AlgebraProps::f64_plus()).strategy
 }
 
 /// A compiled `y += A·x` engine for one matrix.
 pub struct SpmvEngine {
-    plan: PlanSource,
-    strategy: Strategy,
-    ctx: ExecCtx,
-    /// Validation certificate for the fast microkernel tier, computed
-    /// once at compile time when [`ExecCtx::fast_kernels`] armed it and
-    /// the operand passed the full sanitizer. `None` = reference tier.
-    fast_cert: Option<fast::MatrixCert>,
+    op: CompiledOp,
 }
 
 impl SpmvEngine {
@@ -343,48 +91,7 @@ impl SpmvEngine {
     /// [instrumented](ExecCtx::instrument) context records plan
     /// provenance, the strategy decision and per-run kernel counters.
     pub fn compile_in(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SpmvEngine> {
-        check_operand("A", a, ctx.config())?;
-        let m = a.meta();
-        let meta = QueryMeta::new()
-            .mat(MAT_A, m)
-            .vec(VEC_X, VecMeta::dense(m.ncols))
-            .vec(VEC_Y, VecMeta::dense(m.nrows));
-        let nest = programs::matvec();
-        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
-        // Both the format's natural hierarchical traversal and the flat
-        // enumeration plan compute exactly what the format's hand
-        // kernel computes (A enumerated once, X directly indexed), so
-        // either shape dispatches to it.
-        let shape = kernel.shape();
-        let specializable = ctx.specialize()
-            && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
-        let decision = strategy_decision(&nest, specializable, m.nnz, ctx.config());
-        // The fast tier is armed only by explicit opt-in, only for the
-        // serial specialized strategy, and only when the operand passes
-        // the full Validate sanitizer *now* — a rejected certificate
-        // silently keeps the reference tier (observable via `tier`).
-        let fast_cert = if ctx.fast() && decision.strategy == Strategy::Specialized {
-            fast::MatrixCert::certify(a).ok()
-        } else {
-            None
-        };
-        let tier = if fast_cert.is_some() { "fast" } else { "reference" };
-        record_strategy(
-            ctx.obs(),
-            "spmv",
-            "f64_plus",
-            decision,
-            specializable,
-            m.nnz,
-            ctx.config(),
-            tier,
-        );
-        Ok(SpmvEngine {
-            plan: PlanSource::Compiled(kernel),
-            strategy: decision.strategy,
-            ctx: ctx.clone(),
-            fast_cert,
-        })
+        Ok(SpmvEngine { op: pipeline::compile::<F64Plus>(OpSpec::Spmv, Operands::Mat(a), ctx)? })
     }
 
     /// Compile from cached hints, skipping the planner search and the
@@ -404,83 +111,30 @@ impl SpmvEngine {
         ctx: &ExecCtx,
         hints: &SpmvHints,
     ) -> RelResult<SpmvEngine> {
-        if hints.strategy == Strategy::Interpreted || !ctx.specialize() {
-            return Self::compile_in(a, ctx);
-        }
-        check_operand("A", a, ctx.config())?;
-        let m = a.meta();
-        // Re-apply the O(1) gates: a cached Parallel verdict still
-        // needs this context's pool and this operand's size to pay for
-        // fork/join. The expensive race-check verdict is what the cache
-        // carries (it depends only on the canonical matvec nest).
-        let cfg = ctx.config();
-        let strategy = if hints.strategy == Strategy::Parallel
-            && (!cfg.should_parallelize(m.nnz) || cfg.effective_workers() <= 1)
-        {
-            Strategy::Specialized
-        } else {
-            hints.strategy
-        };
-        let fast_cert = if ctx.fast() && strategy == Strategy::Specialized && hints.fast_eligible
-        {
-            match &hints.fast_cert {
-                // Certification reuse, not certification skip: covers()
-                // re-checks dimensions, addresses and the index-array
-                // content hash before the certificate transfers.
-                Some(c) if c.covers(a) => Some(*c),
-                _ => fast::MatrixCert::certify(a).ok(),
-            }
-        } else {
-            None
-        };
-        let tier = if fast_cert.is_some() { "fast" } else { "reference" };
-        ctx.obs().counter("engine.compile_hinted", 1);
-        record_strategy(
-            ctx.obs(),
-            "spmv",
-            "f64_plus",
-            Decision { strategy, race_checked: false, race_safe: false, downgrade: "" },
-            true,
-            m.nnz,
-            cfg,
-            tier,
-        );
         Ok(SpmvEngine {
-            plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
-            strategy,
-            ctx: ctx.clone(),
-            fast_cert,
+            op: pipeline::compile_hinted::<F64Plus>(OpSpec::Spmv, Operands::Mat(a), ctx, hints)?,
         })
     }
 
     /// Export this engine's decisions for a structure-keyed plan cache
     /// (the input [`SpmvEngine::compile_hinted`] replays).
     pub fn hints(&self) -> SpmvHints {
-        SpmvHints {
-            strategy: self.strategy,
-            plan_shape: self.plan.shape(),
-            fast_eligible: self.fast_cert.is_some(),
-            fast_cert: self.fast_cert,
-        }
+        self.op.hints()
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     pub fn plan_shape(&self) -> String {
-        self.plan.shape()
+        self.op.plan_shape()
     }
 
     /// Which kernel tier [`SpmvEngine::run`] will dispatch to:
     /// `"fast"` (certified bounds-check-free microkernels) or
     /// `"reference"` (the safe-indexed library kernels).
     pub fn tier(&self) -> &'static str {
-        if self.fast_cert.is_some() {
-            "fast"
-        } else {
-            "reference"
-        }
+        self.op.tier()
     }
 
     /// Render this engine's plan as pseudocode, truthful about the
@@ -488,69 +142,20 @@ impl SpmvEngine {
     /// (see [`crate::codegen::emit_pseudocode_fast`]); the reference
     /// tier is the classic [`crate::codegen::emit_pseudocode`] loop.
     pub fn pseudocode(&self) -> String {
-        let PlanSource::Compiled(kernel) = &self.plan else {
-            return format!("// plan replayed from structure cache: {}", self.plan.shape());
-        };
-        match &self.fast_cert {
-            Some(fast::MatrixCert::Csr(_)) => {
-                crate::codegen::emit_pseudocode_fast(kernel, fast::LANES)
-            }
-            Some(_) => crate::codegen::emit_pseudocode_fast(kernel, 1),
-            None => crate::codegen::emit_pseudocode(kernel),
-        }
+        self.op.pseudocode()
     }
 
     /// `y += A·x`. The matrix must be the one the engine was compiled
     /// for (same format and shape; enforced by the shape checks in the
     /// underlying paths).
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
-        // The cached certificate only covers the exact arrays it was
-        // computed over; a different matrix (or a clone — the arrays
-        // moved) falls back to the reference kernel.
-        let use_fast = self.strategy == Strategy::Specialized
-            && self.fast_cert.as_ref().is_some_and(|c| c.covers(a));
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            let name = match self.strategy {
-                Strategy::Specialized if use_fast => {
-                    format!("fast_spmv_{}", kind_slug(a.kind()))
-                }
-                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
-                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
-                Strategy::Interpreted => "interp_spmv".to_string(),
-            };
-            obs.kernel(&name, spmv_counters(&a.meta()));
-        }
-        match self.strategy {
-            Strategy::Specialized => {
-                if use_fast {
-                    fast::spmv_acc_fast(a, x, y, self.fast_cert.as_ref().unwrap());
-                } else {
-                    a.spmv_acc(x, y);
-                }
-                Ok(())
-            }
-            Strategy::Parallel => {
-                a.par_spmv_acc(x, y, &self.ctx);
-                Ok(())
-            }
-            Strategy::Interpreted => {
-                let PlanSource::Compiled(kernel) = &self.plan else {
-                    unreachable!("hinted engines never carry the interpreter tier")
-                };
-                let mut b = Bindings::new();
-                b.bind_mat(MAT_A, a).bind_vec(VEC_X, &x).bind_vec_mut(VEC_Y, y);
-                kernel.run(&mut b)
-            }
-        }
+        self.op.run_spmv(a, x, y)
     }
 }
 
 /// A compiled `C += A·B` engine (dense result, row-major buffer).
 pub struct SpmmEngine {
-    kernel: CompiledKernel,
-    strategy: Strategy,
-    ctx: ExecCtx,
+    op: CompiledOp,
 }
 
 impl SpmmEngine {
@@ -562,76 +167,20 @@ impl SpmmEngine {
 
     /// Compile under an execution context (see
     /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
-    pub fn compile_in(
-        a: &SparseMatrix,
-        b: &SparseMatrix,
-        ctx: &ExecCtx,
-    ) -> RelResult<SpmmEngine> {
-        check_operand("A", a, ctx.config())?;
-        check_operand("B", b, ctx.config())?;
-        let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
-        let nest = programs::matmat();
-        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
-        // Gustavson's traversal over two CSR operands is the one shape
-        // with a hand-tuned kernel. Work estimate for the parallel gate:
-        // the driver operand's nonzeros (each expands into a B-row scan).
-        let gustavson = "i:outer(A)>k:inner(A)[B?]>j:inner(B)";
-        let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
-        let specializable =
-            ctx.specialize() && both_csr && kernel.shape() == gustavson;
-        let decision = strategy_decision(&nest, specializable, a.meta().nnz, ctx.config());
-        record_strategy(ctx.obs(), "spmm", "f64_plus", decision, specializable, a.meta().nnz, ctx.config(), "reference");
-        Ok(SpmmEngine { kernel, strategy: decision.strategy, ctx: ctx.clone() })
+    pub fn compile_in(a: &SparseMatrix, b: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SpmmEngine> {
+        Ok(SpmmEngine {
+            op: pipeline::compile::<F64Plus>(OpSpec::Spmm, Operands::MatPair(a, b), ctx)?,
+        })
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     /// `C += A·B` into a dense row-major buffer `c` of shape
     /// `a.nrows() × b.ncols()`.
-    pub fn run(
-        &self,
-        a: &SparseMatrix,
-        b: &SparseMatrix,
-        c: &mut [f64],
-    ) -> RelResult<()> {
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            let name = match self.strategy {
-                Strategy::Specialized => "spmm_csr_csr",
-                Strategy::Parallel => "par_spmm_csr_csr",
-                Strategy::Interpreted => "interp_spmm",
-            };
-            obs.kernel(name, spmm_counters(&a.meta(), &b.meta()));
-        }
-        match self.strategy {
-            Strategy::Specialized | Strategy::Parallel => {
-                let (SparseMatrix::Csr(ca), SparseMatrix::Csr(cb)) = (a, b) else {
-                    unreachable!("specialised only for CSR×CSR")
-                };
-                let prod = if self.strategy == Strategy::Parallel {
-                    par_kernels::par_spmm_csr_csr(ca, cb, &self.ctx)
-                } else {
-                    kernels::spmm_csr_csr(ca, cb)
-                };
-                let ncols = cb.ncols();
-                for (i, j, v) in prod.to_triplets().canonicalize().entries().iter().copied() {
-                    c[i * ncols + j] += v;
-                }
-                Ok(())
-            }
-            Strategy::Interpreted => {
-                let mut binds = Bindings::new();
-                binds.bind_mat(MAT_A, a).bind_mat(MAT_B, b).bind_mat_mut(
-                    MAT_C,
-                    c,
-                    a.meta().nrows,
-                    b.meta().ncols,
-                );
-                self.kernel.run(&mut binds)
-            }
-        }
+    pub fn run(&self, a: &SparseMatrix, b: &SparseMatrix, c: &mut [f64]) -> RelResult<()> {
+        self.op.run_spmm(a, b, c)
     }
 }
 
@@ -640,10 +189,7 @@ impl SpmmEngine {
 /// — the paper's §6 "product of a sparse matrix and a skinny dense
 /// matrix", the workhorse of block Krylov methods.
 pub struct SpmvMultiEngine {
-    kernel: CompiledKernel,
-    strategy: Strategy,
-    k: usize,
-    ctx: ExecCtx,
+    op: CompiledOp,
 }
 
 impl SpmvMultiEngine {
@@ -655,95 +201,53 @@ impl SpmvMultiEngine {
 
     /// Compile under an execution context (see
     /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
-    pub fn compile_in(
+    pub fn compile_in(a: &SparseMatrix, k: usize, ctx: &ExecCtx) -> RelResult<SpmvMultiEngine> {
+        Ok(SpmvMultiEngine {
+            op: pipeline::compile::<F64Plus>(OpSpec::SpmvMulti { k }, Operands::Mat(a), ctx)?,
+        })
+    }
+
+    /// Compile from cached hints — the structure-cache warm path (see
+    /// [`SpmvEngine::compile_hinted`] for the soundness contract). The
+    /// planner search and race-gate re-derivation are skipped; the
+    /// O(1) gates re-run against this context and operand.
+    pub fn compile_hinted(
         a: &SparseMatrix,
         k: usize,
         ctx: &ExecCtx,
+        hints: &OpHints,
     ) -> RelResult<SpmvMultiEngine> {
-        check_operand("A", a, ctx.config())?;
-        let m = a.meta();
-        // The multivector's metadata: a dense ncols × k matrix.
-        let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
-        let meta = QueryMeta::new().mat(MAT_A, m).mat(MAT_B, x_meta);
-        let nest = programs::matvec_multi();
-        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
-        // The natural shape: rows of A, then A's entries, then the
-        // dense multivector row — CSR dispatches to the blocked kernel.
-        // Work estimate: nnz·k fused multiply-adds.
-        let natural = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
-        let is_csr = matches!(a, SparseMatrix::Csr(_));
-        let specializable = ctx.specialize() && is_csr && kernel.shape() == natural;
-        let work = m.nnz.saturating_mul(k.max(1));
-        let decision = strategy_decision(&nest, specializable, work, ctx.config());
-        record_strategy(ctx.obs(), "spmv_multi", "f64_plus", decision, specializable, work, ctx.config(), "reference");
-        Ok(SpmvMultiEngine { kernel, strategy: decision.strategy, k, ctx: ctx.clone() })
+        Ok(SpmvMultiEngine {
+            op: pipeline::compile_hinted::<F64Plus>(
+                OpSpec::SpmvMulti { k },
+                Operands::Mat(a),
+                ctx,
+                hints,
+            )?,
+        })
+    }
+
+    /// Export this engine's decisions for a structure-keyed plan cache.
+    pub fn hints(&self) -> OpHints {
+        self.op.hints()
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     pub fn plan_shape(&self) -> String {
-        self.kernel.shape()
+        self.op.plan_shape()
     }
 
     /// The multivector width the engine was compiled for.
     pub fn k(&self) -> usize {
-        self.k
+        self.op.multi_width()
     }
 
     /// `Y += A·X` with `X: ncols×k` and `Y: nrows×k`, both row-major.
     pub fn run(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
-        let m = a.meta();
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            let name = match self.strategy {
-                Strategy::Specialized => "spmm_csr_dense",
-                Strategy::Parallel => "par_spmm_csr_dense",
-                Strategy::Interpreted => "interp_spmv_multi",
-            };
-            obs.kernel(name, spmv_multi_counters(&m, self.k));
-        }
-        match self.strategy {
-            Strategy::Specialized => {
-                let SparseMatrix::Csr(ca) = a else {
-                    unreachable!("specialised only for CSR");
-                };
-                kernels::spmm_csr_dense(ca, x, self.k, y);
-                Ok(())
-            }
-            Strategy::Parallel => {
-                let SparseMatrix::Csr(ca) = a else {
-                    unreachable!("specialised only for CSR");
-                };
-                par_kernels::par_spmm_csr_dense(ca, x, self.k, y, &self.ctx);
-                Ok(())
-            }
-            Strategy::Interpreted => {
-                let xm = bernoulli_formats::DenseMatrix::from_row_major(
-                    m.ncols,
-                    self.k,
-                    x.to_vec(),
-                );
-                let mut binds = Bindings::new();
-                binds
-                    .bind_mat(MAT_A, a)
-                    .bind_mat(MAT_B, &xm)
-                    .bind_mat_mut(MAT_C, y, m.nrows, self.k);
-                self.kernel.run(&mut binds)
-            }
-        }
-    }
-}
-
-/// Algebra-qualified kernel telemetry name: the classical algebra keeps
-/// the historical bare names (`spmv_csr`), every other algebra gets its
-/// own stream (`spmv_csr.min_plus`) so one name never mixes algebras.
-fn algebra_kernel_name(base: &str, algebra: &'static str) -> String {
-    if algebra == "f64_plus" {
-        base.to_string()
-    } else {
-        format!("{base}.{algebra}")
+        self.op.run_spmv_multi(a, x, y)
     }
 }
 
@@ -764,9 +268,7 @@ fn algebra_kernel_name(base: &str, algebra: &'static str) -> String {
 ///   reduction certificate (BA06) and provably compiles to the serial
 ///   tier — scatter-family formats additionally self-gate at run time.
 pub struct SemiringSpmvEngine<S: Semiring> {
-    shape: String,
-    strategy: Strategy,
-    ctx: ExecCtx,
+    op: CompiledOp,
     _algebra: PhantomData<S>,
 }
 
@@ -780,51 +282,52 @@ impl<S: Semiring> SemiringSpmvEngine<S> {
     /// Compile under an execution context (see
     /// [`SpmvEngine::compile_in`] for the policy the ctx carries).
     pub fn compile_in(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SemiringSpmvEngine<S>> {
-        check_operand("A", a, ctx.config())?;
-        let m = a.meta();
-        let meta = QueryMeta::new()
-            .mat(MAT_A, m)
-            .vec(VEC_X, VecMeta::dense(m.ncols))
-            .vec(VEC_Y, VecMeta::dense(m.nrows));
-        let nest = programs::matvec();
-        let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
-        let decision = strategy_decision_in(&nest, true, m.nnz, ctx.config(), &S::props());
-        record_strategy(ctx.obs(), "spmv", S::NAME, decision, true, m.nnz, ctx.config(), "reference");
         Ok(SemiringSpmvEngine {
-            shape: kernel.shape(),
-            strategy: decision.strategy,
-            ctx: ctx.clone(),
+            op: pipeline::compile::<S>(
+                OpSpec::SemiringSpmv { algebra: S::NAME },
+                Operands::Mat(a),
+                ctx,
+            )?,
             _algebra: PhantomData,
         })
     }
 
+    /// Compile from cached hints — the structure-cache warm path. The
+    /// cached verdict already encodes the per-algebra race check (the
+    /// cache key carries `S::NAME`), so only the O(1) gates re-run.
+    pub fn compile_hinted(
+        a: &SparseMatrix,
+        ctx: &ExecCtx,
+        hints: &OpHints,
+    ) -> RelResult<SemiringSpmvEngine<S>> {
+        Ok(SemiringSpmvEngine {
+            op: pipeline::compile_hinted::<S>(
+                OpSpec::SemiringSpmv { algebra: S::NAME },
+                Operands::Mat(a),
+                ctx,
+                hints,
+            )?,
+            _algebra: PhantomData,
+        })
+    }
+
+    /// Export this engine's decisions for a structure-keyed plan cache.
+    pub fn hints(&self) -> OpHints {
+        self.op.hints()
+    }
+
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     pub fn plan_shape(&self) -> String {
-        self.shape.clone()
+        self.op.plan_shape()
     }
 
     /// `y = y ⊕ (A ⊗ x)` under `S` (accumulating, like
     /// [`SpmvEngine::run`]).
     pub fn run(&self, a: &SparseMatrix, x: &[S::Elem], y: &mut [S::Elem]) -> RelResult<()> {
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            let base = match self.strategy {
-                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
-                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
-                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
-            };
-            let name = algebra_kernel_name(&base, S::NAME);
-            obs.kernel(&name, KernelCounters { algebra: S::NAME, ..spmv_counters(&a.meta()) });
-        }
-        match self.strategy {
-            Strategy::Specialized => a.spmv_acc_in::<S>(x, y),
-            Strategy::Parallel => a.par_spmv_acc_in::<S>(x, y, &self.ctx),
-            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
-        }
-        Ok(())
+        self.op.run_semiring_spmv::<S>(a, x, y)
     }
 }
 
@@ -835,8 +338,7 @@ impl<S: Semiring> SemiringSpmvEngine<S> {
 /// Only CSR operands carry the generic hand kernel, so unlike
 /// [`SpmmEngine`] the operands are [`Csr`] by construction.
 pub struct SemiringSpmmEngine<S: Semiring> {
-    strategy: Strategy,
-    ctx: ExecCtx,
+    op: CompiledOp,
     _algebra: PhantomData<S>,
 }
 
@@ -848,54 +350,60 @@ impl<S: Semiring> SemiringSpmmEngine<S> {
 
     /// Compile under an execution context.
     pub fn compile_in(a: &Csr, b: &Csr, ctx: &ExecCtx) -> RelResult<SemiringSpmmEngine<S>> {
-        if ctx.config().checked {
-            a.validate_ok()
-                .map_err(|e| RelError::Validation(format!("operand A: {e}")))?;
-            b.validate_ok()
-                .map_err(|e| RelError::Validation(format!("operand B: {e}")))?;
-        }
-        let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
-        let nest = programs::matmat();
-        Compiler::in_ctx(ctx).compile(&nest, &meta)?;
-        // The parallel tier merges per-block partial products, which is
-        // only sound when ⊕ is associative-commutative — the same BA06
-        // gate the kernels self-apply.
-        let decision = strategy_decision_in(&nest, true, a.nnz(), ctx.config(), &S::props());
-        record_strategy(ctx.obs(), "spmm", S::NAME, decision, true, a.nnz(), ctx.config(), "reference");
-        Ok(SemiringSpmmEngine { strategy: decision.strategy, ctx: ctx.clone(), _algebra: PhantomData })
+        Ok(SemiringSpmmEngine {
+            op: pipeline::compile::<S>(
+                OpSpec::SemiringSpmm { algebra: S::NAME },
+                Operands::CsrPair(a, b),
+                ctx,
+            )?,
+            _algebra: PhantomData,
+        })
+    }
+
+    /// Compile from cached hints — the structure-cache warm path. The
+    /// cached verdict already encodes the per-algebra race check (the
+    /// cache key carries `S::NAME`), so only the O(1) gates re-run.
+    pub fn compile_hinted(
+        a: &Csr,
+        b: &Csr,
+        ctx: &ExecCtx,
+        hints: &OpHints,
+    ) -> RelResult<SemiringSpmmEngine<S>> {
+        Ok(SemiringSpmmEngine {
+            op: pipeline::compile_hinted::<S>(
+                OpSpec::SemiringSpmm { algebra: S::NAME },
+                Operands::CsrPair(a, b),
+                ctx,
+                hints,
+            )?,
+            _algebra: PhantomData,
+        })
+    }
+
+    /// Export this engine's decisions for a structure-keyed plan cache.
+    pub fn hints(&self) -> OpHints {
+        self.op.hints()
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     /// The product's nonzero entries `(i, j, v)` with `v ≠ S::zero()`,
     /// row-sorted, columns sorted within each row.
     pub fn run_entries(&self, a: &Csr, b: &Csr) -> RelResult<Vec<(usize, usize, S::Elem)>> {
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            let base = match self.strategy {
-                Strategy::Specialized => "spmm_csr_csr",
-                Strategy::Parallel => "par_spmm_csr_csr",
-                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
-            };
-            let name = algebra_kernel_name(base, S::NAME);
-            obs.kernel(&name, KernelCounters { algebra: S::NAME, ..spmm_counters(&a.meta(), &b.meta()) });
-        }
-        let mut entries = match self.strategy {
-            Strategy::Specialized => kernels::spmm_csr_csr_in::<S>(a, b),
-            Strategy::Parallel => par_kernels::par_spmm_csr_csr_in::<S>(a, b, &self.ctx),
-            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
-        };
-        entries.sort_by_key(|&(i, j, _)| (i, j));
-        Ok(entries)
+        self.op.run_semiring_spmm_entries::<S>(a, b)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bernoulli_formats::{FormatKind, Triplets};
+    use crate::pipeline::reason;
+    use bernoulli_formats::{fast, FormatKind, Triplets};
+    use bernoulli_obs::Obs;
+    use bernoulli_relational::access::MatrixAccess;
+    use bernoulli_relational::error::RelError;
 
     fn sample(n: usize, seed: u64) -> Triplets {
         bernoulli_formats::gen::random_sparse(n, n, n * 3, seed)
@@ -1054,8 +562,11 @@ mod tests {
             assert_eq!(below.plan_shape(), serial.plan_shape(), "format {kind}");
 
             // Threshold at/below nnz: Parallel, same plan shape.
-            let above =
-                SpmvEngine::compile_in(&a, &ExecCtx::with_threads(4).threshold(1).oversubscribe(true)).unwrap();
+            let above = SpmvEngine::compile_in(
+                &a,
+                &ExecCtx::with_threads(4).threshold(1).oversubscribe(true),
+            )
+            .unwrap();
             assert_eq!(above.strategy(), Strategy::Parallel, "format {kind}");
             assert_eq!(above.plan_shape(), serial.plan_shape(), "format {kind}");
 
@@ -1118,30 +629,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_refused_for_racy_nest() {
-        // A nest the race checker rejects can never compile to
-        // Strategy::Parallel, even when the plan is specialisable and
-        // the work clears the threshold. `Y(i) = A(i,j)·X(j)` as a
-        // scatter *assignment* races on Y(i) across j-iterations (BA01).
-        use bernoulli_relational::scalar::UpdateOp;
-        let mut racy = programs::matvec();
-        racy.op = UpdateOp::Assign;
-        let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
-        assert_eq!(choose_strategy(&racy, true, 1 << 20, &exec), Strategy::Specialized);
-        // Same gates, the genuine reduction nest: Parallel granted.
-        assert_eq!(
-            choose_strategy(&programs::matvec(), true, 1 << 20, &exec),
-            Strategy::Parallel
-        );
-        // All engine nests carry a certificate.
-        for nest in [programs::matvec(), programs::matmat(), programs::matvec_multi()] {
-            assert!(bernoulli_analysis::race::check_do_any(&nest).is_parallel_safe());
-        }
-    }
-
-    #[test]
     fn checked_mode_refuses_corrupt_operand() {
-        use bernoulli_formats::Csr;
         // Row 0 stores columns out of order: the sanitizer flags BA23
         // and checked compilation refuses the operand up front.
         let bad = SparseMatrix::Csr(Csr::from_raw_unchecked(
@@ -1245,7 +733,7 @@ mod tests {
         .unwrap();
         assert_eq!(eng.strategy(), Strategy::Parallel);
         let s = &obs.report().strategies[0];
-        assert_eq!((s.algebra.as_str(), s.race_checked, s.race_safe), ("min_plus", true, true));
+        assert_eq!((s.algebra, s.race_checked, s.race_safe), ("min_plus", true, true));
         // …while a non-commutative ⊕ is refused the reduction
         // certificate (BA06) and provably downgraded to serial.
         let obs = Obs::enabled();
@@ -1257,7 +745,7 @@ mod tests {
         assert_eq!(eng.strategy(), Strategy::Specialized);
         let s = &obs.report().strategies[0];
         assert_eq!(
-            (s.algebra.as_str(), s.race_checked, s.race_safe),
+            (s.algebra, s.race_checked, s.race_safe),
             ("first_nonzero", true, false)
         );
     }
@@ -1381,7 +869,8 @@ mod tests {
         let a = SparseMatrix::from_triplets(FormatKind::Csr, &ta);
         let b = SparseMatrix::from_triplets(FormatKind::Csr, &tb);
         let obs = Obs::enabled();
-        let par = ExecCtx::with_threads(2).threshold(1).oversubscribe(true).instrument(obs.clone());
+        let par =
+            ExecCtx::with_threads(2).threshold(1).oversubscribe(true).instrument(obs.clone());
         let spmm = SpmmEngine::compile_in(&a, &b, &par).unwrap();
         let mut c = vec![0.0; 1600];
         spmm.run(&a, &b, &mut c).unwrap();
@@ -1393,7 +882,7 @@ mod tests {
         r.validate().unwrap();
         assert!(r.kernels.contains_key("par_spmm_csr_csr"), "{:?}", r.kernels.keys());
         assert!(r.kernels.contains_key("par_spmm_csr_dense"), "{:?}", r.kernels.keys());
-        let ops: Vec<&str> = r.strategies.iter().map(|s| s.op.as_str()).collect();
+        let ops: Vec<&str> = r.strategies.iter().map(|s| s.op).collect();
         assert_eq!(ops, ["spmm", "spmv_multi"]);
         assert_eq!(r.plans.len(), 2);
     }
@@ -1413,29 +902,15 @@ mod tests {
         let s = &obs.report().strategies[0];
         if hw <= 1 {
             assert_eq!(eng.strategy(), Strategy::Specialized);
-            assert_eq!(s.downgrade, "single_worker_pool");
+            assert_eq!(s.downgrade, reason::SINGLE_WORKER_POOL);
             assert!(!s.race_checked);
         } else {
             assert_eq!(eng.strategy(), Strategy::Parallel);
-            assert_eq!(s.downgrade, "");
+            assert_eq!(s.downgrade, reason::NONE);
         }
         // Oversubscription restores the historical behaviour anywhere.
         let eng = SpmvEngine::compile_in(&a, &ctx.clone().oversubscribe(true)).unwrap();
         assert_eq!(eng.strategy(), Strategy::Parallel);
-    }
-
-    #[test]
-    fn racy_nest_downgrade_reason_is_recorded() {
-        use bernoulli_relational::scalar::UpdateOp;
-        let mut racy = programs::matvec();
-        racy.op = UpdateOp::Assign;
-        let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
-        let d = strategy_decision(&racy, true, 1 << 20, &exec);
-        assert_eq!(d.strategy, Strategy::Specialized);
-        assert_eq!(d.downgrade, "racy_nest");
-        let d = strategy_decision(&programs::matvec(), true, 1 << 20, &exec);
-        assert_eq!(d.strategy, Strategy::Parallel);
-        assert_eq!(d.downgrade, "");
     }
 
     #[test]
@@ -1628,6 +1103,93 @@ mod tests {
         cold.run(&a, &x, &mut y1).unwrap();
         warm.run(&a, &x, &mut y2).unwrap();
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn multivector_hinted_compile_replays_and_regates() {
+        // Satellite: the multivector engine now rides the unified hint
+        // seam — a cold Parallel verdict replays bitwise under an
+        // equivalent context and regates to serial under ExecCtx::serial.
+        let t = sample(48, 55);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let k = 3;
+        let par = ExecCtx::with_threads(2).threshold(1).oversubscribe(true);
+        let cold = SpmvMultiEngine::compile_in(&a, k, &par).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        let hints = cold.hints();
+        let obs = Obs::enabled();
+        let warm =
+            SpmvMultiEngine::compile_hinted(&a, k, &par.clone().instrument(obs.clone()), &hints)
+                .unwrap();
+        assert_eq!(warm.strategy(), Strategy::Parallel);
+        assert_eq!(warm.plan_shape(), cold.plan_shape());
+        assert_eq!(warm.k(), k);
+        let r = obs.report();
+        assert!(r.plans.is_empty(), "warm path must skip the planner: {:?}", r.plans);
+        assert_eq!(r.counters["engine.compile_hinted"], 1);
+        let x: Vec<f64> = (0..48 * k).map(|i| (i as f64 * 0.19).sin()).collect();
+        let (mut y1, mut y2) = (vec![0.0; 48 * k], vec![0.0; 48 * k]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(
+            y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let regated = SpmvMultiEngine::compile_hinted(&a, k, &ExecCtx::serial(), &hints).unwrap();
+        assert_eq!(regated.strategy(), Strategy::Specialized);
+    }
+
+    #[test]
+    fn semiring_hinted_compile_replays_per_algebra_verdicts() {
+        use bernoulli_relational::semiring::{FirstNonZero, MinPlus};
+        // Satellite: graph workloads replay through the same seam. The
+        // cached verdict is per-algebra: min-plus replays Parallel,
+        // while a first_nonzero cold verdict (Specialized via BA06)
+        // replays serial — no upgrade is possible on the warm path.
+        let t = sample(48, 56);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let par = ExecCtx::with_threads(2).threshold(1).oversubscribe(true);
+        let cold = SemiringSpmvEngine::<MinPlus>::compile_in(&a, &par).unwrap();
+        assert_eq!(cold.strategy(), Strategy::Parallel);
+        let obs = Obs::enabled();
+        let warm = SemiringSpmvEngine::<MinPlus>::compile_hinted(
+            &a,
+            &par.clone().instrument(obs.clone()),
+            &cold.hints(),
+        )
+        .unwrap();
+        assert_eq!(warm.strategy(), Strategy::Parallel);
+        let r = obs.report();
+        assert!(r.plans.is_empty(), "warm path must skip the planner: {:?}", r.plans);
+        assert_eq!(r.counters["engine.compile_hinted"], 1);
+        assert_eq!(r.strategies[0].algebra, "min_plus");
+        let x: Vec<f64> = (0..48).map(|i| i as f64 * 0.5).collect();
+        let (mut y1, mut y2) = (vec![f64::INFINITY; 48], vec![f64::INFINITY; 48]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(
+            y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // The non-commutative algebra's serial verdict replays as-is.
+        let cold_fnz = SemiringSpmvEngine::<FirstNonZero>::compile_in(&a, &par).unwrap();
+        assert_eq!(cold_fnz.strategy(), Strategy::Specialized);
+        let warm_fnz =
+            SemiringSpmvEngine::<FirstNonZero>::compile_hinted(&a, &par, &cold_fnz.hints())
+                .unwrap();
+        assert_eq!(warm_fnz.strategy(), Strategy::Specialized);
+        // Semiring SpMM rides the seam too, bitwise.
+        use bernoulli_relational::semiring::CountU64;
+        let ca = Csr::from_triplets(&sample(24, 57));
+        let cold_mm = SemiringSpmmEngine::<CountU64>::compile_in(&ca, &ca, &par).unwrap();
+        let warm_mm =
+            SemiringSpmmEngine::<CountU64>::compile_hinted(&ca, &ca, &par, &cold_mm.hints())
+                .unwrap();
+        assert_eq!(warm_mm.strategy(), cold_mm.strategy());
+        assert_eq!(
+            warm_mm.run_entries(&ca, &ca).unwrap(),
+            cold_mm.run_entries(&ca, &ca).unwrap()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod compile;
 pub mod engines;
 pub mod lower;
 pub mod operator;
+pub mod pipeline;
 pub mod spmd;
 pub mod trisolve;
 
@@ -46,6 +47,10 @@ pub use engines::{
     SpmvHints, SpmvMultiEngine, Strategy,
 };
 pub use operator::{BoundSpmv, BoundSpmvMulti, FnOperator, Operator, SemiringOperator};
+pub use pipeline::{
+    compile as compile_op, compile_hinted as compile_op_hinted, reason, CompiledOp, GateDecision,
+    OpHints, OpKind, OpSpec, Operands,
+};
 pub use trisolve::{SptrsvEngine, SymGsEngine, TriangularOp, MIN_MEAN_LEVEL_WIDTH};
 pub use bernoulli_formats::{ExecConfig, ExecCtx};
 pub use bernoulli_relational::error::{RelError, RelResult};

@@ -13,9 +13,8 @@
 
 use std::cell::RefCell;
 
-use crate::engines::{
-    spmv_counters, spmv_multi_counters, SemiringSpmvEngine, SpmvEngine, SpmvMultiEngine,
-};
+use crate::engines::{SemiringSpmvEngine, SpmvEngine, SpmvMultiEngine};
+use crate::pipeline::{spmv_counters, spmv_multi_counters};
 use bernoulli_formats::{Csr, SparseMatrix};
 use bernoulli_obs::events::KernelCounters;
 use bernoulli_relational::access::MatrixAccess;

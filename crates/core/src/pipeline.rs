@@ -1,0 +1,1802 @@
+//! The op-generic compilation core: one pipeline, seven facades.
+//!
+//! Every engine in this crate — DO-ANY ([`crate::engines`]) and
+//! DO-ACROSS ([`crate::trisolve`]) alike — used to hand-roll the same
+//! gate chain: work threshold → worker pool → race/wavefront
+//! certificate → independent verifier → downgrade. This module owns
+//! that chain once. An [`OpSpec`] names the operation, [`Operands`]
+//! carries the matrices, and [`compile`] runs the full chain to a
+//! [`CompiledOp`] — the one compiled artifact all seven public engine
+//! types wrap. The warm path is the same story: [`compile_hinted`]
+//! replays a structure cache's [`OpHints`] (decisions, never proofs)
+//! through the identical soundness gates, keyed upstream by
+//! `(StructureKey, OpKind)`.
+//!
+//! Three invariants the unification preserves, checked by the golden
+//! suites:
+//!
+//! * **Bitwise facades.** Each facade compiles to exactly the strategy,
+//!   tier and kernel dispatch its pre-refactor engine chose, so results
+//!   are bit-identical on every tier.
+//! * **Verification is never cached.** A replayed fast-tier certificate
+//!   transfers only when `covers()` re-accepts the operand; a replayed
+//!   level schedule is re-certified by the independent BA4x verifier
+//!   before the parallel tier arms. A stale or forged hint can mis-tier
+//!   an operand; it can never mis-compute.
+//! * **One downgrade vocabulary.** Every reason a parallel-eligible op
+//!   fell back to serial is a [`reason`] constant, recorded through the
+//!   one private `record_decision` emitter — `scripts/ci.sh` confines
+//!   both the gate-chain logic and the reason literals to this file.
+
+use crate::ast::{programs, LoopNest};
+use crate::compile::{CompiledKernel, Compiler};
+use bernoulli_analysis::wavefront::{
+    self, analyze_wavefront, verify_level_schedule, LevelSchedule, Triangle, WavefrontCert,
+};
+use bernoulli_formats::{
+    fast, kernels, par_kernels, Csr, ExecConfig, ExecCtx, FormatKind, SparseMatrix, Validate,
+};
+use bernoulli_obs::events::{KernelCounters, StrategyEvent};
+use bernoulli_obs::Obs;
+use bernoulli_relational::access::{MatMeta, MatrixAccess, VecMeta};
+use bernoulli_relational::error::{RelError, RelResult};
+use bernoulli_relational::exec::Bindings;
+use bernoulli_relational::ids::{MAT_A, MAT_B, MAT_C, VEC_X, VEC_Y};
+use bernoulli_relational::planner::QueryMeta;
+use bernoulli_relational::semiring::{AlgebraProps, Semiring};
+
+/// Minimum mean rows per level for the wavefront parallel tier: below
+/// this a schedule is mostly serial chain (the worst case is one row
+/// per level) and per-wave fork/join overhead cannot be amortized — the
+/// pipeline downgrades with reason [`reason::LEVELS_TOO_NARROW`].
+pub const MIN_MEAN_LEVEL_WIDTH: f64 = 2.0;
+
+/// The one downgrade-reason vocabulary, shared by every op kind. The
+/// obs `strategies` stream records exactly these strings; `ci.sh`
+/// greps that the literals appear nowhere else in the crates.
+pub mod reason {
+    /// No downgrade: the chosen strategy is the one the gates granted.
+    pub const NONE: &str = "";
+    /// The size gate passed but the effective pool is one worker —
+    /// fork/join would be pure overhead.
+    pub const SINGLE_WORKER_POOL: &str = "single_worker_pool";
+    /// The DO-ANY race checker refused the nest (BA01/BA02/BA06).
+    pub const RACY_NEST: &str = "racy_nest";
+    /// Transposed-solve scatter loop: no bitwise-deterministic
+    /// level-parallel form exists.
+    pub const TRANSPOSED_SCATTER: &str = "transposed_scatter";
+    /// The wavefront pass found no usable triangular structure.
+    pub const NOT_TRIANGULAR: &str = "not_triangular";
+    /// The independent BA4x verifier refused the (possibly cached)
+    /// level schedule.
+    pub const SCHEDULE_REJECTED: &str = "schedule_rejected";
+    /// The schedule verified but its mean level width is below
+    /// [`super::MIN_MEAN_LEVEL_WIDTH`].
+    pub const LEVELS_TOO_NARROW: &str = "levels_too_narrow";
+}
+
+/// How a compiled op will execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// The plan matched the format's natural traversal: dispatch to the
+    /// monomorphised kernel (the "generated code" path).
+    Specialized,
+    /// The plan matched the natural traversal *and* the operand is
+    /// large enough to clear the [`ExecConfig`] work threshold:
+    /// dispatch to the shared-memory parallel kernel of
+    /// [`bernoulli_formats::par_kernels`]. Below the threshold an
+    /// engine compiles to [`Strategy::Specialized`] with the identical
+    /// plan, so small operands keep byte-identical serial behaviour.
+    Parallel,
+    /// General plan interpretation.
+    Interpreted,
+}
+
+impl Strategy {
+    /// The strategy's name as it appears in telemetry
+    /// ([`StrategyEvent::strategy`], validated by the report schema).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Specialized => "Specialized",
+            Strategy::Parallel => "Parallel",
+            Strategy::Interpreted => "Interpreted",
+        }
+    }
+}
+
+/// Which triangular system an SpTRSV op solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TriangularOp {
+    /// `L·x = b`, forward substitution (gather). Level-parallelizable.
+    Lower { unit_diag: bool },
+    /// `U·x = b`, backward substitution (gather). Level-parallelizable.
+    Upper { unit_diag: bool },
+    /// `Lᵀ·x = b` from the stored lower factor, without materializing
+    /// the transpose — a *scatter* loop, which has no bitwise-
+    /// deterministic level-parallel form: concurrent waves would
+    /// interleave partial updates of shared entries. Always serial
+    /// (downgrade reason [`reason::TRANSPOSED_SCATTER`]).
+    LowerTransposed { unit_diag: bool },
+}
+
+impl TriangularOp {
+    fn triangle(self) -> Option<Triangle> {
+        match self {
+            TriangularOp::Lower { .. } => Some(Triangle::Lower),
+            TriangularOp::Upper { .. } => Some(Triangle::Upper),
+            TriangularOp::LowerTransposed { .. } => None,
+        }
+    }
+
+    fn unit_diag(self) -> bool {
+        match self {
+            TriangularOp::Lower { unit_diag }
+            | TriangularOp::Upper { unit_diag }
+            | TriangularOp::LowerTransposed { unit_diag } => unit_diag,
+        }
+    }
+
+    fn kernel_name(self, parallel: bool) -> &'static str {
+        match (self, parallel) {
+            (TriangularOp::Lower { .. }, false) => "sptrsv_csr_lower",
+            (TriangularOp::Lower { .. }, true) => "par_sptrsv_csr_lower",
+            (TriangularOp::Upper { .. }, false) => "sptrsv_csr_upper",
+            (TriangularOp::Upper { .. }, true) => "par_sptrsv_csr_upper",
+            (TriangularOp::LowerTransposed { .. }, _) => "sptrsv_csr_lower_transposed",
+        }
+    }
+}
+
+/// The operation *kind* — what a structure-keyed plan cache keys its
+/// hint tables by (`(StructureKey, OpKind)`), with the scalar algebra
+/// folded in so per-algebra race verdicts never cross streams. Unlike
+/// [`OpSpec`] it drops instance parameters that do not affect cached
+/// decisions (the multivector width `k`, a solve's `unit_diag`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// `y += A·x` under the classical algebra.
+    Spmv,
+    /// `C += A·B` (dense result) under the classical algebra.
+    Spmm,
+    /// `Y += A·X` against a skinny dense multivector.
+    SpmvMulti,
+    /// `y = y ⊕ (A ⊗ x)` under the named semiring.
+    SemiringSpmv(&'static str),
+    /// `C = C ⊕ (A ⊗ B)` (CSR×CSR, sparse result) under the named
+    /// semiring.
+    SemiringSpmm(&'static str),
+    /// Forward substitution against a lower-triangular CSR factor.
+    SptrsvLower,
+    /// Backward substitution against an upper-triangular CSR factor.
+    SptrsvUpper,
+    /// Transposed solve from the stored lower factor (always serial).
+    SptrsvLowerTransposed,
+    /// Symmetric Gauss-Seidel sweeps over a square CSR matrix.
+    Symgs,
+}
+
+impl OpKind {
+    /// The op name as recorded in the obs `strategies` stream. The
+    /// semiring variants share their classical op's name (the event's
+    /// `algebra` field carries the distinction), matching the
+    /// pre-unification engines.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Spmv | OpKind::SemiringSpmv(_) => "spmv",
+            OpKind::Spmm | OpKind::SemiringSpmm(_) => "spmm",
+            OpKind::SpmvMulti => "spmv_multi",
+            OpKind::SptrsvLower | OpKind::SptrsvUpper | OpKind::SptrsvLowerTransposed => "sptrsv",
+            OpKind::Symgs => "symgs",
+        }
+    }
+
+    /// The scalar algebra this kind computes under.
+    pub fn algebra(self) -> &'static str {
+        match self {
+            OpKind::SemiringSpmv(a) | OpKind::SemiringSpmm(a) => a,
+            _ => "f64_plus",
+        }
+    }
+
+    /// Stable persistence tag for cache files: unambiguous, versioned
+    /// with the plan-cache schema. Round-trips through
+    /// [`OpKind::from_tag`].
+    pub fn tag(self) -> String {
+        match self {
+            OpKind::Spmv => "spmv".to_string(),
+            OpKind::Spmm => "spmm".to_string(),
+            OpKind::SpmvMulti => "spmv_multi".to_string(),
+            OpKind::SemiringSpmv(a) => format!("spmv.{a}"),
+            OpKind::SemiringSpmm(a) => format!("spmm.{a}"),
+            OpKind::SptrsvLower => "sptrsv.lower".to_string(),
+            OpKind::SptrsvUpper => "sptrsv.upper".to_string(),
+            OpKind::SptrsvLowerTransposed => "sptrsv.lower_transposed".to_string(),
+            OpKind::Symgs => "symgs".to_string(),
+        }
+    }
+
+    /// Parse a persistence tag back to the kind. Unknown tags (a
+    /// future algebra, a newer schema's op) return `None` so a loader
+    /// can drop the entry instead of failing the whole file.
+    pub fn from_tag(tag: &str) -> Option<OpKind> {
+        match tag {
+            "spmv" => Some(OpKind::Spmv),
+            "spmm" => Some(OpKind::Spmm),
+            "spmv_multi" => Some(OpKind::SpmvMulti),
+            "sptrsv.lower" => Some(OpKind::SptrsvLower),
+            "sptrsv.upper" => Some(OpKind::SptrsvUpper),
+            "sptrsv.lower_transposed" => Some(OpKind::SptrsvLowerTransposed),
+            "symgs" => Some(OpKind::Symgs),
+            other => {
+                let (base, algebra) = other.split_once('.')?;
+                let interned = intern_algebra(algebra)?;
+                match base {
+                    "spmv" => Some(OpKind::SemiringSpmv(interned)),
+                    "spmm" => Some(OpKind::SemiringSpmm(interned)),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Map an algebra name to its `'static` interned form — the inverse of
+/// `S::NAME` for every semiring the workspace ships.
+fn intern_algebra(name: &str) -> Option<&'static str> {
+    ["f64_plus", "min_plus", "max_plus", "bool_or_and", "count_u64", "first_nonzero"]
+        .into_iter()
+        .find(|&k| k == name)
+}
+
+/// A full operation description: the kind plus its instance parameters.
+/// [`compile`] pairs this with [`Operands`]; the `Dispatcher` in
+/// `bernoulli-tune` keys submitted requests by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpSpec {
+    /// `y += A·x`.
+    Spmv,
+    /// `C += A·B` into a dense row-major buffer.
+    Spmm,
+    /// `Y += A·X`, `X: ncols×k` row-major.
+    SpmvMulti { k: usize },
+    /// `y = y ⊕ (A ⊗ x)` under the named semiring (must match the
+    /// `S` type parameter of [`compile`]).
+    SemiringSpmv { algebra: &'static str },
+    /// `C = C ⊕ (A ⊗ B)` under the named semiring.
+    SemiringSpmm { algebra: &'static str },
+    /// Triangular solve.
+    Sptrsv { op: TriangularOp },
+    /// Symmetric Gauss-Seidel sweeps.
+    Symgs,
+}
+
+impl OpSpec {
+    /// The cache-key kind this spec belongs to.
+    pub fn kind(self) -> OpKind {
+        match self {
+            OpSpec::Spmv => OpKind::Spmv,
+            OpSpec::Spmm => OpKind::Spmm,
+            OpSpec::SpmvMulti { .. } => OpKind::SpmvMulti,
+            OpSpec::SemiringSpmv { algebra } => OpKind::SemiringSpmv(algebra),
+            OpSpec::SemiringSpmm { algebra } => OpKind::SemiringSpmm(algebra),
+            OpSpec::Sptrsv { op } => match op {
+                TriangularOp::Lower { .. } => OpKind::SptrsvLower,
+                TriangularOp::Upper { .. } => OpKind::SptrsvUpper,
+                TriangularOp::LowerTransposed { .. } => OpKind::SptrsvLowerTransposed,
+            },
+            OpSpec::Symgs => OpKind::Symgs,
+        }
+    }
+}
+
+/// The operand bundle an [`OpSpec`] compiles against. Borrowed: the
+/// pipeline never copies a matrix.
+pub enum Operands<'a> {
+    /// One general-format matrix (SpMV family).
+    Mat(&'a SparseMatrix),
+    /// Two general-format matrices (classical SpMM).
+    MatPair(&'a SparseMatrix, &'a SparseMatrix),
+    /// Two CSR matrices (semiring SpMM — only CSR carries the generic
+    /// hand kernel).
+    CsrPair(&'a Csr, &'a Csr),
+    /// One square CSR matrix (SpTRSV / SymGS).
+    Tri(&'a Csr),
+}
+
+impl Operands<'_> {
+    fn shape_name(&self) -> &'static str {
+        match self {
+            Operands::Mat(_) => "Mat",
+            Operands::MatPair(..) => "MatPair",
+            Operands::CsrPair(..) => "CsrPair",
+            Operands::Tri(_) => "Tri",
+        }
+    }
+}
+
+/// The one gate-chain outcome, replacing the old per-family
+/// `Decision`/`WaveDecision` pair — everything [`StrategyEvent`]
+/// telemetry reports, for both DO-ANY and wavefront ops.
+#[derive(Clone, Copy, Debug)]
+pub struct GateDecision {
+    pub strategy: Strategy,
+    /// Whether the DO-ANY race checker ran at all (only once
+    /// specialisation and the size gate both pass).
+    pub race_checked: bool,
+    /// The DO-ANY verdict. Always `false` for wavefront ops: their
+    /// parallel tier is licensed by the wavefront certificate, not by
+    /// DO-ANY safety.
+    pub race_safe: bool,
+    /// Why a parallel-eligible plan fell back to serial — one of the
+    /// [`reason`] constants ([`reason::NONE`] = it didn't).
+    pub downgrade: &'static str,
+    /// Level statistics from the wavefront certificate; zero for
+    /// DO-ANY ops, which have no level schedule.
+    pub levels: u64,
+    pub max_level_width: u64,
+    pub mean_level_width: f64,
+}
+
+impl GateDecision {
+    fn new(strategy: Strategy, race_checked: bool, race_safe: bool) -> GateDecision {
+        GateDecision {
+            strategy,
+            race_checked,
+            race_safe,
+            downgrade: reason::NONE,
+            levels: 0,
+            max_level_width: 0,
+            mean_level_width: 0.0,
+        }
+    }
+
+    fn serial(race_checked: bool, downgrade: &'static str) -> GateDecision {
+        GateDecision {
+            downgrade,
+            ..GateDecision::new(Strategy::Specialized, race_checked, false)
+        }
+    }
+
+    /// The decision a hint replay records: the cached strategy, no
+    /// race-gate re-run, no downgrade.
+    fn replayed(strategy: Strategy) -> GateDecision {
+        GateDecision::new(strategy, false, false)
+    }
+}
+
+/// The DO-ANY gate chain under an explicit scalar algebra:
+/// specialisability → work threshold → worker pool → race certificate
+/// (`check_do_any_in`, so a reduction nest over a non-associative-
+/// commutative ⊕ (BA06) is provably downgraded to the serial tier
+/// instead of run concurrently).
+pub fn do_any_decision(
+    nest: &LoopNest,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+    algebra: &AlgebraProps,
+) -> GateDecision {
+    if !specializable {
+        return GateDecision::new(Strategy::Interpreted, false, false);
+    }
+    if !exec.should_parallelize(work) {
+        return GateDecision::serial(false, reason::NONE);
+    }
+    // The size gate passed, so the plan *wants* to go parallel — but a
+    // pool that can only run one worker at a time (requested threads
+    // clamped to the hardware parallelism, unless oversubscription is
+    // explicitly allowed) would pay pure fork/join overhead for it.
+    // Downgrade to the serial specialized tier and say why.
+    if exec.effective_workers() <= 1 {
+        return GateDecision::serial(false, reason::SINGLE_WORKER_POOL);
+    }
+    let safe = bernoulli_analysis::race::check_do_any_in(nest, algebra).is_parallel_safe();
+    GateDecision {
+        strategy: if safe { Strategy::Parallel } else { Strategy::Specialized },
+        downgrade: if safe { reason::NONE } else { reason::RACY_NEST },
+        ..GateDecision::new(Strategy::Specialized, true, safe)
+    }
+}
+
+fn do_any_f64(nest: &LoopNest, specializable: bool, work: usize, exec: &ExecConfig) -> GateDecision {
+    do_any_decision(nest, specializable, work, exec, &AlgebraProps::f64_plus())
+}
+
+/// The wavefront gate chain: size threshold → worker pool → DO-ANY
+/// race checker (always refuses a sweep nest — recorded, not trusted)
+/// → wavefront certification → independent BA4x verification → width
+/// heuristic. `triangle == None` means the kernel is a scatter loop
+/// with no parallel form. A `cached` schedule (a structure-cache
+/// replay) skips the O(nnz) longest-path *construction* of
+/// `analyze_wavefront` — never the verification: it is certified
+/// through `wavefront::certify_schedule`, which runs the same
+/// independent BA4x verifier against this operand's pattern, so a
+/// stale or forged cache entry downgrades to serial
+/// ([`reason::SCHEDULE_REJECTED`]) instead of racing.
+fn wave_decision(
+    nrows: usize,
+    rowptr: &[usize],
+    colind: &[usize],
+    triangle: Option<Triangle>,
+    work: usize,
+    ctx: &ExecCtx,
+    cached: Option<LevelSchedule>,
+) -> (GateDecision, Option<(LevelSchedule, WavefrontCert)>) {
+    let cfg = ctx.config();
+    if !cfg.should_parallelize(work) {
+        return (GateDecision::serial(false, reason::NONE), None);
+    }
+    if cfg.effective_workers() <= 1 {
+        return (GateDecision::serial(false, reason::SINGLE_WORKER_POOL), None);
+    }
+    // Consult the DO-ANY checker exactly like the dense engines do.
+    // It refuses the sweep nest (BA01/BA02) — that refusal is the
+    // *reason the wavefront path exists*, so instead of stopping at
+    // `racy_nest` we fall through to the dependence analysis, and the
+    // recorded event shows `race_checked: true, race_safe: false`
+    // alongside the wavefront verdict.
+    debug_assert!(!bernoulli_analysis::check_do_any(&programs::sptrsv()).is_parallel_safe());
+    let Some(triangle) = triangle else {
+        return (GateDecision::serial(true, reason::TRANSPOSED_SCATTER), None);
+    };
+    let (sched, cert) = if let Some(sched) = cached {
+        match wavefront::certify_schedule(nrows, rowptr, colind, triangle, &sched) {
+            Ok(cert) => (sched, cert),
+            Err(_) => return (GateDecision::serial(true, reason::SCHEDULE_REJECTED), None),
+        }
+    } else {
+        let report = analyze_wavefront(nrows, rowptr, colind, triangle);
+        let (Some(sched), Some(cert)) = (report.schedule, report.certificate) else {
+            return (GateDecision::serial(true, reason::NOT_TRIANGULAR), None);
+        };
+        // Independent re-verification — the pipeline does not take the
+        // analysis pass's word for it (`plan_verify` discipline).
+        if !verify_level_schedule(nrows, rowptr, colind, triangle, &sched).is_empty() {
+            return (GateDecision::serial(true, reason::SCHEDULE_REJECTED), None);
+        }
+        (sched, cert)
+    };
+    let (levels, maxw, meanw) =
+        (cert.levels() as u64, cert.max_level_width() as u64, cert.mean_level_width());
+    if meanw < MIN_MEAN_LEVEL_WIDTH {
+        return (
+            GateDecision {
+                strategy: Strategy::Specialized,
+                race_checked: true,
+                race_safe: false,
+                downgrade: reason::LEVELS_TOO_NARROW,
+                levels,
+                max_level_width: maxw,
+                mean_level_width: meanw,
+            },
+            None,
+        );
+    }
+    (
+        GateDecision {
+            strategy: Strategy::Parallel,
+            race_checked: true,
+            race_safe: false,
+            downgrade: reason::NONE,
+            levels,
+            max_level_width: maxw,
+            mean_level_width: meanw,
+        },
+        Some((sched, cert)),
+    )
+}
+
+/// The one obs `strategies` record emitter: every op kind's
+/// compile-time decision flows through here (and bumps the compile
+/// counter). Free on a disabled handle; allocation-free always — every
+/// string field is `&'static`.
+// One positional slot per StrategyEvent field this emits; bundling
+// them into a struct would just restate the event type.
+#[allow(clippy::too_many_arguments)]
+fn record_decision(
+    obs: &Obs,
+    op: &'static str,
+    algebra: &'static str,
+    d: &GateDecision,
+    specializable: bool,
+    work: usize,
+    exec: &ExecConfig,
+    tier: &'static str,
+) {
+    obs.counter("engine.compile", 1);
+    obs.strategy(|| StrategyEvent {
+        op,
+        strategy: d.strategy.name(),
+        algebra,
+        specializable,
+        work: work as u64,
+        threshold: exec.par_threshold_nnz as u64,
+        threads: exec.threads_hint() as u64,
+        race_checked: d.race_checked,
+        race_safe: d.race_safe,
+        tier,
+        downgrade: d.downgrade,
+        levels: d.levels,
+        max_level_width: d.max_level_width,
+        mean_level_width: d.mean_level_width,
+    });
+}
+
+/// Telemetry name component for a format's specialised kernels
+/// (matches the `kernels::spmv_*` function naming).
+pub(crate) fn kind_slug(kind: FormatKind) -> &'static str {
+    match kind {
+        FormatKind::Dense => "dense",
+        FormatKind::Coordinate => "coo",
+        FormatKind::Csr => "csr",
+        FormatKind::Ccs => "ccs",
+        FormatKind::Cccs => "cccs",
+        FormatKind::Diagonal => "diag",
+        FormatKind::Itpack => "itpack",
+        FormatKind::JDiag => "jdiag",
+        FormatKind::Inode => "inode",
+    }
+}
+
+/// The SpMV counter model: every stored nonzero is one multiply-add;
+/// bytes = values + index structure read once (8-byte words each) plus
+/// `x` read and `y` read+written once.
+pub(crate) fn spmv_counters(m: &MatMeta) -> KernelCounters {
+    let nnz = m.nnz as u64;
+    KernelCounters {
+        nnz,
+        flops: 2 * nnz,
+        bytes: 8 * (2 * nnz + m.ncols as u64 + 2 * m.nrows as u64),
+        algebra: "f64_plus",
+    }
+}
+
+/// The SpMM (sparse × sparse) counter model. Exact flops would need the
+/// row-expansion sum; the estimate charges every `A` entry an average
+/// `B` row scan, and bytes charge both operands read once plus the
+/// expansion written through the accumulator.
+pub(crate) fn spmm_counters(a: &MatMeta, b: &MatMeta) -> KernelCounters {
+    let (an, bn) = (a.nnz as u64, b.nnz as u64);
+    let expansion = an.saturating_mul(bn) / (b.nrows.max(1) as u64);
+    KernelCounters {
+        nnz: an + bn,
+        flops: 2 * expansion,
+        bytes: 8 * 2 * (an + bn) + 16 * expansion,
+        algebra: "f64_plus",
+    }
+}
+
+/// The multivector (sparse × skinny dense) counter model: each stored
+/// nonzero does `k` multiply-adds against a dense row.
+pub(crate) fn spmv_multi_counters(m: &MatMeta, k: usize) -> KernelCounters {
+    let nnz = m.nnz as u64;
+    let k = k.max(1) as u64;
+    KernelCounters {
+        nnz,
+        flops: 2 * nnz * k,
+        bytes: 8 * (2 * nnz + m.ncols as u64 * k + 2 * m.nrows as u64 * k),
+        algebra: "f64_plus",
+    }
+}
+
+/// Triangular-solve counter model: one multiply-subtract per stored
+/// off-diagonal plus one divide per row; values + indices read once,
+/// `b` read and `x` written once.
+fn sptrsv_counters(a: &Csr) -> KernelCounters {
+    let nnz = a.nnz() as u64;
+    let n = a.nrows() as u64;
+    KernelCounters { nnz, flops: 2 * nnz + n, bytes: 8 * (2 * nnz + 2 * n), algebra: "f64_plus" }
+}
+
+/// Checked-mode operand gate: when [`ExecConfig::checked`] is set, run
+/// the format-invariant sanitizer over the operand and refuse to
+/// compile against a corrupt matrix ([`RelError::Validation`]).
+fn check_operand(name: &str, m: &SparseMatrix, exec: &ExecConfig) -> RelResult<()> {
+    if exec.checked {
+        m.validate_ok()
+            .map_err(|e| RelError::Validation(format!("operand {name}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn check_csr_operand(name: &str, a: &Csr, exec: &ExecConfig) -> RelResult<()> {
+    if exec.checked {
+        a.validate_ok()
+            .map_err(|e| RelError::Validation(format!("operand {name}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn check_square(a: &Csr, what: &str) -> RelResult<()> {
+    if a.nrows() != a.ncols() {
+        return Err(RelError::Validation(format!(
+            "{what} needs a square matrix, got {}x{}",
+            a.nrows(),
+            a.ncols()
+        )));
+    }
+    Ok(())
+}
+
+/// The canonical matvec plan shape for each format orientation.
+fn natural_spmv_shape(a: &SparseMatrix) -> &'static str {
+    use bernoulli_relational::access::Orientation::*;
+    match a.meta().orientation {
+        RowMajor => "i:outer(A)>j:inner(A)[X?]",
+        ColMajor => "j:outer(A)[X?]>i:inner(A)",
+        Flat => "(i,j):flat(A)[X?]",
+    }
+}
+
+/// Algebra-qualified kernel telemetry name: the classical algebra keeps
+/// the historical bare names (`spmv_csr`), every other algebra gets its
+/// own stream (`spmv_csr.min_plus`) so one name never mixes algebras.
+fn algebra_kernel_name(base: &str, algebra: &'static str) -> String {
+    if algebra == "f64_plus" {
+        base.to_string()
+    } else {
+        format!("{base}.{algebra}")
+    }
+}
+
+/// O(1) operand identity: heap addresses + lengths of the index
+/// arrays, plus the dimension. Moving the owning [`Csr`] (or the
+/// struct that holds it) keeps the heap buffers in place, so the
+/// fingerprint survives moves but rejects clones and different
+/// matrices — the same containment story as the fast-tier and
+/// wavefront certificates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OperandId {
+    rowptr: (usize, usize),
+    colind: (usize, usize),
+    nrows: usize,
+}
+
+impl OperandId {
+    fn of(a: &Csr) -> OperandId {
+        OperandId {
+            rowptr: (a.rowptr().as_ptr() as usize, a.rowptr().len()),
+            colind: (a.colind().as_ptr() as usize, a.colind().len()),
+            nrows: a.nrows(),
+        }
+    }
+}
+
+/// The planning verdicts a structure-keyed plan cache stores per
+/// `(StructureKey, OpKind)` and feeds back through [`compile_hinted`].
+/// Everything here is a cached *decision* — strategy tier, plan shape,
+/// fast-tier eligibility, level schedules — never a proof: the hinted
+/// path skips the planner search, the race-gate re-derivation and the
+/// wavefront schedule *construction*, but checked-mode validation
+/// still runs, the fast tier is armed only by a certificate that
+/// covers the operand actually handed in, and a replayed schedule must
+/// pass the independent BA4x verifier before the parallel tier arms.
+#[derive(Clone, Debug)]
+pub struct OpHints {
+    /// The strategy the cold compile chose for this structure.
+    pub strategy: Strategy,
+    /// Plan-shape signature ([`CompiledKernel::shape`]) of the cold
+    /// plan (empty for the wavefront ops, which never run the planner).
+    pub plan_shape: String,
+    /// Whether the cold compile certified the fast microkernel tier.
+    pub fast_eligible: bool,
+    /// In-memory tier only: the certificate from a previous compile of
+    /// the *same* matrix instance. Never persisted to disk (it
+    /// fingerprints heap addresses); reused only when
+    /// [`fast::MatrixCert::covers`] accepts the operand, re-derived
+    /// otherwise.
+    pub fast_cert: Option<fast::MatrixCert>,
+    /// Cached level schedules: `[solve]` for SpTRSV, `[fwd, bwd]` for
+    /// SymGS, empty for the DO-ANY ops and for structures whose cold
+    /// compile never armed the wavefront tier.
+    pub schedules: Vec<LevelSchedule>,
+}
+
+impl OpHints {
+    /// Hints carrying only level schedules — what a cache stores for
+    /// the wavefront ops, where strategy/shape/fast fields are decided
+    /// fresh by the certify gate on every replay.
+    pub fn schedules_only(schedules: Vec<LevelSchedule>) -> OpHints {
+        OpHints {
+            strategy: Strategy::Specialized,
+            plan_shape: String::new(),
+            fast_eligible: false,
+            fast_cert: None,
+            schedules,
+        }
+    }
+}
+
+/// Where a compiled op's plan came from: the planner (cold), a
+/// structure cache replay (warm), or nowhere — the wavefront ops plan
+/// against the operand's sparsity structure, not a relational query.
+enum PlanSource {
+    Compiled(CompiledKernel),
+    Hinted { shape: String },
+    None,
+}
+
+impl PlanSource {
+    fn shape(&self) -> String {
+        match self {
+            PlanSource::Compiled(k) => k.shape(),
+            PlanSource::Hinted { shape } => shape.clone(),
+            PlanSource::None => String::new(),
+        }
+    }
+}
+
+/// One armed SymGS sweep direction: `(dep_rowptr, dep_colind,
+/// schedule, cert)` over the engine-owned symmetrized triangle.
+type SweepPlan = (Vec<usize>, Vec<usize>, LevelSchedule, WavefrontCert);
+
+/// Per-kind run state.
+enum Payload {
+    Spmv,
+    Spmm,
+    SpmvMulti {
+        k: usize,
+    },
+    SemiringSpmv,
+    SemiringSpmm,
+    Sptrsv {
+        op: TriangularOp,
+        schedule: Option<(LevelSchedule, WavefrontCert)>,
+    },
+    Symgs {
+        operand: OperandId,
+        /// `(dep_rowptr, dep_colind, schedule, cert)` per direction,
+        /// when the parallel tier is armed. Boxed: the armed payload is
+        /// ~3x the next-largest variant, and most ops never carry it.
+        fwd: Option<Box<SweepPlan>>,
+        bwd: Option<Box<SweepPlan>>,
+    },
+}
+
+/// The one compiled artifact every engine facade wraps: the strategy
+/// the gate chain granted, the plan (or its cached shape), the
+/// certificates that license the fast/parallel tiers, and typed run
+/// entry points that dispatch exactly as the pre-refactor engines did.
+pub struct CompiledOp {
+    kind: OpKind,
+    strategy: Strategy,
+    ctx: ExecCtx,
+    plan: PlanSource,
+    downgrade: &'static str,
+    /// Validation certificate for the fast microkernel tier, computed
+    /// once at compile time when [`ExecCtx::fast_kernels`] armed it and
+    /// the operand passed the full sanitizer. `None` = reference tier.
+    fast_cert: Option<fast::MatrixCert>,
+    payload: Payload,
+}
+
+// ---------------------------------------------------------------------
+// Compilation: one public entry per temperature, dispatching on spec.
+// ---------------------------------------------------------------------
+
+/// Compile an operation cold: run the planner (where the op has one),
+/// the full gate chain, and record the decision through the one obs
+/// emitter. `S` names the scalar algebra for the semiring specs and is
+/// ignored (pass `F64Plus`) for the classical ones; a semiring spec
+/// whose `algebra` disagrees with `S::NAME` is refused.
+pub fn compile<S: Semiring>(
+    spec: OpSpec,
+    operands: Operands<'_>,
+    ctx: &ExecCtx,
+) -> RelResult<CompiledOp> {
+    match (spec, operands) {
+        (OpSpec::Spmv, Operands::Mat(a)) => compile_spmv(a, ctx),
+        (OpSpec::Spmm, Operands::MatPair(a, b)) => compile_spmm(a, b, ctx),
+        (OpSpec::SpmvMulti { k }, Operands::Mat(a)) => compile_spmv_multi(a, k, ctx),
+        (OpSpec::SemiringSpmv { algebra }, Operands::Mat(a)) => {
+            check_algebra::<S>(algebra)?;
+            compile_semiring_spmv::<S>(a, ctx)
+        }
+        (OpSpec::SemiringSpmm { algebra }, Operands::CsrPair(a, b)) => {
+            check_algebra::<S>(algebra)?;
+            compile_semiring_spmm::<S>(a, b, ctx)
+        }
+        (OpSpec::Sptrsv { op }, Operands::Tri(a)) => compile_sptrsv(a, op, ctx, None),
+        (OpSpec::Symgs, Operands::Tri(a)) => compile_symgs(a, ctx, None),
+        (spec, operands) => Err(operand_mismatch(spec, &operands)),
+    }
+}
+
+/// Compile an operation warm, replaying a structure cache's [`OpHints`]
+/// through the same soundness gates — the unified `bernoulli-tune`
+/// seam. Decisions replay; proofs never do (see [`OpHints`]). Specs
+/// whose hints cannot be replayed soundly (an `Interpreted` verdict
+/// needs a real plan; a specialised verdict needs the format the
+/// structure key promised) fall back to the full [`compile`].
+pub fn compile_hinted<S: Semiring>(
+    spec: OpSpec,
+    operands: Operands<'_>,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    match (spec, operands) {
+        (OpSpec::Spmv, Operands::Mat(a)) => compile_spmv_hinted(a, ctx, hints),
+        (OpSpec::Spmm, Operands::MatPair(a, b)) => compile_spmm_hinted(a, b, ctx, hints),
+        (OpSpec::SpmvMulti { k }, Operands::Mat(a)) => {
+            compile_spmv_multi_hinted(a, k, ctx, hints)
+        }
+        (OpSpec::SemiringSpmv { algebra }, Operands::Mat(a)) => {
+            check_algebra::<S>(algebra)?;
+            compile_semiring_spmv_hinted::<S>(a, ctx, hints)
+        }
+        (OpSpec::SemiringSpmm { algebra }, Operands::CsrPair(a, b)) => {
+            check_algebra::<S>(algebra)?;
+            compile_semiring_spmm_hinted::<S>(a, b, ctx, hints)
+        }
+        (OpSpec::Sptrsv { op }, Operands::Tri(a)) => {
+            compile_sptrsv(a, op, ctx, hints.schedules.first().cloned())
+        }
+        (OpSpec::Symgs, Operands::Tri(a)) => {
+            let cached = match &hints.schedules[..] {
+                [f, b] => Some((f.clone(), b.clone())),
+                _ => None,
+            };
+            compile_symgs(a, ctx, cached)
+        }
+        (spec, operands) => Err(operand_mismatch(spec, &operands)),
+    }
+}
+
+fn check_algebra<S: Semiring>(algebra: &'static str) -> RelResult<()> {
+    if algebra != S::NAME {
+        return Err(RelError::Validation(format!(
+            "op algebra {:?} does not match the compiled semiring {:?}",
+            algebra,
+            S::NAME
+        )));
+    }
+    Ok(())
+}
+
+fn operand_mismatch(spec: OpSpec, operands: &Operands<'_>) -> RelError {
+    RelError::Validation(format!(
+        "op {spec:?} cannot compile against {} operands",
+        operands.shape_name()
+    ))
+}
+
+fn compile_spmv(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<CompiledOp> {
+    check_operand("A", a, ctx.config())?;
+    let m = a.meta();
+    let meta = QueryMeta::new()
+        .mat(MAT_A, m)
+        .vec(VEC_X, VecMeta::dense(m.ncols))
+        .vec(VEC_Y, VecMeta::dense(m.nrows));
+    let nest = programs::matvec();
+    let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+    // Both the format's natural hierarchical traversal and the flat
+    // enumeration plan compute exactly what the format's hand kernel
+    // computes (A enumerated once, X directly indexed), so either
+    // shape dispatches to it.
+    let shape = kernel.shape();
+    let specializable =
+        ctx.specialize() && (shape == natural_spmv_shape(a) || shape == "(i,j):flat(A)[X?]");
+    let decision = do_any_f64(&nest, specializable, m.nnz, ctx.config());
+    // The fast tier is armed only by explicit opt-in, only for the
+    // serial specialized strategy, and only when the operand passes
+    // the full Validate sanitizer *now* — a rejected certificate
+    // silently keeps the reference tier (observable via `tier`).
+    let fast_cert = if ctx.fast() && decision.strategy == Strategy::Specialized {
+        fast::MatrixCert::certify(a).ok()
+    } else {
+        None
+    };
+    let tier = if fast_cert.is_some() { "fast" } else { "reference" };
+    record_decision(ctx.obs(), "spmv", "f64_plus", &decision, specializable, m.nnz, ctx.config(), tier);
+    Ok(CompiledOp {
+        kind: OpKind::Spmv,
+        strategy: decision.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Compiled(kernel),
+        downgrade: decision.downgrade,
+        fast_cert,
+        payload: Payload::Spmv,
+    })
+}
+
+fn compile_spmv_hinted(
+    a: &SparseMatrix,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    if hints.strategy == Strategy::Interpreted || !ctx.specialize() {
+        return compile_spmv(a, ctx);
+    }
+    check_operand("A", a, ctx.config())?;
+    let m = a.meta();
+    let strategy = regate(hints.strategy, m.nnz, ctx.config());
+    let fast_cert = replay_fast_cert(a, ctx, strategy, hints);
+    let tier = if fast_cert.is_some() { "fast" } else { "reference" };
+    ctx.obs().counter("engine.compile_hinted", 1);
+    record_decision(
+        ctx.obs(),
+        "spmv",
+        "f64_plus",
+        &GateDecision::replayed(strategy),
+        true,
+        m.nnz,
+        ctx.config(),
+        tier,
+    );
+    Ok(CompiledOp {
+        kind: OpKind::Spmv,
+        strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+        downgrade: reason::NONE,
+        fast_cert,
+        payload: Payload::Spmv,
+    })
+}
+
+/// Re-apply the O(1) gates on a replayed verdict: a cached Parallel
+/// verdict still needs *this* context's pool and *this* operand's size
+/// to pay for fork/join. The expensive race-check verdict is what the
+/// cache carries (it depends only on the canonical nest and the
+/// algebra, both part of the cache key). Downgrade-only: a replay
+/// never upgrades a cached serial verdict.
+fn regate(cached: Strategy, work: usize, cfg: &ExecConfig) -> Strategy {
+    if cached == Strategy::Parallel
+        && (!cfg.should_parallelize(work) || cfg.effective_workers() <= 1)
+    {
+        Strategy::Specialized
+    } else {
+        cached
+    }
+}
+
+/// Certification reuse, not certification skip: `covers()` re-checks
+/// dimensions, addresses and the index-array content hash before the
+/// cached certificate transfers; anything else re-runs the sanitizer.
+fn replay_fast_cert(
+    a: &SparseMatrix,
+    ctx: &ExecCtx,
+    strategy: Strategy,
+    hints: &OpHints,
+) -> Option<fast::MatrixCert> {
+    if ctx.fast() && strategy == Strategy::Specialized && hints.fast_eligible {
+        match &hints.fast_cert {
+            Some(c) if c.covers(a) => Some(*c),
+            _ => fast::MatrixCert::certify(a).ok(),
+        }
+    } else {
+        None
+    }
+}
+
+const GUSTAVSON_SHAPE: &str = "i:outer(A)>k:inner(A)[B?]>j:inner(B)";
+const MULTI_SHAPE: &str = "i:outer(A)>j:inner(A)[B?]>k:inner(B)";
+
+fn compile_spmm(a: &SparseMatrix, b: &SparseMatrix, ctx: &ExecCtx) -> RelResult<CompiledOp> {
+    check_operand("A", a, ctx.config())?;
+    check_operand("B", b, ctx.config())?;
+    let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
+    let nest = programs::matmat();
+    let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+    // Gustavson's traversal over two CSR operands is the one shape
+    // with a hand-tuned kernel. Work estimate for the parallel gate:
+    // the driver operand's nonzeros (each expands into a B-row scan).
+    let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
+    let specializable = ctx.specialize() && both_csr && kernel.shape() == GUSTAVSON_SHAPE;
+    let decision = do_any_f64(&nest, specializable, a.meta().nnz, ctx.config());
+    record_decision(
+        ctx.obs(),
+        "spmm",
+        "f64_plus",
+        &decision,
+        specializable,
+        a.meta().nnz,
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::Spmm,
+        strategy: decision.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Compiled(kernel),
+        downgrade: decision.downgrade,
+        fast_cert: None,
+        payload: Payload::Spmm,
+    })
+}
+
+fn compile_spmm_hinted(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    // A specialised verdict only replays onto the operand family it was
+    // derived for; the structure key upstream pins the format tag, but
+    // the O(1) re-check keeps the seam sound even against a confused
+    // caller — anything else degenerates to the cold path.
+    let both_csr = matches!(a, SparseMatrix::Csr(_)) && matches!(b, SparseMatrix::Csr(_));
+    if hints.strategy == Strategy::Interpreted || !ctx.specialize() || !both_csr {
+        return compile_spmm(a, b, ctx);
+    }
+    check_operand("A", a, ctx.config())?;
+    check_operand("B", b, ctx.config())?;
+    let work = a.meta().nnz;
+    let strategy = regate(hints.strategy, work, ctx.config());
+    ctx.obs().counter("engine.compile_hinted", 1);
+    record_decision(
+        ctx.obs(),
+        "spmm",
+        "f64_plus",
+        &GateDecision::replayed(strategy),
+        true,
+        work,
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::Spmm,
+        strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+        downgrade: reason::NONE,
+        fast_cert: None,
+        payload: Payload::Spmm,
+    })
+}
+
+fn compile_spmv_multi(a: &SparseMatrix, k: usize, ctx: &ExecCtx) -> RelResult<CompiledOp> {
+    check_operand("A", a, ctx.config())?;
+    let m = a.meta();
+    // The multivector's metadata: a dense ncols × k matrix.
+    let x_meta = bernoulli_formats::DenseMatrix::zeros(m.ncols, k).meta();
+    let meta = QueryMeta::new().mat(MAT_A, m).mat(MAT_B, x_meta);
+    let nest = programs::matvec_multi();
+    let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+    // The natural shape: rows of A, then A's entries, then the dense
+    // multivector row — CSR dispatches to the blocked kernel. Work
+    // estimate: nnz·k fused multiply-adds.
+    let is_csr = matches!(a, SparseMatrix::Csr(_));
+    let specializable = ctx.specialize() && is_csr && kernel.shape() == MULTI_SHAPE;
+    let work = m.nnz.saturating_mul(k.max(1));
+    let decision = do_any_f64(&nest, specializable, work, ctx.config());
+    record_decision(
+        ctx.obs(),
+        "spmv_multi",
+        "f64_plus",
+        &decision,
+        specializable,
+        work,
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::SpmvMulti,
+        strategy: decision.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Compiled(kernel),
+        downgrade: decision.downgrade,
+        fast_cert: None,
+        payload: Payload::SpmvMulti { k },
+    })
+}
+
+fn compile_spmv_multi_hinted(
+    a: &SparseMatrix,
+    k: usize,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    let is_csr = matches!(a, SparseMatrix::Csr(_));
+    if hints.strategy == Strategy::Interpreted || !ctx.specialize() || !is_csr {
+        return compile_spmv_multi(a, k, ctx);
+    }
+    check_operand("A", a, ctx.config())?;
+    let work = a.meta().nnz.saturating_mul(k.max(1));
+    let strategy = regate(hints.strategy, work, ctx.config());
+    ctx.obs().counter("engine.compile_hinted", 1);
+    record_decision(
+        ctx.obs(),
+        "spmv_multi",
+        "f64_plus",
+        &GateDecision::replayed(strategy),
+        true,
+        work,
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::SpmvMulti,
+        strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+        downgrade: reason::NONE,
+        fast_cert: None,
+        payload: Payload::SpmvMulti { k },
+    })
+}
+
+fn compile_semiring_spmv<S: Semiring>(a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<CompiledOp> {
+    check_operand("A", a, ctx.config())?;
+    let m = a.meta();
+    let meta = QueryMeta::new()
+        .mat(MAT_A, m)
+        .vec(VEC_X, VecMeta::dense(m.ncols))
+        .vec(VEC_Y, VecMeta::dense(m.nrows));
+    let nest = programs::matvec();
+    let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+    let decision = do_any_decision(&nest, true, m.nnz, ctx.config(), &S::props());
+    record_decision(ctx.obs(), "spmv", S::NAME, &decision, true, m.nnz, ctx.config(), "reference");
+    Ok(CompiledOp {
+        kind: OpKind::SemiringSpmv(S::NAME),
+        strategy: decision.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Compiled(kernel),
+        downgrade: decision.downgrade,
+        fast_cert: None,
+        payload: Payload::SemiringSpmv,
+    })
+}
+
+fn compile_semiring_spmv_hinted<S: Semiring>(
+    a: &SparseMatrix,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    // There is no interpreter tier off the f64 algebra, so an
+    // Interpreted hint can only mean a foreign cache entry — recompute.
+    if hints.strategy == Strategy::Interpreted {
+        return compile_semiring_spmv::<S>(a, ctx);
+    }
+    check_operand("A", a, ctx.config())?;
+    let m = a.meta();
+    // The cached verdict already encodes the per-algebra race check
+    // (the cache key carries S::NAME), so only the O(1) gates re-run.
+    let strategy = regate(hints.strategy, m.nnz, ctx.config());
+    ctx.obs().counter("engine.compile_hinted", 1);
+    record_decision(
+        ctx.obs(),
+        "spmv",
+        S::NAME,
+        &GateDecision::replayed(strategy),
+        true,
+        m.nnz,
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::SemiringSpmv(S::NAME),
+        strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+        downgrade: reason::NONE,
+        fast_cert: None,
+        payload: Payload::SemiringSpmv,
+    })
+}
+
+fn compile_semiring_spmm<S: Semiring>(a: &Csr, b: &Csr, ctx: &ExecCtx) -> RelResult<CompiledOp> {
+    check_csr_operand("A", a, ctx.config())?;
+    check_csr_operand("B", b, ctx.config())?;
+    let meta = QueryMeta::new().mat(MAT_A, a.meta()).mat(MAT_B, b.meta());
+    let nest = programs::matmat();
+    let kernel = Compiler::in_ctx(ctx).compile(&nest, &meta)?;
+    // The parallel tier merges per-block partial products, which is
+    // only sound when ⊕ is associative-commutative — the same BA06
+    // gate the kernels self-apply.
+    let decision = do_any_decision(&nest, true, a.nnz(), ctx.config(), &S::props());
+    record_decision(ctx.obs(), "spmm", S::NAME, &decision, true, a.nnz(), ctx.config(), "reference");
+    Ok(CompiledOp {
+        kind: OpKind::SemiringSpmm(S::NAME),
+        strategy: decision.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Compiled(kernel),
+        downgrade: decision.downgrade,
+        fast_cert: None,
+        payload: Payload::SemiringSpmm,
+    })
+}
+
+fn compile_semiring_spmm_hinted<S: Semiring>(
+    a: &Csr,
+    b: &Csr,
+    ctx: &ExecCtx,
+    hints: &OpHints,
+) -> RelResult<CompiledOp> {
+    if hints.strategy == Strategy::Interpreted {
+        return compile_semiring_spmm::<S>(a, b, ctx);
+    }
+    check_csr_operand("A", a, ctx.config())?;
+    check_csr_operand("B", b, ctx.config())?;
+    let strategy = regate(hints.strategy, a.nnz(), ctx.config());
+    ctx.obs().counter("engine.compile_hinted", 1);
+    record_decision(
+        ctx.obs(),
+        "spmm",
+        S::NAME,
+        &GateDecision::replayed(strategy),
+        true,
+        a.nnz(),
+        ctx.config(),
+        "reference",
+    );
+    Ok(CompiledOp {
+        kind: OpKind::SemiringSpmm(S::NAME),
+        strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::Hinted { shape: hints.plan_shape.clone() },
+        downgrade: reason::NONE,
+        fast_cert: None,
+        payload: Payload::SemiringSpmm,
+    })
+}
+
+fn compile_sptrsv(
+    a: &Csr,
+    op: TriangularOp,
+    ctx: &ExecCtx,
+    cached: Option<LevelSchedule>,
+) -> RelResult<CompiledOp> {
+    check_csr_operand("A", a, ctx.config())?;
+    check_square(a, "triangular solve")?;
+    let (d, schedule) =
+        wave_decision(a.nrows(), a.rowptr(), a.colind(), op.triangle(), a.nnz(), ctx, cached);
+    record_decision(ctx.obs(), "sptrsv", "f64_plus", &d, true, a.nnz(), ctx.config(), "reference");
+    Ok(CompiledOp {
+        kind: OpSpec::Sptrsv { op }.kind(),
+        strategy: d.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::None,
+        downgrade: d.downgrade,
+        fast_cert: None,
+        payload: Payload::Sptrsv { op, schedule },
+    })
+}
+
+fn compile_symgs(
+    a: &Csr,
+    ctx: &ExecCtx,
+    cached: Option<(LevelSchedule, LevelSchedule)>,
+) -> RelResult<CompiledOp> {
+    check_csr_operand("A", a, ctx.config())?;
+    check_square(a, "Gauss-Seidel")?;
+    let n = a.nrows();
+    let (cached_fwd, cached_bwd) = match cached {
+        Some((f, b)) => (Some(f), Some(b)),
+        None => (None, None),
+    };
+    let (frp, fci) = wavefront::symmetrize_lower(n, a.rowptr(), a.colind());
+    let (d, fwd_sched) =
+        wave_decision(n, &frp, &fci, Some(Triangle::Lower), a.nnz(), ctx, cached_fwd);
+    record_decision(ctx.obs(), "symgs", "f64_plus", &d, true, a.nnz(), ctx.config(), "reference");
+    let mut compiled = CompiledOp {
+        kind: OpKind::Symgs,
+        strategy: d.strategy,
+        ctx: ctx.clone(),
+        plan: PlanSource::None,
+        downgrade: d.downgrade,
+        fast_cert: None,
+        payload: Payload::Symgs { operand: OperandId::of(a), fwd: None, bwd: None },
+    };
+    if let Some((fs, fc)) = fwd_sched {
+        let (brp, bci) = wavefront::symmetrize_upper(n, a.rowptr(), a.colind());
+        let (bd, bwd_sched) =
+            wave_decision(n, &brp, &bci, Some(Triangle::Upper), a.nnz(), ctx, cached_bwd);
+        if let Some((bs, bc)) = bwd_sched {
+            compiled.payload = Payload::Symgs {
+                operand: OperandId::of(a),
+                fwd: Some(Box::new((frp, fci, fs, fc))),
+                bwd: Some(Box::new((brp, bci, bs, bc))),
+            };
+        } else {
+            // Can only happen if the two symmetrizations disagree —
+            // they never should, but never trust, always verify.
+            compiled.strategy = Strategy::Specialized;
+            compiled.downgrade = bd.downgrade;
+        }
+    }
+    Ok(compiled)
+}
+
+// ---------------------------------------------------------------------
+// The compiled artifact: accessors + typed run entry points.
+// ---------------------------------------------------------------------
+
+impl CompiledOp {
+    /// The cache-key kind this op compiled as.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Why the parallel tier was not granted ([`reason::NONE`] = it
+    /// was, or the size gate never asked).
+    pub fn downgrade(&self) -> &'static str {
+        self.downgrade
+    }
+
+    pub fn plan_shape(&self) -> String {
+        self.plan.shape()
+    }
+
+    /// Which kernel tier the run entry points dispatch to: `"fast"`
+    /// (certified bounds-check-free microkernels) or `"reference"`
+    /// (the safe-indexed library kernels).
+    pub fn tier(&self) -> &'static str {
+        if self.fast_cert.is_some() {
+            "fast"
+        } else {
+            "reference"
+        }
+    }
+
+    /// The multivector width a [`OpSpec::SpmvMulti`] op was compiled
+    /// for (0 for every other kind).
+    pub fn multi_width(&self) -> usize {
+        match self.payload {
+            Payload::SpmvMulti { k } => k,
+            _ => 0,
+        }
+    }
+
+    /// Export this op's decisions for a structure-keyed plan cache
+    /// (the input [`compile_hinted`] replays).
+    pub fn hints(&self) -> OpHints {
+        let schedules = match &self.payload {
+            Payload::Sptrsv { schedule: Some((s, _)), .. } => vec![s.clone()],
+            Payload::Symgs { fwd: Some(f), bwd: Some(b), .. } => {
+                vec![f.2.clone(), b.2.clone()]
+            }
+            _ => Vec::new(),
+        };
+        OpHints {
+            strategy: self.strategy,
+            plan_shape: self.plan.shape(),
+            fast_eligible: self.fast_cert.is_some(),
+            fast_cert: self.fast_cert,
+            schedules,
+        }
+    }
+
+    /// The certified level schedule of an SpTRSV op, when the parallel
+    /// tier is armed.
+    pub fn schedule(&self) -> Option<&LevelSchedule> {
+        match &self.payload {
+            Payload::Sptrsv { schedule, .. } => schedule.as_ref().map(|(s, _)| s),
+            _ => None,
+        }
+    }
+
+    /// The certified forward-sweep level schedule of a SymGS op, when
+    /// armed.
+    pub fn forward_schedule(&self) -> Option<&LevelSchedule> {
+        match &self.payload {
+            Payload::Symgs { fwd, .. } => fwd.as_ref().map(|t| &t.2),
+            _ => None,
+        }
+    }
+
+    /// The certified backward-sweep level schedule of a SymGS op, when
+    /// armed (what a plan cache persists alongside
+    /// [`forward_schedule`](Self::forward_schedule)).
+    pub fn backward_schedule(&self) -> Option<&LevelSchedule> {
+        match &self.payload {
+            Payload::Symgs { bwd, .. } => bwd.as_ref().map(|t| &t.2),
+            _ => None,
+        }
+    }
+
+    /// Render an SpMV op's plan as pseudocode, truthful about the
+    /// tier: the fast tier shows the 4-lane unrolled reduction shape
+    /// (see [`crate::codegen::emit_pseudocode_fast`]); the reference
+    /// tier is the classic [`crate::codegen::emit_pseudocode`] loop.
+    pub fn pseudocode(&self) -> String {
+        let PlanSource::Compiled(kernel) = &self.plan else {
+            return format!("// plan replayed from structure cache: {}", self.plan.shape());
+        };
+        match &self.fast_cert {
+            Some(fast::MatrixCert::Csr(_)) => {
+                crate::codegen::emit_pseudocode_fast(kernel, fast::LANES)
+            }
+            Some(_) => crate::codegen::emit_pseudocode_fast(kernel, 1),
+            None => crate::codegen::emit_pseudocode(kernel),
+        }
+    }
+
+    /// `y += A·x`. The matrix must be the one the op was compiled for
+    /// (same format and shape; enforced by the shape checks in the
+    /// underlying paths).
+    pub fn run_spmv(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
+        // The cached certificate only covers the exact arrays it was
+        // computed over; a different matrix (or a clone — the arrays
+        // moved) falls back to the reference kernel.
+        let use_fast = self.strategy == Strategy::Specialized
+            && self.fast_cert.as_ref().is_some_and(|c| c.covers(a));
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized if use_fast => {
+                    format!("fast_spmv_{}", kind_slug(a.kind()))
+                }
+                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
+                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
+                Strategy::Interpreted => "interp_spmv".to_string(),
+            };
+            obs.kernel(&name, spmv_counters(&a.meta()));
+        }
+        match self.strategy {
+            Strategy::Specialized => {
+                if use_fast {
+                    fast::spmv_acc_fast(a, x, y, self.fast_cert.as_ref().unwrap());
+                } else {
+                    a.spmv_acc(x, y);
+                }
+                Ok(())
+            }
+            Strategy::Parallel => {
+                a.par_spmv_acc(x, y, &self.ctx);
+                Ok(())
+            }
+            Strategy::Interpreted => {
+                let PlanSource::Compiled(kernel) = &self.plan else {
+                    unreachable!("hinted ops never carry the interpreter tier")
+                };
+                let mut b = Bindings::new();
+                b.bind_mat(MAT_A, a).bind_vec(VEC_X, &x).bind_vec_mut(VEC_Y, y);
+                kernel.run(&mut b)
+            }
+        }
+    }
+
+    /// `C += A·B` into a dense row-major buffer `c` of shape
+    /// `a.nrows() × b.ncols()`.
+    pub fn run_spmm(&self, a: &SparseMatrix, b: &SparseMatrix, c: &mut [f64]) -> RelResult<()> {
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized => "spmm_csr_csr",
+                Strategy::Parallel => "par_spmm_csr_csr",
+                Strategy::Interpreted => "interp_spmm",
+            };
+            obs.kernel(name, spmm_counters(&a.meta(), &b.meta()));
+        }
+        match self.strategy {
+            Strategy::Specialized | Strategy::Parallel => {
+                let (SparseMatrix::Csr(ca), SparseMatrix::Csr(cb)) = (a, b) else {
+                    unreachable!("specialised only for CSR×CSR")
+                };
+                let prod = if self.strategy == Strategy::Parallel {
+                    par_kernels::par_spmm_csr_csr(ca, cb, &self.ctx)
+                } else {
+                    kernels::spmm_csr_csr(ca, cb)
+                };
+                let ncols = cb.ncols();
+                for (i, j, v) in prod.to_triplets().canonicalize().entries().iter().copied() {
+                    c[i * ncols + j] += v;
+                }
+                Ok(())
+            }
+            Strategy::Interpreted => {
+                let PlanSource::Compiled(kernel) = &self.plan else {
+                    unreachable!("hinted ops never carry the interpreter tier")
+                };
+                let mut binds = Bindings::new();
+                binds.bind_mat(MAT_A, a).bind_mat(MAT_B, b).bind_mat_mut(
+                    MAT_C,
+                    c,
+                    a.meta().nrows,
+                    b.meta().ncols,
+                );
+                kernel.run(&mut binds)
+            }
+        }
+    }
+
+    /// `Y += A·X` with `X: ncols×k` and `Y: nrows×k`, both row-major.
+    pub fn run_spmv_multi(&self, a: &SparseMatrix, x: &[f64], y: &mut [f64]) -> RelResult<()> {
+        let Payload::SpmvMulti { k } = self.payload else {
+            unreachable!("run_spmv_multi on a non-multivector op")
+        };
+        let m = a.meta();
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let name = match self.strategy {
+                Strategy::Specialized => "spmm_csr_dense",
+                Strategy::Parallel => "par_spmm_csr_dense",
+                Strategy::Interpreted => "interp_spmv_multi",
+            };
+            obs.kernel(name, spmv_multi_counters(&m, k));
+        }
+        match self.strategy {
+            Strategy::Specialized => {
+                let SparseMatrix::Csr(ca) = a else {
+                    unreachable!("specialised only for CSR");
+                };
+                kernels::spmm_csr_dense(ca, x, k, y);
+                Ok(())
+            }
+            Strategy::Parallel => {
+                let SparseMatrix::Csr(ca) = a else {
+                    unreachable!("specialised only for CSR");
+                };
+                par_kernels::par_spmm_csr_dense(ca, x, k, y, &self.ctx);
+                Ok(())
+            }
+            Strategy::Interpreted => {
+                let PlanSource::Compiled(kernel) = &self.plan else {
+                    unreachable!("hinted ops never carry the interpreter tier")
+                };
+                let xm = bernoulli_formats::DenseMatrix::from_row_major(m.ncols, k, x.to_vec());
+                let mut binds = Bindings::new();
+                binds
+                    .bind_mat(MAT_A, a)
+                    .bind_mat(MAT_B, &xm)
+                    .bind_mat_mut(MAT_C, y, m.nrows, k);
+                kernel.run(&mut binds)
+            }
+        }
+    }
+
+    /// `y = y ⊕ (A ⊗ x)` under `S` (accumulating, like
+    /// [`CompiledOp::run_spmv`]).
+    pub fn run_semiring_spmv<S: Semiring>(
+        &self,
+        a: &SparseMatrix,
+        x: &[S::Elem],
+        y: &mut [S::Elem],
+    ) -> RelResult<()> {
+        debug_assert_eq!(self.kind.algebra(), S::NAME, "op compiled under a different algebra");
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let base = match self.strategy {
+                Strategy::Specialized => format!("spmv_{}", kind_slug(a.kind())),
+                Strategy::Parallel => format!("par_spmv_{}", kind_slug(a.kind())),
+                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+            };
+            let name = algebra_kernel_name(&base, S::NAME);
+            obs.kernel(&name, KernelCounters { algebra: S::NAME, ..spmv_counters(&a.meta()) });
+        }
+        match self.strategy {
+            Strategy::Specialized => a.spmv_acc_in::<S>(x, y),
+            Strategy::Parallel => a.par_spmv_acc_in::<S>(x, y, &self.ctx),
+            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+        }
+        Ok(())
+    }
+
+    /// The product's nonzero entries `(i, j, v)` with `v ≠ S::zero()`,
+    /// row-sorted, columns sorted within each row.
+    pub fn run_semiring_spmm_entries<S: Semiring>(
+        &self,
+        a: &Csr,
+        b: &Csr,
+    ) -> RelResult<Vec<(usize, usize, S::Elem)>> {
+        debug_assert_eq!(self.kind.algebra(), S::NAME, "op compiled under a different algebra");
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            let base = match self.strategy {
+                Strategy::Specialized => "spmm_csr_csr",
+                Strategy::Parallel => "par_spmm_csr_csr",
+                Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+            };
+            let name = algebra_kernel_name(base, S::NAME);
+            obs.kernel(
+                &name,
+                KernelCounters { algebra: S::NAME, ..spmm_counters(&a.meta(), &b.meta()) },
+            );
+        }
+        let mut entries = match self.strategy {
+            Strategy::Specialized => kernels::spmm_csr_csr_in::<S>(a, b),
+            Strategy::Parallel => par_kernels::par_spmm_csr_csr_in::<S>(a, b, &self.ctx),
+            Strategy::Interpreted => unreachable!("no interpreter tier off the f64 algebra"),
+        };
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        Ok(entries)
+    }
+
+    /// Solve the triangular system for `b` into `x`. Bitwise-identical
+    /// results on every tier.
+    pub fn run_sptrsv(&self, a: &Csr, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let Payload::Sptrsv { op, schedule } = &self.payload else {
+            unreachable!("run_sptrsv on a non-solve op")
+        };
+        let parallel = self.strategy == Strategy::Parallel && schedule.is_some();
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(op.kernel_name(parallel), sptrsv_counters(a));
+        }
+        let ud = op.unit_diag();
+        match (op, schedule) {
+            (TriangularOp::Lower { .. }, Some((sched, cert))) if parallel => {
+                par_kernels::par_sptrsv_csr_lower(a, ud, b, x, sched, cert, &self.ctx)
+            }
+            (TriangularOp::Upper { .. }, Some((sched, cert))) if parallel => {
+                par_kernels::par_sptrsv_csr_upper(a, ud, b, x, sched, cert, &self.ctx)
+            }
+            (TriangularOp::Lower { .. }, _) => kernels::sptrsv_csr_lower(a, ud, b, x),
+            (TriangularOp::Upper { .. }, _) => kernels::sptrsv_csr_upper(a, ud, b, x),
+            (TriangularOp::LowerTransposed { .. }, _) => {
+                kernels::sptrsv_csr_lower_transposed(a, ud, b, x)
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the SymGS parallel tier is armed *for this operand*:
+    /// the certificates bind the engine-owned symmetrized arrays; the
+    /// operand fingerprint ties those arrays back to `a`.
+    pub(crate) fn symgs_parallel_for(&self, a: &Csr) -> bool {
+        match &self.payload {
+            Payload::Symgs { operand, fwd, bwd } => {
+                self.strategy == Strategy::Parallel
+                    && fwd.is_some()
+                    && bwd.is_some()
+                    && *operand == OperandId::of(a)
+            }
+            _ => false,
+        }
+    }
+
+    /// One forward (ascending-row) weighted Gauss-Seidel sweep on `x`
+    /// in place. Bitwise-identical on every tier.
+    pub fn sweep_forward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let parallel = self.symgs_parallel_for(a);
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(
+                if parallel { "par_symgs_forward_csr" } else { "symgs_forward_csr" },
+                sptrsv_counters(a),
+            );
+        }
+        if parallel {
+            let Payload::Symgs { fwd: Some(t), .. } = &self.payload else {
+                unreachable!("symgs_parallel_for checked fwd")
+            };
+            let (rp, ci, s, c) = &**t;
+            par_kernels::par_symgs_forward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
+        } else {
+            kernels::symgs_forward_csr(a, omega, b, x);
+        }
+        Ok(())
+    }
+
+    /// One backward (descending-row) weighted Gauss-Seidel sweep on
+    /// `x` in place. Bitwise-identical on every tier.
+    pub fn sweep_backward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
+        let parallel = self.symgs_parallel_for(a);
+        let obs = self.ctx.obs();
+        if obs.is_enabled() {
+            obs.kernel(
+                if parallel { "par_symgs_backward_csr" } else { "symgs_backward_csr" },
+                sptrsv_counters(a),
+            );
+        }
+        if parallel {
+            let Payload::Symgs { bwd: Some(t), .. } = &self.payload else {
+                unreachable!("symgs_parallel_for checked bwd")
+            };
+            let (rp, ci, s, c) = &**t;
+            par_kernels::par_symgs_backward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
+        } else {
+            kernels::symgs_backward_csr(a, omega, b, x);
+        }
+        Ok(())
+    }
+
+    /// Apply the symmetric Gauss-Seidel / SSOR preconditioner:
+    /// `z ← M⁻¹·r` with `M ∝ (D + ωL)·D⁻¹·(D + ωU)`, computed as a
+    /// forward sweep from `z = 0` followed by a backward sweep (the
+    /// constant SSOR scaling `1/(ω(2−ω))` is dropped — preconditioned
+    /// CG is invariant under positive scaling of `M`). `ω = 1` is
+    /// symmetric Gauss-Seidel.
+    pub fn apply_ssor(&self, a: &Csr, omega: f64, r: &[f64], z: &mut [f64]) -> RelResult<()> {
+        z.fill(0.0);
+        self.sweep_forward(a, omega, r, z)?;
+        self.sweep_backward(a, omega, r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bernoulli_relational::semiring::F64Plus;
+
+    #[test]
+    fn parallel_refused_for_racy_nest() {
+        // A nest the race checker rejects can never compile to
+        // Strategy::Parallel, even when the plan is specialisable and
+        // the work clears the threshold. `Y(i) = A(i,j)·X(j)` as a
+        // scatter *assignment* races on Y(i) across j-iterations (BA01).
+        use bernoulli_relational::scalar::UpdateOp;
+        let mut racy = programs::matvec();
+        racy.op = UpdateOp::Assign;
+        let exec = ExecConfig::with_threads(4).threshold(1).oversubscribe(true);
+        let d = do_any_f64(&racy, true, 1 << 20, &exec);
+        assert_eq!(d.strategy, Strategy::Specialized);
+        assert_eq!(d.downgrade, reason::RACY_NEST);
+        // Same gates, the genuine reduction nest: Parallel granted.
+        let d = do_any_f64(&programs::matvec(), true, 1 << 20, &exec);
+        assert_eq!(d.strategy, Strategy::Parallel);
+        assert_eq!(d.downgrade, reason::NONE);
+        // All engine nests carry a certificate.
+        for nest in [programs::matvec(), programs::matmat(), programs::matvec_multi()] {
+            assert!(bernoulli_analysis::race::check_do_any(&nest).is_parallel_safe());
+        }
+    }
+
+    #[test]
+    fn gate_order_is_size_then_pool_then_race() {
+        let nest = programs::matvec();
+        // Below the threshold the race gate never runs.
+        let d = do_any_f64(&nest, true, 4, &ExecConfig::with_threads(4).threshold(1000));
+        assert_eq!((d.strategy, d.race_checked), (Strategy::Specialized, false));
+        assert_eq!(d.downgrade, reason::NONE);
+        // A requested-but-unavailable pool downgrades before the race
+        // gate, too (threads_hint > 1, so the size gate passes; without
+        // oversubscription the effective pool clamps to the hardware).
+        let d = do_any_f64(&nest, true, 1 << 20, &ExecConfig::with_threads(4).threshold(1));
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if hw <= 1 {
+            assert_eq!((d.strategy, d.race_checked), (Strategy::Specialized, false));
+            assert_eq!(d.downgrade, reason::SINGLE_WORKER_POOL);
+        } else {
+            assert_eq!((d.strategy, d.race_checked), (Strategy::Parallel, true));
+        }
+        // Non-specialisable plans interpret without consulting any gate.
+        let d = do_any_f64(&nest, false, 1 << 20, &ExecConfig::with_threads(4).threshold(1));
+        assert_eq!((d.strategy, d.downgrade), (Strategy::Interpreted, reason::NONE));
+    }
+
+    #[test]
+    fn op_kind_tags_round_trip() {
+        let kinds = [
+            OpKind::Spmv,
+            OpKind::Spmm,
+            OpKind::SpmvMulti,
+            OpKind::SemiringSpmv("min_plus"),
+            OpKind::SemiringSpmm("count_u64"),
+            OpKind::SptrsvLower,
+            OpKind::SptrsvUpper,
+            OpKind::SptrsvLowerTransposed,
+            OpKind::Symgs,
+        ];
+        for kind in kinds {
+            assert_eq!(OpKind::from_tag(&kind.tag()), Some(kind), "tag {}", kind.tag());
+        }
+        assert_eq!(OpKind::from_tag("spmv.warp_shuffle"), None);
+        assert_eq!(OpKind::from_tag("conv2d"), None);
+    }
+
+    #[test]
+    fn spec_kind_folds_instance_parameters_away() {
+        assert_eq!(OpSpec::SpmvMulti { k: 4 }.kind(), OpSpec::SpmvMulti { k: 9 }.kind());
+        let lower = OpSpec::Sptrsv { op: TriangularOp::Lower { unit_diag: false } };
+        let lower_unit = OpSpec::Sptrsv { op: TriangularOp::Lower { unit_diag: true } };
+        assert_eq!(lower.kind(), lower_unit.kind());
+        assert_ne!(
+            lower.kind(),
+            OpSpec::Sptrsv { op: TriangularOp::Upper { unit_diag: false } }.kind()
+        );
+    }
+
+    #[test]
+    fn mismatched_operand_bundle_is_refused() {
+        let t = bernoulli_formats::gen::random_sparse(8, 8, 20, 9);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let err = compile::<F64Plus>(OpSpec::Symgs, Operands::Mat(&a), &ExecCtx::default());
+        assert!(matches!(err, Err(RelError::Validation(_))));
+        let err = compile::<F64Plus>(
+            OpSpec::SemiringSpmv { algebra: "min_plus" },
+            Operands::Mat(&a),
+            &ExecCtx::default(),
+        )
+        .err();
+        match err {
+            Some(RelError::Validation(ref m)) if m.contains("does not match") => {}
+            other => panic!("algebra mismatch must be refused: {:?}", other),
+        }
+    }
+}

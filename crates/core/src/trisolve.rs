@@ -1,273 +1,41 @@
-//! DO-ACROSS engines: certified level-scheduled triangular solve and
-//! symmetric Gauss-Seidel sweeps.
+//! DO-ACROSS engine facades: certified level-scheduled triangular
+//! solve and symmetric Gauss-Seidel sweeps.
 //!
 //! The DO-ANY engines in [`crate::engines`] gate `Strategy::Parallel`
-//! on the race checker; the sweep nests here
-//! ([`programs::sptrsv`])
-//! are *provably refused* by that checker (BA01/BA02 — the solution
-//! vector is assigned per row and read across rows), and rightly so
-//! under any-order execution. These engines route through the
-//! `bernoulli-analysis` **wavefront pass** instead: at compile time
-//! the loop-carried dependence DAG is extracted from the operand's
-//! sparsity structure, its level sets are computed, and the parallel
-//! tier is granted only when
+//! on the race checker; the sweep nests here are *provably refused* by
+//! that checker (BA01/BA02 — the solution vector is assigned per row
+//! and read across rows), and rightly so under any-order execution.
+//! These engines route through the `bernoulli-analysis` **wavefront
+//! pass** instead: at compile time the loop-carried dependence DAG is
+//! extracted from the operand's sparsity structure, its level sets are
+//! computed, and the parallel tier is granted only when
 //!
-//! 1. the pass issues an unforgeable [`WavefrontCert`],
-//! 2. the **independent** BA4x schedule verifier
-//!    ([`verify_level_schedule`]) re-accepts the schedule (the
-//!    `plan_verify` pattern: never trust the producer), and
+//! 1. the pass issues an unforgeable `WavefrontCert`,
+//! 2. the **independent** BA4x schedule verifier re-accepts the
+//!    schedule (the `plan_verify` pattern: never trust the producer),
+//!    and
 //! 3. the schedule has enough parallelism per wave to pay for
 //!    dispatch ([`MIN_MEAN_LEVEL_WIDTH`]).
 //!
-//! Every downgrade records its reason in the obs `strategies` stream
-//! (`single_worker_pool`, `transposed_scatter`, `not_triangular`,
-//! `schedule_rejected`, `levels_too_narrow`), together with the level
-//! count and max/mean level width, so the decision is auditable. The
-//! serial tier is always available and bit-identical to the parallel
-//! one (the level-parallel kernels preserve each row's exact operation
-//! order), so a downgrade never changes results.
+//! Since the pipeline unification that whole gate chain lives in
+//! [`crate::pipeline`] (`wave_decision`), shared with the DO-ANY ops;
+//! the types here are thin typed facades over
+//! [`crate::pipeline::CompiledOp`] kept for source compatibility.
+//! Every downgrade records its reason from the unified
+//! [`crate::pipeline::reason`] vocabulary in the obs `strategies`
+//! stream, together with the level count and max/mean level width, so
+//! the decision is auditable. The serial tier is always available and
+//! bit-identical to the parallel one (the level-parallel kernels
+//! preserve each row's exact operation order), so a downgrade never
+//! changes results.
 
-use crate::engines::Strategy;
-use bernoulli_analysis::wavefront::{
-    self, analyze_wavefront, verify_level_schedule, LevelSchedule, Triangle, WavefrontCert,
-};
-use bernoulli_formats::kernels as ker;
-use bernoulli_formats::par_kernels as par;
+use crate::pipeline::{self, CompiledOp, OpHints, OpSpec, Operands, Strategy};
+use bernoulli_analysis::wavefront::LevelSchedule;
 use bernoulli_formats::{Csr, ExecCtx};
-use bernoulli_obs::events::{KernelCounters, StrategyEvent};
-use bernoulli_obs::Obs;
-use bernoulli_relational::ast::programs;
-use bernoulli_relational::error::{RelError, RelResult};
+use bernoulli_relational::error::RelResult;
+use bernoulli_relational::semiring::F64Plus;
 
-/// Minimum mean rows per level for the parallel tier: below this a
-/// schedule is mostly serial chain (the worst case is one row per
-/// level) and per-wave fork/join overhead cannot be amortized — the
-/// engine downgrades with reason `levels_too_narrow`.
-pub const MIN_MEAN_LEVEL_WIDTH: f64 = 2.0;
-
-/// Which triangular system an [`SptrsvEngine`] solves.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TriangularOp {
-    /// `L·x = b`, forward substitution (gather). Level-parallelizable.
-    Lower { unit_diag: bool },
-    /// `U·x = b`, backward substitution (gather). Level-parallelizable.
-    Upper { unit_diag: bool },
-    /// `Lᵀ·x = b` from the stored lower factor, without materializing
-    /// the transpose — a *scatter* loop, which has no bitwise-
-    /// deterministic level-parallel form: concurrent waves would
-    /// interleave partial updates of shared entries. Always serial
-    /// (downgrade reason `transposed_scatter`).
-    LowerTransposed { unit_diag: bool },
-}
-
-impl TriangularOp {
-    fn triangle(self) -> Option<Triangle> {
-        match self {
-            TriangularOp::Lower { .. } => Some(Triangle::Lower),
-            TriangularOp::Upper { .. } => Some(Triangle::Upper),
-            TriangularOp::LowerTransposed { .. } => None,
-        }
-    }
-
-    fn unit_diag(self) -> bool {
-        match self {
-            TriangularOp::Lower { unit_diag }
-            | TriangularOp::Upper { unit_diag }
-            | TriangularOp::LowerTransposed { unit_diag } => unit_diag,
-        }
-    }
-
-    fn kernel_name(self, parallel: bool) -> &'static str {
-        match (self, parallel) {
-            (TriangularOp::Lower { .. }, false) => "sptrsv_csr_lower",
-            (TriangularOp::Lower { .. }, true) => "par_sptrsv_csr_lower",
-            (TriangularOp::Upper { .. }, false) => "sptrsv_csr_upper",
-            (TriangularOp::Upper { .. }, true) => "par_sptrsv_csr_upper",
-            (TriangularOp::LowerTransposed { .. }, _) => "sptrsv_csr_lower_transposed",
-        }
-    }
-}
-
-/// O(1) operand identity: heap addresses + lengths of the index
-/// arrays, plus the dimension. Moving the owning [`Csr`] (or the
-/// struct that holds it) keeps the heap buffers in place, so the
-/// fingerprint survives moves but rejects clones and different
-/// matrices — the same containment story as the fast-tier and
-/// wavefront certificates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct OperandId {
-    rowptr: (usize, usize),
-    colind: (usize, usize),
-    nrows: usize,
-}
-
-impl OperandId {
-    fn of(a: &Csr) -> OperandId {
-        OperandId {
-            rowptr: (a.rowptr().as_ptr() as usize, a.rowptr().len()),
-            colind: (a.colind().as_ptr() as usize, a.colind().len()),
-            nrows: a.nrows(),
-        }
-    }
-}
-
-/// Outcome of the wavefront gate chain, with everything the obs event
-/// needs.
-struct WaveDecision {
-    strategy: Strategy,
-    race_checked: bool,
-    downgrade: &'static str,
-    schedule: Option<(LevelSchedule, WavefrontCert)>,
-    levels: u64,
-    max_level_width: u64,
-    mean_level_width: f64,
-}
-
-impl WaveDecision {
-    fn serial(race_checked: bool, downgrade: &'static str) -> WaveDecision {
-        WaveDecision {
-            strategy: Strategy::Specialized,
-            race_checked,
-            downgrade,
-            schedule: None,
-            levels: 0,
-            max_level_width: 0,
-            mean_level_width: 0.0,
-        }
-    }
-}
-
-/// The shared gate chain: size threshold → worker pool → DO-ANY race
-/// checker (always refuses a sweep nest — recorded, not trusted) →
-/// wavefront certification → independent BA4x verification → width
-/// heuristic. `triangle == None` means the kernel is a scatter loop
-/// with no parallel form.
-fn wave_decision(
-    nrows: usize,
-    rowptr: &[usize],
-    colind: &[usize],
-    triangle: Option<Triangle>,
-    work: usize,
-    ctx: &ExecCtx,
-) -> WaveDecision {
-    wave_decision_cached(nrows, rowptr, colind, triangle, work, ctx, None)
-}
-
-/// [`wave_decision`] with an optionally pre-built level schedule (a
-/// structure-cache replay). A cached schedule skips the O(nnz)
-/// longest-path *construction* of [`analyze_wavefront`] — never the
-/// verification: it is certified through
-/// [`wavefront::certify_schedule`], which runs the same independent
-/// BA4x verifier against this operand's pattern, so a stale or forged
-/// cache entry downgrades to serial (`schedule_rejected`) instead of
-/// racing.
-fn wave_decision_cached(
-    nrows: usize,
-    rowptr: &[usize],
-    colind: &[usize],
-    triangle: Option<Triangle>,
-    work: usize,
-    ctx: &ExecCtx,
-    cached: Option<LevelSchedule>,
-) -> WaveDecision {
-    let cfg = ctx.config();
-    if !cfg.should_parallelize(work) {
-        return WaveDecision::serial(false, "");
-    }
-    if cfg.effective_workers() <= 1 {
-        return WaveDecision::serial(false, "single_worker_pool");
-    }
-    // Consult the DO-ANY checker exactly like the dense engines do.
-    // It refuses the sweep nest (BA01/BA02) — that refusal is the
-    // *reason this engine exists*, so instead of stopping at
-    // `racy_nest` we fall through to the dependence analysis, and the
-    // recorded event shows `race_checked: true, race_safe: false`
-    // alongside the wavefront verdict.
-    debug_assert!(!bernoulli_analysis::check_do_any(&programs::sptrsv()).is_parallel_safe());
-    let Some(triangle) = triangle else {
-        return WaveDecision::serial(true, "transposed_scatter");
-    };
-    let (sched, cert) = if let Some(sched) = cached {
-        match wavefront::certify_schedule(nrows, rowptr, colind, triangle, &sched) {
-            Ok(cert) => (sched, cert),
-            Err(_) => return WaveDecision::serial(true, "schedule_rejected"),
-        }
-    } else {
-        let report = analyze_wavefront(nrows, rowptr, colind, triangle);
-        let (Some(sched), Some(cert)) = (report.schedule, report.certificate) else {
-            return WaveDecision::serial(true, "not_triangular");
-        };
-        // Independent re-verification — the engine does not take the
-        // analysis pass's word for it (`plan_verify` discipline).
-        if !verify_level_schedule(nrows, rowptr, colind, triangle, &sched).is_empty() {
-            return WaveDecision::serial(true, "schedule_rejected");
-        }
-        (sched, cert)
-    };
-    let (levels, maxw, meanw) =
-        (cert.levels() as u64, cert.max_level_width() as u64, cert.mean_level_width());
-    if meanw < MIN_MEAN_LEVEL_WIDTH {
-        return WaveDecision {
-            strategy: Strategy::Specialized,
-            race_checked: true,
-            downgrade: "levels_too_narrow",
-            schedule: None,
-            levels,
-            max_level_width: maxw,
-            mean_level_width: meanw,
-        };
-    }
-    WaveDecision {
-        strategy: Strategy::Parallel,
-        race_checked: true,
-        downgrade: "",
-        schedule: Some((sched, cert)),
-        levels,
-        max_level_width: maxw,
-        mean_level_width: meanw,
-    }
-}
-
-fn record_wave_strategy(obs: &Obs, op: &str, d: &WaveDecision, work: usize, ctx: &ExecCtx) {
-    obs.counter("engine.compile", 1);
-    let cfg = ctx.config();
-    obs.strategy(|| StrategyEvent {
-        op: op.to_string(),
-        strategy: d.strategy.name().to_string(),
-        algebra: "f64_plus".to_string(),
-        specializable: true,
-        work: work as u64,
-        threshold: cfg.par_threshold_nnz as u64,
-        threads: cfg.threads_hint() as u64,
-        race_checked: d.race_checked,
-        // The DO-ANY verdict on a sweep nest is always "unsafe"; the
-        // parallel tier here is licensed by the wavefront certificate,
-        // not by DO-ANY safety.
-        race_safe: false,
-        tier: "reference".to_string(),
-        downgrade: d.downgrade.to_string(),
-        levels: d.levels,
-        max_level_width: d.max_level_width,
-        mean_level_width: d.mean_level_width,
-    });
-}
-
-/// Triangular-solve counter model: one multiply-subtract per stored
-/// off-diagonal plus one divide per row; values + indices read once,
-/// `b` read and `x` written once.
-fn sptrsv_counters(a: &Csr) -> KernelCounters {
-    let nnz = a.nnz() as u64;
-    let n = a.nrows() as u64;
-    KernelCounters { nnz, flops: 2 * nnz + n, bytes: 8 * (2 * nnz + 2 * n), algebra: "f64_plus" }
-}
-
-fn check_operand(a: &Csr, ctx: &ExecCtx) -> RelResult<()> {
-    if ctx.config().checked {
-        use bernoulli_analysis::Validate;
-        a.validate_ok().map_err(|e| RelError::Validation(format!("operand A: {e}")))?;
-    }
-    Ok(())
-}
+pub use crate::pipeline::{TriangularOp, MIN_MEAN_LEVEL_WIDTH};
 
 /// A compiled triangular-solve engine for one CSR factor.
 ///
@@ -276,11 +44,7 @@ fn check_operand(a: &Csr, ctx: &ExecCtx) -> RelResult<()> {
 /// the operand it is handed — a different matrix, or a tampered
 /// schedule, silently falls back to the bit-identical serial kernel.
 pub struct SptrsvEngine {
-    op: TriangularOp,
-    strategy: Strategy,
-    ctx: ExecCtx,
-    schedule: Option<(LevelSchedule, WavefrontCert)>,
-    downgrade: &'static str,
+    op: CompiledOp,
 }
 
 impl SptrsvEngine {
@@ -295,103 +59,59 @@ impl SptrsvEngine {
     /// statistics and any downgrade reason) in the obs `strategies`
     /// stream.
     pub fn compile_in(a: &Csr, op: TriangularOp, ctx: &ExecCtx) -> RelResult<SptrsvEngine> {
-        check_operand(a, ctx)?;
-        if a.nrows() != a.ncols() {
-            return Err(RelError::Validation(format!(
-                "triangular solve needs a square matrix, got {}x{}",
-                a.nrows(),
-                a.ncols()
-            )));
-        }
-        let d = wave_decision(a.nrows(), a.rowptr(), a.colind(), op.triangle(), a.nnz(), ctx);
-        record_wave_strategy(ctx.obs(), "sptrsv", &d, a.nnz(), ctx);
         Ok(SptrsvEngine {
-            op,
-            strategy: d.strategy,
-            ctx: ctx.clone(),
-            schedule: d.schedule,
-            downgrade: d.downgrade,
+            op: pipeline::compile::<F64Plus>(OpSpec::Sptrsv { op }, Operands::Tri(a), ctx)?,
         })
     }
 
     /// Compile with a level schedule replayed from a structure-keyed
     /// plan cache, skipping the O(nnz) wavefront *construction* but
     /// none of the gates: the schedule is re-certified against this
-    /// operand's pattern by the independent BA4x verifier
-    /// ([`wavefront::certify_schedule`]) before the parallel tier is
-    /// armed, and a rejected schedule downgrades to the bit-identical
-    /// serial kernel with reason `schedule_rejected`.
+    /// operand's pattern by the independent BA4x verifier before the
+    /// parallel tier is armed, and a rejected schedule downgrades to
+    /// the bit-identical serial kernel with reason
+    /// [`reason::SCHEDULE_REJECTED`](crate::pipeline::reason::SCHEDULE_REJECTED).
     pub fn compile_with_schedule(
         a: &Csr,
         op: TriangularOp,
         sched: LevelSchedule,
         ctx: &ExecCtx,
     ) -> RelResult<SptrsvEngine> {
-        check_operand(a, ctx)?;
-        if a.nrows() != a.ncols() {
-            return Err(RelError::Validation(format!(
-                "triangular solve needs a square matrix, got {}x{}",
-                a.nrows(),
-                a.ncols()
-            )));
-        }
-        let d = wave_decision_cached(
-            a.nrows(),
-            a.rowptr(),
-            a.colind(),
-            op.triangle(),
-            a.nnz(),
-            ctx,
-            Some(sched),
-        );
-        record_wave_strategy(ctx.obs(), "sptrsv", &d, a.nnz(), ctx);
         Ok(SptrsvEngine {
-            op,
-            strategy: d.strategy,
-            ctx: ctx.clone(),
-            schedule: d.schedule,
-            downgrade: d.downgrade,
+            op: pipeline::compile_hinted::<F64Plus>(
+                OpSpec::Sptrsv { op },
+                Operands::Tri(a),
+                ctx,
+                &OpHints::schedules_only(vec![sched]),
+            )?,
         })
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     /// Why the parallel tier was not granted (`""` = it was, or the
     /// size gate never asked).
     pub fn downgrade(&self) -> &'static str {
-        self.downgrade
+        self.op.downgrade()
     }
 
     /// The certified level schedule, when the parallel tier is armed.
     pub fn schedule(&self) -> Option<&LevelSchedule> {
-        self.schedule.as_ref().map(|(s, _)| s)
+        self.op.schedule()
+    }
+
+    /// Export this engine's decisions (the certified schedule) for a
+    /// structure-keyed plan cache.
+    pub fn hints(&self) -> OpHints {
+        self.op.hints()
     }
 
     /// Solve the triangular system for `b` into `x`. Bitwise-identical
     /// results on every tier.
     pub fn run(&self, a: &Csr, b: &[f64], x: &mut [f64]) -> RelResult<()> {
-        let parallel = self.strategy == Strategy::Parallel && self.schedule.is_some();
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            obs.kernel(self.op.kernel_name(parallel), sptrsv_counters(a));
-        }
-        let ud = self.op.unit_diag();
-        match (self.op, &self.schedule) {
-            (TriangularOp::Lower { .. }, Some((sched, cert))) if parallel => {
-                par::par_sptrsv_csr_lower(a, ud, b, x, sched, cert, &self.ctx)
-            }
-            (TriangularOp::Upper { .. }, Some((sched, cert))) if parallel => {
-                par::par_sptrsv_csr_upper(a, ud, b, x, sched, cert, &self.ctx)
-            }
-            (TriangularOp::Lower { .. }, _) => ker::sptrsv_csr_lower(a, ud, b, x),
-            (TriangularOp::Upper { .. }, _) => ker::sptrsv_csr_upper(a, ud, b, x),
-            (TriangularOp::LowerTransposed { .. }, _) => {
-                ker::sptrsv_csr_lower_transposed(a, ud, b, x)
-            }
-        }
-        Ok(())
+        self.op.run_sptrsv(a, b, x)
     }
 }
 
@@ -407,14 +127,7 @@ impl SptrsvEngine {
 /// certificates bind those engine-owned dependence arrays plus the
 /// operand identity.
 pub struct SymGsEngine {
-    operand: OperandId,
-    strategy: Strategy,
-    ctx: ExecCtx,
-    /// `(dep_rowptr, dep_colind, schedule, cert)` per direction, when
-    /// the parallel tier is armed.
-    fwd: Option<(Vec<usize>, Vec<usize>, LevelSchedule, WavefrontCert)>,
-    bwd: Option<(Vec<usize>, Vec<usize>, LevelSchedule, WavefrontCert)>,
-    downgrade: &'static str,
+    op: CompiledOp,
 }
 
 impl SymGsEngine {
@@ -430,7 +143,7 @@ impl SymGsEngine {
     /// forward schedule's level statistics (the backward schedule of a
     /// symmetrized pattern has the same widths, mirrored).
     pub fn compile_in(a: &Csr, ctx: &ExecCtx) -> RelResult<SymGsEngine> {
-        Self::compile_impl(a, ctx, None)
+        Ok(SymGsEngine { op: pipeline::compile::<F64Plus>(OpSpec::Symgs, Operands::Tri(a), ctx)? })
     }
 
     /// Compile with the forward/backward level schedules replayed from
@@ -447,129 +160,56 @@ impl SymGsEngine {
         bwd: LevelSchedule,
         ctx: &ExecCtx,
     ) -> RelResult<SymGsEngine> {
-        Self::compile_impl(a, ctx, Some((fwd, bwd)))
-    }
-
-    fn compile_impl(
-        a: &Csr,
-        ctx: &ExecCtx,
-        cached: Option<(LevelSchedule, LevelSchedule)>,
-    ) -> RelResult<SymGsEngine> {
-        check_operand(a, ctx)?;
-        if a.nrows() != a.ncols() {
-            return Err(RelError::Validation(format!(
-                "Gauss-Seidel needs a square matrix, got {}x{}",
-                a.nrows(),
-                a.ncols()
-            )));
-        }
-        let n = a.nrows();
-        let (cached_fwd, cached_bwd) = match cached {
-            Some((f, b)) => (Some(f), Some(b)),
-            None => (None, None),
-        };
-        let (frp, fci) = wavefront::symmetrize_lower(n, a.rowptr(), a.colind());
-        let d =
-            wave_decision_cached(n, &frp, &fci, Some(Triangle::Lower), a.nnz(), ctx, cached_fwd);
-        record_wave_strategy(ctx.obs(), "symgs", &d, a.nnz(), ctx);
-        let mut engine = SymGsEngine {
-            operand: OperandId::of(a),
-            strategy: d.strategy,
-            ctx: ctx.clone(),
-            fwd: None,
-            bwd: None,
-            downgrade: d.downgrade,
-        };
-        if let Some((fs, fc)) = d.schedule {
-            let (brp, bci) = wavefront::symmetrize_upper(n, a.rowptr(), a.colind());
-            let bd = wave_decision_cached(
-                n,
-                &brp,
-                &bci,
-                Some(Triangle::Upper),
-                a.nnz(),
+        Ok(SymGsEngine {
+            op: pipeline::compile_hinted::<F64Plus>(
+                OpSpec::Symgs,
+                Operands::Tri(a),
                 ctx,
-                cached_bwd,
-            );
-            if let Some((bs, bc)) = bd.schedule {
-                engine.fwd = Some((frp, fci, fs, fc));
-                engine.bwd = Some((brp, bci, bs, bc));
-            } else {
-                // Can only happen if the two symmetrizations disagree —
-                // they never should, but never trust, always verify.
-                engine.strategy = Strategy::Specialized;
-                engine.downgrade = bd.downgrade;
-            }
-        }
-        Ok(engine)
+                &OpHints::schedules_only(vec![fwd, bwd]),
+            )?,
+        })
     }
 
     pub fn strategy(&self) -> Strategy {
-        self.strategy
+        self.op.strategy()
     }
 
     pub fn downgrade(&self) -> &'static str {
-        self.downgrade
+        self.op.downgrade()
     }
 
     /// The certified forward-sweep level schedule, when armed.
     pub fn forward_schedule(&self) -> Option<&LevelSchedule> {
-        self.fwd.as_ref().map(|(_, _, s, _)| s)
+        self.op.forward_schedule()
     }
 
     /// The certified backward-sweep level schedule, when armed (what a
     /// plan cache persists alongside [`forward_schedule`](Self::forward_schedule)).
     pub fn backward_schedule(&self) -> Option<&LevelSchedule> {
-        self.bwd.as_ref().map(|(_, _, s, _)| s)
+        self.op.backward_schedule()
     }
 
+    /// Export this engine's decisions (both certified schedules) for a
+    /// structure-keyed plan cache.
+    pub fn hints(&self) -> OpHints {
+        self.op.hints()
+    }
+
+    #[cfg(test)]
     fn parallel_for(&self, a: &Csr) -> bool {
-        // The certificates bind the engine-owned symmetrized arrays;
-        // the operand fingerprint ties those arrays back to `a`.
-        self.strategy == Strategy::Parallel
-            && self.fwd.is_some()
-            && self.bwd.is_some()
-            && self.operand == OperandId::of(a)
+        self.op.symgs_parallel_for(a)
     }
 
     /// One forward (ascending-row) weighted Gauss-Seidel sweep on `x`
     /// in place. Bitwise-identical on every tier.
     pub fn sweep_forward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
-        let parallel = self.parallel_for(a);
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            obs.kernel(
-                if parallel { "par_symgs_forward_csr" } else { "symgs_forward_csr" },
-                sptrsv_counters(a),
-            );
-        }
-        if parallel {
-            let (rp, ci, s, c) = self.fwd.as_ref().expect("parallel_for checked fwd");
-            par::par_symgs_forward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
-        } else {
-            ker::symgs_forward_csr(a, omega, b, x);
-        }
-        Ok(())
+        self.op.sweep_forward(a, omega, b, x)
     }
 
     /// One backward (descending-row) weighted Gauss-Seidel sweep on
     /// `x` in place. Bitwise-identical on every tier.
     pub fn sweep_backward(&self, a: &Csr, omega: f64, b: &[f64], x: &mut [f64]) -> RelResult<()> {
-        let parallel = self.parallel_for(a);
-        let obs = self.ctx.obs();
-        if obs.is_enabled() {
-            obs.kernel(
-                if parallel { "par_symgs_backward_csr" } else { "symgs_backward_csr" },
-                sptrsv_counters(a),
-            );
-        }
-        if parallel {
-            let (rp, ci, s, c) = self.bwd.as_ref().expect("parallel_for checked bwd");
-            par::par_symgs_backward_csr(a, omega, b, x, rp, ci, s, c, &self.ctx);
-        } else {
-            ker::symgs_backward_csr(a, omega, b, x);
-        }
-        Ok(())
+        self.op.sweep_backward(a, omega, b, x)
     }
 
     /// Apply the symmetric Gauss-Seidel / SSOR preconditioner:
@@ -579,16 +219,16 @@ impl SymGsEngine {
     /// CG is invariant under positive scaling of `M`). `ω = 1` is
     /// symmetric Gauss-Seidel.
     pub fn apply_ssor(&self, a: &Csr, omega: f64, r: &[f64], z: &mut [f64]) -> RelResult<()> {
-        z.fill(0.0);
-        self.sweep_forward(a, omega, r, z)?;
-        self.sweep_backward(a, omega, r, z)
+        self.op.apply_ssor(a, omega, r, z)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::reason;
     use bernoulli_formats::gen::grid2d_5pt;
+    use bernoulli_formats::kernels as ker;
     use bernoulli_formats::Triplets;
 
     fn lower_of_grid() -> Csr {
@@ -622,8 +262,9 @@ mod tests {
         let l = lower_of_grid();
         let n = l.nrows();
         let b: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 17) as f64 - 8.0).collect();
-        let eng = SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
-            .unwrap();
+        let eng =
+            SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
+                .unwrap();
         assert_eq!(eng.strategy(), Strategy::Parallel, "downgrade: {}", eng.downgrade());
         let mut x_par = vec![0.0; n];
         eng.run(&l, &b, &mut x_par).unwrap();
@@ -638,10 +279,11 @@ mod tests {
     #[test]
     fn chain_is_downgraded_as_too_narrow() {
         let l = chain(64);
-        let eng = SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
-            .unwrap();
+        let eng =
+            SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &par_ctx())
+                .unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized);
-        assert_eq!(eng.downgrade(), "levels_too_narrow");
+        assert_eq!(eng.downgrade(), reason::LEVELS_TOO_NARROW);
     }
 
     #[test]
@@ -654,7 +296,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized);
-        assert_eq!(eng.downgrade(), "transposed_scatter");
+        assert_eq!(eng.downgrade(), reason::TRANSPOSED_SCATTER);
     }
 
     #[test]
@@ -726,7 +368,7 @@ mod tests {
         let forged = LevelSchedule::from_raw_unchecked(n, rows, s.level_ptr().to_vec());
         let bad = SptrsvEngine::compile_with_schedule(&l, op, forged, &par_ctx()).unwrap();
         assert_eq!(bad.strategy(), Strategy::Specialized);
-        assert_eq!(bad.downgrade(), "schedule_rejected");
+        assert_eq!(bad.downgrade(), reason::SCHEDULE_REJECTED);
         let mut x_bad = vec![0.0; n];
         bad.run(&l, &b, &mut x_bad).unwrap();
         assert_eq!(x_bad, x_cold, "serial fallback stays bit-identical");
@@ -759,7 +401,7 @@ mod tests {
         let bwd = clone_of(cold.backward_schedule().unwrap());
         let swapped = SymGsEngine::compile_with_schedules(&a, bwd, fwd, &par_ctx()).unwrap();
         assert_eq!(swapped.strategy(), Strategy::Specialized);
-        assert_eq!(swapped.downgrade(), "schedule_rejected");
+        assert_eq!(swapped.downgrade(), reason::SCHEDULE_REJECTED);
         let mut x_swapped = vec![0.0; n];
         swapped.apply_ssor(&a, 1.2, &b, &mut x_swapped).unwrap();
         assert_eq!(x_swapped, x_cold);
@@ -768,11 +410,14 @@ mod tests {
     #[test]
     fn below_threshold_is_serial_with_no_downgrade_reason() {
         let l = chain(8);
-        let eng =
-            SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &ExecCtx::default())
-                .unwrap();
+        let eng = SptrsvEngine::compile_in(
+            &l,
+            TriangularOp::Lower { unit_diag: false },
+            &ExecCtx::default(),
+        )
+        .unwrap();
         assert_eq!(eng.strategy(), Strategy::Specialized);
-        assert_eq!(eng.downgrade(), "");
+        assert_eq!(eng.downgrade(), reason::NONE);
     }
 
     #[test]

@@ -33,15 +33,21 @@ pub struct PlanEvent {
 
 /// An engine's execution-strategy decision with the gates that led
 /// to it.
+///
+/// The classifying fields (`op`, `strategy`, `algebra`, `tier`,
+/// `downgrade`) are `&'static str`: every producer draws them from a
+/// closed vocabulary of interned names (op tags, `Strategy::name()`,
+/// `Semiring::NAME`, the `reason` constants of the compilation
+/// pipeline), so recording a decision allocates nothing.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StrategyEvent {
-    /// Engine kind (`spmv`, `spmm`, `spmv_multi`).
-    pub op: String,
+    /// Engine kind (`spmv`, `spmm`, `spmv_multi`, `sptrsv`, `symgs`).
+    pub op: &'static str,
     /// The decision: `Specialized`, `Parallel` or `Interpreted`.
-    pub strategy: String,
+    pub strategy: &'static str,
     /// The scalar algebra the engine evaluates under (e.g. `f64_plus`,
     /// `min_plus`) — parallel-tier certification is per-algebra.
-    pub algebra: String,
+    pub algebra: &'static str,
     /// Whether the plan matched a hand-kernel traversal.
     pub specializable: bool,
     /// Work estimate (stored nonzeros or flop-equivalent).
@@ -58,7 +64,7 @@ pub struct StrategyEvent {
     /// Which kernel tier the strategy resolved to: `reference` (the
     /// safe-indexed library kernels) or `fast` (certified
     /// bounds-check-free microkernels).
-    pub tier: String,
+    pub tier: &'static str,
     /// Why a `Parallel`-eligible plan was downgraded to serial, if it
     /// was (`""` = no downgrade): `single_worker_pool` (the effective
     /// pool cannot run > 1 worker), `racy_nest` (the DO-ANY race
@@ -68,7 +74,7 @@ pub struct StrategyEvent {
     /// is cyclic), `schedule_rejected` (the independent BA4x verifier
     /// refused the schedule) or `levels_too_narrow` (a valid schedule
     /// with too little parallelism per wave to pay for dispatch).
-    pub downgrade: String,
+    pub downgrade: &'static str,
     /// DO-ACROSS wavefront engines only: number of levels in the
     /// computed schedule (0 = not a wavefront decision).
     pub levels: u64,

@@ -86,17 +86,17 @@ impl Report {
         }));
         let strategies = array(self.strategies.iter().map(|s| {
             Obj::new()
-                .str("op", &s.op)
-                .str("strategy", &s.strategy)
-                .str("algebra", &s.algebra)
+                .str("op", s.op)
+                .str("strategy", s.strategy)
+                .str("algebra", s.algebra)
                 .bool("specializable", s.specializable)
                 .u64("work", s.work)
                 .u64("threshold", s.threshold)
                 .u64("threads", s.threads)
                 .bool("race_checked", s.race_checked)
                 .bool("race_safe", s.race_safe)
-                .str("tier", &s.tier)
-                .str("downgrade", &s.downgrade)
+                .str("tier", s.tier)
+                .str("downgrade", s.downgrade)
                 .u64("levels", s.levels)
                 .u64("max_level_width", s.max_level_width)
                 .f64("mean_level_width", s.mean_level_width)
@@ -170,10 +170,10 @@ impl Report {
             }
         }
         for s in &self.strategies {
-            if !["Specialized", "Parallel", "Interpreted"].contains(&s.strategy.as_str()) {
+            if !["Specialized", "Parallel", "Interpreted"].contains(&s.strategy) {
                 return Err(format!("strategy {}: unknown strategy {}", s.op, s.strategy));
             }
-            if !["reference", "fast"].contains(&s.tier.as_str()) {
+            if !["reference", "fast"].contains(&s.tier) {
                 return Err(format!("strategy {}: unknown tier {}", s.op, s.tier));
             }
             if !s.mean_level_width.is_finite() || s.mean_level_width < 0.0 {
@@ -268,17 +268,17 @@ mod tests {
             explain: "plan ...".into(),
         });
         obs.strategy(|| StrategyEvent {
-            op: "spmv".into(),
-            strategy: "Parallel".into(),
-            algebra: "f64_plus".into(),
+            op: "spmv",
+            strategy: "Parallel",
+            algebra: "f64_plus",
             specializable: true,
             work: 100_000,
             threshold: 32_768,
             threads: 4,
             race_checked: true,
             race_safe: true,
-            tier: "reference".into(),
-            downgrade: String::new(),
+            tier: "reference",
+            downgrade: "",
             levels: 0,
             max_level_width: 0,
             mean_level_width: 0.0,
@@ -368,17 +368,17 @@ mod tests {
 
         let mut r = Report::empty();
         r.strategies.push(StrategyEvent {
-            op: "spmv".into(),
-            strategy: "Turbo".into(), // unknown
-            algebra: "f64_plus".into(),
+            op: "spmv",
+            strategy: "Turbo", // unknown
+            algebra: "f64_plus",
             specializable: true,
             work: 0,
             threshold: 0,
             threads: 1,
             race_checked: false,
             race_safe: false,
-            tier: "reference".into(),
-            downgrade: String::new(),
+            tier: "reference",
+            downgrade: "",
             levels: 0,
             max_level_width: 0,
             mean_level_width: 0.0,
@@ -387,17 +387,17 @@ mod tests {
 
         let mut r = Report::empty();
         r.strategies.push(StrategyEvent {
-            op: "spmv".into(),
-            strategy: "Specialized".into(),
-            algebra: "f64_plus".into(),
+            op: "spmv",
+            strategy: "Specialized",
+            algebra: "f64_plus",
             specializable: true,
             work: 0,
             threshold: 0,
             threads: 1,
             race_checked: false,
             race_safe: false,
-            tier: "warp".into(), // unknown tier
-            downgrade: String::new(),
+            tier: "warp", // unknown tier
+            downgrade: "",
             levels: 0,
             max_level_width: 0,
             mean_level_width: 0.0,
@@ -406,17 +406,17 @@ mod tests {
 
         let mut r = Report::empty();
         r.strategies.push(StrategyEvent {
-            op: "sptrsv".into(),
-            strategy: "Parallel".into(),
-            algebra: "f64_plus".into(),
+            op: "sptrsv",
+            strategy: "Parallel",
+            algebra: "f64_plus",
             specializable: true,
             work: 0,
             threshold: 0,
             threads: 2,
             race_checked: true,
             race_safe: false,
-            tier: "reference".into(),
-            downgrade: String::new(),
+            tier: "reference",
+            downgrade: "",
             levels: 3,
             max_level_width: 2,
             mean_level_width: f64::NAN, // non-finite width statistic

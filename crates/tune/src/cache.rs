@@ -1,18 +1,26 @@
 //! The structure-keyed plan cache: plan, certify and tune once per
 //! sparsity structure, replay on every repeat solve.
 //!
+//! Since the pipeline unification the cache holds **one table**, keyed
+//! by `(StructureKey, OpKind)`: every op the unified compilation core
+//! knows — SpMV, multi-RHS SpMV, the semiring variants, SpTRSV and
+//! SymGS — files its verdict under the same key shape and replays it
+//! through the same [`OpHints`] seam. Two-operand products key the
+//! ordered operand pair via [`StructureKey::combine`].
+//!
 //! # What is cached, what is re-verified
 //!
 //! A cache entry holds *decisions*, never *proofs*:
 //!
-//! * **SpMV** — the [`SpmvHints`] a cold [`SpmvEngine::compile_in`]
-//!   produced (strategy tier, plan shape, fast-tier eligibility, and —
-//!   in memory only — the validation certificate), plus the winning
-//!   candidate of the last [calibration](crate::calibrate) run. A hit
-//!   replays them through [`SpmvEngine::compile_hinted`], which skips
-//!   the planner search and the race-gate re-derivation but re-applies
-//!   the O(1) context gates and re-validates (or re-derives) the fast
-//!   certificate via `covers()` against the operand actually handed in.
+//! * **SpMV family** (classical, multi-RHS, semiring) — the
+//!   [`OpHints`] a cold compile produced (strategy tier, plan shape,
+//!   fast-tier eligibility, and — in memory only — the validation
+//!   certificate), plus the winning candidate of the last
+//!   [calibration](crate::calibrate) run. A hit replays them through
+//!   the engine's `compile_hinted`, which skips the planner search and
+//!   the race-gate re-derivation but re-applies the O(1) context gates
+//!   and re-validates (or re-derives) the fast certificate via
+//!   `covers()` against the operand actually handed in.
 //! * **SpTRSV / SymGS** — the wavefront level schedules. A hit skips
 //!   the O(nnz) longest-path *construction* of `analyze_wavefront`,
 //!   never the verification: the engine re-runs the independent BA4x
@@ -22,8 +30,9 @@
 //!
 //! The worst a wrong cache entry can do is therefore pick a suboptimal
 //! tier; it can never mis-compute. Serial planning verdicts (below
-//! threshold, narrow levels, non-triangular) are *not* cached — they
-//! are either O(1) to re-derive or must be re-derived for soundness.
+//! threshold, narrow levels, non-triangular) are *not* cached for the
+//! wavefront ops — they are either O(1) to re-derive or must be
+//! re-derived for soundness.
 //!
 //! # Persistence
 //!
@@ -32,19 +41,25 @@
 //! bump invalidates the file wholesale (load returns an empty cache).
 //! In-memory certificates are never persisted — they fingerprint heap
 //! addresses — so the first warm compile after a reload re-certifies
-//! through the sanitizer and the cache re-arms itself.
+//! through the sanitizer and the cache re-arms itself. Entries whose
+//! op tag a newer schema knows but this build does not are dropped on
+//! load (cold, not fatal).
 
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::sync::Mutex;
 
-use bernoulli::engines::{SpmvEngine, SpmvHints, Strategy};
+use bernoulli::engines::{
+    SemiringSpmmEngine, SemiringSpmvEngine, SpmvEngine, SpmvMultiEngine, Strategy,
+};
+use bernoulli::pipeline::{OpHints, OpKind};
 use bernoulli::{SptrsvEngine, SymGsEngine, TriangularOp};
-use bernoulli_analysis::{LevelSchedule, Triangle};
+use bernoulli_analysis::LevelSchedule;
 use bernoulli_formats::{Csr, ExecCtx, SparseMatrix};
 use bernoulli_obs::json::{array, Obj};
 use bernoulli_relational::error::RelResult;
+use bernoulli_relational::semiring::Semiring;
 
 use crate::calibrate::{calibrate_spmv, CalibrationOutcome};
 use crate::jsonio::{parse, Value};
@@ -54,51 +69,38 @@ use crate::key::{structure_key, structure_key_csr, StructureKey};
 /// bumps the version suffix, and [`PlanCache::load`] treats a file
 /// carrying a different identifier as absent — a schema bump is a
 /// wholesale cache invalidation, never a migration.
-pub const SCHEMA: &str = "bernoulli.plancache/v1";
+pub const SCHEMA: &str = "bernoulli.plancache/v2";
 
-/// One cached SpMV verdict.
+/// One cached verdict for one `(structure, op)` pair.
 #[derive(Clone, Debug)]
-struct SpmvRecord {
-    hints: SpmvHints,
+struct OpRecord {
+    hints: OpHints,
     /// Winning candidate of the last calibration run against this
     /// structure (`None` until calibrated). Informational + persisted:
     /// the override itself is already folded into `hints`.
     calibrated: Option<String>,
 }
 
-/// A level schedule flattened to its raw parts (what the disk holds;
-/// [`LevelSchedule::from_raw_unchecked`] rebuilds it, and the BA4x
-/// verifier re-checks it before it is ever trusted).
-#[derive(Clone, Debug)]
-struct SchedRecord {
-    nrows: usize,
-    rows: Vec<usize>,
-    level_ptr: Vec<usize>,
-}
-
-impl SchedRecord {
-    fn of(s: &LevelSchedule) -> SchedRecord {
-        SchedRecord {
-            nrows: s.nrows(),
-            rows: s.rows().to_vec(),
-            level_ptr: s.level_ptr().to_vec(),
-        }
-    }
-
-    fn rebuild(&self) -> LevelSchedule {
-        LevelSchedule::from_raw_unchecked(self.nrows, self.rows.clone(), self.level_ptr.clone())
-    }
-}
-
 #[derive(Debug, Default)]
 struct Inner {
-    spmv: HashMap<StructureKey, SpmvRecord>,
-    /// Keyed by structure + sweep triangle tag (the schedule depends
-    /// on both; `unit_diag` does not enter the dependence relation).
-    sptrsv: HashMap<(StructureKey, &'static str), SchedRecord>,
-    symgs: HashMap<StructureKey, (SchedRecord, SchedRecord)>,
+    ops: HashMap<(StructureKey, OpKind), OpRecord>,
     hits: u64,
     misses: u64,
+}
+
+impl Inner {
+    fn lookup(&mut self, key: (StructureKey, OpKind)) -> Option<OpHints> {
+        let hit = self.ops.get(&key).map(|r| r.hints.clone());
+        match hit {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        hit
+    }
+
+    fn insert(&mut self, key: (StructureKey, OpKind), hints: OpHints) {
+        self.ops.insert(key, OpRecord { hints, calibrated: None });
+    }
 }
 
 /// Cache effectiveness counters ([`PlanCache::stats`]).
@@ -109,18 +111,21 @@ pub struct CacheStats {
     pub hits: u64,
     /// Compiles that ran the full cold path (and seeded the cache).
     pub misses: u64,
-    /// Cached SpMV verdicts.
+    /// Cached classical SpMV verdicts.
     pub spmv_entries: usize,
     /// Cached SpTRSV level schedules (one per structure × triangle).
     pub sptrsv_entries: usize,
     /// Cached SymGS forward/backward schedule pairs.
     pub symgs_entries: usize,
+    /// Cached verdicts for every other op kind (multi-RHS SpMV and the
+    /// semiring variants).
+    pub other_entries: usize,
 }
 
 impl CacheStats {
     /// Total cached verdicts across all operations.
     pub fn entries(&self) -> usize {
-        self.spmv_entries + self.sptrsv_entries + self.symgs_entries
+        self.spmv_entries + self.sptrsv_entries + self.symgs_entries + self.other_entries
     }
 }
 
@@ -144,23 +149,15 @@ impl PlanCache {
     /// [`SpmvEngine::compile_hinted`] — bitwise-identical results,
     /// planning skipped, every soundness gate re-applied.
     pub fn spmv_engine(&self, a: &SparseMatrix, ctx: &ExecCtx) -> RelResult<SpmvEngine> {
-        let key = structure_key(a);
-        let hit = {
-            let mut g = self.inner.lock().unwrap();
-            let hit = g.spmv.get(&key).map(|r| r.hints.clone());
-            match hit {
-                Some(_) => g.hits += 1,
-                None => g.misses += 1,
-            }
-            hit
-        };
+        let key = (structure_key(a), OpKind::Spmv);
+        let hit = self.inner.lock().unwrap().lookup(key);
         match hit {
             Some(hints) => {
                 let engine = SpmvEngine::compile_hinted(a, ctx, &hints)?;
                 // Refresh only the in-memory certificate (it now binds
                 // this operand instance); the cold verdict fields stay.
                 let mut g = self.inner.lock().unwrap();
-                if let Some(r) = g.spmv.get_mut(&key) {
+                if let Some(r) = g.ops.get_mut(&key) {
                     if let Some(c) = engine.hints().fast_cert {
                         r.hints.fast_cert = Some(c);
                     }
@@ -169,10 +166,75 @@ impl PlanCache {
             }
             None => {
                 let engine = SpmvEngine::compile_in(a, ctx)?;
-                self.inner.lock().unwrap().spmv.insert(
-                    key,
-                    SpmvRecord { hints: engine.hints(), calibrated: None },
-                );
+                self.inner.lock().unwrap().insert(key, engine.hints());
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Compile a `Y += A·X` multi-RHS engine through the same unified
+    /// hint seam as [`spmv_engine`](Self::spmv_engine). The cached
+    /// verdict is per *structure* — the multivector width `k` is an
+    /// instance parameter the warm path re-supplies, not part of the
+    /// key.
+    pub fn spmv_multi_engine(
+        &self,
+        a: &SparseMatrix,
+        k: usize,
+        ctx: &ExecCtx,
+    ) -> RelResult<SpmvMultiEngine> {
+        let key = (structure_key(a), OpKind::SpmvMulti);
+        let hit = self.inner.lock().unwrap().lookup(key);
+        match hit {
+            Some(hints) => SpmvMultiEngine::compile_hinted(a, k, ctx, &hints),
+            None => {
+                let engine = SpmvMultiEngine::compile_in(a, k, ctx)?;
+                self.inner.lock().unwrap().insert(key, engine.hints());
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Compile a semiring SpMV engine, keyed per algebra: the parallel
+    /// verdict depends on `S`'s algebraic properties (a non-commutative
+    /// ⊕ is refused the reduction certificate), so `min_plus` and
+    /// `first_nonzero` verdicts for the same structure are distinct
+    /// entries.
+    pub fn semiring_spmv_engine<S: Semiring>(
+        &self,
+        a: &SparseMatrix,
+        ctx: &ExecCtx,
+    ) -> RelResult<SemiringSpmvEngine<S>> {
+        let key = (structure_key(a), OpKind::SemiringSpmv(S::NAME));
+        let hit = self.inner.lock().unwrap().lookup(key);
+        match hit {
+            Some(hints) => SemiringSpmvEngine::<S>::compile_hinted(a, ctx, &hints),
+            None => {
+                let engine = SemiringSpmvEngine::<S>::compile_in(a, ctx)?;
+                self.inner.lock().unwrap().insert(key, engine.hints());
+                Ok(engine)
+            }
+        }
+    }
+
+    /// Compile a semiring SpMM engine, keyed by the *ordered* operand
+    /// pair ([`StructureKey::combine`]) and the algebra.
+    pub fn semiring_spmm_engine<S: Semiring>(
+        &self,
+        a: &Csr,
+        b: &Csr,
+        ctx: &ExecCtx,
+    ) -> RelResult<SemiringSpmmEngine<S>> {
+        let key = (
+            StructureKey::combine(structure_key_csr(a), structure_key_csr(b)),
+            OpKind::SemiringSpmm(S::NAME),
+        );
+        let hit = self.inner.lock().unwrap().lookup(key);
+        match hit {
+            Some(hints) => SemiringSpmmEngine::<S>::compile_hinted(a, b, ctx, &hints),
+            None => {
+                let engine = SemiringSpmmEngine::<S>::compile_in(a, b, ctx)?;
+                self.inner.lock().unwrap().insert(key, engine.hints());
                 Ok(engine)
             }
         }
@@ -190,34 +252,28 @@ impl PlanCache {
         op: TriangularOp,
         ctx: &ExecCtx,
     ) -> RelResult<SptrsvEngine> {
-        let triangle = match op {
-            TriangularOp::Lower { .. } => Triangle::Lower,
-            TriangularOp::Upper { .. } => Triangle::Upper,
+        let kind = match op {
+            TriangularOp::Lower { .. } => OpKind::SptrsvLower,
+            TriangularOp::Upper { .. } => OpKind::SptrsvUpper,
             TriangularOp::LowerTransposed { .. } => {
                 return SptrsvEngine::compile_in(a, op, ctx);
             }
         };
-        let key = structure_key_csr(a);
-        let tag = triangle_str(triangle);
-        let cached = {
-            let mut g = self.inner.lock().unwrap();
-            let cached = g.sptrsv.get(&(key, tag)).map(|r| r.rebuild());
-            match cached {
-                Some(_) => g.hits += 1,
-                None => g.misses += 1,
+        let key = (structure_key_csr(a), kind);
+        let hit = self.inner.lock().unwrap().lookup(key);
+        match hit {
+            Some(hints) => {
+                let sched = hints
+                    .schedules
+                    .into_iter()
+                    .next()
+                    .expect("sptrsv entries always hold one schedule");
+                SptrsvEngine::compile_with_schedule(a, op, sched, ctx)
             }
-            cached
-        };
-        match cached {
-            Some(sched) => SptrsvEngine::compile_with_schedule(a, op, sched, ctx),
             None => {
                 let engine = SptrsvEngine::compile_in(a, op, ctx)?;
-                if let Some(s) = engine.schedule() {
-                    self.inner
-                        .lock()
-                        .unwrap()
-                        .sptrsv
-                        .insert((key, tag), SchedRecord::of(s));
+                if engine.schedule().is_some() {
+                    self.inner.lock().unwrap().insert(key, engine.hints());
                 }
                 Ok(engine)
             }
@@ -229,28 +285,21 @@ impl PlanCache {
     /// before (both sweeps must have been armed cold for the pair to
     /// be cached).
     pub fn symgs_engine(&self, a: &Csr, ctx: &ExecCtx) -> RelResult<SymGsEngine> {
-        let key = structure_key_csr(a);
-        let cached = {
-            let mut g = self.inner.lock().unwrap();
-            let cached = g.symgs.get(&key).map(|(f, b)| (f.rebuild(), b.rebuild()));
-            match cached {
-                Some(_) => g.hits += 1,
-                None => g.misses += 1,
+        let key = (structure_key_csr(a), OpKind::Symgs);
+        let hit = self.inner.lock().unwrap().lookup(key);
+        match hit {
+            Some(hints) => {
+                let mut it = hints.schedules.into_iter();
+                let (fwd, bwd) = match (it.next(), it.next()) {
+                    (Some(f), Some(b)) => (f, b),
+                    _ => unreachable!("symgs entries always hold a schedule pair"),
+                };
+                SymGsEngine::compile_with_schedules(a, fwd, bwd, ctx)
             }
-            cached
-        };
-        match cached {
-            Some((fwd, bwd)) => SymGsEngine::compile_with_schedules(a, fwd, bwd, ctx),
             None => {
                 let engine = SymGsEngine::compile_in(a, ctx)?;
-                if let (Some(f), Some(b)) =
-                    (engine.forward_schedule(), engine.backward_schedule())
-                {
-                    self.inner
-                        .lock()
-                        .unwrap()
-                        .symgs
-                        .insert(key, (SchedRecord::of(f), SchedRecord::of(b)));
+                if engine.forward_schedule().is_some() && engine.backward_schedule().is_some() {
+                    self.inner.lock().unwrap().insert(key, engine.hints());
                 }
                 Ok(engine)
             }
@@ -270,13 +319,9 @@ impl PlanCache {
         reps: u64,
     ) -> RelResult<CalibrationOutcome> {
         let outcome = calibrate_spmv(a, ctx, reps)?;
-        let mut g = self.inner.lock().unwrap();
-        g.spmv.insert(
-            outcome.structure,
-            SpmvRecord {
-                hints: outcome.hints.clone(),
-                calibrated: Some(outcome.chosen.clone()),
-            },
+        self.inner.lock().unwrap().ops.insert(
+            (outcome.structure, OpKind::Spmv),
+            OpRecord { hints: outcome.hints.clone(), calibrated: Some(outcome.chosen.clone()) },
         );
         Ok(outcome)
     }
@@ -284,19 +329,29 @@ impl PlanCache {
     /// The winning calibration candidate recorded for a structure, if
     /// it has been calibrated.
     pub fn calibrated_choice(&self, key: StructureKey) -> Option<String> {
-        self.inner.lock().unwrap().spmv.get(&key).and_then(|r| r.calibrated.clone())
+        self.inner
+            .lock()
+            .unwrap()
+            .ops
+            .get(&(key, OpKind::Spmv))
+            .and_then(|r| r.calibrated.clone())
     }
 
     /// Hit/miss counters and per-operation entry counts.
     pub fn stats(&self) -> CacheStats {
         let g = self.inner.lock().unwrap();
-        CacheStats {
-            hits: g.hits,
-            misses: g.misses,
-            spmv_entries: g.spmv.len(),
-            sptrsv_entries: g.sptrsv.len(),
-            symgs_entries: g.symgs.len(),
+        let mut s = CacheStats { hits: g.hits, misses: g.misses, ..CacheStats::default() };
+        for (_, kind) in g.ops.keys() {
+            match kind {
+                OpKind::Spmv => s.spmv_entries += 1,
+                OpKind::SptrsvLower | OpKind::SptrsvUpper | OpKind::SptrsvLowerTransposed => {
+                    s.sptrsv_entries += 1
+                }
+                OpKind::Symgs => s.symgs_entries += 1,
+                _ => s.other_entries += 1,
+            }
         }
+        s
     }
 
     /// True when no verdict has been cached yet.
@@ -304,17 +359,27 @@ impl PlanCache {
         self.stats().entries() == 0
     }
 
-    /// Serialize to the versioned on-disk JSON ([`SCHEMA`]). Entries
-    /// are written in key order so the output is deterministic;
-    /// in-memory certificates are omitted (they fingerprint heap
-    /// addresses of the process that issued them).
+    /// Serialize to the versioned on-disk JSON ([`SCHEMA`]): one `ops`
+    /// array, one object per `(structure, op)` verdict, written in
+    /// `(structure, op tag)` order so the output is deterministic.
+    /// In-memory certificates are omitted (they fingerprint heap
+    /// addresses of the process that issued them); wavefront schedules
+    /// are flattened to raw parts and re-verified on every replay.
     pub fn to_json(&self) -> String {
         let g = self.inner.lock().unwrap();
-        let mut spmv: Vec<_> = g.spmv.iter().collect();
-        spmv.sort_by_key(|e| *e.0);
-        let spmv = array(spmv.into_iter().map(|(k, r)| {
+        let mut ops: Vec<_> = g.ops.iter().collect();
+        ops.sort_by_key(|((k, kind), _)| (*k, kind.tag()));
+        let ops = array(ops.into_iter().map(|((k, kind), r)| {
+            let scheds = array(r.hints.schedules.iter().map(|s| {
+                Obj::new()
+                    .usize("nrows", s.nrows())
+                    .raw("rows", usize_array(s.rows()))
+                    .raw("level_ptr", usize_array(s.level_ptr()))
+                    .finish()
+            }));
             let o = Obj::new()
                 .str("structure", &k.hex())
+                .str("op", &kind.tag())
                 .str("strategy", strategy_str(r.hints.strategy))
                 .str("plan_shape", &r.hints.plan_shape)
                 .bool("fast_eligible", r.hints.fast_eligible);
@@ -322,43 +387,17 @@ impl PlanCache {
                 Some(c) => o.str("calibrated", c),
                 None => o.raw("calibrated", "null"),
             }
+            .raw("schedules", scheds)
             .finish()
         }));
-        let mut sptrsv: Vec<_> = g.sptrsv.iter().collect();
-        sptrsv.sort_by_key(|e| *e.0);
-        let sptrsv = array(sptrsv.into_iter().map(|((k, t), s)| {
-            Obj::new()
-                .str("structure", &k.hex())
-                .str("triangle", t)
-                .usize("nrows", s.nrows)
-                .raw("rows", usize_array(&s.rows))
-                .raw("level_ptr", usize_array(&s.level_ptr))
-                .finish()
-        }));
-        let mut symgs: Vec<_> = g.symgs.iter().collect();
-        symgs.sort_by_key(|e| *e.0);
-        let symgs = array(symgs.into_iter().map(|(k, (f, b))| {
-            Obj::new()
-                .str("structure", &k.hex())
-                .usize("nrows", f.nrows)
-                .raw("fwd_rows", usize_array(&f.rows))
-                .raw("fwd_level_ptr", usize_array(&f.level_ptr))
-                .raw("bwd_rows", usize_array(&b.rows))
-                .raw("bwd_level_ptr", usize_array(&b.level_ptr))
-                .finish()
-        }));
-        Obj::new()
-            .str("schema", SCHEMA)
-            .raw("spmv", spmv)
-            .raw("sptrsv", sptrsv)
-            .raw("symgs", symgs)
-            .finish()
+        Obj::new().str("schema", SCHEMA).raw("ops", ops).finish()
     }
 
     /// Rebuild a cache from [`to_json`](Self::to_json) output. A
     /// schema identifier other than [`SCHEMA`] yields an error carrying
     /// the found identifier — the caller decides whether a stale cache
     /// is fatal or just cold ([`load`](Self::load) treats it as cold).
+    /// Entries whose op tag this build does not know are skipped.
     pub fn from_json(text: &str) -> Result<PlanCache, String> {
         let v = parse(text)?;
         let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
@@ -366,56 +405,50 @@ impl PlanCache {
             return Err(format!("schema mismatch: found {schema:?}, want {SCHEMA:?}"));
         }
         let mut inner = Inner::default();
-        for e in v.get("spmv").and_then(Value::as_arr).unwrap_or(&[]) {
+        for e in v.get("ops").and_then(Value::as_arr).unwrap_or(&[]) {
             let key = e
                 .get("structure")
                 .and_then(Value::as_str)
                 .and_then(StructureKey::from_hex)
-                .ok_or("spmv entry: bad structure key")?;
+                .ok_or("ops entry: bad structure key")?;
+            let Some(kind) =
+                e.get("op").and_then(Value::as_str).and_then(OpKind::from_tag)
+            else {
+                continue; // unknown op tag: drop the entry, stay cold
+            };
             let strategy = strategy_from_str(
-                e.get("strategy").and_then(Value::as_str).ok_or("spmv entry: no strategy")?,
+                e.get("strategy").and_then(Value::as_str).ok_or("ops entry: no strategy")?,
             )?;
             let plan_shape = e
                 .get("plan_shape")
                 .and_then(Value::as_str)
-                .ok_or("spmv entry: no plan_shape")?
+                .ok_or("ops entry: no plan_shape")?
                 .to_string();
             let fast_eligible = e
                 .get("fast_eligible")
                 .and_then(Value::as_bool)
-                .ok_or("spmv entry: no fast_eligible")?;
-            let calibrated =
-                e.get("calibrated").and_then(Value::as_str).map(str::to_string);
-            inner.spmv.insert(
-                key,
-                SpmvRecord {
-                    hints: SpmvHints { strategy, plan_shape, fast_eligible, fast_cert: None },
+                .ok_or("ops entry: no fast_eligible")?;
+            let calibrated = e.get("calibrated").and_then(Value::as_str).map(str::to_string);
+            let schedules = e
+                .get("schedules")
+                .and_then(Value::as_arr)
+                .ok_or("ops entry: no schedules")?
+                .iter()
+                .map(sched_of)
+                .collect::<Result<Vec<_>, _>>()?;
+            inner.ops.insert(
+                (key, kind),
+                OpRecord {
+                    hints: OpHints {
+                        strategy,
+                        plan_shape,
+                        fast_eligible,
+                        fast_cert: None,
+                        schedules,
+                    },
                     calibrated,
                 },
             );
-        }
-        for e in v.get("sptrsv").and_then(Value::as_arr).unwrap_or(&[]) {
-            let key = e
-                .get("structure")
-                .and_then(Value::as_str)
-                .and_then(StructureKey::from_hex)
-                .ok_or("sptrsv entry: bad structure key")?;
-            let tag = match e.get("triangle").and_then(Value::as_str) {
-                Some("lower") => triangle_str(Triangle::Lower),
-                Some("upper") => triangle_str(Triangle::Upper),
-                other => return Err(format!("sptrsv entry: bad triangle {other:?}")),
-            };
-            inner.sptrsv.insert((key, tag), sched_record(e, "nrows", "rows", "level_ptr")?);
-        }
-        for e in v.get("symgs").and_then(Value::as_arr).unwrap_or(&[]) {
-            let key = e
-                .get("structure")
-                .and_then(Value::as_str)
-                .and_then(StructureKey::from_hex)
-                .ok_or("symgs entry: bad structure key")?;
-            let fwd = sched_record(e, "nrows", "fwd_rows", "fwd_level_ptr")?;
-            let bwd = sched_record(e, "nrows", "bwd_rows", "bwd_level_ptr")?;
-            inner.symgs.insert(key, (fwd, bwd));
         }
         Ok(PlanCache { inner: Mutex::new(inner) })
     }
@@ -453,7 +486,10 @@ fn usize_array(v: &[usize]) -> String {
     array(v.iter().map(|x| x.to_string()))
 }
 
-fn sched_record(e: &Value, nrows: &str, rows: &str, ptr: &str) -> Result<SchedRecord, String> {
+/// Rebuild one persisted schedule. `from_raw_unchecked` is sound here
+/// because nothing trusts the result until the BA4x verifier re-accepts
+/// it against the live operand at replay time.
+fn sched_of(e: &Value) -> Result<LevelSchedule, String> {
     let read_arr = |field: &str| -> Result<Vec<usize>, String> {
         e.get(field)
             .and_then(Value::as_arr)
@@ -462,21 +498,9 @@ fn sched_record(e: &Value, nrows: &str, rows: &str, ptr: &str) -> Result<SchedRe
             .map(|x| x.as_usize().ok_or(format!("schedule entry: bad {field} element")))
             .collect()
     };
-    Ok(SchedRecord {
-        nrows: e
-            .get(nrows)
-            .and_then(Value::as_usize)
-            .ok_or(format!("schedule entry: no {nrows}"))?,
-        rows: read_arr(rows)?,
-        level_ptr: read_arr(ptr)?,
-    })
-}
-
-fn triangle_str(t: Triangle) -> &'static str {
-    match t {
-        Triangle::Lower => "lower",
-        Triangle::Upper => "upper",
-    }
+    let nrows =
+        e.get("nrows").and_then(Value::as_usize).ok_or("schedule entry: no nrows".to_string())?;
+    Ok(LevelSchedule::from_raw_unchecked(nrows, read_arr("rows")?, read_arr("level_ptr")?))
 }
 
 fn strategy_str(s: Strategy) -> &'static str {
@@ -501,6 +525,7 @@ mod tests {
     use super::*;
     use bernoulli_formats::gen::{grid2d_5pt, grid3d_7pt};
     use bernoulli_formats::FormatKind;
+    use bernoulli_relational::semiring::{CountU64, MinPlus};
 
     fn par_ctx() -> ExecCtx {
         ExecCtx::with_threads(2).oversubscribe(true).threshold(1)
@@ -557,6 +582,60 @@ mod tests {
         let again = cache.spmv_engine(&b, &ctx).unwrap();
         assert_eq!(cache.stats().hits, 2);
         assert_eq!(again.tier(), "fast");
+    }
+
+    #[test]
+    fn multi_and_semiring_engines_replay_through_the_unified_seam() {
+        let cache = PlanCache::new();
+        let ctx = par_ctx();
+        let t = grid2d_5pt(8, 8);
+        let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+        let n = 64;
+
+        // Multi-RHS: the width is an instance parameter — a different k
+        // still hits the same structure entry.
+        let k = 3;
+        let cold = cache.spmv_multi_engine(&a, k, &ctx).unwrap();
+        assert_eq!(cache.stats().other_entries, 1);
+        let warm = cache.spmv_multi_engine(&a, k, &ctx).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(warm.strategy(), cold.strategy());
+        let x: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.21).cos()).collect();
+        let (mut y1, mut y2) = (vec![0.0; n * k], vec![0.0; n * k]);
+        cold.run(&a, &x, &mut y1).unwrap();
+        warm.run(&a, &x, &mut y2).unwrap();
+        assert_eq!(
+            y1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            y2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let wider = cache.spmv_multi_engine(&a, k + 2, &ctx).unwrap();
+        assert_eq!(cache.stats().hits, 2, "width is not part of the key");
+        assert_eq!(wider.k(), k + 2);
+
+        // Semiring SpMV: per-algebra entries for the same structure.
+        let cold_mp = cache.semiring_spmv_engine::<MinPlus>(&a, &ctx).unwrap();
+        let warm_mp = cache.semiring_spmv_engine::<MinPlus>(&a, &ctx).unwrap();
+        assert_eq!(warm_mp.strategy(), cold_mp.strategy());
+        assert_eq!(cache.stats().other_entries, 2);
+        let d0: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let (mut d1, mut d2) = (vec![f64::INFINITY; n], vec![f64::INFINITY; n]);
+        cold_mp.run(&a, &d0, &mut d1).unwrap();
+        warm_mp.run(&a, &d0, &mut d2).unwrap();
+        assert_eq!(
+            d1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            d2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Semiring SpMM: keyed by the ordered operand pair + algebra.
+        let ca = Csr::from_triplets(&grid2d_5pt(6, 6));
+        let cold_mm = cache.semiring_spmm_engine::<CountU64>(&ca, &ca, &ctx).unwrap();
+        let warm_mm = cache.semiring_spmm_engine::<CountU64>(&ca, &ca, &ctx).unwrap();
+        assert_eq!(warm_mm.strategy(), cold_mm.strategy());
+        assert_eq!(
+            warm_mm.run_entries(&ca, &ca).unwrap(),
+            cold_mm.run_entries(&ca, &ca).unwrap()
+        );
+        assert_eq!(cache.stats().other_entries, 3);
     }
 
     #[test]
@@ -630,12 +709,13 @@ mod tests {
         let full = Csr::from_triplets(&grid3d_7pt(4, 4, 4));
         cache.spmv_engine(&a, &ctx).unwrap();
         cache.symgs_engine(&full, &par_ctx()).unwrap();
+        cache.semiring_spmv_engine::<MinPlus>(&a, &ctx).unwrap();
         let json = cache.to_json();
         assert!(json.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
 
         let reloaded = PlanCache::from_json(&json).unwrap();
         let s = reloaded.stats();
-        assert_eq!((s.spmv_entries, s.symgs_entries), (1, 1));
+        assert_eq!((s.spmv_entries, s.symgs_entries, s.other_entries), (1, 1, 1));
         // Deterministic serialization: a reload serializes identically.
         assert_eq!(reloaded.to_json(), json);
         // The reloaded cache actually serves warm compiles.
@@ -644,8 +724,15 @@ mod tests {
         assert_eq!(warm.tier(), "fast", "reload re-certifies through the sanitizer");
 
         // Schema bump = wholesale invalidation.
-        let bumped = json.replace("bernoulli.plancache/v1", "bernoulli.plancache/v0");
+        let bumped = json.replace("bernoulli.plancache/v2", "bernoulli.plancache/v0");
         assert!(PlanCache::from_json(&bumped).unwrap_err().starts_with("schema mismatch"));
+        // An entry with an op tag this build does not know is dropped,
+        // not fatal (forward compatibility within one schema version).
+        let alien = json.replace("\"op\":\"spmv.min_plus\"", "\"op\":\"conv2d.direct\"");
+        assert_ne!(alien, json);
+        let partial = PlanCache::from_json(&alien).unwrap();
+        assert_eq!(partial.stats().other_entries, 0);
+        assert_eq!(partial.stats().spmv_entries, 1);
         // Malformed document is an error, not silently cold.
         assert!(PlanCache::from_json("{\"schema\":").is_err());
     }
@@ -659,7 +746,7 @@ mod tests {
         assert!(PlanCache::load(&path).unwrap().is_empty());
 
         let stale = dir.join("stale.json");
-        std::fs::write(&stale, "{\"schema\":\"bernoulli.plancache/v999\",\"spmv\":[]}").unwrap();
+        std::fs::write(&stale, "{\"schema\":\"bernoulli.plancache/v999\",\"ops\":[]}").unwrap();
         assert!(PlanCache::load(&stale).unwrap().is_empty());
 
         let broken = dir.join("broken.json");

@@ -15,18 +15,25 @@
 //!   nnz, the [`MatrixStats`](bernoulli_formats::stats::MatrixStats)
 //!   profile, and the canonical nonzero pattern — **values excluded**,
 //!   so refactorizations with new numbers hit the same cache line).
-//! * [`cache`] — the [`PlanCache`]: per-key records
-//!   of planner verdicts (strategy tier, plan shape, fast-tier
-//!   eligibility) and wavefront level schedules for SpTRSV/SymGS. A
-//!   hit skips the planner search, the race-gate re-derivation and
-//!   schedule *construction* — never verification: fast-tier
-//!   certificates are re-validated through `covers()` (or re-issued by
-//!   the sanitizer) against the operand actually handed in, and cached
-//!   schedules pass the independent BA4x verifier before the parallel
-//!   tier is granted. A cache entry can therefore mis-*tier* a
-//!   confused operand at worst; it can never mis-compute. The cache
-//!   persists to versioned JSON (`bernoulli.plancache/v1`); a schema
-//!   bump invalidates the file wholesale.
+//! * [`cache`] — the [`PlanCache`]: one table keyed by
+//!   `(StructureKey, OpKind)` holding planner verdicts (strategy tier,
+//!   plan shape, fast-tier eligibility) for the whole multiply family
+//!   — classical, multi-RHS and semiring — and wavefront level
+//!   schedules for SpTRSV/SymGS. A hit skips the planner search, the
+//!   race-gate re-derivation and schedule *construction* — never
+//!   verification: fast-tier certificates are re-validated through
+//!   `covers()` (or re-issued by the sanitizer) against the operand
+//!   actually handed in, and cached schedules pass the independent
+//!   BA4x verifier before the parallel tier is granted. A cache entry
+//!   can therefore mis-*tier* a confused operand at worst; it can
+//!   never mis-compute. The cache persists to versioned JSON
+//!   (`bernoulli.plancache/v2`); a schema bump invalidates the file
+//!   wholesale.
+//! * [`dispatch`] — the [`Dispatcher`] registry: register a matrix
+//!   population once, then push a mixed [`OpSpec`](bernoulli::OpSpec)
+//!   stream through one `submit` front door; every request compiles
+//!   through the shared cache and reports per-op latency through the
+//!   obs `dispatch.<op>` spans.
 //! * [`calibrate`] — measured calibration: micro-benchmark the
 //!   candidate tiers on the actual operand (kease's `kernel_tuner`
 //!   move) and record the static cost-model estimate *next to* the
@@ -39,9 +46,11 @@
 
 pub mod cache;
 pub mod calibrate;
+pub mod dispatch;
 mod jsonio;
 pub mod key;
 
 pub use cache::{CacheStats, PlanCache, SCHEMA};
 pub use calibrate::{calibrate_spmv, CalibrationOutcome, Measurement};
+pub use dispatch::{DispatchStats, Dispatcher, MatrixId};
 pub use key::{structure_key, structure_key_csr, StructureKey};

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_dispatch.json (dispatch registry: uniform `submit`
+# front door vs hand-held warm-cache engine calls) at the repository
+# root.
+#
+# Interpreting the output: `overhead_frac` is dispatch_s / direct_s - 1
+# for identical warm mixed-op batches (SpMV + SpTRSV + SymGS, all
+# compiled through a seeded PlanCache on both sides). What the
+# dispatcher adds — id indexing, the OpSpec match, the per-op latency
+# span — must stay within 2% of direct calls; the bench itself asserts
+# the bar and exits nonzero past it.
+#
+# `--smoke` runs shrunken operands with a looser 15% bar (tiny batches
+# on a loaded CI box are noisy) and writes BENCH_dispatch_smoke.json
+# instead, leaving the committed full-run numbers untouched.
+set -eu
+cd "$(dirname "$0")/.."
+cargo bench -p bernoulli-bench --bench dispatch -- "$@"
+if [ "${1:-}" = "--smoke" ]; then
+    echo "BENCH_dispatch_smoke.json:"
+    cat BENCH_dispatch_smoke.json
+else
+    echo "BENCH_dispatch.json:"
+    cat BENCH_dispatch.json
+fi

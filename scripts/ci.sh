@@ -39,13 +39,33 @@ if grep -rn "unsafe" crates/formats/src --include='*.rs' | grep -v "^crates/form
 fi
 # Wavefront containment gate: the level-parallel sweep kernels run
 # only under a WavefrontCert, so their call sites are confined to the
-# kernels themselves (par_kernels.rs) and the one engine that checks
-# certificates before dispatching (core's trisolve.rs). Any other call
-# site could bypass certificate checking.
+# kernels themselves (par_kernels.rs) and the unified compilation core
+# that checks certificates before dispatching (core's pipeline.rs).
+# Any other call site could bypass certificate checking.
 if grep -rn "par_sptrsv_\|par_symgs_" crates/ --include='*.rs' \
   | grep -v "^crates/formats/src/par_kernels\.rs:" \
-  | grep -v "^crates/core/src/trisolve\.rs:"; then
-  echo "ERROR: level-parallel sweep kernel called outside par_kernels.rs/trisolve.rs; route through SptrsvEngine/SymGsEngine so the wavefront certificate is checked" >&2
+  | grep -v "^crates/core/src/pipeline\.rs:"; then
+  echo "ERROR: level-parallel sweep kernel called outside par_kernels.rs/pipeline.rs; route through the unified compile so the wavefront certificate is checked" >&2
+  exit 1
+fi
+# Pipeline containment gates: since the engine unification there is
+# exactly ONE compile pipeline (core's pipeline.rs). (a) The gate-chain
+# entry points — size/pool/race for DO-ANY, wavefront
+# construction/verification for DO-ACROSS — may not be called from any
+# other core module: a second call site is a second pipeline.
+if grep -rn "should_parallelize(\|effective_workers(\|check_do_any(\|check_do_any_in(\|analyze_wavefront(\|certify_schedule(\|verify_level_schedule(" \
+  crates/core/src --include='*.rs' \
+  | grep -v "^crates/core/src/pipeline\.rs:"; then
+  echo "ERROR: gate-chain call outside crates/core/src/pipeline.rs; all compiles route through pipeline::compile" >&2
+  exit 1
+fi
+# (b) The downgrade-reason vocabulary is a closed set of interned
+# constants (pipeline::reason); quoting a literal anywhere else forks
+# the vocabulary.
+if grep -rn '"single_worker_pool"\|"racy_nest"\|"transposed_scatter"\|"not_triangular"\|"schedule_rejected"\|"levels_too_narrow"' \
+  crates/ tests/ examples/ --include='*.rs' \
+  | grep -v "^crates/core/src/pipeline\.rs:"; then
+  echo "ERROR: downgrade-reason literal outside pipeline.rs; use the pipeline::reason constants" >&2
   exit 1
 fi
 # Fast-tier correctness gate: the bitwise equivalence suite (lane
@@ -89,8 +109,9 @@ grep -q '"calibrations":\[{' PLANCACHE_PROFILE.json
 grep -q '"est_cost":' PLANCACHE_PROFILE.json
 grep -q '"measured_ns":' PLANCACHE_PROFILE.json
 # Persisted-cache schema gate: the on-disk format must carry the
-# versioned tag the loader invalidates on.
-grep -rqn 'bernoulli\.plancache/v1' crates/tune/src/cache.rs
+# versioned tag the loader invalidates on (v2 = the unified
+# per-OpKind table).
+grep -rqn 'bernoulli\.plancache/v2' crates/tune/src/cache.rs
 # Filesystem-confinement gate: the tune crate persists plans and the
 # bench harnesses write BENCH_*.json; everything else in the crates
 # computes. A new fs-write call site anywhere else is a regression
@@ -104,3 +125,17 @@ fi
 # …and a smoke run of the cold-vs-warm harness (writes the gitignored
 # BENCH_plancache_smoke.json, leaving the committed full run untouched).
 scripts/bench_plancache.sh --smoke > /dev/null
+# Unified-pipeline gates. The equivalence suite pins (a) identical
+# strategies field sets across all seven op kinds and (b) bitwise
+# hinted-replay / forged-schedule behavior for every facade.
+cargo test -q --test pipeline_equivalence
+# The dispatch registry smoke: a mixed op stream over a small matrix
+# population through the one `submit` front door — the example exits
+# nonzero unless the warm-cache hit rate is >= 90%, replay is bitwise
+# stable across rounds, and the profile report validates with per-op
+# dispatch.<op> latency spans.
+cargo run --release --example dispatch > /dev/null
+# …and the dispatcher-overhead harness (asserts the smoke bar itself;
+# writes the gitignored BENCH_dispatch_smoke.json, leaving the
+# committed full run untouched).
+scripts/bench_dispatch.sh --smoke > /dev/null

@@ -111,17 +111,17 @@ fn json_schema_golden() {
         explain: "plan ...".into(),
     });
     obs.strategy(|| StrategyEvent {
-        op: "spmv".into(),
-        strategy: "Parallel".into(),
-        algebra: "f64_plus".into(),
+        op: "spmv",
+        strategy: "Parallel",
+        algebra: "f64_plus",
         specializable: true,
         work: 320,
         threshold: 1,
         threads: 2,
         race_checked: true,
         race_safe: true,
-        tier: "reference".into(),
-        downgrade: String::new(),
+        tier: "reference",
+        downgrade: "",
         levels: 31,
         max_level_width: 16,
         mean_level_width: 10.5,

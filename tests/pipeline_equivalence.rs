@@ -1,0 +1,221 @@
+//! The unified-pipeline equivalence suite: every engine facade is a
+//! thin veneer over `bernoulli::pipeline::compile`, and this file pins
+//! the two properties the unification must preserve:
+//!
+//! 1. **Uniform provenance** — all seven op kinds emit `strategies`
+//!    records with the *identical* field set under
+//!    `bernoulli.profile/v1`; no engine gets a private vocabulary.
+//! 2. **Replay parity** — compiling through the hint seam (the plan
+//!    cache's warm path) is bitwise-identical to the cold path for
+//!    every op that supports it, and a forged schedule is rejected by
+//!    the independent verifier without corrupting the result.
+
+use bernoulli::engines::{
+    SemiringSpmmEngine, SemiringSpmvEngine, SpmmEngine, SpmvEngine, SpmvMultiEngine, Strategy,
+};
+use bernoulli::{reason, SptrsvEngine, SymGsEngine, TriangularOp};
+use bernoulli_analysis::wavefront::LevelSchedule;
+use bernoulli_formats::{gen, Csr, ExecCtx, FormatKind, SparseMatrix, Triplets};
+use bernoulli_obs::Obs;
+use bernoulli_relational::semiring::{CountU64, MinPlus};
+
+fn lower_triangle(t: &Triplets) -> Csr {
+    let mut lt = Triplets::new(t.nrows(), t.ncols());
+    for &(r, c, v) in t.canonicalize().entries() {
+        if c < r {
+            lt.push(r, c, v);
+        } else if c == r {
+            lt.push(r, c, 4.0);
+        }
+    }
+    Csr::from_triplets(&lt)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The ordered key list of one JSON object body (top-level keys only —
+/// the strategies records are flat).
+fn json_keys(obj: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = obj;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let end = after.find('"').expect("unterminated key");
+        let key = &after[..end];
+        let tail = &after[end + 1..];
+        if tail.starts_with(':') {
+            keys.push(key.to_string());
+        }
+        // Skip past this key *and* its value's opening quote if the
+        // value is a string (so value text never looks like a key).
+        let skip = if let Some(val) = tail.strip_prefix(":\"") {
+            let vend = val.find('"').expect("unterminated value") + 3;
+            end + 1 + vend
+        } else {
+            end + 1
+        };
+        rest = &after[skip..];
+    }
+    keys
+}
+
+/// Satellite golden: one compile per op kind, one report, and every
+/// `strategies` record must carry the same field set in the same
+/// order — the unified pipeline emits one vocabulary for all seven.
+#[test]
+fn all_seven_op_kinds_emit_identical_strategy_field_sets() {
+    let obs = Obs::enabled();
+    let ctx = ExecCtx::with_threads(2)
+        .oversubscribe(true)
+        .threshold(1)
+        .instrument(obs.clone());
+
+    let t = gen::grid2d_5pt(8, 8);
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    let ca = Csr::from_triplets(&t);
+    let sym_t = gen::grid3d_7pt(4, 4, 4);
+    let sym = Csr::from_triplets(&sym_t);
+    let l = lower_triangle(&sym_t);
+
+    SpmvEngine::compile_in(&a, &ctx).unwrap();
+    SpmmEngine::compile_in(&a, &a, &ctx).unwrap();
+    SpmvMultiEngine::compile_in(&a, 2, &ctx).unwrap();
+    SemiringSpmvEngine::<MinPlus>::compile_in(&a, &ctx).unwrap();
+    SemiringSpmmEngine::<CountU64>::compile_in(&ca, &ca, &ctx).unwrap();
+    SptrsvEngine::compile_in(&l, TriangularOp::Lower { unit_diag: false }, &ctx).unwrap();
+    SymGsEngine::compile_in(&sym, &ctx).unwrap();
+
+    let report = obs.report();
+    report.validate().unwrap();
+    assert_eq!(report.strategies.len(), 7, "one decision record per op kind");
+    let ops: Vec<&str> = report.strategies.iter().map(|s| s.op).collect();
+    assert_eq!(ops, ["spmv", "spmm", "spmv_multi", "spmv", "spmm", "sptrsv", "symgs"]);
+    let algebras: Vec<&str> = report.strategies.iter().map(|s| s.algebra).collect();
+    assert_eq!(
+        algebras,
+        ["f64_plus", "f64_plus", "f64_plus", "min_plus", "count_u64", "f64_plus", "f64_plus"]
+    );
+
+    // The golden: identical field sets, pinned by name and order.
+    let json = report.to_json();
+    assert!(json.starts_with("{\"schema\":\"bernoulli.profile/v1\""));
+    let arr_start = json.find("\"strategies\":[").expect("strategies stream") + 14;
+    let arr_end = json[arr_start..].find(']').expect("unterminated stream") + arr_start;
+    let records: Vec<&str> = json[arr_start..arr_end]
+        .split("},{")
+        .map(|r| r.trim_matches(|c| c == '{' || c == '}'))
+        .collect();
+    assert_eq!(records.len(), 7);
+    let want = [
+        "op",
+        "strategy",
+        "algebra",
+        "specializable",
+        "work",
+        "threshold",
+        "threads",
+        "race_checked",
+        "race_safe",
+        "tier",
+        "downgrade",
+        "levels",
+        "max_level_width",
+        "mean_level_width",
+    ];
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(json_keys(r), want, "record {i} ({}) field set diverged", ops[i]);
+    }
+}
+
+/// Hinted replay is bitwise-identical to the cold compile for every op
+/// that exposes the seam (the whole multiply family).
+#[test]
+fn hinted_replay_matches_cold_compile_bitwise_for_the_multiply_family() {
+    let ctx = ExecCtx::with_threads(2).oversubscribe(true).threshold(1).fast_kernels(true);
+    let t = gen::grid2d_9pt(12, 12);
+    let a = SparseMatrix::from_triplets(FormatKind::Csr, &t);
+    let ca = Csr::from_triplets(&t);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+
+    // Classical SpMV.
+    let cold = SpmvEngine::compile_in(&a, &ctx).unwrap();
+    let warm = SpmvEngine::compile_hinted(&a, &ctx, &cold.hints()).unwrap();
+    let (mut y1, mut y2) = (vec![0.0; n], vec![0.0; n]);
+    cold.run(&a, &x, &mut y1).unwrap();
+    warm.run(&a, &x, &mut y2).unwrap();
+    assert_eq!(bits(&y1), bits(&y2));
+    assert_eq!((cold.strategy(), cold.tier()), (warm.strategy(), warm.tier()));
+
+    // Multi-RHS.
+    let k = 3;
+    let xk: Vec<f64> = (0..n * k).map(|i| (i as f64 * 0.07).cos()).collect();
+    let cold = SpmvMultiEngine::compile_in(&a, k, &ctx).unwrap();
+    let warm = SpmvMultiEngine::compile_hinted(&a, k, &ctx, &cold.hints()).unwrap();
+    let (mut y1, mut y2) = (vec![0.0; n * k], vec![0.0; n * k]);
+    cold.run(&a, &xk, &mut y1).unwrap();
+    warm.run(&a, &xk, &mut y2).unwrap();
+    assert_eq!(bits(&y1), bits(&y2));
+
+    // Semiring SpMV (min-plus relaxation).
+    let d0: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { f64::INFINITY }).collect();
+    let cold = SemiringSpmvEngine::<MinPlus>::compile_in(&a, &ctx).unwrap();
+    let warm = SemiringSpmvEngine::<MinPlus>::compile_hinted(&a, &ctx, &cold.hints()).unwrap();
+    let (mut d1, mut d2) = (vec![f64::INFINITY; n], vec![f64::INFINITY; n]);
+    cold.run(&a, &d0, &mut d1).unwrap();
+    warm.run(&a, &d0, &mut d2).unwrap();
+    assert_eq!(bits(&d1), bits(&d2));
+
+    // Semiring SpMM (count_u64 path counting).
+    let cold = SemiringSpmmEngine::<CountU64>::compile_in(&ca, &ca, &ctx).unwrap();
+    let warm = SemiringSpmmEngine::<CountU64>::compile_hinted(&ca, &ca, &ctx, &cold.hints()).unwrap();
+    assert_eq!(cold.run_entries(&ca, &ca).unwrap(), warm.run_entries(&ca, &ca).unwrap());
+}
+
+/// Replaying the engine's own schedule is bitwise-identical; replaying
+/// a forged one is refused by the independent verifier and falls back
+/// to the serial sweep — same answer, downgraded tier.
+#[test]
+fn schedule_replay_parity_and_forged_schedule_rejection() {
+    let ctx = ExecCtx::with_threads(2).oversubscribe(true).threshold(1);
+    let sym_t = gen::grid3d_7pt(5, 5, 5);
+    let l = lower_triangle(&sym_t);
+    let sym = Csr::from_triplets(&sym_t);
+    let op = TriangularOp::Lower { unit_diag: false };
+    let n = l.nrows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect();
+
+    let cold = SptrsvEngine::compile_in(&l, op, &ctx).unwrap();
+    assert_eq!(cold.strategy(), Strategy::Parallel);
+    let sched = cold.schedule().expect("parallel tier must carry its schedule").clone();
+    let warm = SptrsvEngine::compile_with_schedule(&l, op, sched, &ctx).unwrap();
+    assert_eq!(warm.strategy(), Strategy::Parallel);
+    let (mut x1, mut x2) = (vec![0.0; n], vec![0.0; n]);
+    cold.run(&l, &b, &mut x1).unwrap();
+    warm.run(&l, &b, &mut x2).unwrap();
+    assert_eq!(bits(&x1), bits(&x2));
+
+    // Forged: claim every row is independent (one flat level). BA4x
+    // must refuse it and the engine must fall back to the serial sweep.
+    let forged = LevelSchedule::from_raw_unchecked(n, (0..n).collect(), vec![0, n]);
+    let bad = SptrsvEngine::compile_with_schedule(&l, op, forged, &ctx).unwrap();
+    assert_eq!(bad.strategy(), Strategy::Specialized);
+    assert_eq!(bad.downgrade(), reason::SCHEDULE_REJECTED);
+    let mut x3 = vec![0.0; n];
+    bad.run(&l, &b, &mut x3).unwrap();
+    assert_eq!(bits(&x1), bits(&x3), "rejected schedule must not corrupt the solve");
+
+    // SymGS: pair replay parity.
+    let gs_cold = SymGsEngine::compile_in(&sym, &ctx).unwrap();
+    let (fwd, bwd) = (
+        gs_cold.forward_schedule().expect("armed forward").clone(),
+        gs_cold.backward_schedule().expect("armed backward").clone(),
+    );
+    let gs_warm = SymGsEngine::compile_with_schedules(&sym, fwd, bwd, &ctx).unwrap();
+    let (mut z1, mut z2) = (vec![0.0; n], vec![0.0; n]);
+    gs_cold.apply_ssor(&sym, 1.2, &b, &mut z1).unwrap();
+    gs_warm.apply_ssor(&sym, 1.2, &b, &mut z2).unwrap();
+    assert_eq!(bits(&z1), bits(&z2));
+}

@@ -5,7 +5,7 @@
 //! inputs (empty rows, dense columns, NaN/Inf values), because a
 //! level schedule permutes waves, never the operations within a row.
 
-use bernoulli::{ExecCtx, SptrsvEngine, Strategy as Tier, SymGsEngine, TriangularOp, MIN_MEAN_LEVEL_WIDTH};
+use bernoulli::{reason, ExecCtx, SptrsvEngine, Strategy as Tier, SymGsEngine, TriangularOp, MIN_MEAN_LEVEL_WIDTH};
 use bernoulli_analysis::wavefront::{analyze_wavefront, Triangle};
 use bernoulli_formats::{gen, Csr, Triplets};
 use bernoulli_obs::Obs;
@@ -62,14 +62,14 @@ fn grid_certified_and_chain_refused_both_visible_in_obs() {
     let ceng =
         SptrsvEngine::compile_in(&ch, TriangularOp::Lower { unit_diag: false }, &ctx).unwrap();
     assert_eq!(ceng.strategy(), Tier::Specialized);
-    assert_eq!(ceng.downgrade(), "levels_too_narrow");
+    assert_eq!(ceng.downgrade(), reason::LEVELS_TOO_NARROW);
 
     let report = obs.report();
     report.validate().unwrap();
     assert_eq!(report.strategies.len(), 2);
 
     let g = &report.strategies[0];
-    assert_eq!((g.op.as_str(), g.strategy.as_str()), ("sptrsv", "Parallel"));
+    assert_eq!((g.op, g.strategy), ("sptrsv", "Parallel"));
     assert_eq!(g.downgrade, "");
     // 16×16 5-point grid, lower triangle: anti-diagonal wavefronts.
     assert_eq!((g.levels, g.max_level_width), (31, 16));
@@ -79,8 +79,8 @@ fn grid_certified_and_chain_refused_both_visible_in_obs() {
     assert!(g.race_checked && !g.race_safe);
 
     let c = &report.strategies[1];
-    assert_eq!((c.op.as_str(), c.strategy.as_str()), ("sptrsv", "Specialized"));
-    assert_eq!(c.downgrade, "levels_too_narrow");
+    assert_eq!((c.op, c.strategy), ("sptrsv", "Specialized"));
+    assert_eq!(c.downgrade, reason::LEVELS_TOO_NARROW);
     assert_eq!((c.levels, c.max_level_width), (64, 1));
     assert!((c.mean_level_width - 1.0).abs() < 1e-12);
 
@@ -119,7 +119,7 @@ fn non_triangular_operand_is_refused_a_certificate() {
         SptrsvEngine::compile_in(&full, TriangularOp::Lower { unit_diag: false }, &par_ctx())
             .unwrap();
     assert_eq!(eng.strategy(), Tier::Specialized);
-    assert_eq!(eng.downgrade(), "not_triangular");
+    assert_eq!(eng.downgrade(), reason::NOT_TRIANGULAR);
 }
 
 #[test]
